@@ -1,0 +1,58 @@
+//! Ablation A1: the `⊕` abstraction versus exact conjunction reasoning.
+//!
+//! The paper trades completeness for tractability: `⊕` is `O(1)` while the
+//! exact guaranteed-constraint frontier `Ω^⊕` needs automaton products.
+//! This bench quantifies both the cost gap and (printed once) the
+//! precision gap — whether `x ⊕ y` sits on the exact frontier.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use netdag_weakly_hard::conjunction::{conjunction_image_dfa, oplus_is_sound, OmegaOplus};
+use netdag_weakly_hard::{oplus, Constraint};
+
+fn pairs() -> Vec<(Constraint, Constraint)> {
+    let miss = |m: u32, k: u32| Constraint::any_miss(m, k).expect("valid");
+    vec![
+        (miss(1, 4), miss(1, 4)),
+        (miss(1, 4), miss(2, 6)),
+        (miss(2, 5), miss(2, 8)),
+        (miss(1, 6), miss(3, 6)),
+    ]
+}
+
+fn bench_oplus(c: &mut Criterion) {
+    // Precision report (printed once): is ⊕ tight on these pairs?
+    for (x, y) in pairs() {
+        let z = oplus(&x, &y).expect("windowed");
+        let omega = OmegaOplus::compute(&x, &y, 10).expect("small windows");
+        println!(
+            "ablation_oplus {x} ⊕ {y} = {z}; sound={} tight={} frontier={:?}",
+            oplus_is_sound(&x, &y).expect("small windows"),
+            omega.is_on_frontier(&z),
+            omega.frontier
+        );
+    }
+    let mut group = c.benchmark_group("ablation_oplus");
+    group.sample_size(10);
+    for (i, (x, y)) in pairs().into_iter().enumerate() {
+        group.bench_with_input(
+            BenchmarkId::new("oplus_abstract", i),
+            &(x, y),
+            |b, (x, y)| b.iter(|| oplus(x, y).expect("windowed")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("exact_conjunction_dfa", i),
+            &(x, y),
+            |b, (x, y)| b.iter(|| conjunction_image_dfa(x, y).expect("small windows")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("exact_frontier_omega", i),
+            &(x, y),
+            |b, (x, y)| b.iter(|| OmegaOplus::compute(x, y, 8).expect("small windows")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_oplus);
+criterion_main!(benches);

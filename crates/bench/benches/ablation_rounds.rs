@@ -1,0 +1,51 @@
+//! Ablation A4: round structure — per-level rounds (shared beacons) vs
+//! per-message rounds (maximal interleaving). Prints the makespan and bus
+//! time of each structure on `A_MIMO` and benches the scheduling cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use netdag_bench::{greedy_config, mimo_fixture};
+use netdag_core::config::RoundStructure;
+use netdag_core::constraints::WeaklyHardConstraints;
+use netdag_core::stat::Eq13Statistic;
+use netdag_core::weakly_hard::schedule_weakly_hard;
+use netdag_weakly_hard::Constraint;
+
+fn bench_rounds(c: &mut Criterion) {
+    let (app, actuators) = mimo_fixture();
+    let stat = Eq13Statistic::new(8);
+    let mut f = WeaklyHardConstraints::new();
+    for &a in &actuators {
+        f.set(a, Constraint::any_hit(8, 60).expect("valid"))
+            .expect("hit form");
+    }
+    // Print the comparison once.
+    for structure in [RoundStructure::PerLevel, RoundStructure::PerMessage] {
+        let mut cfg = greedy_config();
+        cfg.round_structure = structure;
+        let out = schedule_weakly_hard(&app, &stat, &f, &cfg).expect("feasible");
+        println!(
+            "ablation_rounds {structure:?} rounds={} makespan={} bus={}",
+            out.schedule.rounds().len(),
+            out.schedule.makespan(&app),
+            out.schedule.total_communication_us()
+        );
+    }
+    let mut group = c.benchmark_group("ablation_rounds");
+    group.sample_size(10);
+    for structure in [RoundStructure::PerLevel, RoundStructure::PerMessage] {
+        group.bench_with_input(
+            BenchmarkId::new("greedy", format!("{structure:?}")),
+            &structure,
+            |b, &structure| {
+                let mut cfg = greedy_config();
+                cfg.round_structure = structure;
+                b.iter(|| schedule_weakly_hard(&app, &stat, &f, &cfg).expect("feasible"))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rounds);
+criterion_main!(benches);

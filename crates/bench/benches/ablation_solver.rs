@@ -1,0 +1,71 @@
+//! Ablation A2: exact branch-and-bound versus the greedy baseline.
+//!
+//! Prints the makespan gap (greedy / exact) per random instance and
+//! benches both backends across application sizes — the cost of
+//! optimality for our Z3/Gurobi stand-in.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use netdag_bench::{exact_config, greedy_config};
+use netdag_core::constraints::WeaklyHardConstraints;
+use netdag_core::generators::random_layered_app;
+use netdag_core::stat::Eq13Statistic;
+use netdag_core::weakly_hard::schedule_weakly_hard;
+use netdag_weakly_hard::Constraint;
+
+fn constrained_instance(
+    seed: u64,
+    layers: &[usize],
+) -> (netdag_core::app::Application, WeaklyHardConstraints) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let app = random_layered_app(&mut rng, layers, 200..=1500, 2..=8);
+    let mut f = WeaklyHardConstraints::new();
+    let sinks: Vec<_> = app
+        .tasks()
+        .filter(|&t| app.successors(t).is_empty() && !app.message_predecessors(t).is_empty())
+        .collect();
+    for t in sinks {
+        f.set(t, Constraint::any_hit(8, 60).expect("valid"))
+            .expect("hit form");
+    }
+    (app, f)
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let stat = Eq13Statistic::new(8);
+    let sizes: Vec<(&str, Vec<usize>)> = vec![
+        ("small_2x2", vec![2, 2]),
+        ("medium_3x2x2", vec![3, 2, 2]),
+        ("large_4x3x2", vec![4, 3, 2]),
+    ];
+    // Optimality-gap report (printed once).
+    for (name, layers) in &sizes {
+        for seed in 0..3u64 {
+            let (app, f) = constrained_instance(seed, layers);
+            let exact = schedule_weakly_hard(&app, &stat, &f, &exact_config())
+                .map(|o| (o.schedule.makespan(&app), o.optimal));
+            let greedy = schedule_weakly_hard(&app, &stat, &f, &greedy_config())
+                .map(|o| o.schedule.makespan(&app));
+            println!("ablation_solver {name} seed={seed} exact={exact:?} greedy={greedy:?}");
+        }
+    }
+    let mut group = c.benchmark_group("ablation_solver");
+    group.sample_size(10);
+    for (name, layers) in &sizes {
+        let (app, f) = constrained_instance(0, layers);
+        group.bench_with_input(BenchmarkId::new("exact", name), &(), |b, ()| {
+            let cfg = exact_config();
+            b.iter(|| schedule_weakly_hard(&app, &stat, &f, &cfg).expect("feasible"))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", name), &(), |b, ()| {
+            let cfg = greedy_config();
+            b.iter(|| schedule_weakly_hard(&app, &stat, &f, &cfg).expect("feasible"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Fig. 2 bench: scheduling `A_MIMO` under weakly hard constraints of
+//! growing strictness and coverage, for both backends. The measured
+//! makespans are printed once per configuration so the bench output
+//! doubles as the figure's data series.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use netdag_bench::{exact_config, fig2_constraints, greedy_config, mimo_fixture};
+use netdag_core::constraints::WeaklyHardConstraints;
+use netdag_core::stat::Eq13Statistic;
+use netdag_core::weakly_hard::schedule_weakly_hard;
+
+fn bench_fig2(c: &mut Criterion) {
+    let (app, actuators) = mimo_fixture();
+    let stat = Eq13Statistic::new(8);
+    let mut group = c.benchmark_group("fig2_mimo");
+    group.sample_size(10);
+    for constraint in fig2_constraints() {
+        for k in [1usize, actuators.len()] {
+            let mut f = WeaklyHardConstraints::new();
+            for &a in &actuators[..k] {
+                f.set(a, constraint).expect("hit form");
+            }
+            // Print the data point once (the figure series).
+            for (name, cfg) in [("exact", exact_config()), ("greedy", greedy_config())] {
+                let makespan =
+                    schedule_weakly_hard(&app, &stat, &f, &cfg).map(|o| o.schedule.makespan(&app));
+                println!("fig2 {name} constraint={constraint} actuators={k} makespan={makespan:?}");
+            }
+            group.bench_with_input(
+                BenchmarkId::new("exact", format!("{constraint}/k{k}")),
+                &f,
+                |b, f| {
+                    let cfg = exact_config();
+                    b.iter(|| schedule_weakly_hard(&app, &stat, f, &cfg).expect("feasible"))
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new("greedy", format!("{constraint}/k{k}")),
+                &f,
+                |b, f| {
+                    let cfg = greedy_config();
+                    b.iter(|| schedule_weakly_hard(&app, &stat, f, &cfg).expect("feasible"))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

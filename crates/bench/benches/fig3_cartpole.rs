@@ -1,0 +1,42 @@
+//! Fig. 3 bench: cartpole balance evaluation under adversarial `(m̄, K)`
+//! fault injection. Prints each grid cell's mean balanced steps (the
+//! figure's data) and benches the per-cell evaluation cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use netdag_bench::fig3_pairs;
+use netdag_control::eval::fig3_sweep;
+use netdag_control::LinearController;
+
+fn bench_fig3(c: &mut Criterion) {
+    let controller = LinearController::tuned();
+    let (fixed_k, fixed_m) = fig3_pairs();
+    // Print the data series once.
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    for (name, pairs) in [("fixedK", &fixed_k), ("fixedM", &fixed_m)] {
+        for p in fig3_sweep(&controller, pairs, 60, 500, &mut rng).expect("valid pairs") {
+            println!(
+                "fig3 {name} m={} K={} mean_steps={:.1}",
+                p.misses, p.window, p.mean_steps
+            );
+        }
+    }
+    let mut group = c.benchmark_group("fig3_cartpole");
+    group.sample_size(10);
+    for &(m, k) in fixed_k.iter().step_by(3) {
+        group.bench_with_input(
+            BenchmarkId::new("sweep_cell", format!("m{m}_K{k}")),
+            &(m, k),
+            |b, &(m, k)| {
+                let mut rng = ChaCha8Rng::seed_from_u64(11);
+                b.iter(|| fig3_sweep(&controller, &[(m, k)], 10, 500, &mut rng).expect("valid"))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

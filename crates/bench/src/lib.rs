@@ -1,0 +1,86 @@
+//! Shared fixtures for the NETDAG benchmark harness.
+//!
+//! Every table and figure of the paper has a corresponding Criterion
+//! bench (`benches/`) and a row/series generator in the `figures` binary
+//! (`src/bin/figures.rs`); see DESIGN.md §4 for the experiment index.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use netdag_core::app::{Application, TaskId};
+use netdag_core::config::{Backend, SchedulerConfig};
+use netdag_core::generators::mimo_app;
+use netdag_weakly_hard::Constraint;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The canonical seed for `A_MIMO` across benches and figures, so every
+/// artifact talks about the same application instance.
+pub const MIMO_SEED: u64 = 42;
+
+/// The fig. 2 candidate constraints, loosest to strictest (window 60).
+pub fn fig2_constraints() -> Vec<Constraint> {
+    [3u32, 8, 15, 22]
+        .into_iter()
+        .map(|m| Constraint::any_hit(m, 60).expect("valid (m, K)"))
+        .collect()
+}
+
+/// The canonical `A_MIMO` instance and its actuator tasks.
+pub fn mimo_fixture() -> (Application, Vec<TaskId>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(MIMO_SEED);
+    mimo_app(&mut rng)
+}
+
+/// Exact-backend configuration with a bench-friendly node budget.
+pub fn exact_config() -> SchedulerConfig {
+    SchedulerConfig {
+        backend: Backend::Exact {
+            node_limit: Some(60_000),
+        },
+        ..SchedulerConfig::default()
+    }
+}
+
+/// Greedy-backend configuration.
+pub fn greedy_config() -> SchedulerConfig {
+    SchedulerConfig::greedy()
+}
+
+/// The fig. 3 `(m̄, K)` grids: (fixed-window sweep, fixed-miss sweep).
+#[allow(clippy::type_complexity)]
+pub fn fig3_pairs() -> (Vec<(u32, u32)>, Vec<(u32, u32)>) {
+    let fixed_k = [2u32, 6, 10, 12, 14, 16, 18]
+        .iter()
+        .map(|&m| (m, 20))
+        .collect();
+    let fixed_m = [14u32, 16, 20, 24, 32, 48]
+        .iter()
+        .map(|&k| (14, k))
+        .collect();
+    (fixed_k, fixed_m)
+}
+
+/// The fig. 4 TX power grid.
+pub fn fig4_powers() -> Vec<f64> {
+    (1..=10).map(|i| i as f64 / 10.0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_stable() {
+        let (app, actuators) = mimo_fixture();
+        assert_eq!(app.task_count(), 13);
+        assert_eq!(actuators.len(), 4);
+        assert_eq!(fig2_constraints().len(), 4);
+        assert_eq!(fig4_powers().len(), 10);
+        let (a, b) = fig3_pairs();
+        assert!(a.iter().all(|&(_, k)| k == 20));
+        assert!(b.iter().all(|&(m, _)| m == 14));
+        exact_config().validate().unwrap();
+        greedy_config().validate().unwrap();
+    }
+}

@@ -1,0 +1,402 @@
+//! Hand-rolled argument parsing (the CLI has no external dependencies).
+
+use std::error::Error;
+use std::fmt;
+use std::path::PathBuf;
+
+/// Which network statistic the scheduler consumes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StatChoice {
+    /// The paper's synthetic weakly hard statistic, eq. (13).
+    Eq13,
+    /// The paper's sigmoid soft statistic, eq. (15), with the given `fSS̄`.
+    Eq15(f64),
+}
+
+/// Common scheduling flags.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleOpts {
+    /// Application spec path.
+    pub app: PathBuf,
+    /// Soft constraints path, if scheduling in soft mode.
+    pub soft: Option<PathBuf>,
+    /// Weakly hard constraints path, if scheduling in weakly hard mode.
+    pub weakly_hard: Option<PathBuf>,
+    /// `exact` (default) or `greedy`.
+    pub greedy: bool,
+    /// `χ` domain bound.
+    pub chi_max: u32,
+    /// Beacon `χ`.
+    pub beacon_chi: u32,
+    /// Per-message rounds instead of per-level.
+    pub per_message_rounds: bool,
+    /// Count beacons in `pred(τ)`.
+    pub include_beacons: bool,
+    /// Statistic choice.
+    pub stat: StatChoice,
+    /// Where to write the schedule JSON.
+    pub out: Option<PathBuf>,
+    /// Print the ASCII timeline.
+    pub timeline: bool,
+}
+
+/// Validation flags.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidateOpts {
+    /// Application spec path.
+    pub app: PathBuf,
+    /// Exported schedule path.
+    pub schedule: PathBuf,
+    /// Soft constraints path.
+    pub soft: Option<PathBuf>,
+    /// Weakly hard constraints path.
+    pub weakly_hard: Option<PathBuf>,
+    /// Statistic choice.
+    pub stat: StatChoice,
+    /// Simulated runs per task.
+    pub kappa: usize,
+    /// Adversarial trials (weakly hard).
+    pub trials: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Print tasks, messages and levels of an application.
+    Inspect {
+        /// Application spec path.
+        app: PathBuf,
+    },
+    /// Compute a schedule.
+    Schedule(ScheduleOpts),
+    /// Validate an exported schedule.
+    Validate(ValidateOpts),
+    /// Print usage.
+    Help,
+}
+
+/// Error from [`parse_args`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseArgsError {
+    /// No subcommand given.
+    MissingCommand,
+    /// Unrecognized subcommand.
+    UnknownCommand(String),
+    /// Unrecognized flag for the subcommand.
+    UnknownFlag(String),
+    /// A flag was given without its value.
+    MissingValue(String),
+    /// A flag value failed to parse.
+    BadValue(String, String),
+    /// A required flag is absent.
+    MissingFlag(&'static str),
+    /// `--soft` and `--weakly-hard` are mutually exclusive for scheduling.
+    ConflictingModes,
+}
+
+impl fmt::Display for ParseArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseArgsError::MissingCommand => {
+                write!(f, "missing subcommand; try `netdag help`")
+            }
+            ParseArgsError::UnknownCommand(c) => write!(f, "unknown subcommand {c:?}"),
+            ParseArgsError::UnknownFlag(flag) => write!(f, "unknown flag {flag:?}"),
+            ParseArgsError::MissingValue(flag) => write!(f, "flag {flag:?} needs a value"),
+            ParseArgsError::BadValue(flag, v) => {
+                write!(f, "flag {flag:?} got unparsable value {v:?}")
+            }
+            ParseArgsError::MissingFlag(flag) => write!(f, "required flag --{flag} is missing"),
+            ParseArgsError::ConflictingModes => {
+                write!(f, "--soft and --weakly-hard are mutually exclusive")
+            }
+        }
+    }
+}
+
+impl Error for ParseArgsError {}
+
+/// The usage text printed by `netdag help`.
+pub const USAGE: &str = "\
+netdag — application-aware scheduling over the Low-Power Wireless Bus
+
+USAGE:
+  netdag inspect  --app <app.json>
+  netdag schedule --app <app.json> [--soft <f.json> | --weakly-hard <f.json>]
+                  [--greedy] [--chi-max N] [--beacon-chi N]
+                  [--per-message-rounds] [--include-beacons]
+                  [--stat eq13 | --stat eq15:<fss>]
+                  [--out <schedule.json>] [--timeline]
+  netdag validate --app <app.json> --schedule <schedule.json>
+                  [--soft <f.json>] [--weakly-hard <f.json>]
+                  [--stat …] [--kappa N] [--trials N] [--seed N]
+  netdag help
+";
+
+fn parse_stat(v: &str) -> Result<StatChoice, ParseArgsError> {
+    if v == "eq13" {
+        return Ok(StatChoice::Eq13);
+    }
+    if let Some(fss) = v.strip_prefix("eq15:") {
+        return fss
+            .parse::<f64>()
+            .map(StatChoice::Eq15)
+            .map_err(|_| ParseArgsError::BadValue("--stat".into(), v.into()));
+    }
+    Err(ParseArgsError::BadValue("--stat".into(), v.into()))
+}
+
+struct Cursor<I: Iterator<Item = String>> {
+    inner: std::iter::Peekable<I>,
+}
+
+impl<I: Iterator<Item = String>> Cursor<I> {
+    fn value(&mut self, flag: &str) -> Result<String, ParseArgsError> {
+        self.inner
+            .next()
+            .ok_or_else(|| ParseArgsError::MissingValue(flag.to_owned()))
+    }
+
+    fn parsed<T: std::str::FromStr>(&mut self, flag: &str) -> Result<T, ParseArgsError> {
+        let v = self.value(flag)?;
+        v.parse()
+            .map_err(|_| ParseArgsError::BadValue(flag.to_owned(), v))
+    }
+}
+
+/// Parses a command line (without the program name).
+///
+/// # Errors
+///
+/// See [`ParseArgsError`].
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseArgsError> {
+    let mut cur = Cursor {
+        inner: args.into_iter().peekable(),
+    };
+    let command = cur.inner.next().ok_or(ParseArgsError::MissingCommand)?;
+    match command.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "inspect" => {
+            let mut app = None;
+            while let Some(flag) = cur.inner.next() {
+                match flag.as_str() {
+                    "--app" => app = Some(PathBuf::from(cur.value("--app")?)),
+                    other => return Err(ParseArgsError::UnknownFlag(other.to_owned())),
+                }
+            }
+            Ok(Command::Inspect {
+                app: app.ok_or(ParseArgsError::MissingFlag("app"))?,
+            })
+        }
+        "schedule" => {
+            let mut opts = ScheduleOpts {
+                app: PathBuf::new(),
+                soft: None,
+                weakly_hard: None,
+                greedy: false,
+                chi_max: 8,
+                beacon_chi: 2,
+                per_message_rounds: false,
+                include_beacons: false,
+                stat: StatChoice::Eq13,
+                out: None,
+                timeline: false,
+            };
+            let mut have_app = false;
+            while let Some(flag) = cur.inner.next() {
+                match flag.as_str() {
+                    "--app" => {
+                        opts.app = PathBuf::from(cur.value("--app")?);
+                        have_app = true;
+                    }
+                    "--soft" => opts.soft = Some(PathBuf::from(cur.value("--soft")?)),
+                    "--weakly-hard" => {
+                        opts.weakly_hard = Some(PathBuf::from(cur.value("--weakly-hard")?))
+                    }
+                    "--greedy" => opts.greedy = true,
+                    "--chi-max" => opts.chi_max = cur.parsed("--chi-max")?,
+                    "--beacon-chi" => opts.beacon_chi = cur.parsed("--beacon-chi")?,
+                    "--per-message-rounds" => opts.per_message_rounds = true,
+                    "--include-beacons" => opts.include_beacons = true,
+                    "--stat" => opts.stat = parse_stat(&cur.value("--stat")?)?,
+                    "--out" => opts.out = Some(PathBuf::from(cur.value("--out")?)),
+                    "--timeline" => opts.timeline = true,
+                    other => return Err(ParseArgsError::UnknownFlag(other.to_owned())),
+                }
+            }
+            if !have_app {
+                return Err(ParseArgsError::MissingFlag("app"));
+            }
+            if opts.soft.is_some() && opts.weakly_hard.is_some() {
+                return Err(ParseArgsError::ConflictingModes);
+            }
+            Ok(Command::Schedule(opts))
+        }
+        "validate" => {
+            let mut opts = ValidateOpts {
+                app: PathBuf::new(),
+                schedule: PathBuf::new(),
+                soft: None,
+                weakly_hard: None,
+                stat: StatChoice::Eq13,
+                kappa: 10_000,
+                trials: 50,
+                seed: 2020,
+            };
+            let (mut have_app, mut have_schedule) = (false, false);
+            while let Some(flag) = cur.inner.next() {
+                match flag.as_str() {
+                    "--app" => {
+                        opts.app = PathBuf::from(cur.value("--app")?);
+                        have_app = true;
+                    }
+                    "--schedule" => {
+                        opts.schedule = PathBuf::from(cur.value("--schedule")?);
+                        have_schedule = true;
+                    }
+                    "--soft" => opts.soft = Some(PathBuf::from(cur.value("--soft")?)),
+                    "--weakly-hard" => {
+                        opts.weakly_hard = Some(PathBuf::from(cur.value("--weakly-hard")?))
+                    }
+                    "--stat" => opts.stat = parse_stat(&cur.value("--stat")?)?,
+                    "--kappa" => opts.kappa = cur.parsed("--kappa")?,
+                    "--trials" => opts.trials = cur.parsed("--trials")?,
+                    "--seed" => opts.seed = cur.parsed("--seed")?,
+                    other => return Err(ParseArgsError::UnknownFlag(other.to_owned())),
+                }
+            }
+            if !have_app {
+                return Err(ParseArgsError::MissingFlag("app"));
+            }
+            if !have_schedule {
+                return Err(ParseArgsError::MissingFlag("schedule"));
+            }
+            Ok(Command::Validate(opts))
+        }
+        other => Err(ParseArgsError::UnknownCommand(other.to_owned())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Command, ParseArgsError> {
+        parse_args(s.split_whitespace().map(str::to_owned))
+    }
+
+    #[test]
+    fn help_variants() {
+        for h in ["help", "--help", "-h"] {
+            assert_eq!(parse(h).unwrap(), Command::Help);
+        }
+    }
+
+    #[test]
+    fn inspect_needs_app() {
+        assert_eq!(
+            parse("inspect").unwrap_err(),
+            ParseArgsError::MissingFlag("app")
+        );
+        let Command::Inspect { app } = parse("inspect --app a.json").unwrap() else {
+            panic!("wrong command");
+        };
+        assert_eq!(app, PathBuf::from("a.json"));
+    }
+
+    #[test]
+    fn schedule_full_flags() {
+        let cmd = parse(
+            "schedule --app a.json --weakly-hard f.json --greedy --chi-max 10 \
+             --beacon-chi 3 --per-message-rounds --include-beacons \
+             --stat eq15:1.25 --out s.json --timeline",
+        )
+        .unwrap();
+        let Command::Schedule(o) = cmd else {
+            panic!("wrong command");
+        };
+        assert!(o.greedy && o.per_message_rounds && o.include_beacons && o.timeline);
+        assert_eq!(o.chi_max, 10);
+        assert_eq!(o.beacon_chi, 3);
+        assert_eq!(o.stat, StatChoice::Eq15(1.25));
+        assert_eq!(o.out, Some(PathBuf::from("s.json")));
+    }
+
+    #[test]
+    fn schedule_defaults() {
+        let Command::Schedule(o) = parse("schedule --app a.json").unwrap() else {
+            panic!("wrong command");
+        };
+        assert!(!o.greedy);
+        assert_eq!(o.chi_max, 8);
+        assert_eq!(o.stat, StatChoice::Eq13);
+        assert_eq!(o.soft, None);
+    }
+
+    #[test]
+    fn schedule_mode_conflict() {
+        assert_eq!(
+            parse("schedule --app a.json --soft s.json --weakly-hard w.json").unwrap_err(),
+            ParseArgsError::ConflictingModes
+        );
+    }
+
+    #[test]
+    fn validate_flags() {
+        let Command::Validate(o) = parse(
+            "validate --app a.json --schedule s.json --weakly-hard w.json \
+             --kappa 500 --trials 9 --seed 7",
+        )
+        .unwrap() else {
+            panic!("wrong command");
+        };
+        assert_eq!(o.kappa, 500);
+        assert_eq!(o.trials, 9);
+        assert_eq!(o.seed, 7);
+        assert_eq!(
+            parse("validate --app a.json").unwrap_err(),
+            ParseArgsError::MissingFlag("schedule")
+        );
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert_eq!(parse("").unwrap_err(), ParseArgsError::MissingCommand);
+        assert!(matches!(
+            parse("frobnicate").unwrap_err(),
+            ParseArgsError::UnknownCommand(_)
+        ));
+        assert!(matches!(
+            parse("schedule --app a.json --bogus").unwrap_err(),
+            ParseArgsError::UnknownFlag(_)
+        ));
+        assert!(matches!(
+            parse("schedule --app").unwrap_err(),
+            ParseArgsError::MissingValue(_)
+        ));
+        assert!(matches!(
+            parse("schedule --app a.json --chi-max nope").unwrap_err(),
+            ParseArgsError::BadValue(_, _)
+        ));
+        assert!(matches!(
+            parse("schedule --app a.json --stat eq99").unwrap_err(),
+            ParseArgsError::BadValue(_, _)
+        ));
+        assert!(matches!(
+            parse("schedule --app a.json --stat eq15:x").unwrap_err(),
+            ParseArgsError::BadValue(_, _)
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(ParseArgsError::MissingFlag("app")
+            .to_string()
+            .contains("--app"));
+        assert!(ParseArgsError::ConflictingModes
+            .to_string()
+            .contains("mutually exclusive"));
+    }
+}

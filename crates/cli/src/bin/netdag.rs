@@ -1,0 +1,30 @@
+//! The `netdag` command-line tool.
+
+use std::process::ExitCode;
+
+use netdag_cli::{parse_args, run};
+
+fn main() -> ExitCode {
+    let command = match parse_args(std::env::args().skip(1)) {
+        Ok(command) => command,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", netdag_cli::args::USAGE);
+            return ExitCode::from(2);
+        }
+    };
+    match run(&command) {
+        Ok(output) => {
+            print!("{}", output.text);
+            if output.success {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,554 @@
+//! Command implementations.
+
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use netdag_core::app::Application;
+use netdag_core::config::{Backend, RoundStructure, ScheduleError, SchedulerConfig};
+use netdag_core::constraints::WeaklyHardConstraints;
+use netdag_core::schedule::Schedule;
+use netdag_core::soft::schedule_soft;
+use netdag_core::stat::{Eq13Statistic, Eq15Statistic};
+use netdag_core::weakly_hard::schedule_weakly_hard;
+use netdag_validation::soft::validate_soft;
+use netdag_validation::weakly_hard::validate_weakly_hard;
+
+use crate::args::{Command, ScheduleOpts, StatChoice, ValidateOpts, USAGE};
+use crate::spec::{AppSpec, SoftSpec, SpecError, WeaklyHardSpec};
+
+/// Result of running a command: the text to print and whether the command
+/// semantically succeeded (schedules found, validations passed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Output {
+    /// Printable report.
+    pub text: String,
+    /// `false` for failed validations or infeasible schedules.
+    pub success: bool,
+}
+
+/// Error running a command.
+#[derive(Debug)]
+pub enum CliError {
+    /// File I/O failure.
+    Io(String, std::io::Error),
+    /// JSON (de)serialization failure.
+    Json(String, serde_json::Error),
+    /// Spec-to-model failure.
+    Spec(SpecError),
+    /// Scheduling failure other than infeasibility.
+    Schedule(ScheduleError),
+    /// The chosen statistic does not fit the constraint mode.
+    StatMismatch(&'static str),
+    /// Adversarial pattern synthesis failed during validation.
+    Synthesis(String),
+    /// Validation needs at least one constraints file.
+    NothingToValidate,
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Io(path, e) => write!(f, "cannot access {path}: {e}"),
+            CliError::Json(path, e) => write!(f, "invalid JSON in {path}: {e}"),
+            CliError::Spec(e) => write!(f, "invalid spec: {e}"),
+            CliError::Schedule(e) => write!(f, "scheduling failed: {e}"),
+            CliError::StatMismatch(hint) => write!(f, "{hint}"),
+            CliError::Synthesis(msg) => write!(f, "adversarial synthesis failed: {msg}"),
+            CliError::NothingToValidate => {
+                write!(f, "validate needs --soft and/or --weakly-hard constraints")
+            }
+        }
+    }
+}
+
+impl Error for CliError {}
+
+impl From<SpecError> for CliError {
+    fn from(e: SpecError) -> Self {
+        CliError::Spec(e)
+    }
+}
+
+/// The exported schedule file format.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ScheduleExport {
+    /// The schedule itself.
+    pub schedule: Schedule,
+    /// End-to-end latency, µs.
+    pub makespan_us: u64,
+    /// Total bus time, µs.
+    pub bus_us: u64,
+    /// Whether optimality was proven.
+    pub optimal: bool,
+}
+
+fn read_json<T: serde::de::DeserializeOwned>(path: &Path) -> Result<T, CliError> {
+    let text = fs::read_to_string(path).map_err(|e| CliError::Io(path.display().to_string(), e))?;
+    serde_json::from_str(&text).map_err(|e| CliError::Json(path.display().to_string(), e))
+}
+
+fn load_app(
+    path: &Path,
+) -> Result<(Application, Vec<(String, netdag_core::app::TaskId)>), CliError> {
+    let spec: AppSpec = read_json(path)?;
+    Ok(spec.build()?)
+}
+
+/// Runs a parsed command.
+///
+/// # Errors
+///
+/// See [`CliError`]; infeasible schedules and failed validations are
+/// reported through [`Output::success`], not as errors.
+pub fn run(command: &Command) -> Result<Output, CliError> {
+    match command {
+        Command::Help => Ok(Output {
+            text: USAGE.to_owned(),
+            success: true,
+        }),
+        Command::Inspect { app } => inspect(app),
+        Command::Schedule(opts) => schedule(opts),
+        Command::Validate(opts) => validate(opts),
+    }
+}
+
+fn inspect(path: &Path) -> Result<Output, CliError> {
+    let (app, _) = load_app(path)?;
+    let mut text = format!(
+        "{} tasks, {} messages over the LWB\n\ntasks:\n",
+        app.task_count(),
+        app.message_count()
+    );
+    for t in app.tasks() {
+        let task = app.task(t);
+        text.push_str(&format!(
+            "  {t} {:<16} node {:<4} wcet {:>8} µs\n",
+            task.name,
+            task.node.to_string(),
+            task.wcet_us
+        ));
+    }
+    text.push_str("\nmessages (unique-source set E*):\n");
+    let levels = app.message_levels();
+    for m in app.messages() {
+        let msg = app.message(m);
+        let consumers: Vec<String> = msg
+            .consumers
+            .iter()
+            .map(|&c| app.task(c).name.clone())
+            .collect();
+        text.push_str(&format!(
+            "  {m} from {:<16} width {:>3} B, level {}, consumers: {}\n",
+            app.task(msg.source).name,
+            msg.width,
+            levels[m.index()],
+            consumers.join(", ")
+        ));
+    }
+    Ok(Output {
+        text,
+        success: true,
+    })
+}
+
+fn config_from(opts: &ScheduleOpts) -> SchedulerConfig {
+    SchedulerConfig {
+        beacon_chi: opts.beacon_chi,
+        chi_max: opts.chi_max,
+        backend: if opts.greedy {
+            Backend::Greedy
+        } else {
+            Backend::Exact {
+                node_limit: Some(200_000),
+            }
+        },
+        round_structure: if opts.per_message_rounds {
+            RoundStructure::PerMessage
+        } else {
+            RoundStructure::PerLevel
+        },
+        include_beacons: opts.include_beacons,
+        ..SchedulerConfig::default()
+    }
+}
+
+fn schedule(opts: &ScheduleOpts) -> Result<Output, CliError> {
+    let (app, names) = load_app(&opts.app)?;
+    let cfg = config_from(opts);
+    let outcome = if let Some(soft_path) = &opts.soft {
+        let StatChoice::Eq15(fss) = opts.stat else {
+            return Err(CliError::StatMismatch(
+                "soft scheduling needs a soft statistic; use --stat eq15:<fss>",
+            ));
+        };
+        let spec: SoftSpec = read_json(soft_path)?;
+        let f = spec.build(&names)?;
+        schedule_soft(&app, &Eq15Statistic::new(fss, cfg.chi_max), &f, &cfg)
+    } else {
+        let StatChoice::Eq13 = opts.stat else {
+            return Err(CliError::StatMismatch(
+                "weakly hard scheduling needs a weakly hard statistic; use --stat eq13",
+            ));
+        };
+        let f = match &opts.weakly_hard {
+            Some(path) => {
+                let spec: WeaklyHardSpec = read_json(path)?;
+                spec.build(&names)?
+            }
+            None => WeaklyHardConstraints::new(),
+        };
+        schedule_weakly_hard(&app, &Eq13Statistic::new(cfg.chi_max), &f, &cfg)
+    };
+    let outcome = match outcome {
+        Ok(o) => o,
+        Err(ScheduleError::Infeasible | ScheduleError::InfeasibleReliability(_)) => {
+            return Ok(Output {
+                text: "infeasible: no χ assignment within chi-max meets the constraints\n"
+                    .to_owned(),
+                success: false,
+            });
+        }
+        Err(e) => return Err(CliError::Schedule(e)),
+    };
+    let makespan = outcome.schedule.makespan(&app);
+    let bus = outcome.schedule.total_communication_us();
+    let mut text = format!(
+        "makespan {makespan} µs over {} rounds (bus {bus} µs), optimal = {}\n",
+        outcome.schedule.rounds().len(),
+        outcome.optimal
+    );
+    for m in app.messages() {
+        text.push_str(&format!(
+            "  {m}: χ = {}, round {}\n",
+            outcome.schedule.chi(m),
+            outcome.schedule.round_of(m).expect("assigned")
+        ));
+    }
+    if opts.timeline {
+        text.push('\n');
+        text.push_str(&outcome.schedule.render_timeline(&app, 72));
+    }
+    if let Some(out_path) = &opts.out {
+        let export = ScheduleExport {
+            schedule: outcome.schedule.clone(),
+            makespan_us: makespan,
+            bus_us: bus,
+            optimal: outcome.optimal,
+        };
+        let json = serde_json::to_string_pretty(&export)
+            .map_err(|e| CliError::Json(out_path.display().to_string(), e))?;
+        fs::write(out_path, json).map_err(|e| CliError::Io(out_path.display().to_string(), e))?;
+        text.push_str(&format!("schedule written to {}\n", out_path.display()));
+    }
+    Ok(Output {
+        text,
+        success: true,
+    })
+}
+
+fn validate(opts: &ValidateOpts) -> Result<Output, CliError> {
+    if opts.soft.is_none() && opts.weakly_hard.is_none() {
+        return Err(CliError::NothingToValidate);
+    }
+    let (app, names) = load_app(&opts.app)?;
+    let export: ScheduleExport = read_json(&opts.schedule)?;
+    let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
+    let mut text = String::new();
+    let mut success = true;
+    if let Some(path) = &opts.soft {
+        let StatChoice::Eq15(fss) = opts.stat else {
+            return Err(CliError::StatMismatch(
+                "soft validation needs a soft statistic; use --stat eq15:<fss>",
+            ));
+        };
+        let spec: SoftSpec = read_json(path)?;
+        let f = spec.build(&names)?;
+        let stat = Eq15Statistic::new(fss, 16);
+        for r in validate_soft(
+            &app,
+            &stat,
+            &f,
+            &export.schedule,
+            opts.kappa,
+            0.999,
+            &mut rng,
+        ) {
+            success &= r.passed;
+            text.push_str(&format!(
+                "soft {}: v = {:.4} vs {:.3} (margin {:.4}) → {}\n",
+                app.task(r.task).name,
+                r.observed,
+                r.required,
+                r.margin,
+                if r.passed { "PASS" } else { "FAIL" }
+            ));
+        }
+    }
+    if let Some(path) = &opts.weakly_hard {
+        if opts.stat != StatChoice::Eq13 && opts.soft.is_none() {
+            return Err(CliError::StatMismatch(
+                "weakly hard validation needs a weakly hard statistic; use --stat eq13",
+            ));
+        }
+        let spec: WeaklyHardSpec = read_json(path)?;
+        let f = spec.build(&names)?;
+        let stat = Eq13Statistic::new(16);
+        let reports = validate_weakly_hard(
+            &app,
+            &stat,
+            &f,
+            &export.schedule,
+            opts.kappa.min(2_000),
+            opts.trials,
+            &mut rng,
+        )
+        .map_err(|e| CliError::Synthesis(e.to_string()))?;
+        for r in reports {
+            success &= r.passed;
+            text.push_str(&format!(
+                "weakly hard {}: {} held in {}/{} adversarial trials → {}\n",
+                app.task(r.task).name,
+                r.requirement,
+                r.satisfied,
+                r.trials,
+                if r.passed { "PASS" } else { "FAIL" }
+            ));
+        }
+    }
+    Ok(Output { text, success })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse_args;
+    use crate::spec::{EdgeSpec, SoftEntry, TaskSpec, WeaklyHardEntry};
+    use std::path::PathBuf;
+
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let dir =
+                std::env::temp_dir().join(format!("netdag-cli-test-{tag}-{}", std::process::id()));
+            fs::create_dir_all(&dir).expect("temp dir");
+            TempDir(dir)
+        }
+
+        fn file(&self, name: &str, contents: &str) -> PathBuf {
+            let path = self.0.join(name);
+            fs::write(&path, contents).expect("write temp file");
+            path
+        }
+
+        fn path(&self, name: &str) -> PathBuf {
+            self.0.join(name)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn app_json() -> String {
+        serde_json::to_string(&AppSpec {
+            tasks: vec![
+                TaskSpec {
+                    name: "sense".into(),
+                    node: 0,
+                    wcet_us: 500,
+                },
+                TaskSpec {
+                    name: "act".into(),
+                    node: 1,
+                    wcet_us: 300,
+                },
+            ],
+            edges: vec![EdgeSpec {
+                from: "sense".into(),
+                to: "act".into(),
+                width: 8,
+            }],
+        })
+        .expect("serializable")
+    }
+
+    fn run_line(line: &str) -> Result<Output, CliError> {
+        run(&parse_args(line.split_whitespace().map(str::to_owned)).expect("parsable"))
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(&Command::Help).unwrap();
+        assert!(out.text.contains("USAGE"));
+        assert!(out.success);
+    }
+
+    #[test]
+    fn inspect_lists_tasks_and_messages() {
+        let dir = TempDir::new("inspect");
+        let app = dir.file("app.json", &app_json());
+        let out = run_line(&format!("inspect --app {}", app.display())).unwrap();
+        assert!(out.text.contains("sense"));
+        assert!(out.text.contains("e0"));
+        assert!(out.text.contains("level 0"));
+    }
+
+    #[test]
+    fn schedule_weakly_hard_roundtrip_and_validate() {
+        let dir = TempDir::new("wh");
+        let app = dir.file("app.json", &app_json());
+        let wh = dir.file(
+            "wh.json",
+            &serde_json::to_string(&WeaklyHardSpec {
+                constraints: vec![WeaklyHardEntry {
+                    task: "act".into(),
+                    m: 10,
+                    k: 40,
+                }],
+            })
+            .expect("serializable"),
+        );
+        let sched = dir.path("sched.json");
+        let out = run_line(&format!(
+            "schedule --app {} --weakly-hard {} --out {} --timeline",
+            app.display(),
+            wh.display(),
+            sched.display()
+        ))
+        .unwrap();
+        assert!(out.success);
+        assert!(out.text.contains("makespan"));
+        assert!(out.text.contains("bus |"));
+        // The exported schedule validates.
+        let out = run_line(&format!(
+            "validate --app {} --schedule {} --weakly-hard {} --kappa 300 --trials 20",
+            app.display(),
+            sched.display(),
+            wh.display()
+        ))
+        .unwrap();
+        assert!(out.success, "{}", out.text);
+        assert!(out.text.contains("PASS"));
+    }
+
+    #[test]
+    fn schedule_soft_with_eq15() {
+        let dir = TempDir::new("soft");
+        let app = dir.file("app.json", &app_json());
+        let soft = dir.file(
+            "soft.json",
+            &serde_json::to_string(&SoftSpec {
+                constraints: vec![SoftEntry {
+                    task: "act".into(),
+                    probability: 0.9,
+                }],
+            })
+            .expect("serializable"),
+        );
+        let sched = dir.path("s.json");
+        let out = run_line(&format!(
+            "schedule --app {} --soft {} --stat eq15:1.0 --out {}",
+            app.display(),
+            soft.display(),
+            sched.display()
+        ))
+        .unwrap();
+        assert!(out.success);
+        let validated = run_line(&format!(
+            "validate --app {} --schedule {} --soft {} --stat eq15:1.0 --kappa 4000",
+            app.display(),
+            sched.display(),
+            soft.display()
+        ))
+        .unwrap();
+        assert!(validated.success, "{}", validated.text);
+    }
+
+    #[test]
+    fn soft_mode_requires_eq15() {
+        let dir = TempDir::new("statmismatch");
+        let app = dir.file("app.json", &app_json());
+        let soft = dir.file(
+            "soft.json",
+            r#"{"constraints":[{"task":"act","probability":0.9}]}"#,
+        );
+        let err = run_line(&format!(
+            "schedule --app {} --soft {}",
+            app.display(),
+            soft.display()
+        ))
+        .unwrap_err();
+        assert!(matches!(err, CliError::StatMismatch(_)));
+    }
+
+    #[test]
+    fn schedule_flag_combinations_work() {
+        let dir = TempDir::new("flags");
+        let app = dir.file("app.json", &app_json());
+        let wh = dir.file(
+            "wh.json",
+            r#"{"constraints":[{"task":"act","m":10,"k":40}]}"#,
+        );
+        let out = run_line(&format!(
+            "schedule --app {} --weakly-hard {} --greedy \
+             --per-message-rounds --include-beacons --chi-max 10 --beacon-chi 3",
+            app.display(),
+            wh.display()
+        ))
+        .unwrap();
+        assert!(out.success, "{}", out.text);
+        // One message ⇒ one per-message round.
+        assert!(out.text.contains("over 1 rounds"));
+    }
+
+    #[test]
+    fn infeasible_schedule_reports_failure_not_error() {
+        let dir = TempDir::new("infeasible");
+        let app = dir.file("app.json", &app_json());
+        // Window 10 < the eq. (13) minimum window of 20.
+        let wh = dir.file(
+            "wh.json",
+            r#"{"constraints":[{"task":"act","m":1,"k":10}]}"#,
+        );
+        let out = run_line(&format!(
+            "schedule --app {} --weakly-hard {} --greedy",
+            app.display(),
+            wh.display()
+        ))
+        .unwrap();
+        assert!(!out.success);
+        assert!(out.text.contains("infeasible"));
+    }
+
+    #[test]
+    fn io_and_json_errors() {
+        let err = run_line("inspect --app /nonexistent/app.json").unwrap_err();
+        assert!(matches!(err, CliError::Io(_, _)));
+        let dir = TempDir::new("badjson");
+        let bad = dir.file("app.json", "{not json");
+        let err = run_line(&format!("inspect --app {}", bad.display())).unwrap_err();
+        assert!(matches!(err, CliError::Json(_, _)));
+    }
+
+    #[test]
+    fn validate_needs_constraints() {
+        let dir = TempDir::new("noconstraints");
+        let app = dir.file("app.json", &app_json());
+        let sched = dir.file("s.json", "{}");
+        let err = run_line(&format!(
+            "validate --app {} --schedule {}",
+            app.display(),
+            sched.display()
+        ))
+        .unwrap_err();
+        assert!(matches!(err, CliError::NothingToValidate));
+    }
+}

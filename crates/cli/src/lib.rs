@@ -1,0 +1,25 @@
+//! Command-line front end for the NETDAG scheduler.
+//!
+//! Applications, constraints and network statistics are described in JSON
+//! ([`spec`]); the [`commands`] module implements the three subcommands of
+//! the `netdag` binary:
+//!
+//! * `netdag inspect  --app app.json` — tasks, messages, precedence levels;
+//! * `netdag schedule --app app.json [--soft f.json | --weakly-hard f.json]
+//!   …` — compute a schedule, render the timeline, export JSON;
+//! * `netdag validate --app app.json --schedule s.json …` — § IV-A
+//!   validation of a previously exported schedule.
+//!
+//! Run `netdag help` for the full flag reference. The library half exists
+//! so the parsing and command logic are unit-testable without spawning
+//! processes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+pub mod spec;
+
+pub use args::{parse_args, Command, ParseArgsError};
+pub use commands::{run, CliError};

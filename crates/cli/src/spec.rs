@@ -1,0 +1,307 @@
+//! JSON specification formats.
+
+use std::error::Error;
+use std::fmt;
+
+use netdag_core::app::{AppError, Application, TaskId};
+use netdag_core::constraints::{ConstraintMapError, SoftConstraints, WeaklyHardConstraints};
+use netdag_glossy::NodeId;
+use netdag_weakly_hard::{Constraint, ConstraintError};
+
+/// One task of an application spec.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TaskSpec {
+    /// Unique task name (referenced by edges and constraints).
+    pub name: String,
+    /// Physical node index.
+    pub node: u32,
+    /// Worst-case execution time, µs.
+    pub wcet_us: u64,
+}
+
+/// One dependency edge of an application spec.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EdgeSpec {
+    /// Producing task name.
+    pub from: String,
+    /// Consuming task name.
+    pub to: String,
+    /// Message width in bytes (for remote edges).
+    pub width: u32,
+}
+
+/// A complete application spec (`app.json`).
+///
+/// ```json
+/// { "tasks": [{"name": "sense", "node": 0, "wcet_us": 500}],
+///   "edges": [{"from": "sense", "to": "act", "width": 8}] }
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AppSpec {
+    /// The tasks, in any order.
+    pub tasks: Vec<TaskSpec>,
+    /// The dependency edges.
+    pub edges: Vec<EdgeSpec>,
+}
+
+/// One soft constraint entry (`soft.json`).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SoftEntry {
+    /// Constrained task name.
+    pub task: String,
+    /// Required success probability in `(0, 1]`.
+    pub probability: f64,
+}
+
+/// Soft constraints file.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SoftSpec {
+    /// The constrained tasks.
+    pub constraints: Vec<SoftEntry>,
+}
+
+/// One weakly hard constraint entry (`weakly_hard.json`).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WeaklyHardEntry {
+    /// Constrained task name.
+    pub task: String,
+    /// Minimum hits per window.
+    pub m: u32,
+    /// Window length.
+    pub k: u32,
+}
+
+/// Weakly hard constraints file.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WeaklyHardSpec {
+    /// The constrained tasks.
+    pub constraints: Vec<WeaklyHardEntry>,
+}
+
+/// Error turning a spec into model objects.
+#[derive(Debug)]
+pub enum SpecError {
+    /// A name was referenced but never declared as a task.
+    UnknownTask(String),
+    /// A task name appears twice.
+    DuplicateTask(String),
+    /// Application validation failed (cycle, width mismatch, …).
+    App(AppError),
+    /// A constraint entry was invalid.
+    ConstraintMap(ConstraintMapError),
+    /// An `(m, K)` pair was invalid.
+    Constraint(ConstraintError),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::UnknownTask(name) => write!(f, "unknown task {name:?}"),
+            SpecError::DuplicateTask(name) => write!(f, "duplicate task {name:?}"),
+            SpecError::App(e) => write!(f, "{e}"),
+            SpecError::ConstraintMap(e) => write!(f, "{e}"),
+            SpecError::Constraint(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for SpecError {}
+
+impl AppSpec {
+    /// Builds the validated [`Application`] and the name → id map.
+    ///
+    /// # Errors
+    ///
+    /// See [`SpecError`].
+    pub fn build(&self) -> Result<(Application, Vec<(String, TaskId)>), SpecError> {
+        let mut builder = Application::builder();
+        let mut names: Vec<(String, TaskId)> = Vec::with_capacity(self.tasks.len());
+        for t in &self.tasks {
+            if names.iter().any(|(n, _)| n == &t.name) {
+                return Err(SpecError::DuplicateTask(t.name.clone()));
+            }
+            let id = builder.task(&t.name, NodeId(t.node), t.wcet_us);
+            names.push((t.name.clone(), id));
+        }
+        let lookup = |name: &str| {
+            names
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, id)| id)
+                .ok_or_else(|| SpecError::UnknownTask(name.to_owned()))
+        };
+        for e in &self.edges {
+            builder
+                .edge(lookup(&e.from)?, lookup(&e.to)?, e.width)
+                .map_err(SpecError::App)?;
+        }
+        let app = builder.build().map_err(SpecError::App)?;
+        Ok((app, names))
+    }
+}
+
+/// Resolves a task name against the map produced by [`AppSpec::build`].
+///
+/// # Errors
+///
+/// Returns [`SpecError::UnknownTask`] for unresolved names.
+pub fn resolve(names: &[(String, TaskId)], name: &str) -> Result<TaskId, SpecError> {
+    names
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|&(_, id)| id)
+        .ok_or_else(|| SpecError::UnknownTask(name.to_owned()))
+}
+
+impl SoftSpec {
+    /// Builds the constraint map.
+    ///
+    /// # Errors
+    ///
+    /// See [`SpecError`].
+    pub fn build(&self, names: &[(String, TaskId)]) -> Result<SoftConstraints, SpecError> {
+        let mut f = SoftConstraints::new();
+        for entry in &self.constraints {
+            f.set(resolve(names, &entry.task)?, entry.probability)
+                .map_err(SpecError::ConstraintMap)?;
+        }
+        Ok(f)
+    }
+}
+
+impl WeaklyHardSpec {
+    /// Builds the constraint map.
+    ///
+    /// # Errors
+    ///
+    /// See [`SpecError`].
+    pub fn build(&self, names: &[(String, TaskId)]) -> Result<WeaklyHardConstraints, SpecError> {
+        let mut f = WeaklyHardConstraints::new();
+        for entry in &self.constraints {
+            let c = Constraint::any_hit(entry.m, entry.k).map_err(SpecError::Constraint)?;
+            f.set(resolve(names, &entry.task)?, c)
+                .map_err(SpecError::ConstraintMap)?;
+        }
+        Ok(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pipeline_spec() -> AppSpec {
+        AppSpec {
+            tasks: vec![
+                TaskSpec {
+                    name: "sense".into(),
+                    node: 0,
+                    wcet_us: 500,
+                },
+                TaskSpec {
+                    name: "act".into(),
+                    node: 1,
+                    wcet_us: 300,
+                },
+            ],
+            edges: vec![EdgeSpec {
+                from: "sense".into(),
+                to: "act".into(),
+                width: 8,
+            }],
+        }
+    }
+
+    #[test]
+    fn app_spec_roundtrip_and_build() {
+        let spec = pipeline_spec();
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: AppSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+        let (app, names) = spec.build().unwrap();
+        assert_eq!(app.task_count(), 2);
+        assert_eq!(app.message_count(), 1);
+        assert_eq!(resolve(&names, "act").unwrap(), TaskId(1));
+        assert!(matches!(
+            resolve(&names, "nope"),
+            Err(SpecError::UnknownTask(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_and_unknown_tasks_rejected() {
+        let mut spec = pipeline_spec();
+        spec.tasks.push(TaskSpec {
+            name: "sense".into(),
+            node: 2,
+            wcet_us: 1,
+        });
+        assert!(matches!(spec.build(), Err(SpecError::DuplicateTask(_))));
+
+        let mut spec = pipeline_spec();
+        spec.edges[0].to = "ghost".into();
+        assert!(matches!(spec.build(), Err(SpecError::UnknownTask(_))));
+    }
+
+    #[test]
+    fn invalid_app_propagates() {
+        let mut spec = pipeline_spec();
+        spec.edges.push(EdgeSpec {
+            from: "act".into(),
+            to: "sense".into(),
+            width: 8,
+        });
+        assert!(matches!(spec.build(), Err(SpecError::App(AppError::Cycle))));
+    }
+
+    #[test]
+    fn constraint_specs_build() {
+        let (_, names) = pipeline_spec().build().unwrap();
+        let soft = SoftSpec {
+            constraints: vec![SoftEntry {
+                task: "act".into(),
+                probability: 0.9,
+            }],
+        };
+        let f = soft.build(&names).unwrap();
+        assert_eq!(f.get(TaskId(1)), Some(0.9));
+
+        let wh = WeaklyHardSpec {
+            constraints: vec![WeaklyHardEntry {
+                task: "act".into(),
+                m: 10,
+                k: 40,
+            }],
+        };
+        let f = wh.build(&names).unwrap();
+        assert_eq!(f.get(TaskId(1)), Some(Constraint::any_hit(10, 40).unwrap()));
+        // Invalid (m, K).
+        let bad = WeaklyHardSpec {
+            constraints: vec![WeaklyHardEntry {
+                task: "act".into(),
+                m: 9,
+                k: 4,
+            }],
+        };
+        assert!(matches!(bad.build(&names), Err(SpecError::Constraint(_))));
+        // Invalid probability.
+        let bad = SoftSpec {
+            constraints: vec![SoftEntry {
+                task: "act".into(),
+                probability: 1.5,
+            }],
+        };
+        assert!(matches!(
+            bad.build(&names),
+            Err(SpecError::ConstraintMap(_))
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(SpecError::UnknownTask("x".into()).to_string().contains("x"));
+        assert!(SpecError::DuplicateTask("y".into())
+            .to_string()
+            .contains("duplicate"));
+    }
+}

@@ -1,0 +1,214 @@
+//! Classic cartpole (inverted pendulum on a cart) dynamics.
+//!
+//! The standard formulation (Barto, Sutton & Anderson 1983, as popularized
+//! by OpenAI Gym's `CartPole`): a pole hinged on a cart; the controller
+//! applies a horizontal force; the episode ends when the pole tips past
+//! ±12° or the cart leaves ±2.4 m.
+
+use rand::Rng;
+
+/// Full plant state.
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct State {
+    /// Cart position, m.
+    pub x: f64,
+    /// Cart velocity, m/s.
+    pub x_dot: f64,
+    /// Pole angle from vertical, rad.
+    pub theta: f64,
+    /// Pole angular velocity, rad/s.
+    pub theta_dot: f64,
+}
+
+impl State {
+    /// State as a feature vector (controller input).
+    pub fn features(&self) -> [f64; 4] {
+        [self.x, self.x_dot, self.theta, self.theta_dot]
+    }
+}
+
+/// The cartpole plant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CartPole {
+    /// Gravity, m/s².
+    pub gravity: f64,
+    /// Cart mass, kg.
+    pub mass_cart: f64,
+    /// Pole mass, kg.
+    pub mass_pole: f64,
+    /// Half the pole length, m.
+    pub half_length: f64,
+    /// Magnitude bound on the applied force, N.
+    pub force_mag: f64,
+    /// Integration step, s.
+    pub tau: f64,
+    /// Episode fails beyond this |angle|, rad (12°).
+    pub theta_limit: f64,
+    /// Episode fails beyond this |position|, m.
+    pub x_limit: f64,
+    state: State,
+}
+
+impl Default for CartPole {
+    fn default() -> Self {
+        CartPole {
+            gravity: 9.8,
+            mass_cart: 1.0,
+            mass_pole: 0.1,
+            half_length: 0.5,
+            force_mag: 10.0,
+            tau: 0.02,
+            theta_limit: 12.0_f64.to_radians(),
+            x_limit: 2.4,
+            state: State::default(),
+        }
+    }
+}
+
+impl CartPole {
+    /// A plant starting at the origin with the pole upright.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current state.
+    pub fn state(&self) -> State {
+        self.state
+    }
+
+    /// Resets to a uniformly random near-upright state in
+    /// `[-0.05, 0.05]^4` (the Gym convention).
+    pub fn reset<R: Rng + ?Sized>(&mut self, rng: &mut R) -> State {
+        self.state = State {
+            x: rng.gen_range(-0.05..=0.05),
+            x_dot: rng.gen_range(-0.05..=0.05),
+            theta: rng.gen_range(-0.05..=0.05),
+            theta_dot: rng.gen_range(-0.05..=0.05),
+        };
+        self.state
+    }
+
+    /// Resets to an explicit state.
+    pub fn reset_to(&mut self, state: State) {
+        self.state = state;
+    }
+
+    /// Applies `force` (clamped to ±`force_mag`) for one step of `tau`
+    /// seconds using semi-implicit Euler integration. Returns the new
+    /// state.
+    pub fn step(&mut self, force: f64) -> State {
+        let force = force.clamp(-self.force_mag, self.force_mag);
+        let State {
+            x,
+            x_dot,
+            theta,
+            theta_dot,
+        } = self.state;
+        let total_mass = self.mass_cart + self.mass_pole;
+        let pole_mass_length = self.mass_pole * self.half_length;
+        let cos = theta.cos();
+        let sin = theta.sin();
+        let temp = (force + pole_mass_length * theta_dot * theta_dot * sin) / total_mass;
+        let theta_acc = (self.gravity * sin - cos * temp)
+            / (self.half_length * (4.0 / 3.0 - self.mass_pole * cos * cos / total_mass));
+        let x_acc = temp - pole_mass_length * theta_acc * cos / total_mass;
+        self.state = State {
+            x: x + self.tau * x_dot,
+            x_dot: x_dot + self.tau * x_acc,
+            theta: theta + self.tau * theta_dot,
+            theta_dot: theta_dot + self.tau * theta_acc,
+        };
+        self.state
+    }
+
+    /// Whether the pole has fallen or the cart has left the track.
+    pub fn failed(&self) -> bool {
+        self.state.theta.abs() > self.theta_limit || self.state.x.abs() > self.x_limit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn upright_equilibrium_is_preserved_without_force() {
+        let mut cp = CartPole::new();
+        cp.reset_to(State::default());
+        for _ in 0..100 {
+            cp.step(0.0);
+        }
+        let s = cp.state();
+        assert!(s.theta.abs() < 1e-9 && s.x.abs() < 1e-9);
+        assert!(!cp.failed());
+    }
+
+    #[test]
+    fn uncontrolled_pole_falls() {
+        let mut cp = CartPole::new();
+        cp.reset_to(State {
+            theta: 0.05,
+            ..State::default()
+        });
+        let mut steps = 0;
+        while !cp.failed() && steps < 1000 {
+            cp.step(0.0);
+            steps += 1;
+        }
+        assert!(cp.failed(), "pole should fall without control");
+        assert!(steps < 300, "fell after {steps} steps");
+    }
+
+    #[test]
+    fn force_pushes_cart() {
+        let mut cp = CartPole::new();
+        cp.reset_to(State::default());
+        cp.step(10.0);
+        assert!(cp.state().x_dot > 0.0);
+        let mut cp2 = CartPole::new();
+        cp2.reset_to(State::default());
+        cp2.step(-10.0);
+        assert!(cp2.state().x_dot < 0.0);
+    }
+
+    #[test]
+    fn force_is_clamped() {
+        let mut a = CartPole::new();
+        a.reset_to(State::default());
+        a.step(1e9);
+        let mut b = CartPole::new();
+        b.reset_to(State::default());
+        b.step(10.0);
+        assert_eq!(a.state(), b.state());
+    }
+
+    #[test]
+    fn reset_is_near_upright() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut cp = CartPole::new();
+        for _ in 0..20 {
+            let s = cp.reset(&mut rng);
+            for v in s.features() {
+                assert!(v.abs() <= 0.05);
+            }
+            assert!(!cp.failed());
+        }
+    }
+
+    #[test]
+    fn failure_conditions() {
+        let mut cp = CartPole::new();
+        cp.reset_to(State {
+            theta: 0.3,
+            ..State::default()
+        });
+        assert!(cp.failed());
+        cp.reset_to(State {
+            x: 3.0,
+            ..State::default()
+        });
+        assert!(cp.failed());
+    }
+}

@@ -1,0 +1,150 @@
+//! Controllers mapping plant state to a force command.
+
+use crate::cartpole::State;
+
+/// A state-feedback controller `c : X → Y` (force in newtons, clamped by
+/// the plant).
+pub trait Controller {
+    /// The control output for a state observation.
+    fn act(&self, state: &State) -> f64;
+}
+
+/// Linear state feedback `u = −k · x`, the classical baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearController {
+    /// Gains for `[x, x_dot, theta, theta_dot]`.
+    pub gains: [f64; 4],
+}
+
+impl LinearController {
+    /// Creates a controller with explicit gains.
+    pub fn new(gains: [f64; 4]) -> Self {
+        LinearController { gains }
+    }
+
+    /// Hand-tuned gains that balance the default cartpole indefinitely
+    /// (LQR-flavored pole placement).
+    pub fn tuned() -> Self {
+        LinearController {
+            gains: [1.0, 2.0, 25.0, 4.0],
+        }
+    }
+}
+
+impl Controller for LinearController {
+    fn act(&self, state: &State) -> f64 {
+        let f = state.features();
+        self.gains.iter().zip(f).map(|(k, x)| k * x).sum()
+    }
+}
+
+impl<C: Controller + ?Sized> Controller for &C {
+    fn act(&self, state: &State) -> f64 {
+        (**self).act(state)
+    }
+}
+
+/// A stateless PD controller on the pole angle with a cart-recentred term —
+/// the kind of classical design the paper's wireless-control baseline [9]
+/// runs, provided as a second reference point for the fig. 3 sweeps.
+///
+/// `u = kp·θ + kd·θ̇ + kx·x + kv·ẋ`, with gains expressed separately from
+/// [`LinearController`] to emphasize the angle-dominant tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PdController {
+    /// Proportional gain on the pole angle.
+    pub kp: f64,
+    /// Derivative gain on the pole angular velocity.
+    pub kd: f64,
+    /// Recentreing gain on the cart position.
+    pub kx: f64,
+    /// Damping gain on the cart velocity.
+    pub kv: f64,
+}
+
+impl PdController {
+    /// Angle-dominant gains that balance the default cartpole.
+    pub fn tuned() -> Self {
+        PdController {
+            kp: 30.0,
+            kd: 5.0,
+            kx: 0.8,
+            kv: 1.5,
+        }
+    }
+}
+
+impl Controller for PdController {
+    fn act(&self, state: &State) -> f64 {
+        self.kp * state.theta
+            + self.kd * state.theta_dot
+            + self.kx * state.x
+            + self.kv * state.x_dot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cartpole::CartPole;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn tuned_controller_balances_forever() {
+        let ctl = LinearController::tuned();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut cp = CartPole::new();
+        for _ in 0..10 {
+            cp.reset(&mut rng);
+            for _ in 0..2_000 {
+                let u = ctl.act(&cp.state());
+                cp.step(u);
+                assert!(!cp.failed(), "tuned controller dropped the pole");
+            }
+        }
+    }
+
+    #[test]
+    fn controller_reacts_to_tilt() {
+        let ctl = LinearController::tuned();
+        let right_tilt = State {
+            theta: 0.1,
+            ..State::default()
+        };
+        // Positive angle (falling right) needs positive force (push right
+        // to move the cart under the pole).
+        assert!(ctl.act(&right_tilt) > 0.0);
+        let left_tilt = State {
+            theta: -0.1,
+            ..State::default()
+        };
+        assert!(ctl.act(&left_tilt) < 0.0);
+    }
+
+    #[test]
+    fn pd_controller_balances() {
+        let ctl = PdController::tuned();
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let mut cp = CartPole::new();
+        for _ in 0..5 {
+            cp.reset(&mut rng);
+            for _ in 0..1_500 {
+                let u = ctl.act(&cp.state());
+                cp.step(u);
+                assert!(!cp.failed(), "PD controller dropped the pole");
+            }
+        }
+    }
+
+    #[test]
+    fn reference_impl_forwards() {
+        let ctl = LinearController::tuned();
+        let s = State {
+            theta: 0.05,
+            ..State::default()
+        };
+        let by_ref: &dyn Controller = &ctl;
+        assert_eq!(ctl.act(&s), by_ref.act(&s));
+    }
+}

@@ -1,0 +1,144 @@
+//! Weakly hard fault injection and the fig. 3 evaluation.
+//!
+//! Eq. (14) with this crate's hit/miss convention (`1` = hit): on a hit
+//! the plant receives a fresh control output `c(x_t)`; on a miss it holds
+//! the previous output (`y(t) = y(t − 1)`, with `y(0⁻) = 0`). The injected
+//! patterns are the eq. (12) adversarial sequences for a miss statistic
+//! `(m̄, K)`.
+
+use rand::Rng;
+
+use netdag_weakly_hard::{synthesis::random_burst_pattern, Sequence, SynthesisError};
+
+use crate::cartpole::CartPole;
+use crate::controller::Controller;
+
+/// Runs one episode under a hit/miss pattern; returns the number of steps
+/// the pole stayed balanced (capped at the pattern length).
+///
+/// The plant starts from a random near-upright state.
+pub fn balance_steps<C: Controller, R: Rng + ?Sized>(
+    controller: &C,
+    pattern: &Sequence,
+    plant: &mut CartPole,
+    rng: &mut R,
+) -> usize {
+    plant.reset(rng);
+    let mut held_output = 0.0f64;
+    for (step, hit) in pattern.iter().enumerate() {
+        if hit {
+            held_output = controller.act(&plant.state());
+        }
+        plant.step(held_output);
+        if plant.failed() {
+            return step + 1;
+        }
+    }
+    pattern.len()
+}
+
+/// One cell of the fig. 3 grid.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Fig3Point {
+    /// Misses allowed per window.
+    pub misses: u32,
+    /// Window length `K`.
+    pub window: u32,
+    /// Mean balanced steps over the injected patterns.
+    pub mean_steps: f64,
+}
+
+/// Reproduces fig. 3: for each `(m̄, K)` pair, synthesize adversarial
+/// burst patterns per eq. (12) ([`random_burst_pattern`]), inject them via
+/// eq. (14), and average the balance duration.
+///
+/// # Errors
+///
+/// Propagates [`SynthesisError`] for degenerate statistics (e.g. `m = 0`
+/// or `steps` shorter than the witness windows).
+pub fn fig3_sweep<C: Controller, R: Rng + ?Sized>(
+    controller: &C,
+    pairs: &[(u32, u32)],
+    episodes: usize,
+    steps: usize,
+    rng: &mut R,
+) -> Result<Vec<Fig3Point>, SynthesisError> {
+    let mut out = Vec::with_capacity(pairs.len());
+    let mut plant = CartPole::new();
+    for &(m, k) in pairs {
+        let mut total = 0usize;
+        for _ in 0..episodes {
+            let pattern = random_burst_pattern(m, k, steps, rng)?;
+            total += balance_steps(controller, &pattern, &mut plant, rng);
+        }
+        out.push(Fig3Point {
+            misses: m,
+            window: k,
+            mean_steps: total as f64 / episodes as f64,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::LinearController;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn all_hits_is_equivalent_to_no_faults() {
+        let ctl = LinearController::tuned();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut plant = CartPole::new();
+        let steps = balance_steps(&ctl, &Sequence::all_hits(400), &mut plant, &mut rng);
+        assert_eq!(steps, 400);
+    }
+
+    #[test]
+    fn all_misses_drops_the_pole() {
+        let ctl = LinearController::tuned();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut plant = CartPole::new();
+        let steps = balance_steps(&ctl, &Sequence::all_misses(400), &mut plant, &mut rng);
+        assert!(steps < 400, "held zero force must eventually fail");
+    }
+
+    #[test]
+    fn more_misses_hurt_at_fixed_window() {
+        let ctl = LinearController::tuned();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let pairs = [(2u32, 20u32), (12, 20), (16, 20)];
+        let points = fig3_sweep(&ctl, &pairs, 30, 400, &mut rng).unwrap();
+        assert!(
+            points[0].mean_steps >= points[1].mean_steps
+                && points[1].mean_steps >= points[2].mean_steps,
+            "performance should fall with misses: {points:?}"
+        );
+        assert!(points[0].mean_steps > points[2].mean_steps);
+    }
+
+    #[test]
+    fn larger_window_helps_at_fixed_misses() {
+        let ctl = LinearController::tuned();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let pairs = [(14u32, 16u32), (14, 20), (14, 32)];
+        let points = fig3_sweep(&ctl, &pairs, 30, 400, &mut rng).unwrap();
+        assert!(
+            points[2].mean_steps > points[0].mean_steps,
+            "sparser misses should help: {points:?}"
+        );
+        assert!(
+            points[1].mean_steps >= points[0].mean_steps,
+            "monotone in window: {points:?}"
+        );
+    }
+
+    #[test]
+    fn zero_miss_statistic_is_an_error() {
+        let ctl = LinearController::tuned();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        assert!(fig3_sweep(&ctl, &[(0, 10)], 2, 50, &mut rng).is_err());
+    }
+}

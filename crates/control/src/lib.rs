@@ -1,0 +1,44 @@
+//! Cartpole control under weakly hard fault injection (paper § IV-C).
+//!
+//! The paper studies how weakly hard miss behavior degrades a
+//! "state-of-the-art neural network controller" balancing a cartpole: on a
+//! *miss* the plant holds the previous control output (eq. (14)); misses
+//! are injected according to adversarial `(m̄, K)` patterns synthesized by
+//! eq. (12).
+//!
+//! The authors' pre-trained network is not available, so this crate trains
+//! its own: a small MLP policy optimized by the cross-entropy method
+//! ([`train`]), plus a classical linear state-feedback baseline. Fig. 3
+//! measures *relative* degradation, which any competent controller
+//! reproduces (see DESIGN.md §2).
+//!
+//! # Example
+//!
+//! ```
+//! use netdag_control::{cartpole::CartPole, controller::LinearController,
+//!                      eval::balance_steps};
+//! use netdag_weakly_hard::Sequence;
+//! use rand::SeedableRng;
+//!
+//! let ctl = LinearController::tuned();
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+//! // No misses: the tuned controller balances for the full episode.
+//! let hits = Sequence::all_hits(500);
+//! let steps = balance_steps(&ctl, &hits, &mut CartPole::default(), &mut rng);
+//! assert_eq!(steps, 500);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cartpole;
+pub mod controller;
+pub mod eval;
+pub mod mlp;
+pub mod train;
+
+pub use cartpole::{CartPole, State};
+pub use controller::{Controller, LinearController, PdController};
+pub use eval::{balance_steps, fig3_sweep, Fig3Point};
+pub use mlp::Mlp;
+pub use train::{train_cem, CemConfig};

@@ -1,0 +1,605 @@
+//! Applications as task-dependency graphs `G_A = (T, E)`.
+//!
+//! A task is pinned to a physical node by the mapping `ρ` (task placement
+//! is *known* in wireless networked systems — tasks touch sensors and
+//! actuators wired to specific nodes). Dependency edges between tasks on
+//! different nodes require a message flood over the LWB; since Glossy
+//! floods are all-to-all, all edges out of the same producer share one
+//! message (the restricted unique-source set `E*`).
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use netdag_glossy::NodeId;
+
+/// Identifier of a task (`τ ∈ T`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub struct TaskId(pub u32);
+
+impl TaskId {
+    /// Index into per-task arrays.
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Identifier of a unique-source message (`e ∈ E*`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub struct MsgId(pub u32);
+
+impl MsgId {
+    /// Index into per-message arrays.
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for MsgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// A task: name, placement `ρ(τ)`, and WCET `τ.d` in microseconds.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Task {
+    /// Human-readable name.
+    pub name: String,
+    /// Physical node executing the task.
+    pub node: NodeId,
+    /// Worst-case execution time on that node, µs.
+    pub wcet_us: u64,
+}
+
+/// A unique-source message: the flood carrying a producer's output to all
+/// of its remote consumers.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Message {
+    /// Producing task (the flood initiator's task).
+    pub source: TaskId,
+    /// Payload width `e.w` in bytes.
+    pub width: u32,
+    /// Consumer tasks on other nodes.
+    pub consumers: Vec<TaskId>,
+}
+
+/// Error returned by [`ApplicationBuilder::build`] and the edge methods.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AppError {
+    /// An edge referenced a task that was never added.
+    UnknownTask(TaskId),
+    /// A dependency edge would close a cycle.
+    Cycle,
+    /// Two edges out of the same producer declared different widths
+    /// (edges sharing a source carry the same flood).
+    WidthMismatch {
+        /// Producing task.
+        source: TaskId,
+        /// Width seen first.
+        first: u32,
+        /// Conflicting width.
+        second: u32,
+    },
+    /// Two tasks mapped to the same node are not dependency-ordered,
+    /// violating the placement assumption of eq. (1).
+    UnorderedOnSameNode(TaskId, TaskId),
+    /// A message edge declared zero width.
+    ZeroWidth(TaskId),
+    /// An application needs at least one task.
+    Empty,
+    /// A task depends on itself.
+    SelfLoop(TaskId),
+}
+
+impl fmt::Display for AppError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AppError::UnknownTask(t) => write!(f, "unknown task {t}"),
+            AppError::Cycle => write!(f, "dependency edges must form a DAG"),
+            AppError::WidthMismatch {
+                source,
+                first,
+                second,
+            } => write!(
+                f,
+                "edges from {source} carry the same flood but declare widths {first} and {second}"
+            ),
+            AppError::UnorderedOnSameNode(a, b) => write!(
+                f,
+                "tasks {a} and {b} share a node but are not dependency-ordered (eq. (1))"
+            ),
+            AppError::ZeroWidth(t) => write!(f, "message from {t} has zero width"),
+            AppError::Empty => write!(f, "application needs at least one task"),
+            AppError::SelfLoop(t) => write!(f, "task {t} cannot depend on itself"),
+        }
+    }
+}
+
+impl Error for AppError {}
+
+/// A validated application: task DAG, placement, and the unique-source
+/// message set `E*`.
+///
+/// # Example
+///
+/// ```
+/// use netdag_core::app::Application;
+/// use netdag_glossy::NodeId;
+///
+/// let mut b = Application::builder();
+/// let sense = b.task("sense", NodeId(0), 500);
+/// let act = b.task("act", NodeId(1), 300);
+/// b.edge(sense, act, 8)?;
+/// let app = b.build()?;
+/// assert_eq!(app.task_count(), 2);
+/// assert_eq!(app.message_count(), 1); // sense → act crosses nodes
+/// # Ok::<(), netdag_core::app::AppError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Application {
+    tasks: Vec<Task>,
+    /// Direct task dependencies, `successors[t]` sorted.
+    successors: Vec<Vec<TaskId>>,
+    predecessors: Vec<Vec<TaskId>>,
+    messages: Vec<Message>,
+    /// Message produced by each task, if any.
+    msg_of_task: Vec<Option<MsgId>>,
+}
+
+impl Application {
+    /// Starts building an application.
+    pub fn builder() -> ApplicationBuilder {
+        ApplicationBuilder::default()
+    }
+
+    /// Number of tasks `|T|`.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of unique-source messages `|E*|`.
+    pub fn message_count(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// The task record for `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn task(&self, t: TaskId) -> &Task {
+        &self.tasks[t.index()]
+    }
+
+    /// The message record for `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is out of range.
+    pub fn message(&self, m: MsgId) -> &Message {
+        &self.messages[m.index()]
+    }
+
+    /// Iterates over all task ids in insertion order.
+    pub fn tasks(&self) -> impl Iterator<Item = TaskId> + '_ {
+        (0..self.tasks.len() as u32).map(TaskId)
+    }
+
+    /// Iterates over all message ids.
+    pub fn messages(&self) -> impl Iterator<Item = MsgId> + '_ {
+        (0..self.messages.len() as u32).map(MsgId)
+    }
+
+    /// Direct successors of a task in `G_A`.
+    pub fn successors(&self, t: TaskId) -> &[TaskId] {
+        &self.successors[t.index()]
+    }
+
+    /// Direct predecessors of a task in `G_A`.
+    pub fn predecessors(&self, t: TaskId) -> &[TaskId] {
+        &self.predecessors[t.index()]
+    }
+
+    /// The message produced by `t`, when `t` has remote consumers.
+    pub fn message_of(&self, t: TaskId) -> Option<MsgId> {
+        self.msg_of_task[t.index()]
+    }
+
+    /// Looks a task up by name.
+    pub fn task_by_name(&self, name: &str) -> Option<TaskId> {
+        self.tasks
+            .iter()
+            .position(|t| t.name == name)
+            .map(|i| TaskId(i as u32))
+    }
+
+    /// One topological order of the tasks.
+    pub fn topological_tasks(&self) -> Vec<TaskId> {
+        crate::graph::topological_order(self.tasks.len(), |t| {
+            self.successors[t].iter().map(|s| s.index()).collect()
+        })
+        .expect("validated DAG")
+        .into_iter()
+        .map(|i| TaskId(i as u32))
+        .collect()
+    }
+
+    /// Whether `to` is reachable from `from` through dependency edges
+    /// (irreflexive: a task does not reach itself).
+    pub fn reaches(&self, from: TaskId, to: TaskId) -> bool {
+        if from == to {
+            return false;
+        }
+        let mut seen = vec![false; self.tasks.len()];
+        let mut stack = vec![from];
+        while let Some(t) = stack.pop() {
+            for &s in &self.successors[t.index()] {
+                if s == to {
+                    return true;
+                }
+                if !seen[s.index()] {
+                    seen[s.index()] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        false
+    }
+
+    /// The transitive *message predecessors* of a task: every flood that
+    /// must succeed for `τ` to run on fresh data — the paper's `pred(τ)`
+    /// restricted to `E*`.
+    ///
+    /// A message `e` is in `pred(τ)` when `τ` consumes `e`, or when `τ` is
+    /// reachable from one of `e`'s consumers.
+    pub fn message_predecessors(&self, tau: TaskId) -> Vec<MsgId> {
+        let mut out = Vec::new();
+        for m in self.messages() {
+            let msg = &self.messages[m.index()];
+            if msg
+                .consumers
+                .iter()
+                .any(|&c| c == tau || self.reaches(c, tau))
+            {
+                out.push(m);
+            }
+        }
+        out
+    }
+
+    /// Direct message-precedence edges over `E*` (the line-graph order the
+    /// topological partial order `l` must respect): `a ≺ b` when `b`'s
+    /// producer runs only after `a` is delivered.
+    pub fn message_precedence(&self) -> Vec<(MsgId, MsgId)> {
+        let mut out = Vec::new();
+        for a in self.messages() {
+            for b in self.messages() {
+                if a == b {
+                    continue;
+                }
+                let source_b = self.messages[b.index()].source;
+                let a_rec = &self.messages[a.index()];
+                if a_rec
+                    .consumers
+                    .iter()
+                    .any(|&c| c == source_b || self.reaches(c, source_b))
+                {
+                    out.push((a, b));
+                }
+            }
+        }
+        out
+    }
+
+    /// Level of each message in the precedence order (longest path from a
+    /// source), the canonical topological partial order `l`.
+    pub fn message_levels(&self) -> Vec<u32> {
+        let n = self.messages.len();
+        let edges = self.message_precedence();
+        let mut level = vec![0u32; n];
+        // Longest-path levels over a DAG by fixpoint (n is tiny).
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &(a, b) in &edges {
+                if level[b.index()] < level[a.index()] + 1 {
+                    level[b.index()] = level[a.index()] + 1;
+                    changed = true;
+                }
+            }
+        }
+        level
+    }
+}
+
+/// Incremental builder for [`Application`]; see
+/// [`Application::builder`].
+#[derive(Debug, Default)]
+pub struct ApplicationBuilder {
+    tasks: Vec<Task>,
+    edges: Vec<(TaskId, TaskId, u32)>,
+}
+
+impl ApplicationBuilder {
+    /// Adds a task and returns its id.
+    pub fn task(&mut self, name: &str, node: NodeId, wcet_us: u64) -> TaskId {
+        let id = TaskId(self.tasks.len() as u32);
+        self.tasks.push(Task {
+            name: name.to_owned(),
+            node,
+            wcet_us,
+        });
+        id
+    }
+
+    /// Adds a dependency edge `from → to`; `width` is the payload width of
+    /// `from`'s output message in bytes (ignored for same-node edges,
+    /// validated for consistency otherwise).
+    ///
+    /// # Errors
+    ///
+    /// * [`AppError::UnknownTask`] for ids not created by this builder;
+    /// * [`AppError::SelfLoop`] when `from == to`.
+    pub fn edge(&mut self, from: TaskId, to: TaskId, width: u32) -> Result<(), AppError> {
+        for t in [from, to] {
+            if t.index() >= self.tasks.len() {
+                return Err(AppError::UnknownTask(t));
+            }
+        }
+        if from == to {
+            return Err(AppError::SelfLoop(from));
+        }
+        self.edges.push((from, to, width));
+        Ok(())
+    }
+
+    /// Validates and freezes the application.
+    ///
+    /// # Errors
+    ///
+    /// * [`AppError::Empty`] with no tasks;
+    /// * [`AppError::Cycle`] when the edges are not acyclic;
+    /// * [`AppError::WidthMismatch`] when edges from one producer disagree
+    ///   on width;
+    /// * [`AppError::ZeroWidth`] for a zero-width remote message;
+    /// * [`AppError::UnorderedOnSameNode`] when two same-node tasks are
+    ///   dependency-incomparable (eq. (1)).
+    pub fn build(self) -> Result<Application, AppError> {
+        if self.tasks.is_empty() {
+            return Err(AppError::Empty);
+        }
+        let n = self.tasks.len();
+        let mut successors: Vec<Vec<TaskId>> = vec![Vec::new(); n];
+        let mut predecessors: Vec<Vec<TaskId>> = vec![Vec::new(); n];
+        for &(from, to, _) in &self.edges {
+            if !successors[from.index()].contains(&to) {
+                successors[from.index()].push(to);
+                predecessors[to.index()].push(from);
+            }
+        }
+        for list in successors.iter_mut().chain(predecessors.iter_mut()) {
+            list.sort_unstable();
+        }
+        // Acyclicity.
+        if crate::graph::topological_order(n, |t| successors[t].iter().map(|s| s.index()).collect())
+            .is_none()
+        {
+            return Err(AppError::Cycle);
+        }
+        // Messages: one per producer with at least one remote consumer.
+        let mut width_of: BTreeMap<TaskId, u32> = BTreeMap::new();
+        let mut consumers_of: BTreeMap<TaskId, Vec<TaskId>> = BTreeMap::new();
+        for &(from, to, width) in &self.edges {
+            let remote = self.tasks[from.index()].node != self.tasks[to.index()].node;
+            if !remote {
+                continue;
+            }
+            if width == 0 {
+                return Err(AppError::ZeroWidth(from));
+            }
+            match width_of.get(&from) {
+                Some(&w) if w != width => {
+                    return Err(AppError::WidthMismatch {
+                        source: from,
+                        first: w,
+                        second: width,
+                    });
+                }
+                _ => {
+                    width_of.insert(from, width);
+                }
+            }
+            let list = consumers_of.entry(from).or_default();
+            if !list.contains(&to) {
+                list.push(to);
+            }
+        }
+        let mut messages = Vec::new();
+        let mut msg_of_task = vec![None; n];
+        for (source, consumers) in consumers_of {
+            let id = MsgId(messages.len() as u32);
+            msg_of_task[source.index()] = Some(id);
+            messages.push(Message {
+                source,
+                width: width_of[&source],
+                consumers,
+            });
+        }
+        let app = Application {
+            tasks: self.tasks,
+            successors,
+            predecessors,
+            messages,
+            msg_of_task,
+        };
+        // Eq. (1): same-node tasks must be comparable.
+        for a in app.tasks() {
+            for b in app.tasks() {
+                if a < b
+                    && app.task(a).node == app.task(b).node
+                    && !app.reaches(a, b)
+                    && !app.reaches(b, a)
+                {
+                    return Err(AppError::UnorderedOnSameNode(a, b));
+                }
+            }
+        }
+        Ok(app)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Application {
+        // t0 (n0) → t1 (n1), t2 (n2) → t3 (n3); t0 fans out, t3 joins.
+        let mut b = Application::builder();
+        let t0 = b.task("src", NodeId(0), 100);
+        let t1 = b.task("mid1", NodeId(1), 200);
+        let t2 = b.task("mid2", NodeId(2), 300);
+        let t3 = b.task("sink", NodeId(3), 100);
+        b.edge(t0, t1, 8).unwrap();
+        b.edge(t0, t2, 8).unwrap();
+        b.edge(t1, t3, 4).unwrap();
+        b.edge(t2, t3, 4).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn diamond_structure() {
+        let app = diamond();
+        assert_eq!(app.task_count(), 4);
+        // Three producers have remote consumers: t0, t1, t2.
+        assert_eq!(app.message_count(), 3);
+        let m0 = app.message_of(TaskId(0)).unwrap();
+        assert_eq!(app.message(m0).consumers, vec![TaskId(1), TaskId(2)]);
+        assert_eq!(app.message(m0).width, 8);
+        assert!(app.message_of(TaskId(3)).is_none());
+    }
+
+    #[test]
+    fn reachability() {
+        let app = diamond();
+        assert!(app.reaches(TaskId(0), TaskId(3)));
+        assert!(!app.reaches(TaskId(3), TaskId(0)));
+        assert!(!app.reaches(TaskId(1), TaskId(2)));
+        assert!(!app.reaches(TaskId(0), TaskId(0)));
+    }
+
+    #[test]
+    fn message_predecessors_are_transitive() {
+        let app = diamond();
+        let m0 = app.message_of(TaskId(0)).unwrap();
+        let m1 = app.message_of(TaskId(1)).unwrap();
+        let m2 = app.message_of(TaskId(2)).unwrap();
+        // The sink depends on all three floods.
+        assert_eq!(app.message_predecessors(TaskId(3)), vec![m0, m1, m2]);
+        // mid1 depends only on the source's flood.
+        assert_eq!(app.message_predecessors(TaskId(1)), vec![m0]);
+        assert!(app.message_predecessors(TaskId(0)).is_empty());
+    }
+
+    #[test]
+    fn message_precedence_and_levels() {
+        let app = diamond();
+        let m0 = app.message_of(TaskId(0)).unwrap();
+        let m1 = app.message_of(TaskId(1)).unwrap();
+        let m2 = app.message_of(TaskId(2)).unwrap();
+        let prec = app.message_precedence();
+        assert!(prec.contains(&(m0, m1)));
+        assert!(prec.contains(&(m0, m2)));
+        assert!(!prec.contains(&(m1, m2)));
+        let levels = app.message_levels();
+        assert_eq!(levels[m0.index()], 0);
+        assert_eq!(levels[m1.index()], 1);
+        assert_eq!(levels[m2.index()], 1);
+    }
+
+    #[test]
+    fn same_node_edges_make_no_message() {
+        let mut b = Application::builder();
+        let a = b.task("a", NodeId(0), 10);
+        let c = b.task("b", NodeId(0), 10);
+        b.edge(a, c, 8).unwrap();
+        let app = b.build().unwrap();
+        assert_eq!(app.message_count(), 0);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut b = Application::builder();
+        let a = b.task("a", NodeId(0), 10);
+        let c = b.task("b", NodeId(1), 10);
+        b.edge(a, c, 8).unwrap();
+        b.edge(c, a, 8).unwrap();
+        assert_eq!(b.build(), Err(AppError::Cycle));
+    }
+
+    #[test]
+    fn width_mismatch_detected() {
+        let mut b = Application::builder();
+        let a = b.task("a", NodeId(0), 10);
+        let c = b.task("b", NodeId(1), 10);
+        let d = b.task("c", NodeId(2), 10);
+        b.edge(a, c, 8).unwrap();
+        b.edge(a, d, 16).unwrap();
+        assert!(matches!(b.build(), Err(AppError::WidthMismatch { .. })));
+    }
+
+    #[test]
+    fn zero_width_detected() {
+        let mut b = Application::builder();
+        let a = b.task("a", NodeId(0), 10);
+        let c = b.task("b", NodeId(1), 10);
+        b.edge(a, c, 0).unwrap();
+        assert_eq!(b.build(), Err(AppError::ZeroWidth(a)));
+    }
+
+    #[test]
+    fn same_node_unordered_rejected() {
+        let mut b = Application::builder();
+        let _a = b.task("a", NodeId(0), 10);
+        let _c = b.task("b", NodeId(0), 10);
+        assert!(matches!(
+            b.build(),
+            Err(AppError::UnorderedOnSameNode(_, _))
+        ));
+    }
+
+    #[test]
+    fn builder_edge_validation() {
+        let mut b = Application::builder();
+        let a = b.task("a", NodeId(0), 10);
+        assert_eq!(
+            b.edge(a, TaskId(9), 1),
+            Err(AppError::UnknownTask(TaskId(9)))
+        );
+        assert_eq!(b.edge(a, a, 1), Err(AppError::SelfLoop(a)));
+        assert_eq!(ApplicationBuilder::default().build(), Err(AppError::Empty));
+    }
+
+    #[test]
+    fn lookup_and_iteration() {
+        let app = diamond();
+        assert_eq!(app.task_by_name("sink"), Some(TaskId(3)));
+        assert_eq!(app.task_by_name("nope"), None);
+        assert_eq!(app.tasks().count(), 4);
+        assert_eq!(app.messages().count(), 3);
+        let topo = app.topological_tasks();
+        let pos = |t: TaskId| topo.iter().position(|&x| x == t).unwrap();
+        assert!(pos(TaskId(0)) < pos(TaskId(1)));
+        assert!(pos(TaskId(1)) < pos(TaskId(3)));
+    }
+}

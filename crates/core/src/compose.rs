@@ -1,0 +1,236 @@
+//! Composing independent applications onto one shared bus.
+//!
+//! The LWB serializes *all* communication in a deployment, so when several
+//! applications share the network they must be scheduled together. This
+//! module merges applications with disjoint node sets into one scheduling
+//! problem: the combined DAG is the disjoint union, messages from
+//! different applications compete for the same rounds, and the scheduler
+//! minimizes the combined makespan. (Scheduling applications with *shared*
+//! nodes requires an inter-application order on those nodes — the paper's
+//! eq. (1) assumption — and is intentionally rejected.)
+
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+use netdag_glossy::NodeId;
+
+use crate::app::{AppError, Application, TaskId};
+
+/// Error returned by [`compose`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ComposeError {
+    /// Two applications place tasks on the same node; their relative order
+    /// there would be unspecified (eq. (1)).
+    SharedNode(NodeId),
+    /// Composition needs at least one application.
+    Empty,
+    /// Rebuilding the merged application failed (cannot happen for valid
+    /// inputs; surfaced for completeness).
+    Rebuild(AppError),
+}
+
+impl fmt::Display for ComposeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ComposeError::SharedNode(n) => write!(
+                f,
+                "applications share node {n}; co-located tasks across applications have no defined order"
+            ),
+            ComposeError::Empty => write!(f, "composition needs at least one application"),
+            ComposeError::Rebuild(e) => write!(f, "failed to rebuild merged application: {e}"),
+        }
+    }
+}
+
+impl Error for ComposeError {}
+
+/// The merged application plus per-source task translations.
+#[derive(Debug, Clone)]
+pub struct Composition {
+    /// The combined application (disjoint union of the inputs).
+    pub app: Application,
+    /// `task_maps[i][j]` is the merged id of task `j` of input `i`.
+    pub task_maps: Vec<Vec<TaskId>>,
+}
+
+impl Composition {
+    /// Translates a task id of input application `source` into the merged
+    /// application.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` or `task` is out of range.
+    pub fn translate(&self, source: usize, task: TaskId) -> TaskId {
+        self.task_maps[source][task.index()]
+    }
+}
+
+/// Merges applications with pairwise-disjoint node sets into one.
+///
+/// Task names are prefixed with `app<i>/` so they stay unique and
+/// traceable.
+///
+/// # Errors
+///
+/// * [`ComposeError::Empty`] for an empty slice;
+/// * [`ComposeError::SharedNode`] when two applications use the same node.
+///
+/// # Example
+///
+/// ```
+/// use netdag_core::{app::Application, compose::compose};
+/// use netdag_glossy::NodeId;
+///
+/// let mut a = Application::builder();
+/// let s = a.task("s", NodeId(0), 100);
+/// let t = a.task("t", NodeId(1), 100);
+/// a.edge(s, t, 4)?;
+/// let a = a.build()?;
+///
+/// let mut b = Application::builder();
+/// let u = b.task("u", NodeId(2), 100);
+/// let v = b.task("v", NodeId(3), 100);
+/// b.edge(u, v, 4)?;
+/// let b = b.build()?;
+///
+/// let merged = compose(&[&a, &b])?;
+/// assert_eq!(merged.app.task_count(), 4);
+/// assert_eq!(merged.app.message_count(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn compose(apps: &[&Application]) -> Result<Composition, ComposeError> {
+    if apps.is_empty() {
+        return Err(ComposeError::Empty);
+    }
+    // Cross-app node sharing is ambiguous (eq. (1)); nodes may repeat
+    // within one application, so check pairwise set intersections.
+    let node_sets: Vec<BTreeSet<NodeId>> = apps
+        .iter()
+        .map(|app| app.tasks().map(|t| app.task(t).node).collect())
+        .collect();
+    for i in 0..node_sets.len() {
+        for j in (i + 1)..node_sets.len() {
+            if let Some(&shared) = node_sets[i].intersection(&node_sets[j]).next() {
+                return Err(ComposeError::SharedNode(shared));
+            }
+        }
+    }
+
+    let mut builder = Application::builder();
+    let mut task_maps = Vec::with_capacity(apps.len());
+    for (i, app) in apps.iter().enumerate() {
+        let map: Vec<TaskId> = app
+            .tasks()
+            .map(|t| {
+                let task = app.task(t);
+                builder.task(&format!("app{i}/{}", task.name), task.node, task.wcet_us)
+            })
+            .collect();
+        task_maps.push(map);
+    }
+    for (i, app) in apps.iter().enumerate() {
+        for t in app.tasks() {
+            for &s in app.successors(t) {
+                let width = if app.task(t).node == app.task(s).node {
+                    1 // local edge: width is irrelevant, no flood
+                } else {
+                    app.message(app.message_of(t).expect("remote edge has a message"))
+                        .width
+                };
+                builder
+                    .edge(task_maps[i][t.index()], task_maps[i][s.index()], width)
+                    .expect("translated ids are valid");
+            }
+        }
+    }
+    let app = builder.build().map_err(ComposeError::Rebuild)?;
+    Ok(Composition { app, task_maps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SchedulerConfig;
+    use crate::constraints::WeaklyHardConstraints;
+    use crate::stat::Eq13Statistic;
+    use crate::weakly_hard::schedule_weakly_hard;
+    use netdag_weakly_hard::Constraint;
+
+    fn pipeline(base_node: u32) -> Application {
+        let mut b = Application::builder();
+        let s = b.task("s", NodeId(base_node), 400);
+        let c = b.task("c", NodeId(base_node + 1), 900);
+        let a = b.task("a", NodeId(base_node + 2), 300);
+        b.edge(s, c, 8).unwrap();
+        b.edge(c, a, 4).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn compose_merges_disjoint_apps() {
+        let a = pipeline(0);
+        let b = pipeline(10);
+        let merged = compose(&[&a, &b]).unwrap();
+        assert_eq!(merged.app.task_count(), 6);
+        assert_eq!(merged.app.message_count(), 4);
+        // Translations point at the right tasks.
+        let t = merged.translate(1, TaskId(2));
+        assert_eq!(merged.app.task(t).name, "app1/a");
+        assert_eq!(merged.app.task(t).node, NodeId(12));
+        // Independence is preserved: nothing in app0 reaches app1.
+        assert!(!merged.app.reaches(merged.translate(0, TaskId(0)), t));
+    }
+
+    #[test]
+    fn shared_node_rejected() {
+        let a = pipeline(0);
+        let b = pipeline(2); // node 2 overlaps
+        assert_eq!(
+            compose(&[&a, &b]).unwrap_err(),
+            ComposeError::SharedNode(NodeId(2))
+        );
+        assert_eq!(compose(&[]).unwrap_err(), ComposeError::Empty);
+    }
+
+    #[test]
+    fn single_app_composition_is_isomorphic() {
+        let a = pipeline(0);
+        let merged = compose(&[&a]).unwrap();
+        assert_eq!(merged.app.task_count(), a.task_count());
+        assert_eq!(merged.app.message_count(), a.message_count());
+    }
+
+    #[test]
+    fn merged_app_schedules_and_shares_the_bus() {
+        let a = pipeline(0);
+        let b = pipeline(10);
+        let merged = compose(&[&a, &b]).unwrap();
+        let stat = Eq13Statistic::new(8);
+        let mut f = WeaklyHardConstraints::new();
+        f.set(
+            merged.translate(0, TaskId(2)),
+            Constraint::any_hit(10, 40).unwrap(),
+        )
+        .unwrap();
+        f.set(
+            merged.translate(1, TaskId(2)),
+            Constraint::any_hit(5, 40).unwrap(),
+        )
+        .unwrap();
+        let out = schedule_weakly_hard(&merged.app, &stat, &f, &SchedulerConfig::greedy()).unwrap();
+        out.schedule.check_feasible(&merged.app).unwrap();
+        // Both apps' messages share the two level-rounds.
+        assert_eq!(out.schedule.rounds().len(), 2);
+        assert_eq!(out.schedule.rounds()[0].messages.len(), 2);
+        // The combined makespan is at least each app's solo makespan.
+        let solo = schedule_weakly_hard(
+            &a,
+            &stat,
+            &WeaklyHardConstraints::new(),
+            &SchedulerConfig::greedy(),
+        )
+        .unwrap();
+        assert!(out.schedule.makespan(&merged.app) >= solo.schedule.makespan(&a));
+    }
+}

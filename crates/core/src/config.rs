@@ -1,0 +1,229 @@
+//! Scheduler configuration and result types.
+
+use std::error::Error;
+use std::fmt;
+
+use netdag_glossy::GlossyTiming;
+use netdag_solver::{SearchStats, SolverError};
+
+use crate::app::TaskId;
+use crate::constraints::ConstraintMapError;
+use crate::schedule::Schedule;
+use crate::stat::StatError;
+
+/// Which optimization engine computes the schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Branch-and-bound over the full decision space (the stand-in for the
+    /// paper's SMT/MILP encodings). Returns makespan-optimal schedules,
+    /// with an optimality proof unless the node limit is hit.
+    Exact {
+        /// Node budget; `None` = search to completion.
+        node_limit: Option<u64>,
+    },
+    /// Fast greedy heuristic: minimal retransmission counts repaired
+    /// upward, then list scheduling. The baseline the `ablation_solver`
+    /// bench compares against.
+    Greedy,
+}
+
+/// How messages are grouped into communication rounds (the shape of the
+/// topological partial order `l`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoundStructure {
+    /// One round per level of the message-precedence DAG: independent
+    /// messages share a round (and its beacon).
+    #[default]
+    PerLevel,
+    /// One round per message: maximal interleaving of computation and
+    /// communication at the cost of one beacon per message.
+    PerMessage,
+}
+
+/// Scheduler configuration shared by the soft and weakly hard backends.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchedulerConfig {
+    /// Hardware timing constants of eq. (3).
+    pub timing: GlossyTiming,
+    /// `χ(r)` for round beacons (a policy constant: beacons carry the
+    /// round layout and are not covered by task-level constraints).
+    pub beacon_chi: u32,
+    /// Largest admissible `χ(e)` — the `N_TX` domain bound.
+    pub chi_max: u32,
+    /// Optimization engine.
+    pub backend: Backend,
+    /// Round grouping policy.
+    pub round_structure: RoundStructure,
+    /// Whether `pred(τ)` includes the beacons of the rounds that carry the
+    /// task's input messages, as in the paper's definition (a round's data
+    /// is lost if its beacon flood fails). When `false`, only message
+    /// floods count — the common simplification when beacons are
+    /// provisioned separately.
+    pub include_beacons: bool,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            timing: GlossyTiming::telosb(),
+            beacon_chi: 2,
+            chi_max: 8,
+            backend: Backend::Exact {
+                node_limit: Some(200_000),
+            },
+            round_structure: RoundStructure::PerLevel,
+            include_beacons: false,
+        }
+    }
+}
+
+impl SchedulerConfig {
+    /// A configuration using the greedy backend.
+    pub fn greedy() -> Self {
+        SchedulerConfig {
+            backend: Backend::Greedy,
+            ..SchedulerConfig::default()
+        }
+    }
+}
+
+/// A computed schedule plus provenance.
+#[derive(Debug, Clone)]
+pub struct ScheduleOutcome {
+    /// The feasible schedule.
+    pub schedule: Schedule,
+    /// Search statistics (exact backend only).
+    pub stats: Option<SearchStats>,
+    /// Whether the makespan is proven optimal for the configured round
+    /// structure.
+    pub optimal: bool,
+}
+
+/// Error returned by the scheduling entry points.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScheduleError {
+    /// The constraint map is structurally invalid.
+    Constraints(ConstraintMapError),
+    /// The network statistic violates its monotonicity contract.
+    Stat(StatError),
+    /// No assignment of `χ ≤ chi_max` satisfies the reliability
+    /// requirement of this task.
+    InfeasibleReliability(TaskId),
+    /// The exact backend proved the whole problem infeasible.
+    Infeasible,
+    /// A task-level deadline cannot be met by any schedule the backend
+    /// explores (for the greedy backend: by the earliest-start placement).
+    DeadlineViolated(TaskId),
+    /// A deadline is shorter than the task's own WCET.
+    BadDeadline(TaskId),
+    /// Configuration rejected (e.g. `chi_max` or `beacon_chi` zero).
+    BadConfig(String),
+    /// Internal solver error.
+    Solver(SolverError),
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::Constraints(e) => write!(f, "invalid constraints: {e}"),
+            ScheduleError::Stat(e) => write!(f, "invalid network statistic: {e}"),
+            ScheduleError::InfeasibleReliability(t) => write!(
+                f,
+                "no retransmission assignment within chi_max satisfies the requirement on {t}"
+            ),
+            ScheduleError::Infeasible => write!(f, "the scheduling problem is infeasible"),
+            ScheduleError::DeadlineViolated(t) => {
+                write!(f, "task {t} cannot meet its deadline")
+            }
+            ScheduleError::BadDeadline(t) => {
+                write!(f, "deadline of {t} is shorter than its WCET")
+            }
+            ScheduleError::BadConfig(m) => write!(f, "bad configuration: {m}"),
+            ScheduleError::Solver(e) => write!(f, "solver error: {e}"),
+        }
+    }
+}
+
+impl Error for ScheduleError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ScheduleError::Constraints(e) => Some(e),
+            ScheduleError::Stat(e) => Some(e),
+            ScheduleError::Solver(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConstraintMapError> for ScheduleError {
+    fn from(e: ConstraintMapError) -> Self {
+        ScheduleError::Constraints(e)
+    }
+}
+
+impl From<StatError> for ScheduleError {
+    fn from(e: StatError) -> Self {
+        ScheduleError::Stat(e)
+    }
+}
+
+impl From<SolverError> for ScheduleError {
+    fn from(e: SolverError) -> Self {
+        ScheduleError::Solver(e)
+    }
+}
+
+impl SchedulerConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::BadConfig`] when `chi_max` or `beacon_chi`
+    /// is zero, or `beacon_chi > chi_max`.
+    pub fn validate(&self) -> Result<(), ScheduleError> {
+        if self.chi_max == 0 {
+            return Err(ScheduleError::BadConfig("chi_max must be positive".into()));
+        }
+        if self.beacon_chi == 0 {
+            return Err(ScheduleError::BadConfig(
+                "beacon_chi must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        SchedulerConfig::default().validate().unwrap();
+        SchedulerConfig::greedy().validate().unwrap();
+        assert_eq!(SchedulerConfig::greedy().backend, Backend::Greedy);
+    }
+
+    #[test]
+    #[allow(clippy::field_reassign_with_default)]
+    fn bad_configs_rejected() {
+        let mut c = SchedulerConfig::default();
+        c.chi_max = 0;
+        assert!(matches!(c.validate(), Err(ScheduleError::BadConfig(_))));
+        let mut c = SchedulerConfig::default();
+        c.beacon_chi = 0;
+        assert!(matches!(c.validate(), Err(ScheduleError::BadConfig(_))));
+    }
+
+    #[test]
+    fn error_conversions_and_display() {
+        let e: ScheduleError = SolverError::EmptyTable.into();
+        assert!(matches!(e, ScheduleError::Solver(_)));
+        assert!(e.to_string().contains("solver"));
+        assert!(ScheduleError::InfeasibleReliability(TaskId(3))
+            .to_string()
+            .contains("t3"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&ScheduleError::Infeasible).is_none());
+    }
+}

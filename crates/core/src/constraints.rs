@@ -1,0 +1,443 @@
+//! Task-level real-time constraint assignments `F_s` and `F_WH`.
+//!
+//! Both maps inherit structure from the DAG: a downstream task can never be
+//! more reliable than the tasks it depends on, because every message hop
+//! adds an unavoidable chance of loss. The validators enforce the paper's
+//! conditions `τ → µ ⇒ F_s(τ) > F_s(µ)` and `τ → µ ⇒ F_WH(τ) ⪯ F_WH(µ)`
+//! over the constrained pairs.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use netdag_weakly_hard::{order, Constraint};
+
+use crate::app::{AppError, Application, TaskId};
+
+/// Error returned when a constraint map is malformed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConstraintMapError {
+    /// A probability was outside `(0, 1]`.
+    BadProbability {
+        /// The constrained task.
+        task: TaskId,
+        /// The offending value.
+        value: f64,
+    },
+    /// Structural violation: an upstream task was given a weaker soft
+    /// constraint than a downstream one.
+    SoftStructure {
+        /// Upstream task.
+        upstream: TaskId,
+        /// Downstream task.
+        downstream: TaskId,
+    },
+    /// Structural violation: an upstream task's weakly hard constraint
+    /// does not dominate a downstream one's.
+    WeaklyHardStructure {
+        /// Upstream task.
+        upstream: TaskId,
+        /// Downstream task.
+        downstream: TaskId,
+    },
+    /// Weakly hard task constraints must be hit-form `(m, K)` with
+    /// `0 < m ≤ K`.
+    NotHitForm(Constraint),
+    /// The task does not belong to the application.
+    Unknown(AppError),
+}
+
+impl fmt::Display for ConstraintMapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConstraintMapError::BadProbability { task, value } => {
+                write!(f, "F_s({task}) = {value} must lie in (0, 1]")
+            }
+            ConstraintMapError::SoftStructure {
+                upstream,
+                downstream,
+            } => write!(
+                f,
+                "F_s({upstream}) must exceed F_s({downstream}) because {upstream} → {downstream}"
+            ),
+            ConstraintMapError::WeaklyHardStructure {
+                upstream,
+                downstream,
+            } => write!(
+                f,
+                "F_WH({upstream}) must dominate F_WH({downstream}) because {upstream} → {downstream}"
+            ),
+            ConstraintMapError::NotHitForm(c) =>
+
+                write!(f, "task constraints must be hit-form (m, K) with m > 0, got {c}"),
+            ConstraintMapError::Unknown(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for ConstraintMapError {}
+
+/// Soft constraints `F_s : T ⇀ (0, 1]` (partial: unconstrained tasks are
+/// simply absent).
+///
+/// # Example
+///
+/// ```
+/// use netdag_core::{app::Application, constraints::SoftConstraints};
+/// use netdag_glossy::NodeId;
+///
+/// let mut b = Application::builder();
+/// let s = b.task("sense", NodeId(0), 100);
+/// let a = b.task("act", NodeId(1), 100);
+/// b.edge(s, a, 8)?;
+/// let app = b.build()?;
+///
+/// let mut f = SoftConstraints::new();
+/// f.set(a, 0.95)?;
+/// f.validate(&app)?;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SoftConstraints {
+    map: BTreeMap<TaskId, f64>,
+}
+
+impl SoftConstraints {
+    /// Creates an empty (fully unconstrained) map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requires `task` to succeed with probability at least `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConstraintMapError::BadProbability`] for `p ∉ (0, 1]`.
+    pub fn set(&mut self, task: TaskId, p: f64) -> Result<(), ConstraintMapError> {
+        if !(p > 0.0 && p <= 1.0) {
+            return Err(ConstraintMapError::BadProbability { task, value: p });
+        }
+        self.map.insert(task, p);
+        Ok(())
+    }
+
+    /// The requirement on `task`, if any.
+    pub fn get(&self, task: TaskId) -> Option<f64> {
+        self.map.get(&task).copied()
+    }
+
+    /// Iterates over `(task, requirement)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TaskId, f64)> + '_ {
+        self.map.iter().map(|(&t, &p)| (t, p))
+    }
+
+    /// Number of constrained tasks.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no task is constrained.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Checks the structural condition `τ → µ ⇒ F_s(τ) > F_s(µ)` for all
+    /// constrained pairs (messages make downstream reliability strictly
+    /// lower).
+    ///
+    /// # Errors
+    ///
+    /// See [`ConstraintMapError`].
+    pub fn validate(&self, app: &Application) -> Result<(), ConstraintMapError> {
+        for (&up, &fu) in &self.map {
+            for (&down, &fd) in &self.map {
+                if up != down
+                    && app.reaches(up, down)
+                    && !app.message_predecessors(down).is_empty()
+                    && fu <= fd
+                {
+                    return Err(ConstraintMapError::SoftStructure {
+                        upstream: up,
+                        downstream: down,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<(TaskId, f64)> for SoftConstraints {
+    fn from_iter<I: IntoIterator<Item = (TaskId, f64)>>(iter: I) -> Self {
+        SoftConstraints {
+            map: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Weakly hard constraints `F_WH : T ⇀ (m, K)` in hit form.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WeaklyHardConstraints {
+    map: BTreeMap<TaskId, Constraint>,
+}
+
+impl WeaklyHardConstraints {
+    /// Creates an empty (fully unconstrained) map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requires `task` to satisfy the hit-form constraint `c`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConstraintMapError::NotHitForm`] unless `c` is
+    /// `AnyHit(m, K)` with `m > 0`.
+    pub fn set(&mut self, task: TaskId, c: Constraint) -> Result<(), ConstraintMapError> {
+        match c {
+            Constraint::AnyHit { m, .. } if m > 0 => {
+                self.map.insert(task, c);
+                Ok(())
+            }
+            other => Err(ConstraintMapError::NotHitForm(other)),
+        }
+    }
+
+    /// The requirement on `task`, if any.
+    pub fn get(&self, task: TaskId) -> Option<Constraint> {
+        self.map.get(&task).copied()
+    }
+
+    /// Iterates over `(task, constraint)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TaskId, Constraint)> + '_ {
+        self.map.iter().map(|(&t, &c)| (t, c))
+    }
+
+    /// Number of constrained tasks.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no task is constrained.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Checks the structural condition `τ → µ ⇒ F_WH(τ) ⪯ F_WH(µ)` for all
+    /// constrained pairs.
+    ///
+    /// # Errors
+    ///
+    /// See [`ConstraintMapError`].
+    pub fn validate(&self, app: &Application) -> Result<(), ConstraintMapError> {
+        for (&up, cu) in &self.map {
+            for (&down, cd) in &self.map {
+                if up != down && app.reaches(up, down) && !order::dominates(cu, cd).unwrap_or(false)
+                {
+                    return Err(ConstraintMapError::WeaklyHardStructure {
+                        upstream: up,
+                        downstream: down,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<(TaskId, Constraint)> for WeaklyHardConstraints {
+    fn from_iter<I: IntoIterator<Item = (TaskId, Constraint)>>(iter: I) -> Self {
+        WeaklyHardConstraints {
+            map: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Task-level absolute deadlines `ζ(τ) ≤ D(τ)` in µs from application
+/// release: the task must *finish* by its deadline. These are the
+/// "task-level deadline constraints" the § IV-D design exploration
+/// minimizes transmission power against.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Deadlines {
+    map: BTreeMap<TaskId, u64>,
+}
+
+impl Deadlines {
+    /// Creates an empty (unconstrained) map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requires `task` to complete by `deadline_us`.
+    pub fn set(&mut self, task: TaskId, deadline_us: u64) {
+        self.map.insert(task, deadline_us);
+    }
+
+    /// The deadline of `task`, if any.
+    pub fn get(&self, task: TaskId) -> Option<u64> {
+        self.map.get(&task).copied()
+    }
+
+    /// Iterates over `(task, deadline)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TaskId, u64)> + '_ {
+        self.map.iter().map(|(&t, &d)| (t, d))
+    }
+
+    /// Number of constrained tasks.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no task has a deadline.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Checks a schedule against every deadline, returning the first
+    /// violator.
+    pub fn first_violation(
+        &self,
+        app: &Application,
+        schedule: &crate::schedule::Schedule,
+    ) -> Option<(TaskId, u64)> {
+        self.iter().find_map(|(task, deadline)| {
+            let end = schedule.task_end(app, task);
+            (end > deadline).then_some((task, end))
+        })
+    }
+
+    /// Sanity check: a deadline shorter than the task's own WCET can never
+    /// be met.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending task.
+    pub fn validate(&self, app: &Application) -> Result<(), TaskId> {
+        for (task, deadline) in self.iter() {
+            if deadline < app.task(task).wcet_us {
+                return Err(task);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<(TaskId, u64)> for Deadlines {
+    fn from_iter<I: IntoIterator<Item = (TaskId, u64)>>(iter: I) -> Self {
+        Deadlines {
+            map: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netdag_glossy::NodeId;
+
+    fn chain() -> (Application, TaskId, TaskId, TaskId) {
+        let mut b = Application::builder();
+        let a = b.task("a", NodeId(0), 10);
+        let c = b.task("b", NodeId(1), 10);
+        let d = b.task("c", NodeId(2), 10);
+        b.edge(a, c, 8).unwrap();
+        b.edge(c, d, 8).unwrap();
+        (b.build().unwrap(), a, c, d)
+    }
+
+    #[test]
+    fn soft_set_and_get() {
+        let (_, a, _, _) = chain();
+        let mut f = SoftConstraints::new();
+        assert!(f.is_empty());
+        f.set(a, 0.9).unwrap();
+        assert_eq!(f.get(a), Some(0.9));
+        assert_eq!(f.len(), 1);
+        assert!(matches!(
+            f.set(a, 0.0),
+            Err(ConstraintMapError::BadProbability { .. })
+        ));
+        assert!(matches!(
+            f.set(a, 1.2),
+            Err(ConstraintMapError::BadProbability { .. })
+        ));
+    }
+
+    #[test]
+    fn soft_structure_enforced() {
+        let (app, a, _, d) = chain();
+        let mut f = SoftConstraints::new();
+        f.set(a, 0.9).unwrap();
+        f.set(d, 0.95).unwrap(); // downstream stricter: invalid
+        assert!(matches!(
+            f.validate(&app),
+            Err(ConstraintMapError::SoftStructure { .. })
+        ));
+        let ok: SoftConstraints = [(a, 0.99), (d, 0.9)].into_iter().collect();
+        ok.validate(&app).unwrap();
+    }
+
+    #[test]
+    fn soft_structure_ignores_unrelated_tasks() {
+        // Two parallel chains: constraints on different branches are free.
+        let mut b = Application::builder();
+        let a = b.task("a", NodeId(0), 10);
+        let c = b.task("b", NodeId(1), 10);
+        let x = b.task("x", NodeId(2), 10);
+        let y = b.task("y", NodeId(3), 10);
+        b.edge(a, c, 8).unwrap();
+        b.edge(x, y, 8).unwrap();
+        let app = b.build().unwrap();
+        let f: SoftConstraints = [(c, 0.99), (y, 0.5)].into_iter().collect();
+        f.validate(&app).unwrap();
+    }
+
+    #[test]
+    fn weakly_hard_set_rejects_miss_form() {
+        let (_, a, _, _) = chain();
+        let mut f = WeaklyHardConstraints::new();
+        assert!(matches!(
+            f.set(a, Constraint::any_miss(2, 5).unwrap()),
+            Err(ConstraintMapError::NotHitForm(_))
+        ));
+        assert!(matches!(
+            f.set(a, Constraint::any_hit(0, 5).unwrap()),
+            Err(ConstraintMapError::NotHitForm(_))
+        ));
+        f.set(a, Constraint::any_hit(3, 5).unwrap()).unwrap();
+        assert_eq!(f.get(a), Some(Constraint::any_hit(3, 5).unwrap()));
+    }
+
+    #[test]
+    fn weakly_hard_structure_enforced() {
+        let (app, a, _, d) = chain();
+        // Upstream (1, 4) is weaker than downstream (3, 4): invalid.
+        let mut f = WeaklyHardConstraints::new();
+        f.set(a, Constraint::any_hit(1, 4).unwrap()).unwrap();
+        f.set(d, Constraint::any_hit(3, 4).unwrap()).unwrap();
+        assert!(matches!(
+            f.validate(&app),
+            Err(ConstraintMapError::WeaklyHardStructure { .. })
+        ));
+        // Upstream stricter: fine.
+        let ok: WeaklyHardConstraints = [
+            (a, Constraint::any_hit(4, 4).unwrap()),
+            (d, Constraint::any_hit(2, 4).unwrap()),
+        ]
+        .into_iter()
+        .collect();
+        ok.validate(&app).unwrap();
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ConstraintMapError::SoftStructure {
+            upstream: TaskId(0),
+            downstream: TaskId(1),
+        };
+        assert!(e.to_string().contains("t0"));
+        assert!(ConstraintMapError::NotHitForm(Constraint::row_miss(1))
+            .to_string()
+            .contains("hit-form"));
+    }
+}

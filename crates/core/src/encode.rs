@@ -1,0 +1,473 @@
+//! Exact scheduling backend: CSP encoding + branch-and-bound.
+//!
+//! This is the stand-in for the paper's SMT (Z3) and MILP (Gurobi)
+//! encodings. Decision variables are the retransmission parameters `χ(e)`
+//! and the start times `ζ`; round durations follow eq. (3) through table
+//! constraints, reliability requirements become linear constraints over
+//! table-mapped `χ` (logarithms for eq. (6), miss/window sums for
+//! eq. (10)), and the makespan is minimized by branch-and-bound.
+
+use netdag_solver::{Model, SearchConfig, SearchStats, VarId};
+
+use crate::app::{Application, MsgId, TaskId};
+use crate::config::{ScheduleError, SchedulerConfig};
+use crate::constraints::Deadlines;
+use crate::schedule::{Round, Schedule};
+
+/// Fixed-point scale for `ln λ` values in the soft encoding.
+pub(crate) const LOG_SCALE: f64 = 1e6;
+/// Stand-in for `ln 0` (makes a zero-probability flood unusable).
+pub(crate) const LOG_ZERO: i64 = -1_000_000_000_000;
+
+/// One soft reliability requirement (eq. (6)) after preprocessing:
+/// `Σ_{e ∈ msgs} ln λ_s(χ_e) ≥ threshold` (fixed-point scaled). Beacon
+/// floods, whose `χ` is a configuration constant, are folded into the
+/// threshold up front.
+#[derive(Debug, Clone)]
+pub(crate) struct SoftGroup {
+    pub msgs: Vec<MsgId>,
+    pub threshold: i64,
+    pub task: TaskId,
+}
+
+/// One weakly hard requirement (eq. (10)) after preprocessing:
+/// `min(K(χ_e), beacon_window) − Σ m̄(χ_e) ≥ min_hits` and
+/// `min(K(χ_e), beacon_window) ≤ max_window`. Beacon misses are already
+/// added into `min_hits`.
+#[derive(Debug, Clone)]
+pub(crate) struct WhGroup {
+    pub msgs: Vec<MsgId>,
+    pub min_hits: i64,
+    pub max_window: i64,
+    /// Window of the beacon statistic when beacons count as predecessors.
+    pub beacon_window: Option<i64>,
+    pub task: TaskId,
+}
+
+/// Reliability side of the encoding, precomputed as integer tables indexed
+/// by `χ − 1`.
+#[derive(Debug, Clone)]
+pub(crate) enum ReliabilitySpec {
+    /// Eq. (6): `Σ_e ln λ_s(χ_e) ≥ ln F(τ)`, fixed-point scaled. The table
+    /// values are rounded *down* and thresholds *up*, so any solution's
+    /// true product meets the requirement.
+    Soft {
+        /// Per message: scaled `⌊LOG_SCALE · ln λ_s(χ)⌋`.
+        log_tables: Vec<Vec<i64>>,
+        /// Per constrained task.
+        groups: Vec<SoftGroup>,
+    },
+    /// Eq. (10) via the `⊕` abstraction: total misses `M = Σ m̄(χ_e)`,
+    /// window `W = min K(χ_e)`; require `W − M ≥ m` and `W ≤ K`.
+    WeaklyHard {
+        /// Per message: `m̄(χ)`.
+        miss_tables: Vec<Vec<i64>>,
+        /// Per message: `K(χ)`.
+        window_tables: Vec<Vec<i64>>,
+        /// Per constrained task.
+        groups: Vec<WhGroup>,
+    },
+}
+
+impl ReliabilitySpec {
+    /// The groups' message lists (used for symmetry breaking).
+    fn group_memberships(&self, msg_count: usize) -> Vec<Vec<usize>> {
+        let mut member: Vec<Vec<usize>> = vec![Vec::new(); msg_count];
+        let lists: Vec<&Vec<MsgId>> = match self {
+            ReliabilitySpec::Soft { groups, .. } => groups.iter().map(|g| &g.msgs).collect(),
+            ReliabilitySpec::WeaklyHard { groups, .. } => groups.iter().map(|g| &g.msgs).collect(),
+        };
+        for (gi, msgs) in lists.into_iter().enumerate() {
+            for m in msgs {
+                member[m.index()].push(gi);
+            }
+        }
+        member
+    }
+}
+
+/// Solves the full scheduling problem exactly. Returns the schedule, the
+/// search statistics, and whether optimality was proven.
+///
+/// # Errors
+///
+/// [`ScheduleError::Infeasible`] when no feasible assignment exists within
+/// the configured `chi_max`, or solver errors on malformed input.
+pub(crate) fn solve_exact(
+    app: &Application,
+    cfg: &SchedulerConfig,
+    rounds: &[Vec<MsgId>],
+    spec: &ReliabilitySpec,
+    deadlines: &Deadlines,
+) -> Result<(Schedule, SearchStats, bool), ScheduleError> {
+    let mut model = Model::new();
+    let chi_max = cfg.chi_max as i64;
+    let msg_count = app.message_count();
+
+    // Slot duration tables per message.
+    let slot_table: Vec<Vec<i64>> = app
+        .messages()
+        .map(|m| {
+            (1..=cfg.chi_max)
+                .map(|chi| cfg.timing.slot_duration(chi, app.message(m).width) as i64)
+                .collect()
+        })
+        .collect();
+    let beacon_cost = cfg.timing.beacon_duration(cfg.beacon_chi) as i64;
+
+    // Horizon: everything serialized at maximum χ.
+    let total_wcet: i64 = app.tasks().map(|t| app.task(t).wcet_us as i64).sum();
+    let max_round_total: i64 = rounds
+        .iter()
+        .map(|msgs| {
+            beacon_cost
+                + msgs
+                    .iter()
+                    .map(|m| slot_table[m.index()][cfg.chi_max as usize - 1])
+                    .sum::<i64>()
+        })
+        .sum();
+    let horizon = total_wcet + max_round_total + 1;
+
+    // --- Decision variables: χ first (branched first). ---
+    let chi_vars: Vec<VarId> = app
+        .messages()
+        .map(|m| model.new_var(&format!("chi_{m}"), 1, chi_max))
+        .collect::<Result<_, _>>()?;
+
+    // Reliability constraints over χ.
+    match spec {
+        ReliabilitySpec::Soft { log_tables, groups } => {
+            let mut log_vars = Vec::with_capacity(msg_count);
+            for m in app.messages() {
+                let table = &log_tables[m.index()];
+                let (lo, hi) = (
+                    *table.iter().min().expect("non-empty"),
+                    *table.iter().max().expect("non-empty"),
+                );
+                let v = model.new_var(&format!("log_{m}"), lo, hi)?;
+                model.table_fn(chi_vars[m.index()], v, table.clone())?;
+                log_vars.push(v);
+            }
+            for group in groups {
+                let terms: Vec<(i64, VarId)> = group
+                    .msgs
+                    .iter()
+                    .map(|m| (1i64, log_vars[m.index()]))
+                    .collect();
+                model.linear_ge(&terms, group.threshold)?;
+            }
+        }
+        ReliabilitySpec::WeaklyHard {
+            miss_tables,
+            window_tables,
+            groups,
+        } => {
+            let mut miss_vars = Vec::with_capacity(msg_count);
+            let mut window_vars = Vec::with_capacity(msg_count);
+            for m in app.messages() {
+                let mt = &miss_tables[m.index()];
+                let wt = &window_tables[m.index()];
+                let mv = model.new_var(
+                    &format!("miss_{m}"),
+                    *mt.iter().min().expect("non-empty"),
+                    *mt.iter().max().expect("non-empty"),
+                )?;
+                let wv = model.new_var(
+                    &format!("win_{m}"),
+                    *wt.iter().min().expect("non-empty"),
+                    *wt.iter().max().expect("non-empty"),
+                )?;
+                model.table_fn(chi_vars[m.index()], mv, mt.clone())?;
+                model.table_fn(chi_vars[m.index()], wv, wt.clone())?;
+                miss_vars.push(mv);
+                window_vars.push(wv);
+            }
+            for group in groups {
+                let w_group = model.new_var(&format!("W_{}", group.task), 0, i64::MAX / 4)?;
+                let mut group_windows: Vec<VarId> =
+                    group.msgs.iter().map(|m| window_vars[m.index()]).collect();
+                if let Some(bw) = group.beacon_window {
+                    group_windows.push(model.constant(&format!("bw_{}", group.task), bw));
+                }
+                model.min_of(&group_windows, w_group)?;
+                // W ≤ K.
+                model.linear_le(&[(1, w_group)], group.max_window)?;
+                // W − Σ misses ≥ m (beacon misses already in min_hits).
+                let mut terms: Vec<(i64, VarId)> = vec![(1, w_group)];
+                for m in &group.msgs {
+                    terms.push((-1, miss_vars[m.index()]));
+                }
+                model.linear_ge(&terms, group.min_hits)?;
+            }
+        }
+    }
+
+    // Symmetry breaking: messages in the same round with identical width
+    // and identical group membership are interchangeable; order their χ.
+    let membership = spec.group_memberships(msg_count);
+    for round in rounds {
+        for (i, &a) in round.iter().enumerate() {
+            for &b in round.iter().skip(i + 1) {
+                if app.message(a).width == app.message(b).width
+                    && membership[a.index()] == membership[b.index()]
+                {
+                    // χ_a ≤ χ_b.
+                    model.linear_le(&[(1, chi_vars[a.index()]), (-1, chi_vars[b.index()])], 0)?;
+                }
+            }
+        }
+    }
+
+    // Slot and round durations.
+    let mut round_dur_vars = Vec::with_capacity(rounds.len());
+    for (r, msgs) in rounds.iter().enumerate() {
+        let mut terms: Vec<(i64, VarId)> = Vec::new();
+        let mut max_dur = beacon_cost;
+        for &m in msgs {
+            let table = &slot_table[m.index()];
+            let sd = model.new_var(
+                &format!("slot_{m}"),
+                table[0],
+                table[cfg.chi_max as usize - 1],
+            )?;
+            model.table_fn(chi_vars[m.index()], sd, table.clone())?;
+            terms.push((1, sd));
+            max_dur += table[cfg.chi_max as usize - 1];
+        }
+        let dur = model.new_var(&format!("rdur_{r}"), 0, max_dur)?;
+        terms.push((-1, dur));
+        // Σ slots − dur = −beacon.
+        model.linear_eq(&terms, -beacon_cost)?;
+        round_dur_vars.push(dur);
+    }
+
+    // Start variables in topological item order (tasks interleaved with
+    // rounds makes the first DFS dive an earliest-start schedule).
+    let task_start: Vec<VarId> = app
+        .tasks()
+        .map(|t| model.new_var(&format!("S_{t}"), 0, horizon))
+        .collect::<Result<_, _>>()?;
+    let round_start: Vec<VarId> = (0..rounds.len())
+        .map(|r| model.new_var(&format!("SR_{r}"), 0, horizon))
+        .collect::<Result<_, _>>()?;
+
+    // Task-level deadlines: S_t + wcet_t ≤ D_t.
+    for (t, deadline) in deadlines.iter() {
+        let wcet = app.task(t).wcet_us as i64;
+        model.linear_le(&[(1, task_start[t.index()])], deadline as i64 - wcet)?;
+    }
+    // Task precedence: S_s ≥ S_t + wcet_t.
+    for t in app.tasks() {
+        let wcet = app.task(t).wcet_us as i64;
+        for &s in app.successors(t) {
+            model.linear_ge(
+                &[(1, task_start[s.index()]), (-1, task_start[t.index()])],
+                wcet,
+            )?;
+        }
+    }
+    // Rounds sequential: SR_{r+1} ≥ SR_r + dur_r.
+    for r in 1..rounds.len() {
+        model.linear_ge(
+            &[
+                (1, round_start[r]),
+                (-1, round_start[r - 1]),
+                (-1, round_dur_vars[r - 1]),
+            ],
+            0,
+        )?;
+    }
+    // Producer before round, round before consumers.
+    for (r, msgs) in rounds.iter().enumerate() {
+        for &m in msgs {
+            let msg = app.message(m);
+            model.linear_ge(
+                &[(1, round_start[r]), (-1, task_start[msg.source.index()])],
+                app.task(msg.source).wcet_us as i64,
+            )?;
+            for &c in &msg.consumers {
+                model.linear_ge(
+                    &[
+                        (1, task_start[c.index()]),
+                        (-1, round_start[r]),
+                        (-1, round_dur_vars[r]),
+                    ],
+                    0,
+                )?;
+            }
+        }
+    }
+    // Condition (5): no task during any round.
+    let task_dur_vars: Vec<VarId> = app
+        .tasks()
+        .map(|t| model.constant(&format!("d_{t}"), app.task(t).wcet_us as i64))
+        .collect();
+    for t in app.tasks() {
+        if app.task(t).wcet_us == 0 {
+            continue;
+        }
+        for r in 0..rounds.len() {
+            model.no_overlap(
+                task_start[t.index()],
+                task_dur_vars[t.index()],
+                round_start[r],
+                round_dur_vars[r],
+            )?;
+        }
+    }
+
+    // Makespan.
+    let mut end_vars = Vec::new();
+    for t in app.tasks() {
+        let e = model.new_var(&format!("E_{t}"), 0, horizon + 1)?;
+        model.linear_eq(
+            &[(1, e), (-1, task_start[t.index()])],
+            app.task(t).wcet_us as i64,
+        )?;
+        end_vars.push(e);
+    }
+    for r in 0..rounds.len() {
+        let e = model.new_var(&format!("ER_{r}"), 0, horizon + 1)?;
+        model.linear_eq(&[(1, e), (-1, round_start[r]), (-1, round_dur_vars[r])], 0)?;
+        end_vars.push(e);
+    }
+    let makespan = model.new_var("makespan", 0, horizon + 1)?;
+    if end_vars.is_empty() {
+        model.linear_eq(&[(1, makespan)], 0)?;
+    } else {
+        model.max_of(&end_vars, makespan)?;
+    }
+
+    let node_limit = match cfg.backend {
+        crate::config::Backend::Exact { node_limit } => node_limit,
+        crate::config::Backend::Greedy => None,
+    };
+    let outcome = model.minimize_with_stats(
+        makespan,
+        &SearchConfig {
+            node_limit,
+            ..SearchConfig::default()
+        },
+    )?;
+    let Some(best) = outcome.best else {
+        return Err(ScheduleError::Infeasible);
+    };
+
+    // Extract the schedule.
+    let chi: Vec<u32> = chi_vars.iter().map(|&v| best.value(v) as u32).collect();
+    let built_rounds: Vec<Round> = rounds
+        .iter()
+        .enumerate()
+        .map(|(r, msgs)| Round {
+            messages: msgs.clone(),
+            beacon_chi: cfg.beacon_chi,
+            start_us: best.value(round_start[r]) as u64,
+            duration_us: best.value(round_dur_vars[r]) as u64,
+        })
+        .collect();
+    let starts: Vec<u64> = task_start.iter().map(|&v| best.value(v) as u64).collect();
+    let schedule = Schedule::new(built_rounds, chi, starts, cfg.timing);
+    Ok((schedule, outcome.stats, outcome.stats.proven_optimal))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RoundStructure;
+    use crate::rounds::build_rounds;
+    use netdag_glossy::NodeId;
+
+    fn two_task_app() -> Application {
+        let mut b = Application::builder();
+        let s = b.task("s", NodeId(0), 100);
+        let a = b.task("a", NodeId(1), 50);
+        b.edge(s, a, 8).unwrap();
+        b.build().unwrap()
+    }
+
+    fn soft_spec(app: &Application, table: Vec<i64>, threshold: i64) -> ReliabilitySpec {
+        ReliabilitySpec::Soft {
+            log_tables: app.messages().map(|_| table.clone()).collect(),
+            groups: vec![SoftGroup {
+                msgs: app.messages().collect(),
+                threshold,
+                task: TaskId(app.task_count() as u32 - 1),
+            }],
+        }
+    }
+
+    #[test]
+    fn exact_minimizes_chi_when_reliability_is_loose() {
+        let app = two_task_app();
+        let cfg = SchedulerConfig::default();
+        let rounds = build_rounds(&app, RoundStructure::PerLevel);
+        // ln λ table: all zero (perfect floods); threshold 0 ⇒ any χ works.
+        let spec = soft_spec(&app, vec![0; cfg.chi_max as usize], 0);
+        let (schedule, _, optimal) =
+            solve_exact(&app, &cfg, &rounds, &spec, &Deadlines::new()).unwrap();
+        assert!(optimal);
+        schedule.check_feasible(&app).unwrap();
+        // Minimal χ wins: smaller rounds, smaller makespan.
+        assert_eq!(schedule.chi(MsgId(0)), 1);
+    }
+
+    #[test]
+    fn exact_raises_chi_to_meet_reliability() {
+        let app = two_task_app();
+        let cfg = SchedulerConfig::default();
+        let rounds = build_rounds(&app, RoundStructure::PerLevel);
+        // log table improving with χ: needs χ ≥ 4 to reach −2000.
+        let table: Vec<i64> = (1..=cfg.chi_max as i64).map(|chi| -10_000 / chi).collect();
+        let spec = soft_spec(&app, table, -2_500);
+        let (schedule, _, optimal) =
+            solve_exact(&app, &cfg, &rounds, &spec, &Deadlines::new()).unwrap();
+        assert!(optimal);
+        schedule.check_feasible(&app).unwrap();
+        assert_eq!(schedule.chi(MsgId(0)), 4);
+    }
+
+    #[test]
+    fn exact_detects_infeasible_reliability() {
+        let app = two_task_app();
+        let cfg = SchedulerConfig::default();
+        let rounds = build_rounds(&app, RoundStructure::PerLevel);
+        let spec = soft_spec(&app, vec![-100; cfg.chi_max as usize], -50);
+        assert_eq!(
+            solve_exact(&app, &cfg, &rounds, &spec, &Deadlines::new()).unwrap_err(),
+            ScheduleError::Infeasible
+        );
+    }
+
+    #[test]
+    fn exact_weakly_hard_balances_window_and_misses() {
+        let app = two_task_app();
+        let cfg = SchedulerConfig::default();
+        let rounds = build_rounds(&app, RoundStructure::PerLevel);
+        // Eq. (13)-like: misses fall with χ, window grows 20·χ.
+        let miss: Vec<i64> = (1..=cfg.chi_max as i64)
+            .map(|n| ((10.0 * (-0.5 * n as f64).exp()).ceil() as i64) + 1)
+            .collect();
+        let window: Vec<i64> = (1..=cfg.chi_max as i64).map(|n| 20 * n).collect();
+        // Require (m, K) = (10, 40): window ≤ 40 limits χ ≤ 2; W − M ≥ 10.
+        let spec = ReliabilitySpec::WeaklyHard {
+            miss_tables: app.messages().map(|_| miss.clone()).collect(),
+            window_tables: app.messages().map(|_| window.clone()).collect(),
+            groups: vec![WhGroup {
+                msgs: app.messages().collect(),
+                min_hits: 10,
+                max_window: 40,
+                beacon_window: None,
+                task: TaskId(1),
+            }],
+        };
+        let (schedule, _, optimal) =
+            solve_exact(&app, &cfg, &rounds, &spec, &Deadlines::new()).unwrap();
+        assert!(optimal);
+        schedule.check_feasible(&app).unwrap();
+        let chi = schedule.chi(MsgId(0));
+        // χ = 1: W = 20, M = 8, W − M = 12 ≥ 10 and W ≤ 40 — feasible and
+        // cheapest.
+        assert_eq!(chi, 1);
+    }
+}

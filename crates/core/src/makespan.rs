@@ -1,0 +1,247 @@
+//! Greedy list placement of tasks and rounds on the timeline.
+//!
+//! Given a round structure and round durations (i.e. after `χ` has been
+//! chosen), this module computes start times `ζ` that satisfy the
+//! precedence conditions (4) and the computation/communication exclusion
+//! (5): earliest-start scheduling with a repair loop that pushes any task
+//! overlapping a round to the end of that round. The exact backend
+//! (`crate::encode`, private) optimizes over the same space instead.
+
+use crate::app::{Application, MsgId};
+
+/// Start times produced by [`place`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    /// `ζ` per task id, µs.
+    pub task_start: Vec<u64>,
+    /// Start per round index, µs.
+    pub round_start: Vec<u64>,
+    /// Latest completion over all items, µs.
+    pub makespan: u64,
+}
+
+/// Computes earliest feasible start times for every task and round.
+///
+/// `rounds[i]` lists the messages of round `i` (in bus order) and
+/// `round_dur[i]` its duration per eq. (3).
+///
+/// # Panics
+///
+/// Panics if `rounds` and `round_dur` disagree in length, reference
+/// unknown messages, or if the repair loop fails to converge (cannot
+/// happen for valid round structures; the bound is a defensive backstop).
+pub fn place(app: &Application, rounds: &[Vec<MsgId>], round_dur: &[u64]) -> Placement {
+    assert_eq!(rounds.len(), round_dur.len(), "one duration per round");
+    let t_count = app.task_count();
+    let r_count = rounds.len();
+    let n = t_count + r_count;
+    let dur = |item: usize| -> u64 {
+        if item < t_count {
+            app.task(crate::app::TaskId(item as u32)).wcet_us
+        } else {
+            round_dur[item - t_count]
+        }
+    };
+
+    // Precedence edges over items.
+    let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for t in app.tasks() {
+        for &s in app.successors(t) {
+            succ[t.index()].push(s.index());
+        }
+    }
+    for (r, msgs) in rounds.iter().enumerate() {
+        let item = t_count + r;
+        for &m in msgs {
+            let msg = app.message(m);
+            succ[msg.source.index()].push(item);
+            for &c in &msg.consumers {
+                succ[item].push(c.index());
+            }
+        }
+        // Rounds are sequential on the single bus.
+        if r + 1 < r_count {
+            succ[item].push(item + 1);
+        }
+    }
+
+    let order = crate::graph::topological_order(n, |v| succ[v].clone())
+        .expect("application DAG and sequential rounds are acyclic");
+
+    let mut extra_lb = vec![0u64; n];
+    for iteration in 0..10_000 {
+        // Earliest-start pass.
+        let mut start = vec![0u64; n];
+        for &v in &order {
+            start[v] = start[v].max(extra_lb[v]);
+            let end = start[v] + dur(v);
+            for &s in &succ[v] {
+                start[s] = start[s].max(end);
+            }
+        }
+        // Find a computation/communication overlap (condition (5)).
+        let mut conflict: Option<(usize, u64)> = None;
+        for t in 0..t_count {
+            let (ts, te) = (start[t], start[t] + dur(t));
+            if ts == te {
+                continue; // zero-length tasks never conflict
+            }
+            for r in 0..r_count {
+                let item = t_count + r;
+                let (rs, re) = (start[item], start[item] + dur(item));
+                if ts < re && rs < te {
+                    // Push the task to the round's end.
+                    let candidate = (t, re);
+                    if conflict.is_none_or(|(_, at)| re < at) {
+                        conflict = Some(candidate);
+                    }
+                }
+            }
+        }
+        match conflict {
+            None => {
+                let makespan = (0..n).map(|v| start[v] + dur(v)).max().unwrap_or(0);
+                return Placement {
+                    task_start: start[..t_count].to_vec(),
+                    round_start: start[t_count..].to_vec(),
+                    makespan,
+                };
+            }
+            Some((task, push_to)) => {
+                debug_assert!(extra_lb[task] < push_to, "repair must make progress");
+                extra_lb[task] = extra_lb[task].max(push_to);
+            }
+        }
+        let _ = iteration;
+    }
+    panic!("placement repair loop failed to converge");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::TaskId;
+    use crate::config::RoundStructure;
+    use crate::rounds::build_rounds;
+    use crate::schedule::{Round, Schedule};
+    use netdag_glossy::{GlossyTiming, NodeId};
+
+    /// Builds a schedule from a placement and verifies it end-to-end.
+    fn check_app(app: &Application, structure: RoundStructure) -> Schedule {
+        let timing = GlossyTiming::telosb();
+        let rounds = build_rounds(app, structure);
+        let chi = vec![2u32; app.message_count()];
+        let durs: Vec<u64> = rounds
+            .iter()
+            .map(|msgs| {
+                let slots: Vec<(u32, u32)> = msgs
+                    .iter()
+                    .map(|&m| (chi[m.index()], app.message(m).width))
+                    .collect();
+                timing.round_duration(2, &slots)
+            })
+            .collect();
+        let placement = place(app, &rounds, &durs);
+        let schedule = Schedule::new(
+            rounds
+                .iter()
+                .zip(&placement.round_start)
+                .zip(&durs)
+                .map(|((msgs, &start), &dur)| Round {
+                    messages: msgs.clone(),
+                    beacon_chi: 2,
+                    start_us: start,
+                    duration_us: dur,
+                })
+                .collect(),
+            chi,
+            placement.task_start.clone(),
+            timing,
+        );
+        schedule.check_feasible(app).unwrap();
+        assert_eq!(schedule.makespan(app), placement.makespan);
+        schedule
+    }
+
+    fn mimo_ish() -> Application {
+        let mut b = Application::builder();
+        let s1 = b.task("s1", NodeId(0), 400);
+        let s2 = b.task("s2", NodeId(1), 700);
+        let c = b.task("ctl", NodeId(2), 1500);
+        let a1 = b.task("a1", NodeId(3), 300);
+        let a2 = b.task("a2", NodeId(4), 300);
+        b.edge(s1, c, 4).unwrap();
+        b.edge(s2, c, 4).unwrap();
+        b.edge(c, a1, 2).unwrap();
+        b.edge(c, a2, 2).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn per_level_placement_is_feasible() {
+        check_app(&mimo_ish(), RoundStructure::PerLevel);
+    }
+
+    #[test]
+    fn per_message_placement_is_feasible() {
+        check_app(&mimo_ish(), RoundStructure::PerMessage);
+    }
+
+    #[test]
+    fn no_message_app_places_in_parallel() {
+        let mut b = Application::builder();
+        let a = b.task("a", NodeId(0), 100);
+        let c = b.task("b", NodeId(1), 250);
+        let _ = (a, c);
+        let app = b.build().unwrap();
+        let p = place(&app, &[], &[]);
+        // Independent tasks on different nodes run concurrently.
+        assert_eq!(p.task_start, vec![0, 0]);
+        assert_eq!(p.makespan, 250);
+    }
+
+    #[test]
+    fn chain_on_one_node_serializes() {
+        let mut b = Application::builder();
+        let a = b.task("a", NodeId(0), 100);
+        let c = b.task("b", NodeId(0), 50);
+        b.edge(a, c, 1).unwrap();
+        let app = b.build().unwrap();
+        let p = place(&app, &[], &[]);
+        assert_eq!(p.task_start, vec![0, 100]);
+        assert_eq!(p.makespan, 150);
+    }
+
+    #[test]
+    fn unrelated_task_pushed_out_of_round() {
+        // One message between n0 and n1, plus a long free task on n2 that
+        // would overlap the round if placed at 0... it is placed at 0 and
+        // the round comes after the producer, so the free task may overlap;
+        // the repair loop must push it.
+        let mut b = Application::builder();
+        let s = b.task("s", NodeId(0), 10);
+        let a = b.task("a", NodeId(1), 10);
+        let free = b.task("free", NodeId(2), 100_000);
+        b.edge(s, a, 8).unwrap();
+        let app = b.build().unwrap();
+        let rounds = build_rounds(&app, RoundStructure::PerLevel);
+        let durs = vec![5_000u64];
+        let p = place(&app, &rounds, &durs);
+        // The free task must not overlap the round [10, 5010).
+        let fs = p.task_start[free.index()];
+        assert!(fs >= 5_010, "free task start {fs}");
+        let _ = (s, a);
+    }
+
+    #[test]
+    fn makespan_reflects_critical_path() {
+        let app = mimo_ish();
+        let rounds = build_rounds(&app, RoundStructure::PerLevel);
+        let durs = vec![3_000u64, 2_000];
+        let p = place(&app, &rounds, &durs);
+        // Critical path: max(wcet sensors) → round0 → control → round1 → act.
+        let expected = 700 + 3_000 + 1_500 + 2_000 + 300;
+        assert_eq!(p.makespan, expected);
+        assert_eq!(p.task_start[TaskId(2).index()], 700 + 3_000);
+    }
+}

@@ -1,0 +1,155 @@
+//! Round structures: concrete topological partial orders `l` over `E*`.
+
+use crate::app::{Application, MsgId};
+use crate::config::RoundStructure;
+
+/// Groups the application's messages into rounds according to the
+/// configured structure. The result respects the line-graph precedence of
+/// eq. (2): a message never lands in an earlier round than a predecessor.
+///
+/// Empty when the application has no messages.
+///
+/// # Example
+///
+/// ```
+/// use netdag_core::{app::Application, config::RoundStructure, rounds::build_rounds};
+/// use netdag_glossy::NodeId;
+///
+/// let mut b = Application::builder();
+/// let s1 = b.task("s1", NodeId(0), 10);
+/// let s2 = b.task("s2", NodeId(1), 10);
+/// let c = b.task("c", NodeId(2), 10);
+/// b.edge(s1, c, 4)?;
+/// b.edge(s2, c, 4)?;
+/// let app = b.build()?;
+/// // Two independent sensor messages share the single level-0 round.
+/// let rounds = build_rounds(&app, RoundStructure::PerLevel);
+/// assert_eq!(rounds.len(), 1);
+/// assert_eq!(rounds[0].len(), 2);
+/// # Ok::<(), netdag_core::app::AppError>(())
+/// ```
+pub fn build_rounds(app: &Application, structure: RoundStructure) -> Vec<Vec<MsgId>> {
+    let levels = app.message_levels();
+    match structure {
+        RoundStructure::PerLevel => {
+            let max_level = levels.iter().copied().max().map(|m| m as usize);
+            let Some(max_level) = max_level else {
+                return Vec::new();
+            };
+            let mut rounds = vec![Vec::new(); max_level + 1];
+            for m in app.messages() {
+                rounds[levels[m.index()] as usize].push(m);
+            }
+            rounds
+        }
+        RoundStructure::PerMessage => {
+            let mut msgs: Vec<MsgId> = app.messages().collect();
+            // Stable order: by level, ties by id — a valid linear extension.
+            msgs.sort_by_key(|m| (levels[m.index()], m.0));
+            msgs.into_iter().map(|m| vec![m]).collect()
+        }
+    }
+}
+
+/// Checks that a round grouping is a valid topological partial order:
+/// every message appears exactly once and precedence maps to strictly
+/// increasing round indices.
+pub fn is_valid_round_structure(app: &Application, rounds: &[Vec<MsgId>]) -> bool {
+    let mut seen = vec![false; app.message_count()];
+    for round in rounds {
+        for m in round {
+            if m.index() >= seen.len() || seen[m.index()] {
+                return false;
+            }
+            seen[m.index()] = true;
+        }
+    }
+    if !seen.iter().all(|&s| s) {
+        return false;
+    }
+    let idx_of = |m: MsgId| {
+        rounds
+            .iter()
+            .position(|r| r.contains(&m))
+            .expect("coverage checked")
+    };
+    app.message_precedence()
+        .into_iter()
+        .all(|(a, b)| idx_of(a) < idx_of(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::TaskId;
+    use netdag_glossy::NodeId;
+
+    /// Fan-in then fan-out: s1, s2 → c → a1, a2 (all on distinct nodes).
+    fn app() -> Application {
+        let mut b = Application::builder();
+        let s1 = b.task("s1", NodeId(0), 10);
+        let s2 = b.task("s2", NodeId(1), 10);
+        let c = b.task("c", NodeId(2), 20);
+        let a1 = b.task("a1", NodeId(3), 5);
+        let a2 = b.task("a2", NodeId(4), 5);
+        b.edge(s1, c, 4).unwrap();
+        b.edge(s2, c, 4).unwrap();
+        b.edge(c, a1, 2).unwrap();
+        b.edge(c, a2, 2).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn per_level_groups_independent_messages() {
+        let app = app();
+        let rounds = build_rounds(&app, RoundStructure::PerLevel);
+        // Level 0: both sensor messages; level 1: the control message.
+        assert_eq!(rounds.len(), 2);
+        assert_eq!(rounds[0].len(), 2);
+        assert_eq!(rounds[1].len(), 1);
+        assert!(is_valid_round_structure(&app, &rounds));
+    }
+
+    #[test]
+    fn per_message_is_one_each() {
+        let app = app();
+        let rounds = build_rounds(&app, RoundStructure::PerMessage);
+        assert_eq!(rounds.len(), 3);
+        assert!(rounds.iter().all(|r| r.len() == 1));
+        assert!(is_valid_round_structure(&app, &rounds));
+    }
+
+    #[test]
+    fn no_messages_no_rounds() {
+        let mut b = Application::builder();
+        let a = b.task("a", NodeId(0), 10);
+        let c = b.task("b", NodeId(0), 10);
+        b.edge(a, c, 1).unwrap(); // same node: local edge
+        let app = b.build().unwrap();
+        assert!(build_rounds(&app, RoundStructure::PerLevel).is_empty());
+        assert!(build_rounds(&app, RoundStructure::PerMessage).is_empty());
+        assert!(is_valid_round_structure(&app, &[]));
+    }
+
+    #[test]
+    fn validator_rejects_bad_structures() {
+        let app = app();
+        let m: Vec<MsgId> = app.messages().collect();
+        // Missing message.
+        assert!(!is_valid_round_structure(&app, &[vec![m[0]]]));
+        // Duplicate.
+        assert!(!is_valid_round_structure(
+            &app,
+            &[vec![m[0], m[0], m[1], m[2]]]
+        ));
+        // Precedence inverted: control message (from task c) before inputs.
+        let ctrl = app.message_of(TaskId(2)).unwrap();
+        let sensors: Vec<MsgId> = m.iter().copied().filter(|&x| x != ctrl).collect();
+        assert!(!is_valid_round_structure(
+            &app,
+            &[vec![ctrl], sensors.clone()]
+        ));
+        // All in one round also breaks precedence.
+        assert!(!is_valid_round_structure(&app, std::slice::from_ref(&m)));
+    }
+}

@@ -1,0 +1,96 @@
+//! Property tests for the scheduler's structural invariants.
+
+use netdag_core::config::{RoundStructure, ScheduleError, SchedulerConfig};
+use netdag_core::constraints::WeaklyHardConstraints;
+use netdag_core::generators::{mimo_app, random_layered_app};
+use netdag_core::rounds::{build_rounds, is_valid_round_structure};
+use netdag_core::stat::Eq13Statistic;
+use netdag_core::weakly_hard::schedule_weakly_hard;
+use netdag_weakly_hard::Constraint;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Both round structures are valid topological partial orders for any
+    /// generated application.
+    #[test]
+    fn round_structures_are_valid(seed in any::<u64>(), layers in 1usize..4) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let sizes: Vec<usize> = (0..layers + 1).map(|_| 2).collect();
+        let app = random_layered_app(&mut rng, &sizes, 100..=1_000, 1..=16);
+        for structure in [RoundStructure::PerLevel, RoundStructure::PerMessage] {
+            let rounds = build_rounds(&app, structure);
+            prop_assert!(is_valid_round_structure(&app, &rounds), "{structure:?}");
+        }
+    }
+
+    /// The MIMO generator always yields a schedulable application under
+    /// loose constraints, for any seed.
+    #[test]
+    fn mimo_is_always_schedulable(seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let (app, actuators) = mimo_app(&mut rng);
+        let stat = Eq13Statistic::new(8);
+        let mut f = WeaklyHardConstraints::new();
+        for &a in &actuators {
+            f.set(a, Constraint::any_hit(3, 60).expect("valid")).expect("hit form");
+        }
+        let out = schedule_weakly_hard(&app, &stat, &f, &SchedulerConfig::greedy())
+            .expect("loose constraints are feasible");
+        out.schedule.check_feasible(&app).expect("feasible");
+    }
+
+    /// Makespan is bounded below by the weighted critical path (tasks
+    /// alone) and above by full serialization.
+    #[test]
+    fn makespan_bounds(seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let app = random_layered_app(&mut rng, &[2, 2], 100..=2_000, 1..=16);
+        let stat = Eq13Statistic::new(8);
+        let out = schedule_weakly_hard(
+            &app,
+            &stat,
+            &WeaklyHardConstraints::new(),
+            &SchedulerConfig::greedy(),
+        ).expect("unconstrained is feasible");
+        let makespan = out.schedule.makespan(&app);
+        let total_wcet: u64 = app.tasks().map(|t| app.task(t).wcet_us).sum();
+        let bus: u64 = out.schedule.total_communication_us();
+        prop_assert!(makespan <= total_wcet + bus, "{makespan} > {total_wcet} + {bus}");
+        let longest_task = app.tasks().map(|t| app.task(t).wcet_us).max().expect("non-empty");
+        prop_assert!(makespan >= longest_task.max(bus));
+    }
+
+    /// Tightening one task's constraint never reduces the makespan
+    /// (greedy backend, which is deterministic).
+    #[test]
+    fn monotone_in_constraint_strictness(seed in any::<u64>(), m1 in 3u32..10, dm in 1u32..10) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let (app, actuators) = mimo_app(&mut rng);
+        let stat = Eq13Statistic::new(8);
+        let cfg = SchedulerConfig::greedy();
+        let run = |m: u32| {
+            let mut f = WeaklyHardConstraints::new();
+            f.set(actuators[0], Constraint::any_hit(m, 60).expect("valid")).expect("hit");
+            match schedule_weakly_hard(&app, &stat, &f, &cfg) {
+                Ok(out) => Ok(Some(out.schedule.makespan(&app))),
+                Err(ScheduleError::InfeasibleReliability(_) | ScheduleError::Infeasible) => Ok(None),
+                Err(e) => Err(e),
+            }
+        };
+        let loose = run(m1).expect("no internal error");
+        let tight = run((m1 + dm).min(60)).expect("no internal error");
+        match (loose, tight) {
+            (Some(a), Some(b)) => prop_assert!(b >= a, "tight {b} < loose {a}"),
+            // Tight infeasible while loose feasible is fine; the converse
+            // would violate monotonicity.
+            (None, Some(_)) => {
+                return Err(TestCaseError::fail("loose infeasible but tight feasible"));
+            }
+            _ => {}
+        }
+    }
+}

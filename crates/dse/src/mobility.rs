@@ -1,0 +1,134 @@
+//! Random-waypoint mobility in the unit square.
+
+use rand::Rng;
+
+/// Nodes moving in `[0, 1]²`: each node picks a waypoint uniformly at
+/// random, moves toward it at a fixed speed, then picks the next.
+///
+/// # Example
+///
+/// ```
+/// use netdag_dse::RandomWaypoint;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let mut mob = RandomWaypoint::new(5, 0.1, &mut rng);
+/// for _ in 0..100 {
+///     mob.step(&mut rng);
+///     for &(x, y) in mob.positions() {
+///         assert!((0.0..=1.0).contains(&x) && (0.0..=1.0).contains(&y));
+///     }
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandomWaypoint {
+    positions: Vec<(f64, f64)>,
+    targets: Vec<(f64, f64)>,
+    /// Distance moved per step.
+    speed: f64,
+}
+
+impl RandomWaypoint {
+    /// Places `n` nodes uniformly at random; `speed` is the distance
+    /// covered per [`RandomWaypoint::step`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `speed <= 0`.
+    pub fn new<R: Rng + ?Sized>(n: usize, speed: f64, rng: &mut R) -> Self {
+        assert!(n > 0, "need at least one node");
+        assert!(speed > 0.0, "speed must be positive");
+        let positions: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect();
+        let targets = positions
+            .iter()
+            .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect();
+        RandomWaypoint {
+            positions,
+            targets,
+            speed,
+        }
+    }
+
+    /// Number of mobile nodes.
+    pub fn node_count(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Current positions.
+    pub fn positions(&self) -> &[(f64, f64)] {
+        &self.positions
+    }
+
+    /// Advances every node one step toward its waypoint, drawing a new
+    /// waypoint on arrival.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in 0..self.positions.len() {
+            let (px, py) = self.positions[i];
+            let (tx, ty) = self.targets[i];
+            let (dx, dy) = (tx - px, ty - py);
+            let dist = (dx * dx + dy * dy).sqrt();
+            if dist <= self.speed {
+                self.positions[i] = (tx, ty);
+                self.targets[i] = (rng.gen::<f64>(), rng.gen::<f64>());
+            } else {
+                self.positions[i] = (px + dx / dist * self.speed, py + dy / dist * self.speed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn nodes_stay_in_unit_square_and_move() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut mob = RandomWaypoint::new(6, 0.07, &mut rng);
+        let start = mob.positions().to_vec();
+        let mut moved = false;
+        for _ in 0..200 {
+            mob.step(&mut rng);
+            for &(x, y) in mob.positions() {
+                assert!((0.0..=1.0).contains(&x));
+                assert!((0.0..=1.0).contains(&y));
+            }
+            moved |= mob.positions() != start.as_slice();
+        }
+        assert!(moved);
+        assert_eq!(mob.node_count(), 6);
+    }
+
+    #[test]
+    fn step_distance_is_bounded_by_speed() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut mob = RandomWaypoint::new(4, 0.05, &mut rng);
+        for _ in 0..50 {
+            let before = mob.positions().to_vec();
+            mob.step(&mut rng);
+            for (b, a) in before.iter().zip(mob.positions()) {
+                let d = ((b.0 - a.0).powi(2) + (b.1 - a.1).powi(2)).sqrt();
+                assert!(d <= 0.05 + 1e-12, "moved {d}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_nodes_panics() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        RandomWaypoint::new(0, 0.1, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "speed")]
+    fn zero_speed_panics() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        RandomWaypoint::new(3, 0.0, &mut rng);
+    }
+}

@@ -1,0 +1,135 @@
+//! TX-power profiling: `fSS̄_i` and `D(N)_i` versus `Q_i` (fig. 4, left).
+
+use rand::Rng;
+
+use netdag_glossy::link::SignalLoss;
+use netdag_glossy::topology::{NodeId, Topology};
+
+use crate::mobility::RandomWaypoint;
+
+/// Profiling result for one TX power setting `Q_i`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PowerProfile {
+    /// The TX power `Q_i ∈ (0, 1]`.
+    pub tx_power: f64,
+    /// Worst-case (over mobility snapshots) mean filtered signal strength
+    /// `fSS̄_i` over in-range node pairs.
+    pub mean_fss: f64,
+    /// Worst-case network diameter `D(N)_i`; `None` when some snapshot
+    /// was disconnected (the power level is unusable).
+    pub diameter: Option<u32>,
+}
+
+/// Profiles one power setting over `snapshots` mobility steps: at each
+/// snapshot, compute the mean filtered signal strength over in-range
+/// pairs and the diameter of the induced topology; keep the worst case
+/// of both.
+///
+/// # Panics
+///
+/// Panics if `snapshots == 0` or `tx_power ∉ (0, 1]`.
+pub fn profile_power<R: Rng + ?Sized>(
+    mobility: &mut RandomWaypoint,
+    tx_power: f64,
+    snapshots: usize,
+    rng: &mut R,
+) -> PowerProfile {
+    assert!(snapshots > 0, "need at least one snapshot");
+    let mut worst_fss = f64::INFINITY;
+    let mut worst_diameter: Option<u32> = Some(0);
+    for _ in 0..snapshots {
+        mobility.step(rng);
+        let positions = mobility.positions().to_vec();
+        let signal =
+            SignalLoss::new(positions.clone(), tx_power).expect("tx_power validated by caller");
+        // Mean filtered signal strength over in-range pairs.
+        let n = positions.len();
+        let mut sum = 0.0;
+        let mut pairs = 0usize;
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let (a, b) = (NodeId(i as u32), NodeId(j as u32));
+                if signal.in_range(a, b) {
+                    sum += signal.signal_strength(a, b);
+                    pairs += 1;
+                    edges.push((a, b));
+                }
+            }
+        }
+        let fss = if pairs == 0 { 0.0 } else { sum / pairs as f64 };
+        worst_fss = worst_fss.min(fss);
+        // Diameter of the induced topology (None once disconnected).
+        match Topology::from_edges(n, &edges) {
+            Ok(topo) => {
+                worst_diameter = worst_diameter.map(|d| d.max(topo.diameter()));
+            }
+            Err(_) => worst_diameter = None,
+        }
+    }
+    PowerProfile {
+        tx_power,
+        mean_fss: if worst_fss.is_finite() {
+            worst_fss
+        } else {
+            0.0
+        },
+        diameter: worst_diameter,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn higher_power_gives_stronger_signal_and_smaller_diameter() {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        // Use a fresh but identically-seeded walk per power level so the
+        // comparison is apples-to-apples.
+        let profile_at = |q: f64| {
+            let mut rng = ChaCha8Rng::seed_from_u64(99);
+            let mut mob = RandomWaypoint::new(10, 0.03, &mut rng);
+            profile_power(&mut mob, q, 30, &mut rng)
+        };
+        let low = profile_at(0.3);
+        let high = profile_at(1.0);
+        let _ = &mut rng;
+        assert!(high.mean_fss >= low.mean_fss, "{high:?} vs {low:?}");
+        match (high.diameter, low.diameter) {
+            (Some(h), Some(l)) => assert!(h <= l, "high power diameter {h} > low {l}"),
+            (Some(_), None) => {} // low power disconnected: consistent
+            (None, Some(_)) => panic!("high power disconnected but low connected"),
+            (None, None) => {}
+        }
+    }
+
+    #[test]
+    fn tiny_power_disconnects() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut mob = RandomWaypoint::new(12, 0.03, &mut rng);
+        let p = profile_power(&mut mob, 0.01, 10, &mut rng);
+        assert_eq!(p.diameter, None);
+    }
+
+    #[test]
+    fn full_power_on_few_nodes_is_connected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let mut mob = RandomWaypoint::new(5, 0.03, &mut rng);
+        let p = profile_power(&mut mob, 1.0, 20, &mut rng);
+        // Q = 1 keeps pairs within distance √2 mostly in range (cutoff at
+        // r² = 2): the whole unit square is one hop except far corners.
+        assert!(p.diameter.is_some());
+        assert!(p.mean_fss > 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot")]
+    fn zero_snapshots_panics() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut mob = RandomWaypoint::new(3, 0.1, &mut rng);
+        profile_power(&mut mob, 0.5, 0, &mut rng);
+    }
+}

@@ -1,0 +1,194 @@
+//! Flood and round duration estimates — the paper's eq. (3).
+//!
+//! The LWB is time-triggered, so the scheduler must budget wall-clock time
+//! for each (event-triggered) Glossy flood up front. Eq. (3) estimates the
+//! duration of a communication round `r` as
+//!
+//! ```text
+//! r.d = δ_r · (a + (2·χ(r) + b)(c + d·γ))            — the beacon flood
+//!     + Σ_{e : l(e) = r}  a + (2·χ(e) + b)(c + d·e.w) — one slot per message
+//! ```
+//!
+//! where `a` is the radio wake-up overhead, `b` a relay-count margin
+//! derived from the network diameter bound, `c` the per-transmission
+//! overhead (header, software gap), `d` the per-byte airtime, `γ` the
+//! beacon width, `χ` the `N_TX` parameter of each flood and `w` the message
+//! width. All times are integer microseconds so they can be used directly
+//! as CSP durations.
+
+use std::fmt;
+
+/// Hardware timing constants `a, b, c, d` (and the beacon width `γ`) of
+/// eq. (3).
+///
+/// The defaults are calibrated to the orders of magnitude published for
+/// TelosB-class hardware (CC2420, 250 kbit/s: 32 µs per byte on air) in the
+/// Glossy and LWB papers.
+///
+/// # Example
+///
+/// ```
+/// use netdag_glossy::GlossyTiming;
+///
+/// let t = GlossyTiming::telosb();
+/// // More retransmissions cost more airtime.
+/// assert!(t.slot_duration(3, 16) > t.slot_duration(1, 16));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct GlossyTiming {
+    /// `a` — radio wake-up/guard overhead per flood, µs.
+    pub wakeup_us: u64,
+    /// `b` — additive relay margin from the network-diameter bound
+    /// (dimensionless slot count added to `2·χ`).
+    pub relay_margin: u64,
+    /// `c` — per-transmission overhead (header + software gap), µs.
+    pub per_tx_overhead_us: u64,
+    /// `d` — airtime per payload byte, µs.
+    pub per_byte_us: u64,
+    /// `γ` — beacon payload width, bytes.
+    pub beacon_width: u64,
+}
+
+impl GlossyTiming {
+    /// Constants for TelosB-class hardware.
+    pub fn telosb() -> Self {
+        GlossyTiming {
+            wakeup_us: 400,
+            relay_margin: 4,
+            per_tx_overhead_us: 192,
+            per_byte_us: 32,
+            beacon_width: 8,
+        }
+    }
+
+    /// Constants with the relay margin recomputed for a bound `diameter`
+    /// on the network diameter `D(N)` — the paper's tie between the relay
+    /// counter bound and the topology.
+    pub fn with_diameter(self, diameter: u32) -> Self {
+        GlossyTiming {
+            relay_margin: diameter as u64 + 2,
+            ..self
+        }
+    }
+
+    /// Duration of one flood slot: `a + (2·χ + b)(c + d·w)` µs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chi == 0` (a flood needs at least one transmission).
+    pub fn slot_duration(&self, chi: u32, width_bytes: u32) -> u64 {
+        assert!(chi > 0, "N_TX must be at least 1");
+        self.wakeup_us
+            + (2 * chi as u64 + self.relay_margin)
+                * (self.per_tx_overhead_us + self.per_byte_us * width_bytes as u64)
+    }
+
+    /// Duration of the round beacon flood with retransmission parameter
+    /// `chi`: a slot of width `γ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chi == 0`.
+    pub fn beacon_duration(&self, chi: u32) -> u64 {
+        self.slot_duration(chi, self.beacon_width as u32)
+    }
+
+    /// Full round duration per eq. (3): beacon plus one slot per message.
+    /// `slots` holds `(χ(e), e.w)` pairs; an empty round costs nothing
+    /// (`δ_r = 0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `χ` is zero.
+    pub fn round_duration(&self, beacon_chi: u32, slots: &[(u32, u32)]) -> u64 {
+        if slots.is_empty() {
+            return 0;
+        }
+        self.beacon_duration(beacon_chi)
+            + slots
+                .iter()
+                .map(|&(chi, w)| self.slot_duration(chi, w))
+                .sum::<u64>()
+    }
+}
+
+impl Default for GlossyTiming {
+    fn default() -> Self {
+        Self::telosb()
+    }
+}
+
+impl fmt::Display for GlossyTiming {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "a={}µs b={} c={}µs d={}µs/B γ={}B",
+            self.wakeup_us,
+            self.relay_margin,
+            self.per_tx_overhead_us,
+            self.per_byte_us,
+            self.beacon_width
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_duration_formula() {
+        let t = GlossyTiming {
+            wakeup_us: 100,
+            relay_margin: 2,
+            per_tx_overhead_us: 10,
+            per_byte_us: 4,
+            beacon_width: 8,
+        };
+        // a + (2·3 + 2)(10 + 4·5) = 100 + 8·30 = 340.
+        assert_eq!(t.slot_duration(3, 5), 340);
+    }
+
+    #[test]
+    fn monotone_in_chi_and_width() {
+        let t = GlossyTiming::telosb();
+        for chi in 1..6 {
+            assert!(t.slot_duration(chi + 1, 16) > t.slot_duration(chi, 16));
+            assert!(t.slot_duration(chi, 17) > t.slot_duration(chi, 16));
+        }
+    }
+
+    #[test]
+    fn empty_round_costs_nothing() {
+        let t = GlossyTiming::telosb();
+        assert_eq!(t.round_duration(3, &[]), 0);
+    }
+
+    #[test]
+    fn round_is_beacon_plus_slots() {
+        let t = GlossyTiming::telosb();
+        let slots = [(2u32, 16u32), (3, 4)];
+        let expect = t.beacon_duration(1) + t.slot_duration(2, 16) + t.slot_duration(3, 4);
+        assert_eq!(t.round_duration(1, &slots), expect);
+    }
+
+    #[test]
+    fn with_diameter_raises_margin() {
+        let t = GlossyTiming::telosb().with_diameter(6);
+        assert_eq!(t.relay_margin, 8);
+        assert!(t.slot_duration(1, 8) > GlossyTiming::telosb().slot_duration(1, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "N_TX")]
+    fn zero_chi_panics() {
+        GlossyTiming::telosb().slot_duration(0, 8);
+    }
+
+    #[test]
+    fn display_mentions_all_constants() {
+        let s = GlossyTiming::telosb().to_string();
+        assert!(s.contains("a=400"));
+        assert!(s.contains("γ=8B"));
+    }
+}

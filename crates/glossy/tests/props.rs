@@ -1,0 +1,121 @@
+//! Property tests for topologies, floods and timing.
+
+use netdag_glossy::flood::{simulate_flood, FloodParams};
+use netdag_glossy::link::{Bernoulli, Perfect};
+use netdag_glossy::topology::{NodeId, Topology};
+use netdag_glossy::GlossyTiming;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn any_topology() -> impl Strategy<Value = Topology> {
+    prop_oneof![
+        (1usize..12).prop_map(|n| Topology::line(n).expect("valid")),
+        (3usize..12).prop_map(|n| Topology::ring(n).expect("valid")),
+        (2usize..12).prop_map(|n| Topology::star(n).expect("valid")),
+        (1usize..5, 1usize..5).prop_map(|(w, h)| Topology::grid(w, h).expect("valid")),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Diameter bounds every eccentricity, and eccentricities bound the
+    /// hop distances.
+    #[test]
+    fn diameter_is_max_eccentricity(topo in any_topology()) {
+        let diameter = topo.diameter();
+        let max_ecc = topo.nodes().map(|s| topo.eccentricity(s)).max().expect("non-empty");
+        prop_assert_eq!(diameter, max_ecc);
+        for s in topo.nodes() {
+            for d in topo.hop_distances(s).into_iter().flatten() {
+                prop_assert!(d <= diameter);
+            }
+        }
+    }
+
+    /// On a lossless channel, every flood covers the network and first
+    /// receptions happen exactly at hop distance − 1 slots.
+    #[test]
+    fn perfect_flood_is_bfs(topo in any_topology(), init in 0u32..12, n_tx in 1u32..4) {
+        let initiator = NodeId(init % topo.node_count() as u32);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let out = simulate_flood(
+            &topo,
+            &mut Perfect::new(),
+            &FloodParams { initiator, n_tx },
+            &mut rng,
+        ).expect("valid parameters");
+        prop_assert!(out.all_reached());
+        let hops = topo.hop_distances(initiator);
+        for node in topo.nodes() {
+            let hop = hops[node.index()].expect("connected");
+            let rx = out.first_rx_slots()[node.index()].expect("reached");
+            if node == initiator {
+                prop_assert_eq!(rx, 0);
+            } else {
+                prop_assert_eq!(rx, hop - 1, "node {} at hop {}", node, hop);
+            }
+        }
+        // Everyone transmits exactly n_tx times when nothing is lost.
+        prop_assert_eq!(out.transmissions(), topo.node_count() as u64 * n_tx as u64);
+    }
+
+    /// Flood coverage is a probability-monotone event: a dead channel
+    /// covers only the initiator; a perfect one covers everything; any
+    /// channel's coverage lies between.
+    #[test]
+    fn coverage_is_bounded(topo in any_topology(), p in 0.0f64..1.0, seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut link = Bernoulli::new(p).expect("probability");
+        let out = simulate_flood(
+            &topo,
+            &mut link,
+            &FloodParams { initiator: NodeId(0), n_tx: 2 },
+            &mut rng,
+        ).expect("valid parameters");
+        let cov = out.coverage();
+        prop_assert!(cov >= 1.0 / topo.node_count() as f64 - 1e-12);
+        prop_assert!(cov <= 1.0);
+        prop_assert!(out.reached(NodeId(0)));
+    }
+
+    /// Eq. (3) durations: strictly monotone in χ and width, and the round
+    /// duration is the exact sum of the beacon and its slots.
+    #[test]
+    fn timing_monotone_and_additive(
+        chi in 1u32..10,
+        width in 0u32..64,
+        slots in proptest::collection::vec((1u32..8, 1u32..64), 0..6),
+    ) {
+        let t = GlossyTiming::telosb();
+        prop_assert!(t.slot_duration(chi + 1, width) > t.slot_duration(chi, width));
+        prop_assert!(t.slot_duration(chi, width + 1) > t.slot_duration(chi, width));
+        let total = t.round_duration(2, &slots);
+        if slots.is_empty() {
+            prop_assert_eq!(total, 0);
+        } else {
+            let expect: u64 = t.beacon_duration(2)
+                + slots.iter().map(|&(c, w)| t.slot_duration(c, w)).sum::<u64>();
+            prop_assert_eq!(total, expect);
+        }
+    }
+
+    /// Geometric topologies connect exactly the pairs within range.
+    #[test]
+    fn from_positions_respects_range(
+        points in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 2..8),
+        range in 0.3f64..2.0,
+    ) {
+        if let Ok(topo) = Topology::from_positions(&points, range) {
+            for i in 0..points.len() {
+                for j in (i + 1)..points.len() {
+                    let d = ((points[i].0 - points[j].0).powi(2)
+                        + (points[i].1 - points[j].1).powi(2)).sqrt();
+                    let linked = topo.neighbors(NodeId(i as u32)).contains(&NodeId(j as u32));
+                    prop_assert_eq!(linked, d <= range, "pair {} {} at {}", i, j, d);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,30 @@
+use netdag_control::{cartpole::CartPole, controller::{LinearController, Controller}, eval::balance_steps};
+use netdag_weakly_hard::{worst_case_pattern, AdversarialSampler};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let ctl = LinearController::tuned();
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    println!("worst-case burst patterns, 500 steps:");
+    for (m, k) in [(2u32,20u32),(5,20),(8,20),(10,20),(12,20),(14,20),(16,20),(8,10),(8,16),(8,24),(8,32),(8,48)] {
+        let pat = worst_case_pattern(m, k, 500).unwrap();
+        let mut total = 0;
+        for _ in 0..20 {
+            let mut plant = CartPole::new();
+            total += balance_steps(&ctl, &pat, &mut plant, &mut rng);
+        }
+        println!("  ({m:2},{k:2}): mean {}", total as f64 / 20.0);
+    }
+    println!("sampled patterns:");
+    for (m, k) in [(2u32,20u32),(8,20),(12,20),(16,20)] {
+        let s = AdversarialSampler::new(m, k).unwrap();
+        let mut total = 0;
+        for _ in 0..20 {
+            let pat = s.sample(500, &mut rng).unwrap();
+            let mut plant = CartPole::new();
+            total += balance_steps(&ctl, &pat, &mut plant, &mut rng);
+        }
+        println!("  ({m:2},{k:2}) uniform={} mean {}", s.is_uniform(), total as f64 / 20.0);
+    }
+}

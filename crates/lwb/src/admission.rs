@@ -1,0 +1,386 @@
+//! Runtime stream admission (extension; after Blink, Zimmerling et al.,
+//! ACM TCPS 2017).
+//!
+//! NETDAG computes *static* schedules for a known application. Deployed
+//! LWB systems additionally run a *dynamic* layer: message streams arrive
+//! and leave at runtime, and the host admits a stream only if it can
+//! guarantee the stream's period and deadline with the bus capacity that
+//! remains — Blink's contract-and-guarantee model. This module implements
+//! that admission test for a periodic round schedule:
+//!
+//! * rounds recur every `round_period_us` and carry at most
+//!   `slots_per_round` message slots;
+//! * an admitted stream with period `p` consumes `⌈period/p⌉` slots per
+//!   round period on average;
+//! * a stream's deadline must leave room for at least one full round
+//!   period (a message generated just after a round waits for the next).
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use netdag_glossy::GlossyTiming;
+
+/// A stream's requested contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct StreamRequest {
+    /// Message generation period, µs.
+    pub period_us: u64,
+    /// Relative delivery deadline per message, µs.
+    pub deadline_us: u64,
+    /// Payload width, bytes.
+    pub width: u32,
+    /// Retransmission parameter for the stream's slots.
+    pub chi: u32,
+}
+
+/// Handle of an admitted stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ContractId(u64);
+
+impl fmt::Display for ContractId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Why a stream was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The request itself is malformed (zero period/width/χ).
+    InvalidRequest(&'static str),
+    /// The deadline is shorter than the admission layer can ever promise
+    /// (one round period plus the round's airtime).
+    DeadlineTooShort {
+        /// The minimum deadline the controller can guarantee, µs.
+        minimum_us: u64,
+    },
+    /// Admitting the stream would oversubscribe the round's slot budget.
+    NoSlotCapacity {
+        /// Slots per round period already committed (scaled by 1000).
+        committed_millislots: u64,
+        /// The round's budget (scaled by 1000).
+        budget_millislots: u64,
+    },
+    /// Admitting the stream would stretch rounds beyond the round period.
+    NoAirtime {
+        /// Airtime already committed per round, µs.
+        committed_us: u64,
+        /// Available airtime per round, µs.
+        budget_us: u64,
+    },
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::InvalidRequest(what) => write!(f, "invalid request: {what}"),
+            RejectReason::DeadlineTooShort { minimum_us } => {
+                write!(f, "deadline shorter than the guaranteeable {minimum_us} µs")
+            }
+            RejectReason::NoSlotCapacity {
+                committed_millislots,
+                budget_millislots,
+            } => write!(
+                f,
+                "slot budget exceeded: {:.2} of {:.2} slots per round committed",
+                *committed_millislots as f64 / 1_000.0,
+                *budget_millislots as f64 / 1_000.0
+            ),
+            RejectReason::NoAirtime {
+                committed_us,
+                budget_us,
+            } => write!(
+                f,
+                "airtime exceeded: {committed_us} of {budget_us} µs per round"
+            ),
+        }
+    }
+}
+
+impl Error for RejectReason {}
+
+/// A Blink-style admission controller over a periodic LWB round.
+///
+/// # Example
+///
+/// ```
+/// use netdag_lwb::admission::{AdmissionController, StreamRequest};
+/// use netdag_glossy::GlossyTiming;
+///
+/// let mut ctl = AdmissionController::new(GlossyTiming::telosb(), 1_000_000, 4, 2);
+/// let id = ctl.admit(StreamRequest {
+///     period_us: 1_000_000,
+///     deadline_us: 3_000_000,
+///     width: 16,
+///     chi: 3,
+/// })?;
+/// assert!(ctl.utilization() > 0.0);
+/// ctl.release(id);
+/// assert_eq!(ctl.utilization(), 0.0);
+/// # Ok::<(), netdag_lwb::admission::RejectReason>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdmissionController {
+    timing: GlossyTiming,
+    round_period_us: u64,
+    slots_per_round: u32,
+    beacon_chi: u32,
+    streams: BTreeMap<ContractId, StreamRequest>,
+    next_id: u64,
+}
+
+impl AdmissionController {
+    /// Creates a controller for rounds recurring every `round_period_us`
+    /// with at most `slots_per_round` slots each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the period, slot count or beacon `χ` is zero.
+    pub fn new(
+        timing: GlossyTiming,
+        round_period_us: u64,
+        slots_per_round: u32,
+        beacon_chi: u32,
+    ) -> Self {
+        assert!(round_period_us > 0, "round period must be positive");
+        assert!(slots_per_round > 0, "need at least one slot per round");
+        assert!(beacon_chi > 0, "beacon χ must be positive");
+        AdmissionController {
+            timing,
+            round_period_us,
+            slots_per_round,
+            beacon_chi,
+            streams: BTreeMap::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Slots per round period a stream consumes, in 1/1000 slots (so
+    /// sub-harmonic periods are accounted fractionally).
+    fn millislots(&self, req: &StreamRequest) -> u64 {
+        (self.round_period_us * 1_000).div_ceil(req.period_us)
+    }
+
+    /// Per-round airtime a stream's slots consume, µs (fractional slots
+    /// rounded up — conservative).
+    fn airtime_us(&self, req: &StreamRequest) -> u64 {
+        let slots = self.millislots(req).div_ceil(1_000);
+        slots * self.timing.slot_duration(req.chi, req.width)
+    }
+
+    /// Committed slot demand, in millislots per round.
+    pub fn committed_millislots(&self) -> u64 {
+        self.streams.values().map(|r| self.millislots(r)).sum()
+    }
+
+    /// Fraction of the slot budget committed, `0.0` when idle.
+    pub fn utilization(&self) -> f64 {
+        self.committed_millislots() as f64 / (self.slots_per_round as f64 * 1_000.0)
+    }
+
+    /// Number of admitted streams.
+    pub fn stream_count(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// The shortest deadline this controller can ever promise: a message
+    /// may just miss a round and must then survive one full round period
+    /// plus the worst-case round airtime.
+    pub fn min_guaranteeable_deadline_us(&self) -> u64 {
+        let worst_round = self.timing.beacon_duration(self.beacon_chi)
+            + self
+                .streams
+                .values()
+                .map(|r| self.airtime_us(r))
+                .sum::<u64>();
+        self.round_period_us + worst_round
+    }
+
+    /// Tries to admit a stream; on success the contract is binding until
+    /// [`AdmissionController::release`].
+    ///
+    /// # Errors
+    ///
+    /// See [`RejectReason`].
+    pub fn admit(&mut self, req: StreamRequest) -> Result<ContractId, RejectReason> {
+        if req.period_us == 0 {
+            return Err(RejectReason::InvalidRequest("zero period"));
+        }
+        if req.width == 0 {
+            return Err(RejectReason::InvalidRequest("zero width"));
+        }
+        if req.chi == 0 {
+            return Err(RejectReason::InvalidRequest("zero chi"));
+        }
+        // Deadline check, including the stream's own airtime contribution.
+        let minimum = self.min_guaranteeable_deadline_us() + self.airtime_us(&req);
+        if req.deadline_us < minimum {
+            return Err(RejectReason::DeadlineTooShort {
+                minimum_us: minimum,
+            });
+        }
+        // Slot budget.
+        let committed = self.committed_millislots();
+        let budget = self.slots_per_round as u64 * 1_000;
+        if committed + self.millislots(&req) > budget {
+            return Err(RejectReason::NoSlotCapacity {
+                committed_millislots: committed,
+                budget_millislots: budget,
+            });
+        }
+        // Airtime budget: beacon + all slots must fit inside the period.
+        let committed_air = self.timing.beacon_duration(self.beacon_chi)
+            + self
+                .streams
+                .values()
+                .map(|r| self.airtime_us(r))
+                .sum::<u64>();
+        if committed_air + self.airtime_us(&req) > self.round_period_us {
+            return Err(RejectReason::NoAirtime {
+                committed_us: committed_air,
+                budget_us: self.round_period_us,
+            });
+        }
+        let id = ContractId(self.next_id);
+        self.next_id += 1;
+        self.streams.insert(id, req);
+        Ok(id)
+    }
+
+    /// Releases an admitted stream; unknown ids are ignored (idempotent).
+    pub fn release(&mut self, id: ContractId) {
+        self.streams.remove(&id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller() -> AdmissionController {
+        AdmissionController::new(GlossyTiming::telosb(), 1_000_000, 4, 2)
+    }
+
+    fn request(period_us: u64) -> StreamRequest {
+        StreamRequest {
+            period_us,
+            deadline_us: 5_000_000,
+            width: 16,
+            chi: 3,
+        }
+    }
+
+    #[test]
+    fn admit_until_slots_run_out() {
+        let mut ctl = controller();
+        // Each 1 s stream consumes one slot of the 4 per 1 s round.
+        let mut ids = Vec::new();
+        for _ in 0..4 {
+            ids.push(ctl.admit(request(1_000_000)).unwrap());
+        }
+        assert_eq!(ctl.stream_count(), 4);
+        assert!((ctl.utilization() - 1.0).abs() < 1e-9);
+        assert!(matches!(
+            ctl.admit(request(1_000_000)).unwrap_err(),
+            RejectReason::NoSlotCapacity { .. }
+        ));
+        // Releasing frees capacity.
+        ctl.release(ids[0]);
+        assert!(ctl.admit(request(1_000_000)).is_ok());
+    }
+
+    #[test]
+    fn subharmonic_streams_count_fractionally() {
+        let mut ctl = controller();
+        // A 4 s period uses a quarter slot per round: 16 of them fit.
+        for _ in 0..16 {
+            ctl.admit(request(4_000_000)).unwrap();
+        }
+        assert!((ctl.utilization() - 1.0).abs() < 1e-9);
+        assert!(ctl.admit(request(4_000_000)).is_err());
+    }
+
+    #[test]
+    fn deadline_floor_enforced() {
+        let mut ctl = controller();
+        let mut req = request(1_000_000);
+        req.deadline_us = 500_000; // below one round period
+        let err = ctl.admit(req).unwrap_err();
+        assert!(matches!(err, RejectReason::DeadlineTooShort { .. }));
+        // The reported minimum is actually admittable.
+        if let RejectReason::DeadlineTooShort { minimum_us } = err {
+            let mut ok = request(1_000_000);
+            ok.deadline_us = minimum_us;
+            ctl.admit(ok).unwrap();
+        }
+    }
+
+    #[test]
+    fn airtime_budget_enforced() {
+        // Tiny round period: even one wide stream exceeds the airtime.
+        let mut ctl = AdmissionController::new(GlossyTiming::telosb(), 5_000, 8, 2);
+        let mut req = request(5_000);
+        req.deadline_us = u64::MAX;
+        req.width = 64;
+        req.chi = 8;
+        assert!(matches!(
+            ctl.admit(req).unwrap_err(),
+            RejectReason::NoAirtime { .. }
+        ));
+    }
+
+    #[test]
+    fn invalid_requests_rejected() {
+        let mut ctl = controller();
+        for (req, what) in [
+            (
+                StreamRequest {
+                    period_us: 0,
+                    ..request(1)
+                },
+                "period",
+            ),
+            (
+                StreamRequest {
+                    width: 0,
+                    ..request(1_000_000)
+                },
+                "width",
+            ),
+            (
+                StreamRequest {
+                    chi: 0,
+                    ..request(1_000_000)
+                },
+                "chi",
+            ),
+        ] {
+            let err = ctl.admit(req).unwrap_err();
+            assert!(
+                matches!(err, RejectReason::InvalidRequest(_)),
+                "{what}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn release_is_idempotent() {
+        let mut ctl = controller();
+        let id = ctl.admit(request(1_000_000)).unwrap();
+        ctl.release(id);
+        ctl.release(id);
+        assert_eq!(ctl.stream_count(), 0);
+        assert_eq!(ctl.utilization(), 0.0);
+    }
+
+    #[test]
+    fn reject_reason_display() {
+        assert!(RejectReason::DeadlineTooShort { minimum_us: 9 }
+            .to_string()
+            .contains("9 µs"));
+        assert!(RejectReason::InvalidRequest("zero period")
+            .to_string()
+            .contains("zero period"));
+    }
+}

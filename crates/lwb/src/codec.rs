@@ -1,0 +1,341 @@
+//! Beacon payload codec.
+//!
+//! In the LWB, each round starts with a beacon flood that tells every node
+//! what the round contains — which slots exist, who initiates each slot's
+//! flood, and with how many retransmissions. This module provides the
+//! compact wire encoding of that payload, so the beacon width `γ` used by
+//! the eq. (3) duration estimate can be checked against what the schedule
+//! actually needs to disseminate.
+//!
+//! Wire format (little-endian):
+//!
+//! ```text
+//! magic: u8 = 0xB7 | version: u8 = 1 | round_index: u16 | slot_count: u8
+//! then per slot:
+//!   message_id: u16 | initiator_node: u16 | chi: u8 | width: u16
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use netdag_core::app::{Application, MsgId};
+use netdag_core::schedule::Schedule;
+use netdag_glossy::NodeId;
+
+const MAGIC: u8 = 0xB7;
+const VERSION: u8 = 1;
+const HEADER_LEN: usize = 5;
+const SLOT_LEN: usize = 7;
+
+/// Error returned by [`BeaconPayload::decode`] and
+/// [`BeaconPayload::for_round`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer does not start with the beacon magic byte.
+    BadMagic(u8),
+    /// Unsupported format version.
+    BadVersion(u8),
+    /// The buffer ended before the announced slots were read.
+    Truncated {
+        /// Bytes expected.
+        expected: usize,
+        /// Bytes available.
+        got: usize,
+    },
+    /// Extra bytes after the announced slots.
+    TrailingBytes(usize),
+    /// A field exceeded its wire-format range (e.g. `χ > 255`).
+    FieldOverflow(&'static str),
+    /// The round index does not exist in the schedule.
+    NoSuchRound(usize),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::BadMagic(b) => write!(f, "bad beacon magic byte 0x{b:02x}"),
+            CodecError::BadVersion(v) => write!(f, "unsupported beacon version {v}"),
+            CodecError::Truncated { expected, got } => {
+                write!(f, "truncated beacon: expected {expected} bytes, got {got}")
+            }
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after beacon"),
+            CodecError::FieldOverflow(field) => {
+                write!(f, "field {field} exceeds its wire-format range")
+            }
+            CodecError::NoSuchRound(r) => write!(f, "schedule has no round {r}"),
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+/// One slot announcement inside a beacon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SlotInfo {
+    /// The message carried by the slot.
+    pub message: MsgId,
+    /// The node that initiates the slot's flood.
+    pub initiator: NodeId,
+    /// The slot's retransmission parameter `χ(e)`.
+    pub chi: u8,
+    /// Payload width in bytes.
+    pub width: u16,
+}
+
+/// A decoded beacon: the layout of one communication round.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct BeaconPayload {
+    /// Index of the round within the schedule.
+    pub round_index: u16,
+    /// Slot announcements, in bus order.
+    pub slots: Vec<SlotInfo>,
+}
+
+impl BeaconPayload {
+    /// Builds the beacon for round `r` of a schedule.
+    ///
+    /// # Errors
+    ///
+    /// * [`CodecError::NoSuchRound`] for an out-of-range round;
+    /// * [`CodecError::FieldOverflow`] when a `χ` or width exceeds the
+    ///   wire format.
+    pub fn for_round(app: &Application, schedule: &Schedule, r: usize) -> Result<Self, CodecError> {
+        let round = schedule.rounds().get(r).ok_or(CodecError::NoSuchRound(r))?;
+        if r > u16::MAX as usize {
+            return Err(CodecError::FieldOverflow("round_index"));
+        }
+        let mut slots = Vec::with_capacity(round.messages.len());
+        for &m in &round.messages {
+            let msg = app.message(m);
+            let chi = schedule.chi(m);
+            if chi > u8::MAX as u32 {
+                return Err(CodecError::FieldOverflow("chi"));
+            }
+            if msg.width > u16::MAX as u32 {
+                return Err(CodecError::FieldOverflow("width"));
+            }
+            slots.push(SlotInfo {
+                message: m,
+                initiator: app.task(msg.source).node,
+                chi: chi as u8,
+                width: msg.width as u16,
+            });
+        }
+        Ok(BeaconPayload {
+            round_index: r as u16,
+            slots,
+        })
+    }
+
+    /// Encoded size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        HEADER_LEN + SLOT_LEN * self.slots.len()
+    }
+
+    /// Whether the payload fits a beacon of `gamma` bytes (the `γ`
+    /// constant of eq. (3)).
+    pub fn fits(&self, gamma: usize) -> bool {
+        self.encoded_len() <= gamma
+    }
+
+    /// Serializes to the wire format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload announces more than 255 slots (applications
+    /// that large are rejected upstream).
+    pub fn encode(&self) -> Vec<u8> {
+        assert!(self.slots.len() <= u8::MAX as usize, "too many slots");
+        let mut out = Vec::with_capacity(self.encoded_len());
+        out.push(MAGIC);
+        out.push(VERSION);
+        out.extend_from_slice(&self.round_index.to_le_bytes());
+        out.push(self.slots.len() as u8);
+        for s in &self.slots {
+            if s.message.0 > u16::MAX as u32 || s.initiator.0 > u16::MAX as u32 {
+                // Unreachable for valid applications; keep the invariant
+                // explicit rather than silently truncating.
+                panic!("identifier exceeds the wire format");
+            }
+            out.extend_from_slice(&(s.message.0 as u16).to_le_bytes());
+            out.extend_from_slice(&(s.initiator.0 as u16).to_le_bytes());
+            out.push(s.chi);
+            out.extend_from_slice(&s.width.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses the wire format.
+    ///
+    /// # Errors
+    ///
+    /// See [`CodecError`].
+    pub fn decode(buf: &[u8]) -> Result<Self, CodecError> {
+        if buf.len() < HEADER_LEN {
+            return Err(CodecError::Truncated {
+                expected: HEADER_LEN,
+                got: buf.len(),
+            });
+        }
+        if buf[0] != MAGIC {
+            return Err(CodecError::BadMagic(buf[0]));
+        }
+        if buf[1] != VERSION {
+            return Err(CodecError::BadVersion(buf[1]));
+        }
+        let round_index = u16::from_le_bytes([buf[2], buf[3]]);
+        let count = buf[4] as usize;
+        let expected = HEADER_LEN + SLOT_LEN * count;
+        if buf.len() < expected {
+            return Err(CodecError::Truncated {
+                expected,
+                got: buf.len(),
+            });
+        }
+        if buf.len() > expected {
+            return Err(CodecError::TrailingBytes(buf.len() - expected));
+        }
+        let mut slots = Vec::with_capacity(count);
+        for i in 0..count {
+            let at = HEADER_LEN + SLOT_LEN * i;
+            slots.push(SlotInfo {
+                message: MsgId(u16::from_le_bytes([buf[at], buf[at + 1]]) as u32),
+                initiator: NodeId(u16::from_le_bytes([buf[at + 2], buf[at + 3]]) as u32),
+                chi: buf[at + 4],
+                width: u16::from_le_bytes([buf[at + 5], buf[at + 6]]),
+            });
+        }
+        Ok(BeaconPayload { round_index, slots })
+    }
+}
+
+/// The beacon width `γ` (bytes) a schedule actually needs: the size of
+/// its largest round announcement. Compare against
+/// [`netdag_glossy::GlossyTiming::beacon_width`] when calibrating eq. (3).
+pub fn required_beacon_width(app: &Application, schedule: &Schedule) -> usize {
+    (0..schedule.rounds().len())
+        .map(|r| {
+            BeaconPayload::for_round(app, schedule, r)
+                .expect("round index in range")
+                .encoded_len()
+        })
+        .max()
+        .unwrap_or(HEADER_LEN)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netdag_core::config::SchedulerConfig;
+    use netdag_core::constraints::WeaklyHardConstraints;
+    use netdag_core::prelude::Application;
+    use netdag_core::stat::Eq13Statistic;
+    use netdag_core::weakly_hard::schedule_weakly_hard;
+
+    fn fixture() -> (Application, Schedule) {
+        let mut b = Application::builder();
+        let s1 = b.task("s1", NodeId(0), 100);
+        let s2 = b.task("s2", NodeId(1), 100);
+        let c = b.task("c", NodeId(2), 100);
+        b.edge(s1, c, 8).unwrap();
+        b.edge(s2, c, 12).unwrap();
+        let app = b.build().unwrap();
+        let out = schedule_weakly_hard(
+            &app,
+            &Eq13Statistic::new(8),
+            &WeaklyHardConstraints::new(),
+            &SchedulerConfig::greedy(),
+        )
+        .unwrap();
+        (app, out.schedule)
+    }
+
+    #[test]
+    fn roundtrip_for_each_round() {
+        let (app, schedule) = fixture();
+        for r in 0..schedule.rounds().len() {
+            let payload = BeaconPayload::for_round(&app, &schedule, r).unwrap();
+            let bytes = payload.encode();
+            assert_eq!(bytes.len(), payload.encoded_len());
+            let back = BeaconPayload::decode(&bytes).unwrap();
+            assert_eq!(back, payload);
+            assert_eq!(back.round_index as usize, r);
+        }
+    }
+
+    #[test]
+    fn payload_matches_schedule_content() {
+        let (app, schedule) = fixture();
+        let payload = BeaconPayload::for_round(&app, &schedule, 0).unwrap();
+        assert_eq!(payload.slots.len(), schedule.rounds()[0].messages.len());
+        for (slot, &m) in payload.slots.iter().zip(&schedule.rounds()[0].messages) {
+            assert_eq!(slot.message, m);
+            assert_eq!(slot.chi as u32, schedule.chi(m));
+            assert_eq!(slot.width as u32, app.message(m).width);
+            assert_eq!(slot.initiator, app.task(app.message(m).source).node);
+        }
+    }
+
+    #[test]
+    fn decode_error_cases() {
+        let (app, schedule) = fixture();
+        let bytes = BeaconPayload::for_round(&app, &schedule, 0)
+            .unwrap()
+            .encode();
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] = 0x00;
+        assert_eq!(BeaconPayload::decode(&bad), Err(CodecError::BadMagic(0)));
+        // Bad version.
+        let mut bad = bytes.clone();
+        bad[1] = 9;
+        assert_eq!(BeaconPayload::decode(&bad), Err(CodecError::BadVersion(9)));
+        // Truncated.
+        assert!(matches!(
+            BeaconPayload::decode(&bytes[..bytes.len() - 1]),
+            Err(CodecError::Truncated { .. })
+        ));
+        assert!(matches!(
+            BeaconPayload::decode(&bytes[..3]),
+            Err(CodecError::Truncated { .. })
+        ));
+        // Trailing bytes.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert_eq!(
+            BeaconPayload::decode(&long),
+            Err(CodecError::TrailingBytes(1))
+        );
+    }
+
+    #[test]
+    fn no_such_round() {
+        let (app, schedule) = fixture();
+        assert_eq!(
+            BeaconPayload::for_round(&app, &schedule, 99),
+            Err(CodecError::NoSuchRound(99))
+        );
+    }
+
+    #[test]
+    fn beacon_width_budget() {
+        let (app, schedule) = fixture();
+        let need = required_beacon_width(&app, &schedule);
+        // Two slots in the first round: 5 + 2·7 = 19 bytes.
+        assert_eq!(need, 19);
+        let payload = BeaconPayload::for_round(&app, &schedule, 0).unwrap();
+        assert!(payload.fits(19));
+        assert!(!payload.fits(18));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(CodecError::BadMagic(7).to_string().contains("0x07"));
+        assert!(CodecError::Truncated {
+            expected: 5,
+            got: 2
+        }
+        .to_string()
+        .contains("expected 5"));
+    }
+}

@@ -1,0 +1,180 @@
+//! Interval domains for finite-domain variables.
+
+use std::fmt;
+
+/// Identifier of a decision variable in a [`crate::Model`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub(crate) u32);
+
+impl VarId {
+    /// Index of the variable in its model.
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// The current interval `[lo, hi]` of every variable during search.
+///
+/// Domains are pure intervals (bounds consistency); emptying an interval
+/// signals infeasibility of the current search node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomainStore {
+    lo: Vec<i64>,
+    hi: Vec<i64>,
+}
+
+/// Marker error: a propagator emptied a domain, the node is infeasible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Infeasible;
+
+impl fmt::Display for Infeasible {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "domain wipe-out: current node is infeasible")
+    }
+}
+
+impl std::error::Error for Infeasible {}
+
+impl DomainStore {
+    pub(crate) fn new(bounds: &[(i64, i64)]) -> Self {
+        DomainStore {
+            lo: bounds.iter().map(|b| b.0).collect(),
+            hi: bounds.iter().map(|b| b.1).collect(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Whether the store holds no variables.
+    pub fn is_empty(&self) -> bool {
+        self.lo.is_empty()
+    }
+
+    /// Lower bound of `v`.
+    pub fn lo(&self, v: VarId) -> i64 {
+        self.lo[v.index()]
+    }
+
+    /// Upper bound of `v`.
+    pub fn hi(&self, v: VarId) -> i64 {
+        self.hi[v.index()]
+    }
+
+    /// Whether `v` is bound to a single value.
+    pub fn is_fixed(&self, v: VarId) -> bool {
+        self.lo[v.index()] == self.hi[v.index()]
+    }
+
+    /// The value of a fixed variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not fixed.
+    pub fn value(&self, v: VarId) -> i64 {
+        assert!(self.is_fixed(v), "{v} is not fixed");
+        self.lo[v.index()]
+    }
+
+    /// Domain width (`hi − lo`); `0` means fixed.
+    pub fn width(&self, v: VarId) -> i64 {
+        self.hi[v.index()] - self.lo[v.index()]
+    }
+
+    /// Raises the lower bound. Returns `true` when the domain changed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Infeasible`] when the domain would become empty.
+    pub fn set_lo(&mut self, v: VarId, val: i64) -> Result<bool, Infeasible> {
+        if val > self.hi[v.index()] {
+            return Err(Infeasible);
+        }
+        if val > self.lo[v.index()] {
+            self.lo[v.index()] = val;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Lowers the upper bound. Returns `true` when the domain changed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Infeasible`] when the domain would become empty.
+    pub fn set_hi(&mut self, v: VarId, val: i64) -> Result<bool, Infeasible> {
+        if val < self.lo[v.index()] {
+            return Err(Infeasible);
+        }
+        if val < self.hi[v.index()] {
+            self.hi[v.index()] = val;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Fixes `v` to `val`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Infeasible`] when `val` lies outside the current interval.
+    pub fn fix(&mut self, v: VarId, val: i64) -> Result<bool, Infeasible> {
+        let a = self.set_lo(v, val)?;
+        let b = self.set_hi(v, val)?;
+        Ok(a || b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> DomainStore {
+        DomainStore::new(&[(0, 10), (-5, 5)])
+    }
+
+    #[test]
+    fn bounds_accessors() {
+        let d = store();
+        assert_eq!(d.len(), 2);
+        assert!(!d.is_empty());
+        assert_eq!(d.lo(VarId(0)), 0);
+        assert_eq!(d.hi(VarId(1)), 5);
+        assert_eq!(d.width(VarId(0)), 10);
+        assert!(!d.is_fixed(VarId(0)));
+    }
+
+    #[test]
+    fn tighten_and_fix() {
+        let mut d = store();
+        assert!(d.set_lo(VarId(0), 3).unwrap());
+        assert!(!d.set_lo(VarId(0), 2).unwrap()); // no change
+        assert!(d.set_hi(VarId(0), 3).unwrap());
+        assert!(d.is_fixed(VarId(0)));
+        assert_eq!(d.value(VarId(0)), 3);
+    }
+
+    #[test]
+    fn wipe_out_is_infeasible() {
+        let mut d = store();
+        d.set_hi(VarId(0), 4).unwrap();
+        assert_eq!(d.set_lo(VarId(0), 5), Err(Infeasible));
+        assert_eq!(d.fix(VarId(1), 9), Err(Infeasible));
+    }
+
+    #[test]
+    #[should_panic(expected = "not fixed")]
+    fn value_of_unfixed_panics() {
+        store().value(VarId(0));
+    }
+}

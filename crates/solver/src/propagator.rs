@@ -1,0 +1,546 @@
+//! Bounds-consistency propagators.
+
+use std::fmt;
+
+use crate::domain::{DomainStore, Infeasible, VarId};
+
+/// A constraint that can tighten variable bounds.
+///
+/// Propagators must be *sound* (never remove a value that participates in a
+/// solution) and *monotone* (tightening inputs never loosens outputs); the
+/// fixpoint loop in [`crate::search`] relies on both.
+pub trait Propagator: fmt::Debug {
+    /// Tightens bounds. Returns `true` if any domain changed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Infeasible`] when a domain wipes out.
+    fn propagate(&self, dom: &mut DomainStore) -> Result<bool, Infeasible>;
+
+    /// Checks the constraint on a fully fixed assignment.
+    fn is_satisfied(&self, dom: &DomainStore) -> bool;
+}
+
+/// `Σ coef_i · x_i ≤ bound`.
+#[derive(Debug, Clone)]
+pub struct LinearLe {
+    /// `(coefficient, variable)` terms.
+    pub terms: Vec<(i64, VarId)>,
+    /// Right-hand side.
+    pub bound: i64,
+}
+
+impl LinearLe {
+    /// Minimum possible value of `coef · x` under the current bounds.
+    fn term_min(coef: i64, dom: &DomainStore, v: VarId) -> i64 {
+        if coef >= 0 {
+            coef * dom.lo(v)
+        } else {
+            coef * dom.hi(v)
+        }
+    }
+}
+
+impl Propagator for LinearLe {
+    fn propagate(&self, dom: &mut DomainStore) -> Result<bool, Infeasible> {
+        // slack = bound − Σ min(term); each term may exceed its own min by
+        // at most the slack.
+        let min_sum: i64 = self
+            .terms
+            .iter()
+            .map(|&(c, v)| Self::term_min(c, dom, v))
+            .sum();
+        let slack = self.bound - min_sum;
+        if slack < 0 {
+            return Err(Infeasible);
+        }
+        let mut changed = false;
+        for &(c, v) in &self.terms {
+            if c == 0 {
+                continue;
+            }
+            if c > 0 {
+                // c·x ≤ c·lo + slack  ⇒  x ≤ lo + slack / c
+                let max = dom.lo(v) + slack / c;
+                changed |= dom.set_hi(v, max)?;
+            } else {
+                // c·x ≤ c·hi + slack  ⇒  x ≥ hi + slack / c  (c < 0)
+                let min = dom.hi(v) + num_div_floor(slack, c);
+                changed |= dom.set_lo(v, min)?;
+            }
+        }
+        Ok(changed)
+    }
+
+    fn is_satisfied(&self, dom: &DomainStore) -> bool {
+        self.terms
+            .iter()
+            .map(|&(c, v)| c * dom.value(v))
+            .sum::<i64>()
+            <= self.bound
+    }
+}
+
+/// Floor division that matches mathematical semantics for negative divisors.
+fn num_div_floor(a: i64, b: i64) -> i64 {
+    let q = a / b;
+    if (a % b != 0) && ((a < 0) != (b < 0)) {
+        q - 1
+    } else {
+        q
+    }
+}
+
+/// `y = table[x]`, with `x` shifted by `x_offset` (so `x = x_offset` reads
+/// `table[0]`). The table need not be monotone.
+#[derive(Debug, Clone)]
+pub struct TableFn {
+    /// Input variable.
+    pub x: VarId,
+    /// Output variable.
+    pub y: VarId,
+    /// Value of the smallest admissible `x`.
+    pub x_offset: i64,
+    /// `table[i] = f(x_offset + i)`.
+    pub table: Vec<i64>,
+}
+
+impl Propagator for TableFn {
+    fn propagate(&self, dom: &mut DomainStore) -> Result<bool, Infeasible> {
+        let mut changed = false;
+        // x must index into the table.
+        changed |= dom.set_lo(self.x, self.x_offset)?;
+        changed |= dom.set_hi(self.x, self.x_offset + self.table.len() as i64 - 1)?;
+        // Shrink x at the edges while f(x) falls outside y's bounds.
+        loop {
+            let xi = (dom.lo(self.x) - self.x_offset) as usize;
+            let fy = self.table[xi];
+            if fy < dom.lo(self.y) || fy > dom.hi(self.y) {
+                changed |= dom.set_lo(self.x, dom.lo(self.x) + 1)?;
+            } else {
+                break;
+            }
+        }
+        loop {
+            let xi = (dom.hi(self.x) - self.x_offset) as usize;
+            let fy = self.table[xi];
+            if fy < dom.lo(self.y) || fy > dom.hi(self.y) {
+                changed |= dom.set_hi(self.x, dom.hi(self.x) - 1)?;
+            } else {
+                break;
+            }
+        }
+        // y's bounds = min/max of f over x's interval.
+        let lo_i = (dom.lo(self.x) - self.x_offset) as usize;
+        let hi_i = (dom.hi(self.x) - self.x_offset) as usize;
+        let slice = &self.table[lo_i..=hi_i];
+        let (fmin, fmax) = slice
+            .iter()
+            .fold((i64::MAX, i64::MIN), |(a, b), &v| (a.min(v), b.max(v)));
+        changed |= dom.set_lo(self.y, fmin)?;
+        changed |= dom.set_hi(self.y, fmax)?;
+        Ok(changed)
+    }
+
+    fn is_satisfied(&self, dom: &DomainStore) -> bool {
+        let xi = dom.value(self.x) - self.x_offset;
+        xi >= 0 && (xi as usize) < self.table.len() && self.table[xi as usize] == dom.value(self.y)
+    }
+}
+
+/// `z = min(xs)`.
+#[derive(Debug, Clone)]
+pub struct MinOf {
+    /// Aggregated variables (non-empty).
+    pub xs: Vec<VarId>,
+    /// The minimum.
+    pub z: VarId,
+}
+
+impl Propagator for MinOf {
+    fn propagate(&self, dom: &mut DomainStore) -> Result<bool, Infeasible> {
+        let mut changed = false;
+        let min_lo = self.xs.iter().map(|&v| dom.lo(v)).min().expect("non-empty");
+        let min_hi = self.xs.iter().map(|&v| dom.hi(v)).min().expect("non-empty");
+        changed |= dom.set_lo(self.z, min_lo)?;
+        changed |= dom.set_hi(self.z, min_hi)?;
+        // Every x is ≥ z.
+        for &x in &self.xs {
+            changed |= dom.set_lo(x, dom.lo(self.z))?;
+        }
+        // If exactly one x can reach down to z's upper bound, it must.
+        let reachers: Vec<VarId> = self
+            .xs
+            .iter()
+            .copied()
+            .filter(|&x| dom.lo(x) <= dom.hi(self.z))
+            .collect();
+        if reachers.is_empty() {
+            return Err(Infeasible);
+        }
+        if reachers.len() == 1 {
+            changed |= dom.set_hi(reachers[0], dom.hi(self.z))?;
+        }
+        Ok(changed)
+    }
+
+    fn is_satisfied(&self, dom: &DomainStore) -> bool {
+        let min = self
+            .xs
+            .iter()
+            .map(|&v| dom.value(v))
+            .min()
+            .expect("non-empty");
+        min == dom.value(self.z)
+    }
+}
+
+/// `z = max(xs)`.
+#[derive(Debug, Clone)]
+pub struct MaxOf {
+    /// Aggregated variables (non-empty).
+    pub xs: Vec<VarId>,
+    /// The maximum.
+    pub z: VarId,
+}
+
+impl Propagator for MaxOf {
+    fn propagate(&self, dom: &mut DomainStore) -> Result<bool, Infeasible> {
+        let mut changed = false;
+        let max_lo = self.xs.iter().map(|&v| dom.lo(v)).max().expect("non-empty");
+        let max_hi = self.xs.iter().map(|&v| dom.hi(v)).max().expect("non-empty");
+        changed |= dom.set_lo(self.z, max_lo)?;
+        changed |= dom.set_hi(self.z, max_hi)?;
+        for &x in &self.xs {
+            changed |= dom.set_hi(x, dom.hi(self.z))?;
+        }
+        let reachers: Vec<VarId> = self
+            .xs
+            .iter()
+            .copied()
+            .filter(|&x| dom.hi(x) >= dom.lo(self.z))
+            .collect();
+        if reachers.is_empty() {
+            return Err(Infeasible);
+        }
+        if reachers.len() == 1 {
+            changed |= dom.set_lo(reachers[0], dom.lo(self.z))?;
+        }
+        Ok(changed)
+    }
+
+    fn is_satisfied(&self, dom: &DomainStore) -> bool {
+        let max = self
+            .xs
+            .iter()
+            .map(|&v| dom.value(v))
+            .max()
+            .expect("non-empty");
+        max == dom.value(self.z)
+    }
+}
+
+/// Disjunctive no-overlap of two fixed-duration intervals:
+/// `end_a ≤ start_b  ∨  end_b ≤ start_a`, where `end = start + dur`.
+///
+/// This is the paper's condition (5): no task executes during a
+/// communication round.
+#[derive(Debug, Clone)]
+pub struct NoOverlap {
+    /// Start of the first interval.
+    pub start_a: VarId,
+    /// Duration of the first interval.
+    pub dur_a: VarId,
+    /// Start of the second interval.
+    pub start_b: VarId,
+    /// Duration of the second interval.
+    pub dur_b: VarId,
+}
+
+impl Propagator for NoOverlap {
+    fn propagate(&self, dom: &mut DomainStore) -> Result<bool, Infeasible> {
+        // a before b is impossible if earliest end of a > latest start of b.
+        let a_before_b_possible = dom.lo(self.start_a) + dom.lo(self.dur_a) <= dom.hi(self.start_b);
+        let b_before_a_possible = dom.lo(self.start_b) + dom.lo(self.dur_b) <= dom.hi(self.start_a);
+        match (a_before_b_possible, b_before_a_possible) {
+            (false, false) => Err(Infeasible),
+            (true, false) => {
+                // a must precede b: start_b ≥ start_a + dur_a.
+                let mut changed =
+                    dom.set_lo(self.start_b, dom.lo(self.start_a) + dom.lo(self.dur_a))?;
+                changed |= dom.set_hi(self.start_a, dom.hi(self.start_b) - dom.lo(self.dur_a))?;
+                Ok(changed)
+            }
+            (false, true) => {
+                let mut changed =
+                    dom.set_lo(self.start_a, dom.lo(self.start_b) + dom.lo(self.dur_b))?;
+                changed |= dom.set_hi(self.start_b, dom.hi(self.start_a) - dom.lo(self.dur_b))?;
+                Ok(changed)
+            }
+            (true, true) => Ok(false),
+        }
+    }
+
+    fn is_satisfied(&self, dom: &DomainStore) -> bool {
+        let (sa, da) = (dom.value(self.start_a), dom.value(self.dur_a));
+        let (sb, db) = (dom.value(self.start_b), dom.value(self.dur_b));
+        sa + da <= sb || sb + db <= sa
+    }
+}
+
+/// Conditional ordering: `cond = 1 ⇒ x + c ≤ y` (reified half-difference).
+///
+/// `cond` must be a 0/1 variable. Used for optional precedences such as
+/// "if message `e` is assigned to round `r`, the round must end before the
+/// consumer task starts".
+#[derive(Debug, Clone)]
+pub struct IfThenLe {
+    /// 0/1 guard variable.
+    pub cond: VarId,
+    /// Left side.
+    pub x: VarId,
+    /// Constant added to `x`.
+    pub c: i64,
+    /// Right side.
+    pub y: VarId,
+}
+
+impl Propagator for IfThenLe {
+    fn propagate(&self, dom: &mut DomainStore) -> Result<bool, Infeasible> {
+        let mut changed = false;
+        if dom.lo(self.cond) >= 1 {
+            // Enforce x + c ≤ y.
+            changed |= dom.set_lo(self.y, dom.lo(self.x) + self.c)?;
+            changed |= dom.set_hi(self.x, dom.hi(self.y) - self.c)?;
+        } else if dom.lo(self.x) + self.c > dom.hi(self.y) {
+            // The implication can no longer hold: force cond = 0.
+            changed |= dom.set_hi(self.cond, 0)?;
+        }
+        Ok(changed)
+    }
+
+    fn is_satisfied(&self, dom: &DomainStore) -> bool {
+        dom.value(self.cond) == 0 || dom.value(self.x) + self.c <= dom.value(self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dom(bounds: &[(i64, i64)]) -> DomainStore {
+        DomainStore::new(bounds)
+    }
+
+    #[test]
+    fn linear_le_tightens_upper_bounds() {
+        // x + y ≤ 5, x ∈ [0,10], y ∈ [2,10] ⇒ x ≤ 3, y ≤ 5.
+        let p = LinearLe {
+            terms: vec![(1, VarId(0)), (1, VarId(1))],
+            bound: 5,
+        };
+        let mut d = dom(&[(0, 10), (2, 10)]);
+        assert!(p.propagate(&mut d).unwrap());
+        assert_eq!(d.hi(VarId(0)), 3);
+        assert_eq!(d.hi(VarId(1)), 5);
+    }
+
+    #[test]
+    fn linear_le_negative_coefficient() {
+        // x − y ≤ −1 (x < y), x ∈ [0,10], y ∈ [0,4] ⇒ x ≤ 3, y ≥ 1.
+        let p = LinearLe {
+            terms: vec![(1, VarId(0)), (-1, VarId(1))],
+            bound: -1,
+        };
+        let mut d = dom(&[(0, 10), (0, 4)]);
+        p.propagate(&mut d).unwrap();
+        assert_eq!(d.hi(VarId(0)), 3);
+        assert_eq!(d.lo(VarId(1)), 1);
+    }
+
+    #[test]
+    fn linear_le_detects_infeasible() {
+        let p = LinearLe {
+            terms: vec![(1, VarId(0))],
+            bound: -1,
+        };
+        let mut d = dom(&[(0, 10)]);
+        assert_eq!(p.propagate(&mut d), Err(Infeasible));
+    }
+
+    #[test]
+    fn linear_le_is_satisfied() {
+        let p = LinearLe {
+            terms: vec![(2, VarId(0)), (1, VarId(1))],
+            bound: 7,
+        };
+        let mut d = dom(&[(2, 2), (3, 3)]);
+        assert!(p.is_satisfied(&d));
+        d.fix(VarId(1), 3).unwrap();
+        let p2 = LinearLe {
+            terms: vec![(2, VarId(0)), (2, VarId(1))],
+            bound: 7,
+        };
+        assert!(!p2.is_satisfied(&d));
+    }
+
+    #[test]
+    fn div_floor_semantics() {
+        assert_eq!(num_div_floor(7, 2), 3);
+        assert_eq!(num_div_floor(7, -2), -4);
+        assert_eq!(num_div_floor(-7, 2), -4);
+        assert_eq!(num_div_floor(-7, -2), 3);
+        assert_eq!(num_div_floor(6, -2), -3);
+    }
+
+    #[test]
+    fn table_fn_forward_and_backward() {
+        // y = x², x ∈ [0,5].
+        let p = TableFn {
+            x: VarId(0),
+            y: VarId(1),
+            x_offset: 0,
+            table: vec![0, 1, 4, 9, 16, 25],
+        };
+        let mut d = dom(&[(0, 5), (5, 20)]);
+        p.propagate(&mut d).unwrap();
+        // f(x) ∈ [5,20] ⇒ x ∈ [3,4], y ∈ [9,16].
+        assert_eq!((d.lo(VarId(0)), d.hi(VarId(0))), (3, 4));
+        assert_eq!((d.lo(VarId(1)), d.hi(VarId(1))), (9, 16));
+    }
+
+    #[test]
+    fn table_fn_with_offset() {
+        // y = f(x) for x ∈ [1,3], f = [10, 20, 30].
+        let p = TableFn {
+            x: VarId(0),
+            y: VarId(1),
+            x_offset: 1,
+            table: vec![10, 20, 30],
+        };
+        let mut d = dom(&[(0, 9), (0, 25)]);
+        p.propagate(&mut d).unwrap();
+        assert_eq!((d.lo(VarId(0)), d.hi(VarId(0))), (1, 2));
+        assert_eq!((d.lo(VarId(1)), d.hi(VarId(1))), (10, 20));
+        let mut fixed = dom(&[(2, 2), (20, 20)]);
+        fixed.fix(VarId(0), 2).unwrap();
+        assert!(p.is_satisfied(&fixed));
+    }
+
+    #[test]
+    fn table_fn_non_monotone() {
+        let p = TableFn {
+            x: VarId(0),
+            y: VarId(1),
+            x_offset: 0,
+            table: vec![3, 1, 4, 1, 5],
+        };
+        let mut d = dom(&[(0, 4), (4, 10)]);
+        p.propagate(&mut d).unwrap();
+        // Edge pruning: x = 0 (f=3), x = 1 (f=1) pruned from the low edge?
+        // f(0) = 3 < 4 ⇒ prune, f(1) = 1 < 4 ⇒ prune, f(2) = 4 ok.
+        assert_eq!(d.lo(VarId(0)), 2);
+        assert_eq!(d.hi(VarId(0)), 4);
+        assert_eq!((d.lo(VarId(1)), d.hi(VarId(1))), (4, 5));
+    }
+
+    #[test]
+    fn min_of_propagates_both_ways() {
+        let p = MinOf {
+            xs: vec![VarId(0), VarId(1)],
+            z: VarId(2),
+        };
+        let mut d = dom(&[(3, 8), (5, 9), (0, 100)]);
+        p.propagate(&mut d).unwrap();
+        assert_eq!((d.lo(VarId(2)), d.hi(VarId(2))), (3, 8));
+        // z ≥ 6 forces both xs ≥ 6.
+        let mut d = dom(&[(3, 8), (5, 9), (6, 8)]);
+        p.propagate(&mut d).unwrap();
+        assert_eq!(d.lo(VarId(0)), 6);
+        assert_eq!(d.lo(VarId(1)), 6);
+    }
+
+    #[test]
+    fn min_of_single_reacher_is_forced() {
+        let p = MinOf {
+            xs: vec![VarId(0), VarId(1)],
+            z: VarId(2),
+        };
+        // z must be ≤ 4 but only x0 can be that small.
+        let mut d = dom(&[(2, 10), (7, 9), (2, 4)]);
+        p.propagate(&mut d).unwrap();
+        assert_eq!(d.hi(VarId(0)), 4);
+    }
+
+    #[test]
+    fn max_of_mirrors_min() {
+        let p = MaxOf {
+            xs: vec![VarId(0), VarId(1)],
+            z: VarId(2),
+        };
+        let mut d = dom(&[(3, 8), (5, 9), (0, 100)]);
+        p.propagate(&mut d).unwrap();
+        assert_eq!((d.lo(VarId(2)), d.hi(VarId(2))), (5, 9));
+        let mut fixed = dom(&[(4, 4), (7, 7), (7, 7)]);
+        fixed.fix(VarId(0), 4).unwrap();
+        assert!(p.is_satisfied(&fixed));
+    }
+
+    #[test]
+    fn no_overlap_forces_order() {
+        // a: start ∈ [0,1], dur = 5; b: start ∈ [0,10], dur = 3.
+        // b before a impossible once b.start ≥ ... check forcing a first.
+        let p = NoOverlap {
+            start_a: VarId(0),
+            dur_a: VarId(1),
+            start_b: VarId(2),
+            dur_b: VarId(3),
+        };
+        let mut d = dom(&[(0, 1), (5, 5), (0, 10), (3, 3)]);
+        // b before a: b.end = 3 ≤ a.start ≤ 1? impossible. So a first:
+        p.propagate(&mut d).unwrap();
+        assert_eq!(d.lo(VarId(2)), 5);
+    }
+
+    #[test]
+    fn no_overlap_infeasible_when_forced_to_overlap() {
+        let p = NoOverlap {
+            start_a: VarId(0),
+            dur_a: VarId(1),
+            start_b: VarId(2),
+            dur_b: VarId(3),
+        };
+        let mut d = dom(&[(0, 0), (5, 5), (2, 2), (5, 5)]);
+        assert_eq!(p.propagate(&mut d), Err(Infeasible));
+    }
+
+    #[test]
+    fn if_then_le_enforces_when_true() {
+        let p = IfThenLe {
+            cond: VarId(0),
+            x: VarId(1),
+            c: 2,
+            y: VarId(2),
+        };
+        let mut d = dom(&[(1, 1), (3, 6), (0, 10)]);
+        p.propagate(&mut d).unwrap();
+        assert_eq!(d.lo(VarId(2)), 5);
+        assert_eq!(d.hi(VarId(1)), 8.min(d.hi(VarId(1))));
+    }
+
+    #[test]
+    fn if_then_le_kills_guard_when_impossible() {
+        let p = IfThenLe {
+            cond: VarId(0),
+            x: VarId(1),
+            c: 2,
+            y: VarId(2),
+        };
+        let mut d = dom(&[(0, 1), (9, 9), (0, 5)]);
+        p.propagate(&mut d).unwrap();
+        assert_eq!(d.hi(VarId(0)), 0);
+        let mut fixed = dom(&[(0, 0), (9, 9), (0, 0)]);
+        fixed.fix(VarId(0), 0).unwrap();
+        assert!(p.is_satisfied(&fixed));
+    }
+}

@@ -1,0 +1,417 @@
+//! Depth-first search with propagation and branch-and-bound.
+
+use crate::domain::{DomainStore, VarId};
+use crate::model::Model;
+
+/// Order in which unfixed variables are selected for branching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VarOrder {
+    /// First unfixed variable in creation order (good when the model is
+    /// built "decisions first").
+    #[default]
+    Input,
+    /// Smallest remaining domain first (fail-first).
+    SmallestDomain,
+}
+
+/// Order in which values are tried for the selected variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ValueOrder {
+    /// Try small values first (good for minimization).
+    #[default]
+    MinFirst,
+    /// Try large values first.
+    MaxFirst,
+}
+
+/// Search configuration.
+#[derive(Debug, Clone)]
+pub struct SearchConfig {
+    /// Variable selection strategy.
+    pub var_order: VarOrder,
+    /// Value selection strategy.
+    pub value_order: ValueOrder,
+    /// Abort after this many search nodes (`None` = unlimited). When the
+    /// limit is hit the best solution so far is returned and
+    /// [`SearchStats::proven_optimal`] is `false`.
+    pub node_limit: Option<u64>,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            var_order: VarOrder::Input,
+            value_order: ValueOrder::MinFirst,
+            node_limit: None,
+        }
+    }
+}
+
+/// A complete feasible assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Solution {
+    values: Vec<i64>,
+}
+
+impl Solution {
+    /// Value assigned to `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not belong to the solved model.
+    pub fn value(&self, v: VarId) -> i64 {
+        self.values[v.index()]
+    }
+
+    /// All values, in variable creation order.
+    pub fn values(&self) -> &[i64] {
+        &self.values
+    }
+}
+
+/// Statistics gathered during search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SearchStats {
+    /// Search nodes explored.
+    pub nodes: u64,
+    /// Propagator invocations.
+    pub propagations: u64,
+    /// Feasible solutions encountered.
+    pub solutions: u64,
+    /// Whether the search space was exhausted (optimum proven for
+    /// minimization, infeasibility proven when no solution).
+    pub proven_optimal: bool,
+}
+
+/// Result of a search: best solution (if any) and statistics.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// Best (or first, for satisfaction) solution found.
+    pub best: Option<Solution>,
+    /// Search statistics.
+    pub stats: SearchStats,
+}
+
+/// Width at or below which values are enumerated instead of bisected.
+const ENUMERATE_WIDTH: i64 = 4;
+
+struct Ctx<'a> {
+    model: &'a Model,
+    cfg: &'a SearchConfig,
+    objective: Option<VarId>,
+    best: Option<Solution>,
+    best_obj: i64,
+    stats: SearchStats,
+    aborted: bool,
+    /// Set when a satisfaction search stops early because it found a
+    /// solution (a clean stop, not a resource abort).
+    clean_stop: bool,
+}
+
+/// Runs DFS (+ branch-and-bound when `objective` is set).
+pub(crate) fn run(model: &Model, objective: Option<VarId>, cfg: &SearchConfig) -> SearchOutcome {
+    let mut ctx = Ctx {
+        model,
+        cfg,
+        objective,
+        best: None,
+        best_obj: i64::MAX,
+        stats: SearchStats::default(),
+        aborted: false,
+        clean_stop: false,
+    };
+    let dom = DomainStore::new(&model.bounds);
+    ctx.dfs(dom);
+    ctx.stats.proven_optimal = !ctx.aborted || ctx.clean_stop;
+    SearchOutcome {
+        best: ctx.best,
+        stats: ctx.stats,
+    }
+}
+
+impl Ctx<'_> {
+    fn dfs(&mut self, mut dom: DomainStore) {
+        if self.aborted {
+            return;
+        }
+        self.stats.nodes += 1;
+        if let Some(limit) = self.cfg.node_limit {
+            if self.stats.nodes > limit {
+                self.aborted = true;
+                return;
+            }
+        }
+        // Branch-and-bound: require strict improvement.
+        if let (Some(obj), true) = (self.objective, self.best.is_some()) {
+            if dom.set_hi(obj, self.best_obj - 1).is_err() {
+                return;
+            }
+        }
+        if self.fixpoint(&mut dom).is_err() {
+            return;
+        }
+        match self.select(&dom) {
+            None => self.record(&dom),
+            Some(v) => self.branch(v, dom),
+        }
+    }
+
+    fn fixpoint(&mut self, dom: &mut DomainStore) -> Result<(), ()> {
+        loop {
+            let mut changed = false;
+            for p in &self.model.props {
+                self.stats.propagations += 1;
+                match p.propagate(dom) {
+                    Ok(c) => changed |= c,
+                    Err(_) => return Err(()),
+                }
+            }
+            // Re-apply the bound inside the fixpoint so it composes with
+            // propagation.
+            if let (Some(obj), true) = (self.objective, self.best.is_some()) {
+                match dom.set_hi(obj, self.best_obj - 1) {
+                    Ok(c) => changed |= c,
+                    Err(_) => return Err(()),
+                }
+            }
+            if !changed {
+                return Ok(());
+            }
+        }
+    }
+
+    fn select(&self, dom: &DomainStore) -> Option<VarId> {
+        let unfixed = (0..dom.len() as u32)
+            .map(VarId)
+            .filter(|&v| !dom.is_fixed(v));
+        match self.cfg.var_order {
+            VarOrder::Input => unfixed.into_iter().next(),
+            VarOrder::SmallestDomain => unfixed.min_by_key(|&v| dom.width(v)),
+        }
+    }
+
+    fn branch(&mut self, v: VarId, dom: DomainStore) {
+        let (lo, hi) = (dom.lo(v), dom.hi(v));
+        if hi - lo <= ENUMERATE_WIDTH {
+            let values: Vec<i64> = match self.cfg.value_order {
+                ValueOrder::MinFirst => (lo..=hi).collect(),
+                ValueOrder::MaxFirst => (lo..=hi).rev().collect(),
+            };
+            for val in values {
+                let mut child = dom.clone();
+                if child.fix(v, val).is_ok() {
+                    self.dfs(child);
+                }
+                if self.aborted {
+                    return;
+                }
+            }
+        } else {
+            let mid = lo + (hi - lo) / 2;
+            let halves: [(i64, i64); 2] = match self.cfg.value_order {
+                ValueOrder::MinFirst => [(lo, mid), (mid + 1, hi)],
+                ValueOrder::MaxFirst => [(mid + 1, hi), (lo, mid)],
+            };
+            for (a, b) in halves {
+                let mut child = dom.clone();
+                if child.set_lo(v, a).is_ok() && child.set_hi(v, b).is_ok() {
+                    self.dfs(child);
+                }
+                if self.aborted {
+                    return;
+                }
+            }
+        }
+    }
+
+    fn record(&mut self, dom: &DomainStore) {
+        debug_assert!(
+            self.model.props.iter().all(|p| p.is_satisfied(dom)),
+            "propagation fixpoint accepted an infeasible assignment"
+        );
+        self.stats.solutions += 1;
+        let values: Vec<i64> = (0..dom.len() as u32).map(|i| dom.value(VarId(i))).collect();
+        match self.objective {
+            None => {
+                self.best = Some(Solution { values });
+                // Satisfaction search: stop cleanly at the first solution.
+                self.aborted = true;
+                self.clean_stop = true;
+            }
+            Some(obj) => {
+                let val = dom.value(obj);
+                if val < self.best_obj {
+                    self.best_obj = val;
+                    self.best = Some(Solution { values });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+
+    #[test]
+    fn satisfaction_finds_a_solution() {
+        let mut m = Model::new();
+        let x = m.new_var("x", 0, 9).unwrap();
+        let y = m.new_var("y", 0, 9).unwrap();
+        m.linear_eq(&[(1, x), (1, y)], 9).unwrap();
+        m.diff_ge(x, y, 1).unwrap();
+        let sol = m.solve(&SearchConfig::default()).unwrap().unwrap();
+        assert_eq!(sol.value(x) + sol.value(y), 9);
+        assert!(sol.value(x) - sol.value(y) >= 1);
+    }
+
+    #[test]
+    fn infeasible_model_returns_none() {
+        let mut m = Model::new();
+        let x = m.new_var("x", 0, 3).unwrap();
+        m.linear_ge(&[(1, x)], 10).unwrap();
+        assert!(m.solve(&SearchConfig::default()).unwrap().is_none());
+    }
+
+    #[test]
+    fn minimize_proves_optimality() {
+        // minimize x + noise: x ∈ [0,100], x ≥ 37 via two constraints.
+        let mut m = Model::new();
+        let x = m.new_var("x", 0, 100).unwrap();
+        let y = m.new_var("y", 0, 100).unwrap();
+        m.linear_ge(&[(1, x), (1, y)], 50).unwrap();
+        m.linear_le(&[(1, y)], 13).unwrap();
+        let out = m.minimize_with_stats(x, &SearchConfig::default()).unwrap();
+        let sol = out.best.unwrap();
+        assert_eq!(sol.value(x), 37);
+        assert!(out.stats.proven_optimal);
+        assert!(out.stats.solutions >= 1);
+    }
+
+    #[test]
+    fn minimize_with_tables_and_min() {
+        // χ-style model: two inputs in [1,5]; cost table grows, quality
+        // table grows; require min quality ≥ 30 and minimize total cost.
+        let mut m = Model::new();
+        let chi1 = m.new_var("chi1", 1, 5).unwrap();
+        let chi2 = m.new_var("chi2", 1, 5).unwrap();
+        let q1 = m.new_var("q1", 0, 100).unwrap();
+        let q2 = m.new_var("q2", 0, 100).unwrap();
+        let qmin = m.new_var("qmin", 0, 100).unwrap();
+        let cost = m.new_var("cost", 0, 1000).unwrap();
+        let quality = vec![10, 20, 30, 40, 50];
+        let prices = vec![3, 5, 9, 17, 33];
+        m.table_fn(chi1, q1, quality.clone()).unwrap();
+        m.table_fn(chi2, q2, quality).unwrap();
+        m.min_of(&[q1, q2], qmin).unwrap();
+        m.linear_ge(&[(1, qmin)], 30).unwrap();
+        let c1 = m.new_var("c1", 0, 100).unwrap();
+        let c2 = m.new_var("c2", 0, 100).unwrap();
+        m.table_fn(chi1, c1, prices.clone()).unwrap();
+        m.table_fn(chi2, c2, prices).unwrap();
+        m.linear_eq(&[(1, c1), (1, c2), (-1, cost)], 0).unwrap();
+        let sol = m.minimize(cost, &SearchConfig::default()).unwrap().unwrap();
+        // Optimal: both χ = 3 (quality 30, price 9 each).
+        assert_eq!(sol.value(chi1), 3);
+        assert_eq!(sol.value(chi2), 3);
+        assert_eq!(sol.value(cost), 18);
+    }
+
+    #[test]
+    fn no_overlap_scheduling() {
+        // Two unit jobs and one 2-slot job on a single machine; minimize
+        // makespan.
+        let mut m = Model::new();
+        let s1 = m.new_var("s1", 0, 10).unwrap();
+        let s2 = m.new_var("s2", 0, 10).unwrap();
+        let s3 = m.new_var("s3", 0, 10).unwrap();
+        let d1 = m.constant("d1", 1);
+        let d2 = m.constant("d2", 1);
+        let d3 = m.constant("d3", 2);
+        m.no_overlap(s1, d1, s2, d2).unwrap();
+        m.no_overlap(s1, d1, s3, d3).unwrap();
+        m.no_overlap(s2, d2, s3, d3).unwrap();
+        let mk = m.new_var("makespan", 0, 20).unwrap();
+        let e1 = m.new_var("e1", 0, 20).unwrap();
+        let e2 = m.new_var("e2", 0, 20).unwrap();
+        let e3 = m.new_var("e3", 0, 20).unwrap();
+        m.linear_eq(&[(1, e1), (-1, s1)], 1).unwrap();
+        m.linear_eq(&[(1, e2), (-1, s2)], 1).unwrap();
+        m.linear_eq(&[(1, e3), (-1, s3)], 2).unwrap();
+        m.max_of(&[e1, e2, e3], mk).unwrap();
+        let sol = m.minimize(mk, &SearchConfig::default()).unwrap().unwrap();
+        assert_eq!(sol.value(mk), 4);
+    }
+
+    #[test]
+    fn node_limit_aborts_cleanly() {
+        let mut m = Model::new();
+        // A loose model with a big search space.
+        let vars: Vec<_> = (0..8)
+            .map(|i| m.new_var(&format!("v{i}"), 0, 50).unwrap())
+            .collect();
+        let obj = m.new_var("obj", 0, 400).unwrap();
+        let mut terms: Vec<(i64, VarId)> = vars.iter().map(|&v| (1i64, v)).collect();
+        terms.push((-1, obj));
+        m.linear_eq(&terms, 0).unwrap();
+        m.linear_ge(&[(1, vars[0]), (1, vars[1])], 30).unwrap();
+        let cfg = SearchConfig {
+            node_limit: Some(5),
+            ..SearchConfig::default()
+        };
+        let out = m.minimize_with_stats(obj, &cfg).unwrap();
+        assert!(!out.stats.proven_optimal);
+        assert!(out.stats.nodes <= 6);
+    }
+
+    #[test]
+    fn max_first_value_order() {
+        let mut m = Model::new();
+        let x = m.new_var("x", 0, 3).unwrap();
+        let cfg = SearchConfig {
+            value_order: ValueOrder::MaxFirst,
+            ..SearchConfig::default()
+        };
+        let sol = m.solve(&cfg).unwrap().unwrap();
+        assert_eq!(sol.value(x), 3);
+    }
+
+    #[test]
+    fn smallest_domain_var_order_solves() {
+        let mut m = Model::new();
+        let x = m.new_var("x", 0, 100).unwrap();
+        let y = m.new_var("y", 0, 2).unwrap();
+        m.linear_eq(&[(1, x), (-10, y)], 0).unwrap();
+        let cfg = SearchConfig {
+            var_order: VarOrder::SmallestDomain,
+            ..SearchConfig::default()
+        };
+        let sol = m.minimize(x, &cfg).unwrap().unwrap();
+        assert_eq!(sol.value(x), 0);
+    }
+
+    #[test]
+    fn if_then_le_in_search() {
+        // cond chooses an ordering; minimizing end forces cond consistent.
+        let mut m = Model::new();
+        let cond = m.new_var("cond", 0, 1).unwrap();
+        let x = m.new_var("x", 5, 5).unwrap();
+        let y = m.new_var("y", 0, 20).unwrap();
+        m.if_then_le(cond, x, 3, y).unwrap();
+        m.linear_ge(&[(1, cond)], 1).unwrap();
+        let sol = m.minimize(y, &SearchConfig::default()).unwrap().unwrap();
+        assert_eq!(sol.value(y), 8);
+    }
+
+    #[test]
+    fn solution_values_in_creation_order() {
+        let mut m = Model::new();
+        let a = m.constant("a", 1);
+        let b = m.constant("b", 2);
+        let sol = m.solve(&SearchConfig::default()).unwrap().unwrap();
+        assert_eq!(sol.values(), &[1, 2]);
+        assert_eq!(sol.value(a), 1);
+        assert_eq!(sol.value(b), 2);
+    }
+}

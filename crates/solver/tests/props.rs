@@ -1,0 +1,149 @@
+//! Property tests: the solver against brute-force enumeration on tiny
+//! random models.
+
+use netdag_solver::{Model, SearchConfig, VarId};
+use proptest::prelude::*;
+
+/// A tiny random model: `n` vars with domains `[0, width]`, a set of
+/// random `LinearLe` constraints, and an objective summing all vars.
+#[derive(Debug, Clone)]
+struct TinyProblem {
+    domains: Vec<i64>,
+    /// Each constraint: (coefficients per var, bound).
+    constraints: Vec<(Vec<i64>, i64)>,
+}
+
+fn tiny_problem() -> impl Strategy<Value = TinyProblem> {
+    (2usize..4)
+        .prop_flat_map(|n| {
+            let domains = proptest::collection::vec(1i64..5, n);
+            let constraint = (proptest::collection::vec(-3i64..4, n), -4i64..15)
+                .prop_map(|(coefs, bound)| (coefs, bound));
+            let constraints = proptest::collection::vec(constraint, 0..4);
+            (domains, constraints)
+        })
+        .prop_map(|(domains, constraints)| TinyProblem {
+            domains,
+            constraints,
+        })
+}
+
+/// Brute-force the minimum feasible objective (sum of vars).
+fn brute_force(p: &TinyProblem) -> Option<i64> {
+    fn rec(p: &TinyProblem, assignment: &mut Vec<i64>, best: &mut Option<i64>) {
+        let i = assignment.len();
+        if i == p.domains.len() {
+            let feasible = p.constraints.iter().all(|(coefs, bound)| {
+                coefs
+                    .iter()
+                    .zip(assignment.iter())
+                    .map(|(c, v)| c * v)
+                    .sum::<i64>()
+                    <= *bound
+            });
+            if feasible {
+                let obj: i64 = assignment.iter().sum();
+                *best = Some(best.map_or(obj, |b: i64| b.min(obj)));
+            }
+            return;
+        }
+        for v in 0..=p.domains[i] {
+            assignment.push(v);
+            rec(p, assignment, best);
+            assignment.pop();
+        }
+    }
+    let mut best = None;
+    rec(p, &mut Vec::new(), &mut best);
+    best
+}
+
+fn build_model(p: &TinyProblem) -> (Model, Vec<VarId>, VarId) {
+    let mut m = Model::new();
+    let vars: Vec<VarId> = p
+        .domains
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| m.new_var(&format!("v{i}"), 0, w).expect("valid bounds"))
+        .collect();
+    for (coefs, bound) in &p.constraints {
+        let terms: Vec<(i64, VarId)> = coefs.iter().copied().zip(vars.iter().copied()).collect();
+        m.linear_le(&terms, *bound).expect("valid terms");
+    }
+    let obj_hi: i64 = p.domains.iter().sum();
+    let obj = m.new_var("obj", 0, obj_hi).expect("valid bounds");
+    let mut terms: Vec<(i64, VarId)> = vars.iter().map(|&v| (1i64, v)).collect();
+    terms.push((-1, obj));
+    m.linear_eq(&terms, 0).expect("valid terms");
+    (m, vars, obj)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Branch-and-bound returns exactly the brute-force optimum (or
+    /// proves infeasibility) on random tiny models.
+    #[test]
+    fn minimize_matches_brute_force(p in tiny_problem()) {
+        let (m, _, obj) = build_model(&p);
+        let out = m.minimize_with_stats(obj, &SearchConfig::default()).expect("valid model");
+        prop_assert!(out.stats.proven_optimal);
+        let expected = brute_force(&p);
+        match (out.best, expected) {
+            (Some(sol), Some(opt)) => prop_assert_eq!(sol.value(obj), opt),
+            (None, None) => {}
+            (got, want) => {
+                return Err(TestCaseError::fail(format!(
+                    "solver {got:?} vs brute force {want:?}"
+                )));
+            }
+        }
+    }
+
+    /// Any solution returned by satisfaction search satisfies every
+    /// posted constraint.
+    #[test]
+    fn solutions_satisfy_all_constraints(p in tiny_problem()) {
+        let (m, vars, _) = build_model(&p);
+        if let Some(sol) = m.solve(&SearchConfig::default()).expect("valid model") {
+            for (coefs, bound) in &p.constraints {
+                let total: i64 = coefs
+                    .iter()
+                    .zip(&vars)
+                    .map(|(c, &v)| c * sol.value(v))
+                    .sum();
+                prop_assert!(total <= *bound, "violated {coefs:?} ≤ {bound}");
+            }
+        }
+    }
+
+    /// Table constraints: minimizing a tabulated function finds its
+    /// argmin subject to a lower bound on x.
+    #[test]
+    fn table_fn_minimum(table in proptest::collection::vec(0i64..50, 1..12), x_min in 0usize..6) {
+        let x_min = x_min.min(table.len() - 1);
+        let mut m = Model::new();
+        let x = m.new_var("x", 0, table.len() as i64 - 1).expect("bounds");
+        let y = m.new_var("y", -100, 100).expect("bounds");
+        m.table_fn(x, y, table.clone()).expect("non-empty");
+        m.linear_ge(&[(1, x)], x_min as i64).expect("terms");
+        let sol = m.minimize(y, &SearchConfig::default()).expect("model").expect("feasible");
+        let expected = table[x_min..].iter().copied().min().expect("non-empty");
+        prop_assert_eq!(sol.value(y), expected);
+        prop_assert_eq!(table[sol.value(x) as usize], expected);
+    }
+
+    /// NoOverlap pairs never overlap in returned solutions.
+    #[test]
+    fn no_overlap_is_respected(d1 in 1i64..6, d2 in 1i64..6, horizon in 12i64..20) {
+        let mut m = Model::new();
+        let s1 = m.new_var("s1", 0, horizon).expect("bounds");
+        let s2 = m.new_var("s2", 0, horizon).expect("bounds");
+        let c1 = m.constant("d1", d1);
+        let c2 = m.constant("d2", d2);
+        m.no_overlap(s1, c1, s2, c2).expect("vars");
+        let sol = m.solve(&SearchConfig::default()).expect("model").expect("feasible");
+        let (a, b) = (sol.value(s1), sol.value(s2));
+        prop_assert!(a + d1 <= b || b + d2 <= a, "overlap: [{a},{}) vs [{b},{})", a + d1, b + d2);
+    }
+}

@@ -1,0 +1,144 @@
+//! Scheduling-shaped solver tests: difference systems, disjunctive
+//! machines, and optimality against brute force on tiny job shops.
+
+use netdag_solver::{Model, SearchConfig, VarId};
+
+/// Builds a single-machine scheduling model: `n` jobs with the given
+/// durations, pairwise no-overlap, minimize the makespan. The optimum is
+/// always the duration sum.
+fn single_machine(durations: &[i64]) -> (Model, VarId) {
+    let horizon: i64 = durations.iter().sum::<i64>() * 2 + 1;
+    let mut m = Model::new();
+    let starts: Vec<VarId> = durations
+        .iter()
+        .enumerate()
+        .map(|(i, _)| m.new_var(&format!("s{i}"), 0, horizon).expect("bounds"))
+        .collect();
+    let durs: Vec<VarId> = durations
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| m.constant(&format!("d{i}"), d))
+        .collect();
+    for i in 0..durations.len() {
+        for j in (i + 1)..durations.len() {
+            m.no_overlap(starts[i], durs[i], starts[j], durs[j])
+                .expect("vars");
+        }
+    }
+    let ends: Vec<VarId> = durations
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| {
+            let e = m.new_var(&format!("e{i}"), 0, horizon + 1).expect("bounds");
+            m.linear_eq(&[(1, e), (-1, starts[i])], d).expect("terms");
+            e
+        })
+        .collect();
+    let mk = m.new_var("makespan", 0, horizon + 1).expect("bounds");
+    m.max_of(&ends, mk).expect("vars");
+    (m, mk)
+}
+
+#[test]
+fn single_machine_makespan_is_duration_sum() {
+    for durations in [vec![3i64, 1, 4], vec![5, 5], vec![2, 2, 2, 2], vec![7]] {
+        let (m, mk) = single_machine(&durations);
+        let out = m
+            .minimize_with_stats(mk, &SearchConfig::default())
+            .expect("model");
+        let sol = out.best.expect("feasible");
+        assert_eq!(sol.value(mk), durations.iter().sum::<i64>());
+        assert!(out.stats.proven_optimal);
+    }
+}
+
+#[test]
+fn difference_chain_propagates_to_exact_bounds() {
+    // x0 → x1 → … → x5 with gaps; minimizing the last fixes the chain.
+    let mut m = Model::new();
+    let xs: Vec<VarId> = (0..6)
+        .map(|i| m.new_var(&format!("x{i}"), 0, 1_000_000).expect("bounds"))
+        .collect();
+    for w in xs.windows(2) {
+        m.diff_ge(w[1], w[0], 7).expect("vars");
+    }
+    let sol = m
+        .minimize(xs[5], &SearchConfig::default())
+        .expect("model")
+        .expect("feasible");
+    for (i, &x) in xs.iter().enumerate() {
+        assert_eq!(sol.value(x), 7 * i as i64);
+    }
+}
+
+#[test]
+fn infeasible_difference_cycle_detected() {
+    // x − y ≥ 1 and y − x ≥ 1 cannot both hold.
+    let mut m = Model::new();
+    let x = m.new_var("x", 0, 100).unwrap();
+    let y = m.new_var("y", 0, 100).unwrap();
+    m.diff_ge(x, y, 1).unwrap();
+    m.diff_ge(y, x, 1).unwrap();
+    let out = m.minimize_with_stats(x, &SearchConfig::default()).unwrap();
+    assert!(out.best.is_none());
+    assert!(out.stats.proven_optimal, "infeasibility must be proven");
+}
+
+#[test]
+fn two_machine_flow_with_shared_bus_resource() {
+    // Two jobs on separate machines, but each must also hold a shared
+    // "bus" interval: bus use serializes them, like NETDAG's condition (5).
+    let mut m = Model::new();
+    let horizon = 100;
+    // Job A: compute 10 then bus 5. Job B: compute 4 then bus 5.
+    let a_start = m.new_var("a_start", 0, horizon).unwrap();
+    let b_start = m.new_var("b_start", 0, horizon).unwrap();
+    let a_bus = m.new_var("a_bus", 0, horizon).unwrap();
+    let b_bus = m.new_var("b_bus", 0, horizon).unwrap();
+    let bus_len = m.constant("bus_len", 5);
+    m.linear_ge(&[(1, a_bus), (-1, a_start)], 10).unwrap();
+    m.linear_ge(&[(1, b_bus), (-1, b_start)], 4).unwrap();
+    m.no_overlap(a_bus, bus_len, b_bus, bus_len).unwrap();
+    let mk = m.new_var("mk", 0, horizon + 5).unwrap();
+    let a_end = m.new_var("a_end", 0, horizon + 5).unwrap();
+    let b_end = m.new_var("b_end", 0, horizon + 5).unwrap();
+    m.linear_eq(&[(1, a_end), (-1, a_bus)], 5).unwrap();
+    m.linear_eq(&[(1, b_end), (-1, b_bus)], 5).unwrap();
+    m.max_of(&[a_end, b_end], mk).unwrap();
+    let sol = m.minimize(mk, &SearchConfig::default()).unwrap().unwrap();
+    // Optimal: B uses the bus at 4..9, A at 10..15 → makespan 15.
+    assert_eq!(sol.value(mk), 15);
+}
+
+#[test]
+fn brute_force_agreement_on_random_two_job_shops() {
+    // Two jobs, one machine, plus a precedence: enumerate optimal by hand.
+    for (d1, d2, gap) in [(3i64, 4i64, 2i64), (1, 9, 0), (6, 2, 5)] {
+        let mut m = Model::new();
+        let s1 = m.new_var("s1", 0, 60).unwrap();
+        let s2 = m.new_var("s2", 0, 60).unwrap();
+        let c1 = m.constant("c1", d1);
+        let c2 = m.constant("c2", d2);
+        m.no_overlap(s1, c1, s2, c2).unwrap();
+        // Job 2 may start only `gap` after job 1 starts.
+        m.diff_ge(s2, s1, gap).unwrap();
+        let mk = m.new_var("mk", 0, 80).unwrap();
+        let e1 = m.new_var("e1", 0, 80).unwrap();
+        let e2 = m.new_var("e2", 0, 80).unwrap();
+        m.linear_eq(&[(1, e1), (-1, s1)], d1).unwrap();
+        m.linear_eq(&[(1, e2), (-1, s2)], d2).unwrap();
+        m.max_of(&[e1, e2], mk).unwrap();
+        let sol = m.minimize(mk, &SearchConfig::default()).unwrap().unwrap();
+        // Brute force over small start grids.
+        let mut best = i64::MAX;
+        for a in 0..30 {
+            for b in 0..30 {
+                let no_overlap = a + d1 <= b || b + d2 <= a;
+                if no_overlap && b - a >= gap {
+                    best = best.min((a + d1).max(b + d2));
+                }
+            }
+        }
+        assert_eq!(sol.value(mk), best, "d1={d1} d2={d2} gap={gap}");
+    }
+}

@@ -1,0 +1,51 @@
+//! Simulation-based validation of NETDAG schedules (paper § IV-A).
+//!
+//! A schedule promises task-level real-time behavior; this crate checks
+//! those promises three ways:
+//!
+//! * [`soft`] — eq. (11): per-flood Bernoulli sampling at the scheduled
+//!   `χ`, conjunction across `pred(τ)`, and a Hoeffding-style test of the
+//!   observed hit rate `v` against `F_s(τ)`;
+//! * [`weakly_hard`] — eq. (12): adversarial per-flood miss patterns at
+//!   the scheduled `λ_WH(χ(x))`, conjunction, and an exact check
+//!   `ω_τ ⊢ F_WH(τ)`;
+//! * [`full_stack`] — no statistic at all: replay the schedule over the
+//!   actual [`netdag_lwb`] bus and [`netdag_glossy`] floods and check the
+//!   observed task traces.
+//!
+//! # Example
+//!
+//! ```
+//! use netdag_core::prelude::*;
+//! use netdag_core::stat::Eq13Statistic;
+//! use netdag_glossy::NodeId;
+//! use netdag_validation::weakly_hard::validate_weakly_hard;
+//! use netdag_weakly_hard::Constraint;
+//! use rand::SeedableRng;
+//!
+//! let mut b = Application::builder();
+//! let s = b.task("sense", NodeId(0), 500);
+//! let a = b.task("act", NodeId(1), 300);
+//! b.edge(s, a, 8)?;
+//! let app = b.build()?;
+//! let mut f = WeaklyHardConstraints::new();
+//! f.set(a, Constraint::any_hit(10, 40)?)?;
+//! let stat = Eq13Statistic::new(8);
+//! let out = schedule_weakly_hard(&app, &stat, &f, &SchedulerConfig::default())?;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+//! let reports = validate_weakly_hard(&app, &stat, &f, &out.schedule, 400, 20, &mut rng)?;
+//! assert!(reports.iter().all(|r| r.passed));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod full_stack;
+pub mod soft;
+pub mod weakly_hard;
+
+pub use full_stack::{validate_on_bus, BusReport};
+pub use soft::{hoeffding_margin, validate_soft, SoftReport};
+pub use weakly_hard::{validate_weakly_hard, WeaklyHardReport};

@@ -1,0 +1,60 @@
+//! Weakly hard real-time constraint theory.
+//!
+//! This crate implements the `(m, K)` *weakly hard* constraint framework of
+//! Bernat, Burns and Llamosí ("Weakly hard real-time systems", IEEE TC 2001)
+//! as used by the NETDAG scheduler (Wardega & Li, DATE 2020):
+//!
+//! * [`Sequence`] — packed hit/miss sequences (`1` = hit, `0` = miss);
+//! * [`Constraint`] — the four classic weakly hard constraint classes
+//!   ([`Constraint::AnyHit`], [`Constraint::RowHit`], [`Constraint::AnyMiss`],
+//!   [`Constraint::RowMiss`]) with exact satisfaction checks;
+//! * [`order`] — the `⪯` domination partial order (paper eq. (7)), both as a
+//!   closed form and as an exact semantic check via safety-automaton
+//!   inclusion;
+//! * [`automaton`] — DFAs for satisfaction languages, used for counting
+//!   `|S^κ|`, uniform sampling and exhaustive verification;
+//! * [`conjunction`] — the `⊕` *min-plus layering abstraction* for
+//!   conjunctions of weakly hard constraints (paper eq. (8)) together with
+//!   machine-checkable soundness and tightness witnesses;
+//! * [`synthesis`] — adversarial miss-pattern synthesis (paper eq. (12)).
+//!
+//! # Hit form vs miss form
+//!
+//! The paper uses both the *hit* form `(m, K)` ("at least `m` hits in every
+//! window of `K`") for task-level requirements `F_WH`, and the *miss* form
+//! `(m̄, K)` ("at most `m̄` misses in every window of `K`") for network
+//! statistics `λ_WH` and for the `⊕` operator. Both are [`Constraint`]
+//! variants here and convert losslessly via [`Constraint::to_any_hit`] /
+//! [`Constraint::to_any_miss`].
+//!
+//! # Example
+//!
+//! ```
+//! use netdag_weakly_hard::{Constraint, Sequence};
+//!
+//! // "at least 6 hits in every 10 consecutive executions" (Table I).
+//! let c = Constraint::any_hit(6, 10)?;
+//! let ok = Sequence::from_str_lossy("1111101101");
+//! let bad = Sequence::from_str_lossy("1010101010");
+//! assert!(c.models(&ok));
+//! assert!(!c.models(&bad));
+//! # Ok::<(), netdag_weakly_hard::ConstraintError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod automaton;
+pub mod conjunction;
+pub mod constraint;
+pub mod order;
+pub mod sequence;
+pub mod synthesis;
+
+pub use automaton::Dfa;
+pub use conjunction::{oplus, oplus_fold, OmegaOplus};
+pub use constraint::{Constraint, ConstraintError, ParseConstraintError};
+pub use order::{dominates, dominates_any_hit_closed_form, equivalent, Domination};
+pub use sequence::Sequence;
+pub use synthesis::{random_burst_pattern, worst_case_pattern, AdversarialSampler, SynthesisError};

@@ -1,0 +1,108 @@
+//! Exhaustive checks of the `⪯` preorder across all four Bernat
+//! constraint classes on small windows: the laws a domination relation
+//! must satisfy, plus the classic cross-class relationships from the
+//! weakly hard literature.
+
+use netdag_weakly_hard::{dominates, equivalent, Constraint};
+
+/// Every constraint of the four classes with windows up to `max_k`.
+fn universe(max_k: u32) -> Vec<Constraint> {
+    let mut out = Vec::new();
+    for k in 1..=max_k {
+        for m in 0..=k {
+            out.push(Constraint::any_hit(m, k).expect("valid"));
+            out.push(Constraint::any_miss(m, k).expect("valid"));
+            out.push(Constraint::row_hit(m, k).expect("valid"));
+        }
+    }
+    for m in 0..=max_k {
+        out.push(Constraint::row_miss(m));
+    }
+    out
+}
+
+#[test]
+fn preorder_laws_hold_exhaustively() {
+    let cs = universe(4);
+    // Reflexivity.
+    for a in &cs {
+        assert!(dominates(a, a).unwrap(), "reflexivity of {a}");
+    }
+    // Transitivity over all triples (cubic but small).
+    let dom: Vec<Vec<bool>> = cs
+        .iter()
+        .map(|a| cs.iter().map(|b| dominates(a, b).unwrap()).collect())
+        .collect();
+    for (i, a) in cs.iter().enumerate() {
+        for (j, b) in cs.iter().enumerate() {
+            if !dom[i][j] {
+                continue;
+            }
+            for (l, c) in cs.iter().enumerate() {
+                if dom[j][l] {
+                    assert!(dom[i][l], "transitivity: {a} ⪯ {b} ⪯ {c}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn classic_cross_class_relations() {
+    // ⟨m, K⟩ (row hit) is at least as hard as (m, K) (any hit).
+    for k in 1..=5u32 {
+        for m in 0..=k {
+            let row = Constraint::row_hit(m, k).unwrap();
+            let any = Constraint::any_hit(m, k).unwrap();
+            assert!(dominates(&row, &any).unwrap(), "<{m},{k}> ⪯ ({m},{k})");
+        }
+    }
+    // The hard constraint of window K dominates everything with window K.
+    for k in 1..=5u32 {
+        let hard = Constraint::any_hit(k, k).unwrap();
+        for m in 0..=k {
+            assert!(dominates(&hard, &Constraint::any_hit(m, k).unwrap()).unwrap());
+            assert!(dominates(&hard, &Constraint::row_hit(m, k).unwrap()).unwrap());
+        }
+    }
+    // Everything dominates the trivial constraint.
+    let trivial = Constraint::any_hit(0, 1).unwrap();
+    for c in universe(4) {
+        assert!(dominates(&c, &trivial).unwrap(), "{c} ⪯ trivial");
+    }
+}
+
+#[test]
+fn equivalence_is_symmetric_and_matches_mutual_domination() {
+    let cs = universe(3);
+    for a in &cs {
+        for b in &cs {
+            let ab = equivalent(a, b).unwrap();
+            let ba = equivalent(b, a).unwrap();
+            assert_eq!(ab, ba, "{a} ≡ {b}");
+            assert_eq!(
+                ab,
+                dominates(a, b).unwrap() && dominates(b, a).unwrap(),
+                "{a} vs {b}"
+            );
+        }
+    }
+    // Known equivalences: hit/miss conversions; trivial class.
+    assert!(equivalent(
+        &Constraint::any_hit(2, 5).unwrap(),
+        &Constraint::any_miss(3, 5).unwrap()
+    )
+    .unwrap());
+    assert!(equivalent(
+        &Constraint::any_hit(0, 3).unwrap(),
+        &Constraint::any_miss(4, 4).unwrap()
+    )
+    .unwrap());
+    // RowHit with m = 1 equals AnyHit with m = 1 (one hit somewhere in the
+    // window is one consecutive hit).
+    assert!(equivalent(
+        &Constraint::row_hit(1, 4).unwrap(),
+        &Constraint::any_hit(1, 4).unwrap()
+    )
+    .unwrap());
+}

@@ -1,0 +1,164 @@
+//! Property tests for the weakly hard algebra.
+
+use netdag_weakly_hard::{
+    automaton::Dfa,
+    conjunction::{oplus, oplus_fold},
+    order::{canonical, dominates, dominates_any_hit_closed_form, dominates_semantic, equivalent},
+    synthesis::{random_burst_pattern, worst_case_pattern},
+    Constraint, Sequence,
+};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn any_constraint() -> impl Strategy<Value = Constraint> {
+    (1u32..9, 0u32..9, 0u32..4).prop_map(|(k, m, class)| {
+        let m = m.min(k);
+        match class {
+            0 => Constraint::any_hit(m, k).expect("valid"),
+            1 => Constraint::any_miss(m, k).expect("valid"),
+            2 => Constraint::row_hit(m, k).expect("valid"),
+            _ => Constraint::row_miss(m),
+        }
+    })
+}
+
+fn any_seq(max_len: usize) -> impl Strategy<Value = Sequence> {
+    proptest::collection::vec(any::<bool>(), 0..max_len).prop_map(|bits| bits.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The DFA compiled from a constraint decides exactly the same
+    /// language as the direct `models` check.
+    #[test]
+    fn dfa_agrees_with_models(c in any_constraint(), seq in any_seq(40)) {
+        let dfa = Dfa::from_constraint(&c).expect("small windows");
+        prop_assert_eq!(dfa.accepts(&seq), c.models(&seq), "constraint {}", c);
+    }
+
+    /// Counting via the DFA equals naive enumeration.
+    #[test]
+    fn counting_agrees_with_enumeration(c in any_constraint(), kappa in 0usize..12) {
+        let dfa = Dfa::from_constraint(&c).expect("small windows");
+        prop_assert_eq!(
+            dfa.count_accepting(kappa),
+            c.satisfaction_count_naive(kappa) as u128
+        );
+    }
+
+    /// Eq. (7) closed form equals exact semantic inclusion on any-hit
+    /// pairs.
+    #[test]
+    fn eq7_closed_form_is_semantic(
+        a in 0u32..9, b in 1u32..9,
+        g in 0u32..9, d in 1u32..9,
+    ) {
+        let x = Constraint::any_hit(a.min(b), b).expect("valid");
+        let y = Constraint::any_hit(g.min(d), d).expect("valid");
+        prop_assert_eq!(
+            dominates_any_hit_closed_form((a.min(b), b), (g.min(d), d)),
+            dominates_semantic(&x, &y).expect("small windows"),
+            "{} vs {}", x, y
+        );
+    }
+
+    /// `⪯` is a preorder: reflexive, and transitive over sampled triples.
+    #[test]
+    fn domination_is_reflexive(c in any_constraint()) {
+        prop_assert!(dominates(&c, &c).expect("small windows"));
+    }
+
+    /// ⊕ is commutative and associative on windowed constraints.
+    #[test]
+    fn oplus_is_commutative_and_associative(
+        a in 0u32..6, g in 1u32..9,
+        b in 0u32..6, d in 1u32..9,
+        e in 0u32..6, f in 1u32..9,
+    ) {
+        let x = Constraint::any_miss(a.min(g), g).expect("valid");
+        let y = Constraint::any_miss(b.min(d), d).expect("valid");
+        let z = Constraint::any_miss(e.min(f), f).expect("valid");
+        prop_assert_eq!(oplus(&x, &y).unwrap(), oplus(&y, &x).unwrap());
+        let left = oplus(&oplus(&x, &y).unwrap(), &z).unwrap();
+        let right = oplus(&x, &oplus(&y, &z).unwrap()).unwrap();
+        prop_assert_eq!(left, right);
+        // Fold equals pairwise chaining.
+        let folded = oplus_fold([x, y, z].iter()).unwrap().unwrap();
+        prop_assert_eq!(folded, left);
+    }
+
+    /// ⊕ result is never harder to satisfy than either operand requires:
+    /// conjunction of sampled satisfying sequences satisfies it.
+    #[test]
+    fn oplus_soundness_sampled(
+        a in 0u32..4, g in 2u32..8,
+        b in 0u32..4, d in 2u32..8,
+        seed in any::<u64>(),
+    ) {
+        let x = Constraint::any_miss(a.min(g), g).expect("valid");
+        let y = Constraint::any_miss(b.min(d), d).expect("valid");
+        let z = oplus(&x, &y).unwrap();
+        let dx = Dfa::from_constraint(&x).unwrap();
+        let dy = Dfa::from_constraint(&y).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let u = dx.sample_uniform(20, &mut rng).expect("nonempty");
+        let v = dy.sample_uniform(20, &mut rng).expect("nonempty");
+        prop_assert!(z.models(&u.and(&v)), "x={} y={} z={} u={} v={}", x, y, z, u, v);
+    }
+
+    /// Both eq. (12) generators produce members of the adversarial set.
+    #[test]
+    fn synthesis_generators_are_members(
+        m in 1u32..6, k in 2u32..10,
+        seed in any::<u64>(),
+    ) {
+        let m = m.min(k);
+        let kappa = (k + m) as usize + 13;
+        let target = Constraint::any_miss(m, k).expect("valid");
+        let sm = Constraint::any_miss(m - 1, k).expect("valid");
+        let sk = Constraint::any_miss(m, k + 1).expect("valid");
+        let wc = worst_case_pattern(m, k, kappa).unwrap();
+        prop_assert!(target.models(&wc) && !sm.models(&wc) && !sk.models(&wc));
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let rb = random_burst_pattern(m, k, kappa, &mut rng).unwrap();
+        prop_assert!(target.models(&rb) && !sm.models(&rb) && !sk.models(&rb), "{}", rb);
+    }
+
+    /// Canonicalization preserves the satisfaction set.
+    #[test]
+    fn canonical_is_equivalent(c in any_constraint()) {
+        let canon = canonical(&c);
+        prop_assert!(equivalent(&c, &canon).expect("small windows"), "{} vs {}", c, canon);
+    }
+
+    /// Window statistics agree with a naive recomputation.
+    #[test]
+    fn window_statistics_match_naive(seq in any_seq(50), k in 1usize..12) {
+        let (naive_min_hits, naive_max_misses) = if k <= seq.len() {
+            let windows: Vec<usize> = (0..=seq.len() - k)
+                .map(|t| (t..t + k).filter(|&i| seq.get(i) == Some(true)).count())
+                .collect();
+            (
+                windows.iter().copied().min(),
+                windows.iter().map(|&h| k - h).max(),
+            )
+        } else {
+            (None, None)
+        };
+        prop_assert_eq!(seq.min_window_hits(k), naive_min_hits);
+        prop_assert_eq!(seq.max_window_misses(k), naive_max_misses);
+    }
+
+    /// Uniform DFA samples always satisfy the constraint they were drawn
+    /// from.
+    #[test]
+    fn dfa_samples_satisfy(c in any_constraint(), seed in any::<u64>(), kappa in 0usize..30) {
+        let dfa = Dfa::from_constraint(&c).expect("small windows");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        if let Some(s) = dfa.sample_uniform(kappa, &mut rng) {
+            prop_assert!(c.models(&s), "constraint {}, seq {}", c, s);
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Runtime stream admission over a periodic LWB round (extension after
+//! Blink, related work [13]): streams request contracts at runtime and the
+//! host admits them only while it can still guarantee every admitted
+//! contract.
+//!
+//! Run with: `cargo run --release --example stream_admission`
+
+use netdag::glossy::GlossyTiming;
+use netdag::lwb::{AdmissionController, StreamRequest};
+
+fn main() {
+    // One communication round per second, up to 6 slots each.
+    let mut ctl = AdmissionController::new(GlossyTiming::telosb(), 1_000_000, 6, 2);
+    println!(
+        "round period 1 s, 6 slots; minimum guaranteeable deadline {} µs\n",
+        ctl.min_guaranteeable_deadline_us()
+    );
+
+    let mut admitted = Vec::new();
+    let requests = [
+        ("temp sensor, 1 s period", 1_000_000u64, 5_000_000u64, 8u32),
+        ("vibration monitor, 500 ms", 500_000, 5_000_000, 16),
+        ("pressure sensor, 1 s", 1_000_000, 5_000_000, 8),
+        ("camera metadata, 250 ms", 250_000, 5_000_000, 32),
+        ("backup logger, 2 s", 2_000_000, 10_000_000, 64),
+        (
+            "impatient stream, 1 s, 0.8 s deadline",
+            1_000_000,
+            800_000,
+            8,
+        ),
+    ];
+    for (name, period_us, deadline_us, width) in requests {
+        let req = StreamRequest {
+            period_us,
+            deadline_us,
+            width,
+            chi: 3,
+        };
+        match ctl.admit(req) {
+            Ok(id) => {
+                admitted.push(id);
+                println!(
+                    "ADMIT  {name:<42} → {id}, utilization {:.0}%",
+                    ctl.utilization() * 100.0
+                );
+            }
+            Err(reason) => println!("REJECT {name:<42} → {reason}"),
+        }
+    }
+
+    // Tearing a stream down frees its contract for someone else.
+    if let Some(&first) = admitted.first() {
+        ctl.release(first);
+        println!(
+            "\nreleased {first}; utilization now {:.0}%",
+            ctl.utilization() * 100.0
+        );
+        let retry = StreamRequest {
+            period_us: 1_000_000,
+            deadline_us: 5_000_000,
+            width: 8,
+            chi: 3,
+        };
+        match ctl.admit(retry) {
+            Ok(id) => println!("late joiner admitted as {id}"),
+            Err(reason) => println!("late joiner rejected: {reason}"),
+        }
+    }
+}

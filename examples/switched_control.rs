@@ -1,0 +1,80 @@
+//! Switched control over the LWB (paper § IV-B, second application
+//! class): two controllers drive the same actuator — a fast, lower-quality
+//! controller that must deliver often, and a slow, high-quality controller
+//! whose output is only needed occasionally. The designer specifies *how
+//! often each type of control output is required* as weakly hard
+//! constraints, and NETDAG organizes the communication.
+//!
+//! Run with: `cargo run --release --example switched_control`
+
+use netdag::core::prelude::*;
+use netdag::core::stat::Eq13Statistic;
+use netdag::glossy::NodeId;
+use netdag::lwb::required_beacon_width;
+use netdag::weakly_hard::Constraint;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut b = Application::builder();
+    let sense = b.task("sense", NodeId(0), 400);
+    // Fast but imprecise controller: small WCET.
+    let ctl_fast = b.task("ctl_fast", NodeId(1), 800);
+    // Slow, high-quality controller: large WCET.
+    let ctl_slow = b.task("ctl_slow", NodeId(2), 4_000);
+    // The actuator applies the fast output every cycle and refines with
+    // the slow output when it arrives; modeled as two co-located stages
+    // ordered on the actuator node (eq. (1) requires same-node ordering).
+    let apply_fast = b.task("apply_fast", NodeId(3), 150);
+    let apply_slow = b.task("apply_slow", NodeId(3), 150);
+    b.edge(sense, ctl_fast, 6)?;
+    b.edge(sense, ctl_slow, 6)?;
+    b.edge(ctl_fast, apply_fast, 2)?;
+    b.edge(ctl_slow, apply_slow, 2)?;
+    b.edge(apply_fast, apply_slow, 1)?; // same-node ordering, no flood
+    let app = b.build()?;
+
+    let stat = Eq13Statistic::new(8);
+
+    // "How often each type of control output is required":
+    //   the fast path must land ≥ 15 times per 60 cycles,
+    //   the refined path only ≥ 5 times per 60 cycles.
+    let mut f = WeaklyHardConstraints::new();
+    f.set(apply_fast, Constraint::any_hit(15, 60)?)?;
+    f.set(apply_slow, Constraint::any_hit(5, 60)?)?;
+
+    let out = schedule_weakly_hard(&app, &stat, &f, &SchedulerConfig::default())?;
+    println!("switched-control schedule (optimal = {}):", out.optimal);
+    println!("{}", out.schedule.render_timeline(&app, 72));
+    for m in app.messages() {
+        println!(
+            "message {m} from {}: χ = {}, round {}",
+            app.task(app.message(m).source).name,
+            out.schedule.chi(m),
+            out.schedule.round_of(m).expect("assigned")
+        );
+    }
+    println!(
+        "\nderived bounds: fast path {:?}, refined path {:?}",
+        netdag::core::weakly_hard::derived_bound(&app, &stat, &out.schedule, apply_fast),
+        netdag::core::weakly_hard::derived_bound(&app, &stat, &out.schedule, apply_slow),
+    );
+    println!(
+        "beacon needs ≥ {} bytes to announce the largest round",
+        required_beacon_width(&app, &out.schedule)
+    );
+
+    // The tradeoff the paper highlights: demanding refined output as often
+    // as fast output costs makespan.
+    let mut greedy_equal = WeaklyHardConstraints::new();
+    greedy_equal.set(apply_fast, Constraint::any_hit(15, 60)?)?;
+    greedy_equal.set(apply_slow, Constraint::any_hit(15, 60)?)?;
+    let equal = schedule_weakly_hard(&app, &stat, &greedy_equal, &SchedulerConfig::default())?;
+    println!(
+        "\nmakespan with relaxed refined-path requirement: {} µs",
+        out.schedule.makespan(&app)
+    );
+    println!(
+        "makespan when the refined path must match the fast path: {} µs",
+        equal.schedule.makespan(&app)
+    );
+    Ok(())
+}

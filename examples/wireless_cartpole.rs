@@ -1,0 +1,112 @@
+//! Closed-loop control *over the wireless bus*: the scenario of "Feedback
+//! control goes wireless" (paper reference [9]) rebuilt on this stack.
+//!
+//! A cartpole's sensor, controller and actuator sit on three different
+//! nodes. Each control period executes one scheduled LWB round trip:
+//! sensor → flood → controller → flood → actuator. Whenever the message
+//! chain fails, the actuator holds its last output (eq. (14)). We compare
+//! balance performance across retransmission budgets and channel types —
+//! the reliability/latency trade-off of fig. 1 made physical.
+//!
+//! Run with: `cargo run --release --example wireless_cartpole`
+
+use netdag::control::{CartPole, Controller, LinearController};
+use netdag::core::prelude::*;
+use netdag::core::stat::Eq13Statistic;
+use netdag::glossy::link::{Bernoulli, GilbertElliott, LossModel};
+use netdag::glossy::{NodeId, Topology};
+use netdag::lwb::bus::LwbExecutor;
+use netdag::weakly_hard::Constraint;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// One episode: `steps` control periods, each backed by a real bus round
+/// trip. Returns how long the pole stayed up.
+fn closed_loop_episode<L: LossModel>(
+    exec: &LwbExecutor,
+    actuator: TaskId,
+    link: &mut L,
+    steps: usize,
+    rng: &mut ChaCha8Rng,
+) -> usize {
+    let ctl = LinearController::tuned();
+    let mut plant = CartPole::new();
+    plant.reset(rng);
+    let mut held = 0.0f64;
+    for step in 0..steps {
+        let outcome = exec.run_once(link, rng);
+        if outcome.task_ok[actuator.index()] {
+            // Fresh sensor data made it through both floods.
+            held = ctl.act(&plant.state());
+        }
+        plant.step(held);
+        if plant.failed() {
+            return step + 1;
+        }
+        link.advance_between_floods(rng);
+    }
+    steps
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // sense (n0) → control (n1) → actuate (n2) over a 3-node line.
+    let mut b = Application::builder();
+    let sense = b.task("sense", NodeId(0), 200);
+    let control = b.task("control", NodeId(1), 500);
+    let actuate = b.task("actuate", NodeId(2), 100);
+    b.edge(sense, control, 8)?;
+    b.edge(control, actuate, 4)?;
+    let app = b.build()?;
+    let topo = Topology::line(3)?;
+    let stat = Eq13Statistic::new(8);
+
+    println!("closed-loop cartpole over the LWB (300 control periods):\n");
+    println!(
+        "{:<26} {:>6} {:>14} {:>14}",
+        "channel", "χ req", "mean balance", "bus µs/period"
+    );
+    for (name, requirement) in [
+        ("loose (3, 60)", Constraint::any_hit(3, 60)?),
+        ("strict (25, 60)", Constraint::any_hit(25, 60)?),
+    ] {
+        let mut f = WeaklyHardConstraints::new();
+        f.set(actuate, requirement)?;
+        let out = schedule_weakly_hard(&app, &stat, &f, &SchedulerConfig::default())?;
+        let exec = LwbExecutor::new(&app, &out.schedule, &topo, NodeId(0))?;
+        let chi: Vec<u32> = app.messages().map(|m| out.schedule.chi(m)).collect();
+
+        for (channel, mk) in [("i.i.d. 45 %", 0), ("bursty Gilbert–Elliott", 1)] {
+            let mut rng = ChaCha8Rng::seed_from_u64(9 + mk);
+            let episodes = 25;
+            let mut total = 0usize;
+            for _ in 0..episodes {
+                total += match mk {
+                    0 => {
+                        let mut link = Bernoulli::new(0.45)?;
+                        closed_loop_episode(&exec, actuate, &mut link, 300, &mut rng)
+                    }
+                    _ => {
+                        let mut link = GilbertElliott::new(0.10, 0.05, 0.9, 0.0)?;
+                        closed_loop_episode(&exec, actuate, &mut link, 300, &mut rng)
+                    }
+                };
+            }
+            println!(
+                "{:<26} {:>6} {:>14.1} {:>14}",
+                format!("{name} / {channel}"),
+                format!("{chi:?}"),
+                total as f64 / episodes as f64,
+                out.schedule.total_communication_us()
+            );
+        }
+    }
+    println!(
+        "\nThe strict requirement buys more retransmissions per flood, which\n\
+         keeps the pole up longer on the same channels at the price of longer\n\
+         rounds (the fig. 1 caption's trade-off, closed loop). And the bursty\n\
+         channel hurts far more than an i.i.d. channel of comparable loss —\n\
+         the miss *pattern*, not the average, is what drops the pole: the\n\
+         weakly hard paradigm's whole argument."
+    );
+    Ok(())
+}

@@ -1,0 +1,36 @@
+//! NETDAG — application-aware scheduling of networked applications over the
+//! Low-Power Wireless Bus.
+//!
+//! This crate is the facade over the NETDAG workspace, a from-scratch
+//! reproduction of *"Application-Aware Scheduling of Networked Applications
+//! over the Low-Power Wireless Bus"* (Wardega & Li, DATE 2020). It
+//! re-exports every subsystem:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`weakly_hard`] | `netdag-weakly-hard` | `(m, K)` constraint theory, `⪯`, `⊕`, synthesis |
+//! | [`glossy`] | `netdag-glossy` | Glossy flood simulator, topologies, link models |
+//! | [`lwb`] | `netdag-lwb` | Low-Power Wireless Bus rounds, energy, traces |
+//! | [`solver`] | `netdag-solver` | finite-domain CSP / branch-and-bound |
+//! | [`core`] | `netdag-core` | the NETDAG scheduler itself |
+//! | [`control`] | `netdag-control` | cartpole + weakly hard fault injection |
+//! | [`dse`] | `netdag-dse` | TX-power design-space exploration |
+//! | [`validation`] | `netdag-validation` | simulation-based schedule validation |
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour: build an
+//! application DAG, schedule it under weakly hard constraints, inspect the
+//! schedule timeline, and validate it by simulation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use netdag_control as control;
+pub use netdag_core as core;
+pub use netdag_dse as dse;
+pub use netdag_glossy as glossy;
+pub use netdag_lwb as lwb;
+pub use netdag_solver as solver;
+pub use netdag_validation as validation;
+pub use netdag_weakly_hard as weakly_hard;

@@ -1,0 +1,80 @@
+//! Links the weakly hard analysis metrics to scheduler guarantees: the
+//! density/burst metrics of the schedule's derived bound must honor the
+//! task requirement whenever eq. (10) holds.
+
+use netdag::core::prelude::*;
+use netdag::core::stat::TableWeaklyHardStatistic;
+use netdag::core::weakly_hard::{derived_bound, satisfies_eq10};
+use netdag::glossy::{NodeId, WeaklyHardProfile};
+use netdag::weakly_hard::analysis::{max_miss_run, min_hit_density};
+use netdag::weakly_hard::Constraint;
+
+fn pipeline() -> (Application, TaskId) {
+    let mut b = Application::builder();
+    let s = b.task("s", NodeId(0), 400);
+    let a = b.task("a", NodeId(1), 300);
+    b.edge(s, a, 8).unwrap();
+    (b.build().unwrap(), a)
+}
+
+#[test]
+fn derived_bound_density_honors_the_requirement() {
+    let (app, a) = pipeline();
+    // Small-window statistic so the DFAs stay tiny.
+    let stat: TableWeaklyHardStatistic =
+        WeaklyHardProfile::from_table(1, 10, vec![5, 4, 3, 2, 2, 1, 1, 1])
+            .unwrap()
+            .into();
+    let requirement = Constraint::any_hit(6, 10).unwrap();
+    let mut f = WeaklyHardConstraints::new();
+    f.set(a, requirement).unwrap();
+    let out = schedule_weakly_hard(&app, &stat, &f, &SchedulerConfig::default()).unwrap();
+    assert!(satisfies_eq10(&app, &stat, &out.schedule, a, requirement));
+
+    let bound = derived_bound(&app, &stat, &out.schedule, a).expect("has preds");
+    // Guaranteed asymptotic hit density of the bound must reach the
+    // requirement's density m/K.
+    let bound_density = min_hit_density(&bound).unwrap().expect("satisfiable");
+    let req_density = 6.0 / 10.0;
+    assert!(
+        bound_density >= req_density - 1e-9,
+        "bound {bound} density {bound_density} < required {req_density}"
+    );
+    // And the worst burst the bound permits must not exceed what the
+    // requirement tolerates.
+    let bound_burst = max_miss_run(&bound).unwrap().expect("bounded");
+    let req_burst = max_miss_run(&requirement).unwrap().expect("bounded");
+    assert!(
+        bound_burst <= req_burst,
+        "bound burst {bound_burst} > requirement burst {req_burst}"
+    );
+}
+
+#[test]
+fn unconstrained_schedule_gives_weaker_bounds() {
+    let (app, a) = pipeline();
+    let stat: TableWeaklyHardStatistic =
+        WeaklyHardProfile::from_table(1, 10, vec![5, 4, 3, 2, 2, 1, 1, 1])
+            .unwrap()
+            .into();
+    let relaxed = schedule_weakly_hard(
+        &app,
+        &stat,
+        &WeaklyHardConstraints::new(),
+        &SchedulerConfig::greedy(),
+    )
+    .unwrap();
+    let mut f = WeaklyHardConstraints::new();
+    f.set(a, Constraint::any_hit(8, 10).unwrap()).unwrap();
+    let strict = schedule_weakly_hard(&app, &stat, &f, &SchedulerConfig::greedy()).unwrap();
+    let d_relaxed = min_hit_density(&derived_bound(&app, &stat, &relaxed.schedule, a).unwrap())
+        .unwrap()
+        .unwrap();
+    let d_strict = min_hit_density(&derived_bound(&app, &stat, &strict.schedule, a).unwrap())
+        .unwrap()
+        .unwrap();
+    assert!(
+        d_strict > d_relaxed,
+        "strict schedule {d_strict} should guarantee more density than relaxed {d_relaxed}"
+    );
+}

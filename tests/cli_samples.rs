@@ -1,0 +1,75 @@
+//! Guards the JSON sample files shipped under `examples/data/`: they must
+//! parse, schedule, round-trip through the CLI's export format, and
+//! validate.
+
+use std::path::Path;
+
+use netdag_cli::{parse_args, run};
+
+fn data(name: &str) -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("examples/data")
+        .join(name)
+        .display()
+        .to_string()
+}
+
+fn run_line(line: &str) -> netdag_cli::commands::Output {
+    let cmd = parse_args(line.split_whitespace().map(str::to_owned)).expect("parsable");
+    run(&cmd).expect("command runs")
+}
+
+#[test]
+fn pipeline_samples_schedule_and_validate() {
+    let dir = std::env::temp_dir().join(format!("netdag-samples-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let sched = dir.join("pipeline_sched.json");
+
+    let out = run_line(&format!(
+        "schedule --app {} --weakly-hard {} --out {} --timeline",
+        data("pipeline_app.json"),
+        data("pipeline_weakly_hard.json"),
+        sched.display()
+    ));
+    assert!(out.success, "{}", out.text);
+    assert!(out.text.contains("optimal = true"));
+
+    let out = run_line(&format!(
+        "validate --app {} --schedule {} --weakly-hard {} --kappa 300 --trials 25",
+        data("pipeline_app.json"),
+        sched.display(),
+        data("pipeline_weakly_hard.json")
+    ));
+    assert!(out.success, "{}", out.text);
+
+    // Soft mode on the same app.
+    let soft_sched = dir.join("pipeline_soft_sched.json");
+    let out = run_line(&format!(
+        "schedule --app {} --soft {} --stat eq15:1.0 --out {}",
+        data("pipeline_app.json"),
+        data("pipeline_soft.json"),
+        soft_sched.display()
+    ));
+    assert!(out.success, "{}", out.text);
+    let out = run_line(&format!(
+        "validate --app {} --schedule {} --soft {} --stat eq15:1.0 --kappa 4000",
+        data("pipeline_app.json"),
+        soft_sched.display(),
+        data("pipeline_soft.json")
+    ));
+    assert!(out.success, "{}", out.text);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn mimo_samples_schedule() {
+    let out = run_line(&format!("inspect --app {}", data("mimo_app.json")));
+    assert!(out.text.contains("9 tasks, 6 messages"));
+    let out = run_line(&format!(
+        "schedule --app {} --weakly-hard {} --greedy",
+        data("mimo_app.json"),
+        data("mimo_weakly_hard.json")
+    ));
+    assert!(out.success, "{}", out.text);
+    assert!(out.text.contains("makespan"));
+}

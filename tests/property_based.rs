@@ -1,0 +1,137 @@
+//! Cross-crate property tests: scheduler output invariants over random
+//! applications, and the weakly hard algebra under random operands.
+
+use netdag::core::constraints::{SoftConstraints, WeaklyHardConstraints};
+use netdag::core::generators::random_layered_app;
+use netdag::core::prelude::*;
+use netdag::core::stat::{Eq13Statistic, Eq15Statistic};
+use netdag::core::{soft::achieved_probability, weakly_hard::satisfies_eq10};
+use netdag::weakly_hard::{dominates, oplus, Constraint, Sequence};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every greedy soft schedule over a random layered app is feasible
+    /// and meets eq. (6) for every constrained sink.
+    #[test]
+    fn greedy_soft_schedules_are_feasible_and_reliable(
+        seed in 0u64..5_000,
+        fss in 0.5f64..1.8,
+        req in 0.5f64..0.9,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let app = random_layered_app(&mut rng, &[2, 2, 2], 100..=2_000, 2..=16);
+        let stat = Eq15Statistic::new(fss, 8);
+        let mut f = SoftConstraints::new();
+        for t in app.tasks() {
+            if app.successors(t).is_empty() && !app.message_predecessors(t).is_empty() {
+                f.set(t, req).unwrap();
+            }
+        }
+        match schedule_soft(&app, &stat, &f, &SchedulerConfig::greedy()) {
+            Ok(out) => {
+                out.schedule.check_feasible(&app).unwrap();
+                for (task, required) in f.iter() {
+                    let got = achieved_probability(&app, &stat, &out.schedule, task);
+                    prop_assert!(got >= required, "task {task}: {got} < {required}");
+                }
+            }
+            Err(ScheduleError::InfeasibleReliability(_)) => {
+                // Legitimate for weak radios and deep graphs.
+            }
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected error {e}"))),
+        }
+    }
+
+    /// Every greedy weakly hard schedule satisfies the eq. (10)
+    /// abstraction for every constrained sink.
+    #[test]
+    fn greedy_weakly_hard_schedules_satisfy_eq10(
+        seed in 0u64..5_000,
+        m in 3u32..15,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let app = random_layered_app(&mut rng, &[2, 2], 100..=2_000, 2..=16);
+        let stat = Eq13Statistic::new(8);
+        let req = Constraint::any_hit(m, 60).unwrap();
+        let mut f = WeaklyHardConstraints::new();
+        for t in app.tasks() {
+            if app.successors(t).is_empty() && !app.message_predecessors(t).is_empty() {
+                f.set(t, req).unwrap();
+            }
+        }
+        match schedule_weakly_hard(&app, &stat, &f, &SchedulerConfig::greedy()) {
+            Ok(out) => {
+                out.schedule.check_feasible(&app).unwrap();
+                for (task, c) in f.iter() {
+                    prop_assert!(satisfies_eq10(&app, &stat, &out.schedule, task, c));
+                }
+            }
+            Err(ScheduleError::InfeasibleReliability(_)) => {}
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected error {e}"))),
+        }
+    }
+
+    /// ⊕ soundness on random operands and random satisfying sequences:
+    /// conjunction of satisfying sequences satisfies the abstraction.
+    #[test]
+    fn oplus_soundness_random(
+        a in 0u32..4, g in 2u32..8,
+        b in 0u32..4, d in 2u32..8,
+        seed in 0u64..10_000,
+    ) {
+        let a = a.min(g);
+        let b = b.min(d);
+        let x = Constraint::any_miss(a, g).unwrap();
+        let y = Constraint::any_miss(b, d).unwrap();
+        let z = oplus(&x, &y).unwrap();
+        let dx = netdag::weakly_hard::Dfa::from_constraint(&x).unwrap();
+        let dy = netdag::weakly_hard::Dfa::from_constraint(&y).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for kappa in [8usize, 16, 24] {
+            let u = dx.sample_uniform(kappa, &mut rng).unwrap();
+            let v = dy.sample_uniform(kappa, &mut rng).unwrap();
+            let w = u.and(&v);
+            prop_assert!(z.models(&w), "x={x} y={y} z={z} u={u} v={v} w={w}");
+        }
+    }
+
+    /// The domination order is sound: if x ⪯ y then every sampled
+    /// x-satisfying sequence satisfies y.
+    #[test]
+    fn domination_transfers_satisfaction(
+        mx in 0u32..6, kx in 1u32..8,
+        my in 0u32..6, ky in 1u32..8,
+        seed in 0u64..10_000,
+    ) {
+        let x = Constraint::any_hit(mx.min(kx), kx).unwrap();
+        let y = Constraint::any_hit(my.min(ky), ky).unwrap();
+        if dominates(&x, &y).unwrap() {
+            let dx = netdag::weakly_hard::Dfa::from_constraint(&x).unwrap();
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let long = (kx.max(ky) as usize) * 3;
+            if let Some(u) = dx.sample_uniform(long, &mut rng) {
+                prop_assert!(y.models(&u), "x={x} y={y} u={u}");
+            }
+        }
+    }
+
+    /// Conjunction on sequences is commutative, associative and
+    /// hit-rate-monotone (the scheduler's composition model).
+    #[test]
+    fn sequence_conjunction_algebra(bits_a in proptest::collection::vec(any::<bool>(), 1..64),
+                                    bits_b in proptest::collection::vec(any::<bool>(), 1..64)) {
+        let n = bits_a.len().min(bits_b.len());
+        let a: Sequence = bits_a.into_iter().take(n).collect();
+        let b: Sequence = bits_b.into_iter().take(n).collect();
+        let ab = a.and(&b);
+        let ba = b.and(&a);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(ab.and(&a), ab.clone());
+        prop_assert!(ab.hit_rate() <= a.hit_rate());
+        prop_assert!(ab.hit_rate() <= b.hit_rate());
+    }
+}
