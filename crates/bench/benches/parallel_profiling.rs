@@ -1,0 +1,118 @@
+//! Tentpole bench: serial vs parallel Monte-Carlo profiling and cached
+//! vs uncached λ-table sweeps. Besides the criterion timings it writes a
+//! `BENCH_parallel.json` summary (wall time, threads, speedup) to the
+//! workspace root. Speedup is reported against whatever
+//! `available_parallelism` offers — on a single-core runner it is
+//! honestly ~1.0; the point of the determinism contract is that the
+//! numbers, unlike the wall time, never change with the thread count.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use netdag_glossy::link::Bernoulli;
+use netdag_glossy::stats::{SoftProfile, StatCache};
+use netdag_glossy::{NodeId, Topology};
+use netdag_runtime::ExecPolicy;
+
+const RUNS: u32 = 4_000;
+const SEED: u64 = 2020;
+
+fn setup() -> (Topology, Bernoulli) {
+    (
+        Topology::grid(3, 3).expect("valid"),
+        Bernoulli::new(0.8).expect("probability"),
+    )
+}
+
+/// Median-of-3 wall time of one profiling sweep under `policy`.
+fn time_sweep(topo: &Topology, link: &Bernoulli, policy: ExecPolicy) -> f64 {
+    let mut samples: Vec<f64> = (0..3)
+        .map(|_| {
+            let start = Instant::now();
+            let p = SoftProfile::measure_par(topo, link, NodeId(0), 1..=6, RUNS, SEED, policy)
+                .expect("valid inputs");
+            assert!(p.lambda(6) >= p.lambda(1));
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[1]
+}
+
+fn write_summary(serial_s: f64, parallel_s: f64, miss_s: f64, hit_s: f64) {
+    let threads = ExecPolicy::Auto.thread_count();
+    let json = format!(
+        "{{\n  \"bench\": \"parallel_profiling\",\n  \"runs_per_n_tx\": {RUNS},\n  \
+         \"threads\": {threads},\n  \"serial_s\": {serial_s:.6},\n  \
+         \"parallel_s\": {parallel_s:.6},\n  \"speedup\": {:.3},\n  \
+         \"cache_miss_s\": {miss_s:.6},\n  \"cache_hit_s\": {hit_s:.9},\n  \
+         \"cache_speedup\": {:.1}\n}}\n",
+        serial_s / parallel_s,
+        miss_s / hit_s.max(1e-9),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("could not write {path}: {e}");
+    }
+    print!("{json}");
+}
+
+fn bench_parallel_profiling(c: &mut Criterion) {
+    let (topo, link) = setup();
+
+    // Headline numbers for the JSON summary, measured outside criterion
+    // so the serial/parallel pair shares identical conditions.
+    let serial_s = time_sweep(&topo, &link, ExecPolicy::Serial);
+    let parallel_s = time_sweep(&topo, &link, ExecPolicy::Auto);
+
+    let cache = StatCache::new();
+    let start = Instant::now();
+    let first = cache
+        .soft_profile(&topo, &link, NodeId(0), 1..=6, RUNS, SEED, ExecPolicy::Auto)
+        .expect("valid inputs");
+    let miss_s = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let second = cache
+        .soft_profile(&topo, &link, NodeId(0), 1..=6, RUNS, SEED, ExecPolicy::Auto)
+        .expect("valid inputs");
+    let hit_s = start.elapsed().as_secs_f64();
+    assert_eq!(first.table(), second.table());
+    assert_eq!(cache.stats().hits, 1);
+    write_summary(serial_s, parallel_s, miss_s, hit_s);
+
+    let mut group = c.benchmark_group("parallel_profiling");
+    group.sample_size(10);
+    group.bench_function("soft_measure_serial", |b| {
+        b.iter(|| {
+            SoftProfile::measure_par(
+                &topo,
+                &link,
+                NodeId(0),
+                1..=6,
+                RUNS,
+                SEED,
+                ExecPolicy::Serial,
+            )
+            .expect("valid inputs")
+        })
+    });
+    group.bench_function("soft_measure_parallel_auto", |b| {
+        b.iter(|| {
+            SoftProfile::measure_par(&topo, &link, NodeId(0), 1..=6, RUNS, SEED, ExecPolicy::Auto)
+                .expect("valid inputs")
+        })
+    });
+    // Warm cache: every iteration below is a pure hit.
+    group.bench_function("sweep_cached", |b| {
+        b.iter(|| {
+            cache
+                .soft_profile(&topo, &link, NodeId(0), 1..=6, RUNS, SEED, ExecPolicy::Auto)
+                .expect("valid inputs")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_profiling);
+criterion_main!(benches);

@@ -59,6 +59,10 @@ pub struct ValidateOpts {
     pub trials: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for the simulation fan-out: 0 = auto (one per
+    /// core), 1 = serial, n = exactly n. Results are identical at every
+    /// setting.
+    pub threads: usize,
 }
 
 /// A parsed command line.
@@ -132,6 +136,7 @@ USAGE:
   netdag validate --app <app.json> --schedule <schedule.json>
                   [--soft <f.json>] [--weakly-hard <f.json>]
                   [--stat …] [--kappa N] [--trials N] [--seed N]
+                  [--threads N]   (0 = auto, 1 = serial; same results at any N)
   netdag help
 ";
 
@@ -244,6 +249,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                 kappa: 10_000,
                 trials: 50,
                 seed: 2020,
+                threads: 1,
             };
             let (mut have_app, mut have_schedule) = (false, false);
             while let Some(flag) = cur.inner.next() {
@@ -264,6 +270,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                     "--kappa" => opts.kappa = cur.parsed("--kappa")?,
                     "--trials" => opts.trials = cur.parsed("--trials")?,
                     "--seed" => opts.seed = cur.parsed("--seed")?,
+                    "--threads" => opts.threads = cur.parsed("--threads")?,
                     other => return Err(ParseArgsError::UnknownFlag(other.to_owned())),
                 }
             }
@@ -347,7 +354,7 @@ mod tests {
     fn validate_flags() {
         let Command::Validate(o) = parse(
             "validate --app a.json --schedule s.json --weakly-hard w.json \
-             --kappa 500 --trials 9 --seed 7",
+             --kappa 500 --trials 9 --seed 7 --threads 4",
         )
         .unwrap() else {
             panic!("wrong command");
@@ -355,6 +362,18 @@ mod tests {
         assert_eq!(o.kappa, 500);
         assert_eq!(o.trials, 9);
         assert_eq!(o.seed, 7);
+        assert_eq!(o.threads, 4);
+        // Threads defaults to serial; 0 (= auto) parses.
+        let Command::Validate(d) = parse("validate --app a.json --schedule s.json").unwrap() else {
+            panic!("wrong command");
+        };
+        assert_eq!(d.threads, 1);
+        let Command::Validate(z) =
+            parse("validate --app a.json --schedule s.json --threads 0").unwrap()
+        else {
+            panic!("wrong command");
+        };
+        assert_eq!(z.threads, 0);
         assert_eq!(
             parse("validate --app a.json").unwrap_err(),
             ParseArgsError::MissingFlag("schedule")

@@ -5,9 +5,6 @@ use std::fmt;
 use std::fs;
 use std::path::Path;
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-
 use netdag_core::app::Application;
 use netdag_core::config::{Backend, RoundStructure, ScheduleError, SchedulerConfig};
 use netdag_core::constraints::WeaklyHardConstraints;
@@ -15,8 +12,9 @@ use netdag_core::schedule::Schedule;
 use netdag_core::soft::schedule_soft;
 use netdag_core::stat::{Eq13Statistic, Eq15Statistic};
 use netdag_core::weakly_hard::schedule_weakly_hard;
-use netdag_validation::soft::validate_soft;
-use netdag_validation::weakly_hard::validate_weakly_hard;
+use netdag_runtime::ExecPolicy;
+use netdag_validation::soft::validate_soft_par;
+use netdag_validation::weakly_hard::validate_weakly_hard_par;
 
 use crate::args::{Command, ScheduleOpts, StatChoice, ValidateOpts, USAGE};
 use crate::spec::{AppSpec, SoftSpec, SpecError, WeaklyHardSpec};
@@ -257,7 +255,7 @@ fn validate(opts: &ValidateOpts) -> Result<Output, CliError> {
     }
     let (app, names) = load_app(&opts.app)?;
     let export: ScheduleExport = read_json(&opts.schedule)?;
-    let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
+    let policy = ExecPolicy::from_threads(opts.threads);
     let mut text = String::new();
     let mut success = true;
     if let Some(path) = &opts.soft {
@@ -269,14 +267,15 @@ fn validate(opts: &ValidateOpts) -> Result<Output, CliError> {
         let spec: SoftSpec = read_json(path)?;
         let f = spec.build(&names)?;
         let stat = Eq15Statistic::new(fss, 16);
-        for r in validate_soft(
+        for r in validate_soft_par(
             &app,
             &stat,
             &f,
             &export.schedule,
             opts.kappa,
             0.999,
-            &mut rng,
+            opts.seed,
+            policy,
         ) {
             success &= r.passed;
             text.push_str(&format!(
@@ -298,14 +297,15 @@ fn validate(opts: &ValidateOpts) -> Result<Output, CliError> {
         let spec: WeaklyHardSpec = read_json(path)?;
         let f = spec.build(&names)?;
         let stat = Eq13Statistic::new(16);
-        let reports = validate_weakly_hard(
+        let reports = validate_weakly_hard_par(
             &app,
             &stat,
             &f,
             &export.schedule,
             opts.kappa.min(2_000),
             opts.trials,
-            &mut rng,
+            opts.seed,
+            policy,
         )
         .map_err(|e| CliError::Synthesis(e.to_string()))?;
         for r in reports {

@@ -1,5 +1,6 @@
 //! Latency queries under constraint sweeps (drives fig. 2 and fig. 4).
 
+use netdag_runtime::{try_run_indexed, ExecPolicy};
 use netdag_weakly_hard::Constraint;
 
 use crate::app::{Application, TaskId};
@@ -37,6 +38,8 @@ pub fn weakly_hard_latency_sweep<S: WeaklyHardStatistic + ?Sized>(
     cfg: &SchedulerConfig,
     candidates: &[Constraint],
 ) -> Result<Vec<SweepPoint>, ScheduleError> {
+    // Kept as a plain loop (not a delegation to the `_par` variant) so the
+    // serial entry point stays available to statistics that are not `Sync`.
     let mut out = Vec::new();
     for &constraint in candidates {
         for k in 1..=actuators.len() {
@@ -57,6 +60,46 @@ pub fn weakly_hard_latency_sweep<S: WeaklyHardStatistic + ?Sized>(
         }
     }
     Ok(out)
+}
+
+/// Parallel variant of [`weakly_hard_latency_sweep`]: every
+/// `(constraint, k)` sweep point is an independent scheduling query, so
+/// the grid is fanned out across threads. The result vector is in the
+/// same order as the serial sweep and identical for every `policy` —
+/// scheduling is deterministic and no RNG is involved.
+///
+/// # Errors
+///
+/// Propagates non-infeasibility [`ScheduleError`]s; when several points
+/// fail, the error of the earliest sweep point is returned.
+pub fn weakly_hard_latency_sweep_par<S: WeaklyHardStatistic + Sync + ?Sized>(
+    app: &Application,
+    actuators: &[TaskId],
+    stat: &S,
+    cfg: &SchedulerConfig,
+    candidates: &[Constraint],
+    policy: ExecPolicy,
+) -> Result<Vec<SweepPoint>, ScheduleError> {
+    let per_constraint = actuators.len();
+    let jobs = candidates.len() * per_constraint;
+    try_run_indexed(policy, jobs, |job| -> Result<SweepPoint, ScheduleError> {
+        let constraint = candidates[job / per_constraint];
+        let k = job % per_constraint + 1;
+        let mut f = WeaklyHardConstraints::new();
+        for &a in &actuators[..k] {
+            f.set(a, constraint)?;
+        }
+        let makespan = match schedule_weakly_hard(app, stat, &f, cfg) {
+            Ok(outcome) => Some(outcome.schedule.makespan(app)),
+            Err(ScheduleError::Infeasible | ScheduleError::InfeasibleReliability(_)) => None,
+            Err(e) => return Err(e),
+        };
+        Ok(SweepPoint {
+            constrained_tasks: k,
+            constraint,
+            makespan_us: makespan,
+        })
+    })
 }
 
 #[cfg(test)]
@@ -108,5 +151,30 @@ mod tests {
         let points =
             weakly_hard_latency_sweep(&app, &actuators, &stat, &cfg, &[impossible]).unwrap();
         assert!(points.iter().all(|p| p.makespan_us.is_none()));
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let (app, actuators) = mimo_app(&mut rng);
+        let stat = Eq13Statistic::new(8);
+        let cfg = SchedulerConfig::greedy();
+        let candidates = [
+            Constraint::any_hit(3, 60).unwrap(),
+            Constraint::any_hit(15, 60).unwrap(),
+        ];
+        let serial = weakly_hard_latency_sweep(&app, &actuators, &stat, &cfg, &candidates).unwrap();
+        for threads in [2, 8] {
+            let par = weakly_hard_latency_sweep_par(
+                &app,
+                &actuators,
+                &stat,
+                &cfg,
+                &candidates,
+                ExecPolicy::Threads(threads),
+            )
+            .unwrap();
+            assert_eq!(serial, par, "threads = {threads}");
+        }
     }
 }

@@ -1,12 +1,14 @@
 //! The fig. 4 exploration: latency of an application versus TX power.
 
-use rand::Rng;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 
 use netdag_core::app::{Application, TaskId};
 use netdag_core::config::{ScheduleError, SchedulerConfig};
 use netdag_core::constraints::{Deadlines, SoftConstraints};
 use netdag_core::soft::{schedule_soft, schedule_soft_with_deadlines};
 use netdag_core::stat::Eq15Statistic;
+use netdag_runtime::{derive_seed, try_run_indexed, ExecPolicy};
 
 use crate::mobility::RandomWaypoint;
 use crate::profile::{profile_power, PowerProfile};
@@ -67,6 +69,64 @@ pub fn explore_tx_power<R: Rng + ?Sized>(
         });
     }
     Ok(out)
+}
+
+/// Parallel variant of [`explore_tx_power`]: each power setting is
+/// profiled and scheduled on its own thread. Instead of threading one
+/// caller RNG through all power levels, every power index `i` derives a
+/// fresh ChaCha stream from `(master_seed, i)`, so the result depends
+/// only on `master_seed` and the inputs — never on the thread count or
+/// the order in which power levels finish.
+///
+/// Note the seeding contract differs from [`explore_tx_power`] (which
+/// consumes a shared `&mut R`), so point-for-point equality with the
+/// serial function is not expected; equality across `policy` values is.
+///
+/// # Errors
+///
+/// Propagates non-infeasibility [`ScheduleError`]s; when several power
+/// levels fail, the error of the lowest-index power is returned.
+#[allow(clippy::too_many_arguments)]
+pub fn explore_tx_power_par(
+    app: &Application,
+    soft: &SoftConstraints,
+    base_cfg: &SchedulerConfig,
+    mobility_nodes: usize,
+    mobility_speed: f64,
+    powers: &[f64],
+    snapshots: usize,
+    master_seed: u64,
+    policy: ExecPolicy,
+) -> Result<Vec<Fig4Point>, ScheduleError> {
+    try_run_indexed(
+        policy,
+        powers.len(),
+        |i| -> Result<Fig4Point, ScheduleError> {
+            let q = powers[i];
+            let mut rng = ChaCha8Rng::from_seed(derive_seed(master_seed, i as u64, 0));
+            let mut mobility = RandomWaypoint::new(mobility_nodes, mobility_speed, &mut rng);
+            let profile = profile_power(&mut mobility, q, snapshots, &mut rng);
+            let latency = match profile.diameter {
+                None => None,
+                Some(d) => {
+                    let stat = Eq15Statistic::new(profile.mean_fss, base_cfg.chi_max);
+                    let mut cfg = *base_cfg;
+                    cfg.timing = cfg.timing.with_diameter(d);
+                    match schedule_soft(app, &stat, soft, &cfg) {
+                        Ok(outcome) => Some(outcome.schedule.makespan(app)),
+                        Err(
+                            ScheduleError::Infeasible | ScheduleError::InfeasibleReliability(_),
+                        ) => None,
+                        Err(e) => return Err(e),
+                    }
+                }
+            };
+            Ok(Fig4Point {
+                profile,
+                latency_us: latency,
+            })
+        },
+    )
 }
 
 /// The paper's § IV-D design query in its task-level form: walk the power
@@ -193,6 +253,48 @@ mod tests {
         }
         // Full power must be usable for this workload.
         assert!(points[2].latency_us.is_some(), "{points:?}");
+    }
+
+    #[test]
+    fn parallel_power_sweep_invariant_under_thread_count() {
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let (app, _) = mimo_app(&mut rng);
+        let soft = constrain_sinks(&app, 0.8).unwrap();
+        let cfg = SchedulerConfig::greedy();
+        let powers = [0.2, 0.5, 1.0];
+        let serial = explore_tx_power_par(
+            &app,
+            &soft,
+            &cfg,
+            13,
+            0.02,
+            &powers,
+            15,
+            2020,
+            ExecPolicy::Serial,
+        )
+        .unwrap();
+        assert_eq!(serial.len(), powers.len());
+        // The same monotone trend as the serial sweep must hold.
+        let feasible: Vec<u64> = serial.iter().filter_map(|p| p.latency_us).collect();
+        for w in feasible.windows(2) {
+            assert!(w[1] <= w[0], "latency increased with power: {serial:?}");
+        }
+        for threads in [2, 8] {
+            let par = explore_tx_power_par(
+                &app,
+                &soft,
+                &cfg,
+                13,
+                0.02,
+                &powers,
+                15,
+                2020,
+                ExecPolicy::Threads(threads),
+            )
+            .unwrap();
+            assert_eq!(serial, par, "threads = {threads}");
+        }
     }
 
     #[test]

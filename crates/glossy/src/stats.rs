@@ -16,13 +16,21 @@
 use std::error::Error;
 use std::fmt;
 
-use rand::Rng;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 
+use netdag_runtime::{derive_seed, try_run_indexed, ExecPolicy};
 use netdag_weakly_hard::{Constraint, Sequence};
 
-use crate::flood::{simulate_flood, FloodParams};
+use crate::flood::{simulate_flood, FloodError, FloodParams};
 use crate::link::LossModel;
 use crate::topology::{NodeId, Topology};
+
+/// Runs per Monte-Carlo chunk in the parallel profilers. Chunk
+/// boundaries — and therefore every chunk's derived RNG stream — depend
+/// only on this constant and the chunk index, never on the thread
+/// count, which is what makes parallel runs bit-identical to each other.
+pub const PROFILE_CHUNK: u32 = 256;
 
 /// Error returned by the profilers.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,7 +45,7 @@ pub enum ProfileError {
     /// At least one run per `N_TX` value is required.
     NoRuns,
     /// Flood simulation rejected its parameters (bad initiator).
-    Flood(String),
+    Flood(FloodError),
 }
 
 impl fmt::Display for ProfileError {
@@ -47,12 +55,37 @@ impl fmt::Display for ProfileError {
                 write!(f, "invalid N_TX range [{min}, {max}] (need 1 ≤ min ≤ max)")
             }
             ProfileError::NoRuns => write!(f, "at least one run per N_TX value is required"),
-            ProfileError::Flood(msg) => write!(f, "flood simulation failed: {msg}"),
+            ProfileError::Flood(e) => write!(f, "flood simulation failed: {e}"),
         }
     }
 }
 
-impl Error for ProfileError {}
+impl Error for ProfileError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ProfileError::Flood(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FloodError> for ProfileError {
+    fn from(e: FloodError) -> Self {
+        ProfileError::Flood(e)
+    }
+}
+
+/// Fixed partition of `total` Monte-Carlo runs into [`PROFILE_CHUNK`]-sized
+/// chunks: returns the chunk count; chunk `c` covers runs
+/// `[c * PROFILE_CHUNK, ...)` and has [`chunk_len`] runs.
+fn chunk_count(total: u32) -> u32 {
+    total.div_ceil(PROFILE_CHUNK)
+}
+
+fn chunk_len(total: u32, chunk: u32) -> u32 {
+    let start = chunk * PROFILE_CHUNK;
+    PROFILE_CHUNK.min(total - start)
+}
 
 /// An empirically measured soft statistic `λ_s(N_TX)`.
 ///
@@ -103,7 +136,7 @@ impl SoftProfile {
             let mut ok = 0u32;
             for _ in 0..runs {
                 let out = simulate_flood(topo, link, &FloodParams { initiator, n_tx }, rng)
-                    .map_err(|e| ProfileError::Flood(e.to_string()))?;
+                    .map_err(ProfileError::Flood)?;
                 if out.all_reached() {
                     ok += 1;
                 }
@@ -121,6 +154,70 @@ impl SoftProfile {
             n_tx_min: min,
             success,
         })
+    }
+
+    /// Parallel, seed-deterministic variant of [`SoftProfile::measure`].
+    ///
+    /// The `runs` floods of each `N_TX` value split into fixed
+    /// [`PROFILE_CHUNK`]-sized chunks; chunk `c` of `N_TX = n` runs on a
+    /// fresh clone of `link` with its own ChaCha stream seeded by
+    /// `derive_seed(master_seed, n, c)`. Per-`N_TX` success counts are
+    /// integer sums over chunks, so the result depends only on
+    /// `(topo, link, master_seed)` — any [`ExecPolicy`] produces
+    /// bit-identical tables. (The table differs from the serial
+    /// [`SoftProfile::measure`] for a given RNG, which threads one link
+    /// state and one stream through all runs; both are valid estimators
+    /// of the same statistic.)
+    ///
+    /// # Errors
+    ///
+    /// See [`ProfileError`].
+    pub fn measure_par<L: LossModel + Clone + Sync>(
+        topo: &Topology,
+        link: &L,
+        initiator: NodeId,
+        n_tx_range: std::ops::RangeInclusive<u32>,
+        runs: u32,
+        master_seed: u64,
+        policy: ExecPolicy,
+    ) -> Result<Self, ProfileError> {
+        let (min, max) = (*n_tx_range.start(), *n_tx_range.end());
+        if min == 0 || min > max {
+            return Err(ProfileError::BadNtxRange { min, max });
+        }
+        if runs == 0 {
+            return Err(ProfileError::NoRuns);
+        }
+        let n_values = max - min + 1;
+        let chunks = chunk_count(runs);
+        let jobs = (n_values * chunks) as usize;
+        let ok_counts: Vec<u32> =
+            try_run_indexed(policy, jobs, |job| -> Result<u32, ProfileError> {
+                let n_tx = min + job as u32 / chunks;
+                let chunk = job as u32 % chunks;
+                let mut rng = ChaCha8Rng::from_seed(derive_seed(
+                    master_seed,
+                    u64::from(n_tx),
+                    u64::from(chunk),
+                ));
+                let mut link = link.clone();
+                let mut ok = 0u32;
+                for _ in 0..chunk_len(runs, chunk) {
+                    let out =
+                        simulate_flood(topo, &mut link, &FloodParams { initiator, n_tx }, &mut rng)
+                            .map_err(ProfileError::Flood)?;
+                    if out.all_reached() {
+                        ok += 1;
+                    }
+                    link.advance_between_floods(&mut rng);
+                }
+                Ok(ok)
+            })?;
+        let success: Vec<f64> = ok_counts
+            .chunks_exact(chunks as usize)
+            .map(|per_ntx| f64::from(per_ntx.iter().sum::<u32>()) / f64::from(runs))
+            .collect();
+        Self::from_table(min, success)
     }
 
     /// Builds a profile from an explicit table (`table[0]` is
@@ -216,7 +313,7 @@ impl WeaklyHardProfile {
             let mut seq = Sequence::with_capacity(kappa as usize);
             for _ in 0..kappa {
                 let out = simulate_flood(topo, link, &FloodParams { initiator, n_tx }, rng)
-                    .map_err(|e| ProfileError::Flood(e.to_string()))?;
+                    .map_err(ProfileError::Flood)?;
                 seq.push(out.all_reached());
                 link.advance_between_floods(rng);
             }
@@ -234,6 +331,74 @@ impl WeaklyHardProfile {
             window,
             misses,
         })
+    }
+
+    /// Parallel, seed-deterministic variant of
+    /// [`WeaklyHardProfile::measure`], chunked like
+    /// [`SoftProfile::measure_par`].
+    ///
+    /// Each chunk simulates its slice of the `kappa`-flood run on a fresh
+    /// clone of `link` with its own derived ChaCha stream; the per-chunk
+    /// hit/miss slices concatenate *in chunk order* into the full
+    /// sequence before the windowed miss count is taken, so the table is
+    /// a pure function of `(topo, link, master_seed)` — identical at any
+    /// thread count.
+    ///
+    /// # Errors
+    ///
+    /// See [`ProfileError`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn measure_par<L: LossModel + Clone + Sync>(
+        topo: &Topology,
+        link: &L,
+        initiator: NodeId,
+        n_tx_range: std::ops::RangeInclusive<u32>,
+        window: u32,
+        kappa: u32,
+        safety_margin: u32,
+        master_seed: u64,
+        policy: ExecPolicy,
+    ) -> Result<Self, ProfileError> {
+        let (min, max) = (*n_tx_range.start(), *n_tx_range.end());
+        if min == 0 || min > max || window == 0 {
+            return Err(ProfileError::BadNtxRange { min, max });
+        }
+        if kappa == 0 {
+            return Err(ProfileError::NoRuns);
+        }
+        let n_values = max - min + 1;
+        let chunks = chunk_count(kappa);
+        let jobs = (n_values * chunks) as usize;
+        let slices: Vec<Vec<bool>> =
+            try_run_indexed(policy, jobs, |job| -> Result<Vec<bool>, ProfileError> {
+                let n_tx = min + job as u32 / chunks;
+                let chunk = job as u32 % chunks;
+                let mut rng = ChaCha8Rng::from_seed(derive_seed(
+                    master_seed,
+                    u64::from(n_tx),
+                    u64::from(chunk),
+                ));
+                let mut link = link.clone();
+                let len = chunk_len(kappa, chunk);
+                let mut slice = Vec::with_capacity(len as usize);
+                for _ in 0..len {
+                    let out =
+                        simulate_flood(topo, &mut link, &FloodParams { initiator, n_tx }, &mut rng)
+                            .map_err(ProfileError::Flood)?;
+                    slice.push(out.all_reached());
+                    link.advance_between_floods(&mut rng);
+                }
+                Ok(slice)
+            })?;
+        let misses: Vec<u32> = slices
+            .chunks_exact(chunks as usize)
+            .map(|per_ntx| {
+                let seq: Sequence = per_ntx.iter().flatten().copied().collect();
+                let worst = seq.max_window_misses(window as usize).unwrap_or(0) as u32;
+                (worst + safety_margin).min(window)
+            })
+            .collect();
+        Self::from_table(min, window, misses)
     }
 
     /// Builds a profile from an explicit miss table, monotonizing it.
@@ -304,6 +469,178 @@ impl WeaklyHardProfile {
     }
 }
 
+/// Cache key for one soft-profile measurement. The execution policy is
+/// deliberately absent: [`SoftProfile::measure_par`] is thread-count
+/// invariant, so the policy cannot change the result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct SoftKey {
+    topo: u64,
+    link: u64,
+    initiator: u32,
+    n_tx_min: u32,
+    n_tx_max: u32,
+    runs: u32,
+    seed: u64,
+}
+
+/// Cache key for one weakly hard profile measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct WeaklyHardKey {
+    topo: u64,
+    link: u64,
+    initiator: u32,
+    n_tx_min: u32,
+    n_tx_max: u32,
+    window: u32,
+    kappa: u32,
+    safety_margin: u32,
+    seed: u64,
+}
+
+/// Cache hit/miss counters, for reporting and benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that ran a measurement.
+    pub misses: u64,
+    /// Profiles currently cached.
+    pub entries: usize,
+}
+
+/// Memoizes monotonized λ tables across profiling calls.
+///
+/// Exploration loops (λ sweeps, design-space exploration, validation)
+/// re-profile the same `(topology, loss model, N_TX range, runs, seed)`
+/// point many times; since [`SoftProfile::measure_par`] and
+/// [`WeaklyHardProfile::measure_par`] are pure functions of that tuple,
+/// their results are shared through [`std::sync::Arc`]s here.
+///
+/// Loss models whose [`LossModel::fingerprint`] returns `None` (exotic
+/// models, or stateful ones that already mutated) bypass the cache: the
+/// measurement still runs, it is just not stored.
+#[derive(Debug, Default)]
+pub struct StatCache {
+    soft: netdag_runtime::Memo<SoftKey, SoftProfile>,
+    weakly_hard: netdag_runtime::Memo<WeaklyHardKey, WeaklyHardProfile>,
+}
+
+impl StatCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        StatCache::default()
+    }
+
+    /// Cached [`SoftProfile::measure_par`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ProfileError`]; errors are never cached.
+    #[allow(clippy::too_many_arguments)]
+    pub fn soft_profile<L: LossModel + Clone + Sync>(
+        &self,
+        topo: &Topology,
+        link: &L,
+        initiator: NodeId,
+        n_tx_range: std::ops::RangeInclusive<u32>,
+        runs: u32,
+        master_seed: u64,
+        policy: ExecPolicy,
+    ) -> Result<std::sync::Arc<SoftProfile>, ProfileError> {
+        let measure = || {
+            SoftProfile::measure_par(
+                topo,
+                link,
+                initiator,
+                n_tx_range.clone(),
+                runs,
+                master_seed,
+                policy,
+            )
+        };
+        match link.fingerprint() {
+            Some(link_fp) => {
+                let key = SoftKey {
+                    topo: topo.fingerprint(),
+                    link: link_fp,
+                    initiator: initiator.0,
+                    n_tx_min: *n_tx_range.start(),
+                    n_tx_max: *n_tx_range.end(),
+                    runs,
+                    seed: master_seed,
+                };
+                self.soft.get_or_try_insert_with(&key, measure)
+            }
+            None => measure().map(std::sync::Arc::new),
+        }
+    }
+
+    /// Cached [`WeaklyHardProfile::measure_par`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ProfileError`]; errors are never cached.
+    #[allow(clippy::too_many_arguments)]
+    pub fn weakly_hard_profile<L: LossModel + Clone + Sync>(
+        &self,
+        topo: &Topology,
+        link: &L,
+        initiator: NodeId,
+        n_tx_range: std::ops::RangeInclusive<u32>,
+        window: u32,
+        kappa: u32,
+        safety_margin: u32,
+        master_seed: u64,
+        policy: ExecPolicy,
+    ) -> Result<std::sync::Arc<WeaklyHardProfile>, ProfileError> {
+        let measure = || {
+            WeaklyHardProfile::measure_par(
+                topo,
+                link,
+                initiator,
+                n_tx_range.clone(),
+                window,
+                kappa,
+                safety_margin,
+                master_seed,
+                policy,
+            )
+        };
+        match link.fingerprint() {
+            Some(link_fp) => {
+                let key = WeaklyHardKey {
+                    topo: topo.fingerprint(),
+                    link: link_fp,
+                    initiator: initiator.0,
+                    n_tx_min: *n_tx_range.start(),
+                    n_tx_max: *n_tx_range.end(),
+                    window,
+                    kappa,
+                    safety_margin,
+                    seed: master_seed,
+                };
+                self.weakly_hard.get_or_try_insert_with(&key, measure)
+            }
+            None => measure().map(std::sync::Arc::new),
+        }
+    }
+
+    /// Aggregate hit/miss counters over both tables.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.soft.hits() + self.weakly_hard.hits(),
+            misses: self.soft.misses() + self.weakly_hard.misses(),
+            entries: self.soft.len() + self.weakly_hard.len(),
+        }
+    }
+
+    /// Drops every cached profile (counters keep running).
+    pub fn clear(&self) {
+        self.soft.clear();
+        self.weakly_hard.clear();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -311,6 +648,7 @@ mod tests {
     use netdag_weakly_hard::order;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
+    use std::sync::Arc;
 
     #[test]
     fn soft_profile_monotone_and_sane() {
@@ -423,5 +761,185 @@ mod tests {
         .unwrap();
         // No misses observed, so the table is exactly the safety margin.
         assert_eq!(p.miss_table(), &[1, 1]);
+    }
+
+    #[test]
+    fn soft_measure_par_invariant_under_thread_count() {
+        let topo = Topology::line(4).unwrap();
+        let link = Bernoulli::new(0.7).unwrap();
+        let serial =
+            SoftProfile::measure_par(&topo, &link, NodeId(0), 1..=5, 600, 42, ExecPolicy::Serial)
+                .unwrap();
+        for threads in [2, 3, 8] {
+            let par = SoftProfile::measure_par(
+                &topo,
+                &link,
+                NodeId(0),
+                1..=5,
+                600,
+                42,
+                ExecPolicy::Threads(threads),
+            )
+            .unwrap();
+            assert_eq!(serial.table(), par.table(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn weakly_hard_measure_par_invariant_under_thread_count() {
+        let topo = Topology::star(5).unwrap();
+        let link = GilbertElliott::new(0.05, 0.4, 0.95, 0.4).unwrap();
+        let serial = WeaklyHardProfile::measure_par(
+            &topo,
+            &link,
+            NodeId(0),
+            1..=3,
+            400,
+            20,
+            1,
+            42,
+            ExecPolicy::Serial,
+        )
+        .unwrap();
+        for threads in [2, 8] {
+            let par = WeaklyHardProfile::measure_par(
+                &topo,
+                &link,
+                NodeId(0),
+                1..=3,
+                400,
+                20,
+                1,
+                42,
+                ExecPolicy::Threads(threads),
+            )
+            .unwrap();
+            assert_eq!(serial.miss_table(), par.miss_table(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn measure_par_rejects_bad_input() {
+        let topo = Topology::line(3).unwrap();
+        let link = Bernoulli::new(0.9).unwrap();
+        assert!(matches!(
+            SoftProfile::measure_par(&topo, &link, NodeId(0), 1..=3, 0, 1, ExecPolicy::Serial),
+            Err(ProfileError::NoRuns)
+        ));
+        assert!(matches!(
+            SoftProfile::measure_par(&topo, &link, NodeId(9), 1..=3, 10, 1, ExecPolicy::Serial),
+            Err(ProfileError::Flood(_))
+        ));
+    }
+
+    #[test]
+    fn profile_error_flood_is_structured() {
+        use crate::flood::FloodError;
+        use std::error::Error as _;
+        let err = ProfileError::from(FloodError::ZeroNtx);
+        assert!(matches!(err, ProfileError::Flood(FloodError::ZeroNtx)));
+        // The flood error is reachable through source() for error-chain walkers.
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn stat_cache_hits_on_identical_requests() {
+        let topo = Topology::line(4).unwrap();
+        let link = Bernoulli::new(0.8).unwrap();
+        let cache = StatCache::new();
+        let a = cache
+            .soft_profile(&topo, &link, NodeId(0), 1..=4, 200, 7, ExecPolicy::Serial)
+            .unwrap();
+        let b = cache
+            .soft_profile(
+                &topo,
+                &link,
+                NodeId(0),
+                1..=4,
+                200,
+                7,
+                ExecPolicy::Threads(4),
+            )
+            .unwrap();
+        // Same key (ExecPolicy is excluded: thread count cannot change results).
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        // A different seed is a different key.
+        let c = cache
+            .soft_profile(&topo, &link, NodeId(0), 1..=4, 200, 8, ExecPolicy::Serial)
+            .unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.stats().entries, 2);
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn stat_cache_bypasses_unfingerprintable_models() {
+        let topo = Topology::line(4).unwrap();
+        // Drive a Gilbert-Elliott model so it accumulates per-link state; its
+        // fingerprint becomes None and the cache must recompute every call.
+        let mut warm = GilbertElliott::new(0.1, 0.3, 0.9, 0.2).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let _ = SoftProfile::measure(&topo, &mut warm, NodeId(0), 1..=2, 10, &mut rng).unwrap();
+        assert!(warm.fingerprint().is_none());
+        let cache = StatCache::new();
+        let a = cache
+            .soft_profile(&topo, &warm, NodeId(0), 1..=3, 100, 7, ExecPolicy::Serial)
+            .unwrap();
+        let b = cache
+            .soft_profile(&topo, &warm, NodeId(0), 1..=3, 100, 7, ExecPolicy::Serial)
+            .unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn stat_cache_weakly_hard_roundtrip() {
+        let topo = Topology::star(4).unwrap();
+        let link = Bernoulli::new(0.85).unwrap();
+        let cache = StatCache::new();
+        let a = cache
+            .weakly_hard_profile(
+                &topo,
+                &link,
+                NodeId(0),
+                1..=3,
+                200,
+                10,
+                1,
+                9,
+                ExecPolicy::Serial,
+            )
+            .unwrap();
+        let b = cache
+            .weakly_hard_profile(
+                &topo,
+                &link,
+                NodeId(0),
+                1..=3,
+                200,
+                10,
+                1,
+                9,
+                ExecPolicy::Serial,
+            )
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        // The cached profile matches a direct serial measurement.
+        let direct = WeaklyHardProfile::measure_par(
+            &topo,
+            &link,
+            NodeId(0),
+            1..=3,
+            200,
+            10,
+            1,
+            9,
+            ExecPolicy::Serial,
+        )
+        .unwrap();
+        assert_eq!(a.miss_table(), direct.miss_table());
     }
 }

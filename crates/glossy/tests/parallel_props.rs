@@ -1,0 +1,70 @@
+//! Property tests for the deterministic parallel profilers: the same
+//! master seed must yield bit-identical profiles at every thread count.
+
+use netdag_glossy::link::Bernoulli;
+use netdag_glossy::stats::{SoftProfile, WeaklyHardProfile};
+use netdag_glossy::topology::{NodeId, Topology};
+use netdag_runtime::ExecPolicy;
+use proptest::prelude::*;
+
+fn any_topology() -> impl Strategy<Value = Topology> {
+    prop_oneof![
+        (2usize..7).prop_map(|n| Topology::line(n).expect("valid")),
+        (3usize..7).prop_map(|n| Topology::ring(n).expect("valid")),
+        (2usize..7).prop_map(|n| Topology::star(n).expect("valid")),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Soft profiles are invariant under the execution policy: chunk
+    /// boundaries and per-chunk seeds depend only on the master seed,
+    /// never on how many threads consume the job list.
+    #[test]
+    fn soft_profile_thread_count_invariant(
+        topo in any_topology(),
+        p in 0.55f64..0.95,
+        runs in 50u32..400,
+        seed in proptest::arbitrary::any::<u64>(),
+    ) {
+        let link = Bernoulli::new(p).expect("valid probability");
+        let serial = SoftProfile::measure_par(
+            &topo, &link, NodeId(0), 1..=4, runs, seed, ExecPolicy::Serial,
+        ).expect("valid inputs");
+        for threads in [2usize, 8] {
+            let par = SoftProfile::measure_par(
+                &topo, &link, NodeId(0), 1..=4, runs, seed,
+                ExecPolicy::Threads(threads),
+            ).expect("valid inputs");
+            prop_assert_eq!(serial.table(), par.table(), "threads = {}", threads);
+        }
+    }
+
+    /// Weakly hard profiles are likewise policy-invariant: per-chunk
+    /// outcome slices are concatenated in chunk order before the
+    /// windowed miss count, so the miss tables match bit for bit.
+    #[test]
+    fn weakly_hard_profile_thread_count_invariant(
+        topo in any_topology(),
+        p in 0.55f64..0.95,
+        runs in 50u32..300,
+        window in 5u32..20,
+        seed in proptest::arbitrary::any::<u64>(),
+    ) {
+        let link = Bernoulli::new(p).expect("valid probability");
+        let serial = WeaklyHardProfile::measure_par(
+            &topo, &link, NodeId(0), 1..=3, runs, window, 1, seed,
+            ExecPolicy::Serial,
+        ).expect("valid inputs");
+        for threads in [2usize, 8] {
+            let par = WeaklyHardProfile::measure_par(
+                &topo, &link, NodeId(0), 1..=3, runs, window, 1, seed,
+                ExecPolicy::Threads(threads),
+            ).expect("valid inputs");
+            prop_assert_eq!(
+                serial.miss_table(), par.miss_table(), "threads = {}", threads
+            );
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Thread-safe memoization for expensive pure computations.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A memo table mapping keys to shared results.
+///
+/// Values are computed *outside* the lock, so a slow computation does
+/// not serialize unrelated lookups; if two threads race on the same
+/// key, the first insert wins and the loser's value is dropped (both
+/// are equal anyway — the cache is only sound for pure computations).
+pub struct Memo<K, V> {
+    map: Mutex<HashMap<K, Arc<V>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Eq + Hash + Clone, V> Memo<K, V> {
+    /// An empty table.
+    pub fn new() -> Self {
+        Memo {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up `key`, computing and inserting via `compute` on a miss.
+    pub fn get_or_insert_with<F: FnOnce() -> V>(&self, key: &K, compute: F) -> Arc<V> {
+        match self.get_or_try_insert_with::<std::convert::Infallible, _>(key, || Ok(compute())) {
+            Ok(value) => value,
+        }
+    }
+
+    /// Fallible variant of [`Memo::get_or_insert_with`]; errors are not
+    /// cached, so a failed computation is retried on the next lookup.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `compute` returns; the table is left unchanged.
+    pub fn get_or_try_insert_with<E, F: FnOnce() -> Result<V, E>>(
+        &self,
+        key: &K,
+        compute: F,
+    ) -> Result<Arc<V>, E> {
+        if let Some(value) = self.lock().get(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(value));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = Arc::new(compute()?);
+        Ok(Arc::clone(self.lock().entry(key.clone()).or_insert(value)))
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Drops all entries (counters keep running).
+    pub fn clear(&self) {
+        self.lock().clear();
+    }
+
+    /// Lookups served from the table.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to compute.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<K, Arc<V>>> {
+        // A panic mid-insert leaves the map fully valid (HashMap inserts
+        // are not observable half-done), so poisoning is ignorable.
+        self.map
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> Default for Memo<K, V> {
+    fn default() -> Self {
+        Memo::new()
+    }
+}
+
+impl<K: Eq + Hash + Clone + std::fmt::Debug, V> std::fmt::Debug for Memo<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Memo")
+            .field("entries", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+/// FNV-1a over raw bytes: a small, stable helper for building cache-key
+/// fingerprints of structured data (topologies, loss-model parameters).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caches_and_counts() {
+        let memo: Memo<u32, u64> = Memo::new();
+        let mut calls = 0;
+        let a = memo.get_or_insert_with(&7, || {
+            calls += 1;
+            49
+        });
+        assert_eq!(*a, 49);
+        let b = memo.get_or_insert_with(&7, || {
+            calls += 1;
+            49
+        });
+        assert_eq!(*b, 49);
+        assert_eq!(calls, 1);
+        assert_eq!((memo.hits(), memo.misses()), (1, 1));
+        assert_eq!(memo.len(), 1);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let memo: Memo<u32, u64> = Memo::new();
+        let err: Result<_, &str> = memo.get_or_try_insert_with(&1, || Err("boom"));
+        assert_eq!(err.unwrap_err(), "boom");
+        assert!(memo.is_empty());
+        let ok = memo
+            .get_or_try_insert_with::<&str, _>(&1, || Ok(5))
+            .unwrap();
+        assert_eq!(*ok, 5);
+    }
+
+    #[test]
+    fn clear_empties_the_table() {
+        let memo: Memo<u8, u8> = Memo::new();
+        memo.get_or_insert_with(&1, || 1);
+        memo.clear();
+        assert!(memo.is_empty());
+    }
+
+    #[test]
+    fn concurrent_lookups_agree() {
+        let memo: Memo<u32, u32> = Memo::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for key in 0..64u32 {
+                        assert_eq!(*memo.get_or_insert_with(&key, || key * 3), key * 3);
+                    }
+                });
+            }
+        });
+        assert_eq!(memo.len(), 64);
+        assert_eq!(memo.hits() + memo.misses(), 8 * 64);
+    }
+
+    #[test]
+    fn fnv1a_is_stable_and_sensitive() {
+        assert_eq!(fnv1a(b""), 0xCBF2_9CE4_8422_2325);
+        assert_ne!(fnv1a(b"ab"), fnv1a(b"ba"));
+    }
+}

@@ -1,0 +1,23 @@
+//! Deterministic parallel execution for the NETDAG workspace.
+//!
+//! Three pieces, all std-only:
+//!
+//! * [`pool`] — scoped-thread fan-out over an indexed job list. Results
+//!   are merged by job index, so the output is identical at any thread
+//!   count; only wall-clock time changes.
+//! * [`seed`] — fixed `(master, stream, chunk) -> [u8; 32]` seed
+//!   derivation. Work is split into *fixed-size* chunks whose RNG streams
+//!   depend only on their index, never on which thread runs them.
+//! * [`cache`] — a thread-safe memo table for expensive pure
+//!   computations (e.g. monotonized λ tables), with hit/miss counters.
+//!
+//! Together these give the "same bits at `--threads 1` and
+//! `--threads 8`" guarantee the profiling and validation layers rely on.
+
+pub mod cache;
+pub mod pool;
+pub mod seed;
+
+pub use cache::{fnv1a, Memo};
+pub use pool::{run_indexed, try_run_indexed, ExecPolicy};
+pub use seed::derive_seed;

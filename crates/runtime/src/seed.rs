@@ -1,0 +1,76 @@
+//! Fixed seed derivation for chunked Monte-Carlo work.
+//!
+//! A parallel run is deterministic iff each chunk's RNG stream depends
+//! only on *what* the chunk is, never on *which thread* runs it or how
+//! many chunks run concurrently. [`derive_seed`] pins each chunk's
+//! 256-bit ChaCha seed to `(master, stream, chunk)`:
+//!
+//! * `master` — the user-facing `--seed`,
+//! * `stream` — a domain separator for the consumer (e.g. the `N` of an
+//!   `N`-transmission profile row, or a validation task index),
+//! * `chunk` — the chunk index within that stream.
+
+/// One step of the SplitMix64 output function (Steele et al.), used both
+/// to combine inputs and to expand the final state into seed words.
+fn mix(h: u64, v: u64) -> u64 {
+    let mut x = h ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Derives the 256-bit RNG seed for one work chunk.
+///
+/// Pure and collision-resistant in the SplitMix64 sense: each input is
+/// folded through a full avalanche step, so `(0, 1)` and `(1, 0)`
+/// streams do not collide the way additive mixing would.
+pub fn derive_seed(master: u64, stream: u64, chunk: u64) -> [u8; 32] {
+    // ASCII "netdag-r": fixed domain tag so these seeds cannot collide
+    // with other in-workspace uses of SplitMix64 (e.g. seed_from_u64).
+    let mut state = mix(mix(mix(0x6E65_7464_6167_2D72, master), stream), chunk);
+    let mut seed = [0u8; 32];
+    for word in seed.chunks_exact_mut(8) {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        word.copy_from_slice(&mix(state, 0).to_le_bytes());
+    }
+    seed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_pure() {
+        assert_eq!(derive_seed(1, 2, 3), derive_seed(1, 2, 3));
+    }
+
+    #[test]
+    fn distinguishes_every_input() {
+        let base = derive_seed(1, 2, 3);
+        assert_ne!(derive_seed(2, 2, 3), base);
+        assert_ne!(derive_seed(1, 3, 3), base);
+        assert_ne!(derive_seed(1, 2, 4), base);
+        // Swapped stream/chunk must differ (additive mixing would not).
+        assert_ne!(derive_seed(1, 3, 2), base);
+    }
+
+    #[test]
+    fn no_collisions_over_a_small_grid() {
+        let mut seen = std::collections::HashSet::new();
+        for master in 0..4u64 {
+            for stream in 0..16u64 {
+                for chunk in 0..16u64 {
+                    assert!(seen.insert(derive_seed(master, stream, chunk)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seed_bytes_look_mixed() {
+        // Zero inputs must not produce a degenerate all-zero seed.
+        let seed = derive_seed(0, 0, 0);
+        assert!(seed.iter().filter(|&&b| b == 0).count() < 8);
+    }
+}

@@ -47,5 +47,5 @@ pub mod soft;
 pub mod weakly_hard;
 
 pub use full_stack::{validate_on_bus, BusReport};
-pub use soft::{hoeffding_margin, validate_soft, SoftReport};
-pub use weakly_hard::{validate_weakly_hard, WeaklyHardReport};
+pub use soft::{hoeffding_margin, validate_soft, validate_soft_par, SoftReport};
+pub use weakly_hard::{validate_weakly_hard, validate_weakly_hard_par, WeaklyHardReport};

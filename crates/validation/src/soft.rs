@@ -1,11 +1,13 @@
 //! Soft-constraint validation (paper eq. (11)).
 
-use rand::Rng;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 
 use netdag_core::app::{Application, TaskId};
 use netdag_core::constraints::SoftConstraints;
 use netdag_core::schedule::Schedule;
 use netdag_core::stat::SoftStatistic;
+use netdag_runtime::{derive_seed, run_indexed, ExecPolicy};
 use netdag_weakly_hard::Sequence;
 
 /// Simulates `kappa` independent runs of a task: each predecessor flood
@@ -89,6 +91,60 @@ pub fn validate_soft<S: SoftStatistic + ?Sized, R: Rng + ?Sized>(
         .collect()
 }
 
+/// Chunk of Bernoulli samples handed to one parallel job in
+/// [`validate_soft_par`]. Fixed so chunk boundaries — and therefore the
+/// derived RNG streams — never depend on the thread count.
+const SOFT_CHUNK: usize = 1024;
+
+/// Parallel variant of [`validate_soft`]: the `kappa` samples of every
+/// constrained task are split into fixed [`SOFT_CHUNK`]-sized chunks and
+/// fanned out across threads. Each `(task, chunk)` pair derives its own
+/// ChaCha stream from `(master_seed, task index, chunk index)`, so the
+/// reports depend only on `master_seed` and the inputs, never on
+/// `policy`. The seeding contract differs from [`validate_soft`] (which
+/// consumes a shared `&mut R`), so equality with the serial function is
+/// not expected; equality across `policy` values is.
+#[allow(clippy::too_many_arguments)]
+pub fn validate_soft_par<S: SoftStatistic + Sync + ?Sized>(
+    app: &Application,
+    stat: &S,
+    constraints: &SoftConstraints,
+    schedule: &Schedule,
+    kappa: usize,
+    confidence: f64,
+    master_seed: u64,
+    policy: ExecPolicy,
+) -> Vec<SoftReport> {
+    let margin = hoeffding_margin(kappa, confidence);
+    let tasks: Vec<(TaskId, f64)> = constraints.iter().collect();
+    let chunks = kappa.div_ceil(SOFT_CHUNK);
+    let hits = run_indexed(policy, tasks.len() * chunks, |job| {
+        let (task, _) = tasks[job / chunks];
+        let chunk = job % chunks;
+        let len = SOFT_CHUNK.min(kappa - chunk * SOFT_CHUNK);
+        let mut rng = ChaCha8Rng::from_seed(derive_seed(
+            master_seed,
+            (job / chunks) as u64,
+            chunk as u64,
+        ));
+        simulate_task(app, stat, schedule, task, len, &mut rng).count_hits()
+    });
+    tasks
+        .iter()
+        .zip(hits.chunks_exact(chunks))
+        .map(|(&(task, required), task_hits)| {
+            let observed = task_hits.iter().sum::<usize>() as f64 / kappa as f64;
+            SoftReport {
+                task,
+                required,
+                observed,
+                margin,
+                passed: observed >= required - margin,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,6 +192,42 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let reports = validate_soft(&app, &stat, &f, &out.schedule, 5_000, 0.999, &mut rng);
         assert!(!reports[0].passed, "{reports:?}");
+    }
+
+    #[test]
+    fn parallel_validation_invariant_under_thread_count() {
+        let (app, a) = chain();
+        let stat = Eq15Statistic::new(1.0, 8);
+        let mut f = SoftConstraints::new();
+        f.set(a, 0.85).unwrap();
+        let out = schedule_soft(&app, &stat, &f, &SchedulerConfig::default()).unwrap();
+        // kappa deliberately not a multiple of the chunk size.
+        let kappa = 5_000;
+        let serial = validate_soft_par(
+            &app,
+            &stat,
+            &f,
+            &out.schedule,
+            kappa,
+            0.999,
+            11,
+            ExecPolicy::Serial,
+        );
+        assert_eq!(serial.len(), 1);
+        assert!(serial[0].passed, "{serial:?}");
+        for threads in [2, 8] {
+            let par = validate_soft_par(
+                &app,
+                &stat,
+                &f,
+                &out.schedule,
+                kappa,
+                0.999,
+                11,
+                ExecPolicy::Threads(threads),
+            );
+            assert_eq!(serial, par, "threads = {threads}");
+        }
     }
 
     #[test]

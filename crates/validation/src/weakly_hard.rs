@@ -1,11 +1,13 @@
 //! Weakly hard validation with adversarial miss patterns (paper eq. (12)).
 
-use rand::Rng;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 
 use netdag_core::app::{Application, TaskId};
 use netdag_core::constraints::WeaklyHardConstraints;
 use netdag_core::schedule::Schedule;
 use netdag_core::stat::WeaklyHardStatistic;
+use netdag_runtime::{derive_seed, try_run_indexed, ExecPolicy};
 use netdag_weakly_hard::{AdversarialSampler, Constraint, Dfa, Sequence, SynthesisError};
 
 /// Validation verdict for one weakly hard-constrained task.
@@ -84,6 +86,76 @@ pub fn validate_weakly_hard<S: WeaklyHardStatistic + ?Sized, R: Rng + ?Sized>(
         });
     }
     Ok(out)
+}
+
+/// Parallel variant of [`validate_weakly_hard`]: every `(task, trial)`
+/// pair is an independent adversarial simulation, fanned out across
+/// threads. Each pair derives its own ChaCha stream from
+/// `(master_seed, task index, trial index)`, so the reports depend only
+/// on `master_seed` and the inputs, never on `policy`. The seeding
+/// contract differs from [`validate_weakly_hard`] (which consumes a
+/// shared `&mut R`), so equality with the serial function is not
+/// expected; equality across `policy` values is.
+///
+/// # Errors
+///
+/// Propagates [`SynthesisError`] from pattern synthesis; when several
+/// trials fail, the error of the earliest `(task, trial)` pair is
+/// returned.
+#[allow(clippy::too_many_arguments)]
+pub fn validate_weakly_hard_par<S: WeaklyHardStatistic + Sync + ?Sized>(
+    app: &Application,
+    stat: &S,
+    constraints: &WeaklyHardConstraints,
+    schedule: &Schedule,
+    kappa: usize,
+    trials: usize,
+    master_seed: u64,
+    policy: ExecPolicy,
+) -> Result<Vec<WeaklyHardReport>, SynthesisError> {
+    let tasks: Vec<(TaskId, Constraint)> = constraints.iter().collect();
+    if trials == 0 {
+        // Vacuously passed, matching the serial loop's behavior.
+        return Ok(tasks
+            .into_iter()
+            .map(|(task, requirement)| WeaklyHardReport {
+                task,
+                requirement,
+                trials,
+                satisfied: 0,
+                passed: true,
+            })
+            .collect());
+    }
+    let verdicts = try_run_indexed(
+        policy,
+        tasks.len() * trials,
+        |job| -> Result<bool, SynthesisError> {
+            let (task, requirement) = tasks[job / trials];
+            let trial = job % trials;
+            let mut rng = ChaCha8Rng::from_seed(derive_seed(
+                master_seed,
+                (job / trials) as u64,
+                trial as u64,
+            ));
+            let omega = simulate_task_adversarial(app, stat, schedule, task, kappa, &mut rng)?;
+            Ok(requirement.models(&omega))
+        },
+    )?;
+    Ok(tasks
+        .iter()
+        .zip(verdicts.chunks_exact(trials))
+        .map(|(&(task, requirement), task_verdicts)| {
+            let satisfied = task_verdicts.iter().filter(|&&ok| ok).count();
+            WeaklyHardReport {
+                task,
+                requirement,
+                trials,
+                satisfied,
+                passed: satisfied == trials,
+            }
+        })
+        .collect())
 }
 
 /// Verdict of the exhaustive check for one task.
@@ -219,6 +291,42 @@ mod tests {
             validate_weakly_hard(&app, &stat, &f, &out.schedule, 300, 20, &mut rng).unwrap();
         assert!(!reports[0].passed, "{reports:?}");
         assert!(reports[0].satisfied < reports[0].trials);
+    }
+
+    #[test]
+    fn parallel_validation_invariant_under_thread_count() {
+        let (app, a) = two_hop();
+        let stat = Eq13Statistic::new(8);
+        let mut f = WeaklyHardConstraints::new();
+        f.set(a, Constraint::any_hit(10, 40).unwrap()).unwrap();
+        let out = schedule_weakly_hard(&app, &stat, &f, &SchedulerConfig::default()).unwrap();
+        let serial = validate_weakly_hard_par(
+            &app,
+            &stat,
+            &f,
+            &out.schedule,
+            400,
+            40,
+            17,
+            ExecPolicy::Serial,
+        )
+        .unwrap();
+        assert_eq!(serial.len(), 1);
+        assert!(serial[0].passed, "{serial:?}");
+        for threads in [2, 8] {
+            let par = validate_weakly_hard_par(
+                &app,
+                &stat,
+                &f,
+                &out.schedule,
+                400,
+                40,
+                17,
+                ExecPolicy::Threads(threads),
+            )
+            .unwrap();
+            assert_eq!(serial, par, "threads = {threads}");
+        }
     }
 
     #[test]

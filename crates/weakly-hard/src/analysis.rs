@@ -97,9 +97,7 @@ pub fn min_hit_density(c: &Constraint) -> Result<Option<f64>, BuildDfaError> {
     // start in the subgraph (virtual source with 0-weight edges).
     const INF: i64 = i64::MAX / 4;
     let mut d = vec![vec![INF; n]; n + 1];
-    for v in 0..n {
-        d[0][v] = 0;
-    }
+    d[0].fill(0);
     for k in 1..=n {
         for (ui, &u) in nodes.iter().enumerate() {
             if d[k - 1][ui] == INF {
@@ -120,6 +118,9 @@ pub fn min_hit_density(c: &Constraint) -> Result<Option<f64>, BuildDfaError> {
     }
     // min over v of max over k < n of (d[n][v] − d[k][v]) / (n − k).
     let mut best: Option<f64> = None;
+    // `v` indexes a column across rows of `d`, so a range loop is clearer
+    // than zipping the rows.
+    #[allow(clippy::needless_range_loop)]
     for v in 0..n {
         if d[n][v] == INF {
             continue;

@@ -1,0 +1,45 @@
+//! `any::<T>()` and the [`Arbitrary`] trait behind it.
+
+use std::marker::PhantomData;
+
+use rand::Rng as _;
+
+use crate::strategy::Any;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for `T`'s full domain.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Unit interval: full-domain floats (infs/NaN) are more trouble
+        // than signal for the properties in this workspace.
+        rng.gen::<f64>()
+    }
+}

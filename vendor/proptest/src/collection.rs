@@ -1,0 +1,55 @@
+//! Collection strategies (`proptest::collection`).
+
+use std::ops::Range;
+
+use rand::Rng as _;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Length specifications accepted by [`vec`]: an exact `usize` or a
+/// half-open `Range<usize>`.
+pub trait VecLen {
+    /// Picks a concrete length.
+    fn pick(&self, rng: &mut TestRng) -> usize;
+}
+
+impl VecLen for usize {
+    fn pick(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl VecLen for Range<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        // Degenerate/empty ranges clamp to the lower bound instead of
+        // panicking, matching how tests use `0..max_len` parameters.
+        if self.start + 1 >= self.end {
+            self.start
+        } else {
+            rng.gen_range(self.clone())
+        }
+    }
+}
+
+/// A strategy generating `Vec`s of `element` values with a length drawn
+/// from `len`.
+pub fn vec<S: Strategy, L: VecLen>(element: S, len: L) -> VecStrategy<S, L> {
+    VecStrategy { element, len }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S, L> {
+    element: S,
+    len: L,
+}
+
+impl<S: Strategy, L: VecLen> Strategy for VecStrategy<S, L> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.len.pick(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}

@@ -1,0 +1,199 @@
+//! Offline property-testing shim exposing the slice of proptest's API the
+//! workspace uses: the [`proptest!`] macro, range/tuple strategies,
+//! `prop_map`/`prop_flat_map`, [`prop_oneof!`], `collection::vec`, and
+//! [`any`].
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **Deterministic**: case `i` always runs with the same RNG stream, so
+//!   failures reproduce without persistence files.
+//! * **No shrinking**: a failing case reports its inputs' case index; the
+//!   inputs themselves are printed by the assertion message.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude::*`.
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` (the attribute is written by the caller, as with
+/// real proptest) that runs `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)]
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:pat_param in $strat:expr),* $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $cfg;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::test_runner::TestRng::deterministic(u64::from(__case));
+                    let __outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(__e) = __outcome {
+                        panic!(
+                            "property `{}` failed at case {}/{}: {}",
+                            stringify!($name), __case, __config.cases, __e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($(#[$meta:meta])*
+       fn $name:ident($($arg:pat_param in $strat:expr),* $(,)?) $body:block)*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::Config::default())]
+            $($(#[$meta])* fn $name($($arg in $strat),*) $body)*
+        }
+    };
+}
+
+/// Fallible assertion: fails the current case (not the process) so the
+/// runner can report the case index.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fallible equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` == `{:?}`", __l, __r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` == `{:?}`: {}", __l, __r, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// Fallible inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                __l, __r
+            )));
+        }
+    }};
+}
+
+/// Uniformly picks one of several same-valued strategies each case.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::deterministic(7);
+        for _ in 0..200 {
+            let v = Strategy::generate(&(3u32..9), &mut rng);
+            assert!((3..9).contains(&v));
+            let f = Strategy::generate(&(0.25f64..0.75), &mut rng);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let strat = (1usize..100, 0.0f64..1.0).prop_map(|(n, x)| (n * 2, x));
+        let a = Strategy::generate(&strat, &mut TestRng::deterministic(3));
+        let b = Strategy::generate(&strat, &mut TestRng::deterministic(3));
+        assert_eq!(a.0, b.0);
+        assert!((a.1 - b.1).abs() == 0.0);
+    }
+
+    #[test]
+    fn oneof_covers_all_options() {
+        let strat = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut seen = [false; 4];
+        for case in 0..64 {
+            let v = Strategy::generate(&strat, &mut TestRng::deterministic(case));
+            seen[v as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn vec_respects_length_specs() {
+        let mut rng = TestRng::deterministic(11);
+        for _ in 0..50 {
+            let exact =
+                Strategy::generate(&crate::collection::vec(any::<bool>(), 4usize), &mut rng);
+            assert_eq!(exact.len(), 4);
+            let ranged = Strategy::generate(&crate::collection::vec(0u32..5, 1..7), &mut rng);
+            assert!((1..7).contains(&ranged.len()));
+            // Degenerate empty range clamps instead of panicking.
+            let empty = Strategy::generate(&crate::collection::vec(0u32..5, 0..0), &mut rng);
+            assert!(empty.is_empty());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_end_to_end(n in 1u64..50, flag in any::<bool>(), (a, b) in (0i64..5, 5i64..10)) {
+            prop_assert!((1..50).contains(&n));
+            prop_assert!(a < b, "{a} vs {b}");
+            if flag {
+                prop_assert_eq!(n + 1, 1 + n);
+            }
+        }
+
+        #[test]
+        fn flat_map_threads_values(v in (1usize..6).prop_flat_map(|n| crate::collection::vec(0u32..9, n))) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+        }
+    }
+}

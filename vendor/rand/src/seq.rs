@@ -1,0 +1,112 @@
+//! Slice sampling helpers (`rand::seq`).
+
+use crate::Rng;
+
+/// Random selection and shuffling on slices.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// A uniformly random element, or `None` for an empty slice.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// Up to `amount` distinct elements, sampled without replacement.
+    fn choose_multiple<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> std::vec::IntoIter<&Self::Item>;
+
+    /// Uniform in-place Fisher–Yates shuffle.
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            self.get(rng.gen_range(0..self.len()))
+        }
+    }
+
+    fn choose_multiple<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> std::vec::IntoIter<&T> {
+        // Partial Fisher–Yates over an index vector: the first `amount`
+        // positions end up holding a uniform sample without replacement.
+        let amount = amount.min(self.len());
+        let mut indices: Vec<usize> = (0..self.len()).collect();
+        for i in 0..amount {
+            let j = rng.gen_range(i..indices.len());
+            indices.swap(i, j);
+        }
+        indices
+            .into_iter()
+            .take(amount)
+            .map(|i| &self[i])
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            self.swap(i, rng.gen_range(0..=i));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RngCore;
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+    }
+
+    #[test]
+    fn choose_and_shuffle_behave() {
+        let mut rng = Counter(3);
+        let empty: &[u32] = &[];
+        assert!(empty.choose(&mut rng).is_none());
+        let items = [1u32, 2, 3, 4];
+        for _ in 0..100 {
+            assert!(items.contains(items.choose(&mut rng).unwrap()));
+        }
+        let mut v: Vec<u32> = (0..20).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_multiple_samples_without_replacement() {
+        let mut rng = Counter(9);
+        let items: Vec<u32> = (0..10).collect();
+        for _ in 0..50 {
+            let picked: Vec<u32> = items.choose_multiple(&mut rng, 4).copied().collect();
+            assert_eq!(picked.len(), 4);
+            let mut unique = picked.clone();
+            unique.sort_unstable();
+            unique.dedup();
+            assert_eq!(unique.len(), 4, "duplicates in {picked:?}");
+        }
+        // Requesting more than available yields everything.
+        assert_eq!(items.choose_multiple(&mut rng, 99).count(), 10);
+    }
+}

@@ -1,0 +1,229 @@
+//! Deserialization half of the shim.
+
+use std::fmt;
+use std::marker::PhantomData;
+
+use crate::Value;
+
+/// Error constraint for deserializers, mirroring `serde::de::Error`.
+pub trait Error: Sized + fmt::Display {
+    /// Builds an error from any displayable message.
+    fn custom<T: fmt::Display>(msg: T) -> Self;
+}
+
+/// A source of one parsed [`Value`] tree.
+pub trait Deserializer<'de>: Sized {
+    /// Deserialization error.
+    type Error: Error;
+
+    /// Hands over the parsed value.
+    fn deserialize_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A type constructible from a [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Reads `Self` out of the deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Types deserializable without borrowing from the input. The shim's
+/// [`Value`]-tree model never borrows, so this is just an alias bound.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// [`Deserializer`] over an owned [`Value`], generic in the error type so
+/// nested fields surface the caller's error (`D::Error`) directly.
+pub struct ValueDeserializer<E> {
+    value: Value,
+    _marker: PhantomData<fn() -> E>,
+}
+
+impl<E> ValueDeserializer<E> {
+    /// Wraps a value.
+    pub fn new(value: Value) -> Self {
+        ValueDeserializer {
+            value,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<'de, E: Error> Deserializer<'de> for ValueDeserializer<E> {
+    type Error = E;
+
+    fn deserialize_value(self) -> Result<Value, E> {
+        Ok(self.value)
+    }
+}
+
+/// Deserializes a `T` out of a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns `E::custom` describing the first shape mismatch.
+pub fn from_value<'de, T: Deserialize<'de>, E: Error>(value: Value) -> Result<T, E> {
+    T::deserialize(ValueDeserializer::new(value))
+}
+
+/// Extracts a struct field captured as `Option<Value>`: present values
+/// deserialize normally (errors get the field name prepended); missing
+/// values deserialize from `null`, so `Option<T>` fields default to
+/// `None` and everything else reports "missing field".
+///
+/// # Errors
+///
+/// Returns `E::custom` naming the field on any failure.
+pub fn field<'de, T: Deserialize<'de>, E: Error>(
+    value: Option<Value>,
+    struct_name: &str,
+    field_name: &str,
+) -> Result<T, E> {
+    match value {
+        Some(v) => {
+            from_value(v).map_err(|e: E| E::custom(format!("{struct_name}.{field_name}: {e}")))
+        }
+        None => from_value(Value::Null)
+            .map_err(|_: E| E::custom(format!("missing field `{field_name}` in {struct_name}"))),
+    }
+}
+
+// ---- Primitive impls -----------------------------------------------------
+
+macro_rules! expect {
+    ($v:expr, $what:literal, $conv:expr) => {{
+        let v = $v;
+        match $conv(&v) {
+            Some(x) => Ok(x),
+            None => Err(Error::custom(format!(
+                concat!("expected ", $what, ", found {}"),
+                v.kind()
+            ))),
+        }
+    }};
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        expect!(deserializer.deserialize_value()?, "bool", |v: &Value| {
+            match v {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }
+        })
+    }
+}
+
+macro_rules! deserialize_uint {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let v = deserializer.deserialize_value()?;
+                v.as_u64()
+                    .and_then(|x| <$t>::try_from(x).ok())
+                    .ok_or_else(|| Error::custom(format!(
+                        concat!("expected ", stringify!($t), ", found {}"),
+                        v.kind()
+                    )))
+            }
+        }
+    )*};
+}
+
+deserialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! deserialize_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let v = deserializer.deserialize_value()?;
+                v.as_i64()
+                    .and_then(|x| <$t>::try_from(x).ok())
+                    .ok_or_else(|| Error::custom(format!(
+                        concat!("expected ", stringify!($t), ", found {}"),
+                        v.kind()
+                    )))
+            }
+        }
+    )*};
+}
+
+deserialize_int!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        expect!(deserializer.deserialize_value()?, "number", Value::as_f64)
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v: f64 = f64::deserialize(deserializer)?;
+        Ok(v as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        expect!(deserializer.deserialize_value()?, "string", |v: &Value| {
+            match v {
+                Value::String(s) => Some(s.clone()),
+                _ => None,
+            }
+        })
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Null => Ok(None),
+            other => from_value(other).map(Some),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Array(items) => items.into_iter().map(from_value).collect(),
+            other => Err(Error::custom(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+macro_rules! deserialize_tuple {
+    ($(($len:literal: $($name:ident),+))*) => {$(
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<De: Deserializer<'de>>(deserializer: De) -> Result<Self, De::Error> {
+                match deserializer.deserialize_value()? {
+                    Value::Array(items) if items.len() == $len => {
+                        let mut iter = items.into_iter();
+                        Ok(($(from_value::<$name, De::Error>(
+                            iter.next().expect("length checked")
+                        )?,)+))
+                    }
+                    other => Err(Error::custom(format!(
+                        concat!("expected array of ", $len, ", found {}"),
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+deserialize_tuple! {
+    (2: A, B)
+    (3: A, B, C)
+    (4: Ta, Tb, Tc, Td)
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_value()
+    }
+}

@@ -1,0 +1,26 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The real serde streams values through a fully generic data model; this
+//! shim routes everything through one concrete tree, [`Value`] (the JSON
+//! data model), which is all the workspace needs: every (de)serialization
+//! in NETDAG goes to or from JSON.
+//!
+//! The trait *shapes* mirror serde where the workspace relies on them:
+//! `Serialize::serialize` takes a [`Serializer`] by value, `Deserialize`
+//! is parameterized over a [`Deserializer`] with a `'de` lifetime, and
+//! error types are reached through the `ser::Error`/`de::Error` traits
+//! (`custom`). Manual impls written against real serde — e.g. the
+//! `Sequence` string codec in `netdag-weakly-hard` — compile unchanged.
+//!
+//! `#[derive(serde::Serialize, serde::Deserialize)]` is provided by the
+//! sibling `serde_derive` proc-macro, re-exported here exactly like the
+//! real crate's `derive` feature.
+
+pub mod de;
+pub mod ser;
+mod value;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::Value;

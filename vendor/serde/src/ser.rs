@@ -1,0 +1,233 @@
+//! Serialization half of the shim.
+
+use std::fmt;
+
+use crate::Value;
+
+/// Error constraint for serializers, mirroring `serde::ser::Error`.
+pub trait Error: Sized + fmt::Display {
+    /// Builds an error from any displayable message.
+    fn custom<T: fmt::Display>(msg: T) -> Self;
+}
+
+/// A type that can serialize itself through any [`Serializer`].
+pub trait Serialize {
+    /// Feeds `self` to `serializer`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// Consumes one value. Unlike real serde's 30-method data model, the shim
+/// funnels everything through [`Serializer::serialize_value`]; the typed
+/// helpers exist so manual impls written against real serde still compile.
+pub trait Serializer: Sized {
+    /// Result of successful serialization.
+    type Ok;
+    /// Serialization error.
+    type Error: Error;
+
+    /// Consumes a fully built [`Value`] tree.
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes a string.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::String(v.to_owned()))
+    }
+
+    /// Serializes a boolean.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Bool(v))
+    }
+
+    /// Serializes an unsigned integer.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::UInt(v))
+    }
+
+    /// Serializes a signed integer.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error> {
+        if v >= 0 {
+            self.serialize_value(Value::UInt(v as u64))
+        } else {
+            self.serialize_value(Value::Int(v))
+        }
+    }
+
+    /// Serializes a float.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Float(v))
+    }
+
+    /// Serializes `()` / `None` as null.
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Null)
+    }
+}
+
+/// Fallback serialization error: a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SerError(pub String);
+
+impl fmt::Display for SerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for SerError {}
+
+impl Error for SerError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        SerError(msg.to_string())
+    }
+}
+
+/// The canonical serializer: builds a [`Value`] tree.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = SerError;
+
+    fn serialize_value(self, value: Value) -> Result<Value, SerError> {
+        Ok(value)
+    }
+}
+
+/// Serializes any value to the [`Value`] tree — the entry point both the
+/// derive macro and `serde_json` use.
+///
+/// # Errors
+///
+/// Propagates errors raised by manual `Serialize` impls via
+/// [`Error::custom`]; the built-in impls never fail.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, SerError> {
+    value.serialize(ValueSerializer)
+}
+
+// ---- Blanket and primitive impls ----------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+macro_rules! serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_u64(*self as u64)
+            }
+        }
+    )*};
+}
+
+serialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_i64(*self as i64)
+            }
+        }
+    )*};
+}
+
+serialize_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(f64::from(*self))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => serializer.serialize_unit(),
+            Some(v) => {
+                let value = to_value(v).map_err(S::Error::custom)?;
+                serializer.serialize_value(value)
+            }
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut items = Vec::with_capacity(self.len());
+        for item in self {
+            items.push(to_value(item).map_err(S::Error::custom)?);
+        }
+        serializer.serialize_value(Value::Array(items))
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let items = vec![
+                    $(to_value(&self.$idx).map_err(|e| S::Error::custom(e))?),+
+                ];
+                serializer.serialize_value(Value::Array(items))
+            }
+        }
+    )*};
+}
+
+serialize_tuple! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(self.clone())
+    }
+}

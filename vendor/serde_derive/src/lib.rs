@@ -1,0 +1,397 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! serde shim.
+//!
+//! Implemented directly on `proc_macro` token trees (the build
+//! environment has no `syn`/`quote`). Supports exactly the shapes the
+//! workspace uses:
+//!
+//! * non-generic structs with named fields,
+//! * non-generic newtype / tuple structs,
+//! * non-generic enums with unit, tuple and struct variants
+//!   (externally tagged, like real serde's default).
+//!
+//! `#[serde(...)]` attributes are not supported and are rejected.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().expect("generated impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item)
+            .parse()
+            .expect("generated impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("literal")
+}
+
+// ---- Parsing -------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut iter = input.into_iter().peekable();
+    skip_attributes(&mut iter)?;
+    skip_visibility(&mut iter);
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected a type name, found {other:?}")),
+    };
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim derive does not support generic type `{name}`"
+        ));
+    }
+    match (kind.as_str(), iter.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => Ok(Item {
+            name,
+            shape: Shape::Struct(Fields::Named(named_fields(g.stream())?)),
+        }),
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            let count = split_top_level_commas(g.stream()).len();
+            Ok(Item {
+                name,
+                shape: Shape::Struct(Fields::Tuple(count)),
+            })
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => Ok(Item {
+            name,
+            shape: Shape::Struct(Fields::Unit),
+        }),
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            let mut variants = Vec::new();
+            for chunk in split_top_level_commas(g.stream()) {
+                variants.push(parse_variant(chunk)?);
+            }
+            Ok(Item {
+                name,
+                shape: Shape::Enum(variants),
+            })
+        }
+        (k, other) => Err(format!("unsupported {k} item body: {other:?}")),
+    }
+}
+
+fn skip_attributes<I: Iterator<Item = TokenTree>>(
+    iter: &mut std::iter::Peekable<I>,
+) -> Result<(), String> {
+    while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        iter.next();
+        match iter.next() {
+            Some(TokenTree::Group(g)) => {
+                let text = g.stream().to_string();
+                if text.starts_with("serde") {
+                    return Err(format!(
+                        "serde shim derive does not support #[serde(...)] attributes: {text}"
+                    ));
+                }
+            }
+            other => return Err(format!("malformed attribute: {other:?}")),
+        }
+    }
+    Ok(())
+}
+
+fn skip_visibility<I: Iterator<Item = TokenTree>>(iter: &mut std::iter::Peekable<I>) {
+    if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        iter.next();
+        if matches!(
+            iter.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            iter.next();
+        }
+    }
+}
+
+/// Splits a token stream on commas, ignoring commas nested inside
+/// `<...>` generics (delimiter groups already hide theirs).
+fn split_top_level_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    out.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tt);
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+fn named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    for chunk in split_top_level_commas(stream) {
+        let mut iter = chunk.into_iter().peekable();
+        skip_attributes(&mut iter)?;
+        skip_visibility(&mut iter);
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            other => return Err(format!("expected a field name, found {other:?}")),
+        }
+    }
+    Ok(names)
+}
+
+fn parse_variant(chunk: Vec<TokenTree>) -> Result<Variant, String> {
+    let mut iter = chunk.into_iter().peekable();
+    skip_attributes(&mut iter)?;
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected a variant name, found {other:?}")),
+    };
+    let fields = match iter.next() {
+        None => Fields::Unit,
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Fields::Named(named_fields(g.stream())?)
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Fields::Tuple(split_top_level_commas(g.stream()).len())
+        }
+        other => return Err(format!("unsupported variant shape after {name}: {other:?}")),
+    };
+    Ok(Variant { name, fields })
+}
+
+// ---- Code generation -----------------------------------------------------
+
+const SER_ERR: &str = "<S::Error as ::serde::ser::Error>::custom";
+const DE_ERR: &str = "<D::Error as ::serde::de::Error>::custom";
+
+fn object_from_named(fields: &[String], access: impl Fn(&str) -> String) -> String {
+    let mut code =
+        String::from("{ let mut __fields: Vec<(String, ::serde::Value)> = Vec::new();\n");
+    for f in fields {
+        code.push_str(&format!(
+            "__fields.push(({f:?}.to_string(), ::serde::ser::to_value({}).map_err({SER_ERR})?));\n",
+            access(f)
+        ));
+    }
+    code.push_str("::serde::Value::Object(__fields) }");
+    code
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(Fields::Named(fields)) => object_from_named(fields, |f| format!("&self.{f}")),
+        Shape::Struct(Fields::Tuple(1)) => {
+            format!("::serde::ser::to_value(&self.0).map_err({SER_ERR})?")
+        }
+        Shape::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::ser::to_value(&self.{i}).map_err({SER_ERR})?"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String({vn:?}.to_string()),\n"
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => ::serde::Value::Object(vec![({vn:?}.to_string(), \
+                         ::serde::ser::to_value(__f0).map_err({SER_ERR})?)]),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::ser::to_value({b}).map_err({SER_ERR})?"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(vec![({vn:?}.to_string(), \
+                             ::serde::Value::Array(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let obj = object_from_named(fields, |f| f.to_string());
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Object(vec![({vn:?}.to_string(), {obj})]),\n",
+                            fields.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize<S: ::serde::Serializer>(&self, serializer: S) \
+                 -> Result<S::Ok, S::Error> {{\n\
+                 let __value = {body};\n\
+                 ::serde::Serializer::serialize_value(serializer, __value)\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn named_struct_deserialize(type_name: &str, ctor: &str, fields: &[String], src: &str) -> String {
+    let mut code = format!("match {src} {{\n::serde::Value::Object(__pairs) => {{\n");
+    for f in fields {
+        code.push_str(&format!(
+            "let mut __v_{f}: Option<::serde::Value> = None;\n"
+        ));
+    }
+    code.push_str("for (__k, __v) in __pairs { match __k.as_str() {\n");
+    for f in fields {
+        code.push_str(&format!("{f:?} => __v_{f} = Some(__v),\n"));
+    }
+    code.push_str("_ => {}\n} }\n");
+    code.push_str(&format!("Ok({ctor} {{\n"));
+    for f in fields {
+        code.push_str(&format!(
+            "{f}: ::serde::de::field(__v_{f}, {type_name:?}, {f:?})?,\n"
+        ));
+    }
+    code.push_str("})\n}\n");
+    code.push_str(&format!(
+        "__other => Err({DE_ERR}(format!(\"expected object for {type_name}, found {{}}\", __other.kind()))),\n}}"
+    ));
+    code
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(Fields::Named(fields)) => {
+            named_struct_deserialize(name, name, fields, "__value")
+        }
+        Shape::Struct(Fields::Tuple(1)) => {
+            format!("Ok({name}(::serde::de::from_value(__value)?))")
+        }
+        Shape::Struct(Fields::Tuple(n)) => {
+            let mut code = format!(
+                "match __value {{\n::serde::Value::Array(__items) if __items.len() == {n} => {{\n\
+                 let mut __iter = __items.into_iter();\n"
+            );
+            code.push_str(&format!("Ok({name}("));
+            for _ in 0..*n {
+                code.push_str(
+                    "::serde::de::from_value(__iter.next().expect(\"length checked\"))?, ",
+                );
+            }
+            code.push_str("))\n}\n");
+            code.push_str(&format!(
+                "__other => Err({DE_ERR}(format!(\"expected array of {n} for {name}, found {{}}\", __other.kind()))),\n}}"
+            ));
+            code
+        }
+        Shape::Struct(Fields::Unit) => format!("{{ let _ = __value; Ok({name}) }}"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => unit_arms.push_str(&format!("{vn:?} => Ok({name}::{vn}),\n")),
+                    Fields::Tuple(1) => tagged_arms.push_str(&format!(
+                        "{vn:?} => Ok({name}::{vn}(::serde::de::from_value(__inner)?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let mut arm = format!(
+                            "{vn:?} => match __inner {{\n\
+                             ::serde::Value::Array(__items) if __items.len() == {n} => {{\n\
+                             let mut __iter = __items.into_iter();\nOk({name}::{vn}("
+                        );
+                        for _ in 0..*n {
+                            arm.push_str(
+                                "::serde::de::from_value(__iter.next().expect(\"length checked\"))?, ",
+                            );
+                        }
+                        arm.push_str(&format!(
+                            "))\n}}\n__other => Err({DE_ERR}(format!(\"expected array of {n} for variant {name}::{vn}, found {{}}\", __other.kind()))),\n}},\n"
+                        ));
+                        tagged_arms.push_str(&arm);
+                    }
+                    Fields::Named(fields) => {
+                        let inner = named_struct_deserialize(
+                            &format!("{name}::{vn}"),
+                            &format!("{name}::{vn}"),
+                            fields,
+                            "__inner",
+                        );
+                        tagged_arms.push_str(&format!("{vn:?} => {inner},\n"));
+                    }
+                }
+            }
+            format!(
+                "match __value {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => Err({DE_ERR}(format!(\"unknown variant {{__other:?}} of {name}\"))),\n}},\n\
+                 ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{\n\
+                 let (__tag, __inner) = __pairs.into_iter().next().expect(\"length checked\");\n\
+                 match __tag.as_str() {{\n{tagged_arms}\
+                 __other => Err({DE_ERR}(format!(\"unknown variant {{__other:?}} of {name}\"))),\n}}\n}},\n\
+                 __other => Err({DE_ERR}(format!(\"expected variant of {name}, found {{}}\", __other.kind()))),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<D: ::serde::Deserializer<'de>>(deserializer: D) \
+                 -> Result<Self, D::Error> {{\n\
+                 let __value = ::serde::Deserializer::deserialize_value(deserializer)?;\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}

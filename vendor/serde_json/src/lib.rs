@@ -1,0 +1,196 @@
+//! Offline JSON codec for the vendored serde shim: a recursive-descent
+//! parser and a writer over [`serde::Value`], exposing the handful of
+//! entry points the workspace uses (`from_str`, `to_string`,
+//! `to_string_pretty`, [`Error`]).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize, Value};
+
+mod read;
+mod write;
+
+pub use read::parse;
+
+/// JSON (de)serialization error: a message, optionally with the input
+/// offset where parsing failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+    offset: Option<usize>,
+}
+
+impl Error {
+    fn msg(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+            offset: None,
+        }
+    }
+
+    fn at(message: impl Into<String>, offset: usize) -> Self {
+        Error {
+            message: message.into(),
+            offset: Some(offset),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.offset {
+            Some(off) => write!(f, "{} at byte {off}", self.message),
+            None => f.write_str(&self.message),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::msg(msg.to_string())
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::msg(msg.to_string())
+    }
+}
+
+/// Serializes a value to compact JSON.
+///
+/// # Errors
+///
+/// Propagates errors from manual `Serialize` impls; the derive-generated
+/// and built-in impls never fail.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let tree = serde::ser::to_value(value).map_err(|e| Error::msg(e.to_string()))?;
+    Ok(write::compact(&tree))
+}
+
+/// Serializes a value to pretty-printed JSON (two-space indent).
+///
+/// # Errors
+///
+/// Propagates errors from manual `Serialize` impls.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let tree = serde::ser::to_value(value).map_err(|e| Error::msg(e.to_string()))?;
+    Ok(write::pretty(&tree))
+}
+
+/// Parses JSON text into any deserializable type.
+///
+/// # Errors
+///
+/// Returns a parse error (with byte offset) on malformed JSON, or a shape
+/// error if the parsed tree does not match `T`.
+pub fn from_str<'de, T: Deserialize<'de>>(text: &str) -> Result<T, Error> {
+    let tree = parse(text)?;
+    serde::de::from_value(tree)
+}
+
+/// Parses JSON text into a raw [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns a parse error (with byte offset) on malformed JSON.
+pub fn from_str_value(text: &str) -> Result<Value, Error> {
+    parse(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_scalars() {
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&42u32).unwrap(), "42");
+        assert_eq!(to_string(&-7i64).unwrap(), "-7");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string("hi").unwrap(), "\"hi\"");
+        assert!(from_str::<bool>("true").unwrap());
+        assert_eq!(from_str::<u32>(" 42 ").unwrap(), 42);
+        assert_eq!(from_str::<i64>("-7").unwrap(), -7);
+        assert_eq!(from_str::<f64>("1.5e0").unwrap(), 1.5);
+        assert_eq!(from_str::<String>("\"hi\"").unwrap(), "hi");
+    }
+
+    #[test]
+    fn round_trips_containers() {
+        let v = vec![1u32, 2, 3];
+        let text = to_string(&v).unwrap();
+        assert_eq!(text, "[1,2,3]");
+        assert_eq!(from_str::<Vec<u32>>(&text).unwrap(), v);
+
+        let opt: Option<u32> = None;
+        assert_eq!(to_string(&opt).unwrap(), "null");
+        assert_eq!(from_str::<Option<u32>>("null").unwrap(), None);
+        assert_eq!(from_str::<Option<u32>>("9").unwrap(), Some(9));
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let original = "line\nquote\"back\\slash\ttab\u{1}";
+        let text = to_string(original).unwrap();
+        assert_eq!(from_str::<String>(&text).unwrap(), original);
+        assert_eq!(from_str::<String>("\"\\u0041\\u00e9\"").unwrap(), "Aé");
+        // Surrogate pair (U+1F600).
+        assert_eq!(
+            from_str::<String>("\"\\ud83d\\ude00\"").unwrap(),
+            "\u{1F600}"
+        );
+    }
+
+    #[test]
+    fn parses_nested_objects() {
+        let tree = from_str_value(r#"{"a": [1, {"b": null}], "c": -2.5}"#).unwrap();
+        match tree {
+            Value::Object(pairs) => {
+                assert_eq!(pairs.len(), 2);
+                assert_eq!(pairs[0].0, "a");
+                assert_eq!(pairs[1], ("c".to_string(), Value::Float(-2.5)));
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(from_str_value("").is_err());
+        assert!(from_str_value("{").is_err());
+        assert!(from_str_value("[1,]").is_err());
+        assert!(from_str_value("nul").is_err());
+        assert!(from_str_value("\"unterminated").is_err());
+        assert!(from_str_value("1 2").is_err());
+        assert!(from_str_value("{\"a\" 1}").is_err());
+    }
+
+    #[test]
+    fn pretty_printing_indents() {
+        let tree = from_str_value(r#"{"a":[1,2],"b":{}}"#).unwrap();
+        let pretty = write::pretty(&tree);
+        assert_eq!(pretty, "{\n  \"a\": [\n    1,\n    2\n  ],\n  \"b\": {}\n}");
+        // Pretty output re-parses to the same tree.
+        assert_eq!(from_str_value(&pretty).unwrap(), tree);
+    }
+
+    #[test]
+    fn integer_boundaries() {
+        assert_eq!(
+            from_str_value("18446744073709551615").unwrap(),
+            Value::UInt(u64::MAX)
+        );
+        assert_eq!(
+            from_str_value("-9223372036854775808").unwrap(),
+            Value::Int(i64::MIN)
+        );
+        // One past u64::MAX falls back to float.
+        assert!(matches!(
+            from_str_value("18446744073709551616").unwrap(),
+            Value::Float(_)
+        ));
+    }
+}
