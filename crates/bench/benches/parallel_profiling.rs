@@ -1,10 +1,13 @@
 //! Tentpole bench: serial vs parallel Monte-Carlo profiling and cached
 //! vs uncached λ-table sweeps. Besides the criterion timings it writes a
 //! `BENCH_parallel.json` summary (wall time, threads, speedup) to the
-//! workspace root. Speedup is reported against whatever
-//! `available_parallelism` offers — on a single-core runner it is
-//! honestly ~1.0; the point of the determinism contract is that the
-//! numbers, unlike the wall time, never change with the thread count.
+//! workspace root, plus a `BENCH_parallel_metrics.json` sidecar holding
+//! the `netdag-obs/1` counter/span report for the whole run (floods
+//! simulated, cache hits/misses, profiling spans). Speedup is reported
+//! against whatever `available_parallelism` offers — on a single-core
+//! runner it is honestly ~1.0; the point of the determinism contract is
+//! that the numbers, unlike the wall time, never change with the thread
+//! count.
 
 use std::time::Instant;
 
@@ -58,8 +61,33 @@ fn write_summary(serial_s: f64, parallel_s: f64, miss_s: f64, hit_s: f64) {
     print!("{json}");
 }
 
+/// Writes the `netdag-obs/1` report accumulated since `baseline` next to
+/// `BENCH_parallel.json`, so a run leaves behind both the timings and the
+/// instrumentation that explains them (flood counts, cache hit/miss).
+fn write_metrics_sidecar(baseline: &netdag_obs::MetricsReport) {
+    let mut delta = netdag_obs::global().snapshot().delta(baseline);
+    delta
+        .meta
+        .insert("bench".to_owned(), "parallel_profiling".to_owned());
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_parallel_metrics.json"
+    );
+    if let Err(e) = std::fs::write(path, delta.to_json()) {
+        eprintln!("could not write {path}: {e}");
+    }
+    eprint!("{}", delta.summary_table());
+}
+
 fn bench_parallel_profiling(c: &mut Criterion) {
     let (topo, link) = setup();
+    let recorder = netdag_obs::global();
+    recorder.preregister(
+        netdag_obs::keys::ALL_COUNTERS,
+        netdag_obs::keys::ALL_SPANS,
+        netdag_obs::keys::ALL_HISTOGRAMS,
+    );
+    let obs_baseline = recorder.snapshot();
 
     // Headline numbers for the JSON summary, measured outside criterion
     // so the serial/parallel pair shares identical conditions.
@@ -112,6 +140,7 @@ fn bench_parallel_profiling(c: &mut Criterion) {
         })
     });
     group.finish();
+    write_metrics_sidecar(&obs_baseline);
 }
 
 criterion_group!(benches, bench_parallel_profiling);

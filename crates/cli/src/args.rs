@@ -38,6 +38,8 @@ pub struct ScheduleOpts {
     pub out: Option<PathBuf>,
     /// Print the ASCII timeline.
     pub timeline: bool,
+    /// Where to write the metrics report JSON (`netdag-obs/1` schema).
+    pub metrics: Option<PathBuf>,
 }
 
 /// Validation flags.
@@ -63,6 +65,8 @@ pub struct ValidateOpts {
     /// core), 1 = serial, n = exactly n. Results are identical at every
     /// setting.
     pub threads: usize,
+    /// Where to write the metrics report JSON (`netdag-obs/1` schema).
+    pub metrics: Option<PathBuf>,
 }
 
 /// A parsed command line.
@@ -72,6 +76,9 @@ pub enum Command {
     Inspect {
         /// Application spec path.
         app: PathBuf,
+        /// Where to write the metrics report JSON (`netdag-obs/1`
+        /// schema).
+        metrics: Option<PathBuf>,
     },
     /// Compute a schedule.
     Schedule(ScheduleOpts),
@@ -127,17 +134,24 @@ pub const USAGE: &str = "\
 netdag — application-aware scheduling over the Low-Power Wireless Bus
 
 USAGE:
-  netdag inspect  --app <app.json>
+  netdag inspect  --app <app.json> [--metrics <m.json>]
   netdag schedule --app <app.json> [--soft <f.json> | --weakly-hard <f.json>]
                   [--greedy] [--chi-max N] [--beacon-chi N]
                   [--per-message-rounds] [--include-beacons]
                   [--stat eq13 | --stat eq15:<fss>]
                   [--out <schedule.json>] [--timeline]
+                  [--metrics <m.json>]
   netdag validate --app <app.json> --schedule <schedule.json>
                   [--soft <f.json>] [--weakly-hard <f.json>]
                   [--stat …] [--kappa N] [--trials N] [--seed N]
                   [--threads N]   (0 = auto, 1 = serial; same results at any N)
+                  [--metrics <m.json>]
   netdag help
+
+Every subcommand accepts --metrics <path>: it writes a machine-readable
+JSON report (schema netdag-obs/1: solver/cache/flood counters plus wall
+-time spans scoped to this command) and prints a summary table to
+stderr. Counter values are deterministic at any --threads setting.
 ";
 
 fn parse_stat(v: &str) -> Result<StatChoice, ParseArgsError> {
@@ -185,14 +199,17 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
         "help" | "--help" | "-h" => Ok(Command::Help),
         "inspect" => {
             let mut app = None;
+            let mut metrics = None;
             while let Some(flag) = cur.inner.next() {
                 match flag.as_str() {
                     "--app" => app = Some(PathBuf::from(cur.value("--app")?)),
+                    "--metrics" => metrics = Some(PathBuf::from(cur.value("--metrics")?)),
                     other => return Err(ParseArgsError::UnknownFlag(other.to_owned())),
                 }
             }
             Ok(Command::Inspect {
                 app: app.ok_or(ParseArgsError::MissingFlag("app"))?,
+                metrics,
             })
         }
         "schedule" => {
@@ -208,6 +225,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                 stat: StatChoice::Eq13,
                 out: None,
                 timeline: false,
+                metrics: None,
             };
             let mut have_app = false;
             while let Some(flag) = cur.inner.next() {
@@ -228,6 +246,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                     "--stat" => opts.stat = parse_stat(&cur.value("--stat")?)?,
                     "--out" => opts.out = Some(PathBuf::from(cur.value("--out")?)),
                     "--timeline" => opts.timeline = true,
+                    "--metrics" => opts.metrics = Some(PathBuf::from(cur.value("--metrics")?)),
                     other => return Err(ParseArgsError::UnknownFlag(other.to_owned())),
                 }
             }
@@ -250,6 +269,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                 trials: 50,
                 seed: 2020,
                 threads: 1,
+                metrics: None,
             };
             let (mut have_app, mut have_schedule) = (false, false);
             while let Some(flag) = cur.inner.next() {
@@ -271,6 +291,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                     "--trials" => opts.trials = cur.parsed("--trials")?,
                     "--seed" => opts.seed = cur.parsed("--seed")?,
                     "--threads" => opts.threads = cur.parsed("--threads")?,
+                    "--metrics" => opts.metrics = Some(PathBuf::from(cur.value("--metrics")?)),
                     other => return Err(ParseArgsError::UnknownFlag(other.to_owned())),
                 }
             }
@@ -307,10 +328,35 @@ mod tests {
             parse("inspect").unwrap_err(),
             ParseArgsError::MissingFlag("app")
         );
-        let Command::Inspect { app } = parse("inspect --app a.json").unwrap() else {
+        let Command::Inspect { app, metrics } = parse("inspect --app a.json").unwrap() else {
             panic!("wrong command");
         };
         assert_eq!(app, PathBuf::from("a.json"));
+        assert_eq!(metrics, None);
+    }
+
+    #[test]
+    fn metrics_flag_on_every_subcommand() {
+        let Command::Inspect { metrics, .. } =
+            parse("inspect --app a.json --metrics m.json").unwrap()
+        else {
+            panic!("wrong command");
+        };
+        assert_eq!(metrics, Some(PathBuf::from("m.json")));
+        let Command::Schedule(o) = parse("schedule --app a.json --metrics m.json").unwrap() else {
+            panic!("wrong command");
+        };
+        assert_eq!(o.metrics, Some(PathBuf::from("m.json")));
+        let Command::Validate(v) =
+            parse("validate --app a.json --schedule s.json --metrics m.json").unwrap()
+        else {
+            panic!("wrong command");
+        };
+        assert_eq!(v.metrics, Some(PathBuf::from("m.json")));
+        assert!(matches!(
+            parse("validate --app a.json --schedule s.json --metrics").unwrap_err(),
+            ParseArgsError::MissingValue(_)
+        ));
     }
 
     #[test]

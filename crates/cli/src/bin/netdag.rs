@@ -16,6 +16,9 @@ fn main() -> ExitCode {
     match run(&command) {
         Ok(output) => {
             print!("{}", output.text);
+            if let Some(summary) = &output.summary {
+                eprint!("{summary}");
+            }
             if output.success {
                 ExitCode::SUCCESS
             } else {

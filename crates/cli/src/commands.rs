@@ -12,6 +12,7 @@ use netdag_core::schedule::Schedule;
 use netdag_core::soft::schedule_soft;
 use netdag_core::stat::{Eq13Statistic, Eq15Statistic};
 use netdag_core::weakly_hard::schedule_weakly_hard;
+use netdag_obs::keys;
 use netdag_runtime::ExecPolicy;
 use netdag_validation::soft::validate_soft_par;
 use netdag_validation::weakly_hard::validate_weakly_hard_par;
@@ -23,10 +24,13 @@ use crate::spec::{AppSpec, SoftSpec, SpecError, WeaklyHardSpec};
 /// semantically succeeded (schedules found, validations passed).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Output {
-    /// Printable report.
+    /// Printable report, for stdout.
     pub text: String,
     /// `false` for failed validations or infeasible schedules.
     pub success: bool,
+    /// Metrics summary for stderr (present when `--metrics` was given),
+    /// keeping stdout clean for machine consumers.
+    pub summary: Option<String>,
 }
 
 /// Error running a command.
@@ -99,17 +103,71 @@ fn load_app(
 
 /// Runs a parsed command.
 ///
+/// When the command carries a `--metrics <path>` flag, the full
+/// pre-registered instrument set (see [`netdag_obs::keys`]) is
+/// snapshotted around the command, the delta is written to `path` as a
+/// `netdag-obs/1` JSON document, and a human-readable summary table is
+/// returned in [`Output::summary`] for stderr. The JSON schema is stable:
+/// every known counter/span/histogram key is present, zero-valued when
+/// the command never exercised that subsystem.
+///
 /// # Errors
 ///
 /// See [`CliError`]; infeasible schedules and failed validations are
 /// reported through [`Output::success`], not as errors.
 pub fn run(command: &Command) -> Result<Output, CliError> {
+    let recorder = netdag_obs::global();
+    recorder.preregister(keys::ALL_COUNTERS, keys::ALL_SPANS, keys::ALL_HISTOGRAMS);
+    let (metrics_path, span_key) = match command {
+        Command::Help => (None, None),
+        Command::Inspect { metrics, .. } => (metrics.as_deref(), Some(keys::SPAN_CLI_INSPECT)),
+        Command::Schedule(opts) => (opts.metrics.as_deref(), Some(keys::SPAN_CLI_SCHEDULE)),
+        Command::Validate(opts) => (opts.metrics.as_deref(), Some(keys::SPAN_CLI_VALIDATE)),
+    };
+    let before = metrics_path.map(|_| recorder.snapshot());
+    let result = {
+        let _span = span_key.map(|key| recorder.span(key));
+        dispatch(command)
+    };
+    let (Some(path), Some(before)) = (metrics_path, before) else {
+        return result;
+    };
+    let mut output = result?;
+    let mut delta = recorder.snapshot().delta(&before);
+    delta
+        .meta
+        .insert("command".into(), command_name(command).into());
+    if let Command::Validate(opts) = command {
+        delta
+            .meta
+            .insert("threads".into(), opts.threads.to_string());
+    }
+    fs::write(path, delta.to_json()).map_err(|e| CliError::Io(path.display().to_string(), e))?;
+    output.summary = Some(format!(
+        "metrics written to {}\n{}",
+        path.display(),
+        delta.summary_table()
+    ));
+    Ok(output)
+}
+
+fn command_name(command: &Command) -> &'static str {
+    match command {
+        Command::Help => "help",
+        Command::Inspect { .. } => "inspect",
+        Command::Schedule(_) => "schedule",
+        Command::Validate(_) => "validate",
+    }
+}
+
+fn dispatch(command: &Command) -> Result<Output, CliError> {
     match command {
         Command::Help => Ok(Output {
             text: USAGE.to_owned(),
             success: true,
+            summary: None,
         }),
-        Command::Inspect { app } => inspect(app),
+        Command::Inspect { app, .. } => inspect(app),
         Command::Schedule(opts) => schedule(opts),
         Command::Validate(opts) => validate(opts),
     }
@@ -151,6 +209,7 @@ fn inspect(path: &Path) -> Result<Output, CliError> {
     Ok(Output {
         text,
         success: true,
+        summary: None,
     })
 }
 
@@ -209,6 +268,7 @@ fn schedule(opts: &ScheduleOpts) -> Result<Output, CliError> {
                 text: "infeasible: no χ assignment within chi-max meets the constraints\n"
                     .to_owned(),
                 success: false,
+                summary: None,
             });
         }
         Err(e) => return Err(CliError::Schedule(e)),
@@ -246,6 +306,7 @@ fn schedule(opts: &ScheduleOpts) -> Result<Output, CliError> {
     Ok(Output {
         text,
         success: true,
+        summary: None,
     })
 }
 
@@ -320,7 +381,11 @@ fn validate(opts: &ValidateOpts) -> Result<Output, CliError> {
             ));
         }
     }
-    Ok(Output { text, success })
+    Ok(Output {
+        text,
+        success,
+        summary: None,
+    })
 }
 
 #[cfg(test)]

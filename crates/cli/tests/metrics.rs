@@ -1,0 +1,221 @@
+//! End-to-end tests for `--metrics <path.json>`.
+//!
+//! These run whole CLI commands through [`netdag_cli::run`] and inspect
+//! the emitted `netdag-obs/1` JSON report. Because every command deltas
+//! against the process-global recorder, the tests in this file are
+//! serialized with a local mutex: concurrent commands would bleed
+//! counter increments into each other's deltas.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use netdag_cli::{parse_args, run};
+use serde::Value;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("netdag-metrics-test-{tag}-{}", std::process::id()));
+        fs::create_dir_all(&dir).expect("temp dir");
+        TempDir(dir)
+    }
+
+    fn file(&self, name: &str, contents: &str) -> PathBuf {
+        let path = self.0.join(name);
+        fs::write(&path, contents).expect("write temp file");
+        path
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+const APP: &str = r#"{
+  "tasks": [
+    {"name": "sense", "node": 0, "wcet_us": 500},
+    {"name": "fuse", "node": 1, "wcet_us": 900},
+    {"name": "act", "node": 2, "wcet_us": 300}
+  ],
+  "edges": [
+    {"from": "sense", "to": "fuse", "width": 8},
+    {"from": "fuse", "to": "act", "width": 4}
+  ]
+}"#;
+
+const WH: &str = r#"{"constraints":[{"task":"act","m":10,"k":40}]}"#;
+const SOFT: &str = r#"{"constraints":[{"task":"act","probability":0.5}]}"#;
+
+fn run_line(line: &str) {
+    let command = parse_args(line.split_whitespace().map(str::to_owned)).expect("parsable");
+    let out = run(&command).expect("command runs");
+    assert!(
+        out.summary.is_some() == line.contains("--metrics"),
+        "summary present iff --metrics was given"
+    );
+}
+
+fn load_json(path: &Path) -> Value {
+    let text = fs::read_to_string(path).expect("metrics file written");
+    serde_json::from_str_value(&text).expect("metrics file is valid JSON")
+}
+
+fn fields(value: &Value) -> &[(String, Value)] {
+    match value {
+        Value::Object(fields) => fields,
+        other => panic!("expected object, got {}", other.kind()),
+    }
+}
+
+fn get<'a>(value: &'a Value, key: &str) -> &'a Value {
+    fields(value)
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .unwrap_or_else(|| panic!("missing key {key:?}"))
+}
+
+fn uint(value: &Value, key: &str) -> u64 {
+    get(value, key).as_u64().expect("u64 field")
+}
+
+/// The structural fingerprint of a report: one `path: kind` line per
+/// node, not descending into arrays (histogram bucket lists vary with the
+/// observed values; everything else is pinned by preregistration).
+fn fingerprint(value: &Value, path: &str, out: &mut String) {
+    out.push_str(path);
+    out.push_str(": ");
+    out.push_str(value.kind());
+    out.push('\n');
+    if let Value::Object(fields) = value {
+        for (key, child) in fields {
+            fingerprint(child, &format!("{path}/{key}"), out);
+        }
+    }
+}
+
+#[test]
+fn counter_totals_identical_across_thread_counts() {
+    let _guard = SERIAL.lock().unwrap();
+    let dir = TempDir::new("threads");
+    let app = dir.file("app.json", APP);
+    let wh = dir.file("wh.json", WH);
+    let soft = dir.file("soft.json", SOFT);
+    let sched = dir.path("sched.json");
+    run_line(&format!(
+        "schedule --app {} --weakly-hard {} --out {}",
+        app.display(),
+        wh.display(),
+        sched.display()
+    ));
+
+    let mut reports = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let metrics = dir.path(&format!("metrics-{threads}.json"));
+        run_line(&format!(
+            "validate --app {} --schedule {} --soft {} --weakly-hard {} \
+             --stat eq15:1.0 --kappa 2500 --trials 20 --seed 7 \
+             --threads {threads} --metrics {}",
+            app.display(),
+            sched.display(),
+            soft.display(),
+            wh.display(),
+            metrics.display()
+        ));
+        let report = load_json(&metrics);
+        let meta = get(&report, "meta");
+        assert_eq!(get(meta, "command"), &Value::String("validate".into()));
+        assert_eq!(get(meta, "threads"), &Value::String(threads.to_string()));
+        reports.push(report);
+    }
+
+    let counters = get(&reports[0], "counters");
+    // The command exercised both validators; the counts are analytic in
+    // the inputs (2500 samples and 20 trials for the one constrained task
+    // each), so any thread count must reproduce them exactly.
+    assert_eq!(uint(counters, "validation.soft_samples"), 2500);
+    assert_eq!(uint(counters, "validation.soft_tasks"), 1);
+    assert_eq!(uint(counters, "validation.weakly_hard_trials"), 20);
+    assert_eq!(uint(counters, "validation.weakly_hard_tasks"), 1);
+    // Idle subsystems still appear, zero-valued: the schema is pinned.
+    assert_eq!(uint(counters, "solver.decisions"), 0);
+    for report in &reports[1..] {
+        assert_eq!(
+            get(report, "counters"),
+            counters,
+            "counters must not depend on --threads"
+        );
+        assert_eq!(
+            get(report, "histograms"),
+            get(&reports[0], "histograms"),
+            "histograms must not depend on --threads"
+        );
+    }
+    // Span durations are wall-clock and differ run to run, but the span
+    // *counts* are deterministic.
+    for report in &reports {
+        let spans = get(report, "spans");
+        assert_eq!(uint(get(spans, "cli.validate"), "count"), 1);
+        assert_eq!(uint(get(spans, "validation.soft"), "count"), 1);
+        assert_eq!(uint(get(spans, "validation.weakly_hard"), "count"), 1);
+        assert_eq!(uint(get(spans, "cli.schedule"), "count"), 0);
+    }
+}
+
+#[test]
+fn schedule_metrics_report_solver_work_and_match_golden_schema() {
+    let _guard = SERIAL.lock().unwrap();
+    let dir = TempDir::new("golden");
+    let app = dir.file("app.json", APP);
+    let wh = dir.file("wh.json", WH);
+    let metrics = dir.path("metrics.json");
+    run_line(&format!(
+        "schedule --app {} --weakly-hard {} --metrics {}",
+        app.display(),
+        wh.display(),
+        metrics.display()
+    ));
+    let report = load_json(&metrics);
+    assert_eq!(
+        get(&report, "schema"),
+        &Value::String("netdag-obs/1".into())
+    );
+    // Top-level key order is part of the stable format.
+    let order: Vec<&str> = fields(&report).iter().map(|(k, _)| k.as_str()).collect();
+    assert_eq!(order, ["schema", "meta", "counters", "spans", "histograms"]);
+
+    // The exact backend ran a branch-and-bound search.
+    let counters = get(&report, "counters");
+    assert!(uint(counters, "solver.searches") >= 1);
+    assert!(uint(counters, "solver.nodes") >= 1);
+    assert!(uint(counters, "solver.propagations") >= 1);
+    assert!(uint(counters, "core.schedules_computed") >= 1);
+    assert!(uint(counters, "lwb.rounds_scheduled") >= 1);
+
+    // The full key set and value shapes are pinned by the golden file.
+    // Regenerate with NETDAG_BLESS=1 after an intentional schema change.
+    let mut got = String::new();
+    fingerprint(&report, "", &mut got);
+    let golden_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/metrics_schema.txt");
+    if std::env::var_os("NETDAG_BLESS").is_some() {
+        fs::write(&golden_path, &got).expect("bless golden file");
+        return;
+    }
+    let want = fs::read_to_string(&golden_path).expect("golden file exists");
+    assert_eq!(
+        got, want,
+        "metrics JSON schema drifted from tests/golden/metrics_schema.txt \
+         (rerun with NETDAG_BLESS=1 to accept an intentional change)"
+    );
+}

@@ -45,7 +45,7 @@ impl<C: Controller + ?Sized> Controller for &C {
 }
 
 /// A stateless PD controller on the pole angle with a cart-recentred term —
-/// the kind of classical design the paper's wireless-control baseline [9]
+/// the kind of classical design the paper's wireless-control baseline \[9\]
 /// runs, provided as a second reference point for the fig. 3 sweeps.
 ///
 /// `u = kp·θ + kd·θ̇ + kx·x + kv·ẋ`, with gains expressed separately from

@@ -19,6 +19,29 @@
 //! branch-and-bound over a CSP encoding (the stand-in for the paper's
 //! Z3/Gurobi backends) and a greedy baseline.
 //!
+//! # Paper map
+//!
+//! Where each piece of the paper's formalism lives:
+//!
+//! | Paper | Module |
+//! |---|---|
+//! | `G_A = (T, E)`, placement `ρ`, unique-source set `E*` (§ II) | [`app`] |
+//! | feasibility, eqs. (4)–(5) | [`schedule`] |
+//! | flood/round durations, eq. (3) | `netdag_glossy::timing` |
+//! | soft constraints `F_s`, eq. (6) | [`soft`], [`constraints`] |
+//! | soft statistic `λ_s`, eqs. (11)/(15) | [`stat`], `netdag_glossy::stats` |
+//! | weakly hard constraints `F_WH`, eqs. (8)–(10) | [`weakly_hard`] |
+//! | `⊕` composition behind eq. (10) | `netdag_weakly_hard::conjunction` |
+//! | weakly hard statistic `λ_WH`, eqs. (12)/(13) | [`stat`] |
+//! | makespan objective, start times `ζ` | [`makespan`] |
+//! | round orders `l` (per-level / per-message) | [`rounds`] |
+//! | multi-application composition (§ IV) | [`compose`] |
+//! | constraint/latency sweeps (figs. 2 and 4) | [`explore`] |
+//!
+//! Solver decisions, schedule shapes, and eq. (10) evaluations are
+//! counted in the process-global `netdag_obs` recorder; any CLI command
+//! exports them via `--metrics <path.json>`.
+//!
 //! # Example
 //!
 //! ```

@@ -135,6 +135,17 @@ impl Schedule {
         &self.rounds
     }
 
+    /// Publishes this schedule's shape (schedule computed, rounds, and
+    /// message slots) to the global metrics recorder; called by the
+    /// scheduling entry points on success.
+    pub(crate) fn publish_metrics(&self) {
+        use netdag_obs::{counter, keys};
+        counter!(keys::CORE_SCHEDULES_COMPUTED).incr();
+        counter!(keys::LWB_ROUNDS_SCHEDULED).add(self.rounds.len() as u64);
+        let slots: usize = self.rounds.iter().map(|r| r.messages.len()).sum();
+        counter!(keys::LWB_SLOTS_SCHEDULED).add(slots as u64);
+    }
+
     /// `χ(e)` for a message.
     ///
     /// # Panics

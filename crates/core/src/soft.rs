@@ -76,24 +76,27 @@ pub fn schedule_soft_with_deadlines<S: SoftStatistic + ?Sized>(
         .map_err(ScheduleError::BadDeadline)?;
     let rounds = build_rounds(app, cfg.round_structure);
     let spec = build_spec(app, stat, constraints, cfg, &rounds);
-    match cfg.backend {
+    let _span = netdag_obs::global().span(netdag_obs::keys::SPAN_CORE_SOLVE);
+    let outcome = match cfg.backend {
         Backend::Exact { .. } => {
             let (schedule, stats, optimal) = solve_exact(app, cfg, &rounds, &spec, deadlines)?;
-            Ok(ScheduleOutcome {
+            ScheduleOutcome {
                 schedule,
                 stats: Some(stats),
                 optimal,
-            })
+            }
         }
         Backend::Greedy => {
             let schedule = solve_greedy(app, cfg, &rounds, &spec, deadlines)?;
-            Ok(ScheduleOutcome {
+            ScheduleOutcome {
                 schedule,
                 stats: None,
                 optimal: false,
-            })
+            }
         }
-    }
+    };
+    outcome.schedule.publish_metrics();
+    Ok(outcome)
 }
 
 fn build_spec<S: SoftStatistic + ?Sized>(

@@ -81,24 +81,27 @@ pub fn schedule_weakly_hard_with_deadlines<S: WeaklyHardStatistic + ?Sized>(
         .map_err(ScheduleError::BadDeadline)?;
     let rounds = build_rounds(app, cfg.round_structure);
     let spec = build_spec(app, stat, constraints, cfg, &rounds);
-    match cfg.backend {
+    let _span = netdag_obs::global().span(netdag_obs::keys::SPAN_CORE_SOLVE);
+    let outcome = match cfg.backend {
         Backend::Exact { .. } => {
             let (schedule, stats, optimal) = solve_exact(app, cfg, &rounds, &spec, deadlines)?;
-            Ok(ScheduleOutcome {
+            ScheduleOutcome {
                 schedule,
                 stats: Some(stats),
                 optimal,
-            })
+            }
         }
         Backend::Greedy => {
             let schedule = solve_greedy(app, cfg, &rounds, &spec, deadlines)?;
-            Ok(ScheduleOutcome {
+            ScheduleOutcome {
                 schedule,
                 stats: None,
                 optimal: false,
-            })
+            }
         }
-    }
+    };
+    outcome.schedule.publish_metrics();
+    Ok(outcome)
 }
 
 fn build_spec<S: WeaklyHardStatistic + ?Sized>(
@@ -199,6 +202,7 @@ pub fn satisfies_eq10<S: WeaklyHardStatistic + ?Sized>(
     task: TaskId,
     requirement: Constraint,
 ) -> bool {
+    netdag_obs::counter!(netdag_obs::keys::CORE_EQ10_TESTS).incr();
     let Some(bound) = derived_bound(app, stat, schedule, task) else {
         return true;
     };

@@ -128,6 +128,7 @@ pub fn simulate_flood<L: LossModel, R: Rng + ?Sized>(
     if params.n_tx == 0 {
         return Err(FloodError::ZeroNtx);
     }
+    netdag_obs::counter!(netdag_obs::keys::GLOSSY_FLOODS_SIMULATED).incr();
     let n = topo.node_count();
     // The initiator behaves as if it received in "slot −1" and transmits in
     // slots 0, 2, 4, …; a node first receiving in slot t transmits in

@@ -12,6 +12,12 @@
 //! The paper obtains these from testbed measurements; this module measures
 //! them on the [`crate::flood`] simulator instead, then *monotonizes* the
 //! raw estimates so the scheduler's assumptions hold by construction.
+//!
+//! Profiling is instrumented through the process-global `netdag_obs`
+//! recorder: every simulated flood bumps `glossy.floods_simulated`, the
+//! profilers time themselves under the `glossy.profile_*` spans, and
+//! [`StatCache`] lookups are classified as `glossy.cache_hits` /
+//! `glossy.cache_misses` / `glossy.cache_bypasses`.
 
 use std::error::Error;
 use std::fmt;
@@ -131,6 +137,7 @@ impl SoftProfile {
         if runs == 0 {
             return Err(ProfileError::NoRuns);
         }
+        let _span = netdag_obs::global().span(netdag_obs::keys::SPAN_GLOSSY_PROFILE_SOFT);
         let mut success = Vec::with_capacity((max - min + 1) as usize);
         for n_tx in min..=max {
             let mut ok = 0u32;
@@ -188,6 +195,7 @@ impl SoftProfile {
         if runs == 0 {
             return Err(ProfileError::NoRuns);
         }
+        let _span = netdag_obs::global().span(netdag_obs::keys::SPAN_GLOSSY_PROFILE_SOFT);
         let n_values = max - min + 1;
         let chunks = chunk_count(runs);
         let jobs = (n_values * chunks) as usize;
@@ -308,6 +316,7 @@ impl WeaklyHardProfile {
         if kappa == 0 {
             return Err(ProfileError::NoRuns);
         }
+        let _span = netdag_obs::global().span(netdag_obs::keys::SPAN_GLOSSY_PROFILE_WEAKLY_HARD);
         let mut misses = Vec::with_capacity((max - min + 1) as usize);
         for n_tx in min..=max {
             let mut seq = Sequence::with_capacity(kappa as usize);
@@ -366,6 +375,7 @@ impl WeaklyHardProfile {
         if kappa == 0 {
             return Err(ProfileError::NoRuns);
         }
+        let _span = netdag_obs::global().span(netdag_obs::keys::SPAN_GLOSSY_PROFILE_WEAKLY_HARD);
         let n_values = max - min + 1;
         let chunks = chunk_count(kappa);
         let jobs = (n_values * chunks) as usize;
@@ -547,7 +557,9 @@ impl StatCache {
         master_seed: u64,
         policy: ExecPolicy,
     ) -> Result<std::sync::Arc<SoftProfile>, ProfileError> {
+        let computed = std::cell::Cell::new(false);
         let measure = || {
+            computed.set(true);
             SoftProfile::measure_par(
                 topo,
                 link,
@@ -569,9 +581,14 @@ impl StatCache {
                     runs,
                     seed: master_seed,
                 };
-                self.soft.get_or_try_insert_with(&key, measure)
+                let result = self.soft.get_or_try_insert_with(&key, measure);
+                Self::count_lookup(computed.get());
+                result
             }
-            None => measure().map(std::sync::Arc::new),
+            None => {
+                netdag_obs::counter!(netdag_obs::keys::GLOSSY_CACHE_BYPASSES).incr();
+                measure().map(std::sync::Arc::new)
+            }
         }
     }
 
@@ -593,7 +610,9 @@ impl StatCache {
         master_seed: u64,
         policy: ExecPolicy,
     ) -> Result<std::sync::Arc<WeaklyHardProfile>, ProfileError> {
+        let computed = std::cell::Cell::new(false);
         let measure = || {
+            computed.set(true);
             WeaklyHardProfile::measure_par(
                 topo,
                 link,
@@ -619,9 +638,24 @@ impl StatCache {
                     safety_margin,
                     seed: master_seed,
                 };
-                self.weakly_hard.get_or_try_insert_with(&key, measure)
+                let result = self.weakly_hard.get_or_try_insert_with(&key, measure);
+                Self::count_lookup(computed.get());
+                result
             }
-            None => measure().map(std::sync::Arc::new),
+            None => {
+                netdag_obs::counter!(netdag_obs::keys::GLOSSY_CACHE_BYPASSES).incr();
+                measure().map(std::sync::Arc::new)
+            }
+        }
+    }
+
+    /// Mirrors one fingerprinted cache lookup into the global metrics
+    /// recorder (a lookup that ran the measurement closure is a miss).
+    fn count_lookup(computed: bool) {
+        if computed {
+            netdag_obs::counter!(netdag_obs::keys::GLOSSY_CACHE_MISSES).incr();
+        } else {
+            netdag_obs::counter!(netdag_obs::keys::GLOSSY_CACHE_HITS).incr();
         }
     }
 

@@ -116,6 +116,10 @@ impl<'a> LwbExecutor<'a> {
         let mut beacons_ok = true;
         let mut transmissions = 0u64;
         for round in self.schedule.rounds() {
+            netdag_obs::counter!(netdag_obs::keys::LWB_ROUNDS_EXECUTED).incr();
+            netdag_obs::counter!(netdag_obs::keys::LWB_BEACONS_SENT).incr();
+            netdag_obs::counter!(netdag_obs::keys::LWB_SLOTS_EXECUTED)
+                .add(round.messages.len() as u64);
             // Beacon flood from the host.
             let beacon = simulate_flood(
                 self.topo,

@@ -1,0 +1,148 @@
+//! Canonical metric names emitted by the NETDAG crates.
+//!
+//! One constant per instrument so call sites, the report schema, and
+//! the docs agree on spelling. Names are `dotted.snake_case`, prefixed
+//! by the crate (or layer) that owns the instrument. The aggregate
+//! slices ([`ALL_COUNTERS`], [`ALL_SPANS`], [`ALL_HISTOGRAMS`]) are
+//! what the CLI pre-registers before a command so that the `--metrics`
+//! JSON always contains the full key set, zero-valued where a
+//! subsystem went unused — consumers can rely on the schema without
+//! probing for key presence.
+
+// ── netdag-solver ───────────────────────────────────────────────────
+
+/// Branch-and-bound searches run.
+pub const SOLVER_SEARCHES: &str = "solver.searches";
+/// Search-tree nodes explored across all searches.
+pub const SOLVER_NODES: &str = "solver.nodes";
+/// Branching decisions: child subproblems (value or half-interval
+/// choices) attempted.
+pub const SOLVER_DECISIONS: &str = "solver.decisions";
+/// Dead ends: nodes abandoned by propagation failure, bound pruning, or
+/// an inconsistent branching choice.
+pub const SOLVER_BACKTRACKS: &str = "solver.backtracks";
+/// Propagator wakeups (invocations inside the fixpoint loop).
+pub const SOLVER_PROPAGATIONS: &str = "solver.propagations";
+/// Propagator wakeups that actually pruned a domain.
+pub const SOLVER_PRUNINGS: &str = "solver.prunings";
+/// Feasible solutions encountered (improvements and the satisfaction
+/// hit).
+pub const SOLVER_SOLUTIONS: &str = "solver.solutions";
+
+// ── netdag-glossy ───────────────────────────────────────────────────
+
+/// Glossy floods simulated (Monte-Carlo profiling, validation, and bus
+/// execution all funnel through `simulate_flood`).
+pub const GLOSSY_FLOODS_SIMULATED: &str = "glossy.floods_simulated";
+/// λ-table lookups served from the `StatCache`.
+pub const GLOSSY_CACHE_HITS: &str = "glossy.cache_hits";
+/// λ-table lookups that ran a measurement and stored it.
+pub const GLOSSY_CACHE_MISSES: &str = "glossy.cache_misses";
+/// λ-table lookups that bypassed the cache (unfingerprintable — e.g.
+/// stateful — loss models).
+pub const GLOSSY_CACHE_BYPASSES: &str = "glossy.cache_bypasses";
+
+// ── netdag-weakly-hard ──────────────────────────────────────────────
+
+/// Exact `ω ⊢ (m, K)` satisfaction checks (`Constraint::models`).
+pub const WEAKLY_HARD_MODELS_CHECKS: &str = "weakly_hard.models_checks";
+/// `⊕` compositions evaluated (paper eq. (8)).
+pub const WEAKLY_HARD_OPLUS_COMPOSITIONS: &str = "weakly_hard.oplus_compositions";
+
+// ── netdag-core ─────────────────────────────────────────────────────
+
+/// Eq. (10) abstraction tests evaluated (`satisfies_eq10`).
+pub const CORE_EQ10_TESTS: &str = "core.eq10_tests";
+/// Schedules successfully computed (soft or weakly hard, any backend).
+pub const CORE_SCHEDULES_COMPUTED: &str = "core.schedules_computed";
+
+// ── netdag-lwb ──────────────────────────────────────────────────────
+
+/// Communication rounds in successfully computed schedules.
+pub const LWB_ROUNDS_SCHEDULED: &str = "lwb.rounds_scheduled";
+/// Message slots in successfully computed schedules.
+pub const LWB_SLOTS_SCHEDULED: &str = "lwb.slots_scheduled";
+/// Rounds executed by the time-triggered bus executor.
+pub const LWB_ROUNDS_EXECUTED: &str = "lwb.rounds_executed";
+/// Message slots executed (one Glossy flood each) by the bus executor.
+pub const LWB_SLOTS_EXECUTED: &str = "lwb.slots_executed";
+/// Beacon floods sent by the bus executor.
+pub const LWB_BEACONS_SENT: &str = "lwb.beacons_sent";
+
+// ── netdag-validation ───────────────────────────────────────────────
+
+/// Bernoulli samples drawn by soft validation (eq. (11)).
+pub const VALIDATION_SOFT_SAMPLES: &str = "validation.soft_samples";
+/// Tasks checked by soft validation.
+pub const VALIDATION_SOFT_TASKS: &str = "validation.soft_tasks";
+/// Adversarial trials run by weakly hard validation (eq. (12)).
+pub const VALIDATION_WEAKLY_HARD_TRIALS: &str = "validation.weakly_hard_trials";
+/// Tasks checked by weakly hard validation.
+pub const VALIDATION_WEAKLY_HARD_TASKS: &str = "validation.weakly_hard_tasks";
+
+// ── spans ───────────────────────────────────────────────────────────
+
+/// Wall time of `netdag inspect`.
+pub const SPAN_CLI_INSPECT: &str = "cli.inspect";
+/// Wall time of `netdag schedule`.
+pub const SPAN_CLI_SCHEDULE: &str = "cli.schedule";
+/// Wall time of `netdag validate`.
+pub const SPAN_CLI_VALIDATE: &str = "cli.validate";
+/// Wall time spent in a scheduling backend (exact or greedy).
+pub const SPAN_CORE_SOLVE: &str = "core.solve";
+/// Wall time of soft Monte-Carlo profiling sweeps.
+pub const SPAN_GLOSSY_PROFILE_SOFT: &str = "glossy.profile_soft";
+/// Wall time of weakly hard Monte-Carlo profiling sweeps.
+pub const SPAN_GLOSSY_PROFILE_WEAKLY_HARD: &str = "glossy.profile_weakly_hard";
+/// Wall time of soft validation.
+pub const SPAN_VALIDATION_SOFT: &str = "validation.soft";
+/// Wall time of weakly hard validation.
+pub const SPAN_VALIDATION_WEAKLY_HARD: &str = "validation.weakly_hard";
+
+// ── histograms ──────────────────────────────────────────────────────
+
+/// Distribution of search-tree nodes per solver invocation.
+pub const HIST_SOLVER_NODES_PER_SEARCH: &str = "solver.nodes_per_search";
+
+/// Every counter the workspace emits, in report order.
+pub const ALL_COUNTERS: &[&str] = &[
+    CORE_EQ10_TESTS,
+    CORE_SCHEDULES_COMPUTED,
+    GLOSSY_CACHE_BYPASSES,
+    GLOSSY_CACHE_HITS,
+    GLOSSY_CACHE_MISSES,
+    GLOSSY_FLOODS_SIMULATED,
+    LWB_BEACONS_SENT,
+    LWB_ROUNDS_EXECUTED,
+    LWB_ROUNDS_SCHEDULED,
+    LWB_SLOTS_EXECUTED,
+    LWB_SLOTS_SCHEDULED,
+    SOLVER_BACKTRACKS,
+    SOLVER_DECISIONS,
+    SOLVER_NODES,
+    SOLVER_PROPAGATIONS,
+    SOLVER_PRUNINGS,
+    SOLVER_SEARCHES,
+    SOLVER_SOLUTIONS,
+    VALIDATION_SOFT_SAMPLES,
+    VALIDATION_SOFT_TASKS,
+    VALIDATION_WEAKLY_HARD_TASKS,
+    VALIDATION_WEAKLY_HARD_TRIALS,
+    WEAKLY_HARD_MODELS_CHECKS,
+    WEAKLY_HARD_OPLUS_COMPOSITIONS,
+];
+
+/// Every span the workspace records.
+pub const ALL_SPANS: &[&str] = &[
+    SPAN_CLI_INSPECT,
+    SPAN_CLI_SCHEDULE,
+    SPAN_CLI_VALIDATE,
+    SPAN_CORE_SOLVE,
+    SPAN_GLOSSY_PROFILE_SOFT,
+    SPAN_GLOSSY_PROFILE_WEAKLY_HARD,
+    SPAN_VALIDATION_SOFT,
+    SPAN_VALIDATION_WEAKLY_HARD,
+];
+
+/// Every histogram the workspace observes.
+pub const ALL_HISTOGRAMS: &[&str] = &[HIST_SOLVER_NODES_PER_SEARCH];

@@ -1,0 +1,343 @@
+//! The thread-safe metrics aggregator.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use crate::report::{HistStats, MetricsReport, SpanStats};
+
+/// Number of power-of-two histogram buckets before the overflow bucket.
+pub(crate) const HIST_BUCKETS: usize = 32;
+
+/// A handle to one named monotonic counter.
+///
+/// Cloning is cheap (an [`Arc`] bump) and every clone addresses the
+/// same underlying atomic, so handles can be captured by
+/// `netdag-runtime` fan-out workers. Increments use relaxed ordering:
+/// the only consistency the report needs is the final sum, and
+/// addition commutes.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct SpanAgg {
+    count: u64,
+    total_ns: u64,
+}
+
+#[derive(Debug, Clone)]
+struct HistAgg {
+    count: u64,
+    sum: u64,
+    /// `buckets[i]` counts observations `v ≤ 2^i`; the final slot is
+    /// the overflow bucket.
+    buckets: [u64; HIST_BUCKETS + 1],
+}
+
+impl Default for HistAgg {
+    fn default() -> Self {
+        HistAgg {
+            count: 0,
+            sum: 0,
+            buckets: [0; HIST_BUCKETS + 1],
+        }
+    }
+}
+
+/// Aggregates named counters, spans, and histograms across threads.
+///
+/// Most code uses the process-global instance ([`global`]); a fresh
+/// `Recorder` is useful for isolated tests of the aggregation logic
+/// itself. All methods take `&self` and are safe to call concurrently.
+#[derive(Debug)]
+pub struct Recorder {
+    counters: Mutex<BTreeMap<&'static str, Arc<AtomicU64>>>,
+    spans: Mutex<BTreeMap<&'static str, SpanAgg>>,
+    hists: Mutex<BTreeMap<&'static str, HistAgg>>,
+}
+
+impl Recorder {
+    /// An empty recorder. `const` so the global instance needs no lazy
+    /// initialization.
+    pub const fn new() -> Self {
+        Recorder {
+            counters: Mutex::new(BTreeMap::new()),
+            spans: Mutex::new(BTreeMap::new()),
+            hists: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+        // Every mutation here is a single-field update that cannot be
+        // observed half-done, so lock poisoning is ignorable.
+        m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Returns (registering on first use) the counter named `name`.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        Counter(Arc::clone(
+            Self::lock(&self.counters).entry(name).or_default(),
+        ))
+    }
+
+    /// Adds `n` to the counter named `name` (registry lookup included;
+    /// hot paths should hold a [`Counter`] handle instead, e.g. via the
+    /// [`crate::counter!`] macro).
+    pub fn add(&self, name: &'static str, n: u64) {
+        self.counter(name).add(n);
+    }
+
+    /// Records one completed span of wall time under `name`.
+    pub fn record_span(&self, name: &'static str, elapsed: Duration) {
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        let mut spans = Self::lock(&self.spans);
+        let agg = spans.entry(name).or_default();
+        agg.count += 1;
+        agg.total_ns = agg.total_ns.saturating_add(ns);
+    }
+
+    /// Starts a span; the returned guard records the elapsed wall time
+    /// into this recorder when dropped.
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        SpanGuard {
+            recorder: self,
+            name,
+            start: Instant::now(),
+        }
+    }
+
+    /// Observes `value` in the histogram named `name`.
+    pub fn observe(&self, name: &'static str, value: u64) {
+        // Smallest i with value ≤ 2^i, clamped into the overflow slot.
+        let idx = if value <= 1 {
+            0
+        } else {
+            HIST_BUCKETS.min(64 - (value - 1).leading_zeros() as usize)
+        };
+        let mut hists = Self::lock(&self.hists);
+        let agg = hists.entry(name).or_default();
+        agg.count += 1;
+        agg.sum = agg.sum.saturating_add(value);
+        agg.buckets[idx] += 1;
+    }
+
+    /// Registers every listed instrument with a zero value so that a
+    /// subsequent [`Recorder::snapshot`] contains the full key set —
+    /// this is what pins the `--metrics` JSON schema for commands that
+    /// never touch some subsystem.
+    pub fn preregister(
+        &self,
+        counters: &[&'static str],
+        spans: &[&'static str],
+        histograms: &[&'static str],
+    ) {
+        {
+            let mut map = Self::lock(&self.counters);
+            for &name in counters {
+                map.entry(name).or_default();
+            }
+        }
+        {
+            let mut map = Self::lock(&self.spans);
+            for &name in spans {
+                map.entry(name).or_default();
+            }
+        }
+        let mut map = Self::lock(&self.hists);
+        for &name in histograms {
+            map.entry(name).or_default();
+        }
+    }
+
+    /// A point-in-time copy of every registered instrument.
+    pub fn snapshot(&self) -> MetricsReport {
+        let counters = Self::lock(&self.counters)
+            .iter()
+            .map(|(&name, value)| (name.to_owned(), value.load(Ordering::Relaxed)))
+            .collect();
+        let spans = Self::lock(&self.spans)
+            .iter()
+            .map(|(&name, agg)| {
+                (
+                    name.to_owned(),
+                    SpanStats {
+                        count: agg.count,
+                        total_ns: agg.total_ns,
+                    },
+                )
+            })
+            .collect();
+        let histograms = Self::lock(&self.hists)
+            .iter()
+            .map(|(&name, agg)| {
+                (
+                    name.to_owned(),
+                    HistStats {
+                        count: agg.count,
+                        sum: agg.sum,
+                        buckets: agg
+                            .buckets
+                            .iter()
+                            .enumerate()
+                            .filter(|&(_, &count)| count > 0)
+                            .map(|(i, &count)| {
+                                let le = if i < HIST_BUCKETS {
+                                    1u64 << i
+                                } else {
+                                    u64::MAX
+                                };
+                                (le, count)
+                            })
+                            .collect(),
+                    },
+                )
+            })
+            .collect();
+        MetricsReport {
+            meta: BTreeMap::new(),
+            counters,
+            spans,
+            histograms,
+        }
+    }
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new()
+    }
+}
+
+/// RAII timer: records the span on drop. Created by [`Recorder::span`].
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    recorder: &'a Recorder,
+    name: &'static str,
+    start: Instant,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.recorder.record_span(self.name, self.start.elapsed());
+    }
+}
+
+static GLOBAL: Recorder = Recorder::new();
+
+/// The process-global recorder every instrumented NETDAG crate emits
+/// into.
+pub fn global() -> &'static Recorder {
+    &GLOBAL
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_register_and_accumulate() {
+        let r = Recorder::new();
+        let c = r.counter("a");
+        c.add(3);
+        c.incr();
+        r.add("a", 6);
+        assert_eq!(c.get(), 10);
+        assert_eq!(r.snapshot().counters["a"], 10);
+    }
+
+    #[test]
+    fn concurrent_increments_sum_exactly() {
+        let r = Recorder::new();
+        let c = r.counter("hits");
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let c = c.clone();
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        c.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 8000);
+    }
+
+    #[test]
+    fn spans_aggregate_count_and_total() {
+        let r = Recorder::new();
+        r.record_span("s", Duration::from_nanos(40));
+        r.record_span("s", Duration::from_nanos(2));
+        let snap = r.snapshot();
+        assert_eq!(snap.spans["s"].count, 2);
+        assert_eq!(snap.spans["s"].total_ns, 42);
+    }
+
+    #[test]
+    fn span_guard_records_on_drop() {
+        let r = Recorder::new();
+        {
+            let _g = r.span("guarded");
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.spans["guarded"].count, 1);
+    }
+
+    #[test]
+    fn histogram_buckets_are_powers_of_two() {
+        let r = Recorder::new();
+        for v in [0, 1, 2, 3, 4, 1024] {
+            r.observe("h", v);
+        }
+        let h = &r.snapshot().histograms["h"];
+        assert_eq!(h.count, 6);
+        assert_eq!(h.sum, 1034);
+        // 0 and 1 land in le=1; 2 in le=2; 3 and 4 in le=4; 1024 in le=1024.
+        assert_eq!(h.buckets, vec![(1, 2), (2, 1), (4, 2), (1024, 1)]);
+    }
+
+    #[test]
+    fn histogram_overflow_bucket() {
+        let r = Recorder::new();
+        r.observe("h", u64::MAX);
+        let h = &r.snapshot().histograms["h"];
+        assert_eq!(h.buckets, vec![(u64::MAX, 1)]);
+    }
+
+    #[test]
+    fn preregister_pins_schema() {
+        let r = Recorder::new();
+        r.preregister(&["c1", "c2"], &["s1"], &["h1"]);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters["c1"], 0);
+        assert_eq!(snap.counters["c2"], 0);
+        assert_eq!(snap.spans["s1"].count, 0);
+        assert_eq!(snap.histograms["h1"].count, 0);
+        assert!(snap.histograms["h1"].buckets.is_empty());
+    }
+
+    #[test]
+    fn global_recorder_is_shared() {
+        let c = crate::counter!("obs.test.global_shared");
+        let before = c.get();
+        crate::global().add("obs.test.global_shared", 2);
+        assert_eq!(c.get(), before + 2);
+    }
+}

@@ -1,0 +1,371 @@
+//! Snapshot reports: deltas, JSON export, and the stderr summary table.
+
+use std::collections::BTreeMap;
+
+use crate::json::push_json_str;
+
+/// Aggregate of every completed span with one name.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Completed spans.
+    pub count: u64,
+    /// Summed wall time, nanoseconds.
+    pub total_ns: u64,
+}
+
+/// Aggregate of every observation in one histogram.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistStats {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Sparse `(le, count)` pairs: `count` observations fell in the
+    /// bucket with inclusive upper bound `le` (a power of two;
+    /// `u64::MAX` marks the overflow bucket). Empty buckets are
+    /// omitted.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// A point-in-time copy of a [`crate::Recorder`]'s instruments.
+///
+/// Reports subtract ([`MetricsReport::delta`]) so a CLI command can
+/// scope its metrics to exactly the work it performed, serialize to a
+/// stable JSON document ([`MetricsReport::to_json`]), and render a
+/// human-readable table ([`MetricsReport::summary_table`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsReport {
+    /// Free-form context (command name, thread count, input path…)
+    /// echoed into the JSON `meta` object.
+    pub meta: BTreeMap<String, String>,
+    /// Counter totals by canonical name (see [`crate::keys`]).
+    pub counters: BTreeMap<String, u64>,
+    /// Span aggregates by canonical name.
+    pub spans: BTreeMap<String, SpanStats>,
+    /// Histogram aggregates by canonical name.
+    pub histograms: BTreeMap<String, HistStats>,
+}
+
+impl MetricsReport {
+    /// Returns `self - baseline`: the activity that happened after
+    /// `baseline` was snapshotted.
+    ///
+    /// Keys present only in `self` (registered after the baseline) are
+    /// kept whole; subtraction saturates at zero so a stale baseline
+    /// can never underflow. `meta` is taken from `self`.
+    #[must_use]
+    pub fn delta(&self, baseline: &MetricsReport) -> MetricsReport {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(name, &value)| {
+                let base = baseline.counters.get(name).copied().unwrap_or(0);
+                (name.clone(), value.saturating_sub(base))
+            })
+            .collect();
+        let spans = self
+            .spans
+            .iter()
+            .map(|(name, stats)| {
+                let base = baseline.spans.get(name).copied().unwrap_or_default();
+                (
+                    name.clone(),
+                    SpanStats {
+                        count: stats.count.saturating_sub(base.count),
+                        total_ns: stats.total_ns.saturating_sub(base.total_ns),
+                    },
+                )
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(name, stats)| {
+                let base = baseline.histograms.get(name);
+                let base_buckets: BTreeMap<u64, u64> = base
+                    .map(|b| b.buckets.iter().copied().collect())
+                    .unwrap_or_default();
+                let buckets = stats
+                    .buckets
+                    .iter()
+                    .map(|&(le, count)| {
+                        let b = base_buckets.get(&le).copied().unwrap_or(0);
+                        (le, count.saturating_sub(b))
+                    })
+                    .filter(|&(_, count)| count > 0)
+                    .collect();
+                (
+                    name.clone(),
+                    HistStats {
+                        count: stats.count.saturating_sub(base.map_or(0, |b| b.count)),
+                        sum: stats.sum.saturating_sub(base.map_or(0, |b| b.sum)),
+                        buckets,
+                    },
+                )
+            })
+            .collect();
+        MetricsReport {
+            meta: self.meta.clone(),
+            counters,
+            spans,
+            histograms,
+        }
+    }
+
+    /// Serializes the report as a pretty-printed JSON document.
+    ///
+    /// Schema (`netdag-obs/1`), stable across runs — maps are sorted by
+    /// key and pre-registered instruments appear zero-valued even when
+    /// unused:
+    ///
+    /// ```json
+    /// {
+    ///   "schema": "netdag-obs/1",
+    ///   "meta": { "command": "validate", "threads": "8" },
+    ///   "counters": { "solver.decisions": 42 },
+    ///   "spans": { "cli.validate": { "count": 1, "total_ns": 1200 } },
+    ///   "histograms": {
+    ///     "solver.nodes_per_search": {
+    ///       "count": 1, "sum": 9,
+    ///       "buckets": [ { "le": 16, "count": 1 } ]
+    ///     }
+    ///   }
+    /// }
+    /// ```
+    ///
+    /// Counter and histogram-bucket values are deterministic for
+    /// deterministic work (at any `--threads` level); span `total_ns`
+    /// values are wall-clock measurements and vary run to run. The
+    /// overflow bucket's `le` is `u64::MAX`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n  \"schema\": \"netdag-obs/1\",\n  \"meta\": {");
+        push_map(&mut out, &self.meta, |out, value| {
+            push_json_str(out, value);
+        });
+        out.push_str("},\n  \"counters\": {");
+        push_map(&mut out, &self.counters, |out, value| {
+            out.push_str(&value.to_string());
+        });
+        out.push_str("},\n  \"spans\": {");
+        push_map(&mut out, &self.spans, |out, stats| {
+            out.push_str(&format!(
+                "{{ \"count\": {}, \"total_ns\": {} }}",
+                stats.count, stats.total_ns
+            ));
+        });
+        out.push_str("},\n  \"histograms\": {");
+        push_map(&mut out, &self.histograms, |out, stats| {
+            out.push_str(&format!(
+                "{{ \"count\": {}, \"sum\": {}, \"buckets\": [",
+                stats.count, stats.sum
+            ));
+            for (i, &(le, count)) in stats.buckets.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("{{ \"le\": {le}, \"count\": {count} }}"));
+            }
+            out.push_str("] }");
+        });
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Renders the report as an aligned, human-readable table (the CLI
+    /// prints it to stderr so stdout stays machine-consumable).
+    /// Zero-valued counters are elided; spans and histograms that never
+    /// fired are too.
+    #[must_use]
+    pub fn summary_table(&self) -> String {
+        let name_width = self
+            .counters
+            .keys()
+            .chain(self.spans.keys())
+            .chain(self.histograms.keys())
+            .map(|name| name.len())
+            .max()
+            .unwrap_or(0)
+            .max("histogram".len());
+
+        let mut out = String::new();
+        let active_counters: Vec<_> = self.counters.iter().filter(|&(_, &v)| v > 0).collect();
+        if !active_counters.is_empty() {
+            out.push_str(&format!("{:<name_width$}  {:>12}\n", "counter", "value"));
+            for (name, value) in active_counters {
+                out.push_str(&format!("{name:<name_width$}  {value:>12}\n"));
+            }
+        }
+        let active_spans: Vec<_> = self.spans.iter().filter(|&(_, s)| s.count > 0).collect();
+        if !active_spans.is_empty() {
+            out.push_str(&format!(
+                "{:<name_width$}  {:>12}  {:>10}\n",
+                "span", "count", "total"
+            ));
+            for (name, stats) in active_spans {
+                out.push_str(&format!(
+                    "{:<name_width$}  {:>12}  {:>10}\n",
+                    name,
+                    stats.count,
+                    fmt_ns(stats.total_ns)
+                ));
+            }
+        }
+        let active_hists: Vec<_> = self
+            .histograms
+            .iter()
+            .filter(|&(_, h)| h.count > 0)
+            .collect();
+        if !active_hists.is_empty() {
+            out.push_str(&format!(
+                "{:<name_width$}  {:>12}  {:>10}\n",
+                "histogram", "count", "mean"
+            ));
+            for (name, stats) in active_hists {
+                let mean = stats.sum as f64 / stats.count as f64;
+                out.push_str(&format!(
+                    "{name:<name_width$}  {:>12}  {mean:>10.1}\n",
+                    stats.count
+                ));
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+        }
+        out
+    }
+}
+
+/// Writes a sorted `BTreeMap` as the body of a JSON object (between the
+/// braces the caller opened), one indented line per entry.
+fn push_map<V>(
+    out: &mut String,
+    map: &BTreeMap<String, V>,
+    mut push_value: impl FnMut(&mut String, &V),
+) {
+    if map.is_empty() {
+        return;
+    }
+    for (i, (key, value)) in map.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("    ");
+        push_json_str(out, key);
+        out.push_str(": ");
+        push_value(out, value);
+    }
+    out.push_str("\n  ");
+}
+
+/// Formats a nanosecond total for humans (`1.23ms`-style).
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsReport {
+        let r = crate::Recorder::new();
+        r.add("solver.nodes", 7);
+        r.add("solver.decisions", 3);
+        r.record_span("cli.validate", std::time::Duration::from_nanos(1200));
+        r.observe("solver.nodes_per_search", 7);
+        let mut snap = r.snapshot();
+        snap.meta.insert("command".into(), "validate".into());
+        snap
+    }
+
+    #[test]
+    fn delta_subtracts_and_saturates() {
+        let mut base = sample();
+        let mut now = sample();
+        now.counters.insert("solver.nodes".into(), 17);
+        base.counters.insert("only_in_base".into(), 5);
+        now.spans.insert(
+            "cli.validate".into(),
+            SpanStats {
+                count: 3,
+                total_ns: 5200,
+            },
+        );
+        let d = now.delta(&base);
+        assert_eq!(d.counters["solver.nodes"], 10);
+        assert_eq!(d.counters["solver.decisions"], 0);
+        assert!(!d.counters.contains_key("only_in_base"));
+        assert_eq!(d.spans["cli.validate"].count, 2);
+        assert_eq!(d.spans["cli.validate"].total_ns, 4000);
+        assert_eq!(d.histograms["solver.nodes_per_search"].count, 0);
+        assert!(d.histograms["solver.nodes_per_search"].buckets.is_empty());
+    }
+
+    #[test]
+    fn delta_keeps_new_keys_whole() {
+        let now = sample();
+        let d = now.delta(&MetricsReport::default());
+        assert_eq!(d.counters, now.counters);
+        assert_eq!(d.spans, now.spans);
+        assert_eq!(d.histograms, now.histograms);
+        assert_eq!(d.meta["command"], "validate");
+    }
+
+    #[test]
+    fn json_has_stable_schema_fields() {
+        let json = sample().to_json();
+        assert!(json.contains("\"schema\": \"netdag-obs/1\""));
+        assert!(json.contains("\"meta\""));
+        assert!(json.contains("\"counters\""));
+        assert!(json.contains("\"spans\""));
+        assert!(json.contains("\"histograms\""));
+        assert!(json.contains("\"solver.nodes\": 7"));
+        assert!(json.contains("\"count\": 1, \"total_ns\": 1200"));
+        assert!(json.contains("\"le\": 8, \"count\": 1"));
+    }
+
+    #[test]
+    fn json_parses_with_vendored_serde_json() {
+        let json = sample().to_json();
+        let value = serde_json::from_str_value(&json).expect("valid JSON");
+        let serde::Value::Object(fields) = &value else {
+            panic!("top level must be an object");
+        };
+        let keys: Vec<_> = fields.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["schema", "meta", "counters", "spans", "histograms"]);
+    }
+
+    #[test]
+    fn empty_report_is_valid_json() {
+        let json = MetricsReport::default().to_json();
+        serde_json::from_str_value(&json).expect("valid JSON");
+        assert!(json.contains("\"counters\": {}"));
+    }
+
+    #[test]
+    fn summary_table_elides_zeros_and_aligns() {
+        let mut report = sample();
+        report.counters.insert("solver.backtracks".into(), 0);
+        let table = report.summary_table();
+        assert!(table.contains("solver.nodes"));
+        assert!(!table.contains("solver.backtracks"));
+        assert!(table.contains("1.20us"));
+        let empty = MetricsReport::default().summary_table();
+        assert_eq!(empty, "(no metrics recorded)\n");
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert_eq!(fmt_ns(999), "999ns");
+        assert_eq!(fmt_ns(1_500), "1.50us");
+        assert_eq!(fmt_ns(2_500_000), "2.50ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00s");
+    }
+}

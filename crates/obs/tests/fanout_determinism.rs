@@ -1,0 +1,81 @@
+//! Counter totals must be bit-identical regardless of how
+//! `netdag-runtime` spreads the work across threads.
+//!
+//! This is the obs-side half of the workspace determinism contract:
+//! the runtime guarantees identical *work* at every thread count, and
+//! relaxed atomic addition commutes, so identical work must yield
+//! identical counter totals. These tests run in their own process
+//! (integration test binary), and a file-local lock serializes them so
+//! deltas against the process-global recorder don't interleave.
+
+use std::sync::Mutex;
+
+use netdag_obs::{global, keys, MetricsReport};
+use netdag_runtime::{run_indexed, ExecPolicy};
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+/// Simulated per-item workload: emits counter increments whose totals
+/// depend only on the item set, not on thread assignment.
+fn workload(policy: ExecPolicy, items: usize) -> Vec<u64> {
+    run_indexed(policy, items, |i| {
+        let checks = netdag_obs::counter!(keys::WEAKLY_HARD_MODELS_CHECKS);
+        let floods = netdag_obs::counter!(keys::GLOSSY_FLOODS_SIMULATED);
+        // Item-dependent (not thread-dependent) emission pattern.
+        checks.add(1 + (i as u64 % 3));
+        floods.add(i as u64);
+        global().observe(keys::HIST_SOLVER_NODES_PER_SEARCH, i as u64);
+        i as u64 * 2
+    })
+}
+
+fn run_and_delta(threads: usize, items: usize) -> MetricsReport {
+    let before = global().snapshot();
+    let results = workload(ExecPolicy::from_threads(threads), items);
+    let expected: Vec<u64> = (0..items as u64).map(|i| i * 2).collect();
+    assert_eq!(results, expected, "runtime merge must stay index-ordered");
+    global().snapshot().delta(&before)
+}
+
+#[test]
+fn counter_totals_identical_across_thread_counts() {
+    let _guard = SERIAL.lock().unwrap();
+    const ITEMS: usize = 1000;
+    let serial = run_and_delta(1, ITEMS);
+    for threads in [2, 8] {
+        let parallel = run_and_delta(threads, ITEMS);
+        assert_eq!(
+            serial.counters, parallel.counters,
+            "counter totals diverged at {threads} threads"
+        );
+        assert_eq!(
+            serial.histograms, parallel.histograms,
+            "histogram buckets diverged at {threads} threads"
+        );
+    }
+    // And the totals are the analytically expected ones.
+    assert_eq!(
+        serial.counters[keys::WEAKLY_HARD_MODELS_CHECKS],
+        (0..ITEMS as u64).map(|i| 1 + i % 3).sum::<u64>()
+    );
+    assert_eq!(
+        serial.counters[keys::GLOSSY_FLOODS_SIMULATED],
+        (0..ITEMS as u64).sum::<u64>()
+    );
+}
+
+#[test]
+fn span_counts_identical_even_if_durations_differ() {
+    let _guard = SERIAL.lock().unwrap();
+    let mut counts = Vec::new();
+    for threads in [1, 2, 8] {
+        let before = global().snapshot();
+        run_indexed(ExecPolicy::from_threads(threads), 64, |i| {
+            let _span = global().span(keys::SPAN_GLOSSY_PROFILE_SOFT);
+            i
+        });
+        let delta = global().snapshot().delta(&before);
+        counts.push(delta.spans[keys::SPAN_GLOSSY_PROFILE_SOFT].count);
+    }
+    assert_eq!(counts, [64, 64, 64]);
+}

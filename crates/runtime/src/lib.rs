@@ -14,6 +14,9 @@
 //! Together these give the "same bits at `--threads 1` and
 //! `--threads 8`" guarantee the profiling and validation layers rely on.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod cache;
 pub mod pool;
 pub mod seed;

@@ -17,6 +17,11 @@
 //! optima; only solve time differs. The `ablation_solver` bench quantifies
 //! this against the greedy heuristic.
 //!
+//! Every search additionally publishes its [`SearchStats`] (nodes,
+//! decisions, backtracks, propagator wakeups, prunings) to the
+//! process-global `netdag_obs` recorder under the `solver.*` keys, so CLI
+//! runs can export solver effort via `--metrics`.
+//!
 //! # Example
 //!
 //! ```

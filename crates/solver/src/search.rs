@@ -70,12 +70,24 @@ impl Solution {
 }
 
 /// Statistics gathered during search.
+///
+/// Every completed search also publishes these totals to the global
+/// [`netdag_obs`] recorder under the `solver.*` keys, so CLI runs can
+/// export them via `--metrics` without threading the struct around.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SearchStats {
     /// Search nodes explored.
     pub nodes: u64,
+    /// Branching decisions: child subproblems (value or half-interval
+    /// choices) attempted at branch points.
+    pub decisions: u64,
+    /// Dead ends: subproblems abandoned by bound pruning, propagation
+    /// failure, or an inconsistent branching choice.
+    pub backtracks: u64,
     /// Propagator invocations.
     pub propagations: u64,
+    /// Propagator invocations that pruned at least one domain.
+    pub prunings: u64,
     /// Feasible solutions encountered.
     pub solutions: u64,
     /// Whether the search space was exhausted (optimum proven for
@@ -123,10 +135,24 @@ pub(crate) fn run(model: &Model, objective: Option<VarId>, cfg: &SearchConfig) -
     let dom = DomainStore::new(&model.bounds);
     ctx.dfs(dom);
     ctx.stats.proven_optimal = !ctx.aborted || ctx.clean_stop;
+    publish_stats(&ctx.stats);
     SearchOutcome {
         best: ctx.best,
         stats: ctx.stats,
     }
+}
+
+/// Mirrors a finished search's totals into the global metrics recorder.
+fn publish_stats(stats: &SearchStats) {
+    use netdag_obs::{counter, keys};
+    counter!(keys::SOLVER_SEARCHES).incr();
+    counter!(keys::SOLVER_NODES).add(stats.nodes);
+    counter!(keys::SOLVER_DECISIONS).add(stats.decisions);
+    counter!(keys::SOLVER_BACKTRACKS).add(stats.backtracks);
+    counter!(keys::SOLVER_PROPAGATIONS).add(stats.propagations);
+    counter!(keys::SOLVER_PRUNINGS).add(stats.prunings);
+    counter!(keys::SOLVER_SOLUTIONS).add(stats.solutions);
+    netdag_obs::global().observe(keys::HIST_SOLVER_NODES_PER_SEARCH, stats.nodes);
 }
 
 impl Ctx<'_> {
@@ -144,10 +170,12 @@ impl Ctx<'_> {
         // Branch-and-bound: require strict improvement.
         if let (Some(obj), true) = (self.objective, self.best.is_some()) {
             if dom.set_hi(obj, self.best_obj - 1).is_err() {
+                self.stats.backtracks += 1;
                 return;
             }
         }
         if self.fixpoint(&mut dom).is_err() {
+            self.stats.backtracks += 1;
             return;
         }
         match self.select(&dom) {
@@ -162,7 +190,10 @@ impl Ctx<'_> {
             for p in &self.model.props {
                 self.stats.propagations += 1;
                 match p.propagate(dom) {
-                    Ok(c) => changed |= c,
+                    Ok(c) => {
+                        self.stats.prunings += u64::from(c);
+                        changed |= c;
+                    }
                     Err(_) => return Err(()),
                 }
             }
@@ -198,9 +229,12 @@ impl Ctx<'_> {
                 ValueOrder::MaxFirst => (lo..=hi).rev().collect(),
             };
             for val in values {
+                self.stats.decisions += 1;
                 let mut child = dom.clone();
                 if child.fix(v, val).is_ok() {
                     self.dfs(child);
+                } else {
+                    self.stats.backtracks += 1;
                 }
                 if self.aborted {
                     return;
@@ -213,9 +247,12 @@ impl Ctx<'_> {
                 ValueOrder::MaxFirst => [(mid + 1, hi), (lo, mid)],
             };
             for (a, b) in halves {
+                self.stats.decisions += 1;
                 let mut child = dom.clone();
                 if child.set_lo(v, a).is_ok() && child.set_hi(v, b).is_ok() {
                     self.dfs(child);
+                } else {
+                    self.stats.backtracks += 1;
                 }
                 if self.aborted {
                     return;

@@ -21,6 +21,7 @@ pub fn simulate_task<S: SoftStatistic + ?Sized, R: Rng + ?Sized>(
     kappa: usize,
     rng: &mut R,
 ) -> Sequence {
+    netdag_obs::counter!(netdag_obs::keys::VALIDATION_SOFT_SAMPLES).add(kappa as u64);
     let preds = app.message_predecessors(task);
     let mut omega = Sequence::all_hits(kappa);
     for m in preds {
@@ -74,12 +75,14 @@ pub fn validate_soft<S: SoftStatistic + ?Sized, R: Rng + ?Sized>(
     confidence: f64,
     rng: &mut R,
 ) -> Vec<SoftReport> {
+    let _span = netdag_obs::global().span(netdag_obs::keys::SPAN_VALIDATION_SOFT);
     let margin = hoeffding_margin(kappa, confidence);
     constraints
         .iter()
         .map(|(task, required)| {
             let omega = simulate_task(app, stat, schedule, task, kappa, rng);
             let observed = omega.hit_rate();
+            netdag_obs::counter!(netdag_obs::keys::VALIDATION_SOFT_TASKS).incr();
             SoftReport {
                 task,
                 required,
@@ -97,7 +100,7 @@ pub fn validate_soft<S: SoftStatistic + ?Sized, R: Rng + ?Sized>(
 const SOFT_CHUNK: usize = 1024;
 
 /// Parallel variant of [`validate_soft`]: the `kappa` samples of every
-/// constrained task are split into fixed [`SOFT_CHUNK`]-sized chunks and
+/// constrained task are split into fixed `SOFT_CHUNK`-sized (1024) chunks and
 /// fanned out across threads. Each `(task, chunk)` pair derives its own
 /// ChaCha stream from `(master_seed, task index, chunk index)`, so the
 /// reports depend only on `master_seed` and the inputs, never on
@@ -115,8 +118,10 @@ pub fn validate_soft_par<S: SoftStatistic + Sync + ?Sized>(
     master_seed: u64,
     policy: ExecPolicy,
 ) -> Vec<SoftReport> {
+    let _span = netdag_obs::global().span(netdag_obs::keys::SPAN_VALIDATION_SOFT);
     let margin = hoeffding_margin(kappa, confidence);
     let tasks: Vec<(TaskId, f64)> = constraints.iter().collect();
+    netdag_obs::counter!(netdag_obs::keys::VALIDATION_SOFT_TASKS).add(tasks.len() as u64);
     let chunks = kappa.div_ceil(SOFT_CHUNK);
     let hits = run_indexed(policy, tasks.len() * chunks, |job| {
         let (task, _) = tasks[job / chunks];

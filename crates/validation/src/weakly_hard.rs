@@ -68,8 +68,11 @@ pub fn validate_weakly_hard<S: WeaklyHardStatistic + ?Sized, R: Rng + ?Sized>(
     trials: usize,
     rng: &mut R,
 ) -> Result<Vec<WeaklyHardReport>, SynthesisError> {
+    let _span = netdag_obs::global().span(netdag_obs::keys::SPAN_VALIDATION_WEAKLY_HARD);
     let mut out = Vec::new();
     for (task, requirement) in constraints.iter() {
+        netdag_obs::counter!(netdag_obs::keys::VALIDATION_WEAKLY_HARD_TASKS).incr();
+        netdag_obs::counter!(netdag_obs::keys::VALIDATION_WEAKLY_HARD_TRIALS).add(trials as u64);
         let mut satisfied = 0usize;
         for _ in 0..trials {
             let omega = simulate_task_adversarial(app, stat, schedule, task, kappa, rng)?;
@@ -113,7 +116,11 @@ pub fn validate_weakly_hard_par<S: WeaklyHardStatistic + Sync + ?Sized>(
     master_seed: u64,
     policy: ExecPolicy,
 ) -> Result<Vec<WeaklyHardReport>, SynthesisError> {
+    let _span = netdag_obs::global().span(netdag_obs::keys::SPAN_VALIDATION_WEAKLY_HARD);
     let tasks: Vec<(TaskId, Constraint)> = constraints.iter().collect();
+    netdag_obs::counter!(netdag_obs::keys::VALIDATION_WEAKLY_HARD_TASKS).add(tasks.len() as u64);
+    netdag_obs::counter!(netdag_obs::keys::VALIDATION_WEAKLY_HARD_TRIALS)
+        .add((tasks.len() * trials) as u64);
     if trials == 0 {
         // Vacuously passed, matching the serial loop's behavior.
         return Ok(tasks

@@ -70,6 +70,7 @@ impl Error for ConjunctionError {}
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn oplus(x: &Constraint, y: &Constraint) -> Result<Constraint, ConjunctionError> {
+    netdag_obs::counter!(netdag_obs::keys::WEAKLY_HARD_OPLUS_COMPOSITIONS).incr();
     let (a, g) = miss_params(x)?;
     let (b, d) = miss_params(y)?;
     let window = g.min(d);

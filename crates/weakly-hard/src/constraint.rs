@@ -230,6 +230,7 @@ impl Constraint {
     /// # Ok::<(), netdag_weakly_hard::ConstraintError>(())
     /// ```
     pub fn models(&self, seq: &Sequence) -> bool {
+        netdag_obs::counter!(netdag_obs::keys::WEAKLY_HARD_MODELS_CHECKS).incr();
         match *self {
             Constraint::AnyHit { m, k } => seq.window_hits(k as usize).all(|h| h >= m as usize),
             Constraint::AnyMiss { m, k } => seq

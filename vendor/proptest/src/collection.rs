@@ -7,7 +7,7 @@ use rand::Rng as _;
 use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 
-/// Length specifications accepted by [`vec`]: an exact `usize` or a
+/// Length specifications accepted by [`vec()`]: an exact `usize` or a
 /// half-open `Range<usize>`.
 pub trait VecLen {
     /// Picks a concrete length.
@@ -38,7 +38,7 @@ pub fn vec<S: Strategy, L: VecLen>(element: S, len: L) -> VecStrategy<S, L> {
     VecStrategy { element, len }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S, L> {
     element: S,

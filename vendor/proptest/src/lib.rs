@@ -1,7 +1,7 @@
 //! Offline property-testing shim exposing the slice of proptest's API the
 //! workspace uses: the [`proptest!`] macro, range/tuple strategies,
 //! `prop_map`/`prop_flat_map`, [`prop_oneof!`], `collection::vec`, and
-//! [`any`].
+//! [`any`](arbitrary::any).
 //!
 //! Differences from real proptest, by design:
 //!
