@@ -3,7 +3,10 @@
 //! `BENCH_parallel.json` summary (wall time, threads, speedup) to the
 //! workspace root, plus a `BENCH_parallel_metrics.json` sidecar holding
 //! the `netdag-obs/1` counter/span report for the whole run (floods
-//! simulated, cache hits/misses, profiling spans). Speedup is reported
+//! simulated, cache hits/misses, profiling spans), and a
+//! `BENCH_trace.json` measuring `netdag-trace` overhead per event with
+//! the collector disabled, enabled, and exporting — the disabled path
+//! is asserted under 5 ns/event. Speedup is reported
 //! against whatever `available_parallelism` offers — on a single-core
 //! runner it is honestly ~1.0; the point of the determinism contract is
 //! that the numbers, unlike the wall time, never change with the thread
@@ -79,6 +82,84 @@ fn write_metrics_sidecar(baseline: &netdag_obs::MetricsReport) {
     eprint!("{}", delta.summary_table());
 }
 
+/// Median-of-3 of `f`, which returns nanoseconds per event.
+fn median3(mut f: impl FnMut() -> f64) -> f64 {
+    let mut samples: Vec<f64> = (0..3).map(|_| f()).collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[1]
+}
+
+/// Events per tracing-overhead measurement loop.
+const TRACE_EVENTS: usize = 200_000;
+
+/// Measures the cost per event of the `netdag-trace` collector in its
+/// three states — disabled (the solver hot-path case: one relaxed
+/// atomic load), enabled (ring-buffer push), and exporting (drain +
+/// Chrome JSON) — and writes `BENCH_trace.json` next to
+/// `BENCH_parallel.json`. The disabled path is the acceptance-critical
+/// number: it must stay under 5 ns per would-be event.
+fn write_trace_overhead() {
+    netdag_trace::reset();
+    netdag_trace::set_capacity(TRACE_EVENTS + 1024);
+    netdag_trace::set_clock(netdag_trace::ClockMode::Logical);
+
+    netdag_trace::set_enabled(false);
+    let disabled_ns = median3(|| {
+        let start = Instant::now();
+        for i in 0..TRACE_EVENTS {
+            netdag_trace::instant(
+                "bench.tick",
+                &[("i", std::hint::black_box(i as u64).into())],
+            );
+        }
+        start.elapsed().as_nanos() as f64 / TRACE_EVENTS as f64
+    });
+
+    netdag_trace::set_enabled(true);
+    let enabled_ns = median3(|| {
+        netdag_trace::reset();
+        netdag_trace::set_enabled(true);
+        let start = Instant::now();
+        for i in 0..TRACE_EVENTS {
+            netdag_trace::instant(
+                "bench.tick",
+                &[("i", std::hint::black_box(i as u64).into())],
+            );
+        }
+        start.elapsed().as_nanos() as f64 / TRACE_EVENTS as f64
+    });
+    netdag_trace::set_enabled(false);
+
+    let start = Instant::now();
+    let trace = netdag_trace::drain();
+    let json = netdag_trace::to_chrome_json(&trace);
+    let export_s = start.elapsed().as_secs_f64();
+    assert!(
+        json.len() > TRACE_EVENTS,
+        "export produced {} bytes",
+        json.len()
+    );
+    assert!(
+        disabled_ns < 5.0,
+        "disabled tracing must cost < 5 ns/event, measured {disabled_ns:.2}"
+    );
+
+    let out = format!(
+        "{{\n  \"bench\": \"trace_overhead\",\n  \"events\": {TRACE_EVENTS},\n  \
+         \"disabled_ns_per_event\": {disabled_ns:.3},\n  \
+         \"enabled_ns_per_event\": {enabled_ns:.3},\n  \
+         \"export_s\": {export_s:.6},\n  \"dropped\": {}\n}}\n",
+        trace.dropped,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_trace.json");
+    if let Err(e) = std::fs::write(path, &out) {
+        eprintln!("could not write {path}: {e}");
+    }
+    print!("{out}");
+    netdag_trace::reset();
+    netdag_trace::set_capacity(netdag_trace::DEFAULT_CAPACITY);
+}
+
 fn bench_parallel_profiling(c: &mut Criterion) {
     let (topo, link) = setup();
     let recorder = netdag_obs::global();
@@ -137,6 +218,15 @@ fn bench_parallel_profiling(c: &mut Criterion) {
             cache
                 .soft_profile(&topo, &link, NodeId(0), 1..=6, RUNS, SEED, ExecPolicy::Auto)
                 .expect("valid inputs")
+        })
+    });
+    // Tracing overhead (disabled / enabled / exporting) →
+    // BENCH_trace.json, with the < 5 ns/event disabled-path assertion.
+    write_trace_overhead();
+    group.bench_function("trace_disabled_instant", |b| {
+        netdag_trace::set_enabled(false);
+        b.iter(|| {
+            netdag_trace::instant("bench.tick", &[("i", std::hint::black_box(7u64).into())]);
         })
     });
     group.finish();

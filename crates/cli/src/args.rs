@@ -40,6 +40,9 @@ pub struct ScheduleOpts {
     pub timeline: bool,
     /// Where to write the metrics report JSON (`netdag-obs/1` schema).
     pub metrics: Option<PathBuf>,
+    /// Where to write the Chrome Trace Event JSON (a `netdag-trace/1`
+    /// summary lands next to it with extension `summary.json`).
+    pub trace: Option<PathBuf>,
 }
 
 /// Validation flags.
@@ -67,6 +70,24 @@ pub struct ValidateOpts {
     pub threads: usize,
     /// Where to write the metrics report JSON (`netdag-obs/1` schema).
     pub metrics: Option<PathBuf>,
+    /// Where to write the Chrome Trace Event JSON (a `netdag-trace/1`
+    /// summary lands next to it with extension `summary.json`).
+    pub trace: Option<PathBuf>,
+}
+
+/// `netdag trace` flags: replay a solved schedule as a standalone bus
+/// timeline, or structurally check an exported trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceOpts {
+    /// Application spec path (replay mode).
+    pub app: Option<PathBuf>,
+    /// Exported schedule path (replay mode).
+    pub schedule: Option<PathBuf>,
+    /// Where to write the Chrome Trace Event JSON (replay mode).
+    pub out: Option<PathBuf>,
+    /// Chrome trace JSON to validate (check mode): span balance,
+    /// per-track timestamp order, flow and parent consistency.
+    pub check: Option<PathBuf>,
 }
 
 /// A parsed command line.
@@ -79,11 +100,15 @@ pub enum Command {
         /// Where to write the metrics report JSON (`netdag-obs/1`
         /// schema).
         metrics: Option<PathBuf>,
+        /// Where to write the Chrome Trace Event JSON.
+        trace: Option<PathBuf>,
     },
     /// Compute a schedule.
     Schedule(ScheduleOpts),
     /// Validate an exported schedule.
     Validate(ValidateOpts),
+    /// Replay or check traces.
+    Trace(TraceOpts),
     /// Print usage.
     Help,
 }
@@ -103,7 +128,9 @@ pub enum ParseArgsError {
     BadValue(String, String),
     /// A required flag is absent.
     MissingFlag(&'static str),
-    /// `--soft` and `--weakly-hard` are mutually exclusive for scheduling.
+    /// Mutually exclusive flags were combined: `--soft` with
+    /// `--weakly-hard` (schedule), or `--check` with the replay flags
+    /// (trace).
     ConflictingModes,
 }
 
@@ -121,7 +148,10 @@ impl fmt::Display for ParseArgsError {
             }
             ParseArgsError::MissingFlag(flag) => write!(f, "required flag --{flag} is missing"),
             ParseArgsError::ConflictingModes => {
-                write!(f, "--soft and --weakly-hard are mutually exclusive")
+                write!(
+                    f,
+                    "mutually exclusive flags (--soft vs --weakly-hard, or --check vs replay)"
+                )
             }
         }
     }
@@ -134,25 +164,56 @@ pub const USAGE: &str = "\
 netdag — application-aware scheduling over the Low-Power Wireless Bus
 
 USAGE:
-  netdag inspect  --app <app.json> [--metrics <m.json>]
+  netdag inspect  --app <app.json> [--metrics <m.json>] [--trace <t.json>]
   netdag schedule --app <app.json> [--soft <f.json> | --weakly-hard <f.json>]
                   [--greedy] [--chi-max N] [--beacon-chi N]
                   [--per-message-rounds] [--include-beacons]
                   [--stat eq13 | --stat eq15:<fss>]
                   [--out <schedule.json>] [--timeline]
-                  [--metrics <m.json>]
+                  [--metrics <m.json>] [--trace <t.json>]
   netdag validate --app <app.json> --schedule <schedule.json>
                   [--soft <f.json>] [--weakly-hard <f.json>]
                   [--stat …] [--kappa N] [--trials N] [--seed N]
                   [--threads N]   (0 = auto, 1 = serial; same results at any N)
-                  [--metrics <m.json>]
+                  [--metrics <m.json>] [--trace <t.json>]
+  netdag trace    --app <app.json> --schedule <schedule.json> --out <t.json>
+  netdag trace    --check <t.json>
   netdag help
 
-Every subcommand accepts --metrics <path>: it writes a machine-readable
+Every subcommand accepts --metrics <path>, writing a machine-readable
 JSON report (schema netdag-obs/1: solver/cache/flood counters plus wall
--time spans scoped to this command) and prints a summary table to
-stderr. Counter values are deterministic at any --threads setting.
+-time spans scoped to this command) with a summary table on stderr, and
+--trace <path>, writing a Chrome Trace Event JSON (open it in Perfetto
+or chrome://tracing) of the command's causal events — solver search
+nodes with decision/prune instants, LWB rounds/slots/floods, fan-out
+worker spans — plus a netdag-trace/1 summary at <path>.summary.json.
+Trace timestamps use a deterministic logical clock by default; set
+NETDAG_TRACE_CLOCK=wall for real durations.
+
+`netdag trace --app … --schedule …` replays a solved schedule into a
+standalone bus-timeline trace (rounds, beacons, slots, floods and
+slot→task flow arrows at scheduled microseconds, one track per node);
+`netdag trace --check` re-parses an exported trace and verifies span
+balance, per-track timestamp order, and flow/parent consistency.
+Counter and trace event values are deterministic at any --threads
+setting; with --threads 1 traces are byte-identical across runs.
 ";
+
+/// Handles the reporting flags every subcommand shares (`--metrics`,
+/// `--trace`) in one place. Returns `true` when `flag` was consumed.
+fn common_flag<I: Iterator<Item = String>>(
+    flag: &str,
+    cur: &mut Cursor<I>,
+    metrics: &mut Option<PathBuf>,
+    trace: &mut Option<PathBuf>,
+) -> Result<bool, ParseArgsError> {
+    match flag {
+        "--metrics" => *metrics = Some(PathBuf::from(cur.value("--metrics")?)),
+        "--trace" => *trace = Some(PathBuf::from(cur.value("--trace")?)),
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
 
 fn parse_stat(v: &str) -> Result<StatChoice, ParseArgsError> {
     if v == "eq13" {
@@ -200,16 +261,20 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
         "inspect" => {
             let mut app = None;
             let mut metrics = None;
+            let mut trace = None;
             while let Some(flag) = cur.inner.next() {
+                if common_flag(flag.as_str(), &mut cur, &mut metrics, &mut trace)? {
+                    continue;
+                }
                 match flag.as_str() {
                     "--app" => app = Some(PathBuf::from(cur.value("--app")?)),
-                    "--metrics" => metrics = Some(PathBuf::from(cur.value("--metrics")?)),
                     other => return Err(ParseArgsError::UnknownFlag(other.to_owned())),
                 }
             }
             Ok(Command::Inspect {
                 app: app.ok_or(ParseArgsError::MissingFlag("app"))?,
                 metrics,
+                trace,
             })
         }
         "schedule" => {
@@ -226,9 +291,13 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                 out: None,
                 timeline: false,
                 metrics: None,
+                trace: None,
             };
             let mut have_app = false;
             while let Some(flag) = cur.inner.next() {
+                if common_flag(flag.as_str(), &mut cur, &mut opts.metrics, &mut opts.trace)? {
+                    continue;
+                }
                 match flag.as_str() {
                     "--app" => {
                         opts.app = PathBuf::from(cur.value("--app")?);
@@ -246,7 +315,6 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                     "--stat" => opts.stat = parse_stat(&cur.value("--stat")?)?,
                     "--out" => opts.out = Some(PathBuf::from(cur.value("--out")?)),
                     "--timeline" => opts.timeline = true,
-                    "--metrics" => opts.metrics = Some(PathBuf::from(cur.value("--metrics")?)),
                     other => return Err(ParseArgsError::UnknownFlag(other.to_owned())),
                 }
             }
@@ -270,9 +338,13 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                 seed: 2020,
                 threads: 1,
                 metrics: None,
+                trace: None,
             };
             let (mut have_app, mut have_schedule) = (false, false);
             while let Some(flag) = cur.inner.next() {
+                if common_flag(flag.as_str(), &mut cur, &mut opts.metrics, &mut opts.trace)? {
+                    continue;
+                }
                 match flag.as_str() {
                     "--app" => {
                         opts.app = PathBuf::from(cur.value("--app")?);
@@ -291,7 +363,6 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                     "--trials" => opts.trials = cur.parsed("--trials")?,
                     "--seed" => opts.seed = cur.parsed("--seed")?,
                     "--threads" => opts.threads = cur.parsed("--threads")?,
-                    "--metrics" => opts.metrics = Some(PathBuf::from(cur.value("--metrics")?)),
                     other => return Err(ParseArgsError::UnknownFlag(other.to_owned())),
                 }
             }
@@ -302,6 +373,39 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                 return Err(ParseArgsError::MissingFlag("schedule"));
             }
             Ok(Command::Validate(opts))
+        }
+        "trace" => {
+            let mut opts = TraceOpts {
+                app: None,
+                schedule: None,
+                out: None,
+                check: None,
+            };
+            while let Some(flag) = cur.inner.next() {
+                match flag.as_str() {
+                    "--app" => opts.app = Some(PathBuf::from(cur.value("--app")?)),
+                    "--schedule" => opts.schedule = Some(PathBuf::from(cur.value("--schedule")?)),
+                    "--out" => opts.out = Some(PathBuf::from(cur.value("--out")?)),
+                    "--check" => opts.check = Some(PathBuf::from(cur.value("--check")?)),
+                    other => return Err(ParseArgsError::UnknownFlag(other.to_owned())),
+                }
+            }
+            if opts.check.is_some() {
+                if opts.app.is_some() || opts.schedule.is_some() || opts.out.is_some() {
+                    return Err(ParseArgsError::ConflictingModes);
+                }
+            } else {
+                if opts.app.is_none() {
+                    return Err(ParseArgsError::MissingFlag("app"));
+                }
+                if opts.schedule.is_none() {
+                    return Err(ParseArgsError::MissingFlag("schedule"));
+                }
+                if opts.out.is_none() {
+                    return Err(ParseArgsError::MissingFlag("out"));
+                }
+            }
+            Ok(Command::Trace(opts))
         }
         other => Err(ParseArgsError::UnknownCommand(other.to_owned())),
     }
@@ -328,11 +432,17 @@ mod tests {
             parse("inspect").unwrap_err(),
             ParseArgsError::MissingFlag("app")
         );
-        let Command::Inspect { app, metrics } = parse("inspect --app a.json").unwrap() else {
+        let Command::Inspect {
+            app,
+            metrics,
+            trace,
+        } = parse("inspect --app a.json").unwrap()
+        else {
             panic!("wrong command");
         };
         assert_eq!(app, PathBuf::from("a.json"));
         assert_eq!(metrics, None);
+        assert_eq!(trace, None);
     }
 
     #[test]
@@ -356,6 +466,69 @@ mod tests {
         assert!(matches!(
             parse("validate --app a.json --schedule s.json --metrics").unwrap_err(),
             ParseArgsError::MissingValue(_)
+        ));
+    }
+
+    #[test]
+    fn trace_flag_on_every_subcommand() {
+        let Command::Inspect { trace, .. } = parse("inspect --app a.json --trace t.json").unwrap()
+        else {
+            panic!("wrong command");
+        };
+        assert_eq!(trace, Some(PathBuf::from("t.json")));
+        let Command::Schedule(o) =
+            parse("schedule --app a.json --trace t.json --metrics m.json").unwrap()
+        else {
+            panic!("wrong command");
+        };
+        assert_eq!(o.trace, Some(PathBuf::from("t.json")));
+        assert_eq!(o.metrics, Some(PathBuf::from("m.json")));
+        let Command::Validate(v) =
+            parse("validate --app a.json --schedule s.json --trace t.json").unwrap()
+        else {
+            panic!("wrong command");
+        };
+        assert_eq!(v.trace, Some(PathBuf::from("t.json")));
+        assert!(matches!(
+            parse("inspect --app a.json --trace").unwrap_err(),
+            ParseArgsError::MissingValue(_)
+        ));
+    }
+
+    #[test]
+    fn trace_subcommand_modes() {
+        let Command::Trace(o) = parse("trace --app a.json --schedule s.json --out t.json").unwrap()
+        else {
+            panic!("wrong command");
+        };
+        assert_eq!(o.app, Some(PathBuf::from("a.json")));
+        assert_eq!(o.schedule, Some(PathBuf::from("s.json")));
+        assert_eq!(o.out, Some(PathBuf::from("t.json")));
+        assert_eq!(o.check, None);
+        let Command::Trace(c) = parse("trace --check t.json").unwrap() else {
+            panic!("wrong command");
+        };
+        assert_eq!(c.check, Some(PathBuf::from("t.json")));
+        // Replay mode requires all three flags; check excludes them.
+        assert_eq!(
+            parse("trace --app a.json --out t.json").unwrap_err(),
+            ParseArgsError::MissingFlag("schedule")
+        );
+        assert_eq!(
+            parse("trace --app a.json --schedule s.json").unwrap_err(),
+            ParseArgsError::MissingFlag("out")
+        );
+        assert_eq!(
+            parse("trace").unwrap_err(),
+            ParseArgsError::MissingFlag("app")
+        );
+        assert_eq!(
+            parse("trace --check t.json --app a.json").unwrap_err(),
+            ParseArgsError::ConflictingModes
+        );
+        assert!(matches!(
+            parse("trace --bogus").unwrap_err(),
+            ParseArgsError::UnknownFlag(_)
         ));
     }
 

@@ -17,7 +17,8 @@ use netdag_runtime::ExecPolicy;
 use netdag_validation::soft::validate_soft_par;
 use netdag_validation::weakly_hard::validate_weakly_hard_par;
 
-use crate::args::{Command, ScheduleOpts, StatChoice, ValidateOpts, USAGE};
+use crate::args::{Command, ScheduleOpts, StatChoice, TraceOpts, ValidateOpts, USAGE};
+use crate::replay;
 use crate::spec::{AppSpec, SoftSpec, SpecError, WeaklyHardSpec};
 
 /// Result of running a command: the text to print and whether the command
@@ -50,6 +51,8 @@ pub enum CliError {
     Synthesis(String),
     /// Validation needs at least one constraints file.
     NothingToValidate,
+    /// A trace file could not be parsed (`trace --check`).
+    Trace(String),
 }
 
 impl fmt::Display for CliError {
@@ -64,6 +67,7 @@ impl fmt::Display for CliError {
             CliError::NothingToValidate => {
                 write!(f, "validate needs --soft and/or --weakly-hard constraints")
             }
+            CliError::Trace(msg) => write!(f, "invalid trace: {msg}"),
         }
     }
 }
@@ -101,6 +105,14 @@ fn load_app(
     Ok(spec.build()?)
 }
 
+/// Appends a note to the command's stderr summary.
+fn push_summary(output: &mut Output, note: String) {
+    output.summary = Some(match output.summary.take() {
+        Some(prior) => format!("{}\n{note}", prior.trim_end()),
+        None => note,
+    });
+}
+
 /// Runs a parsed command.
 ///
 /// When the command carries a `--metrics <path>` flag, the full
@@ -111,6 +123,13 @@ fn load_app(
 /// every known counter/span/histogram key is present, zero-valued when
 /// the command never exercised that subsystem.
 ///
+/// When the command carries `--trace <path>`, the [`netdag_trace`]
+/// collector records a causal event trace around the command; the
+/// Chrome Trace Event JSON is written to `path` and the
+/// `netdag-trace/1` summary next to it at `path.summary.json`.
+/// Timestamps default to the deterministic logical clock (sequence
+/// numbers); set `NETDAG_TRACE_CLOCK=wall` for wall-clock nanoseconds.
+///
 /// # Errors
 ///
 /// See [`CliError`]; infeasible schedules and failed validations are
@@ -119,35 +138,77 @@ pub fn run(command: &Command) -> Result<Output, CliError> {
     let recorder = netdag_obs::global();
     recorder.preregister(keys::ALL_COUNTERS, keys::ALL_SPANS, keys::ALL_HISTOGRAMS);
     let (metrics_path, span_key) = match command {
-        Command::Help => (None, None),
+        Command::Help | Command::Trace(_) => (None, None),
         Command::Inspect { metrics, .. } => (metrics.as_deref(), Some(keys::SPAN_CLI_INSPECT)),
         Command::Schedule(opts) => (opts.metrics.as_deref(), Some(keys::SPAN_CLI_SCHEDULE)),
         Command::Validate(opts) => (opts.metrics.as_deref(), Some(keys::SPAN_CLI_VALIDATE)),
     };
+    let trace_path = match command {
+        Command::Help | Command::Trace(_) => None,
+        Command::Inspect { trace, .. } => trace.as_deref(),
+        Command::Schedule(opts) => opts.trace.as_deref(),
+        Command::Validate(opts) => opts.trace.as_deref(),
+    };
+    if trace_path.is_some() {
+        netdag_trace::reset();
+        let wall = std::env::var("NETDAG_TRACE_CLOCK").is_ok_and(|v| v == "wall");
+        netdag_trace::set_clock(if wall {
+            netdag_trace::ClockMode::Wall
+        } else {
+            netdag_trace::ClockMode::Logical
+        });
+        netdag_trace::set_enabled(true);
+    }
     let before = metrics_path.map(|_| recorder.snapshot());
     let result = {
         let _span = span_key.map(|key| recorder.span(key));
         dispatch(command)
     };
-    let (Some(path), Some(before)) = (metrics_path, before) else {
-        return result;
-    };
+    // Always disarm the global collector, even when the command failed,
+    // so a library caller's next command starts clean.
+    if trace_path.is_some() {
+        netdag_trace::set_enabled(false);
+    }
     let mut output = result?;
-    let mut delta = recorder.snapshot().delta(&before);
-    delta
-        .meta
-        .insert("command".into(), command_name(command).into());
-    if let Command::Validate(opts) = command {
+    if let (Some(path), Some(before)) = (metrics_path, before) {
+        let mut delta = recorder.snapshot().delta(&before);
         delta
             .meta
-            .insert("threads".into(), opts.threads.to_string());
+            .insert("command".into(), command_name(command).into());
+        if let Command::Validate(opts) = command {
+            delta
+                .meta
+                .insert("threads".into(), opts.threads.to_string());
+        }
+        fs::write(path, delta.to_json())
+            .map_err(|e| CliError::Io(path.display().to_string(), e))?;
+        push_summary(
+            &mut output,
+            format!(
+                "metrics written to {}\n{}",
+                path.display(),
+                delta.summary_table()
+            ),
+        );
     }
-    fs::write(path, delta.to_json()).map_err(|e| CliError::Io(path.display().to_string(), e))?;
-    output.summary = Some(format!(
-        "metrics written to {}\n{}",
-        path.display(),
-        delta.summary_table()
-    ));
+    if let Some(path) = trace_path {
+        let trace = netdag_trace::drain();
+        fs::write(path, netdag_trace::to_chrome_json(&trace))
+            .map_err(|e| CliError::Io(path.display().to_string(), e))?;
+        let summary_path = path.with_extension("summary.json");
+        fs::write(&summary_path, trace.summary_json())
+            .map_err(|e| CliError::Io(summary_path.display().to_string(), e))?;
+        push_summary(
+            &mut output,
+            format!(
+                "trace written to {} ({} events, {} dropped), summary to {}\n",
+                path.display(),
+                trace.events.len(),
+                trace.dropped,
+                summary_path.display()
+            ),
+        );
+    }
     Ok(output)
 }
 
@@ -157,6 +218,7 @@ fn command_name(command: &Command) -> &'static str {
         Command::Inspect { .. } => "inspect",
         Command::Schedule(_) => "schedule",
         Command::Validate(_) => "validate",
+        Command::Trace(_) => "trace",
     }
 }
 
@@ -170,6 +232,7 @@ fn dispatch(command: &Command) -> Result<Output, CliError> {
         Command::Inspect { app, .. } => inspect(app),
         Command::Schedule(opts) => schedule(opts),
         Command::Validate(opts) => validate(opts),
+        Command::Trace(opts) => trace_command(opts),
     }
 }
 
@@ -273,6 +336,11 @@ fn schedule(opts: &ScheduleOpts) -> Result<Output, CliError> {
         }
         Err(e) => return Err(CliError::Schedule(e)),
     };
+    if netdag_trace::enabled() {
+        // Merge the solved schedule's bus timeline into the live trace
+        // as its own synthetic process.
+        netdag_trace::inject(replay::bus_timeline(&app, &outcome.schedule));
+    }
     let makespan = outcome.schedule.makespan(&app);
     let bus = outcome.schedule.total_communication_us();
     let mut text = format!(
@@ -316,6 +384,9 @@ fn validate(opts: &ValidateOpts) -> Result<Output, CliError> {
     }
     let (app, names) = load_app(&opts.app)?;
     let export: ScheduleExport = read_json(&opts.schedule)?;
+    if netdag_trace::enabled() {
+        netdag_trace::inject(replay::bus_timeline(&app, &export.schedule));
+    }
     let policy = ExecPolicy::from_threads(opts.threads);
     let mut text = String::new();
     let mut success = true;
@@ -384,6 +455,61 @@ fn validate(opts: &ValidateOpts) -> Result<Output, CliError> {
     Ok(Output {
         text,
         success,
+        summary: None,
+    })
+}
+
+/// `netdag trace`: replay a solved schedule into a standalone bus
+/// timeline, or structurally re-check an exported trace.
+fn trace_command(opts: &TraceOpts) -> Result<Output, CliError> {
+    if let Some(path) = &opts.check {
+        let text =
+            fs::read_to_string(path).map_err(|e| CliError::Io(path.display().to_string(), e))?;
+        let trace = replay::parse_chrome_json(&text).map_err(CliError::Trace)?;
+        return Ok(match trace.check() {
+            Ok(report) => Output {
+                text: format!(
+                    "trace OK: {} events, {} spans (max depth {}), {} flows\n",
+                    report.events, report.spans, report.max_depth, report.flows
+                ),
+                success: true,
+                summary: None,
+            },
+            Err(e) => Output {
+                text: format!("trace check FAILED: {e}\n"),
+                success: false,
+                summary: None,
+            },
+        });
+    }
+    // The parser guarantees replay mode carries all three paths.
+    let (Some(app_path), Some(sched_path), Some(out_path)) = (&opts.app, &opts.schedule, &opts.out)
+    else {
+        unreachable!("parse_args enforces --app/--schedule/--out in replay mode");
+    };
+    let (app, _) = load_app(app_path)?;
+    let export: ScheduleExport = read_json(sched_path)?;
+    let trace = replay::bus_timeline(&app, &export.schedule);
+    let report = trace
+        .check()
+        .expect("replayed schedules produce structurally valid traces");
+    fs::write(out_path, netdag_trace::to_chrome_json(&trace))
+        .map_err(|e| CliError::Io(out_path.display().to_string(), e))?;
+    let summary_path = out_path.with_extension("summary.json");
+    fs::write(&summary_path, trace.summary_json())
+        .map_err(|e| CliError::Io(summary_path.display().to_string(), e))?;
+    Ok(Output {
+        text: format!(
+            "bus timeline written to {} ({} events on {} tracks, {} spans, {} flows), \
+             summary to {}\n",
+            out_path.display(),
+            report.events,
+            trace.tracks.len(),
+            report.spans,
+            report.flows,
+            summary_path.display()
+        ),
+        success: true,
         summary: None,
     })
 }

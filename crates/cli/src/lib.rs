@@ -8,7 +8,13 @@
 //! * `netdag schedule --app app.json [--soft f.json | --weakly-hard f.json]
 //!   …` — compute a schedule, render the timeline, export JSON;
 //! * `netdag validate --app app.json --schedule s.json …` — § IV-A
-//!   validation of a previously exported schedule.
+//!   validation of a previously exported schedule;
+//! * `netdag trace --app app.json --schedule s.json --out t.json` —
+//!   replay a solved schedule as a Chrome/Perfetto bus timeline
+//!   ([`replay`]), or re-validate an exported trace with `--check`.
+//!
+//! Every subcommand also accepts `--trace <path>` to record a causal
+//! event trace (via [`netdag_trace`]) of the command itself.
 //!
 //! Run `netdag help` for the full flag reference. The library half exists
 //! so the parsing and command logic are unit-testable without spawning
@@ -19,6 +25,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod replay;
 pub mod spec;
 
 pub use args::{parse_args, Command, ParseArgsError};

@@ -1,0 +1,341 @@
+//! Schedule replay: renders a solved schedule as a synthetic bus
+//! timeline, and re-parses exported Chrome traces for `trace --check`.
+//!
+//! The live collector in [`netdag_trace`] records what *happened*
+//! during a command; [`bus_timeline`] renders what a solved schedule
+//! *says will happen* — rounds, beacons, slots and floods laid out at
+//! their scheduled microsecond offsets (paper eqs. (3)–(4)) — on the
+//! synthetic [`netdag_trace::PID_REPLAY`] process, with one track for
+//! the bus and one per node. Each slot ends with a flow arrow from the
+//! delivering flood to every consumer task, making the precedence
+//! constraints of eq. (4) visible as arrows in Perfetto.
+
+use netdag_core::app::Application;
+use netdag_core::schedule::Schedule;
+use netdag_trace::{Event, EventKind, Trace, TraceBuilder, TrackInfo, PID_REPLAY};
+
+/// Builder timestamps are nanoseconds; schedules are microseconds.
+const US: u64 = 1_000;
+
+/// Track id of the bus; node `n` gets track `n + 1`.
+const BUS_TID: u32 = 0;
+
+/// Renders `schedule` as a causal bus-timeline [`Trace`] on
+/// [`PID_REPLAY`]: nested `lwb.round` → `lwb.beacon`/`lwb.slot` →
+/// `glossy.flood` spans on the bus track, `app.task` spans on per-node
+/// tracks, and an `lwb.msg` flow arrow from each slot to every consumer
+/// task of its message.
+pub fn bus_timeline(app: &Application, schedule: &Schedule) -> Trace {
+    let timing = *schedule.timing();
+    let mut b = TraceBuilder::new();
+    b.add_track(PID_REPLAY, BUS_TID, "bus");
+    let mut nodes: Vec<u32> = app.tasks().map(|t| app.task(t).node.0).collect();
+    nodes.sort_unstable();
+    nodes.dedup();
+    for node in nodes {
+        b.add_track(PID_REPLAY, node + 1, format!("node n{node}"));
+    }
+
+    // Bus first, in time order, so every flow start precedes (in
+    // sequence order) the flow ends emitted on the node tracks below.
+    let mut flow_ids = vec![0u64; app.message_count()];
+    for (r, round) in schedule.rounds().iter().enumerate() {
+        if round.messages.is_empty() {
+            continue; // an empty round costs no bus time (δ_r = 0)
+        }
+        b.begin(
+            PID_REPLAY,
+            BUS_TID,
+            "lwb.round",
+            round.start_us * US,
+            vec![
+                ("round", r.into()),
+                ("beacon_chi", round.beacon_chi.into()),
+                ("start_us", round.start_us.into()),
+            ],
+        );
+        let mut cursor = round.start_us;
+        b.begin(
+            PID_REPLAY,
+            BUS_TID,
+            "lwb.beacon",
+            cursor * US,
+            vec![("chi", round.beacon_chi.into())],
+        );
+        cursor += timing.beacon_duration(round.beacon_chi);
+        b.end(PID_REPLAY, BUS_TID, cursor * US);
+        for &m in &round.messages {
+            let msg = app.message(m);
+            let chi = schedule.chi(m);
+            let slot_end = cursor + timing.slot_duration(chi, msg.width);
+            b.begin(
+                PID_REPLAY,
+                BUS_TID,
+                "lwb.slot",
+                cursor * US,
+                vec![
+                    ("msg", m.index().into()),
+                    ("chi", chi.into()),
+                    ("width", msg.width.into()),
+                ],
+            );
+            b.begin(
+                PID_REPLAY,
+                BUS_TID,
+                "glossy.flood",
+                (cursor + timing.wakeup_us) * US,
+                vec![("initiator", app.task(msg.source).node.0.into())],
+            );
+            b.end(PID_REPLAY, BUS_TID, slot_end * US);
+            b.end(PID_REPLAY, BUS_TID, slot_end * US);
+            flow_ids[m.index()] = b.flow_start(PID_REPLAY, BUS_TID, "lwb.msg", slot_end * US);
+            cursor = slot_end;
+        }
+        b.end(PID_REPLAY, BUS_TID, cursor.max(round.end_us()) * US);
+    }
+
+    // Node tracks: tasks in ζ order, with each task receiving the flow
+    // of every message it directly consumes right as it starts — the
+    // slot-before-consumer half of eq. (4) (the transitive pred(τ)
+    // closure would only add redundant arrows).
+    let mut incoming: Vec<Vec<netdag_core::app::MsgId>> = vec![Vec::new(); app.task_count()];
+    for m in app.messages() {
+        for &c in &app.message(m).consumers {
+            incoming[c.index()].push(m);
+        }
+    }
+    let mut tasks: Vec<_> = app.tasks().collect();
+    tasks.sort_by_key(|&t| (schedule.task_start(t), t.index()));
+    for t in tasks {
+        let task = app.task(t);
+        let tid = task.node.0 + 1;
+        let start = schedule.task_start(t) * US;
+        b.begin(
+            PID_REPLAY,
+            tid,
+            "app.task",
+            start,
+            vec![
+                ("task", t.index().into()),
+                ("name", task.name.clone().into()),
+                ("wcet_us", task.wcet_us.into()),
+            ],
+        );
+        for &m in &incoming[t.index()] {
+            if flow_ids[m.index()] != 0 {
+                b.flow_end(PID_REPLAY, tid, "lwb.msg", start, flow_ids[m.index()]);
+            }
+        }
+        b.end(PID_REPLAY, tid, schedule.task_end(app, t) * US);
+    }
+    b.finish()
+}
+
+fn field<'v>(obj: &'v [(String, serde::Value)], key: &str) -> Option<&'v serde::Value> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn u32_field(obj: &[(String, serde::Value)], key: &str) -> Result<u32, String> {
+    field(obj, key)
+        .and_then(|v| v.as_u64())
+        .and_then(|v| u32::try_from(v).ok())
+        .ok_or_else(|| format!("event is missing numeric \"{key}\""))
+}
+
+/// Parses a Chrome Trace Event JSON array (as written by
+/// [`netdag_trace::to_chrome_json`]) back into a [`Trace`] so its
+/// structural invariants can be re-validated with [`Trace::check`].
+///
+/// Metadata (`"M"`) events become [`Trace::tracks`] entries; `"B"`,
+/// `"E"`, `"i"`, `"s"` and `"f"` events are rebuilt in array order
+/// (which equals sequence order in our exports). Parent ids are not
+/// round-tripped — the check re-derives span nesting from the
+/// begin/end structure itself.
+///
+/// # Errors
+///
+/// A human-readable message on malformed JSON, a non-array document,
+/// or an event object missing its required fields.
+pub fn parse_chrome_json(text: &str) -> Result<Trace, String> {
+    let value = serde_json::from_str_value(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let serde::Value::Array(items) = value else {
+        return Err("expected a Chrome trace: a top-level JSON array".into());
+    };
+    let mut trace = Trace::default();
+    let mut seq = 0u64;
+    for (i, item) in items.iter().enumerate() {
+        let serde::Value::Object(obj) = item else {
+            return Err(format!("trace entry {i} is not an object"));
+        };
+        let ph = match field(obj, "ph") {
+            Some(serde::Value::String(s)) => s.clone(),
+            _ => return Err(format!("trace entry {i} has no \"ph\" phase")),
+        };
+        if ph == "M" {
+            // thread_name metadata names a track; other metadata
+            // (process_name) carries no per-event structure.
+            if let (Ok(pid), Ok(tid)) = (u32_field(obj, "pid"), u32_field(obj, "tid")) {
+                let name = field(obj, "args")
+                    .and_then(|v| match v {
+                        serde::Value::Object(args) => field(args, "name"),
+                        _ => None,
+                    })
+                    .and_then(|v| match v {
+                        serde::Value::String(s) => Some(s.clone()),
+                        _ => None,
+                    })
+                    .unwrap_or_default();
+                trace.tracks.push(TrackInfo { pid, tid, name });
+            }
+            continue;
+        }
+        let kind = match ph.as_str() {
+            "B" => EventKind::Begin,
+            "E" => EventKind::End,
+            "i" | "I" => EventKind::Instant,
+            "s" => EventKind::FlowStart,
+            "f" => EventKind::FlowEnd,
+            other => return Err(format!("trace entry {i}: unsupported phase {other:?}")),
+        };
+        let name = match field(obj, "name") {
+            Some(serde::Value::String(s)) => s.clone(),
+            _ => String::new(),
+        };
+        let ts_us = field(obj, "ts")
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("trace entry {i} has no numeric \"ts\""))?;
+        let (pid, tid) = (
+            u32_field(obj, "pid").map_err(|e| format!("trace entry {i}: {e}"))?,
+            u32_field(obj, "tid").map_err(|e| format!("trace entry {i}: {e}"))?,
+        );
+        seq += 1;
+        let id = match kind {
+            // Flow pairing uses the exported id verbatim.
+            EventKind::FlowStart | EventKind::FlowEnd => field(obj, "id")
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| format!("trace entry {i}: flow event has no \"id\""))?,
+            EventKind::Begin => seq,
+            EventKind::End | EventKind::Instant => 0,
+        };
+        trace.events.push(Event {
+            seq,
+            ts_ns: (ts_us * US as f64).round() as u64,
+            kind,
+            name: name.into(),
+            pid,
+            tid,
+            id,
+            parent: 0,
+            args: Vec::new(),
+        });
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netdag_core::config::SchedulerConfig;
+    use netdag_core::constraints::WeaklyHardConstraints;
+    use netdag_core::stat::Eq13Statistic;
+    use netdag_core::weakly_hard::schedule_weakly_hard;
+    use netdag_glossy::NodeId;
+    use netdag_trace::to_chrome_json;
+
+    fn solved() -> (Application, Schedule) {
+        let mut b = Application::builder();
+        let s = b.task("sense", NodeId(0), 400);
+        let c = b.task("compute", NodeId(1), 900);
+        let a = b.task("act", NodeId(2), 300);
+        b.edge(s, c, 8).unwrap();
+        b.edge(c, a, 4).unwrap();
+        let app = b.build().unwrap();
+        let out = schedule_weakly_hard(
+            &app,
+            &Eq13Statistic::new(8),
+            &WeaklyHardConstraints::new(),
+            &SchedulerConfig::default(),
+        )
+        .unwrap();
+        (app, out.schedule)
+    }
+
+    #[test]
+    fn replay_produces_checkable_trace() {
+        let (app, schedule) = solved();
+        let trace = bus_timeline(&app, &schedule);
+        let report = trace.check().unwrap();
+        // One round span + beacon + slot + flood per message, one task
+        // span per task.
+        let rounds = schedule
+            .rounds()
+            .iter()
+            .filter(|r| !r.messages.is_empty())
+            .count();
+        assert_eq!(
+            report.spans,
+            rounds * 2 + app.message_count() * 2 + app.task_count()
+        );
+        // Every message flows to each of its consumers.
+        let ends: usize = app.messages().map(|m| app.message(m).consumers.len()).sum();
+        assert_eq!(report.flows, ends);
+        // Bus + one track per node.
+        assert_eq!(trace.tracks.len(), 4);
+    }
+
+    #[test]
+    fn replay_respects_scheduled_times() {
+        let (app, schedule) = solved();
+        let trace = bus_timeline(&app, &schedule);
+        let round0 = &schedule.rounds()[0];
+        let begin = trace
+            .events
+            .iter()
+            .find(|e| e.kind == EventKind::Begin && e.name == "lwb.round")
+            .unwrap();
+        assert_eq!(begin.ts_ns, round0.start_us * US);
+        let act = app.task_by_name("act").unwrap();
+        let task_begin = trace
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::Begin && e.name == "app.task")
+            .find(|e| e.tid == 3)
+            .unwrap();
+        assert_eq!(task_begin.ts_ns, schedule.task_start(act) * US);
+    }
+
+    #[test]
+    fn chrome_export_parses_back_and_checks() {
+        let (app, schedule) = solved();
+        let trace = bus_timeline(&app, &schedule);
+        let original = trace.check().unwrap();
+        let parsed = parse_chrome_json(&to_chrome_json(&trace)).unwrap();
+        let report = parsed.check().unwrap();
+        assert_eq!(report.spans, original.spans);
+        assert_eq!(report.flows, original.flows);
+        assert_eq!(report.max_depth, original.max_depth);
+        assert_eq!(parsed.tracks.len(), trace.tracks.len());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        assert!(parse_chrome_json("{not json").is_err());
+        assert!(parse_chrome_json("{}").unwrap_err().contains("array"));
+        assert!(parse_chrome_json("[42]").unwrap_err().contains("object"));
+        assert!(parse_chrome_json(r#"[{"name": "x"}]"#)
+            .unwrap_err()
+            .contains("ph"));
+    }
+
+    #[test]
+    fn parse_detects_unbalanced_spans() {
+        let json = r#"[
+  {"ph": "B", "name": "a", "cat": "a", "ts": 0.000, "pid": 1, "tid": 0, "args": {}}
+]"#;
+        let parsed = parse_chrome_json(json).unwrap();
+        assert!(matches!(
+            parsed.check(),
+            Err(netdag_trace::CheckError::UnclosedSpans(1))
+        ));
+    }
+}

@@ -1,0 +1,208 @@
+//! End-to-end tests for `--trace <path.json>` and `netdag trace`.
+//!
+//! These run whole CLI commands through [`netdag_cli::run`] and inspect
+//! the emitted Chrome Trace Event JSON and `netdag-trace/1` summary.
+//! The trace collector is process-global, so the tests serialize on a
+//! local mutex, mirroring `metrics.rs`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use netdag_cli::{parse_args, run};
+use netdag_core::schedule::{Round, Schedule};
+use netdag_glossy::GlossyTiming;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("netdag-trace-test-{tag}-{}", std::process::id()));
+        fs::create_dir_all(&dir).expect("temp dir");
+        TempDir(dir)
+    }
+
+    fn file(&self, name: &str, contents: &str) -> PathBuf {
+        let path = self.0.join(name);
+        fs::write(&path, contents).expect("write temp file");
+        path
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+const APP: &str = r#"{
+  "tasks": [
+    {"name": "sense", "node": 0, "wcet_us": 500},
+    {"name": "act", "node": 1, "wcet_us": 300}
+  ],
+  "edges": [
+    {"from": "sense", "to": "act", "width": 8}
+  ]
+}"#;
+
+const WH: &str = r#"{"constraints":[{"task":"act","m":10,"k":40}]}"#;
+
+fn run_line(line: &str) -> netdag_cli::commands::Output {
+    let command = parse_args(line.split_whitespace().map(str::to_owned)).expect("parsable");
+    run(&command).expect("command runs")
+}
+
+/// A hand-fixed schedule for the two-task chain above (telosb timing,
+/// χ = 1): round at t = 500 µs carrying the one message, `act` starting
+/// right after it. Fixed by hand — not computed by the solver — so the
+/// golden Chrome export below cannot drift when scheduler heuristics
+/// change.
+fn fixed_export_json() -> String {
+    let timing = GlossyTiming::telosb();
+    let beacon = timing.beacon_duration(1);
+    let slot = timing.slot_duration(1, 8);
+    let schedule = Schedule::new(
+        vec![Round {
+            messages: vec![netdag_core::app::MsgId(0)],
+            beacon_chi: 1,
+            start_us: 500,
+            duration_us: beacon + slot,
+        }],
+        vec![1],
+        vec![0, 500 + beacon + slot],
+        timing,
+    );
+    let export = netdag_cli::commands::ScheduleExport {
+        makespan_us: 500 + beacon + slot + 300,
+        bus_us: beacon + slot,
+        optimal: true,
+        schedule,
+    };
+    serde_json::to_string_pretty(&export).expect("serializable")
+}
+
+#[test]
+fn schedule_trace_is_bit_identical_and_causal() {
+    let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    let dir = TempDir::new("identical");
+    let app = dir.file("app.json", APP);
+    let wh = dir.file("wh.json", WH);
+    let mut bytes = Vec::new();
+    for i in 0..2 {
+        let trace = dir.path(&format!("t{i}.json"));
+        let out = run_line(&format!(
+            "schedule --app {} --weakly-hard {} --trace {}",
+            app.display(),
+            wh.display(),
+            trace.display()
+        ));
+        assert!(out.success);
+        assert!(
+            out.summary
+                .as_deref()
+                .unwrap_or("")
+                .contains("trace written"),
+            "stderr summary announces the trace"
+        );
+        bytes.push(fs::read_to_string(&trace).expect("trace written"));
+    }
+    // Serial runs under the logical clock are byte-identical.
+    assert_eq!(bytes[0], bytes[1]);
+
+    let json = &bytes[0];
+    // Solver search tree.
+    assert!(json.contains("\"name\": \"solver.search\""));
+    assert!(json.contains("\"name\": \"solver.node\""));
+    assert!(json.contains("\"name\": \"solver.decision\""));
+    // Injected bus-timeline replay: nested round/slot/flood spans.
+    assert!(json.contains("\"name\": \"lwb.round\""));
+    assert!(json.contains("\"name\": \"lwb.slot\""));
+    assert!(json.contains("\"name\": \"glossy.flood\""));
+    // At least one slot → task flow arrow (eq. (4)).
+    assert!(json.contains("\"ph\": \"s\""));
+    assert!(json.contains("\"ph\": \"f\""));
+    // Causal parents are exported.
+    assert!(json.contains("\"parent\": "));
+
+    // The summary sidecar is valid netdag-trace/1 JSON.
+    let summary = fs::read_to_string(dir.path("t0.summary.json")).expect("summary written");
+    let value = serde_json::from_str_value(&summary).expect("summary parses");
+    let serde::Value::Object(fields) = &value else {
+        panic!("summary must be an object");
+    };
+    let schema = fields.iter().find(|(k, _)| k == "schema").map(|(_, v)| v);
+    assert_eq!(schema, Some(&serde::Value::String("netdag-trace/1".into())));
+
+    // The exported trace passes its own structural check.
+    let checked = run_line(&format!("trace --check {}", dir.path("t0.json").display()));
+    assert!(checked.success, "{}", checked.text);
+    assert!(checked.text.contains("trace OK"));
+}
+
+#[test]
+fn check_mode_rejects_unbalanced_traces() {
+    let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    let dir = TempDir::new("unbalanced");
+    let bad = dir.file(
+        "bad.json",
+        r#"[
+  {"ph": "B", "name": "solver.search", "cat": "solver", "ts": 0.000, "pid": 1, "tid": 0, "args": {}}
+]"#,
+    );
+    let out = run_line(&format!("trace --check {}", bad.display()));
+    assert!(!out.success);
+    assert!(out.text.contains("FAILED"), "{}", out.text);
+
+    let command = parse_args(
+        [
+            "trace",
+            "--check",
+            &dir.file("junk.json", "{oops").display().to_string(),
+        ]
+        .into_iter()
+        .map(str::to_owned),
+    )
+    .expect("parsable");
+    let err = run(&command).expect_err("malformed JSON is an error");
+    assert!(err.to_string().contains("invalid trace"), "{err}");
+}
+
+#[test]
+fn replay_matches_golden_chrome_export() {
+    let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    let dir = TempDir::new("golden");
+    let app = dir.file("app.json", APP);
+    let sched = dir.file("sched.json", &fixed_export_json());
+    let out_path = dir.path("replay.json");
+    let out = run_line(&format!(
+        "trace --app {} --schedule {} --out {}",
+        app.display(),
+        sched.display(),
+        out_path.display()
+    ));
+    assert!(out.success, "{}", out.text);
+    assert!(out.text.contains("bus timeline written"));
+    let got = fs::read_to_string(&out_path).expect("replay written");
+
+    // The replay of a fixed schedule is fully deterministic, so the
+    // whole Chrome export is pinned. Regenerate with NETDAG_BLESS=1
+    // after an intentional format change.
+    let golden_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/trace_chrome.json");
+    if std::env::var_os("NETDAG_BLESS").is_some() {
+        fs::write(&golden_path, &got).expect("bless golden file");
+        return;
+    }
+    let want = fs::read_to_string(&golden_path).expect("golden file exists");
+    assert_eq!(
+        got, want,
+        "Chrome trace export drifted from tests/golden/trace_chrome.json \
+         (rerun with NETDAG_BLESS=1 to accept an intentional change)"
+    );
+}

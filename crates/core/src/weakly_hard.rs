@@ -82,6 +82,14 @@ pub fn schedule_weakly_hard_with_deadlines<S: WeaklyHardStatistic + ?Sized>(
     let rounds = build_rounds(app, cfg.round_structure);
     let spec = build_spec(app, stat, constraints, cfg, &rounds);
     let _span = netdag_obs::global().span(netdag_obs::keys::SPAN_CORE_SOLVE);
+    let _trace = netdag_trace::span_with(
+        "core.solve",
+        &[
+            ("mode", "weakly_hard".into()),
+            ("tasks", app.task_count().into()),
+            ("messages", app.message_count().into()),
+        ],
+    );
     let outcome = match cfg.backend {
         Backend::Exact { .. } => {
             let (schedule, stats, optimal) = solve_exact(app, cfg, &rounds, &spec, deadlines)?;

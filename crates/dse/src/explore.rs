@@ -98,6 +98,13 @@ pub fn explore_tx_power_par(
     master_seed: u64,
     policy: ExecPolicy,
 ) -> Result<Vec<Fig4Point>, ScheduleError> {
+    let _trace = netdag_trace::span_with(
+        "dse.explore",
+        &[
+            ("powers", powers.len().into()),
+            ("snapshots", snapshots.into()),
+        ],
+    );
     try_run_indexed(
         policy,
         powers.len(),

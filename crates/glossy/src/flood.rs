@@ -178,14 +178,28 @@ pub fn simulate_flood<L: LossModel, R: Rng + ?Sized>(
         slot += 1;
     }
 
-    Ok(FloodOutcome {
+    let outcome = FloodOutcome {
         first_rx_slot: first_rx
             .into_iter()
             .map(|rx| rx.map(|s| s.max(0) as u32))
             .collect(),
         transmissions,
         slots_used,
-    })
+    };
+    // Guarded explicitly: this is the Monte-Carlo hot path, and building
+    // the args slice is not free even though `instant` itself bails.
+    if netdag_trace::enabled() {
+        netdag_trace::instant(
+            "glossy.flood",
+            &[
+                ("initiator", params.initiator.index().into()),
+                ("n_tx", params.n_tx.into()),
+                ("transmissions", outcome.transmissions.into()),
+                ("reached_all", outcome.all_reached().into()),
+            ],
+        );
+    }
+    Ok(outcome)
 }
 
 #[cfg(test)]

@@ -115,28 +115,50 @@ impl<'a> LwbExecutor<'a> {
         let mut flood_ok = vec![false; msg_count];
         let mut beacons_ok = true;
         let mut transmissions = 0u64;
-        for round in self.schedule.rounds() {
+        // Flow-arrow ids per message, tying each sending slot to the
+        // consumer tasks it feeds (the precedence of eq. (4)).
+        let mut flow_ids = vec![0u64; msg_count];
+        for (r, round) in self.schedule.rounds().iter().enumerate() {
             netdag_obs::counter!(netdag_obs::keys::LWB_ROUNDS_EXECUTED).incr();
             netdag_obs::counter!(netdag_obs::keys::LWB_BEACONS_SENT).incr();
             netdag_obs::counter!(netdag_obs::keys::LWB_SLOTS_EXECUTED)
                 .add(round.messages.len() as u64);
+            let _round = netdag_trace::span_with(
+                "lwb.round",
+                &[
+                    ("round", r.into()),
+                    ("start_us", round.start_us.into()),
+                    ("beacon_chi", round.beacon_chi.into()),
+                ],
+            );
             // Beacon flood from the host.
-            let beacon = simulate_flood(
-                self.topo,
-                link,
-                &FloodParams {
-                    initiator: self.host,
-                    n_tx: round.beacon_chi,
-                },
-                rng,
-            )
-            .expect("validated parameters");
+            let beacon = {
+                let _beacon = netdag_trace::span_with("lwb.beacon", &[("round", r.into())]);
+                simulate_flood(
+                    self.topo,
+                    link,
+                    &FloodParams {
+                        initiator: self.host,
+                        n_tx: round.beacon_chi,
+                    },
+                    rng,
+                )
+                .expect("validated parameters")
+            };
             transmissions += beacon.transmissions();
             beacons_ok &= beacon.all_reached();
             // One contention-free slot per message.
             for &m in &round.messages {
                 let msg = self.app.message(m);
                 let initiator = self.app.task(msg.source).node;
+                let _slot = netdag_trace::span_with(
+                    "lwb.slot",
+                    &[
+                        ("msg", m.index().into()),
+                        ("chi", self.schedule.chi(m).into()),
+                        ("width", msg.width.into()),
+                    ],
+                );
                 let flood = simulate_flood(
                     self.topo,
                     link,
@@ -152,6 +174,7 @@ impl<'a> LwbExecutor<'a> {
                     .consumers
                     .iter()
                     .all(|&c| flood.reached(self.app.task(c).node));
+                flow_ids[m.index()] = netdag_trace::flow_start("lwb.msg");
             }
         }
         // Propagate validity through the DAG in topological order.
@@ -166,9 +189,13 @@ impl<'a> LwbExecutor<'a> {
                 } else {
                     let m = self.app.message_of(p).expect("remote edge has a message");
                     ok &= task_ok[p.index()] && flood_ok[m.index()];
+                    // Close the slot→task arrow of eq. (4): this task
+                    // consumes the message that flew in slot m.
+                    netdag_trace::flow_end("lwb.msg", flow_ids[m.index()]);
                 }
             }
             task_ok[t.index()] = ok;
+            netdag_trace::instant("lwb.task", &[("task", t.index().into()), ("ok", ok.into())]);
             if let Some(m) = self.app.message_of(t) {
                 message_ok[m.index()] = ok && flood_ok[m.index()];
             }

@@ -236,7 +236,12 @@ pub struct SpanGuard<'a> {
 
 impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
-        self.recorder.record_span(self.name, self.start.elapsed());
+        // Runs on every exit path, including panic unwinding out of the
+        // timed scope: the elapsed time is read before touching any
+        // lock, and `record_span`'s poison-tolerant lock means a panic
+        // elsewhere cannot make the flush silently vanish.
+        let elapsed = self.start.elapsed();
+        self.recorder.record_span(self.name, elapsed);
     }
 }
 
@@ -298,6 +303,19 @@ mod tests {
         }
         let snap = r.snapshot();
         assert_eq!(snap.spans["guarded"].count, 1);
+    }
+
+    #[test]
+    fn span_guard_records_on_panic_unwind() {
+        let r = Recorder::new();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = r.span("panicky");
+            panic!("instrumented scope blew up");
+        }));
+        assert!(caught.is_err());
+        // The unwound span still flushed its elapsed time.
+        let snap = r.snapshot();
+        assert_eq!(snap.spans["panicky"].count, 1);
     }
 
     #[test]

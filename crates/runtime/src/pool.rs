@@ -53,8 +53,17 @@ where
     F: Fn(usize) -> T + Sync,
 {
     let threads = policy.thread_count().min(jobs);
+    let _fanout = netdag_trace::span_with(
+        "runtime.fanout",
+        &[("jobs", jobs.into()), ("threads", threads.max(1).into())],
+    );
     if threads <= 1 {
-        return (0..jobs).map(f).collect();
+        return (0..jobs)
+            .map(|i| {
+                let _job = netdag_trace::span_with("runtime.job", &[("index", i.into())]);
+                f(i)
+            })
+            .collect();
     }
 
     let next = AtomicUsize::new(0);
@@ -69,6 +78,7 @@ where
                         if idx >= jobs {
                             break;
                         }
+                        let _job = netdag_trace::span_with("runtime.job", &[("index", idx.into())]);
                         local.push((idx, f(idx)));
                     }
                     local
@@ -102,8 +112,17 @@ where
     F: Fn(usize) -> Result<T, E> + Sync,
 {
     let threads = policy.thread_count().min(jobs);
+    let _fanout = netdag_trace::span_with(
+        "runtime.fanout",
+        &[("jobs", jobs.into()), ("threads", threads.max(1).into())],
+    );
     if threads <= 1 {
-        return (0..jobs).map(f).collect();
+        return (0..jobs)
+            .map(|i| {
+                let _job = netdag_trace::span_with("runtime.job", &[("index", i.into())]);
+                f(i)
+            })
+            .collect();
     }
 
     let next = AtomicUsize::new(0);
@@ -122,6 +141,7 @@ where
                         if idx >= jobs {
                             break;
                         }
+                        let _job = netdag_trace::span_with("runtime.job", &[("index", idx.into())]);
                         let result = f(idx);
                         if result.is_err() {
                             failed.store(true, Ordering::Relaxed);

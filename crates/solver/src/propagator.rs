@@ -19,6 +19,13 @@ pub trait Propagator: fmt::Debug {
 
     /// Checks the constraint on a fully fixed assignment.
     fn is_satisfied(&self, dom: &DomainStore) -> bool;
+
+    /// Short constraint-kind label used by search traces to say *which*
+    /// constraint family pruned a node (e.g. `"no_overlap"` for the
+    /// paper's condition (5)).
+    fn kind(&self) -> &'static str {
+        "constraint"
+    }
 }
 
 /// `Σ coef_i · x_i ≤ bound`.
@@ -78,6 +85,10 @@ impl Propagator for LinearLe {
             .map(|&(c, v)| c * dom.value(v))
             .sum::<i64>()
             <= self.bound
+    }
+
+    fn kind(&self) -> &'static str {
+        "linear_le"
     }
 }
 
@@ -146,6 +157,10 @@ impl Propagator for TableFn {
         let xi = dom.value(self.x) - self.x_offset;
         xi >= 0 && (xi as usize) < self.table.len() && self.table[xi as usize] == dom.value(self.y)
     }
+
+    fn kind(&self) -> &'static str {
+        "table_fn"
+    }
 }
 
 /// `z = min(xs)`.
@@ -193,6 +208,10 @@ impl Propagator for MinOf {
             .expect("non-empty");
         min == dom.value(self.z)
     }
+
+    fn kind(&self) -> &'static str {
+        "min_of"
+    }
 }
 
 /// `z = max(xs)`.
@@ -237,6 +256,10 @@ impl Propagator for MaxOf {
             .max()
             .expect("non-empty");
         max == dom.value(self.z)
+    }
+
+    fn kind(&self) -> &'static str {
+        "max_of"
     }
 }
 
@@ -286,6 +309,10 @@ impl Propagator for NoOverlap {
         let (sb, db) = (dom.value(self.start_b), dom.value(self.dur_b));
         sa + da <= sb || sb + db <= sa
     }
+
+    fn kind(&self) -> &'static str {
+        "no_overlap"
+    }
 }
 
 /// Conditional ordering: `cond = 1 ⇒ x + c ≤ y` (reified half-difference).
@@ -321,6 +348,10 @@ impl Propagator for IfThenLe {
 
     fn is_satisfied(&self, dom: &DomainStore) -> bool {
         dom.value(self.cond) == 0 || dom.value(self.x) + self.c <= dom.value(self.y)
+    }
+
+    fn kind(&self) -> &'static str {
+        "if_then_le"
     }
 }
 

@@ -122,6 +122,14 @@ struct Ctx<'a> {
 
 /// Runs DFS (+ branch-and-bound when `objective` is set).
 pub(crate) fn run(model: &Model, objective: Option<VarId>, cfg: &SearchConfig) -> SearchOutcome {
+    let _search = netdag_trace::span_with(
+        "solver.search",
+        &[
+            ("vars", model.bounds.len().into()),
+            ("props", model.props.len().into()),
+            ("optimize", objective.is_some().into()),
+        ],
+    );
     let mut ctx = Ctx {
         model,
         cfg,
@@ -161,6 +169,10 @@ impl Ctx<'_> {
             return;
         }
         self.stats.nodes += 1;
+        // One span per search node: nesting depth in the trace is the
+        // DFS depth, so an infeasible instance reads as an explanation
+        // tree of which constraint killed each subtree.
+        let _node = netdag_trace::span_with("solver.node", &[("node", self.stats.nodes.into())]);
         if let Some(limit) = self.cfg.node_limit {
             if self.stats.nodes > limit {
                 self.aborted = true;
@@ -171,11 +183,13 @@ impl Ctx<'_> {
         if let (Some(obj), true) = (self.objective, self.best.is_some()) {
             if dom.set_hi(obj, self.best_obj - 1).is_err() {
                 self.stats.backtracks += 1;
+                netdag_trace::instant("solver.prune", &[("constraint", "bound".into())]);
                 return;
             }
         }
-        if self.fixpoint(&mut dom).is_err() {
+        if let Err(kind) = self.fixpoint(&mut dom) {
             self.stats.backtracks += 1;
+            netdag_trace::instant("solver.prune", &[("constraint", kind.into())]);
             return;
         }
         match self.select(&dom) {
@@ -184,7 +198,10 @@ impl Ctx<'_> {
         }
     }
 
-    fn fixpoint(&mut self, dom: &mut DomainStore) -> Result<(), ()> {
+    /// Propagates to fixpoint. On infeasibility the error carries the
+    /// kind of the constraint that wiped a domain out (see
+    /// [`crate::propagator::Propagator::kind`]), for trace explanations.
+    fn fixpoint(&mut self, dom: &mut DomainStore) -> Result<(), &'static str> {
         loop {
             let mut changed = false;
             for p in &self.model.props {
@@ -194,7 +211,7 @@ impl Ctx<'_> {
                         self.stats.prunings += u64::from(c);
                         changed |= c;
                     }
-                    Err(_) => return Err(()),
+                    Err(_) => return Err(p.kind()),
                 }
             }
             // Re-apply the bound inside the fixpoint so it composes with
@@ -202,7 +219,7 @@ impl Ctx<'_> {
             if let (Some(obj), true) = (self.objective, self.best.is_some()) {
                 match dom.set_hi(obj, self.best_obj - 1) {
                     Ok(c) => changed |= c,
-                    Err(_) => return Err(()),
+                    Err(_) => return Err("bound"),
                 }
             }
             if !changed {
@@ -230,11 +247,16 @@ impl Ctx<'_> {
             };
             for val in values {
                 self.stats.decisions += 1;
+                netdag_trace::instant(
+                    "solver.decision",
+                    &[("var", u64::from(v.0).into()), ("value", val.into())],
+                );
                 let mut child = dom.clone();
                 if child.fix(v, val).is_ok() {
                     self.dfs(child);
                 } else {
                     self.stats.backtracks += 1;
+                    netdag_trace::instant("solver.prune", &[("constraint", "branch".into())]);
                 }
                 if self.aborted {
                     return;
@@ -248,11 +270,20 @@ impl Ctx<'_> {
             };
             for (a, b) in halves {
                 self.stats.decisions += 1;
+                netdag_trace::instant(
+                    "solver.decision",
+                    &[
+                        ("var", u64::from(v.0).into()),
+                        ("lo", a.into()),
+                        ("hi", b.into()),
+                    ],
+                );
                 let mut child = dom.clone();
                 if child.set_lo(v, a).is_ok() && child.set_hi(v, b).is_ok() {
                     self.dfs(child);
                 } else {
                     self.stats.backtracks += 1;
+                    netdag_trace::instant("solver.prune", &[("constraint", "branch".into())]);
                 }
                 if self.aborted {
                     return;
@@ -267,6 +298,16 @@ impl Ctx<'_> {
             "propagation fixpoint accepted an infeasible assignment"
         );
         self.stats.solutions += 1;
+        netdag_trace::instant(
+            "solver.solution",
+            &[(
+                "objective",
+                match self.objective {
+                    Some(obj) => dom.value(obj).into(),
+                    None => "satisfaction".into(),
+                },
+            )],
+        );
         let values: Vec<i64> = (0..dom.len() as u32).map(|i| dom.value(VarId(i))).collect();
         match self.objective {
             None => {

@@ -1,0 +1,233 @@
+//! Programmatic trace construction for schedule replays.
+//!
+//! The live collector records what *happened*; [`TraceBuilder`] lets
+//! the CLI render what a solved schedule *says will happen* — rounds,
+//! beacons, slots and floods laid out at their scheduled microsecond
+//! offsets on synthetic per-node tracks — as the same [`Trace`] type,
+//! so one exporter serves both.
+
+use std::borrow::Cow;
+use std::collections::BTreeMap;
+
+use crate::event::{Arg, Event, EventKind, TrackInfo};
+use crate::trace::Trace;
+
+/// Builds a [`Trace`] event by event with explicit tracks and
+/// timestamps. Sequence numbers are allocated in call order, so calls
+/// must be made in the intended global order (per-track timestamps
+/// must be non-decreasing to pass [`Trace::check`]).
+#[derive(Debug, Default)]
+pub struct TraceBuilder {
+    events: Vec<Event>,
+    tracks: Vec<TrackInfo>,
+    /// Open span ids per (pid, tid), innermost last.
+    stacks: BTreeMap<(u32, u32), Vec<u64>>,
+    next_seq: u64,
+}
+
+impl TraceBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        TraceBuilder {
+            next_seq: 1,
+            ..TraceBuilder::default()
+        }
+    }
+
+    /// Registers a named track (a row in the trace viewer).
+    pub fn add_track(&mut self, pid: u32, tid: u32, name: impl Into<String>) {
+        self.tracks.push(TrackInfo {
+            pid,
+            tid,
+            name: name.into(),
+        });
+    }
+
+    /// Appends one event on `track = (pid, tid)`. `id` of `None` means
+    /// "this event's own seq" (span begins, flow starts).
+    fn push(
+        &mut self,
+        kind: EventKind,
+        name: Cow<'static, str>,
+        track: (u32, u32),
+        ts_ns: u64,
+        id: Option<u64>,
+        args: Vec<Arg>,
+    ) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let id = id.unwrap_or(seq);
+        let parent = self
+            .stacks
+            .get(&track)
+            .and_then(|s| s.last())
+            .copied()
+            .unwrap_or(0);
+        self.events.push(Event {
+            seq,
+            ts_ns,
+            kind,
+            name,
+            pid: track.0,
+            tid: track.1,
+            id,
+            parent,
+            args,
+        });
+        seq
+    }
+
+    /// Opens a span on `(pid, tid)` at `ts_ns`; returns its id.
+    pub fn begin(
+        &mut self,
+        pid: u32,
+        tid: u32,
+        name: impl Into<Cow<'static, str>>,
+        ts_ns: u64,
+        args: Vec<Arg>,
+    ) -> u64 {
+        let id = self.push(EventKind::Begin, name.into(), (pid, tid), ts_ns, None, args);
+        self.stacks.entry((pid, tid)).or_default().push(id);
+        id
+    }
+
+    /// Closes the innermost open span on `(pid, tid)` at `ts_ns`.
+    ///
+    /// # Panics
+    ///
+    /// If no span is open on that track (a builder bug, not input data).
+    pub fn end(&mut self, pid: u32, tid: u32, ts_ns: u64) {
+        let id = self
+            .stacks
+            .get_mut(&(pid, tid))
+            .and_then(Vec::pop)
+            .expect("TraceBuilder::end with no open span");
+        self.push(
+            EventKind::End,
+            Cow::Borrowed(""),
+            (pid, tid),
+            ts_ns,
+            Some(id),
+            Vec::new(),
+        );
+    }
+
+    /// Records a point event on `(pid, tid)` at `ts_ns`.
+    pub fn instant(
+        &mut self,
+        pid: u32,
+        tid: u32,
+        name: impl Into<Cow<'static, str>>,
+        ts_ns: u64,
+        args: Vec<Arg>,
+    ) {
+        self.push(
+            EventKind::Instant,
+            name.into(),
+            (pid, tid),
+            ts_ns,
+            Some(0),
+            args,
+        );
+    }
+
+    /// Starts a flow arrow; pass the returned id to [`Self::flow_end`].
+    pub fn flow_start(
+        &mut self,
+        pid: u32,
+        tid: u32,
+        name: impl Into<Cow<'static, str>>,
+        ts_ns: u64,
+    ) -> u64 {
+        self.push(
+            EventKind::FlowStart,
+            name.into(),
+            (pid, tid),
+            ts_ns,
+            None,
+            Vec::new(),
+        )
+    }
+
+    /// Finishes a flow arrow started by [`Self::flow_start`].
+    pub fn flow_end(
+        &mut self,
+        pid: u32,
+        tid: u32,
+        name: impl Into<Cow<'static, str>>,
+        ts_ns: u64,
+        id: u64,
+    ) {
+        self.push(
+            EventKind::FlowEnd,
+            name.into(),
+            (pid, tid),
+            ts_ns,
+            Some(id),
+            Vec::new(),
+        );
+    }
+
+    /// Finalizes the builder into a [`Trace`].
+    ///
+    /// # Panics
+    ///
+    /// If any span is still open (every [`Self::begin`] needs an
+    /// [`Self::end`]).
+    pub fn finish(self) -> Trace {
+        let open: usize = self.stacks.values().map(Vec::len).sum();
+        assert_eq!(open, 0, "TraceBuilder::finish with {open} open span(s)");
+        Trace {
+            events: self.events,
+            dropped: 0,
+            tracks: self.tracks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::PID_REPLAY;
+
+    #[test]
+    fn builder_produces_checkable_trace() {
+        let mut b = TraceBuilder::new();
+        b.add_track(PID_REPLAY, 0, "bus");
+        b.add_track(PID_REPLAY, 1, "node-1");
+        let _r = b.begin(PID_REPLAY, 0, "lwb.round", 0, vec![]);
+        let f = b.flow_start(PID_REPLAY, 0, "msg", 800);
+        b.end(PID_REPLAY, 0, 1_000);
+        let _t = b.begin(PID_REPLAY, 1, "task", 1_200, vec![]);
+        b.flow_end(PID_REPLAY, 1, "msg", 1_200, f);
+        b.end(PID_REPLAY, 1, 2_000);
+        let trace = b.finish();
+        let report = trace.check().unwrap();
+        assert_eq!(report.spans, 2);
+        assert_eq!(report.flows, 1);
+        assert_eq!(trace.tracks.len(), 2);
+    }
+
+    #[test]
+    fn nested_spans_get_parent_ids() {
+        let mut b = TraceBuilder::new();
+        let outer = b.begin(PID_REPLAY, 0, "outer", 0, vec![]);
+        let _inner = b.begin(PID_REPLAY, 0, "inner", 1, vec![]);
+        b.instant(PID_REPLAY, 0, "tick", 2, vec![]);
+        b.end(PID_REPLAY, 0, 3);
+        b.end(PID_REPLAY, 0, 4);
+        let trace = b.finish();
+        let inner_begin = &trace.events[1];
+        assert_eq!(inner_begin.parent, outer);
+        let tick = &trace.events[2];
+        assert_eq!(tick.parent, inner_begin.id);
+    }
+
+    #[test]
+    #[should_panic(expected = "open span")]
+    fn finish_panics_on_unclosed_span() {
+        let mut b = TraceBuilder::new();
+        b.begin(PID_REPLAY, 0, "leaky", 0, vec![]);
+        let _ = b.finish();
+    }
+}

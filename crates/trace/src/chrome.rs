@@ -1,0 +1,198 @@
+//! Chrome Trace Event export.
+//!
+//! Emits the JSON *array* flavour of the Trace Event Format, loadable
+//! by `chrome://tracing` and [Perfetto](https://ui.perfetto.dev):
+//! `"B"`/`"E"` duration events for spans, `"i"` instants, `"s"`/`"f"`
+//! flow arrows, plus `"M"` metadata naming processes and tracks.
+//! Timestamps are microseconds (the format's unit), written with
+//! nanosecond precision as fixed-point decimals so the export is
+//! deterministic — no float formatting is involved.
+
+use crate::event::{ArgValue, Event, EventKind, TrackInfo, PID_LIVE, PID_REPLAY};
+use crate::json::push_json_str;
+use crate::trace::Trace;
+
+/// Formats `ns` as a microsecond fixed-point literal (`1234.567`).
+fn push_ts_us(out: &mut String, ns: u64) {
+    out.push_str(&format!("{}.{:03}", ns / 1_000, ns % 1_000));
+}
+
+fn push_args(out: &mut String, e: &Event) {
+    out.push_str("\"args\": {");
+    let mut first = true;
+    if e.parent != 0 {
+        out.push_str("\"parent\": ");
+        out.push_str(&e.parent.to_string());
+        first = false;
+    }
+    for (key, value) in &e.args {
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        push_json_str(out, key);
+        out.push_str(": ");
+        match value {
+            ArgValue::U64(v) => out.push_str(&v.to_string()),
+            ArgValue::I64(v) => out.push_str(&v.to_string()),
+            ArgValue::F64(v) => {
+                if v.is_finite() {
+                    out.push_str(&format!("{v}"));
+                } else {
+                    push_json_str(out, &format!("{v}"));
+                }
+            }
+            ArgValue::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            ArgValue::Str(s) => push_json_str(out, s),
+        }
+    }
+    out.push('}');
+}
+
+/// The Chrome `cat` field: the event-name prefix before the first `.`
+/// (`solver.node` → `solver`), so viewers can filter by subsystem.
+fn category(name: &str) -> &str {
+    name.split('.').next().unwrap_or("trace")
+}
+
+fn push_meta(out: &mut String, pid: u32, tid: Option<u32>, name: &str) {
+    out.push_str("  {\"ph\": \"M\", \"pid\": ");
+    out.push_str(&pid.to_string());
+    match tid {
+        Some(tid) => {
+            out.push_str(", \"tid\": ");
+            out.push_str(&tid.to_string());
+            out.push_str(", \"name\": \"thread_name\"");
+        }
+        None => out.push_str(", \"name\": \"process_name\""),
+    }
+    out.push_str(", \"args\": {\"name\": ");
+    push_json_str(out, name);
+    out.push_str("}}");
+}
+
+/// Serializes `trace` as a Chrome Trace Event JSON array.
+pub fn to_chrome_json(trace: &Trace) -> String {
+    let mut out = String::from("[\n");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if !std::mem::take(&mut first) {
+            out.push_str(",\n");
+        }
+    };
+
+    let mut pids: Vec<u32> = trace.tracks.iter().map(|t| t.pid).collect();
+    pids.sort_unstable();
+    pids.dedup();
+    for pid in pids {
+        sep(&mut out);
+        let name = match pid {
+            PID_LIVE => "netdag (live)",
+            PID_REPLAY => "netdag (schedule replay)",
+            _ => "netdag",
+        };
+        push_meta(&mut out, pid, None, name);
+    }
+    let mut tracks: Vec<&TrackInfo> = trace.tracks.iter().collect();
+    tracks.sort_by_key(|t| (t.pid, t.tid));
+    for track in tracks {
+        sep(&mut out);
+        push_meta(&mut out, track.pid, Some(track.tid), &track.name);
+    }
+
+    // Span names are carried by the Begin event; remember them so the
+    // matching "E" (whose recorded name is empty) can repeat them —
+    // Perfetto tolerates nameless "E"s but naming both ends is tidier.
+    let mut open_names: std::collections::HashMap<u64, &str> = std::collections::HashMap::new();
+    for e in &trace.events {
+        let (ph, name): (&str, &str) = match e.kind {
+            EventKind::Begin => {
+                open_names.insert(e.id, e.name.as_ref());
+                ("B", e.name.as_ref())
+            }
+            EventKind::End => {
+                let name = open_names.remove(&e.id).unwrap_or(e.name.as_ref());
+                ("E", name)
+            }
+            EventKind::Instant => ("i", e.name.as_ref()),
+            EventKind::FlowStart => ("s", e.name.as_ref()),
+            EventKind::FlowEnd => ("f", e.name.as_ref()),
+        };
+        sep(&mut out);
+        out.push_str("  {\"ph\": \"");
+        out.push_str(ph);
+        out.push_str("\", \"name\": ");
+        push_json_str(&mut out, name);
+        out.push_str(", \"cat\": ");
+        push_json_str(&mut out, category(name));
+        out.push_str(", \"ts\": ");
+        push_ts_us(&mut out, e.ts_ns);
+        out.push_str(", \"pid\": ");
+        out.push_str(&e.pid.to_string());
+        out.push_str(", \"tid\": ");
+        out.push_str(&e.tid.to_string());
+        match e.kind {
+            EventKind::Instant => out.push_str(", \"s\": \"t\""),
+            EventKind::FlowStart => {
+                out.push_str(", \"id\": ");
+                out.push_str(&e.id.to_string());
+            }
+            EventKind::FlowEnd => {
+                out.push_str(", \"id\": ");
+                out.push_str(&e.id.to_string());
+                out.push_str(", \"bp\": \"e\"");
+            }
+            EventKind::Begin | EventKind::End => {}
+        }
+        out.push_str(", ");
+        push_args(&mut out, e);
+        out.push('}');
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::TraceBuilder;
+
+    #[test]
+    fn ts_is_fixed_point_microseconds() {
+        let mut s = String::new();
+        push_ts_us(&mut s, 1_234_567);
+        assert_eq!(s, "1234.567");
+        s.clear();
+        push_ts_us(&mut s, 5);
+        assert_eq!(s, "0.005");
+    }
+
+    #[test]
+    fn category_is_name_prefix() {
+        assert_eq!(category("solver.node"), "solver");
+        assert_eq!(category("flat"), "flat");
+    }
+
+    #[test]
+    fn export_contains_metadata_spans_and_flows() {
+        let mut b = TraceBuilder::new();
+        b.add_track(PID_REPLAY, 0, "bus");
+        let _ = b.begin(PID_REPLAY, 0, "lwb.round", 0, vec![("round", 0u64.into())]);
+        let flow = b.flow_start(PID_REPLAY, 0, "msg", 500);
+        b.end(PID_REPLAY, 0, 1_000);
+        b.flow_end(PID_REPLAY, 0, "msg", 1_500, flow);
+        let json = to_chrome_json(&b.finish());
+        assert!(json.starts_with("[\n"));
+        assert!(json.trim_end().ends_with(']'));
+        assert!(json.contains("\"name\": \"process_name\""));
+        assert!(json.contains("\"name\": \"thread_name\""));
+        assert!(json.contains("\"ph\": \"B\""));
+        // The "E" event repeats the span name recorded at Begin.
+        assert!(json.contains("\"ph\": \"E\", \"name\": \"lwb.round\""));
+        assert!(json.contains("\"ph\": \"s\""));
+        assert!(json.contains("\"ph\": \"f\""));
+        assert!(json.contains("\"bp\": \"e\""));
+        assert!(json.contains("\"cat\": \"lwb\""));
+        assert!(json.contains("\"round\": 0"));
+    }
+}

@@ -1,0 +1,299 @@
+//! The global event collector: enable flag, clock, per-thread ring
+//! buffers, span stacks, and the drain that assembles a [`Trace`].
+
+use std::borrow::Cow;
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+use crate::event::{Arg, Event, EventKind, TrackInfo, PID_LIVE};
+use crate::ring::Ring;
+use crate::trace::Trace;
+
+/// Default per-thread ring capacity (events). At roughly 100 bytes per
+/// event this bounds live-trace memory to a few MiB per thread.
+pub const DEFAULT_CAPACITY: usize = 65_536;
+
+/// How event timestamps are produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClockMode {
+    /// Monotonic wall-clock nanoseconds since the trace epoch — real
+    /// durations, but never bit-identical across runs.
+    #[default]
+    Wall,
+    /// `seq`-derived timestamps (1 µs per event): causal order only,
+    /// but bit-identical across single-threaded runs. The CLI defaults
+    /// to this mode so `--trace` output is reproducible.
+    Logical,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static CLOCK: AtomicU8 = AtomicU8::new(0);
+/// Global sequence/id allocator; 0 is reserved for "no id/parent".
+static SEQ: AtomicU64 = AtomicU64::new(1);
+static CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_CAPACITY);
+static REGISTRY: Mutex<Vec<Arc<ThreadBuf>>> = Mutex::new(Vec::new());
+/// Traces injected via [`inject`], appended by the next [`drain`].
+static PENDING: Mutex<Vec<Trace>> = Mutex::new(Vec::new());
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+#[derive(Debug)]
+struct ThreadBuf {
+    tid: u32,
+    ring: Mutex<Ring>,
+}
+
+thread_local! {
+    static HANDLE: RefCell<Option<Arc<ThreadBuf>>> = const { RefCell::new(None) };
+    /// Ids of the spans currently open on this thread, innermost last.
+    static STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // Rings and registries are only ever mutated one push/take at a
+    // time; a poisoned lock holds nothing half-done.
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Whether recording is on. One relaxed atomic load: this is the entire
+/// cost of a would-be event while tracing is disabled.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns recording on or off. Spans opened while enabled still record
+/// their `End` after disabling, so drained traces stay balanced.
+pub fn set_enabled(on: bool) {
+    if on {
+        // Fix the epoch before the first event so wall timestamps are
+        // comparable across threads.
+        let _ = EPOCH.get_or_init(Instant::now);
+    }
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Selects the timestamp clock (see [`ClockMode`]).
+pub fn set_clock(mode: ClockMode) {
+    CLOCK.store(
+        match mode {
+            ClockMode::Wall => 0,
+            ClockMode::Logical => 1,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+/// Sets the per-thread ring capacity, effective immediately for every
+/// buffer (events over capacity are dropped and counted).
+pub fn set_capacity(events: usize) {
+    CAPACITY.store(events.max(1), Ordering::Relaxed);
+}
+
+/// Clears every buffered event, drop count and pending injected trace,
+/// and restarts the sequence counter. Thread registrations (track ids)
+/// survive, so a long-lived thread keeps its track across resets.
+pub fn reset() {
+    for buf in lock(&REGISTRY).iter() {
+        lock(&buf.ring).clear();
+    }
+    lock(&PENDING).clear();
+    SEQ.store(1, Ordering::Relaxed);
+}
+
+/// Queues a synthetic trace (e.g. a schedule replay built with
+/// [`crate::TraceBuilder`]) to be appended to the next [`drain`].
+pub fn inject(trace: Trace) {
+    lock(&PENDING).push(trace);
+}
+
+fn timestamp(seq: u64) -> u64 {
+    if CLOCK.load(Ordering::Relaxed) == 1 {
+        seq.saturating_mul(1_000)
+    } else {
+        let epoch = EPOCH.get_or_init(Instant::now);
+        u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+fn with_buf<R>(f: impl FnOnce(&Arc<ThreadBuf>) -> R) -> Option<R> {
+    // `try_with` so a span guard dropped during thread teardown cannot
+    // panic out of a destructor.
+    HANDLE
+        .try_with(|cell| {
+            let mut slot = cell.borrow_mut();
+            if slot.is_none() {
+                let mut registry = lock(&REGISTRY);
+                let tid = registry.len() as u32;
+                let buf = Arc::new(ThreadBuf {
+                    tid,
+                    ring: Mutex::new(Ring::new()),
+                });
+                registry.push(Arc::clone(&buf));
+                *slot = Some(buf);
+            }
+            f(slot.as_ref().expect("registered above"))
+        })
+        .ok()
+}
+
+/// Records one event on the current thread's track; returns its seq (0
+/// if the thread-local storage is already gone).
+fn emit(kind: EventKind, name: Cow<'static, str>, id_of_self: bool, id: u64, args: &[Arg]) -> u64 {
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let ts_ns = timestamp(seq);
+    let parent = STACK
+        .try_with(|s| s.borrow().last().copied().unwrap_or(0))
+        .unwrap_or(0);
+    let id = if id_of_self { seq } else { id };
+    let capacity = CAPACITY.load(Ordering::Relaxed);
+    with_buf(|buf| {
+        lock(&buf.ring).push(
+            Event {
+                seq,
+                ts_ns,
+                kind,
+                name,
+                pid: PID_LIVE,
+                tid: buf.tid,
+                id,
+                parent,
+                args: args.to_vec(),
+            },
+            capacity,
+        );
+    });
+    seq
+}
+
+/// RAII span: records `Begin` on creation (when enabled) and the
+/// matching `End` on drop — on every exit path, including panic
+/// unwinding. Not `Send`: span ends must land on the track that opened
+/// them.
+#[derive(Debug)]
+pub struct SpanGuard {
+    id: u64,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl SpanGuard {
+    fn disarmed() -> Self {
+        SpanGuard {
+            id: 0,
+            _not_send: PhantomData,
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.id == 0 {
+            return;
+        }
+        // Pop the span stack and record the End unconditionally (even
+        // if tracing was disabled mid-span) so the trace stays
+        // balanced; `try_with` keeps unwinding out of a panicking
+        // instrumented scope from double-panicking.
+        let _ = STACK.try_with(|s| {
+            let mut stack = s.borrow_mut();
+            debug_assert_eq!(stack.last().copied(), Some(self.id), "span drop order");
+            stack.pop();
+        });
+        emit(EventKind::End, Cow::Borrowed(""), false, self.id, &[]);
+    }
+}
+
+/// Opens a span named `name` on the current thread's track.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    span_with(name, &[])
+}
+
+/// Opens a span with arguments. A no-op returning a disarmed guard when
+/// tracing is disabled.
+#[inline]
+pub fn span_with(name: &'static str, args: &[Arg]) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard::disarmed();
+    }
+    span_with_name(Cow::Borrowed(name), args)
+}
+
+/// As [`span_with`], for dynamically-built names.
+pub fn span_with_name(name: Cow<'static, str>, args: &[Arg]) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard::disarmed();
+    }
+    let id = emit(EventKind::Begin, name, true, 0, args);
+    if id == 0 {
+        return SpanGuard::disarmed();
+    }
+    let _ = STACK.try_with(|s| s.borrow_mut().push(id));
+    SpanGuard {
+        id,
+        _not_send: PhantomData,
+    }
+}
+
+/// Records a point event. A no-op when tracing is disabled.
+#[inline]
+pub fn instant(name: &'static str, args: &[Arg]) {
+    if !enabled() {
+        return;
+    }
+    emit(EventKind::Instant, Cow::Borrowed(name), false, 0, args);
+}
+
+/// Starts a flow arrow; the returned id ties the matching
+/// [`flow_end`]. Returns 0 (a valid no-op id) when tracing is disabled.
+#[inline]
+pub fn flow_start(name: &'static str) -> u64 {
+    if !enabled() {
+        return 0;
+    }
+    emit(EventKind::FlowStart, Cow::Borrowed(name), true, 0, &[])
+}
+
+/// Finishes the flow arrow started by [`flow_start`]. Ignores id 0, so
+/// ids captured while tracing was disabled pass through harmlessly.
+#[inline]
+pub fn flow_end(name: &'static str, id: u64) {
+    if id == 0 || !enabled() {
+        return;
+    }
+    emit(EventKind::FlowEnd, Cow::Borrowed(name), false, id, &[]);
+}
+
+/// Collects every thread's buffered events (plus injected traces) into
+/// one [`Trace`], sorted by sequence number, and empties the buffers.
+pub fn drain() -> Trace {
+    let mut events = Vec::new();
+    let mut dropped = 0u64;
+    let mut tracks = Vec::new();
+    for buf in lock(&REGISTRY).iter() {
+        let mut ring = lock(&buf.ring);
+        dropped += ring.take_dropped();
+        events.extend(ring.take_events());
+        tracks.push(TrackInfo {
+            pid: PID_LIVE,
+            tid: buf.tid,
+            name: if buf.tid == 0 {
+                "main".to_owned()
+            } else {
+                format!("worker-{}", buf.tid)
+            },
+        });
+    }
+    events.sort_by_key(|e| e.seq);
+    let mut trace = Trace {
+        events,
+        dropped,
+        tracks,
+    };
+    for injected in lock(&PENDING).drain(..) {
+        trace.append(injected);
+    }
+    trace
+}

@@ -1,0 +1,157 @@
+//! The trace event model: spans, instants and flow arrows with causal
+//! parent ids.
+
+use std::borrow::Cow;
+
+/// Process id used by live (in-process) recording.
+pub const PID_LIVE: u32 = 1;
+
+/// Process id used by synthetic replay traces (see
+/// [`crate::TraceBuilder`]); keeping replay tracks under their own pid
+/// groups them separately from live threads in trace viewers.
+pub const PID_REPLAY: u32 = 2;
+
+/// What an [`Event`] marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EventKind {
+    /// A span opens; [`Event::id`] names the span.
+    Begin,
+    /// The innermost open span on the event's track closes;
+    /// [`Event::id`] repeats the span id.
+    End,
+    /// A point event.
+    Instant,
+    /// A flow arrow starts; [`Event::id`] names the flow.
+    FlowStart,
+    /// A flow arrow ends; [`Event::id`] is the matching
+    /// [`EventKind::FlowStart`] id.
+    FlowEnd,
+}
+
+/// A typed event argument value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String (static for hot paths, owned for replay labels).
+    Str(Cow<'static, str>),
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::U64(v)
+    }
+}
+
+impl From<u32> for ArgValue {
+    fn from(v: u32) -> Self {
+        ArgValue::U64(u64::from(v))
+    }
+}
+
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::U64(v as u64)
+    }
+}
+
+impl From<i64> for ArgValue {
+    fn from(v: i64) -> Self {
+        ArgValue::I64(v)
+    }
+}
+
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::F64(v)
+    }
+}
+
+impl From<bool> for ArgValue {
+    fn from(v: bool) -> Self {
+        ArgValue::Bool(v)
+    }
+}
+
+impl From<&'static str> for ArgValue {
+    fn from(v: &'static str) -> Self {
+        ArgValue::Str(Cow::Borrowed(v))
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(Cow::Owned(v))
+    }
+}
+
+/// One `(key, value)` event argument.
+pub type Arg = (&'static str, ArgValue);
+
+/// One recorded event.
+///
+/// `seq` is a globally unique, monotonically allocated sequence number:
+/// it totally orders a trace, and within one thread it is consistent
+/// with causality. Span ids reuse the `seq` of their
+/// [`EventKind::Begin`] event, so `parent < id` holds for every
+/// parent/child pair and parent chains are acyclic by construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Global allocation order (1-based; 0 is reserved for "none").
+    pub seq: u64,
+    /// Timestamp, ns. Wall clock since the trace epoch, or `seq`-derived
+    /// under the logical clock (see [`crate::ClockMode`]).
+    pub ts_ns: u64,
+    /// Event kind.
+    pub kind: EventKind,
+    /// Event name (the slice label in trace viewers).
+    pub name: Cow<'static, str>,
+    /// Process lane (see [`PID_LIVE`], [`PID_REPLAY`]).
+    pub pid: u32,
+    /// Track within the process: live recording uses one track per
+    /// OS thread; replay uses one per node plus a bus track.
+    pub tid: u32,
+    /// Span id ([`EventKind::Begin`]/[`EventKind::End`]) or flow id
+    /// ([`EventKind::FlowStart`]/[`EventKind::FlowEnd`]); 0 otherwise.
+    pub id: u64,
+    /// Causal parent: the id of the innermost span open on this track
+    /// when the event was recorded, 0 at top level.
+    pub parent: u64,
+    /// Typed arguments.
+    pub args: Vec<Arg>,
+}
+
+/// One named track (a Chrome `thread_name` row).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrackInfo {
+    /// Process lane.
+    pub pid: u32,
+    /// Track id within the process.
+    pub tid: u32,
+    /// Human-readable name.
+    pub name: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_value_conversions() {
+        assert_eq!(ArgValue::from(3u32), ArgValue::U64(3));
+        assert_eq!(ArgValue::from(3usize), ArgValue::U64(3));
+        assert_eq!(ArgValue::from(-3i64), ArgValue::I64(-3));
+        assert_eq!(ArgValue::from(true), ArgValue::Bool(true));
+        assert_eq!(ArgValue::from("x"), ArgValue::Str(Cow::Borrowed("x")));
+        assert_eq!(
+            ArgValue::from(String::from("y")),
+            ArgValue::Str(Cow::Owned(String::from("y")))
+        );
+    }
+}

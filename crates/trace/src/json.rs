@@ -1,0 +1,50 @@
+//! Minimal JSON string emission.
+//!
+//! `netdag-trace` is deliberately std-only (like `netdag-obs`, it sits
+//! below every other workspace crate, including the vendored serde
+//! shims), so the Chrome and summary exporters hand-write their JSON.
+//! The only subtle part is string escaping, kept here per RFC 8259 §7.
+
+/// Appends `s` to `out` as a JSON string literal, quotes included.
+pub(crate) fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn esc(s: &str) -> String {
+        let mut out = String::new();
+        push_json_str(&mut out, s);
+        out
+    }
+
+    #[test]
+    fn plain_strings_are_quoted() {
+        assert_eq!(esc("solver.node"), "\"solver.node\"");
+    }
+
+    #[test]
+    fn specials_are_escaped() {
+        assert_eq!(esc("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(esc("line\nbreak\ttab"), "\"line\\nbreak\\ttab\"");
+        assert_eq!(esc("\u{01}"), "\"\\u0001\"");
+    }
+}

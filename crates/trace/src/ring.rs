@@ -1,0 +1,93 @@
+//! Bounded per-thread event storage.
+
+use crate::event::Event;
+
+/// A bounded event buffer that drops the *newest* events once full and
+/// counts what it dropped, so memory stays bounded while the trace
+/// keeps its causally-oldest prefix (the part that explains how the
+/// run got where it is).
+#[derive(Debug, Default)]
+pub(crate) struct Ring {
+    events: Vec<Event>,
+    dropped: u64,
+}
+
+impl Ring {
+    pub(crate) const fn new() -> Self {
+        Ring {
+            events: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Stores `event` unless the buffer already holds `capacity` events,
+    /// in which case the event is counted as dropped.
+    pub(crate) fn push(&mut self, event: Event, capacity: usize) {
+        if self.events.len() >= capacity {
+            self.dropped += 1;
+        } else {
+            self.events.push(event);
+        }
+    }
+
+    /// Removes and returns the buffered events.
+    pub(crate) fn take_events(&mut self) -> Vec<Event> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Removes and returns the drop count.
+    pub(crate) fn take_dropped(&mut self) -> u64 {
+        std::mem::take(&mut self.dropped)
+    }
+
+    /// Discards everything (events and drop count).
+    pub(crate) fn clear(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use std::borrow::Cow;
+
+    fn ev(seq: u64) -> Event {
+        Event {
+            seq,
+            ts_ns: seq,
+            kind: EventKind::Instant,
+            name: Cow::Borrowed("t"),
+            pid: 1,
+            tid: 0,
+            id: 0,
+            parent: 0,
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn drops_newest_beyond_capacity() {
+        let mut r = Ring::new();
+        for i in 0..5 {
+            r.push(ev(i), 3);
+        }
+        assert_eq!(r.take_dropped(), 2);
+        let kept: Vec<u64> = r.take_events().iter().map(|e| e.seq).collect();
+        assert_eq!(kept, vec![0, 1, 2]);
+        // Taking resets both.
+        assert_eq!(r.take_dropped(), 0);
+        assert!(r.take_events().is_empty());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut r = Ring::new();
+        r.push(ev(0), 0);
+        r.push(ev(1), 1);
+        r.clear();
+        assert_eq!(r.take_dropped(), 0);
+        assert!(r.take_events().is_empty());
+    }
+}

@@ -1,0 +1,368 @@
+//! The drained trace: events, tracks, drop accounting, the
+//! `netdag-trace/1` summary, and the structural checker.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::event::{Event, EventKind, TrackInfo};
+use crate::json::push_json_str;
+
+/// A complete, drained trace.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Trace {
+    /// Events sorted by [`Event::seq`].
+    pub events: Vec<Event>,
+    /// Events dropped because a ring buffer was full.
+    pub dropped: u64,
+    /// Named tracks appearing in the events.
+    pub tracks: Vec<TrackInfo>,
+}
+
+/// Aggregate structure of a trace that passed [`Trace::check`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckReport {
+    /// Total events.
+    pub events: usize,
+    /// Completed spans (matched `Begin`/`End` pairs).
+    pub spans: usize,
+    /// Deepest span nesting observed on any track.
+    pub max_depth: usize,
+    /// Completed flow arrows.
+    pub flows: usize,
+}
+
+/// Why [`Trace::check`] rejected a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckError {
+    /// An `End` arrived on a track with no open span.
+    UnmatchedEnd {
+        /// `(pid, tid)` of the offending track.
+        track: (u32, u32),
+        /// Sequence number of the offending event.
+        seq: u64,
+    },
+    /// Spans were still open at the end of the trace.
+    UnclosedSpans(usize),
+    /// Timestamps went backwards on one track.
+    NonMonotonicTs {
+        /// `(pid, tid)` of the offending track.
+        track: (u32, u32),
+        /// Sequence number of the offending event.
+        seq: u64,
+    },
+    /// A `FlowEnd` referenced an id no `FlowStart` introduced.
+    UnknownFlowEnd(u64),
+    /// A parent id does not precede its child (cycles are impossible
+    /// when every parent id is smaller than the child's).
+    BadParent {
+        /// Sequence number of the offending event.
+        seq: u64,
+        /// The out-of-order parent id.
+        parent: u64,
+    },
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckError::UnmatchedEnd { track, seq } => {
+                write!(
+                    f,
+                    "event {seq}: span end on track {}/{} with no open span",
+                    track.0, track.1
+                )
+            }
+            CheckError::UnclosedSpans(n) => write!(f, "{n} span(s) never ended"),
+            CheckError::NonMonotonicTs { track, seq } => {
+                write!(
+                    f,
+                    "event {seq}: timestamp went backwards on track {}/{}",
+                    track.0, track.1
+                )
+            }
+            CheckError::UnknownFlowEnd(id) => {
+                write!(f, "flow end references unknown flow id {id}")
+            }
+            CheckError::BadParent { seq, parent } => {
+                write!(f, "event {seq}: parent id {parent} does not precede it")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+impl Trace {
+    /// Appends `other` after this trace, shifting its sequence numbers
+    /// (and the span/flow/parent ids derived from them) past this
+    /// trace's so the combined event list stays totally ordered.
+    pub fn append(&mut self, mut other: Trace) {
+        let offset = self.events.iter().map(|e| e.seq).max().unwrap_or(0);
+        for e in &mut other.events {
+            e.seq += offset;
+            if e.id != 0 {
+                e.id += offset;
+            }
+            if e.parent != 0 {
+                e.parent += offset;
+            }
+        }
+        self.events.extend(other.events);
+        self.dropped += other.dropped;
+        for track in other.tracks {
+            if !self.tracks.contains(&track) {
+                self.tracks.push(track);
+            }
+        }
+    }
+
+    /// Validates the structural invariants the recorder guarantees:
+    /// per-track span balance (every `Begin` has a matching `End`,
+    /// stack-ordered), per-track monotone timestamps, acyclic parent
+    /// ids, and flow ends that follow their starts.
+    ///
+    /// # Errors
+    ///
+    /// The first violated invariant, as a [`CheckError`]. Note a trace
+    /// with `dropped > 0` may fail balance checks legitimately (the
+    /// dropped suffix can contain `End`s); callers should report the
+    /// drop count alongside.
+    pub fn check(&self) -> Result<CheckReport, CheckError> {
+        let mut stacks: BTreeMap<(u32, u32), Vec<u64>> = BTreeMap::new();
+        let mut last_ts: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+        let mut flow_starts: HashMap<u64, ()> = HashMap::new();
+        let mut spans = 0usize;
+        let mut flows = 0usize;
+        let mut max_depth = 0usize;
+        for e in &self.events {
+            let track = (e.pid, e.tid);
+            if let Some(&prev) = last_ts.get(&track) {
+                if e.ts_ns < prev {
+                    return Err(CheckError::NonMonotonicTs { track, seq: e.seq });
+                }
+            }
+            last_ts.insert(track, e.ts_ns);
+            if e.parent != 0 && e.parent >= e.seq {
+                return Err(CheckError::BadParent {
+                    seq: e.seq,
+                    parent: e.parent,
+                });
+            }
+            match e.kind {
+                EventKind::Begin => {
+                    let stack = stacks.entry(track).or_default();
+                    stack.push(e.id);
+                    max_depth = max_depth.max(stack.len());
+                }
+                EventKind::End => {
+                    let stack = stacks.entry(track).or_default();
+                    if stack.pop().is_none() {
+                        return Err(CheckError::UnmatchedEnd { track, seq: e.seq });
+                    }
+                    spans += 1;
+                }
+                EventKind::FlowStart => {
+                    flow_starts.insert(e.id, ());
+                }
+                EventKind::FlowEnd => {
+                    if !flow_starts.contains_key(&e.id) {
+                        return Err(CheckError::UnknownFlowEnd(e.id));
+                    }
+                    flows += 1;
+                }
+                EventKind::Instant => {}
+            }
+        }
+        let open: usize = stacks.values().map(Vec::len).sum();
+        if open > 0 {
+            return Err(CheckError::UnclosedSpans(open));
+        }
+        Ok(CheckReport {
+            events: self.events.len(),
+            spans,
+            max_depth,
+            flows,
+        })
+    }
+
+    /// The stable `netdag-trace/1` summary document: event counts, drop
+    /// stats, maximum span depth and the top 10 span names by total
+    /// duration.
+    pub fn summary_json(&self) -> String {
+        let mut begins = 0u64;
+        let mut instants = 0u64;
+        let mut flows = 0u64;
+        // Per-name aggregates over completed spans.
+        let mut open: HashMap<u64, (&str, u64)> = HashMap::new();
+        let mut agg: BTreeMap<String, (u64, u64, u64)> = BTreeMap::new();
+        let mut stacks: BTreeMap<(u32, u32), Vec<u64>> = BTreeMap::new();
+        let mut max_depth = 0usize;
+        for e in &self.events {
+            let track = (e.pid, e.tid);
+            match e.kind {
+                EventKind::Begin => {
+                    begins += 1;
+                    open.insert(e.id, (e.name.as_ref(), e.ts_ns));
+                    let stack = stacks.entry(track).or_default();
+                    stack.push(e.id);
+                    max_depth = max_depth.max(stack.len());
+                }
+                EventKind::End => {
+                    let id = stacks.entry(track).or_default().pop().or(if e.id != 0 {
+                        Some(e.id)
+                    } else {
+                        None
+                    });
+                    if let Some((name, start)) = id.and_then(|id| open.remove(&id)) {
+                        let ns = e.ts_ns.saturating_sub(start);
+                        let entry = agg.entry(name.to_owned()).or_insert((0, 0, 0));
+                        entry.0 += 1;
+                        entry.1 = entry.1.saturating_add(ns);
+                        entry.2 = entry.2.max(ns);
+                    }
+                }
+                EventKind::Instant => instants += 1,
+                EventKind::FlowStart => flows += 1,
+                EventKind::FlowEnd => {}
+            }
+        }
+        let mut top: Vec<(&String, &(u64, u64, u64))> = agg.iter().collect();
+        top.sort_by(|a, b| b.1 .1.cmp(&a.1 .1).then_with(|| a.0.cmp(b.0)));
+        top.truncate(10);
+
+        let mut out = String::from("{\n  \"schema\": \"netdag-trace/1\",\n");
+        out.push_str(&format!("  \"events\": {},\n", self.events.len()));
+        out.push_str(&format!("  \"spans\": {begins},\n"));
+        out.push_str(&format!("  \"instants\": {instants},\n"));
+        out.push_str(&format!("  \"flows\": {flows},\n"));
+        out.push_str(&format!("  \"dropped\": {},\n", self.dropped));
+        out.push_str(&format!("  \"max_depth\": {max_depth},\n"));
+        out.push_str(&format!("  \"tracks\": {},\n", self.tracks.len()));
+        out.push_str("  \"top_spans\": [");
+        for (i, (name, (count, total_ns, max_ns))) in top.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"name\": ");
+            push_json_str(&mut out, name);
+            out.push_str(&format!(
+                ", \"count\": {count}, \"total_ns\": {total_ns}, \"max_ns\": {max_ns}}}"
+            ));
+        }
+        if !top.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::TraceBuilder;
+    use crate::event::PID_REPLAY;
+
+    fn tiny() -> Trace {
+        let mut b = TraceBuilder::new();
+        b.add_track(PID_REPLAY, 0, "bus");
+        let _outer = b.begin(PID_REPLAY, 0, "outer", 0, vec![]);
+        let _inner = b.begin(PID_REPLAY, 0, "inner", 1_000, vec![]);
+        b.instant(PID_REPLAY, 0, "tick", 1_500, vec![]);
+        let flow = b.flow_start(PID_REPLAY, 0, "msg", 2_000);
+        b.end(PID_REPLAY, 0, 3_000);
+        b.flow_end(PID_REPLAY, 0, "msg", 3_500, flow);
+        b.end(PID_REPLAY, 0, 4_000);
+        b.finish()
+    }
+
+    #[test]
+    fn check_accepts_balanced_trace() {
+        let report = tiny().check().unwrap();
+        assert_eq!(report.spans, 2);
+        assert_eq!(report.max_depth, 2);
+        assert_eq!(report.flows, 1);
+    }
+
+    #[test]
+    fn check_rejects_unclosed_and_unmatched() {
+        let mut t = tiny();
+        let end_pos = t
+            .events
+            .iter()
+            .position(|e| e.kind == EventKind::End)
+            .unwrap();
+        let removed = t.events.remove(end_pos);
+        assert_eq!(t.check(), Err(CheckError::UnclosedSpans(1)));
+        let mut t2 = tiny();
+        t2.events.push(Event {
+            seq: removed.seq + 100,
+            ts_ns: u64::MAX,
+            ..removed
+        });
+        assert!(matches!(t2.check(), Err(CheckError::UnmatchedEnd { .. })));
+    }
+
+    #[test]
+    fn check_rejects_backwards_time_and_bad_parent() {
+        let mut t = tiny();
+        t.events.last_mut().unwrap().ts_ns = 0;
+        assert!(matches!(t.check(), Err(CheckError::NonMonotonicTs { .. })));
+        let mut t2 = tiny();
+        t2.events[1].parent = 999;
+        assert!(matches!(t2.check(), Err(CheckError::BadParent { .. })));
+    }
+
+    #[test]
+    fn check_rejects_unknown_flow_end() {
+        let mut t = tiny();
+        for e in &mut t.events {
+            if e.kind == EventKind::FlowEnd {
+                e.id = 4242;
+            }
+        }
+        assert_eq!(t.check(), Err(CheckError::UnknownFlowEnd(4242)));
+    }
+
+    #[test]
+    fn append_shifts_ids_past_existing_events() {
+        let mut a = tiny();
+        let mut b = tiny();
+        // Appended traces normally live on their own track (pid); here
+        // both use the same one, so keep its timestamps monotone.
+        for e in &mut b.events {
+            e.ts_ns += 10_000;
+        }
+        let max_seq = a.events.iter().map(|e| e.seq).max().unwrap();
+        a.append(b);
+        a.check().unwrap();
+        let second_half: Vec<&Event> = a.events.iter().filter(|e| e.seq > max_seq).collect();
+        assert!(!second_half.is_empty());
+        for e in &second_half {
+            assert!(e.id == 0 || e.id > max_seq);
+            assert!(e.parent == 0 || e.parent > max_seq);
+        }
+        // Identical tracks are deduplicated.
+        assert_eq!(a.tracks.len(), 1);
+    }
+
+    #[test]
+    fn summary_reports_counts_and_top_spans() {
+        let s = tiny().summary_json();
+        assert!(s.contains("\"schema\": \"netdag-trace/1\""));
+        assert!(s.contains("\"spans\": 2"));
+        assert!(s.contains("\"instants\": 1"));
+        assert!(s.contains("\"flows\": 1"));
+        assert!(s.contains("\"max_depth\": 2"));
+        // outer (4000 ns) outranks inner (2000 ns).
+        let outer = s.find("\"outer\"").unwrap();
+        let inner = s.find("\"inner\"").unwrap();
+        assert!(outer < inner);
+        assert!(s.contains("\"total_ns\": 4000"));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(CheckError::UnclosedSpans(3).to_string().contains("3"));
+        assert!(CheckError::UnknownFlowEnd(7).to_string().contains("7"));
+    }
+}

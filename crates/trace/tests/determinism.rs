@@ -1,0 +1,108 @@
+//! Determinism contracts: serial traces are bit-identical under the
+//! logical clock, threaded traces pin their event *multisets*, and the
+//! ring buffers bound memory by dropping (and counting) the newest
+//! events. The collector is global, so tests serialize on one mutex.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use netdag_trace::{ClockMode, EventKind, Trace};
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial_workload() -> Trace {
+    netdag_trace::reset();
+    netdag_trace::set_clock(ClockMode::Logical);
+    netdag_trace::set_enabled(true);
+    {
+        let _search = netdag_trace::span_with("solver.search", &[("vars", 3u64.into())]);
+        for node in 0..5u64 {
+            let _node = netdag_trace::span_with("solver.node", &[("node", node.into())]);
+            netdag_trace::instant("solver.decision", &[("var", node.into())]);
+        }
+        let flow = netdag_trace::flow_start("lwb.msg");
+        netdag_trace::flow_end("lwb.msg", flow);
+    }
+    netdag_trace::set_enabled(false);
+    netdag_trace::drain()
+}
+
+fn threaded_workload(threads: usize) -> Trace {
+    netdag_trace::reset();
+    netdag_trace::set_clock(ClockMode::Logical);
+    netdag_trace::set_enabled(true);
+    std::thread::scope(|scope| {
+        for w in 0..threads {
+            scope.spawn(move || {
+                let _job = netdag_trace::span_with("runtime.job", &[("index", w.into())]);
+                for i in 0..10u64 {
+                    netdag_trace::instant("glossy.flood", &[("n_tx", i.into())]);
+                }
+            });
+        }
+    });
+    netdag_trace::set_enabled(false);
+    netdag_trace::drain()
+}
+
+/// `(kind, name) → count`, the thread-schedule-independent shape.
+fn multiset(trace: &Trace) -> BTreeMap<(EventKind, String), usize> {
+    let mut out = BTreeMap::new();
+    for e in &trace.events {
+        *out.entry((e.kind, e.name.to_string())).or_default() += 1;
+    }
+    out
+}
+
+#[test]
+fn serial_traces_are_bit_identical() {
+    let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    let a = serial_workload();
+    let b = serial_workload();
+    // Full structural equality: events (seq, ts, kind, name, ids, args),
+    // drop counts and tracks.
+    assert_eq!(a, b);
+    assert!(a.check().is_ok());
+    assert!(a.events.iter().any(|e| e.name == "solver.node"));
+}
+
+#[test]
+fn threaded_traces_pin_event_multisets() {
+    let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    let a = threaded_workload(4);
+    let b = threaded_workload(4);
+    // Interleaving (seq, tids) may differ run to run; the multiset of
+    // recorded events may not.
+    assert_eq!(multiset(&a), multiset(&b));
+    assert_eq!(a.events.len(), b.events.len());
+    assert_eq!(
+        multiset(&a)[&(EventKind::Instant, "glossy.flood".to_owned())],
+        40
+    );
+    assert_eq!(
+        multiset(&a)[&(EventKind::Begin, "runtime.job".to_owned())],
+        4
+    );
+    a.check().expect("threaded traces stay balanced");
+}
+
+#[test]
+fn ring_capacity_bounds_memory_and_counts_drops() {
+    let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    netdag_trace::reset();
+    netdag_trace::set_capacity(64);
+    netdag_trace::set_clock(ClockMode::Logical);
+    netdag_trace::set_enabled(true);
+    for i in 0..1_000u64 {
+        netdag_trace::instant("spam", &[("i", i.into())]);
+    }
+    netdag_trace::set_enabled(false);
+    let trace = netdag_trace::drain();
+    netdag_trace::set_capacity(netdag_trace::DEFAULT_CAPACITY);
+    // Drop-newest: the causally oldest prefix survives, the rest is
+    // counted, and the two add up to everything emitted.
+    assert_eq!(trace.events.len(), 64);
+    assert_eq!(trace.dropped, 936);
+    assert_eq!(trace.events[0].name, "spam");
+    assert!(trace.events.iter().all(|e| e.name == "spam"));
+}

@@ -1,0 +1,120 @@
+//! Property tests for the collector's structural invariants.
+//!
+//! Random op scripts (nest spans, pop spans, instants, flow arrows) are
+//! executed against the process-global collector, then the drained
+//! trace is checked for the guarantees the recorder promises: per-track
+//! monotone timestamps, balanced begin/end pairs, and acyclic parent
+//! ids (`parent < seq` always). The collector is global state, so every
+//! test serializes on one mutex.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use netdag_trace::{ClockMode, EventKind};
+use proptest::prelude::*;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+/// Runs `ops` (span push / span pop / instant / flow toggle) against
+/// the global collector and returns the drained trace.
+fn record_script(ops: &[u8], clock: ClockMode) -> netdag_trace::Trace {
+    netdag_trace::reset();
+    netdag_trace::set_clock(clock);
+    netdag_trace::set_enabled(true);
+    let mut spans = Vec::new();
+    let mut flows = Vec::new();
+    for &op in ops {
+        match op % 4 {
+            0 => spans.push(netdag_trace::span("prop.span")),
+            // Vec::pop drops the most recent guard: LIFO, like scopes.
+            1 => drop(spans.pop()),
+            2 => netdag_trace::instant("prop.tick", &[("op", u64::from(op).into())]),
+            _ => match flows.pop() {
+                Some(id) => netdag_trace::flow_end("prop.flow", id),
+                None => flows.push(netdag_trace::flow_start("prop.flow")),
+            },
+        }
+    }
+    // Close whatever is still open, innermost (most recent) first.
+    while spans.pop().is_some() {}
+    netdag_trace::set_enabled(false);
+    netdag_trace::drain()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any op script produces a trace the checker accepts, with strictly
+    /// increasing sequence numbers.
+    #[test]
+    fn scripts_produce_checkable_traces(ops in proptest::collection::vec(0u8..4, 0..120)) {
+        let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+        let trace = record_script(&ops, ClockMode::Logical);
+        let report = trace.check().expect("recorder traces are structurally valid");
+        prop_assert_eq!(report.events, trace.events.len());
+        for pair in trace.events.windows(2) {
+            prop_assert!(pair[0].seq < pair[1].seq, "seq must be strictly increasing");
+        }
+    }
+
+    /// Per-track timestamps never go backwards, under either clock.
+    #[test]
+    fn timestamps_are_monotone_per_track(
+        ops in proptest::collection::vec(0u8..4, 0..120),
+        wall in any::<bool>(),
+    ) {
+        let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+        let clock = if wall { ClockMode::Wall } else { ClockMode::Logical };
+        let trace = record_script(&ops, clock);
+        let mut last: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+        for e in &trace.events {
+            if let Some(&prev) = last.get(&(e.pid, e.tid)) {
+                prop_assert!(e.ts_ns >= prev, "ts went backwards at seq {}", e.seq);
+            }
+            last.insert((e.pid, e.tid), e.ts_ns);
+        }
+    }
+
+    /// Every span begin has a matching end (the guard closes on drop),
+    /// so begin and end counts agree on every track.
+    #[test]
+    fn span_begins_and_ends_balance(ops in proptest::collection::vec(0u8..4, 0..120)) {
+        let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+        let trace = record_script(&ops, ClockMode::Logical);
+        let mut balance: BTreeMap<(u32, u32), i64> = BTreeMap::new();
+        for e in &trace.events {
+            match e.kind {
+                EventKind::Begin => *balance.entry((e.pid, e.tid)).or_default() += 1,
+                EventKind::End => *balance.entry((e.pid, e.tid)).or_default() -= 1,
+                _ => {}
+            }
+        }
+        for (track, delta) in balance {
+            prop_assert_eq!(delta, 0, "unbalanced spans on track {:?}", track);
+        }
+    }
+
+    /// Parent ids always reference an earlier event, so parent chains
+    /// cannot contain cycles.
+    #[test]
+    fn parent_ids_are_acyclic(ops in proptest::collection::vec(0u8..4, 0..120)) {
+        let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+        let trace = record_script(&ops, ClockMode::Logical);
+        let begin_seqs: Vec<u64> = trace
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::Begin)
+            .map(|e| e.seq)
+            .collect();
+        for e in &trace.events {
+            if e.parent != 0 {
+                prop_assert!(e.parent < e.seq, "parent {} !< seq {}", e.parent, e.seq);
+                prop_assert!(
+                    begin_seqs.contains(&e.parent),
+                    "parent {} is not a span begin",
+                    e.parent
+                );
+            }
+        }
+    }
+}

@@ -119,6 +119,7 @@ pub fn validate_soft_par<S: SoftStatistic + Sync + ?Sized>(
     policy: ExecPolicy,
 ) -> Vec<SoftReport> {
     let _span = netdag_obs::global().span(netdag_obs::keys::SPAN_VALIDATION_SOFT);
+    let _trace = netdag_trace::span_with("validation.soft", &[("kappa", kappa.into())]);
     let margin = hoeffding_margin(kappa, confidence);
     let tasks: Vec<(TaskId, f64)> = constraints.iter().collect();
     netdag_obs::counter!(netdag_obs::keys::VALIDATION_SOFT_TASKS).add(tasks.len() as u64);

@@ -117,6 +117,10 @@ pub fn validate_weakly_hard_par<S: WeaklyHardStatistic + Sync + ?Sized>(
     policy: ExecPolicy,
 ) -> Result<Vec<WeaklyHardReport>, SynthesisError> {
     let _span = netdag_obs::global().span(netdag_obs::keys::SPAN_VALIDATION_WEAKLY_HARD);
+    let _trace = netdag_trace::span_with(
+        "validation.weakly_hard",
+        &[("kappa", kappa.into()), ("trials", trials.into())],
+    );
     let tasks: Vec<(TaskId, Constraint)> = constraints.iter().collect();
     netdag_obs::counter!(netdag_obs::keys::VALIDATION_WEAKLY_HARD_TASKS).add(tasks.len() as u64);
     netdag_obs::counter!(netdag_obs::keys::VALIDATION_WEAKLY_HARD_TRIALS)
