@@ -1,19 +1,146 @@
-//! Ablation A2: exact branch-and-bound versus the greedy baseline.
+//! Ablation A2: the solver engines and backends, head to head.
 //!
-//! Prints the makespan gap (greedy / exact) per random instance and
-//! benches both backends across application sizes — the cost of
-//! optimality for our Z3/Gurobi stand-in.
+//! Two comparisons:
+//!
+//! 1. **Trail vs clone engine** — the trail-based engine
+//!    (`netdag_solver::search`) against the clone-per-node reference
+//!    oracle (`netdag_solver::reference`) on the paper-scale MIMO and
+//!    cartpole round-scheduling CSPs, under the same heuristic so both
+//!    explore the identical tree. Writes a `BENCH_solver.json` summary
+//!    (nodes, wall time, node throughput, speedup) to the workspace
+//!    root and asserts the trail engine never explores more nodes than
+//!    the oracle — the CI smoke gate.
+//! 2. **Exact vs greedy backend** — the optimality-gap report across
+//!    random instances, the cost of optimality for our Z3/Gurobi
+//!    stand-in.
+//!
+//! Set `NETDAG_BENCH_FAST=1` for the CI smoke mode: a reduced node
+//! budget, single-shot timing, and no backend sweep.
+
+use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use netdag_bench::{exact_config, greedy_config};
+use netdag_bench::{
+    cartpole_solver_csp, exact_config, greedy_config, mimo_solver_csp, solver_round_csp,
+};
 use netdag_core::constraints::WeaklyHardConstraints;
 use netdag_core::generators::random_layered_app;
 use netdag_core::stat::Eq13Statistic;
 use netdag_core::weakly_hard::schedule_weakly_hard;
+use netdag_solver::{reference, Model, SearchConfig, SearchOutcome, VarId};
 use netdag_weakly_hard::Constraint;
+
+fn fast_mode() -> bool {
+    std::env::var_os("NETDAG_BENCH_FAST").is_some_and(|v| v != "0")
+}
+
+/// Both engines run the same heuristic with no restarts, so the trees
+/// (and node counts) must be identical; only the cost per node differs.
+fn race_config(fast: bool) -> SearchConfig {
+    SearchConfig {
+        node_limit: Some(if fast { 4_000 } else { 40_000 }),
+        ..SearchConfig::default()
+    }
+}
+
+struct EngineRun {
+    nodes: u64,
+    wall_s: f64,
+    best: Option<i64>,
+}
+
+fn measure(reps: usize, mut run: impl FnMut() -> SearchOutcome, obj: VarId) -> EngineRun {
+    let mut samples: Vec<(f64, SearchOutcome)> = (0..reps.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            let out = run();
+            (start.elapsed().as_secs_f64(), out)
+        })
+        .collect();
+    samples.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+    let (wall_s, out) = samples.swap_remove(samples.len() / 2);
+    EngineRun {
+        nodes: out.stats.nodes,
+        wall_s,
+        best: out.best.map(|s| s.value(obj)),
+    }
+}
+
+struct RaceRow {
+    name: &'static str,
+    trail: EngineRun,
+    clone: EngineRun,
+}
+
+impl RaceRow {
+    fn speedup(&self) -> f64 {
+        let trail_nps = self.trail.nodes as f64 / self.trail.wall_s.max(1e-9);
+        let clone_nps = self.clone.nodes as f64 / self.clone.wall_s.max(1e-9);
+        trail_nps / clone_nps.max(1e-9)
+    }
+}
+
+/// Races both engines on one instance and enforces the tree-identity
+/// and no-extra-nodes gates.
+fn race(name: &'static str, m: &Model, obj: VarId, cfg: &SearchConfig, reps: usize) -> RaceRow {
+    let trail = measure(
+        reps,
+        || m.minimize_with_stats(obj, cfg).expect("model"),
+        obj,
+    );
+    let clone = measure(reps, || reference::run(m, Some(obj), cfg), obj);
+    assert_eq!(
+        trail.best, clone.best,
+        "{name}: engines must agree on the optimum"
+    );
+    assert!(
+        trail.nodes <= clone.nodes,
+        "{name}: trail engine explored {} nodes, clone oracle {} — event-driven \
+         propagation must not weaken pruning",
+        trail.nodes,
+        clone.nodes
+    );
+    RaceRow { name, trail, clone }
+}
+
+fn write_engine_summary(rows: &[RaceRow], fast: bool) {
+    let mut shapes = String::new();
+    for (i, row) in rows.iter().enumerate() {
+        let trail_nps = row.trail.nodes as f64 / row.trail.wall_s.max(1e-9);
+        let clone_nps = row.clone.nodes as f64 / row.clone.wall_s.max(1e-9);
+        shapes.push_str(&format!(
+            "    {{\n      \"shape\": \"{}\",\n      \"nodes\": {},\n      \
+             \"trail_s\": {:.6},\n      \"clone_s\": {:.6},\n      \
+             \"trail_nodes_per_s\": {:.0},\n      \"clone_nodes_per_s\": {:.0},\n      \
+             \"speedup\": {:.2}\n    }}{}\n",
+            row.name,
+            row.trail.nodes,
+            row.trail.wall_s,
+            row.clone.wall_s,
+            trail_nps,
+            clone_nps,
+            row.speedup(),
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    let min_speedup = rows
+        .iter()
+        .map(RaceRow::speedup)
+        .fold(f64::INFINITY, f64::min);
+    let json = format!(
+        "{{\n  \"bench\": \"ablation_solver\",\n  \"fast\": {fast},\n  \
+         \"engines\": [\"trail\", \"clone\"],\n  \"shapes\": [\n{shapes}  ],\n  \
+         \"min_speedup\": {min_speedup:.2}\n}}\n",
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_solver.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("could not write {path}: {e}");
+    }
+    print!("{json}");
+}
 
 fn constrained_instance(
     seed: u64,
@@ -34,35 +161,64 @@ fn constrained_instance(
 }
 
 fn bench_solver(c: &mut Criterion) {
-    let stat = Eq13Statistic::new(8);
-    let sizes: Vec<(&str, Vec<usize>)> = vec![
-        ("small_2x2", vec![2, 2]),
-        ("medium_3x2x2", vec![3, 2, 2]),
-        ("large_4x3x2", vec![4, 3, 2]),
+    let fast = fast_mode();
+    let cfg = race_config(fast);
+    let reps = if fast { 1 } else { 3 };
+
+    // 1. Engine race → BENCH_solver.json (+ node-count gate).
+    let (cart, cart_obj) = cartpole_solver_csp();
+    let (mimo, mimo_obj) = mimo_solver_csp();
+    let rows = vec![
+        race("cartpole", &cart, cart_obj, &cfg, reps),
+        race("mimo", &mimo, mimo_obj, &cfg, reps),
     ];
-    // Optimality-gap report (printed once).
-    for (name, layers) in &sizes {
-        for seed in 0..3u64 {
-            let (app, f) = constrained_instance(seed, layers);
-            let exact = schedule_weakly_hard(&app, &stat, &f, &exact_config())
-                .map(|o| (o.schedule.makespan(&app), o.optimal));
-            let greedy = schedule_weakly_hard(&app, &stat, &f, &greedy_config())
-                .map(|o| o.schedule.makespan(&app));
-            println!("ablation_solver {name} seed={seed} exact={exact:?} greedy={greedy:?}");
-        }
-    }
+    write_engine_summary(&rows, fast);
+
     let mut group = c.benchmark_group("ablation_solver");
     group.sample_size(10);
-    for (name, layers) in &sizes {
-        let (app, f) = constrained_instance(0, layers);
-        group.bench_with_input(BenchmarkId::new("exact", name), &(), |b, ()| {
-            let cfg = exact_config();
-            b.iter(|| schedule_weakly_hard(&app, &stat, &f, &cfg).expect("feasible"))
+    let (wide, wide_obj) = solver_round_csp(&[4, 4], 8);
+    for (name, m, obj) in [
+        ("cartpole", &cart, cart_obj),
+        ("mimo", &mimo, mimo_obj),
+        ("wide_4x4", &wide, wide_obj),
+    ] {
+        group.bench_with_input(BenchmarkId::new("trail", name), &(), |b, ()| {
+            b.iter(|| m.minimize_with_stats(obj, &cfg).expect("model"))
         });
-        group.bench_with_input(BenchmarkId::new("greedy", name), &(), |b, ()| {
-            let cfg = greedy_config();
-            b.iter(|| schedule_weakly_hard(&app, &stat, &f, &cfg).expect("feasible"))
+        group.bench_with_input(BenchmarkId::new("clone", name), &(), |b, ()| {
+            b.iter(|| reference::run(m, Some(obj), &cfg))
         });
+    }
+
+    // 2. Exact vs greedy backend (skipped in the CI smoke mode).
+    if !fast {
+        let stat = Eq13Statistic::new(8);
+        let sizes: Vec<(&str, Vec<usize>)> = vec![
+            ("small_2x2", vec![2, 2]),
+            ("medium_3x2x2", vec![3, 2, 2]),
+            ("large_4x3x2", vec![4, 3, 2]),
+        ];
+        for (name, layers) in &sizes {
+            for seed in 0..3u64 {
+                let (app, f) = constrained_instance(seed, layers);
+                let exact = schedule_weakly_hard(&app, &stat, &f, &exact_config())
+                    .map(|o| (o.schedule.makespan(&app), o.optimal));
+                let greedy = schedule_weakly_hard(&app, &stat, &f, &greedy_config())
+                    .map(|o| o.schedule.makespan(&app));
+                println!("ablation_solver {name} seed={seed} exact={exact:?} greedy={greedy:?}");
+            }
+        }
+        for (name, layers) in &sizes {
+            let (app, f) = constrained_instance(0, layers);
+            group.bench_with_input(BenchmarkId::new("exact", name), &(), |b, ()| {
+                let cfg = exact_config();
+                b.iter(|| schedule_weakly_hard(&app, &stat, &f, &cfg).expect("feasible"))
+            });
+            group.bench_with_input(BenchmarkId::new("greedy", name), &(), |b, ()| {
+                let cfg = greedy_config();
+                b.iter(|| schedule_weakly_hard(&app, &stat, &f, &cfg).expect("feasible"))
+            });
+        }
     }
     group.finish();
 }

@@ -10,6 +10,7 @@
 use netdag_core::app::{Application, TaskId};
 use netdag_core::config::{Backend, SchedulerConfig};
 use netdag_core::generators::mimo_app;
+use netdag_solver::{Model, VarId};
 use netdag_weakly_hard::Constraint;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -66,6 +67,92 @@ pub fn fig4_powers() -> Vec<f64> {
     (1..=10).map(|i| i as f64 / 10.0).collect()
 }
 
+/// Builds a round-scheduling CSP with the same shape the core encoder
+/// produces — per round a retransmission count `χ ∈ [1, chi_max]`, a
+/// length coupled to `χ` through a table constraint, a start time, a
+/// pairwise bus `no_overlap`, full precedence between consecutive
+/// layers, and a global reliability budget `Σχ ≥ target` that keeps the
+/// makespan objective in tension with the retransmission counts.
+/// Returns the model and the makespan variable to minimize.
+///
+/// Used by the `ablation_solver` bench to race the trail engine against
+/// [`netdag_solver::reference`] on identical inputs without going
+/// through the scheduler front end.
+///
+/// # Panics
+///
+/// Panics if the generated model is inconsistent with the solver API
+/// contracts (a fixture bug, not an input condition).
+pub fn solver_round_csp(layers: &[usize], chi_max: i64) -> (Model, VarId) {
+    // TelosB-flavoured constants: a round costs a beacon plus one slot
+    // per retransmission.
+    const BEACON: i64 = 30;
+    const SLOT: i64 = 12;
+    let rounds: usize = layers.iter().sum();
+    let horizon = rounds as i64 * (BEACON + SLOT * chi_max);
+    let table: Vec<i64> = (1..=chi_max).map(|chi| BEACON + SLOT * chi).collect();
+
+    let mut m = Model::new();
+    let mut starts = Vec::new();
+    let mut lens = Vec::new();
+    let mut ends = Vec::new();
+    let mut chis = Vec::new();
+    let mut layer_ends: Vec<Vec<VarId>> = Vec::new();
+    let mut r = 0usize;
+    for &width in layers {
+        let mut this_layer = Vec::new();
+        for _ in 0..width {
+            let chi = m.new_var(&format!("chi{r}"), 1, chi_max).expect("bounds");
+            let len = m.new_var(&format!("len{r}"), 0, horizon).expect("bounds");
+            let start = m.new_var(&format!("s{r}"), 0, horizon).expect("bounds");
+            let end = m.new_var(&format!("e{r}"), 0, horizon).expect("bounds");
+            m.table_fn(chi, len, table.clone()).expect("vars");
+            m.linear_eq(&[(1, end), (-1, start), (-1, len)], 0)
+                .expect("vars");
+            // Single shared bus: no two rounds may overlap.
+            for (&s, &l) in starts.iter().zip(&lens) {
+                m.no_overlap(s, l, start, len).expect("vars");
+            }
+            // Every round of the previous layer precedes this one.
+            if let Some(prev) = layer_ends.last() {
+                for &e in prev {
+                    m.linear_le(&[(1, e), (-1, start)], 0).expect("vars");
+                }
+            }
+            starts.push(start);
+            lens.push(len);
+            ends.push(end);
+            chis.push(chi);
+            this_layer.push(end);
+            r += 1;
+        }
+        layer_ends.push(this_layer);
+    }
+    // Reliability budget: the weakly hard constraints force some rounds
+    // above the minimal χ, so the optimum is a genuine trade-off.
+    let terms: Vec<(i64, VarId)> = chis.iter().map(|&c| (1, c)).collect();
+    m.linear_ge(&terms, (rounds as i64) * 5 / 2).expect("vars");
+    let makespan = m.new_var("makespan", 0, horizon).expect("bounds");
+    m.max_of(&ends, makespan).expect("vars");
+    (m, makespan)
+}
+
+/// The `A_MIMO`-shaped solver instance under per-message rounds: one
+/// round per sensor→control message (18) and per control→actuator
+/// message (12), the paper's 13-task application at the encoder's
+/// `PerMessage` granularity.
+pub fn mimo_solver_csp() -> (Model, VarId) {
+    solver_round_csp(&[18, 12], 8)
+}
+
+/// The cartpole-shaped solver instance at per-message granularity:
+/// each control frame carries the four state components (x, ẋ, θ, θ̇)
+/// as parallel sensor messages followed by the force command, unrolled
+/// over five frames as the encoder unrolls rounds over the hyperperiod.
+pub fn cartpole_solver_csp() -> (Model, VarId) {
+    solver_round_csp(&[4, 1, 4, 1, 4, 1, 4, 1, 4, 1], 8)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -82,5 +169,23 @@ mod tests {
         assert!(b.iter().all(|&(m, _)| m == 14));
         exact_config().validate().unwrap();
         greedy_config().validate().unwrap();
+    }
+
+    #[test]
+    fn solver_csps_are_solvable_and_engine_agnostic() {
+        use netdag_solver::SearchConfig;
+        let cfg = SearchConfig {
+            node_limit: Some(20_000),
+            ..SearchConfig::default()
+        };
+        for (m, obj) in [cartpole_solver_csp(), mimo_solver_csp()] {
+            let trail = m.minimize_with_stats(obj, &cfg).unwrap();
+            let clone = netdag_solver::reference::run(&m, Some(obj), &cfg);
+            let t = trail.best.as_ref().expect("feasible").value(obj);
+            let c = clone.best.as_ref().expect("feasible").value(obj);
+            assert_eq!(t, c, "both engines reach the same best makespan");
+            assert_eq!(trail.stats.nodes, clone.stats.nodes);
+            assert_eq!(trail.stats.backtracks, clone.stats.backtracks);
+        }
     }
 }

@@ -32,6 +32,13 @@ pub struct ScheduleOpts {
     pub per_message_rounds: bool,
     /// Count beacons in `pred(τ)`.
     pub include_beacons: bool,
+    /// Solver configurations raced by the exact backend (0 or 1 =
+    /// classic single-engine search).
+    pub portfolio: u32,
+    /// Worker threads for the portfolio race: 0 = auto (one per core),
+    /// 1 = serial, n = exactly n. Results are identical at every
+    /// setting.
+    pub threads: usize,
     /// Statistic choice.
     pub stat: StatChoice,
     /// Where to write the schedule JSON.
@@ -168,6 +175,11 @@ USAGE:
   netdag schedule --app <app.json> [--soft <f.json> | --weakly-hard <f.json>]
                   [--greedy] [--chi-max N] [--beacon-chi N]
                   [--per-message-rounds] [--include-beacons]
+                  [--portfolio N] (race N diverse solver configs; the
+                                   winner is deterministic, so the
+                                   schedule is identical at any thread
+                                   count; 0/1 = single engine)
+                  [--threads N]   (portfolio workers: 0 = auto, 1 = serial)
                   [--stat eq13 | --stat eq15:<fss>]
                   [--out <schedule.json>] [--timeline]
                   [--metrics <m.json>] [--trace <t.json>]
@@ -287,6 +299,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                 beacon_chi: 2,
                 per_message_rounds: false,
                 include_beacons: false,
+                portfolio: 0,
+                threads: 0,
                 stat: StatChoice::Eq13,
                 out: None,
                 timeline: false,
@@ -312,6 +326,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                     "--beacon-chi" => opts.beacon_chi = cur.parsed("--beacon-chi")?,
                     "--per-message-rounds" => opts.per_message_rounds = true,
                     "--include-beacons" => opts.include_beacons = true,
+                    "--portfolio" => opts.portfolio = cur.parsed("--portfolio")?,
+                    "--threads" => opts.threads = cur.parsed("--threads")?,
                     "--stat" => opts.stat = parse_stat(&cur.value("--stat")?)?,
                     "--out" => opts.out = Some(PathBuf::from(cur.value("--out")?)),
                     "--timeline" => opts.timeline = true,
@@ -537,7 +553,7 @@ mod tests {
         let cmd = parse(
             "schedule --app a.json --weakly-hard f.json --greedy --chi-max 10 \
              --beacon-chi 3 --per-message-rounds --include-beacons \
-             --stat eq15:1.25 --out s.json --timeline",
+             --portfolio 4 --threads 2 --stat eq15:1.25 --out s.json --timeline",
         )
         .unwrap();
         let Command::Schedule(o) = cmd else {
@@ -546,6 +562,8 @@ mod tests {
         assert!(o.greedy && o.per_message_rounds && o.include_beacons && o.timeline);
         assert_eq!(o.chi_max, 10);
         assert_eq!(o.beacon_chi, 3);
+        assert_eq!(o.portfolio, 4);
+        assert_eq!(o.threads, 2);
         assert_eq!(o.stat, StatChoice::Eq15(1.25));
         assert_eq!(o.out, Some(PathBuf::from("s.json")));
     }
@@ -559,6 +577,8 @@ mod tests {
         assert_eq!(o.chi_max, 8);
         assert_eq!(o.stat, StatChoice::Eq13);
         assert_eq!(o.soft, None);
+        assert_eq!(o.portfolio, 0);
+        assert_eq!(o.threads, 0);
     }
 
     #[test]

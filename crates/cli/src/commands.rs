@@ -293,6 +293,8 @@ fn config_from(opts: &ScheduleOpts) -> SchedulerConfig {
             RoundStructure::PerLevel
         },
         include_beacons: opts.include_beacons,
+        portfolio: opts.portfolio,
+        solver_threads: opts.threads,
         ..SchedulerConfig::default()
     }
 }

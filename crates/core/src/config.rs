@@ -60,6 +60,15 @@ pub struct SchedulerConfig {
     /// floods count — the common simplification when beacons are
     /// provisioned separately.
     pub include_beacons: bool,
+    /// Number of solver configurations to race for the exact backend
+    /// (`netdag_solver`'s deterministic portfolio). `0` or `1` keeps the
+    /// classic single-engine search; `N ≥ 2` races `N` diverse configs
+    /// sharing the incumbent makespan, returning bit-identical results
+    /// at any `solver_threads`.
+    pub portfolio: u32,
+    /// Worker threads for the portfolio race (`0` = one per core,
+    /// `1` = serial). Never affects results, only wall time.
+    pub solver_threads: usize,
 }
 
 impl Default for SchedulerConfig {
@@ -73,6 +82,8 @@ impl Default for SchedulerConfig {
             },
             round_structure: RoundStructure::PerLevel,
             include_beacons: false,
+            portfolio: 0,
+            solver_threads: 0,
         }
     }
 }

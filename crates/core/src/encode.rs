@@ -343,13 +343,24 @@ pub(crate) fn solve_exact(
         crate::config::Backend::Exact { node_limit } => node_limit,
         crate::config::Backend::Greedy => None,
     };
-    let outcome = model.minimize_with_stats(
-        makespan,
-        &SearchConfig {
-            node_limit,
-            ..SearchConfig::default()
-        },
-    )?;
+    // With `portfolio ≥ 2`, race that many diverse configurations over
+    // the runtime fan-out; the race shares the incumbent makespan at
+    // epoch boundaries and is bit-identical at any thread count.
+    let outcome = if cfg.portfolio >= 2 {
+        model.minimize_portfolio(
+            makespan,
+            &netdag_solver::portfolio_configs(cfg.portfolio as usize, node_limit),
+            netdag_runtime::ExecPolicy::from_threads(cfg.solver_threads),
+        )?
+    } else {
+        model.minimize_with_stats(
+            makespan,
+            &SearchConfig {
+                node_limit,
+                ..SearchConfig::default()
+            },
+        )?
+    };
     let Some(best) = outcome.best else {
         return Err(ScheduleError::Infeasible);
     };

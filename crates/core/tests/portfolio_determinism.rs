@@ -1,0 +1,123 @@
+//! Satellite determinism test: the portfolio-raced exact backend must
+//! return byte-identical schedules, stats, and winner index at solver
+//! thread counts 1, 2, and 8, on both example applications (the paper's
+//! `A_MIMO` and a cartpole-style sense → control → actuate pipeline).
+
+use netdag_core::app::Application;
+use netdag_core::config::{Backend, ScheduleOutcome, SchedulerConfig};
+use netdag_core::constraints::{SoftConstraints, WeaklyHardConstraints};
+use netdag_core::generators::mimo_app;
+use netdag_core::soft::schedule_soft;
+use netdag_core::stat::{Eq13Statistic, Eq15Statistic};
+use netdag_core::weakly_hard::schedule_weakly_hard;
+use netdag_glossy::NodeId;
+use netdag_weakly_hard::Constraint;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn portfolio_config(threads: usize) -> SchedulerConfig {
+    SchedulerConfig {
+        backend: Backend::Exact {
+            node_limit: Some(6_000),
+        },
+        portfolio: 3,
+        solver_threads: threads,
+        ..SchedulerConfig::default()
+    }
+}
+
+fn assert_identical(outcomes: &[ScheduleOutcome]) {
+    let first = &outcomes[0];
+    let stats = first.stats.expect("exact backend records stats");
+    assert!(
+        stats.portfolio_winner.is_some(),
+        "a feasible race must have a winner"
+    );
+    for other in &outcomes[1..] {
+        assert_eq!(
+            first.schedule, other.schedule,
+            "schedules must be byte-identical across thread counts"
+        );
+        assert_eq!(
+            first.stats, other.stats,
+            "stats (incl. winner index) must be byte-identical"
+        );
+        assert_eq!(first.optimal, other.optimal);
+    }
+}
+
+#[test]
+fn mimo_portfolio_is_thread_count_invariant() {
+    let (app, actuators) = mimo_app(&mut ChaCha8Rng::seed_from_u64(42));
+    let stat = Eq13Statistic::new(8);
+    let mut f = WeaklyHardConstraints::new();
+    for &a in &actuators {
+        f.set(a, Constraint::any_hit(3, 60).expect("valid"))
+            .expect("hit form");
+    }
+    let outcomes: Vec<ScheduleOutcome> = [1usize, 2, 8]
+        .iter()
+        .map(|&t| {
+            schedule_weakly_hard(&app, &stat, &f, &portfolio_config(t))
+                .expect("MIMO under loose constraints is feasible")
+        })
+        .collect();
+    assert_identical(&outcomes);
+    outcomes[0]
+        .schedule
+        .check_feasible(&app)
+        .expect("raced schedule is feasible");
+}
+
+/// A cartpole-style closed-loop pipeline: one sensing task streams the
+/// pole state to a controller, which streams a force command to the
+/// actuator.
+fn cartpole_app() -> Application {
+    let mut b = Application::builder();
+    let sense = b.task("sense", NodeId(0), 200);
+    let ctl = b.task("control", NodeId(1), 500);
+    let act = b.task("actuate", NodeId(2), 100);
+    b.edge(sense, ctl, 8).expect("valid ids");
+    b.edge(ctl, act, 4).expect("valid ids");
+    b.build().expect("chain is acyclic")
+}
+
+#[test]
+fn cartpole_portfolio_is_thread_count_invariant() {
+    let app = cartpole_app();
+    let stat = Eq15Statistic::new(1.2, 8);
+    let mut f = SoftConstraints::new();
+    let act = app.tasks().last().expect("three tasks");
+    f.set(act, 0.9).expect("valid probability");
+    let outcomes: Vec<ScheduleOutcome> = [1usize, 2, 8]
+        .iter()
+        .map(|&t| {
+            schedule_soft(&app, &stat, &f, &portfolio_config(t))
+                .expect("cartpole pipeline is feasible")
+        })
+        .collect();
+    assert_identical(&outcomes);
+    outcomes[0]
+        .schedule
+        .check_feasible(&app)
+        .expect("raced schedule is feasible");
+}
+
+#[test]
+fn portfolio_agrees_with_single_engine_on_makespan() {
+    // The race must not change the *answer*, only how it is found: on
+    // the cartpole chain both the classic engine and the portfolio prove
+    // the same optimal makespan.
+    let app = cartpole_app();
+    let stat = Eq15Statistic::new(1.2, 8);
+    let mut f = SoftConstraints::new();
+    let act = app.tasks().last().expect("three tasks");
+    f.set(act, 0.9).expect("valid probability");
+    let single = schedule_soft(&app, &stat, &f, &SchedulerConfig::default()).expect("feasible");
+    let raced = schedule_soft(&app, &stat, &f, &portfolio_config(1)).expect("feasible");
+    assert_eq!(
+        single.schedule.makespan(&app),
+        raced.schedule.makespan(&app)
+    );
+    assert!(single.optimal && raced.optimal);
+}

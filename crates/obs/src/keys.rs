@@ -28,6 +28,10 @@ pub const SOLVER_PRUNINGS: &str = "solver.prunings";
 /// Feasible solutions encountered (improvements and the satisfaction
 /// hit).
 pub const SOLVER_SOLUTIONS: &str = "solver.solutions";
+/// Luby restarts performed by trail-engine searches.
+pub const SOLVER_RESTARTS: &str = "solver.restarts";
+/// Portfolio races run (`Model::minimize_portfolio` invocations).
+pub const SOLVER_PORTFOLIO_RACES: &str = "solver.portfolio_races";
 
 // ── netdag-glossy ───────────────────────────────────────────────────
 
@@ -103,6 +107,9 @@ pub const SPAN_VALIDATION_WEAKLY_HARD: &str = "validation.weakly_hard";
 
 /// Distribution of search-tree nodes per solver invocation.
 pub const HIST_SOLVER_NODES_PER_SEARCH: &str = "solver.nodes_per_search";
+/// Distribution of undo-trail high-water marks per solver invocation
+/// (zero for the clone-based reference engine).
+pub const HIST_SOLVER_TRAIL_LEN: &str = "solver.trail_len_max";
 
 /// Every counter the workspace emits, in report order.
 pub const ALL_COUNTERS: &[&str] = &[
@@ -120,8 +127,10 @@ pub const ALL_COUNTERS: &[&str] = &[
     SOLVER_BACKTRACKS,
     SOLVER_DECISIONS,
     SOLVER_NODES,
+    SOLVER_PORTFOLIO_RACES,
     SOLVER_PROPAGATIONS,
     SOLVER_PRUNINGS,
+    SOLVER_RESTARTS,
     SOLVER_SEARCHES,
     SOLVER_SOLUTIONS,
     VALIDATION_SOFT_SAMPLES,
@@ -145,4 +154,4 @@ pub const ALL_SPANS: &[&str] = &[
 ];
 
 /// Every histogram the workspace observes.
-pub const ALL_HISTOGRAMS: &[&str] = &[HIST_SOLVER_NODES_PER_SEARCH];
+pub const ALL_HISTOGRAMS: &[&str] = &[HIST_SOLVER_NODES_PER_SEARCH, HIST_SOLVER_TRAIL_LEN];

@@ -22,5 +22,5 @@ pub mod pool;
 pub mod seed;
 
 pub use cache::{fnv1a, Memo};
-pub use pool::{run_indexed, try_run_indexed, ExecPolicy};
+pub use pool::{for_each_indexed_mut, run_indexed, try_run_indexed, ExecPolicy};
 pub use seed::derive_seed;

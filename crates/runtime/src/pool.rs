@@ -1,6 +1,7 @@
 //! Scoped-thread fan-out over indexed jobs, with index-ordered merging.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::thread;
 
 /// How much parallelism to use for a fan-out.
@@ -176,6 +177,64 @@ where
     Ok(out)
 }
 
+/// Runs `f(i, &mut states[i])` for every element of `states`, fanning
+/// the calls out across worker threads. Each state is visited exactly
+/// once; threads claim indices from a shared counter, so the assignment
+/// of states to threads is dynamic but the per-state effect — and
+/// therefore the final contents of `states` — is independent of the
+/// thread count. This is the in-place sibling of [`run_indexed`], built
+/// for stateful jobs like the solver's portfolio engines that must
+/// persist across repeated fan-outs.
+///
+/// Returning from this function is a synchronization barrier: every
+/// `f` call has completed (the scope joins all workers).
+///
+/// # Panics
+///
+/// Propagates a panic from `f`.
+pub fn for_each_indexed_mut<S, F>(policy: ExecPolicy, states: &mut [S], f: F)
+where
+    S: Send,
+    F: Fn(usize, &mut S) + Sync,
+{
+    let jobs = states.len();
+    let threads = policy.thread_count().min(jobs);
+    let _fanout = netdag_trace::span_with(
+        "runtime.fanout",
+        &[("jobs", jobs.into()), ("threads", threads.max(1).into())],
+    );
+    if threads <= 1 {
+        for (i, state) in states.iter_mut().enumerate() {
+            let _job = netdag_trace::span_with("runtime.job", &[("index", i.into())]);
+            f(i, state);
+        }
+        return;
+    }
+
+    // One uncontended mutex per state: a cell is locked exactly once, by
+    // whichever worker claims its index.
+    let cells: Vec<Mutex<&mut S>> = states.iter_mut().map(Mutex::new).collect();
+    let next = AtomicUsize::new(0);
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= jobs {
+                        break;
+                    }
+                    let _job = netdag_trace::span_with("runtime.job", &[("index", idx.into())]);
+                    let mut guard = cells[idx].lock().expect("state mutex poisoned");
+                    f(idx, &mut guard);
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("fan-out worker panicked");
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,6 +272,35 @@ mod tests {
             });
             assert_eq!(out.unwrap_err(), 13);
         }
+    }
+
+    #[test]
+    fn for_each_mut_visits_every_state_once_at_any_thread_count() {
+        for policy in [
+            ExecPolicy::Serial,
+            ExecPolicy::Threads(2),
+            ExecPolicy::Threads(8),
+        ] {
+            let mut states: Vec<u64> = (0..50).collect();
+            for_each_indexed_mut(policy, &mut states, |i, s| {
+                assert_eq!(*s, i as u64);
+                *s = *s * 2 + 1;
+            });
+            let want: Vec<u64> = (0..50).map(|i| i * 2 + 1).collect();
+            assert_eq!(states, want);
+        }
+    }
+
+    #[test]
+    fn for_each_mut_handles_empty_and_repeated_fanouts() {
+        let mut empty: Vec<u8> = Vec::new();
+        for_each_indexed_mut(ExecPolicy::Auto, &mut empty, |_, _| unreachable!());
+        // Stateful jobs persist across epochs.
+        let mut counters = vec![0u32; 7];
+        for _ in 0..5 {
+            for_each_indexed_mut(ExecPolicy::Threads(3), &mut counters, |_, c| *c += 1);
+        }
+        assert!(counters.iter().all(|&c| c == 5));
     }
 
     #[test]

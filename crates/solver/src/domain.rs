@@ -1,4 +1,4 @@
-//! Interval domains for finite-domain variables.
+//! Interval domains for finite-domain variables, with an undo trail.
 
 use std::fmt;
 
@@ -19,15 +19,52 @@ impl fmt::Display for VarId {
     }
 }
 
+/// One undo record: the bounds of `var` before a tightening.
+///
+/// Restoring entries in reverse order rewinds the store to any earlier
+/// trail mark; the first entry pushed for a variable inside a search
+/// node carries the bounds it had when the node was entered, so replays
+/// of later entries are overwritten by earlier (more original) ones.
+#[derive(Debug, Clone, Copy)]
+struct TrailEntry {
+    var: u32,
+    old_lo: i64,
+    old_hi: i64,
+}
+
 /// The current interval `[lo, hi]` of every variable during search.
 ///
 /// Domains are pure intervals (bounds consistency); emptying an interval
 /// signals infeasibility of the current search node.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The store doubles as the trail-based engine's single mutable state:
+/// with recording enabled (crate-internal), every tightening pushes a
+/// `(var, old_lo, old_hi)` undo entry and marks the variable dirty, so
+/// the engine can backtrack chronologically (`DomainStore::undo_to`)
+/// and seed event-driven propagation from exactly the variables that
+/// changed — without cloning the store per search node the way the
+/// [`crate::reference`] engine does.
+#[derive(Debug, Clone)]
 pub struct DomainStore {
     lo: Vec<i64>,
     hi: Vec<i64>,
+    /// Undo log; only grows while `recording`.
+    trail: Vec<TrailEntry>,
+    /// Variables tightened since the last `DomainStore::take_dirty`.
+    dirty: Vec<u32>,
+    /// Dedup flags for `dirty` (one per variable).
+    dirty_flag: Vec<bool>,
+    recording: bool,
 }
+
+impl PartialEq for DomainStore {
+    fn eq(&self, other: &Self) -> bool {
+        // Equality is about the domains, not the bookkeeping.
+        self.lo == other.lo && self.hi == other.hi
+    }
+}
+
+impl Eq for DomainStore {}
 
 /// Marker error: a propagator emptied a domain, the node is infeasible.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,6 +83,10 @@ impl DomainStore {
         DomainStore {
             lo: bounds.iter().map(|b| b.0).collect(),
             hi: bounds.iter().map(|b| b.1).collect(),
+            trail: Vec::new(),
+            dirty: Vec::new(),
+            dirty_flag: vec![false; bounds.len()],
+            recording: false,
         }
     }
 
@@ -89,17 +130,75 @@ impl DomainStore {
         self.hi[v.index()] - self.lo[v.index()]
     }
 
+    /// Logs the pre-change bounds of `v` and marks it dirty.
+    fn note_change(&mut self, i: usize) {
+        self.trail.push(TrailEntry {
+            var: i as u32,
+            old_lo: self.lo[i],
+            old_hi: self.hi[i],
+        });
+        if !self.dirty_flag[i] {
+            self.dirty_flag[i] = true;
+            self.dirty.push(i as u32);
+        }
+    }
+
+    /// Turns trail recording and dirty tracking on or off. Off (the
+    /// default) keeps the store a plain interval vector for the
+    /// clone-per-node [`crate::reference`] engine.
+    pub(crate) fn set_recording(&mut self, on: bool) {
+        self.recording = on;
+    }
+
+    /// Current trail length, to be passed to `DomainStore::undo_to`.
+    pub(crate) fn mark(&self) -> usize {
+        self.trail.len()
+    }
+
+    /// Rewinds the store to trail mark `mark` (chronological
+    /// backtracking): entries are popped and their pre-change bounds
+    /// restored in reverse push order.
+    pub(crate) fn undo_to(&mut self, mark: usize) {
+        while self.trail.len() > mark {
+            let e = self.trail.pop().expect("len > mark");
+            self.lo[e.var as usize] = e.old_lo;
+            self.hi[e.var as usize] = e.old_hi;
+        }
+    }
+
+    /// Moves the set of variables tightened since the last drain into
+    /// `out` (clearing the dirty flags).
+    pub(crate) fn take_dirty(&mut self, out: &mut Vec<u32>) {
+        for &v in &self.dirty {
+            self.dirty_flag[v as usize] = false;
+        }
+        out.append(&mut self.dirty);
+    }
+
+    /// Forgets pending dirty marks (after a failed propagation, the
+    /// engine unwinds and nothing downstream should be woken).
+    pub(crate) fn clear_dirty(&mut self) {
+        for &v in &self.dirty {
+            self.dirty_flag[v as usize] = false;
+        }
+        self.dirty.clear();
+    }
+
     /// Raises the lower bound. Returns `true` when the domain changed.
     ///
     /// # Errors
     ///
     /// Returns [`Infeasible`] when the domain would become empty.
     pub fn set_lo(&mut self, v: VarId, val: i64) -> Result<bool, Infeasible> {
-        if val > self.hi[v.index()] {
+        let i = v.index();
+        if val > self.hi[i] {
             return Err(Infeasible);
         }
-        if val > self.lo[v.index()] {
-            self.lo[v.index()] = val;
+        if val > self.lo[i] {
+            if self.recording {
+                self.note_change(i);
+            }
+            self.lo[i] = val;
             Ok(true)
         } else {
             Ok(false)
@@ -112,11 +211,15 @@ impl DomainStore {
     ///
     /// Returns [`Infeasible`] when the domain would become empty.
     pub fn set_hi(&mut self, v: VarId, val: i64) -> Result<bool, Infeasible> {
-        if val < self.lo[v.index()] {
+        let i = v.index();
+        if val < self.lo[i] {
             return Err(Infeasible);
         }
-        if val < self.hi[v.index()] {
-            self.hi[v.index()] = val;
+        if val < self.hi[i] {
+            if self.recording {
+                self.note_change(i);
+            }
+            self.hi[i] = val;
             Ok(true)
         } else {
             Ok(false)
@@ -176,5 +279,69 @@ mod tests {
     #[should_panic(expected = "not fixed")]
     fn value_of_unfixed_panics() {
         store().value(VarId(0));
+    }
+
+    #[test]
+    fn trail_rewinds_chronologically() {
+        let mut d = store();
+        d.set_recording(true);
+        let m0 = d.mark();
+        d.set_lo(VarId(0), 2).unwrap();
+        let m1 = d.mark();
+        d.set_lo(VarId(0), 4).unwrap();
+        d.set_hi(VarId(1), 1).unwrap();
+        d.fix(VarId(0), 4).unwrap();
+        assert_eq!((d.lo(VarId(0)), d.hi(VarId(0))), (4, 4));
+        d.undo_to(m1);
+        assert_eq!((d.lo(VarId(0)), d.hi(VarId(0))), (2, 10));
+        assert_eq!(d.hi(VarId(1)), 5);
+        d.undo_to(m0);
+        assert_eq!((d.lo(VarId(0)), d.hi(VarId(0))), (0, 10));
+    }
+
+    #[test]
+    fn dirty_set_is_deduplicated_and_drains() {
+        let mut d = store();
+        d.set_recording(true);
+        d.set_lo(VarId(0), 1).unwrap();
+        d.set_lo(VarId(0), 2).unwrap();
+        d.set_hi(VarId(1), 3).unwrap();
+        let mut out = Vec::new();
+        d.take_dirty(&mut out);
+        assert_eq!(out, vec![0, 1]);
+        out.clear();
+        d.take_dirty(&mut out);
+        assert!(out.is_empty());
+        // Re-dirtying after a drain works (flags were cleared).
+        d.set_lo(VarId(0), 3).unwrap();
+        d.take_dirty(&mut out);
+        assert_eq!(out, vec![0]);
+        d.set_hi(VarId(0), 5).unwrap();
+        d.clear_dirty();
+        out.clear();
+        d.take_dirty(&mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn no_recording_means_no_trail_cost() {
+        let mut d = store();
+        d.set_lo(VarId(0), 9).unwrap();
+        assert_eq!(d.mark(), 0);
+        let mut out = Vec::new();
+        d.take_dirty(&mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn equality_ignores_bookkeeping() {
+        let mut a = store();
+        let mut b = store();
+        a.set_recording(true);
+        a.set_lo(VarId(0), 3).unwrap();
+        b.set_lo(VarId(0), 3).unwrap();
+        assert_eq!(a, b);
+        b.set_hi(VarId(1), 0).unwrap();
+        assert_ne!(a, b);
     }
 }

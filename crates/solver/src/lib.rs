@@ -8,8 +8,17 @@
 //!   inequalities, table-defined functions (`y = f(x)`), and min/max
 //!   aggregates — exactly the constraint vocabulary the NETDAG encodings
 //!   need (eqs. (3)–(6) and (10) of the paper);
-//! * depth-first search with configurable branching ([`search`]);
-//! * branch-and-bound minimization with optimality proofs.
+//! * trail-based depth-first search ([`search`]) — single mutable store
+//!   with chronological backtracking, event-driven propagation over a
+//!   var→propagator watch graph, dom/wdeg conflict-guided branching and
+//!   deterministic Luby restarts;
+//! * branch-and-bound minimization with optimality proofs;
+//! * a deterministic parallel portfolio race ([`portfolio`],
+//!   [`Model::minimize_portfolio`]) — N configs share the incumbent
+//!   bound at epoch boundaries and return bit-identical results at any
+//!   thread count;
+//! * the retired clone-per-node engine ([`reference`](mod@reference)), kept as a
+//!   differential-testing oracle and benchmark baseline.
 //!
 //! The decision spaces NETDAG produces are finite (integral retransmission
 //! counts `χ`, integral round indices `l`), so branch-and-bound explores the
@@ -44,9 +53,15 @@
 
 pub mod domain;
 pub mod model;
+pub mod portfolio;
 pub mod propagator;
+pub mod reference;
 pub mod search;
 
 pub use domain::{DomainStore, VarId};
 pub use model::{Model, SolverError};
-pub use search::{SearchConfig, SearchOutcome, SearchStats, Solution, ValueOrder, VarOrder};
+pub use netdag_runtime::ExecPolicy;
+pub use search::{
+    portfolio_configs, RestartPolicy, SearchConfig, SearchOutcome, SearchStats, Solution,
+    ValueOrder, VarOrder,
+};

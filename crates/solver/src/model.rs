@@ -23,6 +23,8 @@ pub enum SolverError {
     EmptyAggregate,
     /// A variable id does not belong to this model.
     UnknownVar(VarId),
+    /// A portfolio race was given no configurations.
+    EmptyPortfolio,
 }
 
 impl fmt::Display for SolverError {
@@ -36,6 +38,9 @@ impl fmt::Display for SolverError {
                 write!(f, "min/max aggregate requires at least one variable")
             }
             SolverError::UnknownVar(v) => write!(f, "unknown variable {v}"),
+            SolverError::EmptyPortfolio => {
+                write!(f, "portfolio race requires at least one configuration")
+            }
         }
     }
 }
@@ -305,6 +310,31 @@ impl Model {
     ) -> Result<SearchOutcome, SolverError> {
         self.check_var(objective)?;
         Ok(search::run(self, Some(objective), cfg))
+    }
+
+    /// Races several search configurations on this model in parallel and
+    /// returns the deterministic winner's outcome (see
+    /// [`crate::portfolio`] module docs — same bits at any thread
+    /// count). [`SearchStats::portfolio_winner`] carries the winning
+    /// config index; the remaining stats are summed across all engines.
+    ///
+    /// [`SearchStats::portfolio_winner`]: crate::SearchStats::portfolio_winner
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::UnknownVar`] if `objective` is foreign and
+    /// [`SolverError::EmptyPortfolio`] when `configs` is empty.
+    pub fn minimize_portfolio(
+        &self,
+        objective: VarId,
+        configs: &[SearchConfig],
+        policy: netdag_runtime::ExecPolicy,
+    ) -> Result<SearchOutcome, SolverError> {
+        self.check_var(objective)?;
+        if configs.is_empty() {
+            return Err(SolverError::EmptyPortfolio);
+        }
+        Ok(crate::portfolio::race(self, objective, configs, policy))
     }
 }
 

@@ -8,8 +8,10 @@ use crate::domain::{DomainStore, Infeasible, VarId};
 ///
 /// Propagators must be *sound* (never remove a value that participates in a
 /// solution) and *monotone* (tightening inputs never loosens outputs); the
-/// fixpoint loop in [`crate::search`] relies on both.
-pub trait Propagator: fmt::Debug {
+/// fixpoint loops in [`crate::search`] and [`crate::reference`] rely on
+/// both. `Send + Sync` lets the portfolio race share one model across
+/// worker threads (propagators are immutable data).
+pub trait Propagator: fmt::Debug + Send + Sync {
     /// Tightens bounds. Returns `true` if any domain changed.
     ///
     /// # Errors
@@ -19,6 +21,12 @@ pub trait Propagator: fmt::Debug {
 
     /// Checks the constraint on a fully fixed assignment.
     fn is_satisfied(&self, dom: &DomainStore) -> bool;
+
+    /// Every variable this propagator reads or writes. The trail engine
+    /// builds its var→propagator watch graph from this list at solve
+    /// time: the propagator is re-run exactly when one of these
+    /// variables' bounds change (event-driven propagation).
+    fn vars(&self) -> Vec<VarId>;
 
     /// Short constraint-kind label used by search traces to say *which*
     /// constraint family pruned a node (e.g. `"no_overlap"` for the
@@ -39,25 +47,41 @@ pub struct LinearLe {
 
 impl LinearLe {
     /// Minimum possible value of `coef · x` under the current bounds.
-    fn term_min(coef: i64, dom: &DomainStore, v: VarId) -> i64 {
+    ///
+    /// Widened to `i128`: `coef` and the bound are both `i64`, so the
+    /// product can need up to 126 bits (`coef · dom.lo(v)` used to wrap
+    /// on wide domains such as the scheduler's `[0, i64::MAX / 4]`
+    /// window variables).
+    fn term_min(coef: i64, dom: &DomainStore, v: VarId) -> i128 {
         if coef >= 0 {
-            coef * dom.lo(v)
+            coef as i128 * dom.lo(v) as i128
         } else {
-            coef * dom.hi(v)
+            coef as i128 * dom.hi(v) as i128
         }
     }
+}
+
+/// Clamps an exact `i128` bound into the representable `i64` range.
+///
+/// Sound for domain tightening: every stored domain endpoint is an
+/// `i64`, so a computed bound beyond `i64`'s range is no stronger than
+/// the clamp (`set_hi(i64::MAX)`/`set_lo(i64::MIN)` are no-ops).
+fn clamp_i64(x: i128) -> i64 {
+    x.clamp(i64::MIN as i128, i64::MAX as i128) as i64
 }
 
 impl Propagator for LinearLe {
     fn propagate(&self, dom: &mut DomainStore) -> Result<bool, Infeasible> {
         // slack = bound − Σ min(term); each term may exceed its own min by
-        // at most the slack.
-        let min_sum: i64 = self
+        // at most the slack. All arithmetic in i128 — exact for any i64
+        // coefficients and bounds (≤ 2^126 per term, and the term count
+        // cannot push the sum past i128).
+        let min_sum: i128 = self
             .terms
             .iter()
             .map(|&(c, v)| Self::term_min(c, dom, v))
             .sum();
-        let slack = self.bound - min_sum;
+        let slack = self.bound as i128 - min_sum;
         if slack < 0 {
             return Err(Infeasible);
         }
@@ -68,12 +92,12 @@ impl Propagator for LinearLe {
             }
             if c > 0 {
                 // c·x ≤ c·lo + slack  ⇒  x ≤ lo + slack / c
-                let max = dom.lo(v) + slack / c;
-                changed |= dom.set_hi(v, max)?;
+                let max = dom.lo(v) as i128 + slack / c as i128;
+                changed |= dom.set_hi(v, clamp_i64(max))?;
             } else {
                 // c·x ≤ c·hi + slack  ⇒  x ≥ hi + slack / c  (c < 0)
-                let min = dom.hi(v) + num_div_floor(slack, c);
-                changed |= dom.set_lo(v, min)?;
+                let min = dom.hi(v) as i128 + num_div_floor(slack, c as i128);
+                changed |= dom.set_lo(v, clamp_i64(min))?;
             }
         }
         Ok(changed)
@@ -82,9 +106,13 @@ impl Propagator for LinearLe {
     fn is_satisfied(&self, dom: &DomainStore) -> bool {
         self.terms
             .iter()
-            .map(|&(c, v)| c * dom.value(v))
-            .sum::<i64>()
-            <= self.bound
+            .map(|&(c, v)| c as i128 * dom.value(v) as i128)
+            .sum::<i128>()
+            <= self.bound as i128
+    }
+
+    fn vars(&self) -> Vec<VarId> {
+        self.terms.iter().map(|&(_, v)| v).collect()
     }
 
     fn kind(&self) -> &'static str {
@@ -93,7 +121,7 @@ impl Propagator for LinearLe {
 }
 
 /// Floor division that matches mathematical semantics for negative divisors.
-fn num_div_floor(a: i64, b: i64) -> i64 {
+fn num_div_floor(a: i128, b: i128) -> i128 {
     let q = a / b;
     if (a % b != 0) && ((a < 0) != (b < 0)) {
         q - 1
@@ -158,6 +186,10 @@ impl Propagator for TableFn {
         xi >= 0 && (xi as usize) < self.table.len() && self.table[xi as usize] == dom.value(self.y)
     }
 
+    fn vars(&self) -> Vec<VarId> {
+        vec![self.x, self.y]
+    }
+
     fn kind(&self) -> &'static str {
         "table_fn"
     }
@@ -209,6 +241,12 @@ impl Propagator for MinOf {
         min == dom.value(self.z)
     }
 
+    fn vars(&self) -> Vec<VarId> {
+        let mut vs = self.xs.clone();
+        vs.push(self.z);
+        vs
+    }
+
     fn kind(&self) -> &'static str {
         "min_of"
     }
@@ -256,6 +294,12 @@ impl Propagator for MaxOf {
             .max()
             .expect("non-empty");
         max == dom.value(self.z)
+    }
+
+    fn vars(&self) -> Vec<VarId> {
+        let mut vs = self.xs.clone();
+        vs.push(self.z);
+        vs
     }
 
     fn kind(&self) -> &'static str {
@@ -310,6 +354,10 @@ impl Propagator for NoOverlap {
         sa + da <= sb || sb + db <= sa
     }
 
+    fn vars(&self) -> Vec<VarId> {
+        vec![self.start_a, self.dur_a, self.start_b, self.dur_b]
+    }
+
     fn kind(&self) -> &'static str {
         "no_overlap"
     }
@@ -348,6 +396,10 @@ impl Propagator for IfThenLe {
 
     fn is_satisfied(&self, dom: &DomainStore) -> bool {
         dom.value(self.cond) == 0 || dom.value(self.x) + self.c <= dom.value(self.y)
+    }
+
+    fn vars(&self) -> Vec<VarId> {
+        vec![self.cond, self.x, self.y]
     }
 
     fn kind(&self) -> &'static str {
@@ -422,6 +474,96 @@ mod tests {
         assert_eq!(num_div_floor(-7, 2), -4);
         assert_eq!(num_div_floor(-7, -2), 3);
         assert_eq!(num_div_floor(6, -2), -3);
+    }
+
+    #[test]
+    fn linear_le_near_i64_max_does_not_wrap() {
+        // Regression: coef · lo used to be computed in i64, wrapping on
+        // wide domains. 4 · (i64::MAX / 2) overflows i64; the exact i128
+        // arithmetic must prove infeasibility instead of wrapping to a
+        // negative sum that looks feasible.
+        let p = LinearLe {
+            terms: vec![(4, VarId(0))],
+            bound: 10,
+        };
+        let mut d = dom(&[(i64::MAX / 2, i64::MAX - 1)]);
+        assert_eq!(p.propagate(&mut d), Err(Infeasible));
+
+        // Mirror case: 4 · lo with lo = −(i64::MAX / 2) wrapped positive,
+        // wrongly shrinking the slack. The exact slack prunes x ≤ 2.
+        let p = LinearLe {
+            terms: vec![(4, VarId(0))],
+            bound: 8,
+        };
+        let mut d = dom(&[(-(i64::MAX / 2), i64::MAX / 2)]);
+        p.propagate(&mut d).unwrap();
+        assert_eq!(d.hi(VarId(0)), 2);
+        assert_eq!(d.lo(VarId(0)), -(i64::MAX / 2));
+
+        // Negative coefficient across the full i64 span: −3·x ≤ −6 ⇒
+        // x ≥ 2, with hi near i64::MAX so the old hi-based product wrapped.
+        let p = LinearLe {
+            terms: vec![(-3, VarId(0))],
+            bound: -6,
+        };
+        let mut d = dom(&[(i64::MIN + 1, i64::MAX - 1)]);
+        p.propagate(&mut d).unwrap();
+        assert_eq!(d.lo(VarId(0)), 2);
+    }
+
+    #[test]
+    fn linear_le_is_satisfied_near_i64_max() {
+        let big = i64::MAX / 2;
+        let p = LinearLe {
+            terms: vec![(2, VarId(0)), (2, VarId(1))],
+            bound: i64::MAX,
+        };
+        // 2·big + 2·big = 2·MAX − 2 > MAX: unsatisfied, and the i128 sum
+        // must not wrap into an accidental pass.
+        let d = dom(&[(big, big), (big, big)]);
+        assert!(!p.is_satisfied(&d));
+        let d = dom(&[(big, big), (0, 0)]);
+        assert!(p.is_satisfied(&d));
+    }
+
+    #[test]
+    fn propagators_report_their_vars() {
+        let le = LinearLe {
+            terms: vec![(1, VarId(3)), (-2, VarId(1))],
+            bound: 0,
+        };
+        assert_eq!(le.vars(), vec![VarId(3), VarId(1)]);
+        let t = TableFn {
+            x: VarId(0),
+            y: VarId(2),
+            x_offset: 0,
+            table: vec![1],
+        };
+        assert_eq!(t.vars(), vec![VarId(0), VarId(2)]);
+        let mn = MinOf {
+            xs: vec![VarId(0), VarId(1)],
+            z: VarId(2),
+        };
+        assert_eq!(mn.vars(), vec![VarId(0), VarId(1), VarId(2)]);
+        let mx = MaxOf {
+            xs: vec![VarId(4)],
+            z: VarId(5),
+        };
+        assert_eq!(mx.vars(), vec![VarId(4), VarId(5)]);
+        let no = NoOverlap {
+            start_a: VarId(0),
+            dur_a: VarId(1),
+            start_b: VarId(2),
+            dur_b: VarId(3),
+        };
+        assert_eq!(no.vars(), vec![VarId(0), VarId(1), VarId(2), VarId(3)]);
+        let ite = IfThenLe {
+            cond: VarId(0),
+            x: VarId(1),
+            c: 2,
+            y: VarId(2),
+        };
+        assert_eq!(ite.vars(), vec![VarId(0), VarId(1), VarId(2)]);
     }
 
     #[test]

@@ -1,0 +1,261 @@
+//! The retired clone-based search engine, kept as a differential
+//! oracle and benchmark baseline.
+//!
+//! This is the pre-trail engine verbatim minus metrics/trace
+//! instrumentation: it clones the whole [`DomainStore`] at every branch
+//! value and re-runs **every** propagator on every fixpoint pass. The
+//! trail engine ([`crate::SearchConfig`]-driven, used by
+//! [`crate::Model::solve`] and friends) must agree with it on
+//! feasibility and optimal objective — `tests/differential.rs`
+//! property-tests exactly that — and beat it on node throughput
+//! (`benches/ablation_solver.rs` measures the ratio into
+//! `BENCH_solver.json`).
+//!
+//! Restarts and dom/wdeg do not exist here: [`SearchConfig::restarts`]
+//! is ignored and [`VarOrder::DomWdeg`] falls back to input order (the
+//! reference engine keeps no conflict weights). With any other
+//! configuration both engines reach the same propagation fixpoint at
+//! every node (propagators are monotone, so the fixpoint is unique) and
+//! therefore explore the identical tree: node, decision, and backtrack
+//! counts match the trail engine exactly.
+
+use crate::domain::{DomainStore, VarId};
+use crate::model::Model;
+use crate::search::{
+    SearchConfig, SearchOutcome, SearchStats, Solution, ValueOrder, VarOrder, ENUMERATE_WIDTH,
+};
+
+struct Ctx<'a> {
+    model: &'a Model,
+    cfg: &'a SearchConfig,
+    objective: Option<VarId>,
+    best: Option<Solution>,
+    best_obj: i64,
+    stats: SearchStats,
+    aborted: bool,
+    /// Set when a satisfaction search stops early because it found a
+    /// solution (a clean stop, not a resource abort).
+    clean_stop: bool,
+}
+
+/// Runs the clone-based DFS (+ branch-and-bound when `objective` is
+/// set) to completion. Does not publish metrics or trace events.
+pub fn run(model: &Model, objective: Option<VarId>, cfg: &SearchConfig) -> SearchOutcome {
+    let mut ctx = Ctx {
+        model,
+        cfg,
+        objective,
+        best: None,
+        best_obj: i64::MAX,
+        stats: SearchStats::default(),
+        aborted: false,
+        clean_stop: false,
+    };
+    let dom = DomainStore::new(&model.bounds);
+    ctx.dfs(dom);
+    ctx.stats.proven_optimal = !ctx.aborted || ctx.clean_stop;
+    SearchOutcome {
+        best: ctx.best,
+        stats: ctx.stats,
+    }
+}
+
+impl Ctx<'_> {
+    fn dfs(&mut self, mut dom: DomainStore) {
+        if self.aborted {
+            return;
+        }
+        self.stats.nodes += 1;
+        if let Some(limit) = self.cfg.node_limit {
+            if self.stats.nodes > limit {
+                self.aborted = true;
+                return;
+            }
+        }
+        // Branch-and-bound: require strict improvement.
+        if let (Some(obj), true) = (self.objective, self.best.is_some()) {
+            if dom.set_hi(obj, self.best_obj - 1).is_err() {
+                self.stats.backtracks += 1;
+                return;
+            }
+        }
+        if self.fixpoint(&mut dom).is_err() {
+            self.stats.backtracks += 1;
+            return;
+        }
+        match self.select(&dom) {
+            None => self.record(&dom),
+            Some(v) => self.branch(v, dom),
+        }
+    }
+
+    /// Propagates to fixpoint with full passes over every propagator.
+    fn fixpoint(&mut self, dom: &mut DomainStore) -> Result<(), ()> {
+        loop {
+            let mut changed = false;
+            for p in &self.model.props {
+                self.stats.propagations += 1;
+                match p.propagate(dom) {
+                    Ok(c) => {
+                        self.stats.prunings += u64::from(c);
+                        changed |= c;
+                    }
+                    Err(_) => return Err(()),
+                }
+            }
+            // Re-apply the bound inside the fixpoint so it composes with
+            // propagation.
+            if let (Some(obj), true) = (self.objective, self.best.is_some()) {
+                match dom.set_hi(obj, self.best_obj - 1) {
+                    Ok(c) => changed |= c,
+                    Err(_) => return Err(()),
+                }
+            }
+            if !changed {
+                return Ok(());
+            }
+        }
+    }
+
+    fn select(&self, dom: &DomainStore) -> Option<VarId> {
+        let unfixed = (0..dom.len() as u32)
+            .map(VarId)
+            .filter(|&v| !dom.is_fixed(v));
+        match self.cfg.var_order {
+            // No conflict weights here: dom/wdeg degrades to input order.
+            VarOrder::Input | VarOrder::DomWdeg => unfixed.into_iter().next(),
+            VarOrder::SmallestDomain => unfixed.min_by_key(|&v| dom.width(v)),
+        }
+    }
+
+    fn branch(&mut self, v: VarId, dom: DomainStore) {
+        let (lo, hi) = (dom.lo(v), dom.hi(v));
+        if hi - lo <= ENUMERATE_WIDTH {
+            let values: Vec<i64> = match self.cfg.value_order {
+                ValueOrder::MinFirst => (lo..=hi).collect(),
+                ValueOrder::MaxFirst => (lo..=hi).rev().collect(),
+            };
+            for val in values {
+                self.stats.decisions += 1;
+                let mut child = dom.clone();
+                if child.fix(v, val).is_ok() {
+                    self.dfs(child);
+                } else {
+                    self.stats.backtracks += 1;
+                }
+                if self.aborted {
+                    return;
+                }
+            }
+        } else {
+            let mid = lo + (hi - lo) / 2;
+            let halves: [(i64, i64); 2] = match self.cfg.value_order {
+                ValueOrder::MinFirst => [(lo, mid), (mid + 1, hi)],
+                ValueOrder::MaxFirst => [(mid + 1, hi), (lo, mid)],
+            };
+            for (a, b) in halves {
+                self.stats.decisions += 1;
+                let mut child = dom.clone();
+                if child.set_lo(v, a).is_ok() && child.set_hi(v, b).is_ok() {
+                    self.dfs(child);
+                } else {
+                    self.stats.backtracks += 1;
+                }
+                if self.aborted {
+                    return;
+                }
+            }
+        }
+    }
+
+    fn record(&mut self, dom: &DomainStore) {
+        debug_assert!(
+            self.model.props.iter().all(|p| p.is_satisfied(dom)),
+            "propagation fixpoint accepted an infeasible assignment"
+        );
+        self.stats.solutions += 1;
+        let values: Vec<i64> = (0..dom.len() as u32).map(|i| dom.value(VarId(i))).collect();
+        match self.objective {
+            None => {
+                self.best = Some(Solution { values });
+                // Satisfaction search: stop cleanly at the first solution.
+                self.aborted = true;
+                self.clean_stop = true;
+            }
+            Some(obj) => {
+                let val = dom.value(obj);
+                if val < self.best_obj {
+                    self.best_obj = val;
+                    self.best = Some(Solution { values });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+    use crate::search;
+
+    fn scheduling_model() -> (Model, VarId) {
+        let mut m = Model::new();
+        let s1 = m.new_var("s1", 0, 10).unwrap();
+        let s2 = m.new_var("s2", 0, 10).unwrap();
+        let s3 = m.new_var("s3", 0, 10).unwrap();
+        let d1 = m.constant("d1", 1);
+        let d2 = m.constant("d2", 1);
+        let d3 = m.constant("d3", 2);
+        m.no_overlap(s1, d1, s2, d2).unwrap();
+        m.no_overlap(s1, d1, s3, d3).unwrap();
+        m.no_overlap(s2, d2, s3, d3).unwrap();
+        let mk = m.new_var("makespan", 0, 20).unwrap();
+        let e1 = m.new_var("e1", 0, 20).unwrap();
+        let e2 = m.new_var("e2", 0, 20).unwrap();
+        let e3 = m.new_var("e3", 0, 20).unwrap();
+        m.linear_eq(&[(1, e1), (-1, s1)], 1).unwrap();
+        m.linear_eq(&[(1, e2), (-1, s2)], 1).unwrap();
+        m.linear_eq(&[(1, e3), (-1, s3)], 2).unwrap();
+        m.max_of(&[e1, e2, e3], mk).unwrap();
+        (m, mk)
+    }
+
+    #[test]
+    fn reference_agrees_with_trail_engine_on_scheduling() {
+        let (m, mk) = scheduling_model();
+        let cfg = SearchConfig::default();
+        let reference = run(&m, Some(mk), &cfg);
+        let trail = search::run(&m, Some(mk), &cfg);
+        let (a, b) = (reference.best.unwrap(), trail.best.unwrap());
+        assert_eq!(a, b, "identical tree order must yield identical optima");
+        assert_eq!(a.value(mk), 4);
+        // Same heuristic + unique propagation fixpoint ⇒ identical tree.
+        assert_eq!(reference.stats.nodes, trail.stats.nodes);
+        assert_eq!(reference.stats.decisions, trail.stats.decisions);
+        assert_eq!(reference.stats.backtracks, trail.stats.backtracks);
+        assert_eq!(reference.stats.solutions, trail.stats.solutions);
+        // The clone engine keeps no trail and runs full passes.
+        assert_eq!(reference.stats.trail_len_max, 0);
+        assert!(reference.stats.propagations >= trail.stats.propagations);
+    }
+
+    #[test]
+    fn reference_satisfaction_and_infeasibility() {
+        let mut m = Model::new();
+        let x = m.new_var("x", 0, 9).unwrap();
+        let y = m.new_var("y", 0, 9).unwrap();
+        m.linear_eq(&[(1, x), (1, y)], 9).unwrap();
+        let out = run(&m, None, &SearchConfig::default());
+        let sol = out.best.unwrap();
+        assert_eq!(sol.value(x) + sol.value(y), 9);
+        assert!(out.stats.proven_optimal);
+
+        let mut inf = Model::new();
+        let z = inf.new_var("z", 0, 3).unwrap();
+        inf.linear_ge(&[(1, z)], 10).unwrap();
+        let out = run(&inf, None, &SearchConfig::default());
+        assert!(out.best.is_none());
+        assert!(out.stats.proven_optimal);
+    }
+}

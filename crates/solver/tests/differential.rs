@@ -1,0 +1,215 @@
+//! Differential property tests: the trail-based engine against the
+//! retired clone-based [`netdag_solver::reference`] engine on random
+//! models mixing every constraint family (≤ 12 variables).
+//!
+//! The reference engine is the oracle: both engines must agree on
+//! feasibility and on the optimal objective value under every heuristic,
+//! and — because propagators are monotone, so the propagation fixpoint
+//! at each node is unique — the trail engine must explore the *exact*
+//! same tree (node/decision/backtrack counts) when both run the same
+//! domain-only heuristic.
+
+use netdag_solver::{reference, Model, RestartPolicy, SearchConfig, ValueOrder, VarId, VarOrder};
+use proptest::prelude::*;
+
+/// One random constraint over the base variables; some add a derived
+/// variable when posted.
+#[derive(Debug, Clone)]
+enum Cons {
+    /// `Σ coef·x_i ≤ bound` over the base vars.
+    Lin { coefs: Vec<i64>, bound: i64 },
+    /// `y = table[x_i]` with a fresh `y`.
+    Table { x: usize, table: Vec<i64> },
+    /// `z = min(subset)` / `z = max(subset)` with a fresh `z`.
+    MinMax { is_min: bool, mask: Vec<bool> },
+    /// Disjunctive no-overlap between two base vars with constant
+    /// durations (adds two constant vars).
+    NoOverlap {
+        a: usize,
+        b: usize,
+        da: i64,
+        db: i64,
+    },
+    /// `cond = 1 ⇒ x_a + c ≤ x_b` with a fresh 0/1 `cond`.
+    IfThenLe { a: usize, b: usize, c: i64 },
+}
+
+#[derive(Debug, Clone)]
+struct MixedProblem {
+    /// Base var domains `[0, width]`.
+    widths: Vec<i64>,
+    cons: Vec<Cons>,
+}
+
+fn one_cons(n: usize) -> impl Strategy<Value = Cons> {
+    let lin = (proptest::collection::vec(-3i64..4, n), -4i64..20)
+        .prop_map(|(coefs, bound)| Cons::Lin { coefs, bound });
+    let table = (0..n, proptest::collection::vec(0i64..10, 7))
+        .prop_map(|(x, table)| Cons::Table { x, table });
+    let minmax = (
+        proptest::arbitrary::any::<bool>(),
+        proptest::collection::vec(proptest::arbitrary::any::<bool>(), n),
+    )
+        .prop_map(|(is_min, mask)| Cons::MinMax { is_min, mask });
+    let no_overlap =
+        (0..n, 0..n, 1i64..3, 1i64..3).prop_map(|(a, b, da, db)| Cons::NoOverlap { a, b, da, db });
+    let if_then = (0..n, 0..n, -2i64..3).prop_map(|(a, b, c)| Cons::IfThenLe { a, b, c });
+    prop_oneof![lin, table, minmax, no_overlap, if_then]
+}
+
+fn mixed_problem() -> impl Strategy<Value = MixedProblem> {
+    (2usize..5)
+        .prop_flat_map(|n| {
+            let widths = proptest::collection::vec(1i64..6, n);
+            let cons = proptest::collection::vec(one_cons(n), 1..4);
+            (widths, cons)
+        })
+        .prop_map(|(widths, cons)| MixedProblem { widths, cons })
+}
+
+/// Builds the model; stays within the 12-variable budget (≤ 4 base,
+/// ≤ 3 constraints adding ≤ 2 vars each, 1 objective).
+fn build(p: &MixedProblem) -> (Model, VarId) {
+    let mut m = Model::new();
+    let base: Vec<VarId> = p
+        .widths
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| m.new_var(&format!("x{i}"), 0, w).expect("valid"))
+        .collect();
+    for (k, c) in p.cons.iter().enumerate() {
+        match c {
+            Cons::Lin { coefs, bound } => {
+                let terms: Vec<(i64, VarId)> =
+                    coefs.iter().copied().zip(base.iter().copied()).collect();
+                m.linear_le(&terms, *bound).expect("valid");
+            }
+            Cons::Table { x, table } => {
+                let y = m.new_var(&format!("y{k}"), 0, 10).expect("valid");
+                // Table must cover the full domain of x: widths < 6 and
+                // the generated table has 7 entries.
+                let slice = table[..=(p.widths[*x] as usize)].to_vec();
+                m.table_fn(base[*x], y, slice).expect("valid");
+            }
+            Cons::MinMax { is_min, mask } => {
+                let subset: Vec<VarId> = base
+                    .iter()
+                    .zip(mask)
+                    .filter(|(_, &keep)| keep)
+                    .map(|(&v, _)| v)
+                    .collect();
+                if subset.is_empty() {
+                    continue;
+                }
+                let z = m.new_var(&format!("z{k}"), 0, 10).expect("valid");
+                if *is_min {
+                    m.min_of(&subset, z).expect("valid");
+                } else {
+                    m.max_of(&subset, z).expect("valid");
+                }
+            }
+            Cons::NoOverlap { a, b, da, db } => {
+                if a == b {
+                    continue;
+                }
+                let dur_a = m.constant(&format!("da{k}"), *da);
+                let dur_b = m.constant(&format!("db{k}"), *db);
+                m.no_overlap(base[*a], dur_a, base[*b], dur_b)
+                    .expect("valid");
+            }
+            Cons::IfThenLe { a, b, c } => {
+                let cond = m.new_var(&format!("cond{k}"), 0, 1).expect("valid");
+                m.if_then_le(cond, base[*a], *c, base[*b]).expect("valid");
+            }
+        }
+    }
+    let obj_hi: i64 = p.widths.iter().sum();
+    let obj = m.new_var("obj", 0, obj_hi).expect("valid");
+    let mut terms: Vec<(i64, VarId)> = base.iter().map(|&v| (1i64, v)).collect();
+    terms.push((-1, obj));
+    m.linear_eq(&terms, 0).expect("valid");
+    assert!(m.var_count() <= 12, "budget: {} vars", m.var_count());
+    (m, obj)
+}
+
+fn trail_configs() -> Vec<SearchConfig> {
+    vec![
+        SearchConfig::default(),
+        SearchConfig {
+            var_order: VarOrder::SmallestDomain,
+            ..SearchConfig::default()
+        },
+        SearchConfig {
+            var_order: VarOrder::DomWdeg,
+            ..SearchConfig::default()
+        },
+        SearchConfig {
+            value_order: ValueOrder::MaxFirst,
+            ..SearchConfig::default()
+        },
+        SearchConfig {
+            var_order: VarOrder::DomWdeg,
+            restarts: Some(RestartPolicy { scale: 2 }),
+            ..SearchConfig::default()
+        },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Trail engine vs clone-based oracle: identical feasibility verdict
+    /// and identical optimal objective under every heuristic (including
+    /// dom/wdeg and restarts, which the oracle does not implement).
+    #[test]
+    fn trail_engine_matches_reference_oracle(p in mixed_problem()) {
+        let (m, obj) = build(&p);
+        let oracle = reference::run(&m, Some(obj), &SearchConfig::default());
+        prop_assert!(oracle.stats.proven_optimal);
+        for cfg in trail_configs() {
+            let trail = m.minimize_with_stats(obj, &cfg).expect("known var");
+            prop_assert!(trail.stats.proven_optimal, "cfg = {cfg:?}");
+            prop_assert_eq!(
+                oracle.best.is_some(),
+                trail.best.is_some(),
+                "feasibility must agree (cfg = {:?})", cfg
+            );
+            if let (Some(a), Some(b)) = (&oracle.best, &trail.best) {
+                prop_assert_eq!(
+                    a.value(obj),
+                    b.value(obj),
+                    "optimal objective must agree (cfg = {:?})", cfg
+                );
+            }
+        }
+    }
+
+    /// With the same domain-only heuristic both engines reach the same
+    /// unique propagation fixpoint at every node, so they explore the
+    /// exact same tree — the invariant the CI bench gate relies on.
+    #[test]
+    fn same_heuristic_explores_the_identical_tree(p in mixed_problem()) {
+        let (m, obj) = build(&p);
+        for var_order in [VarOrder::Input, VarOrder::SmallestDomain] {
+            let cfg = SearchConfig { var_order, ..SearchConfig::default() };
+            let clone_engine = reference::run(&m, Some(obj), &cfg);
+            let trail = m.minimize_with_stats(obj, &cfg).expect("known var");
+            prop_assert_eq!(clone_engine.stats.nodes, trail.stats.nodes);
+            prop_assert_eq!(clone_engine.stats.decisions, trail.stats.decisions);
+            prop_assert_eq!(clone_engine.stats.backtracks, trail.stats.backtracks);
+            prop_assert_eq!(clone_engine.stats.solutions, trail.stats.solutions);
+            prop_assert_eq!(clone_engine.best, trail.best);
+        }
+    }
+
+    /// Satisfaction searches agree as well (first-solution semantics
+    /// under the identical default heuristic).
+    #[test]
+    fn satisfaction_agrees_with_reference(p in mixed_problem()) {
+        let (m, _) = build(&p);
+        let cfg = SearchConfig::default();
+        let oracle = reference::run(&m, None, &cfg);
+        let trail = m.solve(&cfg).expect("infallible");
+        prop_assert_eq!(oracle.best, trail);
+    }
+}
