@@ -1,0 +1,249 @@
+//! Load generator for the `netdag-serve` scheduling daemon.
+//!
+//! Drives an in-process server over real loopback TCP with a
+//! deterministic request mix — a fixed pool of problems seeded once,
+//! then a multi-connection load phase sampling that pool round-robin —
+//! and writes a `BENCH_serve.json` summary (throughput, p50/p99
+//! request latency, cache hit rate, rejections) to the workspace root.
+//!
+//! Set `NETDAG_BENCH_FAST=1` for the CI smoke mode: a reduced request
+//! count and single-shot criterion sampling.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use netdag_serve::protocol::{Request, Response, STATUS_OK};
+use netdag_serve::{serve, ServeConfig, ServeReport};
+
+fn fast_mode() -> bool {
+    std::env::var_os("NETDAG_BENCH_FAST").is_some_and(|v| v != "0")
+}
+
+const APP: &str = r#"{
+  "tasks": [
+    {"name": "sense", "node": 0, "wcet_us": 500},
+    {"name": "fuse", "node": 1, "wcet_us": 900},
+    {"name": "act", "node": 2, "wcet_us": 300}
+  ],
+  "edges": [
+    {"from": "sense", "to": "fuse", "width": 8},
+    {"from": "fuse", "to": "act", "width": 4}
+  ]
+}"#;
+
+/// The problem pool: one small pipeline under distinct weakly hard
+/// bounds. Pool index determines the constraint, so every run issues
+/// the identical request set.
+fn pool_request(id: u64, slot: usize) -> Request {
+    let (m, k) = [
+        (8u32, 40u32),
+        (9, 40),
+        (10, 40),
+        (11, 40),
+        (10, 50),
+        (12, 60),
+    ][slot % 6];
+    let mut req = Request::op("solve");
+    req.id = Some(id);
+    req.app = Some(serde_json::from_str(APP).expect("app spec"));
+    req.weakly_hard = Some(
+        serde_json::from_str(&format!(
+            r#"{{"constraints":[{{"task":"act","m":{m},"k":{k}}}]}}"#
+        ))
+        .expect("wh spec"),
+    );
+    req
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(120)))
+            .expect("timeout");
+        Client {
+            reader: BufReader::new(stream.try_clone().expect("clone")),
+            writer: stream,
+        }
+    }
+
+    fn send(&mut self, req: &Request) -> Response {
+        let line = serde_json::to_string(req).expect("serialize");
+        self.writer
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("write");
+        self.writer.flush().expect("flush");
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("read");
+        serde_json::from_str(&reply).expect("response JSON")
+    }
+}
+
+fn start_server() -> (
+    std::net::SocketAddr,
+    std::thread::JoinHandle<std::io::Result<ServeReport>>,
+) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let cfg = ServeConfig {
+        workers: 2,
+        queue_capacity: 64,
+        cache_capacity: 64,
+        step_nodes: 4096,
+    };
+    let handle = std::thread::spawn(move || serve(listener, &cfg));
+    (addr, handle)
+}
+
+struct LoadSummary {
+    requests: usize,
+    wall_s: f64,
+    latencies_us: Vec<u64>,
+    hits: u64,
+    misses: u64,
+    warm_starts: u64,
+    rejected: u64,
+}
+
+impl LoadSummary {
+    fn percentile_us(&self, p: usize) -> u64 {
+        let idx = (self.latencies_us.len() * p / 100).min(self.latencies_us.len() - 1);
+        self.latencies_us[idx]
+    }
+
+    fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses + self.warm_starts;
+        if lookups == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / lookups as f64
+    }
+}
+
+fn run_load(fast: bool) -> LoadSummary {
+    let (addr, server) = start_server();
+    let connections = 4usize;
+    let per_connection = if fast { 25 } else { 250 };
+
+    // Seed phase: one connection solves the whole pool cold, so the
+    // load phase measures a steady-state cache.
+    let mut seeder = Client::connect(addr);
+    for slot in 0..6 {
+        let resp = seeder.send(&pool_request(slot as u64, slot));
+        assert_eq!(resp.status, STATUS_OK, "{:?}", resp.reason);
+    }
+
+    // Load phase: each connection walks the pool round-robin from its
+    // own offset; the request set is identical on every run.
+    let started = Instant::now();
+    let mut latencies_us: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|conn| {
+                scope.spawn(move || {
+                    let mut c = Client::connect(addr);
+                    let mut lats = Vec::with_capacity(per_connection);
+                    for i in 0..per_connection {
+                        let req = pool_request((conn * per_connection + i) as u64, conn + i);
+                        let t0 = Instant::now();
+                        let resp = c.send(&req);
+                        lats.push(t0.elapsed().as_micros() as u64);
+                        assert_eq!(resp.status, STATUS_OK, "{:?}", resp.reason);
+                    }
+                    lats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("join"))
+            .collect()
+    });
+    let wall_s = started.elapsed().as_secs_f64();
+    latencies_us.sort_unstable();
+
+    let stats = seeder.send(&Request::op("cache_stats"));
+    let body = stats.cache.expect("cache stats");
+    let bye = seeder.send(&Request::op("shutdown"));
+    assert_eq!(bye.status, STATUS_OK);
+    let report = server
+        .join()
+        .expect("server thread")
+        .expect("server exits cleanly");
+
+    LoadSummary {
+        requests: connections * per_connection,
+        wall_s,
+        latencies_us,
+        hits: body.hits,
+        misses: body.misses,
+        warm_starts: body.warm_starts,
+        rejected: report.rejected,
+    }
+}
+
+fn write_summary(s: &LoadSummary, fast: bool) {
+    let json = format!(
+        "{{\n  \"bench\": \"serve_load\",\n  \"fast\": {fast},\n  \
+         \"requests\": {},\n  \"wall_s\": {:.6},\n  \
+         \"throughput_rps\": {:.0},\n  \"latency_p50_us\": {},\n  \
+         \"latency_p99_us\": {},\n  \"cache\": {{\n    \"hits\": {},\n    \
+         \"misses\": {},\n    \"warm_starts\": {},\n    \
+         \"hit_rate\": {:.4}\n  }},\n  \"rejected\": {}\n}}\n",
+        s.requests,
+        s.wall_s,
+        s.requests as f64 / s.wall_s.max(1e-9),
+        s.percentile_us(50),
+        s.percentile_us(99),
+        s.hits,
+        s.misses,
+        s.warm_starts,
+        s.hit_rate(),
+        s.rejected,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("could not write {path}: {e}");
+    }
+    print!("{json}");
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let fast = fast_mode();
+    let summary = run_load(fast);
+    assert!(
+        summary.hits > 0,
+        "steady-state load must be answered from cache"
+    );
+    assert_eq!(summary.rejected, 0, "load stayed within the queue bound");
+    write_summary(&summary, fast);
+
+    // Criterion view: round-trip latency of one cache-served request.
+    let (addr, server) = start_server();
+    let mut client = Client::connect(addr);
+    let warm = client.send(&pool_request(0, 0));
+    assert_eq!(warm.status, STATUS_OK, "{:?}", warm.reason);
+    let mut group = c.benchmark_group("serve_load");
+    group.sample_size(10);
+    group.bench_function("cached_roundtrip", |b| {
+        b.iter(|| {
+            let resp = client.send(&pool_request(1, 0));
+            assert_eq!(resp.cached, Some(true));
+            resp
+        })
+    });
+    group.finish();
+    let bye = client.send(&Request::op("shutdown"));
+    assert_eq!(bye.status, STATUS_OK);
+    server.join().expect("server thread").expect("serve exits");
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

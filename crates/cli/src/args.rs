@@ -2,7 +2,7 @@
 
 use std::error::Error;
 use std::fmt;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// Which network statistic the scheduler consumes.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -82,6 +82,31 @@ pub struct ValidateOpts {
     pub trace: Option<PathBuf>,
 }
 
+/// `netdag serve` flags: the long-running scheduling daemon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOpts {
+    /// Address to bind.
+    pub host: String,
+    /// Port to bind (0 = ephemeral; the chosen port is printed and
+    /// optionally written to `--port-file`).
+    pub port: u16,
+    /// Worker threads solving requests.
+    pub workers: usize,
+    /// Admission queue bound (requests beyond it are rejected).
+    pub queue: usize,
+    /// Solution cache bound (LRU eviction beyond it).
+    pub cache: usize,
+    /// Engine node budget between deadline polls.
+    pub step_nodes: u64,
+    /// Where to write the bound port as text (for scripts binding
+    /// port 0).
+    pub port_file: Option<PathBuf>,
+    /// Where to write the metrics report JSON (`netdag-obs/1` schema).
+    pub metrics: Option<PathBuf>,
+    /// Where to write the Chrome Trace Event JSON.
+    pub trace: Option<PathBuf>,
+}
+
 /// `netdag trace` flags: replay a solved schedule as a standalone bus
 /// timeline, or structurally check an exported trace.
 #[derive(Debug, Clone, PartialEq)]
@@ -114,10 +139,28 @@ pub enum Command {
     Schedule(ScheduleOpts),
     /// Validate an exported schedule.
     Validate(ValidateOpts),
+    /// Run the scheduling daemon.
+    Serve(ServeOpts),
     /// Replay or check traces.
     Trace(TraceOpts),
     /// Print usage.
     Help,
+}
+
+impl Command {
+    /// The shared reporting flags (`--metrics`, `--trace`) of this
+    /// command, if it accepts them — the single source consulted by
+    /// [`crate::commands::run`], so new subcommands extend this method
+    /// instead of growing per-flag match arms there.
+    pub fn reporting(&self) -> (Option<&Path>, Option<&Path>) {
+        match self {
+            Command::Help | Command::Trace(_) => (None, None),
+            Command::Inspect { metrics, trace, .. } => (metrics.as_deref(), trace.as_deref()),
+            Command::Schedule(o) => (o.metrics.as_deref(), o.trace.as_deref()),
+            Command::Validate(o) => (o.metrics.as_deref(), o.trace.as_deref()),
+            Command::Serve(o) => (o.metrics.as_deref(), o.trace.as_deref()),
+        }
+    }
 }
 
 /// Error from [`parse_args`].
@@ -188,9 +231,22 @@ USAGE:
                   [--stat …] [--kappa N] [--trials N] [--seed N]
                   [--threads N]   (0 = auto, 1 = serial; same results at any N)
                   [--metrics <m.json>] [--trace <t.json>]
+  netdag serve    [--host H] [--port N] (0 = ephemeral, printed on start)
+                  [--workers N] [--queue N] (admission bound; overflow is
+                                             rejected, not queued)
+                  [--cache N]     (solution-cache entries, LRU)
+                  [--step-nodes N] [--port-file <p.txt>]
+                  [--metrics <m.json>] [--trace <t.json>]
   netdag trace    --app <app.json> --schedule <schedule.json> --out <t.json>
   netdag trace    --check <t.json>
   netdag help
+
+`netdag serve` answers newline-delimited JSON requests over TCP
+(solve / validate / cache_stats / shutdown) with the same schedule
+document `netdag schedule --out` writes; repeated problems hit a
+fingerprint-keyed solution cache and structurally similar ones
+warm-start the solver. It runs until a client sends
+{\"op\": \"shutdown\"}, draining accepted work first.
 
 Every subcommand accepts --metrics <path>, writing a machine-readable
 JSON report (schema netdag-obs/1: solver/cache/flood counters plus wall
@@ -389,6 +445,37 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                 return Err(ParseArgsError::MissingFlag("schedule"));
             }
             Ok(Command::Validate(opts))
+        }
+        "serve" => {
+            let mut opts = ServeOpts {
+                host: "127.0.0.1".to_owned(),
+                port: 0,
+                workers: 2,
+                queue: 16,
+                cache: 64,
+                step_nodes: 4096,
+                port_file: None,
+                metrics: None,
+                trace: None,
+            };
+            while let Some(flag) = cur.inner.next() {
+                if common_flag(flag.as_str(), &mut cur, &mut opts.metrics, &mut opts.trace)? {
+                    continue;
+                }
+                match flag.as_str() {
+                    "--host" => opts.host = cur.value("--host")?,
+                    "--port" => opts.port = cur.parsed("--port")?,
+                    "--workers" => opts.workers = cur.parsed("--workers")?,
+                    "--queue" => opts.queue = cur.parsed("--queue")?,
+                    "--cache" => opts.cache = cur.parsed("--cache")?,
+                    "--step-nodes" => opts.step_nodes = cur.parsed("--step-nodes")?,
+                    "--port-file" => {
+                        opts.port_file = Some(PathBuf::from(cur.value("--port-file")?))
+                    }
+                    other => return Err(ParseArgsError::UnknownFlag(other.to_owned())),
+                }
+            }
+            Ok(Command::Serve(opts))
         }
         "trace" => {
             let mut opts = TraceOpts {
@@ -617,6 +704,47 @@ mod tests {
             parse("validate --app a.json").unwrap_err(),
             ParseArgsError::MissingFlag("schedule")
         );
+    }
+
+    #[test]
+    fn serve_defaults_and_flags() {
+        let Command::Serve(d) = parse("serve").unwrap() else {
+            panic!("wrong command");
+        };
+        assert_eq!(d.host, "127.0.0.1");
+        assert_eq!(d.port, 0);
+        assert_eq!((d.workers, d.queue, d.cache), (2, 16, 64));
+        assert_eq!(d.step_nodes, 4096);
+        assert_eq!(d.port_file, None);
+        let Command::Serve(o) = parse(
+            "serve --host 0.0.0.0 --port 9000 --workers 4 --queue 8 --cache 32 \
+             --step-nodes 1024 --port-file p.txt --metrics m.json --trace t.json",
+        )
+        .unwrap() else {
+            panic!("wrong command");
+        };
+        assert_eq!(o.host, "0.0.0.0");
+        assert_eq!(o.port, 9000);
+        assert_eq!((o.workers, o.queue, o.cache), (4, 8, 32));
+        assert_eq!(o.step_nodes, 1024);
+        assert_eq!(o.port_file, Some(PathBuf::from("p.txt")));
+        assert_eq!(o.metrics, Some(PathBuf::from("m.json")));
+        assert_eq!(o.trace, Some(PathBuf::from("t.json")));
+        assert!(matches!(
+            parse("serve --bogus").unwrap_err(),
+            ParseArgsError::UnknownFlag(_)
+        ));
+    }
+
+    #[test]
+    fn reporting_flags_are_centralized() {
+        let cmd = parse("schedule --app a.json --metrics m.json --trace t.json").unwrap();
+        let (metrics, trace) = cmd.reporting();
+        assert_eq!(metrics, Some(Path::new("m.json")));
+        assert_eq!(trace, Some(Path::new("t.json")));
+        assert_eq!(parse("help").unwrap().reporting(), (None, None));
+        let serve = parse("serve --metrics m.json").unwrap();
+        assert_eq!(serve.reporting().0, Some(Path::new("m.json")));
     }
 
     #[test]

@@ -8,7 +8,6 @@ use std::path::Path;
 use netdag_core::app::Application;
 use netdag_core::config::{Backend, RoundStructure, ScheduleError, SchedulerConfig};
 use netdag_core::constraints::WeaklyHardConstraints;
-use netdag_core::schedule::Schedule;
 use netdag_core::soft::schedule_soft;
 use netdag_core::stat::{Eq13Statistic, Eq15Statistic};
 use netdag_core::weakly_hard::schedule_weakly_hard;
@@ -17,7 +16,7 @@ use netdag_runtime::ExecPolicy;
 use netdag_validation::soft::validate_soft_par;
 use netdag_validation::weakly_hard::validate_weakly_hard_par;
 
-use crate::args::{Command, ScheduleOpts, StatChoice, TraceOpts, ValidateOpts, USAGE};
+use crate::args::{Command, ScheduleOpts, ServeOpts, StatChoice, TraceOpts, ValidateOpts, USAGE};
 use crate::replay;
 use crate::spec::{AppSpec, SoftSpec, SpecError, WeaklyHardSpec};
 
@@ -80,18 +79,7 @@ impl From<SpecError> for CliError {
     }
 }
 
-/// The exported schedule file format.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
-pub struct ScheduleExport {
-    /// The schedule itself.
-    pub schedule: Schedule,
-    /// End-to-end latency, µs.
-    pub makespan_us: u64,
-    /// Total bus time, µs.
-    pub bus_us: u64,
-    /// Whether optimality was proven.
-    pub optimal: bool,
-}
+pub use netdag_core::spec::ScheduleExport;
 
 fn read_json<T: serde::de::DeserializeOwned>(path: &Path) -> Result<T, CliError> {
     let text = fs::read_to_string(path).map_err(|e| CliError::Io(path.display().to_string(), e))?;
@@ -137,17 +125,15 @@ fn push_summary(output: &mut Output, note: String) {
 pub fn run(command: &Command) -> Result<Output, CliError> {
     let recorder = netdag_obs::global();
     recorder.preregister(keys::ALL_COUNTERS, keys::ALL_SPANS, keys::ALL_HISTOGRAMS);
-    let (metrics_path, span_key) = match command {
-        Command::Help | Command::Trace(_) => (None, None),
-        Command::Inspect { metrics, .. } => (metrics.as_deref(), Some(keys::SPAN_CLI_INSPECT)),
-        Command::Schedule(opts) => (opts.metrics.as_deref(), Some(keys::SPAN_CLI_SCHEDULE)),
-        Command::Validate(opts) => (opts.metrics.as_deref(), Some(keys::SPAN_CLI_VALIDATE)),
-    };
-    let trace_path = match command {
+    // Each subcommand declares its shared reporting flags once, in
+    // `Command::reporting`; only the wall-time span key stays here.
+    let (metrics_path, trace_path) = command.reporting();
+    let span_key = match command {
         Command::Help | Command::Trace(_) => None,
-        Command::Inspect { trace, .. } => trace.as_deref(),
-        Command::Schedule(opts) => opts.trace.as_deref(),
-        Command::Validate(opts) => opts.trace.as_deref(),
+        Command::Inspect { .. } => Some(keys::SPAN_CLI_INSPECT),
+        Command::Schedule(_) => Some(keys::SPAN_CLI_SCHEDULE),
+        Command::Validate(_) => Some(keys::SPAN_CLI_VALIDATE),
+        Command::Serve(_) => Some(keys::SPAN_CLI_SERVE),
     };
     if trace_path.is_some() {
         netdag_trace::reset();
@@ -218,6 +204,7 @@ fn command_name(command: &Command) -> &'static str {
         Command::Inspect { .. } => "inspect",
         Command::Schedule(_) => "schedule",
         Command::Validate(_) => "validate",
+        Command::Serve(_) => "serve",
         Command::Trace(_) => "trace",
     }
 }
@@ -232,8 +219,49 @@ fn dispatch(command: &Command) -> Result<Output, CliError> {
         Command::Inspect { app, .. } => inspect(app),
         Command::Schedule(opts) => schedule(opts),
         Command::Validate(opts) => validate(opts),
+        Command::Serve(opts) => serve_daemon(opts),
         Command::Trace(opts) => trace_command(opts),
     }
+}
+
+/// `netdag serve`: bind, announce the address, and run the daemon until
+/// a client sends a `shutdown` request. The listening line goes to
+/// stdout immediately (before [`run`] returns) so scripts binding port
+/// 0 can discover the port; `--port-file` additionally writes it to a
+/// file.
+fn serve_daemon(opts: &ServeOpts) -> Result<Output, CliError> {
+    let listener = std::net::TcpListener::bind((opts.host.as_str(), opts.port))
+        .map_err(|e| CliError::Io(format!("{}:{}", opts.host, opts.port), e))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| CliError::Io("local_addr".into(), e))?;
+    println!("netdag-serve listening on {addr}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    if let Some(path) = &opts.port_file {
+        fs::write(path, addr.port().to_string())
+            .map_err(|e| CliError::Io(path.display().to_string(), e))?;
+    }
+    let cfg = netdag_serve::ServeConfig {
+        workers: opts.workers,
+        queue_capacity: opts.queue,
+        cache_capacity: opts.cache,
+        step_nodes: opts.step_nodes,
+    };
+    let report =
+        netdag_serve::serve(listener, &cfg).map_err(|e| CliError::Io(addr.to_string(), e))?;
+    Ok(Output {
+        text: format!(
+            "served {} requests ({} rejected, {} cache hits, {} warm starts, {} cold solves)\n",
+            report.requests,
+            report.rejected,
+            report.cache_hits,
+            report.warm_starts,
+            report.cache_misses
+        ),
+        success: true,
+        summary: None,
+    })
 }
 
 fn inspect(path: &Path) -> Result<Output, CliError> {

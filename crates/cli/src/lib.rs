@@ -26,7 +26,7 @@
 pub mod args;
 pub mod commands;
 pub mod replay;
-pub mod spec;
+pub use netdag_core::spec;
 
 pub use args::{parse_args, Command, ParseArgsError};
 pub use commands::{run, CliError};

@@ -1,0 +1,172 @@
+//! Determinism acceptance tests for the serving daemon: every response
+//! — solved cold, answered from cache, or warm-started from a near
+//! miss — must carry the exact `ScheduleExport` document that
+//! `netdag schedule --out` writes for the same problem, byte for byte.
+//!
+//! The server runs in-process, so it shares the process-global
+//! [`netdag_obs`] recorder with the test: the repeated-request case
+//! asserts a `solver.nodes` delta of zero, proving the cached answer
+//! never touched the search engine.
+
+use std::fs;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+use netdag_cli::{parse_args, run};
+use netdag_obs::keys;
+use netdag_serve::protocol::{Request, Response, STATUS_OK};
+use netdag_serve::{serve, ServeConfig};
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("netdag-serve-test-{tag}-{}", std::process::id()));
+        fs::create_dir_all(&dir).expect("temp dir");
+        TempDir(dir)
+    }
+
+    fn file(&self, name: &str, contents: &str) -> PathBuf {
+        let path = self.0.join(name);
+        fs::write(&path, contents).expect("write temp file");
+        path
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+const APP: &str = r#"{
+  "tasks": [
+    {"name": "sense", "node": 0, "wcet_us": 500},
+    {"name": "fuse", "node": 1, "wcet_us": 900},
+    {"name": "act", "node": 2, "wcet_us": 300}
+  ],
+  "edges": [
+    {"from": "sense", "to": "fuse", "width": 8},
+    {"from": "fuse", "to": "act", "width": 4}
+  ]
+}"#;
+
+fn wh_json(m: u32, k: u32) -> String {
+    format!(r#"{{"constraints":[{{"task":"act","m":{m},"k":{k}}}]}}"#)
+}
+
+/// Runs `netdag schedule` in-process and returns the bytes it wrote to
+/// `--out`.
+fn cli_schedule_bytes(dir: &TempDir, tag: &str, m: u32, k: u32) -> String {
+    let app = dir.file(&format!("app-{tag}.json"), APP);
+    let wh = dir.file(&format!("wh-{tag}.json"), &wh_json(m, k));
+    let out = dir.path(&format!("out-{tag}.json"));
+    let line = format!(
+        "schedule --app {} --weakly-hard {} --out {}",
+        app.display(),
+        wh.display(),
+        out.display()
+    );
+    let command = parse_args(line.split_whitespace().map(str::to_owned)).expect("parsable");
+    let result = run(&command).expect("schedule runs");
+    assert!(result.success);
+    fs::read_to_string(&out).expect("schedule written")
+}
+
+fn solve_request(id: u64, m: u32, k: u32) -> Request {
+    let mut req = Request::op("solve");
+    req.id = Some(id);
+    req.app = Some(serde_json::from_str(APP).expect("app spec"));
+    req.weakly_hard = Some(serde_json::from_str(&wh_json(m, k)).expect("wh spec"));
+    req
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(120)))
+            .expect("timeout");
+        Client {
+            reader: BufReader::new(stream.try_clone().expect("clone")),
+            writer: stream,
+        }
+    }
+
+    fn send(&mut self, req: &Request) -> Response {
+        let line = serde_json::to_string(req).expect("serialize");
+        self.writer
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("write");
+        self.writer.flush().expect("flush");
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("read");
+        serde_json::from_str(&reply).expect("response JSON")
+    }
+}
+
+/// The serve response body, rendered exactly as the CLI renders its
+/// `--out` file.
+fn response_bytes(resp: &Response) -> String {
+    serde_json::to_string_pretty(resp.result.as_ref().expect("schedule in response"))
+        .expect("serialize export")
+}
+
+#[test]
+fn serve_responses_match_cli_schedule_bytes() {
+    let dir = TempDir::new("determinism");
+    // Reference documents from the batch CLI.
+    let cli_cold = cli_schedule_bytes(&dir, "cold", 10, 40);
+    let cli_near = cli_schedule_bytes(&dir, "near", 11, 40);
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let server = std::thread::spawn(move || serve(listener, &ServeConfig::default()));
+    let mut c = Client::connect(addr);
+
+    // Cold solve: same bytes as the CLI.
+    let cold = c.send(&solve_request(1, 10, 40));
+    assert_eq!(cold.status, STATUS_OK, "{:?}", cold.reason);
+    assert_eq!(cold.cached, Some(false));
+    assert_eq!(cold.warm_started, Some(false));
+    assert_eq!(response_bytes(&cold), cli_cold);
+
+    // Repeat: answered from cache — identical bytes, and the search
+    // engine is not consulted at all (solver.nodes delta is zero).
+    let nodes_before = netdag_obs::global().counter(keys::SOLVER_NODES).get();
+    let cached = c.send(&solve_request(2, 10, 40));
+    let nodes_after = netdag_obs::global().counter(keys::SOLVER_NODES).get();
+    assert_eq!(cached.status, STATUS_OK);
+    assert_eq!(cached.cached, Some(true));
+    assert_eq!(
+        nodes_after - nodes_before,
+        0,
+        "a cache hit must expand zero solver nodes"
+    );
+    assert_eq!(response_bytes(&cached), cli_cold);
+
+    // Near miss (same DAG, perturbed constraint): warm-started from the
+    // cached bound, still byte-identical to a cold CLI run of the
+    // perturbed problem.
+    let near = c.send(&solve_request(3, 11, 40));
+    assert_eq!(near.status, STATUS_OK, "{:?}", near.reason);
+    assert_eq!(near.cached, Some(false));
+    assert_eq!(near.warm_started, Some(true));
+    assert_eq!(response_bytes(&near), cli_near);
+
+    let bye = c.send(&Request::op("shutdown"));
+    assert_eq!(bye.status, STATUS_OK);
+    server.join().expect("server thread").expect("serve exits");
+}

@@ -129,6 +129,10 @@ pub enum ScheduleError {
     BadDeadline(TaskId),
     /// Configuration rejected (e.g. `chi_max` or `beacon_chi` zero).
     BadConfig(String),
+    /// A controlled solve was stopped by its controller (deadline) before
+    /// any feasible incumbent was found, so there is nothing to return —
+    /// and nothing was proven about feasibility either.
+    Interrupted,
     /// Internal solver error.
     Solver(SolverError),
 }
@@ -150,6 +154,12 @@ impl fmt::Display for ScheduleError {
                 write!(f, "deadline of {t} is shorter than its WCET")
             }
             ScheduleError::BadConfig(m) => write!(f, "bad configuration: {m}"),
+            ScheduleError::Interrupted => {
+                write!(
+                    f,
+                    "solve interrupted before any feasible schedule was found"
+                )
+            }
             ScheduleError::Solver(e) => write!(f, "solver error: {e}"),
         }
     }

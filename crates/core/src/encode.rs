@@ -7,6 +7,9 @@
 //! table-mapped `χ` (logarithms for eq. (6), miss/window sums for
 //! eq. (10)), and the makespan is minimized by branch-and-bound.
 
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
 use netdag_solver::{Model, SearchConfig, SearchStats, VarId};
 
 use crate::app::{Application, MsgId, TaskId};
@@ -52,18 +55,20 @@ pub(crate) enum ReliabilitySpec {
     /// values are rounded *down* and thresholds *up*, so any solution's
     /// true product meets the requirement.
     Soft {
-        /// Per message: scaled `⌊LOG_SCALE · ln λ_s(χ)⌋`.
-        log_tables: Vec<Vec<i64>>,
+        /// Per message: scaled `⌊LOG_SCALE · ln λ_s(χ)⌋`. Shared: every
+        /// message references the same statistic table, so the per-spec
+        /// builders allocate it once and hand out `Arc` clones.
+        log_tables: Vec<Arc<[i64]>>,
         /// Per constrained task.
         groups: Vec<SoftGroup>,
     },
     /// Eq. (10) via the `⊕` abstraction: total misses `M = Σ m̄(χ_e)`,
     /// window `W = min K(χ_e)`; require `W − M ≥ m` and `W ≤ K`.
     WeaklyHard {
-        /// Per message: `m̄(χ)`.
-        miss_tables: Vec<Vec<i64>>,
-        /// Per message: `K(χ)`.
-        window_tables: Vec<Vec<i64>>,
+        /// Per message: `m̄(χ)` (shared, see `Soft::log_tables`).
+        miss_tables: Vec<Arc<[i64]>>,
+        /// Per message: `K(χ)` (shared, see `Soft::log_tables`).
+        window_tables: Vec<Arc<[i64]>>,
         /// Per constrained task.
         groups: Vec<WhGroup>,
     },
@@ -86,31 +91,48 @@ impl ReliabilitySpec {
     }
 }
 
-/// Solves the full scheduling problem exactly. Returns the schedule, the
-/// search statistics, and whether optimality was proven.
-///
-/// # Errors
-///
-/// [`ScheduleError::Infeasible`] when no feasible assignment exists within
-/// the configured `chi_max`, or solver errors on malformed input.
-pub(crate) fn solve_exact(
+/// The CSP encoding of one scheduling problem, plus the variable handles
+/// needed to drive a search and read a schedule back out.
+pub(crate) struct EncodedModel {
+    model: Model,
+    chi_vars: Vec<VarId>,
+    task_start: Vec<VarId>,
+    round_start: Vec<VarId>,
+    round_dur_vars: Vec<VarId>,
+    makespan: VarId,
+    node_limit: Option<u64>,
+}
+
+/// Builds the full CSP encoding (variables + constraints) without
+/// solving it, so callers can choose between the batch search
+/// ([`solve_exact`]) and an externally steered engine
+/// ([`solve_exact_controlled`]).
+fn build_model(
     app: &Application,
     cfg: &SchedulerConfig,
     rounds: &[Vec<MsgId>],
     spec: &ReliabilitySpec,
     deadlines: &Deadlines,
-) -> Result<(Schedule, SearchStats, bool), ScheduleError> {
+) -> Result<EncodedModel, ScheduleError> {
     let mut model = Model::new();
     let chi_max = cfg.chi_max as i64;
     let msg_count = app.message_count();
 
-    // Slot duration tables per message.
-    let slot_table: Vec<Vec<i64>> = app
+    // Slot duration tables per message, interned by width: eq. (3)'s
+    // slot duration depends only on (χ, width), so messages of equal
+    // width share one table allocation instead of deep-copying it into
+    // every `table_fn` propagator.
+    let mut slot_by_width: BTreeMap<u32, Arc<[i64]>> = BTreeMap::new();
+    let slot_table: Vec<Arc<[i64]>> = app
         .messages()
         .map(|m| {
-            (1..=cfg.chi_max)
-                .map(|chi| cfg.timing.slot_duration(chi, app.message(m).width) as i64)
-                .collect()
+            let width = app.message(m).width;
+            Arc::clone(slot_by_width.entry(width).or_insert_with(|| {
+                (1..=cfg.chi_max)
+                    .map(|chi| cfg.timing.slot_duration(chi, width) as i64)
+                    .collect::<Vec<i64>>()
+                    .into()
+            }))
         })
         .collect();
     let beacon_cost = cfg.timing.beacon_duration(cfg.beacon_chi) as i64;
@@ -146,7 +168,7 @@ pub(crate) fn solve_exact(
                     *table.iter().max().expect("non-empty"),
                 );
                 let v = model.new_var(&format!("log_{m}"), lo, hi)?;
-                model.table_fn(chi_vars[m.index()], v, table.clone())?;
+                model.table_fn(chi_vars[m.index()], v, Arc::clone(table))?;
                 log_vars.push(v);
             }
             for group in groups {
@@ -178,8 +200,8 @@ pub(crate) fn solve_exact(
                     *wt.iter().min().expect("non-empty"),
                     *wt.iter().max().expect("non-empty"),
                 )?;
-                model.table_fn(chi_vars[m.index()], mv, mt.clone())?;
-                model.table_fn(chi_vars[m.index()], wv, wt.clone())?;
+                model.table_fn(chi_vars[m.index()], mv, Arc::clone(mt))?;
+                model.table_fn(chi_vars[m.index()], wv, Arc::clone(wt))?;
                 miss_vars.push(mv);
                 window_vars.push(wv);
             }
@@ -231,7 +253,7 @@ pub(crate) fn solve_exact(
                 table[0],
                 table[cfg.chi_max as usize - 1],
             )?;
-            model.table_fn(chi_vars[m.index()], sd, table.clone())?;
+            model.table_fn(chi_vars[m.index()], sd, Arc::clone(table))?;
             terms.push((1, sd));
             max_dur += table[cfg.chi_max as usize - 1];
         }
@@ -343,20 +365,72 @@ pub(crate) fn solve_exact(
         crate::config::Backend::Exact { node_limit } => node_limit,
         crate::config::Backend::Greedy => None,
     };
+    Ok(EncodedModel {
+        model,
+        chi_vars,
+        task_start,
+        round_start,
+        round_dur_vars,
+        makespan,
+        node_limit,
+    })
+}
+
+/// Reads a schedule out of a complete solver assignment.
+fn extract_schedule(
+    cfg: &SchedulerConfig,
+    rounds: &[Vec<MsgId>],
+    enc: &EncodedModel,
+    best: &netdag_solver::Solution,
+) -> Schedule {
+    let chi: Vec<u32> = enc.chi_vars.iter().map(|&v| best.value(v) as u32).collect();
+    let built_rounds: Vec<Round> = rounds
+        .iter()
+        .enumerate()
+        .map(|(r, msgs)| Round {
+            messages: msgs.clone(),
+            beacon_chi: cfg.beacon_chi,
+            start_us: best.value(enc.round_start[r]) as u64,
+            duration_us: best.value(enc.round_dur_vars[r]) as u64,
+        })
+        .collect();
+    let starts: Vec<u64> = enc
+        .task_start
+        .iter()
+        .map(|&v| best.value(v) as u64)
+        .collect();
+    Schedule::new(built_rounds, chi, starts, cfg.timing)
+}
+
+/// Solves the full scheduling problem exactly. Returns the schedule, the
+/// search statistics, and whether optimality was proven.
+///
+/// # Errors
+///
+/// [`ScheduleError::Infeasible`] when no feasible assignment exists within
+/// the configured `chi_max`, or solver errors on malformed input.
+pub(crate) fn solve_exact(
+    app: &Application,
+    cfg: &SchedulerConfig,
+    rounds: &[Vec<MsgId>],
+    spec: &ReliabilitySpec,
+    deadlines: &Deadlines,
+) -> Result<(Schedule, SearchStats, bool), ScheduleError> {
+    let enc = build_model(app, cfg, rounds, spec, deadlines)?;
     // With `portfolio ≥ 2`, race that many diverse configurations over
     // the runtime fan-out; the race shares the incumbent makespan at
     // epoch boundaries and is bit-identical at any thread count.
     let outcome = if cfg.portfolio >= 2 {
-        model.minimize_portfolio(
-            makespan,
-            &netdag_solver::portfolio_configs(cfg.portfolio as usize, node_limit),
+        enc.model.minimize_portfolio(
+            enc.makespan,
+            &netdag_solver::portfolio_configs(cfg.portfolio as usize, enc.node_limit),
             netdag_runtime::ExecPolicy::from_threads(cfg.solver_threads),
         )?
     } else {
-        model.minimize_with_stats(
-            makespan,
+        enc.model.minimize_with_stats(
+            enc.makespan,
             &SearchConfig {
-                node_limit,
+                node_limit: enc.node_limit,
                 ..SearchConfig::default()
             },
         )?
@@ -364,22 +438,119 @@ pub(crate) fn solve_exact(
     let Some(best) = outcome.best else {
         return Err(ScheduleError::Infeasible);
     };
-
-    // Extract the schedule.
-    let chi: Vec<u32> = chi_vars.iter().map(|&v| best.value(v) as u32).collect();
-    let built_rounds: Vec<Round> = rounds
-        .iter()
-        .enumerate()
-        .map(|(r, msgs)| Round {
-            messages: msgs.clone(),
-            beacon_chi: cfg.beacon_chi,
-            start_us: best.value(round_start[r]) as u64,
-            duration_us: best.value(round_dur_vars[r]) as u64,
-        })
-        .collect();
-    let starts: Vec<u64> = task_start.iter().map(|&v| best.value(v) as u64).collect();
-    let schedule = Schedule::new(built_rounds, chi, starts, cfg.timing);
+    let schedule = extract_schedule(cfg, rounds, &enc, &best);
     Ok((schedule, outcome.stats, outcome.stats.proven_optimal))
+}
+
+/// One engine run under external control: inject an optional warm bound,
+/// then alternate `step(step_nodes)` with the `keep_going` poll.
+/// Publishes the run's stats to the global recorder (one search).
+fn run_engine(
+    enc: &EncodedModel,
+    search_cfg: &SearchConfig,
+    bound: Option<i64>,
+    step_nodes: u64,
+    keep_going: &mut dyn FnMut(&SearchStats) -> bool,
+) -> (Option<netdag_solver::Solution>, SearchStats, bool) {
+    let mut engine = enc.model.engine(Some(enc.makespan), search_cfg);
+    if let Some(b) = bound {
+        engine.inject_bound(b);
+    }
+    let finished = loop {
+        if engine.step(step_nodes.max(1)) {
+            break true;
+        }
+        if !keep_going(engine.stats()) {
+            break false;
+        }
+    };
+    let outcome = engine.into_outcome();
+    netdag_solver::publish_stats(&outcome.stats);
+    (outcome.best, outcome.stats, finished)
+}
+
+/// Adds `add`'s effort counters into `total` (used to report honest
+/// totals when a controlled solve runs a warm attempt plus a cold
+/// fallback).
+fn accumulate(total: &mut SearchStats, add: &SearchStats) {
+    total.nodes += add.nodes;
+    total.decisions += add.decisions;
+    total.backtracks += add.backtracks;
+    total.propagations += add.propagations;
+    total.prunings += add.prunings;
+    total.solutions += add.solutions;
+    total.restarts += add.restarts;
+    total.trail_len_max = total.trail_len_max.max(add.trail_len_max);
+}
+
+/// As [`solve_exact`], but driven by an external controller: an optional
+/// known-feasible `warm_bound` seeds branch-and-bound pruning, and the
+/// search is paused every `step_nodes` nodes to poll `keep_going`
+/// (deadline enforcement). Returns `(schedule, stats, optimal, complete)`
+/// where `complete` is `false` iff `keep_going` stopped the search and
+/// the schedule is merely the best incumbent so far.
+///
+/// The warm bound is injected as `cached_makespan + 1`-style
+/// *strict-improvement* bounds are exclusive: passing `B + 1` keeps
+/// every solution with makespan `≤ B` reachable, so when the true
+/// optimum is `≤ B` the search returns exactly the same lexicographically
+/// first optimal leaf the cold search would (bit-identical schedules).
+/// When the bound over-prunes (the perturbed problem's optimum is worse
+/// than the cached one), the finished-but-empty warm attempt falls back
+/// to one cold run.
+///
+/// `portfolio ≥ 2` configurations race multiple engines and exchange
+/// bounds on their own schedule; they delegate to the batch path and
+/// ignore the controller.
+///
+/// # Errors
+///
+/// As [`solve_exact`], plus [`ScheduleError::Interrupted`] when the
+/// controller stopped the search before any incumbent was found.
+pub(crate) fn solve_exact_controlled(
+    app: &Application,
+    cfg: &SchedulerConfig,
+    rounds: &[Vec<MsgId>],
+    spec: &ReliabilitySpec,
+    deadlines: &Deadlines,
+    control: &mut crate::control::SolveControl<'_>,
+) -> Result<(Schedule, SearchStats, bool, bool), ScheduleError> {
+    let warm_bound = control.warm_bound;
+    let step_nodes = control.step_nodes;
+    let keep_going = &mut *control.keep_going;
+    if cfg.portfolio >= 2 {
+        let (schedule, stats, optimal) = solve_exact(app, cfg, rounds, spec, deadlines)?;
+        return Ok((schedule, stats, optimal, true));
+    }
+    let enc = build_model(app, cfg, rounds, spec, deadlines)?;
+    let search_cfg = SearchConfig {
+        node_limit: enc.node_limit,
+        ..SearchConfig::default()
+    };
+    let mut total = SearchStats::default();
+    let (mut best, stats, mut finished) =
+        run_engine(&enc, &search_cfg, warm_bound, step_nodes, keep_going);
+    let mut proven = stats.proven_optimal;
+    accumulate(&mut total, &stats);
+    if best.is_none() && finished && warm_bound.is_some() {
+        // The warm bound may have pruned a worse-than-cached optimum
+        // (perturbed constraints); distinguish that from true
+        // infeasibility with a cold run.
+        let (b, stats, f) = run_engine(&enc, &search_cfg, None, step_nodes, keep_going);
+        proven = stats.proven_optimal;
+        accumulate(&mut total, &stats);
+        best = b;
+        finished = f;
+    }
+    total.proven_optimal = proven;
+    match best {
+        Some(ref sol) => {
+            let schedule = extract_schedule(cfg, rounds, &enc, sol);
+            Ok((schedule, total, proven, finished))
+        }
+        None if finished => Err(ScheduleError::Infeasible),
+        None => Err(ScheduleError::Interrupted),
+    }
 }
 
 #[cfg(test)]
@@ -398,8 +569,9 @@ mod tests {
     }
 
     fn soft_spec(app: &Application, table: Vec<i64>, threshold: i64) -> ReliabilitySpec {
+        let table: Arc<[i64]> = table.into();
         ReliabilitySpec::Soft {
-            log_tables: app.messages().map(|_| table.clone()).collect(),
+            log_tables: app.messages().map(|_| Arc::clone(&table)).collect(),
             groups: vec![SoftGroup {
                 msgs: app.messages().collect(),
                 threshold,
@@ -461,9 +633,11 @@ mod tests {
             .collect();
         let window: Vec<i64> = (1..=cfg.chi_max as i64).map(|n| 20 * n).collect();
         // Require (m, K) = (10, 40): window ≤ 40 limits χ ≤ 2; W − M ≥ 10.
+        let miss: Arc<[i64]> = miss.into();
+        let window: Arc<[i64]> = window.into();
         let spec = ReliabilitySpec::WeaklyHard {
-            miss_tables: app.messages().map(|_| miss.clone()).collect(),
-            window_tables: app.messages().map(|_| window.clone()).collect(),
+            miss_tables: app.messages().map(|_| Arc::clone(&miss)).collect(),
+            window_tables: app.messages().map(|_| Arc::clone(&window)).collect(),
             groups: vec![WhGroup {
                 msgs: app.messages().collect(),
                 min_hits: 10,

@@ -219,7 +219,7 @@ mod tests {
         let rounds = build_rounds(&app, RoundStructure::PerLevel);
         let table: Vec<i64> = (1..=cfg.chi_max as i64).map(|chi| -10_000 / chi).collect();
         let spec = ReliabilitySpec::Soft {
-            log_tables: vec![table],
+            log_tables: vec![table.into()],
             groups: vec![crate::encode::SoftGroup {
                 msgs: vec![MsgId(0)],
                 threshold: -2_500,
@@ -237,7 +237,7 @@ mod tests {
         let cfg = SchedulerConfig::greedy();
         let rounds = build_rounds(&app, RoundStructure::PerLevel);
         let spec = ReliabilitySpec::Soft {
-            log_tables: vec![vec![-100; cfg.chi_max as usize]],
+            log_tables: vec![vec![-100; cfg.chi_max as usize].into()],
             groups: vec![crate::encode::SoftGroup {
                 msgs: vec![MsgId(0)],
                 threshold: -50,
@@ -260,8 +260,8 @@ mod tests {
             .collect();
         let window: Vec<i64> = (1..=cfg.chi_max as i64).map(|n| 20 * n).collect();
         let spec = ReliabilitySpec::WeaklyHard {
-            miss_tables: vec![miss.clone()],
-            window_tables: vec![window.clone()],
+            miss_tables: vec![miss.clone().into()],
+            window_tables: vec![window.clone().into()],
             groups: vec![crate::encode::WhGroup {
                 msgs: vec![MsgId(0)],
                 min_hits: 10,
@@ -285,8 +285,11 @@ mod tests {
         let rounds = build_rounds(&app, RoundStructure::PerLevel);
         // Windows all larger than K: no χ can satisfy W ≤ K.
         let spec = ReliabilitySpec::WeaklyHard {
-            miss_tables: vec![vec![0; cfg.chi_max as usize]],
-            window_tables: vec![(1..=cfg.chi_max as i64).map(|n| 100 * n).collect()],
+            miss_tables: vec![vec![0; cfg.chi_max as usize].into()],
+            window_tables: vec![(1..=cfg.chi_max as i64)
+                .map(|n| 100 * n)
+                .collect::<Vec<i64>>()
+                .into()],
             groups: vec![crate::encode::WhGroup {
                 msgs: vec![MsgId(0)],
                 min_hits: 1,

@@ -74,6 +74,7 @@ pub mod app;
 pub mod compose;
 pub mod config;
 pub mod constraints;
+pub mod control;
 mod encode;
 pub mod explore;
 pub mod generators;
@@ -83,6 +84,7 @@ pub mod makespan;
 pub mod rounds;
 pub mod schedule;
 pub mod soft;
+pub mod spec;
 pub mod stat;
 pub mod weakly_hard;
 
@@ -93,11 +95,14 @@ pub mod prelude {
         Backend, RoundStructure, ScheduleError, ScheduleOutcome, SchedulerConfig,
     };
     pub use crate::constraints::{Deadlines, SoftConstraints, WeaklyHardConstraints};
+    pub use crate::control::{ControlledOutcome, SolveControl};
     pub use crate::schedule::{Round, Schedule};
-    pub use crate::soft::{schedule_soft, schedule_soft_with_deadlines};
+    pub use crate::soft::{schedule_soft, schedule_soft_controlled, schedule_soft_with_deadlines};
     pub use crate::stat::{
         Eq13Statistic, Eq15Statistic, SoftStatistic, TableSoftStatistic, TableWeaklyHardStatistic,
         WeaklyHardStatistic,
     };
-    pub use crate::weakly_hard::{schedule_weakly_hard, schedule_weakly_hard_with_deadlines};
+    pub use crate::weakly_hard::{
+        schedule_weakly_hard, schedule_weakly_hard_controlled, schedule_weakly_hard_with_deadlines,
+    };
 }

@@ -3,7 +3,8 @@
 use crate::app::{Application, TaskId};
 use crate::config::{Backend, ScheduleError, ScheduleOutcome, SchedulerConfig};
 use crate::constraints::Deadlines;
-use crate::encode::{solve_exact, ReliabilitySpec, LOG_SCALE, LOG_ZERO};
+use crate::control::{ControlledOutcome, SolveControl};
+use crate::encode::{solve_exact, solve_exact_controlled, ReliabilitySpec, LOG_SCALE, LOG_ZERO};
 use crate::heuristic::solve_greedy;
 use crate::rounds::build_rounds;
 use crate::schedule::Schedule;
@@ -68,6 +69,38 @@ pub fn schedule_soft_with_deadlines<S: SoftStatistic + ?Sized>(
     deadlines: &Deadlines,
     cfg: &SchedulerConfig,
 ) -> Result<ScheduleOutcome, ScheduleError> {
+    schedule_soft_inner(app, stat, constraints, deadlines, cfg, None).map(|c| c.outcome)
+}
+
+/// As [`schedule_soft_with_deadlines`], with the exact solve steered by
+/// a [`SolveControl`] (warm-start bound plus pausable search). The
+/// greedy backend has no search to steer and ignores the controller;
+/// `portfolio ≥ 2` delegates to the batch race.
+///
+/// # Errors
+///
+/// As [`schedule_soft_with_deadlines`], plus
+/// [`ScheduleError::Interrupted`] when the controller stopped the solve
+/// before any incumbent existed.
+pub fn schedule_soft_controlled<S: SoftStatistic + ?Sized>(
+    app: &Application,
+    stat: &S,
+    constraints: &crate::constraints::SoftConstraints,
+    deadlines: &Deadlines,
+    cfg: &SchedulerConfig,
+    control: &mut SolveControl<'_>,
+) -> Result<ControlledOutcome, ScheduleError> {
+    schedule_soft_inner(app, stat, constraints, deadlines, cfg, Some(control))
+}
+
+fn schedule_soft_inner<S: SoftStatistic + ?Sized>(
+    app: &Application,
+    stat: &S,
+    constraints: &crate::constraints::SoftConstraints,
+    deadlines: &Deadlines,
+    cfg: &SchedulerConfig,
+    control: Option<&mut SolveControl<'_>>,
+) -> Result<ControlledOutcome, ScheduleError> {
     cfg.validate()?;
     validate_soft(stat)?;
     constraints.validate(app)?;
@@ -85,26 +118,39 @@ pub fn schedule_soft_with_deadlines<S: SoftStatistic + ?Sized>(
             ("messages", app.message_count().into()),
         ],
     );
-    let outcome = match cfg.backend {
+    let (outcome, complete) = match cfg.backend {
         Backend::Exact { .. } => {
-            let (schedule, stats, optimal) = solve_exact(app, cfg, &rounds, &spec, deadlines)?;
-            ScheduleOutcome {
-                schedule,
-                stats: Some(stats),
-                optimal,
-            }
+            let (schedule, stats, optimal, complete) = match control {
+                Some(ctl) => solve_exact_controlled(app, cfg, &rounds, &spec, deadlines, ctl)?,
+                None => {
+                    let (schedule, stats, optimal) =
+                        solve_exact(app, cfg, &rounds, &spec, deadlines)?;
+                    (schedule, stats, optimal, true)
+                }
+            };
+            (
+                ScheduleOutcome {
+                    schedule,
+                    stats: Some(stats),
+                    optimal,
+                },
+                complete,
+            )
         }
         Backend::Greedy => {
             let schedule = solve_greedy(app, cfg, &rounds, &spec, deadlines)?;
-            ScheduleOutcome {
-                schedule,
-                stats: None,
-                optimal: false,
-            }
+            (
+                ScheduleOutcome {
+                    schedule,
+                    stats: None,
+                    optimal: false,
+                },
+                true,
+            )
         }
     };
     outcome.schedule.publish_metrics();
-    Ok(outcome)
+    Ok(ControlledOutcome { outcome, complete })
 }
 
 fn build_spec<S: SoftStatistic + ?Sized>(
@@ -121,13 +167,16 @@ fn build_spec<S: SoftStatistic + ?Sized>(
             (LOG_SCALE * lambda.ln()).floor() as i64
         }
     };
-    let log_tables: Vec<Vec<i64>> = app
+    // λ_s depends only on χ, so one table serves every message: build it
+    // once and hand each message an `Arc` clone (the encoder's `table_fn`
+    // propagators then share the single allocation too).
+    let log_table: std::sync::Arc<[i64]> = (1..=cfg.chi_max)
+        .map(|chi| scaled_log(stat.success_rate(chi)))
+        .collect::<Vec<i64>>()
+        .into();
+    let log_tables: Vec<std::sync::Arc<[i64]>> = app
         .messages()
-        .map(|_| {
-            (1..=cfg.chi_max)
-                .map(|chi| scaled_log(stat.success_rate(chi)))
-                .collect()
-        })
+        .map(|_| std::sync::Arc::clone(&log_table))
         .collect();
     let beacon_log = scaled_log(stat.success_rate(cfg.beacon_chi));
     let groups = constraints

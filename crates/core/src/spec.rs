@@ -1,12 +1,31 @@
 //! JSON specification formats.
+//!
+//! These are the wire/file formats shared by the `netdag` CLI (specs as
+//! files) and the `netdag-serve` daemon (specs embedded in requests):
+//! applications, constraint sets, and the exported schedule document.
 
 use std::error::Error;
 use std::fmt;
 
-use netdag_core::app::{AppError, Application, TaskId};
-use netdag_core::constraints::{ConstraintMapError, SoftConstraints, WeaklyHardConstraints};
+use crate::app::{AppError, Application, TaskId};
+use crate::constraints::{ConstraintMapError, SoftConstraints, WeaklyHardConstraints};
+use crate::schedule::Schedule;
 use netdag_glossy::NodeId;
 use netdag_weakly_hard::{Constraint, ConstraintError};
+
+/// The exported schedule document (`netdag schedule --out`, and the
+/// payload of a `netdag-serve` solve response).
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ScheduleExport {
+    /// The schedule itself.
+    pub schedule: Schedule,
+    /// End-to-end latency, µs.
+    pub makespan_us: u64,
+    /// Total bus time, µs.
+    pub bus_us: u64,
+    /// Whether optimality was proven.
+    pub optimal: bool,
+}
 
 /// One task of an application spec.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]

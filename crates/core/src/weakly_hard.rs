@@ -5,7 +5,8 @@ use netdag_weakly_hard::{oplus_fold, Constraint};
 use crate::app::{Application, TaskId};
 use crate::config::{Backend, ScheduleError, ScheduleOutcome, SchedulerConfig};
 use crate::constraints::Deadlines;
-use crate::encode::{solve_exact, ReliabilitySpec};
+use crate::control::{ControlledOutcome, SolveControl};
+use crate::encode::{solve_exact, solve_exact_controlled, ReliabilitySpec};
 use crate::heuristic::solve_greedy;
 use crate::rounds::build_rounds;
 use crate::schedule::Schedule;
@@ -73,6 +74,38 @@ pub fn schedule_weakly_hard_with_deadlines<S: WeaklyHardStatistic + ?Sized>(
     deadlines: &Deadlines,
     cfg: &SchedulerConfig,
 ) -> Result<ScheduleOutcome, ScheduleError> {
+    schedule_weakly_hard_inner(app, stat, constraints, deadlines, cfg, None).map(|c| c.outcome)
+}
+
+/// As [`schedule_weakly_hard_with_deadlines`], with the exact solve
+/// steered by a [`SolveControl`] (warm-start bound plus pausable
+/// search). The greedy backend has no search to steer and ignores the
+/// controller; `portfolio ≥ 2` delegates to the batch race.
+///
+/// # Errors
+///
+/// As [`schedule_weakly_hard_with_deadlines`], plus
+/// [`ScheduleError::Interrupted`] when the controller stopped the solve
+/// before any incumbent existed.
+pub fn schedule_weakly_hard_controlled<S: WeaklyHardStatistic + ?Sized>(
+    app: &Application,
+    stat: &S,
+    constraints: &crate::constraints::WeaklyHardConstraints,
+    deadlines: &Deadlines,
+    cfg: &SchedulerConfig,
+    control: &mut SolveControl<'_>,
+) -> Result<ControlledOutcome, ScheduleError> {
+    schedule_weakly_hard_inner(app, stat, constraints, deadlines, cfg, Some(control))
+}
+
+fn schedule_weakly_hard_inner<S: WeaklyHardStatistic + ?Sized>(
+    app: &Application,
+    stat: &S,
+    constraints: &crate::constraints::WeaklyHardConstraints,
+    deadlines: &Deadlines,
+    cfg: &SchedulerConfig,
+    control: Option<&mut SolveControl<'_>>,
+) -> Result<ControlledOutcome, ScheduleError> {
     cfg.validate()?;
     validate_weakly_hard(stat)?;
     constraints.validate(app)?;
@@ -90,26 +123,39 @@ pub fn schedule_weakly_hard_with_deadlines<S: WeaklyHardStatistic + ?Sized>(
             ("messages", app.message_count().into()),
         ],
     );
-    let outcome = match cfg.backend {
+    let (outcome, complete) = match cfg.backend {
         Backend::Exact { .. } => {
-            let (schedule, stats, optimal) = solve_exact(app, cfg, &rounds, &spec, deadlines)?;
-            ScheduleOutcome {
-                schedule,
-                stats: Some(stats),
-                optimal,
-            }
+            let (schedule, stats, optimal, complete) = match control {
+                Some(ctl) => solve_exact_controlled(app, cfg, &rounds, &spec, deadlines, ctl)?,
+                None => {
+                    let (schedule, stats, optimal) =
+                        solve_exact(app, cfg, &rounds, &spec, deadlines)?;
+                    (schedule, stats, optimal, true)
+                }
+            };
+            (
+                ScheduleOutcome {
+                    schedule,
+                    stats: Some(stats),
+                    optimal,
+                },
+                complete,
+            )
         }
         Backend::Greedy => {
             let schedule = solve_greedy(app, cfg, &rounds, &spec, deadlines)?;
-            ScheduleOutcome {
-                schedule,
-                stats: None,
-                optimal: false,
-            }
+            (
+                ScheduleOutcome {
+                    schedule,
+                    stats: None,
+                    optimal: false,
+                },
+                true,
+            )
         }
     };
     outcome.schedule.publish_metrics();
-    Ok(outcome)
+    Ok(ControlledOutcome { outcome, complete })
 }
 
 fn build_spec<S: WeaklyHardStatistic + ?Sized>(
@@ -119,24 +165,30 @@ fn build_spec<S: WeaklyHardStatistic + ?Sized>(
     cfg: &SchedulerConfig,
     rounds: &[Vec<crate::app::MsgId>],
 ) -> ReliabilitySpec {
-    let mut miss_tables = Vec::with_capacity(app.message_count());
-    let mut window_tables = Vec::with_capacity(app.message_count());
-    for _ in app.messages() {
-        let mut misses = Vec::with_capacity(cfg.chi_max as usize);
-        let mut windows = Vec::with_capacity(cfg.chi_max as usize);
-        for chi in 1..=cfg.chi_max {
-            match stat.miss_constraint(chi) {
-                Constraint::AnyMiss { m, k } => {
-                    misses.push(m as i64);
-                    windows.push(k as i64);
-                }
-                // validate_weakly_hard rejects anything else up front.
-                other => unreachable!("non-miss statistic {other}"),
+    // λ_WH depends only on χ, so one (miss, window) table pair serves
+    // every message: build each once and share `Arc` clones.
+    let mut misses = Vec::with_capacity(cfg.chi_max as usize);
+    let mut windows = Vec::with_capacity(cfg.chi_max as usize);
+    for chi in 1..=cfg.chi_max {
+        match stat.miss_constraint(chi) {
+            Constraint::AnyMiss { m, k } => {
+                misses.push(m as i64);
+                windows.push(k as i64);
             }
+            // validate_weakly_hard rejects anything else up front.
+            other => unreachable!("non-miss statistic {other}"),
         }
-        miss_tables.push(misses);
-        window_tables.push(windows);
     }
+    let miss_table: std::sync::Arc<[i64]> = misses.into();
+    let window_table: std::sync::Arc<[i64]> = windows.into();
+    let miss_tables: Vec<std::sync::Arc<[i64]>> = app
+        .messages()
+        .map(|_| std::sync::Arc::clone(&miss_table))
+        .collect();
+    let window_tables: Vec<std::sync::Arc<[i64]>> = app
+        .messages()
+        .map(|_| std::sync::Arc::clone(&window_table))
+        .collect();
     let beacon_bound = match stat.miss_constraint(cfg.beacon_chi) {
         Constraint::AnyMiss { m, k } => (m as i64, k as i64),
         other => unreachable!("non-miss statistic {other}"),

@@ -73,6 +73,26 @@ pub const LWB_SLOTS_EXECUTED: &str = "lwb.slots_executed";
 /// Beacon floods sent by the bus executor.
 pub const LWB_BEACONS_SENT: &str = "lwb.beacons_sent";
 
+// ── netdag-serve ────────────────────────────────────────────────────
+
+/// Requests received by the scheduling daemon (any operation).
+pub const SERVE_REQUESTS: &str = "serve.requests";
+/// Solve requests answered straight from the fingerprint cache
+/// (zero solver nodes).
+pub const SERVE_CACHE_HITS: &str = "serve.cache_hits";
+/// Solve requests whose fingerprint missed the cache entirely.
+pub const SERVE_CACHE_MISSES: &str = "serve.cache_misses";
+/// Solve requests warm-started from a structurally matching cached
+/// solution (same DAG, perturbed constraints — or permuted declarations).
+pub const SERVE_WARM_STARTS: &str = "serve.warm_starts";
+/// Requests rejected by admission control (queue full or shutting down).
+pub const SERVE_REJECTS: &str = "serve.rejects";
+/// Solve requests whose deadline expired mid-search (answered with the
+/// best incumbent, marked incomplete).
+pub const SERVE_DEADLINE_EXPIRED: &str = "serve.deadline_expired";
+/// Requests that failed (bad JSON, invalid spec, infeasible problem).
+pub const SERVE_ERRORS: &str = "serve.errors";
+
 // ── netdag-validation ───────────────────────────────────────────────
 
 /// Bernoulli samples drawn by soft validation (eq. (11)).
@@ -92,8 +112,12 @@ pub const SPAN_CLI_INSPECT: &str = "cli.inspect";
 pub const SPAN_CLI_SCHEDULE: &str = "cli.schedule";
 /// Wall time of `netdag validate`.
 pub const SPAN_CLI_VALIDATE: &str = "cli.validate";
+/// Wall time of `netdag serve` (the daemon's whole lifetime).
+pub const SPAN_CLI_SERVE: &str = "cli.serve";
 /// Wall time spent in a scheduling backend (exact or greedy).
 pub const SPAN_CORE_SOLVE: &str = "core.solve";
+/// Wall time of one daemon request, admission to response.
+pub const SPAN_SERVE_REQUEST: &str = "serve.request";
 /// Wall time of soft Monte-Carlo profiling sweeps.
 pub const SPAN_GLOSSY_PROFILE_SOFT: &str = "glossy.profile_soft";
 /// Wall time of weakly hard Monte-Carlo profiling sweeps.
@@ -110,6 +134,10 @@ pub const HIST_SOLVER_NODES_PER_SEARCH: &str = "solver.nodes_per_search";
 /// Distribution of undo-trail high-water marks per solver invocation
 /// (zero for the clone-based reference engine).
 pub const HIST_SOLVER_TRAIL_LEN: &str = "solver.trail_len_max";
+/// Distribution of daemon request latencies, µs (admission to response).
+pub const HIST_SERVE_LATENCY_US: &str = "serve.latency_us";
+/// Admission-queue depth sampled at each enqueue.
+pub const HIST_SERVE_QUEUE_DEPTH: &str = "serve.queue_depth";
 
 /// Every counter the workspace emits, in report order.
 pub const ALL_COUNTERS: &[&str] = &[
@@ -124,6 +152,13 @@ pub const ALL_COUNTERS: &[&str] = &[
     LWB_ROUNDS_SCHEDULED,
     LWB_SLOTS_EXECUTED,
     LWB_SLOTS_SCHEDULED,
+    SERVE_CACHE_HITS,
+    SERVE_CACHE_MISSES,
+    SERVE_DEADLINE_EXPIRED,
+    SERVE_ERRORS,
+    SERVE_REJECTS,
+    SERVE_REQUESTS,
+    SERVE_WARM_STARTS,
     SOLVER_BACKTRACKS,
     SOLVER_DECISIONS,
     SOLVER_NODES,
@@ -145,13 +180,20 @@ pub const ALL_COUNTERS: &[&str] = &[
 pub const ALL_SPANS: &[&str] = &[
     SPAN_CLI_INSPECT,
     SPAN_CLI_SCHEDULE,
+    SPAN_CLI_SERVE,
     SPAN_CLI_VALIDATE,
     SPAN_CORE_SOLVE,
     SPAN_GLOSSY_PROFILE_SOFT,
     SPAN_GLOSSY_PROFILE_WEAKLY_HARD,
+    SPAN_SERVE_REQUEST,
     SPAN_VALIDATION_SOFT,
     SPAN_VALIDATION_WEAKLY_HARD,
 ];
 
 /// Every histogram the workspace observes.
-pub const ALL_HISTOGRAMS: &[&str] = &[HIST_SOLVER_NODES_PER_SEARCH, HIST_SOLVER_TRAIL_LEN];
+pub const ALL_HISTOGRAMS: &[&str] = &[
+    HIST_SERVE_LATENCY_US,
+    HIST_SERVE_QUEUE_DEPTH,
+    HIST_SOLVER_NODES_PER_SEARCH,
+    HIST_SOLVER_TRAIL_LEN,
+];

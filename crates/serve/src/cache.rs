@@ -1,0 +1,221 @@
+//! Bounded LRU solution cache.
+//!
+//! Entries are keyed by the canonical problem [`Fingerprint`]. A lookup
+//! distinguishes three outcomes:
+//!
+//! * **exact hit** — same canonical fingerprint *and* same declaration
+//!   signature: the stored [`ScheduleExport`] is returned verbatim with
+//!   zero solver work;
+//! * **warm hit** — a stored entry solves a structurally identical
+//!   problem (same DAG, statistic and configuration; possibly permuted
+//!   declarations or perturbed constraint bounds): its makespan seeds
+//!   branch-and-bound pruning via the trail engine's injected bound;
+//! * **miss** — nothing usable; the solve runs cold.
+//!
+//! Only complete solves are inserted (a deadline-truncated incumbent
+//! must never be replayed as an answer). Capacity is enforced by
+//! least-recently-used eviction over a monotonic touch stamp; with the
+//! small bounded capacities the daemon uses, the linear scans here are
+//! cheaper than maintaining an ordered index.
+
+use netdag_core::spec::ScheduleExport;
+
+use crate::fingerprint::Fingerprint;
+use crate::protocol::CacheStatsBody;
+
+/// Outcome of a cache probe.
+#[derive(Debug, Clone)]
+pub enum Lookup {
+    /// Exact hit: serve this document verbatim.
+    Exact(ScheduleExport),
+    /// Near miss: warm-start the solve; the payload is the best cached
+    /// makespan (µs) among structurally matching entries.
+    Warm(u64),
+    /// Cold.
+    Miss,
+}
+
+struct Entry {
+    fp: Fingerprint,
+    export: ScheduleExport,
+    makespan_us: u64,
+    stamp: u64,
+}
+
+/// The bounded LRU cache (see the module docs).
+pub struct SolutionCache {
+    capacity: usize,
+    stamp: u64,
+    entries: Vec<Entry>,
+    hits: u64,
+    misses: u64,
+    warm_starts: u64,
+    evictions: u64,
+}
+
+impl SolutionCache {
+    /// An empty cache holding at most `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> SolutionCache {
+        SolutionCache {
+            capacity: capacity.max(1),
+            stamp: 0,
+            entries: Vec::new(),
+            hits: 0,
+            misses: 0,
+            warm_starts: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Probes the cache for `fp`, updating recency and hit statistics.
+    pub fn lookup(&mut self, fp: &Fingerprint) -> Lookup {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.fp.full == fp.full && e.fp.declared == fp.declared)
+        {
+            e.stamp = stamp;
+            self.hits += 1;
+            return Lookup::Exact(e.export.clone());
+        }
+        if let Some(best) = self
+            .entries
+            .iter()
+            .filter(|e| e.fp.structural == fp.structural)
+            .map(|e| e.makespan_us)
+            .min()
+        {
+            self.warm_starts += 1;
+            return Lookup::Warm(best);
+        }
+        self.misses += 1;
+        Lookup::Miss
+    }
+
+    /// Inserts (or refreshes) a complete solve's result, evicting the
+    /// least recently used entry when over capacity.
+    pub fn insert(&mut self, fp: Fingerprint, export: ScheduleExport, makespan_us: u64) {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.fp.full == fp.full && e.fp.declared == fp.declared)
+        {
+            e.export = export;
+            e.makespan_us = makespan_us;
+            e.stamp = stamp;
+            return;
+        }
+        self.entries.push(Entry {
+            fp,
+            export,
+            makespan_us,
+            stamp,
+        });
+        if self.entries.len() > self.capacity {
+            let oldest = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            self.entries.swap_remove(oldest);
+            self.evictions += 1;
+        }
+    }
+
+    /// A snapshot for the `cache_stats` operation (queue fields are
+    /// filled in by the server).
+    pub fn stats(&self) -> CacheStatsBody {
+        CacheStatsBody {
+            entries: self.entries.len() as u64,
+            capacity: self.capacity as u64,
+            hits: self.hits,
+            misses: self.misses,
+            warm_starts: self.warm_starts,
+            evictions: self.evictions,
+            queued: 0,
+            in_flight: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netdag_core::schedule::Schedule;
+
+    fn fp(full: u64, structural: u64, declared: u64) -> Fingerprint {
+        Fingerprint {
+            full,
+            structural,
+            declared,
+        }
+    }
+
+    fn export(makespan: u64) -> ScheduleExport {
+        ScheduleExport {
+            schedule: Schedule::new(
+                Vec::new(),
+                Vec::new(),
+                Vec::new(),
+                netdag_glossy::GlossyTiming::telosb(),
+            ),
+            makespan_us: makespan,
+            bus_us: 0,
+            optimal: true,
+        }
+    }
+
+    #[test]
+    fn exact_warm_and_miss() {
+        let mut c = SolutionCache::new(4);
+        assert!(matches!(c.lookup(&fp(1, 10, 100)), Lookup::Miss));
+        c.insert(fp(1, 10, 100), export(7), 7);
+        assert!(matches!(c.lookup(&fp(1, 10, 100)), Lookup::Exact(e) if e.makespan_us == 7));
+        // Same canonical problem, permuted declarations: warm only.
+        assert!(matches!(c.lookup(&fp(1, 10, 101)), Lookup::Warm(7)));
+        // Perturbed constraints (same structural): warm.
+        assert!(matches!(c.lookup(&fp(2, 10, 102)), Lookup::Warm(7)));
+        // Different structure: miss.
+        assert!(matches!(c.lookup(&fp(3, 11, 103)), Lookup::Miss));
+        let s = c.stats();
+        assert_eq!((s.hits, s.warm_starts, s.misses), (1, 2, 2));
+    }
+
+    #[test]
+    fn warm_uses_best_makespan() {
+        let mut c = SolutionCache::new(4);
+        c.insert(fp(1, 10, 1), export(9), 9);
+        c.insert(fp(2, 10, 2), export(5), 5);
+        assert!(matches!(c.lookup(&fp(3, 10, 3)), Lookup::Warm(5)));
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut c = SolutionCache::new(2);
+        c.insert(fp(1, 1, 1), export(1), 1);
+        c.insert(fp(2, 2, 2), export(2), 2);
+        // Touch entry 1 so entry 2 is the LRU victim.
+        assert!(matches!(c.lookup(&fp(1, 1, 1)), Lookup::Exact(_)));
+        c.insert(fp(3, 3, 3), export(3), 3);
+        assert_eq!(c.stats().entries, 2);
+        assert_eq!(c.stats().evictions, 1);
+        assert!(matches!(c.lookup(&fp(2, 2, 2)), Lookup::Miss));
+        assert!(matches!(c.lookup(&fp(1, 1, 1)), Lookup::Exact(_)));
+        assert!(matches!(c.lookup(&fp(3, 3, 3)), Lookup::Exact(_)));
+    }
+
+    #[test]
+    fn reinsert_refreshes_in_place() {
+        let mut c = SolutionCache::new(2);
+        c.insert(fp(1, 1, 1), export(9), 9);
+        c.insert(fp(1, 1, 1), export(8), 8);
+        assert_eq!(c.stats().entries, 1);
+        assert!(matches!(c.lookup(&fp(1, 1, 1)), Lookup::Exact(e) if e.makespan_us == 8));
+    }
+}

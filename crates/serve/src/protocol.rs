@@ -1,0 +1,246 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! A client connects over TCP and writes one JSON object per line; the
+//! server answers each line with exactly one JSON [`Response`] line, in
+//! request order per connection. Four operations exist:
+//!
+//! * `solve` — schedule an application embedded in the request (the
+//!   same [`AppSpec`] / constraint documents the CLI reads from files);
+//!   the answer carries the same [`ScheduleExport`] document
+//!   `netdag schedule --out` writes.
+//! * `validate` — Monte-Carlo validation of an embedded schedule
+//!   against embedded constraints, mirroring `netdag validate`.
+//! * `cache_stats` — a snapshot of the solution cache and queue.
+//! * `shutdown` — stop accepting work, drain in-flight requests, exit.
+//!
+//! Absent optional fields deserialize to `None`; the server serializes
+//! unused response fields as `null` (clients should ignore them).
+
+use netdag_core::spec::{AppSpec, ScheduleExport, SoftSpec, WeaklyHardSpec};
+
+/// Status string of an accepted, fully solved request.
+pub const STATUS_OK: &str = "ok";
+/// Status of a solve stopped by its deadline: `result` holds the best
+/// incumbent found so far and `complete` is `false`.
+pub const STATUS_INCOMPLETE: &str = "incomplete";
+/// Status of a request refused at admission (`reason` says why:
+/// [`REASON_QUEUE_FULL`] or [`REASON_SHUTTING_DOWN`]).
+pub const STATUS_REJECTED: &str = "rejected";
+/// Status of a well-formed solve whose problem has no feasible schedule.
+pub const STATUS_INFEASIBLE: &str = "infeasible";
+/// Status of a malformed or failed request (`reason` has details).
+pub const STATUS_ERROR: &str = "error";
+
+/// Rejection reason: the bounded admission queue is at capacity.
+pub const REASON_QUEUE_FULL: &str = "queue_full";
+/// Rejection reason: the server is draining after a `shutdown` request.
+pub const REASON_SHUTTING_DOWN: &str = "shutting_down";
+
+/// Statistic selector of a request (the CLI's `--stat` flag).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct StatSpec {
+    /// `"eq13"` (weakly hard) or `"eq15"` (soft).
+    pub kind: String,
+    /// The `fSS̄` parameter; required when `kind` is `"eq15"`.
+    pub fss: Option<f64>,
+}
+
+/// Scheduler knobs of a solve request; every field is optional and
+/// defaults exactly as the CLI's `netdag schedule` flags do.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ConfigSpec {
+    /// `χ` domain bound (default 8).
+    pub chi_max: Option<u32>,
+    /// Beacon `χ` (default 2).
+    pub beacon_chi: Option<u32>,
+    /// Use the greedy backend (default false = exact).
+    pub greedy: Option<bool>,
+    /// Exact-backend node budget (default 200 000, the CLI's limit).
+    pub node_limit: Option<u64>,
+    /// Per-message rounds instead of per-level (default false).
+    pub per_message_rounds: Option<bool>,
+    /// Count beacons in `pred(τ)` (default false).
+    pub include_beacons: Option<bool>,
+    /// Solver configurations raced by the exact backend (default 0).
+    pub portfolio: Option<u32>,
+    /// Portfolio worker threads (default 0 = auto; never affects
+    /// results).
+    pub threads: Option<u64>,
+}
+
+/// One request line.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Request {
+    /// `"solve"`, `"validate"`, `"cache_stats"` or `"shutdown"`.
+    pub op: String,
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: Option<u64>,
+    /// The application (solve / validate).
+    pub app: Option<AppSpec>,
+    /// Soft constraints (mutually exclusive with `weakly_hard`).
+    pub soft: Option<SoftSpec>,
+    /// Weakly hard constraints.
+    pub weakly_hard: Option<WeaklyHardSpec>,
+    /// Statistic selector (defaults to eq. (13)).
+    pub stat: Option<StatSpec>,
+    /// Scheduler knobs (defaults mirror the CLI).
+    pub config: Option<ConfigSpec>,
+    /// Solve deadline in milliseconds, measured from the moment a
+    /// worker picks the request up; expiry returns the best incumbent
+    /// so far with status [`STATUS_INCOMPLETE`].
+    pub deadline_ms: Option<u64>,
+    /// The schedule to check (validate only).
+    pub schedule: Option<ScheduleExport>,
+    /// Simulated runs per task (validate; default 10 000).
+    pub kappa: Option<u64>,
+    /// Adversarial trials (validate, weakly hard; default 50).
+    pub trials: Option<u64>,
+    /// RNG seed (validate; default 2020).
+    pub seed: Option<u64>,
+    /// Validation worker threads (default 1; never affects results).
+    pub threads: Option<u64>,
+}
+
+impl Request {
+    /// A minimal request of the given operation.
+    pub fn op(op: &str) -> Request {
+        Request {
+            op: op.to_owned(),
+            id: None,
+            app: None,
+            soft: None,
+            weakly_hard: None,
+            stat: None,
+            config: None,
+            deadline_ms: None,
+            schedule: None,
+            kappa: None,
+            trials: None,
+            seed: None,
+            threads: None,
+        }
+    }
+}
+
+/// Validation result of a `validate` request.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ValidationReport {
+    /// Whether every checked constraint held.
+    pub passed: bool,
+    /// The per-task report lines, exactly as `netdag validate` prints
+    /// them.
+    pub report: String,
+}
+
+/// Cache and queue snapshot of a `cache_stats` request.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CacheStatsBody {
+    /// Live cache entries.
+    pub entries: u64,
+    /// Configured cache capacity.
+    pub capacity: u64,
+    /// Exact-fingerprint hits served without solving.
+    pub hits: u64,
+    /// Cold solves (no usable cached information).
+    pub misses: u64,
+    /// Solves warm-started from a structurally matching entry.
+    pub warm_starts: u64,
+    /// Entries displaced by the LRU bound.
+    pub evictions: u64,
+    /// Requests currently waiting in the admission queue.
+    pub queued: u64,
+    /// Requests currently being solved by workers.
+    pub in_flight: u64,
+}
+
+/// One response line.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Response {
+    /// The request's `id`, echoed back.
+    pub id: Option<u64>,
+    /// One of the `STATUS_*` strings.
+    pub status: String,
+    /// Failure or rejection detail.
+    pub reason: Option<String>,
+    /// The schedule document (solve).
+    pub result: Option<ScheduleExport>,
+    /// `false` when the solve was truncated by its deadline.
+    pub complete: Option<bool>,
+    /// `true` when the answer came from the solution cache verbatim.
+    pub cached: Option<bool>,
+    /// `true` when the solve was warm-started from a cached makespan.
+    pub warm_started: Option<bool>,
+    /// Hex problem fingerprint (solve).
+    pub fingerprint: Option<String>,
+    /// Validation outcome (validate).
+    pub validation: Option<ValidationReport>,
+    /// Cache snapshot (cache_stats).
+    pub cache: Option<CacheStatsBody>,
+}
+
+impl Response {
+    /// A response skeleton with the given status.
+    pub fn status(id: Option<u64>, status: &str) -> Response {
+        Response {
+            id,
+            status: status.to_owned(),
+            reason: None,
+            result: None,
+            complete: None,
+            cached: None,
+            warm_started: None,
+            fingerprint: None,
+            validation: None,
+            cache: None,
+        }
+    }
+
+    /// An error response.
+    pub fn error(id: Option<u64>, reason: &str) -> Response {
+        let mut r = Response::status(id, STATUS_ERROR);
+        r.reason = Some(reason.to_owned());
+        r
+    }
+
+    /// An admission rejection.
+    pub fn rejected(id: Option<u64>, reason: &str) -> Response {
+        let mut r = Response::status(id, STATUS_REJECTED);
+        r.reason = Some(reason.to_owned());
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip_with_absent_fields() {
+        let json = r#"{"op":"solve","id":7,"app":{"tasks":[],"edges":[]}}"#;
+        let req: Request = serde_json::from_str(json).unwrap();
+        assert_eq!(req.op, "solve");
+        assert_eq!(req.id, Some(7));
+        assert!(req.app.is_some());
+        assert_eq!(req.soft, None);
+        assert_eq!(req.deadline_ms, None);
+        let back: Request = serde_json::from_str(&serde_json::to_string(&req).unwrap()).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn response_constructors() {
+        let r = Response::rejected(Some(3), REASON_QUEUE_FULL);
+        assert_eq!(r.status, STATUS_REJECTED);
+        assert_eq!(r.reason.as_deref(), Some(REASON_QUEUE_FULL));
+        let e = Response::error(None, "bad request");
+        assert_eq!(e.status, STATUS_ERROR);
+        let line = serde_json::to_string(&e).unwrap();
+        let back: Response = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn missing_op_is_an_error() {
+        assert!(serde_json::from_str::<Request>(r#"{"id":1}"#).is_err());
+    }
+}

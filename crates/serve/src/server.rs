@@ -1,0 +1,677 @@
+//! The TCP server: admission, worker pool, solving, shutdown.
+//!
+//! ```text
+//!            ┌───────────────┐   bounded queue    ┌──────────────┐
+//!  client ──▶│ connection    │──▶ Mutex<VecDeque> ─▶ worker pool  │
+//!  (NDJSON)  │ thread (read  │◀── response slot ◀──│ (netdag-     │
+//!            │ timeout poll) │                     │  runtime)    │
+//!            └───────────────┘                     └──────────────┘
+//! ```
+//!
+//! * The **acceptor** polls a non-blocking listener and spawns one
+//!   scoped thread per connection.
+//! * **Connection threads** parse one request per line. Cheap
+//!   operations (`cache_stats`, `shutdown`, malformed input) are
+//!   answered inline; `solve` / `validate` go through the bounded
+//!   admission queue — when it is full, or after shutdown began, the
+//!   request is rejected immediately with a structured reason rather
+//!   than queued without bound.
+//! * **Workers** (a [`netdag_runtime::run_indexed`] fan-out pinned to
+//!   [`ServeConfig::workers`] threads) drain the queue. Each solve
+//!   first probes the solution cache: an exact hit answers verbatim
+//!   with zero solver nodes; a structural hit warm-starts
+//!   branch-and-bound through [`SolveControl`]; a miss solves cold. A
+//!   per-request deadline is enforced by the same controller — expiry
+//!   returns the best incumbent found so far, marked incomplete.
+//! * **Shutdown** (the `shutdown` operation) stops admission, wakes
+//!   every worker, and lets them drain all accepted requests before
+//!   [`serve`] returns; every accepted request is answered.
+//!
+//! All counters land in the global [`netdag_obs`] recorder under the
+//! `serve.*` keys and every request runs inside a `serve.request`
+//! trace span, so `netdag serve --metrics/--trace` export them with the
+//! standard schemas.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use netdag_core::config::{Backend, RoundStructure, ScheduleError, SchedulerConfig};
+use netdag_core::constraints::{Deadlines, WeaklyHardConstraints};
+use netdag_core::control::{ControlledOutcome, SolveControl};
+use netdag_core::soft::schedule_soft_controlled;
+use netdag_core::spec::ScheduleExport;
+use netdag_core::stat::{Eq13Statistic, Eq15Statistic};
+use netdag_core::weakly_hard::schedule_weakly_hard_controlled;
+use netdag_obs::{counter, keys};
+use netdag_runtime::{run_indexed, ExecPolicy};
+use netdag_validation::soft::validate_soft_par;
+use netdag_validation::weakly_hard::validate_weakly_hard_par;
+
+use crate::cache::{Lookup, SolutionCache};
+use crate::fingerprint::fingerprint;
+use crate::protocol::{
+    Request, Response, StatSpec, ValidationReport, REASON_QUEUE_FULL, REASON_SHUTTING_DOWN,
+    STATUS_INCOMPLETE, STATUS_INFEASIBLE, STATUS_OK,
+};
+
+/// How often blocked threads re-check the shutdown flag.
+const POLL: Duration = Duration::from_millis(25);
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Worker threads solving requests (minimum 1).
+    pub workers: usize,
+    /// Admission queue bound: requests beyond this many waiting are
+    /// rejected with [`REASON_QUEUE_FULL`].
+    pub queue_capacity: usize,
+    /// Solution cache bound (LRU eviction beyond it).
+    pub cache_capacity: usize,
+    /// Engine node budget between deadline polls of a controlled solve.
+    pub step_nodes: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 16,
+            cache_capacity: 64,
+            step_nodes: 4096,
+        }
+    }
+}
+
+/// What the daemon did over its lifetime, returned by [`serve`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeReport {
+    /// Request lines received (including malformed and rejected ones).
+    pub requests: u64,
+    /// Requests rejected at admission.
+    pub rejected: u64,
+    /// Exact cache hits.
+    pub cache_hits: u64,
+    /// Cold solves.
+    pub cache_misses: u64,
+    /// Warm-started solves.
+    pub warm_starts: u64,
+}
+
+/// One queued request plus the slot its response is delivered through.
+struct Job {
+    req: Request,
+    accepted_at: Instant,
+    slot: std::sync::Arc<Slot>,
+}
+
+/// Single-use rendezvous between a worker and a connection thread.
+struct Slot {
+    done: Mutex<Option<Response>>,
+    ready: Condvar,
+}
+
+impl Slot {
+    fn new() -> std::sync::Arc<Slot> {
+        std::sync::Arc::new(Slot {
+            done: Mutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn fill(&self, resp: Response) {
+        *self.done.lock().expect("slot lock") = Some(resp);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> Response {
+        let mut guard = self.done.lock().expect("slot lock");
+        loop {
+            if let Some(resp) = guard.take() {
+                return resp;
+            }
+            guard = self.ready.wait(guard).expect("slot lock");
+        }
+    }
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    queue: Mutex<VecDeque<Job>>,
+    ready: Condvar,
+    shutdown: AtomicBool,
+    in_flight: AtomicU64,
+    requests: AtomicU64,
+    rejected: AtomicU64,
+    cache: Mutex<SolutionCache>,
+}
+
+/// Runs the daemon on an already-bound listener until a client sends a
+/// `shutdown` request; every request accepted before then is answered
+/// before this returns. The listener may be bound to port 0 — callers
+/// should print `listener.local_addr()` for clients.
+///
+/// # Errors
+///
+/// Returns the listener's error if it cannot be switched to
+/// non-blocking mode; per-connection I/O errors only terminate the
+/// affected connection.
+pub fn serve(listener: TcpListener, cfg: &ServeConfig) -> std::io::Result<ServeReport> {
+    listener.set_nonblocking(true)?;
+    let shared = Shared {
+        cfg: *cfg,
+        queue: Mutex::new(VecDeque::new()),
+        ready: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+        in_flight: AtomicU64::new(0),
+        requests: AtomicU64::new(0),
+        rejected: AtomicU64::new(0),
+        cache: Mutex::new(SolutionCache::new(cfg.cache_capacity)),
+    };
+    let workers = cfg.workers.max(1);
+    std::thread::scope(|scope| {
+        scope.spawn(|| accept_loop(&listener, &shared, scope));
+        // The worker pool runs on the calling thread's fan-out and
+        // returns only when shutdown was requested and the queue is
+        // drained.
+        run_indexed(ExecPolicy::Threads(workers), workers, |_| {
+            worker_loop(&shared);
+        });
+    });
+    let cache = shared.cache.lock().expect("cache lock");
+    let s = cache.stats();
+    Ok(ServeReport {
+        requests: shared.requests.load(Ordering::Relaxed),
+        rejected: shared.rejected.load(Ordering::Relaxed),
+        cache_hits: s.hits,
+        cache_misses: s.misses,
+        warm_starts: s.warm_starts,
+    })
+}
+
+fn accept_loop<'scope>(
+    listener: &'scope TcpListener,
+    shared: &'scope Shared,
+    scope: &'scope std::thread::Scope<'scope, '_>,
+) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                scope.spawn(move || handle_connection(stream, shared));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(_) => return,
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    // Blocking reads with a short timeout so the thread notices
+    // shutdown even on an idle connection.
+    if stream.set_nonblocking(false).is_err() || stream.set_read_timeout(Some(POLL)).is_err() {
+        return;
+    }
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        // `read_line` may have buffered a partial line before a
+        // timeout, so `line` is only cleared after a complete one.
+        match reader.read_line(&mut line) {
+            Ok(0) => return,
+            Ok(_) => {
+                if !line.trim().is_empty() {
+                    let resp = process_line(shared, &line);
+                    let mut text = match serde_json::to_string(&resp) {
+                        Ok(t) => t,
+                        Err(_) => return,
+                    };
+                    text.push('\n');
+                    if writer.write_all(text.as_bytes()).is_err() || writer.flush().is_err() {
+                        return;
+                    }
+                }
+                line.clear();
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Parses and answers one request line (admitting solve/validate work
+/// to the queue and blocking until its worker responds).
+fn process_line(shared: &Shared, line: &str) -> Response {
+    shared.requests.fetch_add(1, Ordering::Relaxed);
+    counter!(keys::SERVE_REQUESTS).incr();
+    let req: Request = match serde_json::from_str(line) {
+        Ok(r) => r,
+        Err(e) => {
+            counter!(keys::SERVE_ERRORS).incr();
+            return Response::error(None, &format!("bad request: {e}"));
+        }
+    };
+    match req.op.as_str() {
+        "cache_stats" => {
+            let mut body = shared.cache.lock().expect("cache lock").stats();
+            body.queued = shared.queue.lock().expect("queue lock").len() as u64;
+            body.in_flight = shared.in_flight.load(Ordering::SeqCst);
+            let mut resp = Response::status(req.id, STATUS_OK);
+            resp.cache = Some(body);
+            resp
+        }
+        "shutdown" => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            shared.ready.notify_all();
+            Response::status(req.id, STATUS_OK)
+        }
+        "solve" | "validate" => admit(shared, req),
+        other => {
+            counter!(keys::SERVE_ERRORS).incr();
+            Response::error(req.id, &format!("unknown op {other:?}"))
+        }
+    }
+}
+
+fn admit(shared: &Shared, req: Request) -> Response {
+    let id = req.id;
+    let slot = {
+        let mut queue = shared.queue.lock().expect("queue lock");
+        if shared.shutdown.load(Ordering::SeqCst) {
+            drop(queue);
+            shared.rejected.fetch_add(1, Ordering::Relaxed);
+            counter!(keys::SERVE_REJECTS).incr();
+            return Response::rejected(id, REASON_SHUTTING_DOWN);
+        }
+        if queue.len() >= shared.cfg.queue_capacity {
+            drop(queue);
+            shared.rejected.fetch_add(1, Ordering::Relaxed);
+            counter!(keys::SERVE_REJECTS).incr();
+            return Response::rejected(id, REASON_QUEUE_FULL);
+        }
+        let slot = Slot::new();
+        queue.push_back(Job {
+            req,
+            accepted_at: Instant::now(),
+            slot: slot.clone(),
+        });
+        netdag_obs::global().observe(keys::HIST_SERVE_QUEUE_DEPTH, queue.len() as u64);
+        slot
+    };
+    shared.ready.notify_one();
+    slot.wait()
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = shared
+                    .ready
+                    .wait_timeout(queue, POLL)
+                    .expect("queue lock")
+                    .0;
+            }
+        };
+        shared.in_flight.fetch_add(1, Ordering::SeqCst);
+        let resp = {
+            let _span = netdag_obs::global().span(keys::SPAN_SERVE_REQUEST);
+            let _trace = netdag_trace::span_with(
+                "serve.request",
+                &[
+                    ("op", job.req.op.clone().into()),
+                    ("id", job.req.id.unwrap_or(0).into()),
+                ],
+            );
+            match job.req.op.as_str() {
+                "solve" => handle_solve(shared, &job.req),
+                _ => handle_validate(&job.req),
+            }
+        };
+        let latency = job
+            .accepted_at
+            .elapsed()
+            .as_micros()
+            .min(u128::from(u64::MAX)) as u64;
+        netdag_obs::global().observe(keys::HIST_SERVE_LATENCY_US, latency);
+        shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        job.slot.fill(resp);
+    }
+}
+
+/// Maps a request's optional [`crate::protocol::ConfigSpec`] to a
+/// [`SchedulerConfig`] with exactly the CLI's `netdag schedule`
+/// defaults, so an unconfigured request solves the same problem the
+/// unconfigured CLI does.
+fn config_from(req: &Request) -> SchedulerConfig {
+    let spec = req.config.as_ref();
+    let greedy = spec.and_then(|c| c.greedy).unwrap_or(false);
+    SchedulerConfig {
+        beacon_chi: spec.and_then(|c| c.beacon_chi).unwrap_or(2),
+        chi_max: spec.and_then(|c| c.chi_max).unwrap_or(8),
+        backend: if greedy {
+            Backend::Greedy
+        } else {
+            Backend::Exact {
+                node_limit: Some(spec.and_then(|c| c.node_limit).unwrap_or(200_000)),
+            }
+        },
+        round_structure: if spec.and_then(|c| c.per_message_rounds).unwrap_or(false) {
+            RoundStructure::PerMessage
+        } else {
+            RoundStructure::PerLevel
+        },
+        include_beacons: spec.and_then(|c| c.include_beacons).unwrap_or(false),
+        portfolio: spec.and_then(|c| c.portfolio).unwrap_or(0),
+        solver_threads: spec.and_then(|c| c.threads).unwrap_or(0) as usize,
+        ..SchedulerConfig::default()
+    }
+}
+
+/// The request's statistic, normalized so the fingerprint of a
+/// defaulted selection equals that of an explicit one.
+fn normalized_stat(req: &Request) -> StatSpec {
+    req.stat.clone().unwrap_or(StatSpec {
+        kind: "eq13".into(),
+        fss: None,
+    })
+}
+
+fn handle_solve(shared: &Shared, req: &Request) -> Response {
+    let id = req.id;
+    let Some(app_spec) = req.app.as_ref() else {
+        counter!(keys::SERVE_ERRORS).incr();
+        return Response::error(id, "solve needs an \"app\" spec");
+    };
+    if req.soft.is_some() && req.weakly_hard.is_some() {
+        counter!(keys::SERVE_ERRORS).incr();
+        return Response::error(id, "\"soft\" and \"weakly_hard\" are mutually exclusive");
+    }
+    let (app, names) = match app_spec.build() {
+        Ok(pair) => pair,
+        Err(e) => {
+            counter!(keys::SERVE_ERRORS).incr();
+            return Response::error(id, &format!("invalid spec: {e}"));
+        }
+    };
+    let cfg = config_from(req);
+    let stat = normalized_stat(req);
+    let fp = fingerprint(
+        app_spec,
+        req.soft.as_ref(),
+        req.weakly_hard.as_ref(),
+        &stat,
+        &cfg,
+    );
+    let mut warm_bound = None;
+    match shared.cache.lock().expect("cache lock").lookup(&fp) {
+        Lookup::Exact(export) => {
+            counter!(keys::SERVE_CACHE_HITS).incr();
+            netdag_trace::instant("serve.cache_hit", &[("fingerprint", fp.hex().into())]);
+            let mut resp = Response::status(id, STATUS_OK);
+            resp.result = Some(export);
+            resp.complete = Some(true);
+            resp.cached = Some(true);
+            resp.warm_started = Some(false);
+            resp.fingerprint = Some(fp.hex());
+            return resp;
+        }
+        Lookup::Warm(makespan_us) => {
+            counter!(keys::SERVE_WARM_STARTS).incr();
+            // `+ 1` because the injected bound is strict-improvement:
+            // it keeps every schedule with makespan ≤ the cached one
+            // reachable, so the warm solve's answer is bit-identical
+            // to the cold one's.
+            warm_bound = Some(makespan_us as i64 + 1);
+        }
+        Lookup::Miss => counter!(keys::SERVE_CACHE_MISSES).incr(),
+    }
+
+    let deadline = req.deadline_ms.map(Duration::from_millis);
+    let started = Instant::now();
+    let mut keep_going = move |_: &netdag_solver::SearchStats| match deadline {
+        Some(d) => started.elapsed() < d,
+        None => true,
+    };
+    let mut control = SolveControl::warm(warm_bound, &mut keep_going);
+    control.step_nodes = shared.cfg.step_nodes;
+
+    let solved: Result<ControlledOutcome, ScheduleError> = if let Some(soft) = req.soft.as_ref() {
+        let Some(fss) = req
+            .stat
+            .as_ref()
+            .and_then(|s| s.fss)
+            .filter(|_| stat.kind == "eq15")
+        else {
+            counter!(keys::SERVE_ERRORS).incr();
+            return Response::error(
+                id,
+                "soft solving needs \"stat\": {\"kind\": \"eq15\", \"fss\": …}",
+            );
+        };
+        match soft.build(&names) {
+            Ok(f) => schedule_soft_controlled(
+                &app,
+                &Eq15Statistic::new(fss, cfg.chi_max),
+                &f,
+                &Deadlines::new(),
+                &cfg,
+                &mut control,
+            ),
+            Err(e) => {
+                counter!(keys::SERVE_ERRORS).incr();
+                return Response::error(id, &format!("invalid spec: {e}"));
+            }
+        }
+    } else {
+        if stat.kind != "eq13" {
+            counter!(keys::SERVE_ERRORS).incr();
+            return Response::error(
+                id,
+                "weakly hard solving needs \"stat\": {\"kind\": \"eq13\"}",
+            );
+        }
+        let f = match req.weakly_hard.as_ref() {
+            Some(spec) => match spec.build(&names) {
+                Ok(f) => f,
+                Err(e) => {
+                    counter!(keys::SERVE_ERRORS).incr();
+                    return Response::error(id, &format!("invalid spec: {e}"));
+                }
+            },
+            None => WeaklyHardConstraints::new(),
+        };
+        schedule_weakly_hard_controlled(
+            &app,
+            &Eq13Statistic::new(cfg.chi_max),
+            &f,
+            &Deadlines::new(),
+            &cfg,
+            &mut control,
+        )
+    };
+
+    match solved {
+        Ok(controlled) => {
+            let makespan = controlled.outcome.schedule.makespan(&app);
+            let export = ScheduleExport {
+                schedule: controlled.outcome.schedule.clone(),
+                makespan_us: makespan,
+                bus_us: controlled.outcome.schedule.total_communication_us(),
+                optimal: controlled.outcome.optimal,
+            };
+            if controlled.complete {
+                shared
+                    .cache
+                    .lock()
+                    .expect("cache lock")
+                    .insert(fp, export.clone(), makespan);
+            } else {
+                counter!(keys::SERVE_DEADLINE_EXPIRED).incr();
+            }
+            let mut resp = Response::status(
+                id,
+                if controlled.complete {
+                    STATUS_OK
+                } else {
+                    STATUS_INCOMPLETE
+                },
+            );
+            resp.result = Some(export);
+            resp.complete = Some(controlled.complete);
+            resp.cached = Some(false);
+            resp.warm_started = Some(warm_bound.is_some());
+            resp.fingerprint = Some(fp.hex());
+            resp
+        }
+        Err(ScheduleError::Infeasible | ScheduleError::InfeasibleReliability(_)) => {
+            let mut resp = Response::status(id, STATUS_INFEASIBLE);
+            resp.reason = Some("no χ assignment within chi-max meets the constraints".to_owned());
+            resp.fingerprint = Some(fp.hex());
+            resp
+        }
+        Err(ScheduleError::Interrupted) => {
+            counter!(keys::SERVE_DEADLINE_EXPIRED).incr();
+            let mut resp = Response::error(
+                id,
+                "deadline expired before any feasible schedule was found",
+            );
+            resp.complete = Some(false);
+            resp.fingerprint = Some(fp.hex());
+            resp
+        }
+        Err(e) => {
+            counter!(keys::SERVE_ERRORS).incr();
+            Response::error(id, &format!("scheduling failed: {e}"))
+        }
+    }
+}
+
+fn handle_validate(req: &Request) -> Response {
+    let id = req.id;
+    let Some(app_spec) = req.app.as_ref() else {
+        counter!(keys::SERVE_ERRORS).incr();
+        return Response::error(id, "validate needs an \"app\" spec");
+    };
+    let Some(export) = req.schedule.as_ref() else {
+        counter!(keys::SERVE_ERRORS).incr();
+        return Response::error(id, "validate needs a \"schedule\" document");
+    };
+    if req.soft.is_none() && req.weakly_hard.is_none() {
+        counter!(keys::SERVE_ERRORS).incr();
+        return Response::error(
+            id,
+            "validate needs \"soft\" and/or \"weakly_hard\" constraints",
+        );
+    }
+    let (app, names) = match app_spec.build() {
+        Ok(pair) => pair,
+        Err(e) => {
+            counter!(keys::SERVE_ERRORS).incr();
+            return Response::error(id, &format!("invalid spec: {e}"));
+        }
+    };
+    let kappa = req.kappa.unwrap_or(10_000) as usize;
+    let trials = req.trials.unwrap_or(50) as usize;
+    let seed = req.seed.unwrap_or(2020);
+    let policy = ExecPolicy::from_threads(req.threads.unwrap_or(1) as usize);
+    let mut report = String::new();
+    let mut passed = true;
+    if let Some(spec) = req.soft.as_ref() {
+        let Some(fss) = req.stat.as_ref().and_then(|s| s.fss) else {
+            counter!(keys::SERVE_ERRORS).incr();
+            return Response::error(
+                id,
+                "soft validation needs \"stat\": {\"kind\": \"eq15\", \"fss\": …}",
+            );
+        };
+        let f = match spec.build(&names) {
+            Ok(f) => f,
+            Err(e) => {
+                counter!(keys::SERVE_ERRORS).incr();
+                return Response::error(id, &format!("invalid spec: {e}"));
+            }
+        };
+        let stat = Eq15Statistic::new(fss, 16);
+        for r in validate_soft_par(
+            &app,
+            &stat,
+            &f,
+            &export.schedule,
+            kappa,
+            0.999,
+            seed,
+            policy,
+        ) {
+            passed &= r.passed;
+            report.push_str(&format!(
+                "soft {}: v = {:.4} vs {:.3} (margin {:.4}) → {}\n",
+                app.task(r.task).name,
+                r.observed,
+                r.required,
+                r.margin,
+                if r.passed { "PASS" } else { "FAIL" }
+            ));
+        }
+    }
+    if let Some(spec) = req.weakly_hard.as_ref() {
+        let f = match spec.build(&names) {
+            Ok(f) => f,
+            Err(e) => {
+                counter!(keys::SERVE_ERRORS).incr();
+                return Response::error(id, &format!("invalid spec: {e}"));
+            }
+        };
+        let stat = Eq13Statistic::new(16);
+        let reports = match validate_weakly_hard_par(
+            &app,
+            &stat,
+            &f,
+            &export.schedule,
+            kappa.min(2_000),
+            trials,
+            seed,
+            policy,
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                counter!(keys::SERVE_ERRORS).incr();
+                return Response::error(id, &format!("adversarial synthesis failed: {e}"));
+            }
+        };
+        for r in reports {
+            passed &= r.passed;
+            report.push_str(&format!(
+                "weakly hard {}: {} held in {}/{} adversarial trials → {}\n",
+                app.task(r.task).name,
+                r.requirement,
+                r.satisfied,
+                r.trials,
+                if r.passed { "PASS" } else { "FAIL" }
+            ));
+        }
+    }
+    let mut resp = Response::status(id, STATUS_OK);
+    resp.validation = Some(ValidationReport { passed, report });
+    resp
+}

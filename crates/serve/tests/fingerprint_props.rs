@@ -1,0 +1,147 @@
+//! Property tests for fingerprint stability — the invariants the
+//! solution cache's correctness rests on.
+//!
+//! * Declaration order is presentation, not content: permuting the
+//!   task, edge, and constraint lists (and round-tripping the spec
+//!   through its JSON wire form) must not change the canonical `full`
+//!   or `structural` hash.
+//! * Constraint values are load-bearing for `full` but masked in
+//!   `structural`: perturbing a single weakly hard `(m, K)` pair must
+//!   change `full` (the cache may not serve the old schedule verbatim)
+//!   while keeping `structural` intact (the entry remains a warm-start
+//!   candidate).
+
+use netdag_core::config::SchedulerConfig;
+use netdag_core::spec::{AppSpec, EdgeSpec, TaskSpec, WeaklyHardEntry, WeaklyHardSpec};
+use netdag_serve::fingerprint;
+use netdag_serve::protocol::StatSpec;
+use proptest::prelude::*;
+use rand::prelude::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn eq13_stat() -> StatSpec {
+    StatSpec {
+        kind: "eq13".to_owned(),
+        fss: None,
+    }
+}
+
+/// A random DAG spec: edges always point from a lower-indexed task to a
+/// higher-indexed one, so any declaration order describes the same DAG.
+fn random_spec(rng: &mut ChaCha8Rng) -> (AppSpec, WeaklyHardSpec) {
+    let n_tasks = rng.gen_range(2usize..8);
+    let tasks: Vec<TaskSpec> = (0..n_tasks)
+        .map(|i| TaskSpec {
+            name: format!("t{i}"),
+            node: rng.gen_range(0u32..4),
+            wcet_us: rng.gen_range(100u64..2_000),
+        })
+        .collect();
+    let mut edges = Vec::new();
+    for from in 0..n_tasks - 1 {
+        let width = rng.gen_range(1u32..32);
+        for to in from + 1..n_tasks {
+            if rng.gen_range(0u32..3) == 0 || to == from + 1 {
+                edges.push(EdgeSpec {
+                    from: format!("t{from}"),
+                    to: format!("t{to}"),
+                    // One flood per source: every out-edge of a task
+                    // declares the same width.
+                    width,
+                });
+            }
+        }
+    }
+    let mut constraints = Vec::new();
+    for i in 0..n_tasks {
+        if rng.gen_range(0u32..2) == 0 {
+            let k = rng.gen_range(10u32..80);
+            constraints.push(WeaklyHardEntry {
+                task: format!("t{i}"),
+                m: rng.gen_range(1..k),
+                k,
+            });
+        }
+    }
+    (AppSpec { tasks, edges }, WeaklyHardSpec { constraints })
+}
+
+fn shuffled(rng: &mut ChaCha8Rng, app: &AppSpec, wh: &WeaklyHardSpec) -> (AppSpec, WeaklyHardSpec) {
+    let mut app = app.clone();
+    let mut wh = wh.clone();
+    app.tasks.shuffle(rng);
+    app.edges.shuffle(rng);
+    wh.constraints.shuffle(rng);
+    (app, wh)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Permuting declaration order and round-tripping through the JSON
+    /// wire form leaves the canonical hashes untouched.
+    #[test]
+    fn declaration_order_and_wire_roundtrip_do_not_change_fingerprint(seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let cfg = SchedulerConfig::default();
+        let (app, wh) = random_spec(&mut rng);
+        let fp = fingerprint(&app, None, Some(&wh), &eq13_stat(), &cfg);
+
+        let (papp, pwh) = shuffled(&mut rng, &app, &wh);
+        let papp: AppSpec = serde_json::from_str(
+            &serde_json::to_string(&papp).expect("serialize app"),
+        ).expect("reparse app");
+        let pwh: WeaklyHardSpec = serde_json::from_str(
+            &serde_json::to_string(&pwh).expect("serialize wh"),
+        ).expect("reparse wh");
+        let pfp = fingerprint(&papp, None, Some(&pwh), &eq13_stat(), &cfg);
+
+        prop_assert_eq!(fp.full, pfp.full, "canonical hash is order-independent");
+        prop_assert_eq!(fp.structural, pfp.structural);
+    }
+
+    /// An unpermuted spec also keeps its declaration-order hash — and a
+    /// genuinely permuted task list changes it (the cached positional
+    /// schedule must not be served verbatim).
+    #[test]
+    fn declared_hash_tracks_declaration_order(seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let cfg = SchedulerConfig::default();
+        let (app, wh) = random_spec(&mut rng);
+        let fp = fingerprint(&app, None, Some(&wh), &eq13_stat(), &cfg);
+        let again = fingerprint(&app, None, Some(&wh), &eq13_stat(), &cfg);
+        prop_assert_eq!(fp, again, "fingerprinting is deterministic");
+
+        let mut swapped = app.clone();
+        swapped.tasks.swap(0, 1);
+        let sfp = fingerprint(&swapped, None, Some(&wh), &eq13_stat(), &cfg);
+        prop_assert_eq!(fp.full, sfp.full);
+        prop_assert_ne!(fp.declared, sfp.declared);
+    }
+
+    /// Changing one weakly hard `(m, K)` pair flips `full` but not
+    /// `structural`.
+    #[test]
+    fn perturbing_one_constraint_changes_full_but_not_structural(seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let cfg = SchedulerConfig::default();
+        let (app, mut wh) = random_spec(&mut rng);
+        if wh.constraints.is_empty() {
+            wh.constraints.push(WeaklyHardEntry {
+                task: "t0".to_owned(),
+                m: 5,
+                k: 40,
+            });
+        }
+        let fp = fingerprint(&app, None, Some(&wh), &eq13_stat(), &cfg);
+
+        let victim = rng.gen_range(0usize..wh.constraints.len());
+        let entry = &mut wh.constraints[victim];
+        entry.m = if entry.m > 1 { entry.m - 1 } else { entry.m + 1 };
+        let pfp = fingerprint(&app, None, Some(&wh), &eq13_stat(), &cfg);
+
+        prop_assert_ne!(fp.full, pfp.full);
+        prop_assert_eq!(fp.structural, pfp.structural);
+    }
+}

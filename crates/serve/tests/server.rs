@@ -1,0 +1,459 @@
+//! End-to-end daemon tests over real TCP connections: admission
+//! backpressure, graceful shutdown draining, cache semantics, and
+//! protocol error handling.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc;
+use std::time::Duration;
+
+use netdag_core::spec::{AppSpec, EdgeSpec, TaskSpec, WeaklyHardEntry, WeaklyHardSpec};
+use netdag_serve::protocol::{
+    Request, Response, REASON_QUEUE_FULL, STATUS_ERROR, STATUS_INCOMPLETE, STATUS_INFEASIBLE,
+    STATUS_OK, STATUS_REJECTED,
+};
+use netdag_serve::{serve, ServeConfig, ServeReport};
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(120)))
+            .expect("timeout");
+        Client {
+            reader: BufReader::new(stream.try_clone().expect("clone")),
+            writer: stream,
+        }
+    }
+
+    fn send_line(&mut self, line: &str) -> Response {
+        self.writer
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("write");
+        self.writer.flush().expect("flush");
+        self.read_response()
+    }
+
+    fn send(&mut self, req: &Request) -> Response {
+        self.send_line(&serde_json::to_string(req).expect("serialize"))
+    }
+
+    fn read_response(&mut self) -> Response {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("read");
+        serde_json::from_str(&line).expect("response JSON")
+    }
+}
+
+/// Spawns an in-process daemon; returns its address and a receiver for
+/// the final [`ServeReport`].
+fn start_server(cfg: ServeConfig) -> (std::net::SocketAddr, mpsc::Receiver<ServeReport>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let report = serve(listener, &cfg).expect("serve");
+        let _ = tx.send(report);
+    });
+    (addr, rx)
+}
+
+fn pipeline_app() -> AppSpec {
+    AppSpec {
+        tasks: vec![
+            TaskSpec {
+                name: "sense".into(),
+                node: 0,
+                wcet_us: 500,
+            },
+            TaskSpec {
+                name: "act".into(),
+                node: 1,
+                wcet_us: 300,
+            },
+        ],
+        edges: vec![EdgeSpec {
+            from: "sense".into(),
+            to: "act".into(),
+            width: 8,
+        }],
+    }
+}
+
+/// A two-layer fan-in/fan-out application with a search tree of a few
+/// hundred nodes: under `wh_spec(3, 60)` the engine visits its first
+/// feasible leaf between nodes 129 and 256 and proves the optimum
+/// within 512, so step-bounded deadline outcomes are deterministic.
+fn heavy_app() -> AppSpec {
+    let mut tasks = Vec::new();
+    let mut edges = Vec::new();
+    for i in 0..4 {
+        tasks.push(TaskSpec {
+            name: format!("s{i}"),
+            node: i,
+            wcet_us: 400 + u64::from(i) * 37,
+        });
+    }
+    for j in 0..3 {
+        tasks.push(TaskSpec {
+            name: format!("f{j}"),
+            node: 4 + j,
+            wcet_us: 900,
+        });
+        for i in 0..4 {
+            edges.push(EdgeSpec {
+                from: format!("s{i}"),
+                to: format!("f{j}"),
+                width: 8 + i * 4,
+            });
+        }
+    }
+    tasks.push(TaskSpec {
+        name: "act".into(),
+        node: 7,
+        wcet_us: 250,
+    });
+    for j in 0..3 {
+        edges.push(EdgeSpec {
+            from: format!("f{j}"),
+            to: "act".into(),
+            width: 12,
+        });
+    }
+    AppSpec { tasks, edges }
+}
+
+fn wh_spec(m: u32, k: u32) -> WeaklyHardSpec {
+    WeaklyHardSpec {
+        constraints: vec![WeaklyHardEntry {
+            task: "act".into(),
+            m,
+            k,
+        }],
+    }
+}
+
+fn solve_request(id: u64, app: AppSpec, wh: Option<WeaklyHardSpec>) -> Request {
+    let mut req = Request::op("solve");
+    req.id = Some(id);
+    req.app = Some(app);
+    req.weakly_hard = wh;
+    req
+}
+
+#[test]
+fn solve_cache_and_warm_start_flow() {
+    let (addr, report_rx) = start_server(ServeConfig::default());
+    let mut c = Client::connect(addr);
+
+    // Cold solve.
+    let r1 = c.send(&solve_request(1, pipeline_app(), Some(wh_spec(10, 40))));
+    assert_eq!(r1.status, STATUS_OK, "{:?}", r1.reason);
+    assert_eq!(r1.cached, Some(false));
+    assert_eq!(r1.warm_started, Some(false));
+    let export1 = r1.result.expect("schedule");
+    let fp1 = r1.fingerprint.expect("fingerprint");
+
+    // Identical problem: exact cache hit, identical document.
+    let r2 = c.send(&solve_request(2, pipeline_app(), Some(wh_spec(10, 40))));
+    assert_eq!(r2.status, STATUS_OK);
+    assert_eq!(r2.cached, Some(true));
+    assert_eq!(r2.fingerprint.as_deref(), Some(fp1.as_str()));
+    assert_eq!(r2.result.expect("schedule"), export1);
+
+    // Same problem, permuted task declarations: same canonical
+    // fingerprint, but the positional schedule cannot be reused
+    // verbatim — served via warm start instead.
+    let mut permuted = pipeline_app();
+    permuted.tasks.swap(0, 1);
+    let r3 = c.send(&solve_request(3, permuted, Some(wh_spec(10, 40))));
+    assert_eq!(r3.status, STATUS_OK);
+    assert_eq!(r3.cached, Some(false));
+    assert_eq!(r3.warm_started, Some(true));
+    assert_eq!(r3.fingerprint.as_deref(), Some(fp1.as_str()));
+    assert_eq!(
+        r3.result.as_ref().expect("schedule").makespan_us,
+        export1.makespan_us
+    );
+
+    // Perturbed constraint bound: near miss, warm-started.
+    let r4 = c.send(&solve_request(4, pipeline_app(), Some(wh_spec(11, 40))));
+    assert_eq!(r4.status, STATUS_OK);
+    assert_eq!(r4.warm_started, Some(true));
+    assert_ne!(r4.fingerprint.as_deref(), Some(fp1.as_str()));
+
+    // cache_stats reflects all of it.
+    let stats = c.send(&Request::op("cache_stats"));
+    assert_eq!(stats.status, STATUS_OK);
+    let body = stats.cache.expect("cache body");
+    assert_eq!(body.hits, 1);
+    assert_eq!(body.warm_starts, 2);
+    assert_eq!(body.misses, 1);
+    assert_eq!(body.entries, 3);
+
+    let bye = c.send(&Request::op("shutdown"));
+    assert_eq!(bye.status, STATUS_OK);
+    let report = report_rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("server exits after shutdown");
+    assert_eq!(report.cache_hits, 1);
+    assert_eq!(report.warm_starts, 2);
+    assert_eq!(report.cache_misses, 1);
+    assert_eq!(report.rejected, 0);
+}
+
+#[test]
+fn validate_and_protocol_errors() {
+    let (addr, report_rx) = start_server(ServeConfig::default());
+    let mut c = Client::connect(addr);
+
+    let solved = c.send(&solve_request(1, pipeline_app(), Some(wh_spec(10, 40))));
+    assert_eq!(solved.status, STATUS_OK);
+
+    // Validate the schedule the daemon just produced.
+    let mut val = Request::op("validate");
+    val.id = Some(2);
+    val.app = Some(pipeline_app());
+    val.weakly_hard = Some(wh_spec(10, 40));
+    val.schedule = solved.result.clone();
+    val.kappa = Some(300);
+    val.trials = Some(20);
+    let vr = c.send(&val);
+    assert_eq!(vr.status, STATUS_OK, "{:?}", vr.reason);
+    let report = vr.validation.expect("validation report");
+    assert!(report.passed, "{}", report.report);
+    assert!(report.report.contains("PASS"));
+
+    // Malformed line.
+    let bad = c.send_line("{not json");
+    assert_eq!(bad.status, STATUS_ERROR);
+    // Unknown op.
+    let unknown = c.send(&Request::op("frobnicate"));
+    assert_eq!(unknown.status, STATUS_ERROR);
+    // Solve without an app.
+    let empty = c.send(&Request::op("solve"));
+    assert_eq!(empty.status, STATUS_ERROR);
+    // Infeasible problem (window below the eq. (13) minimum).
+    let infeasible = c.send(&solve_request(3, pipeline_app(), Some(wh_spec(1, 10))));
+    assert_eq!(infeasible.status, STATUS_INFEASIBLE);
+
+    c.send(&Request::op("shutdown"));
+    let report = report_rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("server exits");
+    assert!(report.requests >= 7);
+}
+
+/// The deadline path, made deterministic: `keep_going` is polled at
+/// step boundaries, so `deadline_ms = 0` stops the engine after exactly
+/// `step_nodes` explored nodes — no wall clock involved. With
+/// `step_nodes = 256` the engine has already recorded an incumbent for
+/// [`heavy_app`] but has not exhausted the tree: the response is the
+/// best incumbent so far, marked incomplete and kept out of the cache.
+#[test]
+fn deadline_returns_best_incumbent_marked_incomplete() {
+    let (addr, report_rx) = start_server(ServeConfig {
+        workers: 1,
+        queue_capacity: 16,
+        cache_capacity: 16,
+        step_nodes: 256,
+    });
+    let mut c = Client::connect(addr);
+
+    let mut req = solve_request(1, heavy_app(), Some(wh_spec(3, 60)));
+    req.deadline_ms = Some(0);
+    let r = c.send(&req);
+    assert_eq!(r.status, STATUS_INCOMPLETE, "{:?}", r.reason);
+    assert_eq!(r.complete, Some(false));
+    let incumbent = r.result.expect("best incumbent so far");
+
+    // Incomplete answers are never cached: the same problem without a
+    // deadline is solved from scratch and strictly no worse.
+    let full = c.send(&solve_request(2, heavy_app(), Some(wh_spec(3, 60))));
+    assert_eq!(full.status, STATUS_OK);
+    assert_eq!(full.cached, Some(false));
+    assert!(full.result.expect("schedule").makespan_us <= incumbent.makespan_us);
+
+    let stats = c.send(&Request::op("cache_stats"));
+    let body = stats.cache.expect("cache body");
+    assert_eq!(
+        body.misses, 2,
+        "incomplete solve must not populate the cache"
+    );
+    assert_eq!(body.entries, 1);
+
+    c.send(&Request::op("shutdown"));
+    drop(report_rx);
+}
+
+/// With `step_nodes = 16` the engine is stopped before it can reach any
+/// feasible leaf of [`heavy_app`]: an expired deadline with no incumbent
+/// is a structured error, not a silent empty schedule.
+#[test]
+fn deadline_with_no_incumbent_is_a_structured_error() {
+    let (addr, report_rx) = start_server(ServeConfig {
+        workers: 1,
+        queue_capacity: 16,
+        cache_capacity: 16,
+        step_nodes: 16,
+    });
+    let mut c = Client::connect(addr);
+
+    let mut req = solve_request(1, heavy_app(), Some(wh_spec(3, 60)));
+    req.deadline_ms = Some(0);
+    let r = c.send(&req);
+    assert_eq!(r.status, STATUS_ERROR);
+    assert_eq!(r.complete, Some(false));
+    assert!(r.result.is_none());
+    assert!(
+        r.reason
+            .as_deref()
+            .unwrap_or("")
+            .contains("deadline expired"),
+        "{:?}",
+        r.reason
+    );
+
+    c.send(&Request::op("shutdown"));
+    drop(report_rx);
+}
+
+/// The robustness acceptance test: with queue bound N and the single
+/// worker pinned, a burst of 4N solves is answered with exactly N
+/// accepted and 3N structured rejections, and a shutdown issued while
+/// work is still queued drains every accepted request before the server
+/// exits.
+///
+/// The worker is pinned with a Monte-Carlo validation: its cost is
+/// linear in `kappa * trials` (no pruning, no early exit on a passing
+/// run), so unlike a branch-and-bound solve it cannot terminate early
+/// on a fast machine.
+#[test]
+fn backpressure_bounds_queue_and_shutdown_drains() {
+    const N: usize = 2;
+    let (addr, report_rx) = start_server(ServeConfig {
+        workers: 1,
+        queue_capacity: N,
+        cache_capacity: 16,
+        step_nodes: 512,
+    });
+
+    // Solve once so there is a schedule to validate.
+    let mut holder = Client::connect(addr);
+    let solved = holder.send(&solve_request(99, pipeline_app(), Some(wh_spec(10, 40))));
+    assert_eq!(solved.status, STATUS_OK, "{:?}", solved.reason);
+
+    // Occupy the worker; the response is read after the burst.
+    let mut hold = Request::op("validate");
+    hold.id = Some(100);
+    hold.app = Some(pipeline_app());
+    hold.weakly_hard = Some(wh_spec(10, 40));
+    hold.schedule = solved.result.clone();
+    hold.kappa = Some(2_000);
+    hold.trials = Some(100);
+    let hold_line = serde_json::to_string(&hold).expect("serialize");
+    holder
+        .writer
+        .write_all(format!("{hold_line}\n").as_bytes())
+        .expect("write");
+    holder.writer.flush().expect("flush");
+
+    // Wait until the worker has dequeued the hold request.
+    let mut ctl = Client::connect(addr);
+    let mut polls = 0;
+    loop {
+        let stats = ctl.send(&Request::op("cache_stats"));
+        let body = stats.cache.expect("cache body");
+        if body.in_flight == 1 && body.queued == 0 {
+            break;
+        }
+        polls += 1;
+        assert!(polls < 3_000, "worker never picked up the hold: {body:?}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Burst 4N solves from parallel connections. The worker is pinned,
+    // so exactly N fit the queue and 3N are rejected. Shutdown is
+    // requested while those N are still queued, so their responses
+    // prove the graceful drain.
+    let answered = std::sync::atomic::AtomicUsize::new(0);
+    let burst: Vec<Response> = std::thread::scope(|scope| {
+        let answered = &answered;
+        let handles: Vec<_> = (0..4 * N)
+            .map(|i| {
+                scope.spawn(move || {
+                    let mut c = Client::connect(addr);
+                    // Distinct problems so cached answers play no role.
+                    let resp = c.send(&solve_request(
+                        i as u64,
+                        pipeline_app(),
+                        Some(wh_spec(10, 41 + i as u32)),
+                    ));
+                    answered.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    resp
+                })
+            })
+            .collect();
+        // With the worker pinned, the queue settles at exactly N
+        // waiting jobs and the other 3N clients hold their rejections.
+        // Only then is shutdown sent: every burst connection has been
+        // accepted and processed, so the N queued responses prove the
+        // graceful drain (nothing is still sitting in the TCP backlog,
+        // which a closing listener would reset).
+        let mut polls = 0;
+        loop {
+            let stats = ctl.send(&Request::op("cache_stats"));
+            let body = stats.cache.expect("cache body");
+            if answered.load(std::sync::atomic::Ordering::SeqCst) == 3 * N
+                && body.queued as usize == N
+            {
+                break;
+            }
+            polls += 1;
+            assert!(polls < 3_000, "queue never settled at {N}: {body:?}");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let bye = ctl.send(&Request::op("shutdown"));
+        assert_eq!(bye.status, STATUS_OK);
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("join"))
+            .collect()
+    });
+
+    let accepted: Vec<&Response> = burst.iter().filter(|r| r.status == STATUS_OK).collect();
+    let rejected: Vec<&Response> = burst
+        .iter()
+        .filter(|r| r.status == STATUS_REJECTED)
+        .collect();
+    assert_eq!(
+        accepted.len() + rejected.len(),
+        4 * N,
+        "every burst request is answered exactly once: {burst:?}"
+    );
+    assert_eq!(
+        rejected.len(),
+        3 * N,
+        "queue bound {N} admits exactly {N}: {burst:?}"
+    );
+    for r in &rejected {
+        assert_eq!(r.reason.as_deref(), Some(REASON_QUEUE_FULL));
+    }
+
+    // The pinned validation was drained too, not abandoned.
+    let hold_resp = holder.read_response();
+    assert_eq!(hold_resp.status, STATUS_OK, "{:?}", hold_resp.reason);
+    assert!(hold_resp.validation.expect("validation").passed);
+
+    let report = report_rx
+        .recv_timeout(Duration::from_secs(60))
+        .expect("server drains accepted work and exits");
+    assert_eq!(report.rejected as usize, 3 * N);
+    // solve + hold + burst + shutdown + at least one cache_stats poll.
+    assert!(report.requests as usize >= 4 * N + 4);
+}

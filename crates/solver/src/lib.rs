@@ -40,7 +40,7 @@
 //! let mut m = Model::new();
 //! let x = m.new_var("x", 0, 5)?;
 //! let y = m.new_var("y", 0, 25)?;
-//! m.table_fn(x, y, (0..=5).map(|v| v * v).collect())?;
+//! m.table_fn(x, y, (0..=5).map(|v| v * v).collect::<Vec<i64>>())?;
 //! m.linear_ge(&[(2, x), (1, y)], 7)?;
 //! let best = m.minimize(y, &SearchConfig::default())?.expect("feasible");
 //! assert_eq!(best.value(x), 2);
@@ -62,6 +62,6 @@ pub use domain::{DomainStore, VarId};
 pub use model::{Model, SolverError};
 pub use netdag_runtime::ExecPolicy;
 pub use search::{
-    portfolio_configs, RestartPolicy, SearchConfig, SearchOutcome, SearchStats, Solution,
-    ValueOrder, VarOrder,
+    portfolio_configs, publish_stats, Engine, RestartPolicy, SearchConfig, SearchOutcome,
+    SearchStats, Solution, ValueOrder, VarOrder,
 };

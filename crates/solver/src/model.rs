@@ -5,7 +5,7 @@ use std::fmt;
 
 use crate::domain::VarId;
 use crate::propagator::{IfThenLe, LinearLe, MaxOf, MinOf, NoOverlap, Propagator, TableFn};
-use crate::search::{self, SearchConfig, SearchOutcome, Solution};
+use crate::search::{self, Engine, SearchConfig, SearchOutcome, Solution};
 
 /// Error returned while building or solving a [`Model`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -162,6 +162,19 @@ impl Model {
         self.linear_ge(terms, bound)
     }
 
+    /// Creates a pausable branch-and-bound [`Engine`] over this model.
+    ///
+    /// Unlike [`Model::minimize`], which runs a search to completion,
+    /// the returned engine is driven by the caller via
+    /// [`Engine::step`] (bounded node budgets — e.g. to enforce a
+    /// per-request deadline) and can be seeded with a known-feasible
+    /// objective bound via [`Engine::inject_bound`] (warm starts).
+    /// Callers should publish the final stats themselves with
+    /// [`crate::search::publish_stats`].
+    pub fn engine(&self, objective: Option<VarId>, cfg: &SearchConfig) -> Engine<'_> {
+        Engine::new(self, objective, cfg.clone())
+    }
+
     /// Posts `x − y ≥ c`.
     ///
     /// # Errors
@@ -174,13 +187,24 @@ impl Model {
     /// Posts `y = table[x − x_lo]` where `x_lo` is `x`'s lower bound at
     /// posting time (so `table[0]` is the image of the smallest value).
     ///
+    /// Accepts either an owned `Vec<i64>` or a pre-shared `Arc<[i64]>`;
+    /// callers posting the same lookup function many times (one per
+    /// message, say) should build the `Arc` once so every propagator
+    /// shares a single allocation.
+    ///
     /// # Errors
     ///
     /// Returns [`SolverError::EmptyTable`] for an empty table and
     /// [`SolverError::UnknownVar`] for foreign variables.
-    pub fn table_fn(&mut self, x: VarId, y: VarId, table: Vec<i64>) -> Result<(), SolverError> {
+    pub fn table_fn(
+        &mut self,
+        x: VarId,
+        y: VarId,
+        table: impl Into<std::sync::Arc<[i64]>>,
+    ) -> Result<(), SolverError> {
         self.check_var(x)?;
         self.check_var(y)?;
+        let table = table.into();
         if table.is_empty() {
             return Err(SolverError::EmptyTable);
         }

@@ -132,6 +132,10 @@ fn num_div_floor(a: i128, b: i128) -> i128 {
 
 /// `y = table[x]`, with `x` shifted by `x_offset` (so `x = x_offset` reads
 /// `table[0]`). The table need not be monotone.
+///
+/// The table is reference-counted so that many propagators over the same
+/// lookup function (e.g. one per message in the NETDAG reliability
+/// encodings) share a single allocation instead of deep-copying it.
 #[derive(Debug, Clone)]
 pub struct TableFn {
     /// Input variable.
@@ -141,7 +145,7 @@ pub struct TableFn {
     /// Value of the smallest admissible `x`.
     pub x_offset: i64,
     /// `table[i] = f(x_offset + i)`.
-    pub table: Vec<i64>,
+    pub table: std::sync::Arc<[i64]>,
 }
 
 impl Propagator for TableFn {
@@ -537,7 +541,7 @@ mod tests {
             x: VarId(0),
             y: VarId(2),
             x_offset: 0,
-            table: vec![1],
+            table: vec![1].into(),
         };
         assert_eq!(t.vars(), vec![VarId(0), VarId(2)]);
         let mn = MinOf {
@@ -573,7 +577,7 @@ mod tests {
             x: VarId(0),
             y: VarId(1),
             x_offset: 0,
-            table: vec![0, 1, 4, 9, 16, 25],
+            table: vec![0, 1, 4, 9, 16, 25].into(),
         };
         let mut d = dom(&[(0, 5), (5, 20)]);
         p.propagate(&mut d).unwrap();
@@ -589,7 +593,7 @@ mod tests {
             x: VarId(0),
             y: VarId(1),
             x_offset: 1,
-            table: vec![10, 20, 30],
+            table: vec![10, 20, 30].into(),
         };
         let mut d = dom(&[(0, 9), (0, 25)]);
         p.propagate(&mut d).unwrap();
@@ -606,7 +610,7 @@ mod tests {
             x: VarId(0),
             y: VarId(1),
             x_offset: 0,
-            table: vec![3, 1, 4, 1, 5],
+            table: vec![3, 1, 4, 1, 5].into(),
         };
         let mut d = dom(&[(0, 4), (4, 10)]);
         p.propagate(&mut d).unwrap();

@@ -283,7 +283,7 @@ enum Fail {
 /// preserving the full search state, so the portfolio race can
 /// interleave engines in deterministic epochs and exchange objective
 /// bounds only at epoch boundaries.
-pub(crate) struct Engine<'a> {
+pub struct Engine<'a> {
     model: &'a Model,
     cfg: SearchConfig,
     objective: Option<VarId>,
@@ -348,28 +348,34 @@ impl<'a> Engine<'a> {
         }
     }
 
-    pub(crate) fn is_done(&self) -> bool {
+    /// Whether the search has finished (space exhausted, satisfaction
+    /// hit, or node limit reached).
+    pub fn is_done(&self) -> bool {
         self.state == EngineState::Done
     }
 
     /// Best objective value found by *this* engine (not the injected
     /// external bound).
-    pub(crate) fn best_objective(&self) -> Option<i64> {
+    pub fn best_objective(&self) -> Option<i64> {
         self.best.as_ref().map(|_| self.best_obj)
     }
 
-    pub(crate) fn stats(&self) -> &SearchStats {
+    /// Search-effort counters accumulated so far.
+    pub fn stats(&self) -> &SearchStats {
         &self.stats
     }
 
     /// Lowers the external incumbent bound (portfolio sharing). Takes
     /// effect at the next node this engine opens; sound because the
     /// bound always corresponds to a solution some engine recorded.
-    pub(crate) fn inject_bound(&mut self, bound: i64) {
+    pub fn inject_bound(&mut self, bound: i64) {
         self.external_bound = self.external_bound.min(bound);
     }
 
-    pub(crate) fn into_outcome(self) -> SearchOutcome {
+    /// Consumes the engine, yielding the best solution found and the
+    /// accumulated [`SearchStats`]. `stats.proven_optimal` is only set
+    /// when the space was exhausted (see [`Engine::step`]).
+    pub fn into_outcome(self) -> SearchOutcome {
         SearchOutcome {
             best: self.best,
             stats: self.stats,
@@ -385,7 +391,7 @@ impl<'a> Engine<'a> {
     /// Explores up to `budget` more search nodes. Returns `true` when
     /// the search has finished (space exhausted, satisfaction hit, or
     /// node limit reached) and `false` when merely paused.
-    pub(crate) fn step(&mut self, budget: u64) -> bool {
+    pub fn step(&mut self, budget: u64) -> bool {
         if self.state == EngineState::Done {
             return true;
         }
@@ -800,7 +806,12 @@ pub(crate) fn run(model: &Model, objective: Option<VarId>, cfg: &SearchConfig) -
 }
 
 /// Mirrors a finished search's totals into the global metrics recorder.
-pub(crate) fn publish_stats(stats: &SearchStats) {
+///
+/// [`Model::solve`]-family entry points call this automatically; callers
+/// driving an [`Engine`] by hand (e.g. a serving loop pausing via
+/// [`Engine::step`]) should call it exactly once per search so the
+/// `solver.*` counters stay consistent with batch solves.
+pub fn publish_stats(stats: &SearchStats) {
     use netdag_obs::{counter, keys};
     counter!(keys::SOLVER_SEARCHES).incr();
     counter!(keys::SOLVER_NODES).add(stats.nodes);
