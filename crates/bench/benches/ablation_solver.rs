@@ -1,6 +1,6 @@
 //! Ablation A2: the solver engines and backends, head to head.
 //!
-//! Two comparisons:
+//! Three comparisons:
 //!
 //! 1. **Trail vs clone engine** — the trail-based engine
 //!    (`netdag_solver::search`) against the clone-per-node reference
@@ -10,12 +10,21 @@
 //!    (nodes, wall time, node throughput, speedup) to the workspace
 //!    root and asserts the trail engine never explores more nodes than
 //!    the oracle — the CI smoke gate.
-//! 2. **Exact vs greedy backend** — the optimality-gap report across
+//! 2. **Bounded vs unbounded search** — the scheduler front end on the
+//!    cartpole and MIMO paper applications with the relaxation lower
+//!    bound and CPM presolve on (bounded) and off (baseline, the
+//!    pre-relaxation solver). Gates: the bounded search never explores
+//!    more nodes, returns the byte-identical schedule, reaches ≥ 2×
+//!    node reduction on at least one shape, and the portfolio winner is
+//!    bit-identical at 1 / 2 / 8 threads. Per-config node counts land
+//!    in `BENCH_solver.json` under `"lower_bound"`.
+//! 3. **Exact vs greedy backend** — the optimality-gap report across
 //!    random instances, the cost of optimality for our Z3/Gurobi
 //!    stand-in.
 //!
 //! Set `NETDAG_BENCH_FAST=1` for the CI smoke mode: a reduced node
-//! budget, single-shot timing, and no backend sweep.
+//! budget, single-shot timing, and no backend sweep (comparisons 1 and
+//! 2 still gate).
 
 use std::time::Instant;
 
@@ -24,8 +33,11 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use netdag_bench::{
-    cartpole_solver_csp, exact_config, greedy_config, mimo_solver_csp, solver_round_csp,
+    cartpole_fixture, cartpole_solver_csp, exact_config, greedy_config, mimo_fixture,
+    mimo_solver_csp, solver_round_csp,
 };
+use netdag_core::app::Application;
+use netdag_core::config::SchedulerConfig;
 use netdag_core::constraints::WeaklyHardConstraints;
 use netdag_core::generators::random_layered_app;
 use netdag_core::stat::Eq13Statistic;
@@ -106,7 +118,110 @@ fn race(name: &'static str, m: &Model, obj: VarId, cfg: &SearchConfig, reps: usi
     RaceRow { name, trail, clone }
 }
 
-fn write_engine_summary(rows: &[RaceRow], fast: bool) {
+struct LbRow {
+    name: &'static str,
+    bounded_nodes: u64,
+    baseline_nodes: u64,
+    lb_prunes: u64,
+    shaved_domains: u64,
+    makespan_us: u64,
+}
+
+impl LbRow {
+    fn reduction(&self) -> f64 {
+        self.baseline_nodes as f64 / (self.bounded_nodes as f64).max(1.0)
+    }
+}
+
+/// Races the exact backend with the relaxation lower bound on (bounded)
+/// and off (baseline) on one paper application, enforcing the
+/// no-extra-nodes and byte-identical-schedule gates, then checks the
+/// portfolio winner is bit-identical at 1 / 2 / 8 threads.
+fn race_lower_bound(
+    name: &'static str,
+    app: &Application,
+    f: &WeaklyHardConstraints,
+) -> LbRow {
+    let stat = Eq13Statistic::new(8);
+    let solve = |lower_bound: bool| {
+        let cfg = SchedulerConfig {
+            lower_bound,
+            ..SchedulerConfig::default()
+        };
+        schedule_weakly_hard(app, &stat, f, &cfg).expect("feasible fixture")
+    };
+    let bounded = solve(true);
+    let baseline = solve(false);
+    assert!(bounded.optimal && baseline.optimal, "{name}: both optimal");
+    assert_eq!(
+        bounded.schedule, baseline.schedule,
+        "{name}: the lower bound must not change the returned schedule"
+    );
+    let bs = bounded.stats.expect("exact backend");
+    let ns = baseline.stats.expect("exact backend");
+    assert!(
+        bs.nodes <= ns.nodes,
+        "{name}: bounded search explored {} nodes, baseline {} — the \
+         relaxation must only prune",
+        bs.nodes,
+        ns.nodes
+    );
+    // Bit-identical portfolio winner at every thread count.
+    let portfolio = |threads: usize| {
+        let cfg = SchedulerConfig {
+            portfolio: 4,
+            solver_threads: threads,
+            ..SchedulerConfig::default()
+        };
+        schedule_weakly_hard(app, &stat, f, &cfg)
+            .expect("feasible fixture")
+            .schedule
+    };
+    let serial = portfolio(1);
+    for threads in [2usize, 8] {
+        assert_eq!(
+            serial,
+            portfolio(threads),
+            "{name}: portfolio winner must be bit-identical at {threads} threads"
+        );
+    }
+    LbRow {
+        name,
+        bounded_nodes: bs.nodes,
+        baseline_nodes: ns.nodes,
+        lb_prunes: bs.lb_prunes,
+        shaved_domains: bs.presolve_shaved,
+        makespan_us: bounded.schedule.makespan(app),
+    }
+}
+
+fn lb_summary_json(rows: &[LbRow]) -> String {
+    let mut shapes = String::new();
+    for (i, row) in rows.iter().enumerate() {
+        shapes.push_str(&format!(
+            "      {{\n        \"shape\": \"{}\",\n        \
+             \"bounded_nodes\": {},\n        \"baseline_nodes\": {},\n        \
+             \"lb_prunes\": {},\n        \"shaved_domains\": {},\n        \
+             \"makespan_us\": {},\n        \"reduction\": {:.2}\n      }}{}\n",
+            row.name,
+            row.bounded_nodes,
+            row.baseline_nodes,
+            row.lb_prunes,
+            row.shaved_domains,
+            row.makespan_us,
+            row.reduction(),
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    let max_reduction = rows.iter().map(LbRow::reduction).fold(0.0, f64::max);
+    format!(
+        "  \"lower_bound\": {{\n    \"shapes\": [\n{shapes}    ],\n    \
+         \"max_reduction\": {max_reduction:.2},\n    \
+         \"portfolio_threads_identical\": [1, 2, 8]\n  }}",
+    )
+}
+
+fn write_engine_summary(rows: &[RaceRow], lb_rows: &[LbRow], fast: bool) {
     let mut shapes = String::new();
     for (i, row) in rows.iter().enumerate() {
         let trail_nps = row.trail.nodes as f64 / row.trail.wall_s.max(1e-9);
@@ -133,7 +248,8 @@ fn write_engine_summary(rows: &[RaceRow], fast: bool) {
     let json = format!(
         "{{\n  \"bench\": \"ablation_solver\",\n  \"fast\": {fast},\n  \
          \"engines\": [\"trail\", \"clone\"],\n  \"shapes\": [\n{shapes}  ],\n  \
-         \"min_speedup\": {min_speedup:.2}\n}}\n",
+         \"min_speedup\": {min_speedup:.2},\n{}\n}}\n",
+        lb_summary_json(lb_rows),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_solver.json");
     if let Err(e) = std::fs::write(path, &json) {
@@ -172,7 +288,32 @@ fn bench_solver(c: &mut Criterion) {
         race("cartpole", &cart, cart_obj, &cfg, reps),
         race("mimo", &mimo, mimo_obj, &cfg, reps),
     ];
-    write_engine_summary(&rows, fast);
+
+    // 2. Bounded vs unbounded search on the paper applications (cheap
+    // enough to gate in the CI smoke mode as well).
+    let (cart_app, cart_act) = cartpole_fixture();
+    let mut cart_f = WeaklyHardConstraints::new();
+    cart_f
+        .set(cart_act, Constraint::any_hit(3, 60).expect("valid"))
+        .expect("hit form");
+    let (mimo_app, mimo_acts) = mimo_fixture();
+    let mut mimo_f = WeaklyHardConstraints::new();
+    for &a in &mimo_acts {
+        mimo_f
+            .set(a, Constraint::any_hit(8, 60).expect("valid"))
+            .expect("hit form");
+    }
+    let lb_rows = vec![
+        race_lower_bound("cartpole", &cart_app, &cart_f),
+        race_lower_bound("mimo", &mimo_app, &mimo_f),
+    ];
+    let max_reduction = lb_rows.iter().map(LbRow::reduction).fold(0.0, f64::max);
+    assert!(
+        max_reduction >= 2.0,
+        "lower bound must at least halve the search tree on one paper \
+         shape; best reduction was {max_reduction:.2}×"
+    );
+    write_engine_summary(&rows, &lb_rows, fast);
 
     let mut group = c.benchmark_group("ablation_solver");
     group.sample_size(10);

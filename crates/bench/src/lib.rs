@@ -10,6 +10,7 @@
 use netdag_core::app::{Application, TaskId};
 use netdag_core::config::{Backend, SchedulerConfig};
 use netdag_core::generators::mimo_app;
+use netdag_glossy::NodeId;
 use netdag_solver::{Model, VarId};
 use netdag_weakly_hard::Constraint;
 use rand::SeedableRng;
@@ -31,6 +32,32 @@ pub fn fig2_constraints() -> Vec<Constraint> {
 pub fn mimo_fixture() -> (Application, Vec<TaskId>) {
     let mut rng = ChaCha8Rng::seed_from_u64(MIMO_SEED);
     mimo_app(&mut rng)
+}
+
+/// The cartpole application DAG at the fig. 3 scale: the four state
+/// components (x, ẋ, θ, θ̇) are sensed on separate nodes, fused by the
+/// controller, which commands the force actuator. Returns the
+/// application and the actuator task.
+///
+/// # Panics
+///
+/// Panics if the fixture DAG is rejected by the builder (a fixture bug).
+pub fn cartpole_fixture() -> (Application, TaskId) {
+    let mut b = Application::builder();
+    let sensors: Vec<_> = ["x", "xdot", "theta", "thetadot"]
+        .iter()
+        .enumerate()
+        .map(|(i, n)| b.task(n, NodeId(i as u32), 300 + i as u64 * 40))
+        .collect();
+    let ctrl = b.task("ctrl", NodeId(4), 800);
+    for (i, &s) in sensors.iter().enumerate() {
+        b.edge(s, ctrl, 4 + i as u32).expect("distinct tasks");
+    }
+    let act = b.task("force", NodeId(5), 200);
+    b.edge(ctrl, act, 8).expect("distinct tasks");
+    let app = b.build().expect("acyclic fixture");
+    let act = app.task_by_name("force").expect("just added");
+    (app, act)
 }
 
 /// Exact-backend configuration with a bench-friendly node budget.
@@ -162,6 +189,9 @@ mod tests {
         let (app, actuators) = mimo_fixture();
         assert_eq!(app.task_count(), 13);
         assert_eq!(actuators.len(), 4);
+        let (cart, act) = cartpole_fixture();
+        assert_eq!(cart.task_count(), 6);
+        assert!(cart.successors(act).is_empty());
         assert_eq!(fig2_constraints().len(), 4);
         assert_eq!(fig4_powers().len(), 10);
         let (a, b) = fig3_pairs();

@@ -39,6 +39,10 @@ pub struct ScheduleOpts {
     /// 1 = serial, n = exactly n. Results are identical at every
     /// setting.
     pub threads: usize,
+    /// Disable the relaxation lower bound and CPM presolve (A/B knob;
+    /// never changes the optimum, only search effort and whether
+    /// infeasible timing is explained instead of searched).
+    pub no_lb: bool,
     /// Statistic choice.
     pub stat: StatChoice,
     /// Where to write the schedule JSON.
@@ -223,6 +227,10 @@ USAGE:
                                    schedule is identical at any thread
                                    count; 0/1 = single engine)
                   [--threads N]   (portfolio workers: 0 = auto, 1 = serial)
+                  [--no-lb]       (disable the relaxation lower bound and
+                                   CPM presolve; same optimum, more search
+                                   nodes, and provably impossible timing is
+                                   searched instead of explained)
                   [--stat eq13 | --stat eq15:<fss>]
                   [--out <schedule.json>] [--timeline]
                   [--metrics <m.json>] [--trace <t.json>]
@@ -357,6 +365,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                 include_beacons: false,
                 portfolio: 0,
                 threads: 0,
+                no_lb: false,
                 stat: StatChoice::Eq13,
                 out: None,
                 timeline: false,
@@ -384,6 +393,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                     "--include-beacons" => opts.include_beacons = true,
                     "--portfolio" => opts.portfolio = cur.parsed("--portfolio")?,
                     "--threads" => opts.threads = cur.parsed("--threads")?,
+                    "--no-lb" => opts.no_lb = true,
                     "--stat" => opts.stat = parse_stat(&cur.value("--stat")?)?,
                     "--out" => opts.out = Some(PathBuf::from(cur.value("--out")?)),
                     "--timeline" => opts.timeline = true,
@@ -640,7 +650,7 @@ mod tests {
         let cmd = parse(
             "schedule --app a.json --weakly-hard f.json --greedy --chi-max 10 \
              --beacon-chi 3 --per-message-rounds --include-beacons \
-             --portfolio 4 --threads 2 --stat eq15:1.25 --out s.json --timeline",
+             --portfolio 4 --threads 2 --no-lb --stat eq15:1.25 --out s.json --timeline",
         )
         .unwrap();
         let Command::Schedule(o) = cmd else {
@@ -651,6 +661,7 @@ mod tests {
         assert_eq!(o.beacon_chi, 3);
         assert_eq!(o.portfolio, 4);
         assert_eq!(o.threads, 2);
+        assert!(o.no_lb);
         assert_eq!(o.stat, StatChoice::Eq15(1.25));
         assert_eq!(o.out, Some(PathBuf::from("s.json")));
     }
@@ -666,6 +677,7 @@ mod tests {
         assert_eq!(o.soft, None);
         assert_eq!(o.portfolio, 0);
         assert_eq!(o.threads, 0);
+        assert!(!o.no_lb);
     }
 
     #[test]

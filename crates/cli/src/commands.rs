@@ -323,6 +323,7 @@ fn config_from(opts: &ScheduleOpts) -> SchedulerConfig {
         include_beacons: opts.include_beacons,
         portfolio: opts.portfolio,
         solver_threads: opts.threads,
+        lower_bound: !opts.no_lb,
         ..SchedulerConfig::default()
     }
 }
@@ -360,6 +361,30 @@ fn schedule(opts: &ScheduleOpts) -> Result<Output, CliError> {
             return Ok(Output {
                 text: "infeasible: no χ assignment within chi-max meets the constraints\n"
                     .to_owned(),
+                success: false,
+                summary: None,
+            });
+        }
+        Err(ScheduleError::InfeasibleTiming(e)) => {
+            let mut text = format!(
+                "infeasible (proved without search): {} cannot start before slot {} \
+                 but must start by slot {}\n",
+                e.entity, e.earliest, e.latest
+            );
+            if !e.forward.is_empty() {
+                text.push_str("  earliest-start chain:\n");
+                for s in &e.forward {
+                    text.push_str(&format!("    {s}\n"));
+                }
+            }
+            if !e.backward.is_empty() {
+                text.push_str("  latest-start chain:\n");
+                for s in &e.backward {
+                    text.push_str(&format!("    {s}\n"));
+                }
+            }
+            return Ok(Output {
+                text,
                 success: false,
                 summary: None,
             });

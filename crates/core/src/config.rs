@@ -69,6 +69,13 @@ pub struct SchedulerConfig {
     /// Worker threads for the portfolio race (`0` = one per core,
     /// `1` = serial). Never affects results, only wall time.
     pub solver_threads: usize,
+    /// Whether the exact backend builds a relaxation of the temporal
+    /// subsystem (difference-bound-matrix closure) before searching: a
+    /// CPM `[ES, LS]` presolve rejects over-constrained specs with a
+    /// named-task explanation and zero search nodes, and the closed
+    /// matrix prunes bound-dead children during search. Never changes
+    /// the optimum; `--no-lb` on the CLI disables it for A/B runs.
+    pub lower_bound: bool,
 }
 
 impl Default for SchedulerConfig {
@@ -84,6 +91,7 @@ impl Default for SchedulerConfig {
             include_beacons: false,
             portfolio: 0,
             solver_threads: 0,
+            lower_bound: true,
         }
     }
 }
@@ -110,6 +118,44 @@ pub struct ScheduleOutcome {
     pub optimal: bool,
 }
 
+/// A named, per-constraint proof that the timing subsystem is
+/// over-constrained: some quantity's forced earliest value exceeds its
+/// forced latest value. Produced by the CPM presolve (no search needed)
+/// and rendered against the spec's task and round names, so a rejected
+/// spec reads "task X must start by slot L but cannot start before slot
+/// E, because …" instead of "search timed out".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InfeasibilityExplanation {
+    /// The over-constrained quantity (e.g. `start(ctrl)`, `round 2`).
+    pub entity: String,
+    /// Earliest value the constraints allow, in slots.
+    pub earliest: i64,
+    /// Latest value the constraints allow, in slots
+    /// (`latest < earliest` — that is the contradiction).
+    pub latest: i64,
+    /// Rendered constraint chain forcing `entity ≥ earliest`.
+    pub forward: Vec<String>,
+    /// Rendered constraint chain capping `entity ≤ latest`.
+    pub backward: Vec<String>,
+}
+
+impl fmt::Display for InfeasibilityExplanation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cannot start before slot {} but must start by slot {}",
+            self.entity, self.earliest, self.latest
+        )?;
+        if !self.forward.is_empty() {
+            write!(f, "; forced late by: {}", self.forward.join(", "))?;
+        }
+        if !self.backward.is_empty() {
+            write!(f, "; capped early by: {}", self.backward.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
 /// Error returned by the scheduling entry points.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ScheduleError {
@@ -122,6 +168,9 @@ pub enum ScheduleError {
     InfeasibleReliability(TaskId),
     /// The exact backend proved the whole problem infeasible.
     Infeasible,
+    /// The CPM presolve proved the timing subsystem infeasible before
+    /// any search, with a named-task explanation (`solver.nodes == 0`).
+    InfeasibleTiming(Box<InfeasibilityExplanation>),
     /// A task-level deadline cannot be met by any schedule the backend
     /// explores (for the greedy backend: by the earliest-start placement).
     DeadlineViolated(TaskId),
@@ -147,6 +196,9 @@ impl fmt::Display for ScheduleError {
                 "no retransmission assignment within chi_max satisfies the requirement on {t}"
             ),
             ScheduleError::Infeasible => write!(f, "the scheduling problem is infeasible"),
+            ScheduleError::InfeasibleTiming(e) => {
+                write!(f, "the timing constraints are infeasible: {e}")
+            }
             ScheduleError::DeadlineViolated(t) => {
                 write!(f, "task {t} cannot meet its deadline")
             }

@@ -10,10 +10,10 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use netdag_solver::{Model, SearchConfig, SearchStats, VarId};
+use netdag_solver::{Model, PresolveStep, Relaxation, SearchConfig, SearchStats, VarId};
 
 use crate::app::{Application, MsgId, TaskId};
-use crate::config::{ScheduleError, SchedulerConfig};
+use crate::config::{InfeasibilityExplanation, ScheduleError, SchedulerConfig};
 use crate::constraints::Deadlines;
 use crate::schedule::{Round, Schedule};
 
@@ -402,6 +402,91 @@ fn extract_schedule(
     Schedule::new(built_rounds, chi, starts, cfg.timing)
 }
 
+/// Human name for a solver variable in an infeasibility explanation:
+/// task and round starts get their spec-level names; everything else
+/// falls back to the encoder's internal variable name.
+fn entity_name(enc: &EncodedModel, app: &Application, v: VarId) -> String {
+    if let Some(t) = enc.task_start.iter().position(|&s| s == v) {
+        format!("task '{}'", app.task(TaskId(t as u32)).name)
+    } else if let Some(r) = enc.round_start.iter().position(|&s| s == v) {
+        format!("round {r}")
+    } else {
+        enc.model.var_name(v).to_owned()
+    }
+}
+
+/// Renders one witness hop (`from − to ≤ weight`) against the spec's
+/// names, in whichever direction reads as a forcing statement.
+fn render_step(enc: &EncodedModel, app: &Application, step: &PresolveStep) -> String {
+    let name = |v: Option<VarId>| match v {
+        Some(v) => entity_name(enc, app, v),
+        None => "0".to_owned(),
+    };
+    let rendered = match (step.from, step.to) {
+        (Some(x), None) => format!("{} ≤ {}", entity_name(enc, app, x), step.weight),
+        (None, Some(y)) => format!("{} ≥ {}", entity_name(enc, app, y), -step.weight),
+        _ if step.weight <= 0 => {
+            format!("{} ≥ {} + {}", name(step.to), name(step.from), -step.weight)
+        }
+        _ => format!("{} ≤ {} + {}", name(step.from), name(step.to), step.weight),
+    };
+    format!("{rendered} [{}]", step.kind)
+}
+
+/// CPM presolve over a built encoding: closes the difference-constraint
+/// subsystem and, when some start's earliest slot exceeds its latest
+/// slot, rejects the spec with a named explanation — zero search nodes.
+/// Renders a witness chain, collapsing repeats: a negative cycle is
+/// traversed many times by the shortest pumped walk, but each distinct
+/// constraint only needs to be cited once.
+fn render_chain(enc: &EncodedModel, app: &Application, steps: &[PresolveStep]) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for s in steps {
+        let line = render_step(enc, app, s);
+        if !out.contains(&line) {
+            out.push(line);
+        }
+    }
+    out
+}
+
+fn check_presolve(enc: &EncodedModel, app: &Application) -> Result<(), ScheduleError> {
+    let relax = Relaxation::build(&enc.model, None);
+    if let Some(w) = relax.witness() {
+        let explanation = InfeasibilityExplanation {
+            entity: entity_name(enc, app, w.var),
+            earliest: w.earliest,
+            latest: w.latest,
+            forward: render_chain(enc, app, &w.forward),
+            backward: render_chain(enc, app, &w.backward),
+        };
+        return Err(ScheduleError::InfeasibleTiming(Box::new(explanation)));
+    }
+    Ok(())
+}
+
+/// Builds the encoding and runs only the CPM presolve — the daemon's
+/// pre-admission check: an over-constrained spec is rejected before it
+/// ever occupies a solver slot.
+///
+/// # Errors
+///
+/// [`ScheduleError::InfeasibleTiming`] with the named explanation when
+/// the timing subsystem is provably infeasible; encoding errors as
+/// [`solve_exact`]. `Ok(())` only means the *relaxation* is feasible —
+/// the full problem may still be infeasible (reliability constraints are
+/// not part of the difference subsystem).
+pub(crate) fn presolve_exact(
+    app: &Application,
+    cfg: &SchedulerConfig,
+    rounds: &[Vec<MsgId>],
+    spec: &ReliabilitySpec,
+    deadlines: &Deadlines,
+) -> Result<(), ScheduleError> {
+    let enc = build_model(app, cfg, rounds, spec, deadlines)?;
+    check_presolve(&enc, app)
+}
+
 /// Solves the full scheduling problem exactly. Returns the schedule, the
 /// search statistics, and whether optimality was proven.
 ///
@@ -417,13 +502,26 @@ pub(crate) fn solve_exact(
     deadlines: &Deadlines,
 ) -> Result<(Schedule, SearchStats, bool), ScheduleError> {
     let enc = build_model(app, cfg, rounds, spec, deadlines)?;
+    if cfg.lower_bound {
+        // Reject timing-infeasible specs with a named explanation and
+        // zero search nodes, rather than burning the node budget on a
+        // search that can only prove what the closure already knows.
+        check_presolve(&enc, app)?;
+    }
     // With `portfolio ≥ 2`, race that many diverse configurations over
     // the runtime fan-out; the race shares the incumbent makespan at
     // epoch boundaries and is bit-identical at any thread count.
     let outcome = if cfg.portfolio >= 2 {
+        let mut configs = netdag_solver::portfolio_configs(cfg.portfolio as usize, enc.node_limit);
+        if !cfg.lower_bound {
+            // `--no-lb` A/B runs: strip the family's bounded members.
+            for c in &mut configs {
+                c.lower_bound = false;
+            }
+        }
         enc.model.minimize_portfolio(
             enc.makespan,
-            &netdag_solver::portfolio_configs(cfg.portfolio as usize, enc.node_limit),
+            &configs,
             netdag_runtime::ExecPolicy::from_threads(cfg.solver_threads),
         )?
     } else {
@@ -431,6 +529,7 @@ pub(crate) fn solve_exact(
             enc.makespan,
             &SearchConfig {
                 node_limit: enc.node_limit,
+                lower_bound: cfg.lower_bound,
                 ..SearchConfig::default()
             },
         )?
@@ -480,6 +579,8 @@ fn accumulate(total: &mut SearchStats, add: &SearchStats) {
     total.prunings += add.prunings;
     total.solutions += add.solutions;
     total.restarts += add.restarts;
+    total.lb_prunes += add.lb_prunes;
+    total.presolve_shaved += add.presolve_shaved;
     total.trail_len_max = total.trail_len_max.max(add.trail_len_max);
 }
 
@@ -523,8 +624,12 @@ pub(crate) fn solve_exact_controlled(
         return Ok((schedule, stats, optimal, true));
     }
     let enc = build_model(app, cfg, rounds, spec, deadlines)?;
+    if cfg.lower_bound {
+        check_presolve(&enc, app)?;
+    }
     let search_cfg = SearchConfig {
         node_limit: enc.node_limit,
+        lower_bound: cfg.lower_bound,
         ..SearchConfig::default()
     };
     let mut total = SearchStats::default();
@@ -616,8 +721,20 @@ mod tests {
         let cfg = SchedulerConfig::default();
         let rounds = build_rounds(&app, RoundStructure::PerLevel);
         let spec = soft_spec(&app, vec![-100; cfg.chi_max as usize], -50);
-        assert_eq!(
+        // The reliability row is unary here, so it lands in the
+        // difference subsystem and the presolve proves infeasibility
+        // before any search (with an explanation); `--no-lb` falls back
+        // to the search proof.
+        assert!(matches!(
             solve_exact(&app, &cfg, &rounds, &spec, &Deadlines::new()).unwrap_err(),
+            ScheduleError::InfeasibleTiming(_)
+        ));
+        let no_lb = SchedulerConfig {
+            lower_bound: false,
+            ..cfg
+        };
+        assert_eq!(
+            solve_exact(&app, &no_lb, &rounds, &spec, &Deadlines::new()).unwrap_err(),
             ScheduleError::Infeasible
         );
     }

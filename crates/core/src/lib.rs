@@ -92,17 +92,21 @@ pub mod weakly_hard;
 pub mod prelude {
     pub use crate::app::{Application, MsgId, TaskId};
     pub use crate::config::{
-        Backend, RoundStructure, ScheduleError, ScheduleOutcome, SchedulerConfig,
+        Backend, InfeasibilityExplanation, RoundStructure, ScheduleError, ScheduleOutcome,
+        SchedulerConfig,
     };
     pub use crate::constraints::{Deadlines, SoftConstraints, WeaklyHardConstraints};
     pub use crate::control::{ControlledOutcome, SolveControl};
     pub use crate::schedule::{Round, Schedule};
-    pub use crate::soft::{schedule_soft, schedule_soft_controlled, schedule_soft_with_deadlines};
+    pub use crate::soft::{
+        presolve_soft, schedule_soft, schedule_soft_controlled, schedule_soft_with_deadlines,
+    };
     pub use crate::stat::{
         Eq13Statistic, Eq15Statistic, SoftStatistic, TableSoftStatistic, TableWeaklyHardStatistic,
         WeaklyHardStatistic,
     };
     pub use crate::weakly_hard::{
-        schedule_weakly_hard, schedule_weakly_hard_controlled, schedule_weakly_hard_with_deadlines,
+        presolve_weakly_hard, schedule_weakly_hard, schedule_weakly_hard_controlled,
+        schedule_weakly_hard_with_deadlines,
     };
 }

@@ -4,7 +4,9 @@ use crate::app::{Application, TaskId};
 use crate::config::{Backend, ScheduleError, ScheduleOutcome, SchedulerConfig};
 use crate::constraints::Deadlines;
 use crate::control::{ControlledOutcome, SolveControl};
-use crate::encode::{solve_exact, solve_exact_controlled, ReliabilitySpec, LOG_SCALE, LOG_ZERO};
+use crate::encode::{
+    presolve_exact, solve_exact, solve_exact_controlled, ReliabilitySpec, LOG_SCALE, LOG_ZERO,
+};
 use crate::heuristic::solve_greedy;
 use crate::rounds::build_rounds;
 use crate::schedule::Schedule;
@@ -91,6 +93,41 @@ pub fn schedule_soft_controlled<S: SoftStatistic + ?Sized>(
     control: &mut SolveControl<'_>,
 ) -> Result<ControlledOutcome, ScheduleError> {
     schedule_soft_inner(app, stat, constraints, deadlines, cfg, Some(control))
+}
+
+/// Runs only the CPM timing presolve for a soft spec: validates the
+/// inputs, builds the CSP encoding, closes its difference-constraint
+/// subsystem, and — without exploring a single search node — rejects an
+/// over-constrained spec with a named-task
+/// [`ScheduleError::InfeasibleTiming`] explanation. The daemon calls
+/// this before admission so a hopeless request never occupies a solver
+/// slot.
+///
+/// `Ok(())` only clears the *timing* relaxation; the full problem may
+/// still be infeasible for reliability reasons the relaxation cannot
+/// see.
+///
+/// # Errors
+///
+/// As [`schedule_soft_with_deadlines`] for invalid inputs, plus
+/// [`ScheduleError::InfeasibleTiming`] when earliest/latest start
+/// windows contradict.
+pub fn presolve_soft<S: SoftStatistic + ?Sized>(
+    app: &Application,
+    stat: &S,
+    constraints: &crate::constraints::SoftConstraints,
+    deadlines: &Deadlines,
+    cfg: &SchedulerConfig,
+) -> Result<(), ScheduleError> {
+    cfg.validate()?;
+    validate_soft(stat)?;
+    constraints.validate(app)?;
+    deadlines
+        .validate(app)
+        .map_err(ScheduleError::BadDeadline)?;
+    let rounds = build_rounds(app, cfg.round_structure);
+    let spec = build_spec(app, stat, constraints, cfg, &rounds);
+    presolve_exact(app, cfg, &rounds, &spec, deadlines)
 }
 
 fn schedule_soft_inner<S: SoftStatistic + ?Sized>(
@@ -378,9 +415,36 @@ mod tests {
         let err = schedule_soft(&app, &stat, &f, &SchedulerConfig::default()).unwrap_err();
         assert!(matches!(
             err,
-            ScheduleError::Infeasible | ScheduleError::InfeasibleReliability(_)
+            ScheduleError::Infeasible
+                | ScheduleError::InfeasibleReliability(_)
+                | ScheduleError::InfeasibleTiming(_)
         ));
         let err = schedule_soft(&app, &stat, &f, &SchedulerConfig::greedy()).unwrap_err();
         assert_eq!(err, ScheduleError::InfeasibleReliability(a1));
+    }
+
+    #[test]
+    fn presolve_rejects_impossible_deadline_with_explanation() {
+        let (app, a1, _) = mimo_ish();
+        let stat = Eq15Statistic::new(1.0, 8);
+        let f = SoftConstraints::new();
+        let cfg = SchedulerConfig::default();
+        // Feasible spec: the presolve stays silent.
+        presolve_soft(&app, &stat, &f, &Deadlines::new(), &cfg).unwrap();
+        // Deadline longer than the WCET (passes validation) but shorter
+        // than the critical path: rejected with a rendered explanation,
+        // no search.
+        let mut d = Deadlines::new();
+        d.set(a1, app.task(a1).wcet_us + 1);
+        let err = presolve_soft(&app, &stat, &f, &d, &cfg).unwrap_err();
+        let ScheduleError::InfeasibleTiming(e) = err else {
+            panic!("expected a timing explanation, got {err:?}");
+        };
+        assert!(e.earliest > e.latest, "{} ≤ {}", e.earliest, e.latest);
+        assert!(!e.forward.is_empty() || !e.backward.is_empty());
+        assert!(e.to_string().contains("cannot start before"));
+        // The full scheduling entry point rejects it identically.
+        let err = schedule_soft_with_deadlines(&app, &stat, &f, &d, &cfg).unwrap_err();
+        assert!(matches!(err, ScheduleError::InfeasibleTiming(_)));
     }
 }

@@ -6,7 +6,7 @@ use crate::app::{Application, TaskId};
 use crate::config::{Backend, ScheduleError, ScheduleOutcome, SchedulerConfig};
 use crate::constraints::Deadlines;
 use crate::control::{ControlledOutcome, SolveControl};
-use crate::encode::{solve_exact, solve_exact_controlled, ReliabilitySpec};
+use crate::encode::{presolve_exact, solve_exact, solve_exact_controlled, ReliabilitySpec};
 use crate::heuristic::solve_greedy;
 use crate::rounds::build_rounds;
 use crate::schedule::Schedule;
@@ -96,6 +96,34 @@ pub fn schedule_weakly_hard_controlled<S: WeaklyHardStatistic + ?Sized>(
     control: &mut SolveControl<'_>,
 ) -> Result<ControlledOutcome, ScheduleError> {
     schedule_weakly_hard_inner(app, stat, constraints, deadlines, cfg, Some(control))
+}
+
+/// Runs only the CPM timing presolve for a weakly hard spec — see
+/// [`crate::soft::presolve_soft`] for the contract: an over-constrained
+/// spec is rejected with a named-task
+/// [`ScheduleError::InfeasibleTiming`] explanation and zero search
+/// nodes; `Ok(())` clears only the timing relaxation.
+///
+/// # Errors
+///
+/// As [`schedule_weakly_hard_with_deadlines`] for invalid inputs, plus
+/// [`ScheduleError::InfeasibleTiming`].
+pub fn presolve_weakly_hard<S: WeaklyHardStatistic + ?Sized>(
+    app: &Application,
+    stat: &S,
+    constraints: &crate::constraints::WeaklyHardConstraints,
+    deadlines: &Deadlines,
+    cfg: &SchedulerConfig,
+) -> Result<(), ScheduleError> {
+    cfg.validate()?;
+    validate_weakly_hard(stat)?;
+    constraints.validate(app)?;
+    deadlines
+        .validate(app)
+        .map_err(ScheduleError::BadDeadline)?;
+    let rounds = build_rounds(app, cfg.round_structure);
+    let spec = build_spec(app, stat, constraints, cfg, &rounds);
+    presolve_exact(app, cfg, &rounds, &spec, deadlines)
 }
 
 fn schedule_weakly_hard_inner<S: WeaklyHardStatistic + ?Sized>(
@@ -383,7 +411,9 @@ mod tests {
                 .unwrap_err();
         assert!(matches!(
             err,
-            ScheduleError::Infeasible | ScheduleError::DeadlineViolated(_)
+            ScheduleError::Infeasible
+                | ScheduleError::DeadlineViolated(_)
+                | ScheduleError::InfeasibleTiming(_)
         ));
         let err =
             schedule_weakly_hard_with_deadlines(&app, &stat, &f, &d, &SchedulerConfig::greedy())

@@ -30,8 +30,20 @@ pub const SOLVER_PRUNINGS: &str = "solver.prunings";
 pub const SOLVER_SOLUTIONS: &str = "solver.solutions";
 /// Luby restarts performed by trail-engine searches.
 pub const SOLVER_RESTARTS: &str = "solver.restarts";
+/// Children pruned by the relaxation lower bound before they became
+/// search nodes (`SearchConfig::lower_bound`).
+pub const SOLVER_LB_PRUNES: &str = "solver.lb.prunes";
+/// Difference-bound-matrix entries tightened by the root Floyd–Warshall
+/// closure (one count per relaxation build).
+pub const SOLVER_LB_TIGHTENINGS: &str = "solver.lb.tightenings";
+/// Root domain endpoints shaved by the CPM `[ES, LS]` presolve.
+pub const SOLVER_PRESOLVE_SHAVED: &str = "solver.presolve.shaved_domains";
 /// Portfolio races run (`Model::minimize_portfolio` invocations).
 pub const SOLVER_PORTFOLIO_RACES: &str = "solver.portfolio_races";
+/// Search nodes explored by non-winning portfolio engines — the race's
+/// total-work overhead over its winner, otherwise invisible once the
+/// per-engine stats are summed.
+pub const SOLVER_PORTFOLIO_LOSER_NODES: &str = "solver.portfolio.loser_nodes";
 
 // ── netdag-glossy ───────────────────────────────────────────────────
 
@@ -161,8 +173,12 @@ pub const ALL_COUNTERS: &[&str] = &[
     SERVE_WARM_STARTS,
     SOLVER_BACKTRACKS,
     SOLVER_DECISIONS,
+    SOLVER_LB_PRUNES,
+    SOLVER_LB_TIGHTENINGS,
     SOLVER_NODES,
+    SOLVER_PORTFOLIO_LOSER_NODES,
     SOLVER_PORTFOLIO_RACES,
+    SOLVER_PRESOLVE_SHAVED,
     SOLVER_PROPAGATIONS,
     SOLVER_PRUNINGS,
     SOLVER_RESTARTS,

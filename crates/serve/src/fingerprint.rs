@@ -104,6 +104,10 @@ fn hash_config(h: &mut Fnv, cfg: &SchedulerConfig) {
     });
     h.tag(cfg.include_beacons as u8);
     h.u64(u64::from(cfg.portfolio));
+    // `solver_threads` never affects results and is deliberately not
+    // hashed; the lower bound can change *which* optimal schedule a
+    // portfolio returns, so it is part of the problem identity.
+    h.tag(cfg.lower_bound as u8);
 }
 
 fn hash_stat(h: &mut Fnv, stat: &StatSpec) {

@@ -47,7 +47,7 @@ pub struct StatSpec {
 
 /// Scheduler knobs of a solve request; every field is optional and
 /// defaults exactly as the CLI's `netdag schedule` flags do.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ConfigSpec {
     /// `χ` domain bound (default 8).
     pub chi_max: Option<u32>,
@@ -66,6 +66,11 @@ pub struct ConfigSpec {
     /// Portfolio worker threads (default 0 = auto; never affects
     /// results).
     pub threads: Option<u64>,
+    /// Disable the relaxation lower bound and CPM presolve (default
+    /// false = enabled), mirroring the CLI's `--no-lb`. A/B knob: never
+    /// changes the optimum, only search effort and whether infeasible
+    /// timing is rejected pre-admission with an explanation.
+    pub no_lb: Option<bool>,
 }
 
 /// One request line.

@@ -42,10 +42,10 @@ use std::time::{Duration, Instant};
 use netdag_core::config::{Backend, RoundStructure, ScheduleError, SchedulerConfig};
 use netdag_core::constraints::{Deadlines, WeaklyHardConstraints};
 use netdag_core::control::{ControlledOutcome, SolveControl};
-use netdag_core::soft::schedule_soft_controlled;
+use netdag_core::soft::{presolve_soft, schedule_soft_controlled};
 use netdag_core::spec::ScheduleExport;
 use netdag_core::stat::{Eq13Statistic, Eq15Statistic};
-use netdag_core::weakly_hard::schedule_weakly_hard_controlled;
+use netdag_core::weakly_hard::{presolve_weakly_hard, schedule_weakly_hard_controlled};
 use netdag_obs::{counter, keys};
 use netdag_runtime::{run_indexed, ExecPolicy};
 use netdag_validation::soft::validate_soft_par;
@@ -278,11 +278,85 @@ fn process_line(shared: &Shared, line: &str) -> Response {
             shared.ready.notify_all();
             Response::status(req.id, STATUS_OK)
         }
-        "solve" | "validate" => admit(shared, req),
+        "solve" => {
+            // CPM presolve on the connection thread: a spec whose timing
+            // subsystem is provably over-constrained is rejected with a
+            // named explanation and zero search nodes, without ever
+            // occupying a queue slot or a worker.
+            if let Some(resp) = presolve_reject(&req) {
+                return resp;
+            }
+            admit(shared, req)
+        }
+        "validate" => admit(shared, req),
         other => {
             counter!(keys::SERVE_ERRORS).incr();
             Response::error(req.id, &format!("unknown op {other:?}"))
         }
+    }
+}
+
+/// Runs the CPM timing presolve for a solve request. `Some(response)`
+/// means the spec is provably infeasible and already answered;
+/// `None` means "admit normally" — either the relaxation is feasible or
+/// the request is malformed in a way the worker path reports with its
+/// usual diagnostics (this function never duplicates those).
+fn presolve_reject(req: &Request) -> Option<Response> {
+    let app_spec = req.app.as_ref()?;
+    if req.soft.is_some() && req.weakly_hard.is_some() {
+        return None;
+    }
+    let cfg = config_from(req);
+    if !cfg.lower_bound || cfg.backend == Backend::Greedy {
+        return None;
+    }
+    let (app, names) = app_spec.build().ok()?;
+    let stat = normalized_stat(req);
+    let result = if let Some(soft) = req.soft.as_ref() {
+        if stat.kind != "eq15" {
+            return None;
+        }
+        let fss = req.stat.as_ref().and_then(|s| s.fss)?;
+        let f = soft.build(&names).ok()?;
+        presolve_soft(
+            &app,
+            &Eq15Statistic::new(fss, cfg.chi_max),
+            &f,
+            &Deadlines::new(),
+            &cfg,
+        )
+    } else {
+        if stat.kind != "eq13" {
+            return None;
+        }
+        let f = match req.weakly_hard.as_ref() {
+            Some(spec) => spec.build(&names).ok()?,
+            None => WeaklyHardConstraints::new(),
+        };
+        presolve_weakly_hard(
+            &app,
+            &Eq13Statistic::new(cfg.chi_max),
+            &f,
+            &Deadlines::new(),
+            &cfg,
+        )
+    };
+    match result {
+        Err(ScheduleError::InfeasibleTiming(e)) => {
+            netdag_trace::instant("serve.presolve_reject", &[("id", req.id.unwrap_or(0).into())]);
+            let fp = fingerprint(
+                app_spec,
+                req.soft.as_ref(),
+                req.weakly_hard.as_ref(),
+                &stat,
+                &cfg,
+            );
+            let mut resp = Response::status(req.id, STATUS_INFEASIBLE);
+            resp.reason = Some(format!("timing presolve: {e}"));
+            resp.fingerprint = Some(fp.hex());
+            Some(resp)
+        }
+        _ => None,
     }
 }
 
@@ -384,6 +458,7 @@ fn config_from(req: &Request) -> SchedulerConfig {
         include_beacons: spec.and_then(|c| c.include_beacons).unwrap_or(false),
         portfolio: spec.and_then(|c| c.portfolio).unwrap_or(0),
         solver_threads: spec.and_then(|c| c.threads).unwrap_or(0) as usize,
+        lower_bound: !spec.and_then(|c| c.no_lb).unwrap_or(false),
         ..SchedulerConfig::default()
     }
 }
@@ -547,6 +622,14 @@ fn handle_solve(shared: &Shared, req: &Request) -> Response {
         Err(ScheduleError::Infeasible | ScheduleError::InfeasibleReliability(_)) => {
             let mut resp = Response::status(id, STATUS_INFEASIBLE);
             resp.reason = Some("no χ assignment within chi-max meets the constraints".to_owned());
+            resp.fingerprint = Some(fp.hex());
+            resp
+        }
+        // Normally caught pre-admission; kept as the worker-path answer
+        // for configurations the connection-thread check skips.
+        Err(ScheduleError::InfeasibleTiming(e)) => {
+            let mut resp = Response::status(id, STATUS_INFEASIBLE);
+            resp.reason = Some(format!("timing presolve: {e}"));
             resp.fingerprint = Some(fp.hex());
             resp
         }

@@ -7,10 +7,12 @@ use std::net::{TcpListener, TcpStream};
 use std::sync::mpsc;
 use std::time::Duration;
 
-use netdag_core::spec::{AppSpec, EdgeSpec, TaskSpec, WeaklyHardEntry, WeaklyHardSpec};
+use netdag_core::spec::{
+    AppSpec, EdgeSpec, SoftEntry, SoftSpec, TaskSpec, WeaklyHardEntry, WeaklyHardSpec,
+};
 use netdag_serve::protocol::{
-    Request, Response, REASON_QUEUE_FULL, STATUS_ERROR, STATUS_INCOMPLETE, STATUS_INFEASIBLE,
-    STATUS_OK, STATUS_REJECTED,
+    ConfigSpec, Request, Response, StatSpec, REASON_QUEUE_FULL, STATUS_ERROR, STATUS_INCOMPLETE,
+    STATUS_INFEASIBLE, STATUS_OK, STATUS_REJECTED,
 };
 use netdag_serve::{serve, ServeConfig, ServeReport};
 
@@ -249,6 +251,53 @@ fn validate_and_protocol_errors() {
     assert!(report.requests >= 7);
 }
 
+/// A spec whose timing subsystem is provably over-constrained (the
+/// soft requirement exceeds what any `χ ≤ chi_max` can deliver on a
+/// single message, a unary row in the difference subsystem) is rejected
+/// by the connection thread's CPM presolve: a structured `infeasible`
+/// response with a named explanation, zero search nodes, and no queue
+/// slot ever occupied. With `no_lb` the same request goes through the
+/// worker and gets the search-proof rejection instead.
+#[test]
+fn timing_infeasible_spec_is_rejected_pre_admission() {
+    let (addr, report_rx) = start_server(ServeConfig::default());
+    let mut c = Client::connect(addr);
+
+    let mut req = Request::op("solve");
+    req.id = Some(1);
+    req.app = Some(pipeline_app());
+    req.soft = Some(SoftSpec {
+        constraints: vec![SoftEntry {
+            task: "act".into(),
+            probability: 0.99,
+        }],
+    });
+    req.stat = Some(StatSpec {
+        kind: "eq15".into(),
+        fss: Some(0.3),
+    });
+    let r = c.send(&req);
+    assert_eq!(r.status, STATUS_INFEASIBLE, "{:?}", r.reason);
+    let reason = r.reason.expect("named explanation");
+    assert!(reason.contains("timing presolve"), "{reason}");
+    assert!(reason.contains("cannot start before"), "{reason}");
+
+    // The same request with the presolve disabled still gets an
+    // infeasible answer — from the worker's search proof.
+    let mut no_lb = req.clone();
+    no_lb.id = Some(2);
+    no_lb.config = Some(ConfigSpec {
+        no_lb: Some(true),
+        ..Default::default()
+    });
+    let r2 = c.send(&no_lb);
+    assert_eq!(r2.status, STATUS_INFEASIBLE, "{:?}", r2.reason);
+    assert!(!r2.reason.unwrap_or_default().contains("timing presolve"));
+
+    c.send(&Request::op("shutdown"));
+    let _ = report_rx.recv_timeout(Duration::from_secs(30));
+}
+
 /// The deadline path, made deterministic: `keep_going` is polled at
 /// step boundaries, so `deadline_ms = 0` stops the engine after exactly
 /// `step_nodes` explored nodes — no wall clock involved. With
@@ -265,7 +314,15 @@ fn deadline_returns_best_incumbent_marked_incomplete() {
     });
     let mut c = Client::connect(addr);
 
+    // `no_lb` pins the un-pruned search tree this test's step budget
+    // was calibrated against (the relaxation lower bound finishes this
+    // instance inside the first step slice).
+    let no_lb = ConfigSpec {
+        no_lb: Some(true),
+        ..Default::default()
+    };
     let mut req = solve_request(1, heavy_app(), Some(wh_spec(3, 60)));
+    req.config = Some(no_lb.clone());
     req.deadline_ms = Some(0);
     let r = c.send(&req);
     assert_eq!(r.status, STATUS_INCOMPLETE, "{:?}", r.reason);
@@ -274,7 +331,9 @@ fn deadline_returns_best_incumbent_marked_incomplete() {
 
     // Incomplete answers are never cached: the same problem without a
     // deadline is solved from scratch and strictly no worse.
-    let full = c.send(&solve_request(2, heavy_app(), Some(wh_spec(3, 60))));
+    let mut full_req = solve_request(2, heavy_app(), Some(wh_spec(3, 60)));
+    full_req.config = Some(no_lb);
+    let full = c.send(&full_req);
     assert_eq!(full.status, STATUS_OK);
     assert_eq!(full.cached, Some(false));
     assert!(full.result.expect("schedule").makespan_us <= incumbent.makespan_us);

@@ -13,6 +13,11 @@
 //!   var→propagator watch graph, dom/wdeg conflict-guided branching and
 //!   deterministic Luby restarts;
 //! * branch-and-bound minimization with optimality proofs;
+//! * relaxation lower bounds ([`relax`]) — a difference-bound-matrix
+//!   closure of the temporal subsystem prunes bound-dead children
+//!   without opening them, and its CPM `[ES, LS]` presolve shaves root
+//!   domains or proves infeasibility with a named witness before any
+//!   search ([`SearchConfig::lower_bound`]);
 //! * a deterministic parallel portfolio race ([`portfolio`],
 //!   [`Model::minimize_portfolio`]) — N configs share the incumbent
 //!   bound at epoch boundaries and return bit-identical results at any
@@ -56,11 +61,13 @@ pub mod model;
 pub mod portfolio;
 pub mod propagator;
 pub mod reference;
+pub mod relax;
 pub mod search;
 
 pub use domain::{DomainStore, VarId};
 pub use model::{Model, SolverError};
 pub use netdag_runtime::ExecPolicy;
+pub use relax::{PresolveStep, PresolveWitness, Relaxation};
 pub use search::{
     portfolio_configs, publish_stats, Engine, RestartPolicy, SearchConfig, SearchOutcome,
     SearchStats, Solution, ValueOrder, VarOrder,

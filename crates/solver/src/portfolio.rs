@@ -86,7 +86,8 @@ pub(crate) fn race(
     }
 
     let mut stats = SearchStats::default();
-    for engine in &engines {
+    let mut loser_nodes = 0u64;
+    for (i, engine) in engines.iter().enumerate() {
         let s = engine.stats();
         stats.nodes += s.nodes;
         stats.decisions += s.decisions;
@@ -95,8 +96,13 @@ pub(crate) fn race(
         stats.prunings += s.prunings;
         stats.solutions += s.solutions;
         stats.restarts += s.restarts;
+        stats.lb_prunes += s.lb_prunes;
+        stats.presolve_shaved += s.presolve_shaved;
         stats.trail_len_max = stats.trail_len_max.max(s.trail_len_max);
         stats.proven_optimal |= s.proven_optimal;
+        if winner.map(|(w, _)| w) != Some(i) {
+            loser_nodes += s.nodes;
+        }
     }
     stats.portfolio_winner = winner.map(|(i, _)| i as u32);
 
@@ -115,6 +121,10 @@ pub(crate) fn race(
     });
 
     netdag_obs::counter!(netdag_obs::keys::SOLVER_PORTFOLIO_RACES).incr();
+    // The summed stats above already include every engine, but the
+    // split matters operationally: loser nodes are the race's overhead
+    // over a single-engine run, previously invisible in the metrics.
+    netdag_obs::counter!(netdag_obs::keys::SOLVER_PORTFOLIO_LOSER_NODES).add(loser_nodes);
     publish_stats(&stats);
     SearchOutcome { best, stats }
 }

@@ -4,6 +4,23 @@ use std::fmt;
 
 use crate::domain::{DomainStore, Infeasible, VarId};
 
+/// A difference constraint `from − to ≤ weight` contributed to the
+/// relaxation layer ([`crate::relax`]); `None` stands for the constant
+/// `0` (the DBM's zero node), so `x ≤ 7` is `from: x, to: None,
+/// weight: 7` and `x ≥ 2` is `from: None, to: x, weight: −2`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiffEdge {
+    /// Left side of the difference (`None` = 0).
+    pub from: Option<VarId>,
+    /// Right side of the difference (`None` = 0).
+    pub to: Option<VarId>,
+    /// Upper bound on `from − to`.
+    pub weight: i64,
+    /// Contributing constraint family (the propagator's
+    /// [`Propagator::kind`]), used to render presolve explanations.
+    pub kind: &'static str,
+}
+
 /// A constraint that can tighten variable bounds.
 ///
 /// Propagators must be *sound* (never remove a value that participates in a
@@ -33,6 +50,17 @@ pub trait Propagator: fmt::Debug + Send + Sync {
     /// paper's condition (5)).
     fn kind(&self) -> &'static str {
         "constraint"
+    }
+
+    /// Appends the difference constraints (`from − to ≤ weight`) this
+    /// propagator implies under the *root* domains. Every appended edge
+    /// must hold in every solution reachable from the root (domains
+    /// only ever shrink below it), because the relaxation layer
+    /// ([`crate::relax`]) treats the edges as globally valid. The
+    /// default contributes nothing — only constraint families with a
+    /// difference reading override it.
+    fn difference_edges(&self, root: &DomainStore, out: &mut Vec<DiffEdge>) {
+        let _ = (root, out);
     }
 }
 
@@ -118,7 +146,76 @@ impl Propagator for LinearLe {
     fn kind(&self) -> &'static str {
         "linear_le"
     }
+
+    /// Folds the row into difference edges. A `(+1, x)`/`(−1, y)` pair
+    /// yields `x − y ≤ bound − Σ_other min(term)`; a lone `±1` term
+    /// yields an edge to/from the zero node. Multi-term rows (e.g. the
+    /// scheduler's `SR_r − SR_{r−1} − rdur ≥ 0`) thus contribute their
+    /// difference core with the remaining terms folded at their root
+    /// minima — sound everywhere below the root, where domains only
+    /// shrink and each term's minimum can only rise.
+    fn difference_edges(&self, root: &DomainStore, out: &mut Vec<DiffEdge>) {
+        let total_min: i128 = self
+            .terms
+            .iter()
+            .map(|&(c, v)| Self::term_min(c, root, v))
+            .sum();
+        let weight = |others_min: i128| -> Option<i64> {
+            let w = self.bound as i128 - others_min;
+            (w < INF_EDGE as i128).then(|| w.max(-(INF_EDGE as i128)) as i64)
+        };
+        for &(c, v) in &self.terms {
+            match c {
+                1 => {
+                    // v ≤ bound − Σ_other min.
+                    if let Some(w) = weight(total_min - root.lo(v) as i128) {
+                        out.push(DiffEdge {
+                            from: Some(v),
+                            to: None,
+                            weight: w,
+                            kind: "linear_le",
+                        });
+                    }
+                }
+                -1 => {
+                    // −v ≤ bound − Σ_other min.
+                    if let Some(w) = weight(total_min + root.hi(v) as i128) {
+                        out.push(DiffEdge {
+                            from: None,
+                            to: Some(v),
+                            weight: w,
+                            kind: "linear_le",
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        for &(cx, x) in &self.terms {
+            if cx != 1 {
+                continue;
+            }
+            for &(cy, y) in &self.terms {
+                if cy != -1 || x == y {
+                    continue;
+                }
+                let others = total_min - root.lo(x) as i128 + root.hi(y) as i128;
+                if let Some(w) = weight(others) {
+                    out.push(DiffEdge {
+                        from: Some(x),
+                        to: Some(y),
+                        weight: w,
+                        kind: "linear_le",
+                    });
+                }
+            }
+        }
+    }
 }
+
+/// Edge-weight cutoff mirroring [`crate::relax::INF`]: weights at or
+/// beyond it carry no information and are dropped at extraction time.
+const INF_EDGE: i64 = i64::MAX / 4;
 
 /// Floor division that matches mathematical semantics for negative divisors.
 fn num_div_floor(a: i128, b: i128) -> i128 {
@@ -254,6 +351,18 @@ impl Propagator for MinOf {
     fn kind(&self) -> &'static str {
         "min_of"
     }
+
+    /// `z = min(xs)` implies `z ≤ x_i`, i.e. `z − x_i ≤ 0`.
+    fn difference_edges(&self, _root: &DomainStore, out: &mut Vec<DiffEdge>) {
+        for &x in &self.xs {
+            out.push(DiffEdge {
+                from: Some(self.z),
+                to: Some(x),
+                weight: 0,
+                kind: "min_of",
+            });
+        }
+    }
 }
 
 /// `z = max(xs)`.
@@ -308,6 +417,20 @@ impl Propagator for MaxOf {
 
     fn kind(&self) -> &'static str {
         "max_of"
+    }
+
+    /// `z = max(xs)` implies `x_i ≤ z`, i.e. `x_i − z ≤ 0` — the edges
+    /// that connect end variables to the makespan, without which no
+    /// critical-path bound would reach the objective.
+    fn difference_edges(&self, _root: &DomainStore, out: &mut Vec<DiffEdge>) {
+        for &x in &self.xs {
+            out.push(DiffEdge {
+                from: Some(x),
+                to: Some(self.z),
+                weight: 0,
+                kind: "max_of",
+            });
+        }
     }
 }
 
@@ -408,6 +531,19 @@ impl Propagator for IfThenLe {
 
     fn kind(&self) -> &'static str {
         "if_then_le"
+    }
+
+    /// Only when the guard is already true at the root is the
+    /// implication unconditional: `x + c ≤ y`, i.e. `x − y ≤ −c`.
+    fn difference_edges(&self, root: &DomainStore, out: &mut Vec<DiffEdge>) {
+        if root.lo(self.cond) >= 1 {
+            out.push(DiffEdge {
+                from: Some(self.x),
+                to: Some(self.y),
+                weight: -self.c,
+                kind: "if_then_le",
+            });
+        }
     }
 }
 

@@ -106,6 +106,16 @@ pub struct SearchConfig {
     pub node_limit: Option<u64>,
     /// Luby restart schedule (`None` = never restart).
     pub restarts: Option<RestartPolicy>,
+    /// Relaxation lower bounds ([`crate::relax`]): close the model's
+    /// difference-constraint subsystem once at the root, shave root
+    /// domains to their CPM `[ES, LS]` windows, and prune any freshly
+    /// decided child whose admissible objective bound already reaches
+    /// the incumbent — without opening it. Sound and *solution-
+    /// preserving*: a pruned child is one the unbounded engine opens
+    /// only to kill in propagation, so both engines record the same
+    /// incumbent sequence (see `tests/lower_bound.rs`). Only affects
+    /// minimization (ignored without an objective).
+    pub lower_bound: bool,
 }
 
 impl Default for SearchConfig {
@@ -115,6 +125,7 @@ impl Default for SearchConfig {
             value_order: ValueOrder::MinFirst,
             node_limit: None,
             restarts: None,
+            lower_bound: false,
         }
     }
 }
@@ -128,22 +139,34 @@ impl Default for SearchConfig {
 pub fn portfolio_configs(n: usize, node_limit: Option<u64>) -> Vec<SearchConfig> {
     (0..n)
         .map(|i| {
-            let (var_order, value_order, restarts) = match i {
-                0 => (VarOrder::Input, ValueOrder::MinFirst, None),
+            let (var_order, value_order, restarts, lower_bound) = match i {
+                0 => (VarOrder::Input, ValueOrder::MinFirst, None, false),
                 1 => (
                     VarOrder::DomWdeg,
                     ValueOrder::MinFirst,
                     Some(RestartPolicy { scale: 64 }),
+                    false,
                 ),
                 2 => (
                     VarOrder::SmallestDomain,
                     ValueOrder::MinFirst,
                     Some(RestartPolicy { scale: 128 }),
+                    false,
                 ),
                 3 => (
                     VarOrder::DomWdeg,
                     ValueOrder::MaxFirst,
                     Some(RestartPolicy { scale: 32 }),
+                    false,
+                ),
+                // The relaxation-bounded members: the plain dive and the
+                // conflict-guided order, each racing its unbounded twin.
+                4 => (VarOrder::Input, ValueOrder::MinFirst, None, true),
+                5 => (
+                    VarOrder::DomWdeg,
+                    ValueOrder::MinFirst,
+                    Some(RestartPolicy { scale: 64 }),
+                    true,
                 ),
                 i => {
                     let var_order = match i % 3 {
@@ -157,7 +180,12 @@ pub fn portfolio_configs(n: usize, node_limit: Option<u64>) -> Vec<SearchConfig>
                         ValueOrder::MaxFirst
                     };
                     let scale = 16u64 << (i % 4) as u64;
-                    (var_order, value_order, Some(RestartPolicy { scale }))
+                    (
+                        var_order,
+                        value_order,
+                        Some(RestartPolicy { scale }),
+                        i % 2 == 0,
+                    )
                 }
             };
             SearchConfig {
@@ -165,6 +193,7 @@ pub fn portfolio_configs(n: usize, node_limit: Option<u64>) -> Vec<SearchConfig>
                 value_order,
                 node_limit,
                 restarts,
+                lower_bound,
             }
         })
         .collect()
@@ -215,6 +244,11 @@ pub struct SearchStats {
     pub solutions: u64,
     /// Luby restarts performed.
     pub restarts: u64,
+    /// Children pruned by the relaxation lower bound before they became
+    /// nodes ([`SearchConfig::lower_bound`]).
+    pub lb_prunes: u64,
+    /// Root domain endpoints shaved by the CPM `[ES, LS]` presolve.
+    pub presolve_shaved: u64,
     /// High-water mark of the undo trail (zero for the clone-based
     /// reference engine, which keeps no trail).
     pub trail_len_max: u64,
@@ -270,11 +304,13 @@ enum EngineState {
 }
 
 /// Why the current node failed; carries the propagator index when a
-/// propagator wiped out a domain (for dom/wdeg weight bumps).
+/// propagator wiped out a domain (for dom/wdeg weight bumps), or the
+/// relaxation bound value when the lower bound pruned the child.
 enum Fail {
     Branch,
     Bound,
     Prop(u32),
+    Lb(i64),
 }
 
 /// The trail-based branch-and-bound engine.
@@ -307,6 +343,13 @@ pub struct Engine<'a> {
     luby_index: u64,
     /// Current restart cutoff in failures (`u64::MAX` = never).
     cutoff: u64,
+    /// Root DBM closure for lower-bound pruning and CPM presolve
+    /// ([`SearchConfig::lower_bound`], minimization only).
+    relax: Option<crate::relax::Relaxation>,
+    /// Whether the root shave has been counted into
+    /// [`SearchStats::presolve_shaved`] (restarts re-shave but the
+    /// tightenings are the same trail entries rewound, not new work).
+    presolve_counted: bool,
     state: EngineState,
 }
 
@@ -326,6 +369,12 @@ impl<'a> Engine<'a> {
             Some(r) => r.scale.max(1).saturating_mul(luby(1)),
             None => u64::MAX,
         };
+        let relax = (cfg.lower_bound && objective.is_some()).then(|| {
+            let relax = crate::relax::Relaxation::build(model, objective);
+            netdag_obs::counter!(netdag_obs::keys::SOLVER_LB_TIGHTENINGS)
+                .add(relax.tightenings());
+            relax
+        });
         Engine {
             model,
             objective,
@@ -343,6 +392,8 @@ impl<'a> Engine<'a> {
             failures_since_restart: 0,
             luby_index: 1,
             cutoff,
+            relax,
+            presolve_counted: false,
             state: EngineState::Init,
             cfg,
         }
@@ -445,6 +496,23 @@ impl<'a> Engine<'a> {
                     continue;
                 }
                 Ok(()) => {
+                    // Relaxation pruning: the decided child's admissible
+                    // objective bound already matches the incumbent, so
+                    // every completion below it is a non-improvement —
+                    // the unbounded engine would open this node only to
+                    // have propagation wipe it out. Skip it *before* it
+                    // counts as a node.
+                    if let (Some(relax), bound) = (self.relax.as_ref(), self.incumbent()) {
+                        if bound < i64::MAX {
+                            let lb = relax.node_lower_bound(&self.dom);
+                            if lb >= bound {
+                                if self.register_failure(Fail::Lb(lb)) {
+                                    return true;
+                                }
+                                continue;
+                            }
+                        }
+                    }
                     self.stats.nodes += 1;
                     self.trace_node();
                     if self.over_node_limit() {
@@ -493,8 +561,28 @@ impl<'a> Engine<'a> {
     }
 
     /// Propagates the root node: every propagator runs at least once,
-    /// plus the current incumbent bound.
+    /// plus the current incumbent bound. With
+    /// [`SearchConfig::lower_bound`], the CPM presolve runs first: an
+    /// `ES > LS` witness fails the root outright (an infeasibility
+    /// proof without a single propagation), otherwise every domain is
+    /// shaved to its `[ES, LS]` window before the fixpoint — which
+    /// would re-derive the same window anyway, so the shave trims
+    /// propagation work without changing the tree.
     fn open_root(&mut self) -> Result<(), Fail> {
+        if let Some(relax) = self.relax.as_ref() {
+            if relax.witness().is_some() {
+                return Err(Fail::Lb(i64::MAX));
+            }
+            match relax.shave(&mut self.dom) {
+                Err(_) => return Err(Fail::Lb(i64::MAX)),
+                Ok(shaved) => {
+                    if !self.presolve_counted {
+                        self.presolve_counted = true;
+                        self.stats.presolve_shaved = shaved;
+                    }
+                }
+            }
+        }
         self.apply_bound()?;
         for pi in 0..self.model.props.len() {
             if !self.queued[pi] {
@@ -621,6 +709,14 @@ impl<'a> Engine<'a> {
             Fail::Prop(pi) => {
                 self.weights[pi as usize] += 1;
                 self.model.props[pi as usize].kind()
+            }
+            Fail::Lb(lb) => {
+                self.stats.lb_prunes += 1;
+                netdag_trace::instant(
+                    "solver.lb.prune",
+                    &[("bound", lb.into()), ("incumbent", self.incumbent().into())],
+                );
+                "lb"
             }
         };
         netdag_trace::instant("solver.prune", &[("constraint", kind.into())]);
@@ -821,6 +917,8 @@ pub fn publish_stats(stats: &SearchStats) {
     counter!(keys::SOLVER_PRUNINGS).add(stats.prunings);
     counter!(keys::SOLVER_SOLUTIONS).add(stats.solutions);
     counter!(keys::SOLVER_RESTARTS).add(stats.restarts);
+    counter!(keys::SOLVER_LB_PRUNES).add(stats.lb_prunes);
+    counter!(keys::SOLVER_PRESOLVE_SHAVED).add(stats.presolve_shaved);
     netdag_obs::global().observe(keys::HIST_SOLVER_NODES_PER_SEARCH, stats.nodes);
     netdag_obs::global().observe(keys::HIST_SOLVER_TRAIL_LEN, stats.trail_len_max);
 }

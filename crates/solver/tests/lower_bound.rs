@@ -1,0 +1,242 @@
+//! Differential property tests for the relaxation layer: the DBM root
+//! bound must be admissible (never above the true optimum), the CPM
+//! presolve must never cut off a feasible solution, and switching the
+//! lower bound on or off must never change what the search returns —
+//! only how many nodes it takes to get there.
+
+use netdag_solver::{
+    reference, Model, Relaxation, RestartPolicy, SearchConfig, ValueOrder, VarId, VarOrder,
+};
+use proptest::prelude::*;
+
+/// One random constraint; biased towards difference rows so the DBM
+/// relaxation sees real structure, with enough non-difference families
+/// (tables, min/max, wide linear rows) that the bound stays a strict
+/// relaxation.
+#[derive(Debug, Clone)]
+enum Cons {
+    /// `x_a − x_b ≤ c` — the difference subsystem the DBM captures.
+    Prec { a: usize, b: usize, c: i64 },
+    /// `Σ coef·x_i ≤ bound` over the base vars (invisible to the DBM
+    /// unless it degenerates to ≤ 2 unit terms).
+    Lin { coefs: Vec<i64>, bound: i64 },
+    /// `y = table[x_a]` with a fresh `y`.
+    Table { a: usize, table: Vec<i64> },
+    /// `z = min(subset)` / `z = max(subset)` with a fresh `z`.
+    MinMax { is_min: bool, mask: Vec<bool> },
+}
+
+#[derive(Debug, Clone)]
+struct Problem {
+    /// Base var domains `[0, width]`.
+    widths: Vec<i64>,
+    cons: Vec<Cons>,
+}
+
+fn one_cons(n: usize) -> impl Strategy<Value = Cons> {
+    let prec = (0..n, 0..n, -3i64..5).prop_map(|(a, b, c)| Cons::Prec { a, b, c });
+    let lin = (proptest::collection::vec(-2i64..3, n), -3i64..15)
+        .prop_map(|(coefs, bound)| Cons::Lin { coefs, bound });
+    let table = (0..n, proptest::collection::vec(0i64..8, 7))
+        .prop_map(|(a, table)| Cons::Table { a, table });
+    let minmax = (
+        proptest::arbitrary::any::<bool>(),
+        proptest::collection::vec(proptest::arbitrary::any::<bool>(), n),
+    )
+        .prop_map(|(is_min, mask)| Cons::MinMax { is_min, mask });
+    // Precedence listed twice: difference-heavy on average.
+    prop_oneof![prec.clone(), prec, lin, table, minmax]
+}
+
+fn problem() -> impl Strategy<Value = Problem> {
+    (2usize..5)
+        .prop_flat_map(|n| {
+            let widths = proptest::collection::vec(1i64..6, n);
+            let cons = proptest::collection::vec(one_cons(n), 1..5);
+            (widths, cons)
+        })
+        .prop_map(|(widths, cons)| Problem { widths, cons })
+}
+
+/// Builds the model; returns every created variable plus the objective
+/// (`obj = Σ base`, tied through an equality row).
+fn build(p: &Problem) -> (Model, Vec<VarId>, VarId) {
+    let mut m = Model::new();
+    let base: Vec<VarId> = p
+        .widths
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| m.new_var(&format!("x{i}"), 0, w).expect("valid"))
+        .collect();
+    let mut all = base.clone();
+    for (k, c) in p.cons.iter().enumerate() {
+        match c {
+            Cons::Prec { a, b, c } => {
+                if a == b {
+                    continue;
+                }
+                m.linear_le(&[(1, base[*a]), (-1, base[*b])], *c)
+                    .expect("valid");
+            }
+            Cons::Lin { coefs, bound } => {
+                let terms: Vec<(i64, VarId)> =
+                    coefs.iter().copied().zip(base.iter().copied()).collect();
+                m.linear_le(&terms, *bound).expect("valid");
+            }
+            Cons::Table { a, table } => {
+                let y = m.new_var(&format!("y{k}"), 0, 8).expect("valid");
+                let slice = table[..=(p.widths[*a] as usize)].to_vec();
+                m.table_fn(base[*a], y, slice).expect("valid");
+                all.push(y);
+            }
+            Cons::MinMax { is_min, mask } => {
+                let subset: Vec<VarId> = base
+                    .iter()
+                    .zip(mask)
+                    .filter(|(_, &keep)| keep)
+                    .map(|(&v, _)| v)
+                    .collect();
+                if subset.is_empty() {
+                    continue;
+                }
+                let z = m.new_var(&format!("z{k}"), 0, 8).expect("valid");
+                if *is_min {
+                    m.min_of(&subset, z).expect("valid");
+                } else {
+                    m.max_of(&subset, z).expect("valid");
+                }
+                all.push(z);
+            }
+        }
+    }
+    let obj_hi: i64 = p.widths.iter().sum();
+    let obj = m.new_var("obj", 0, obj_hi).expect("valid");
+    let mut terms: Vec<(i64, VarId)> = base.iter().map(|&v| (1i64, v)).collect();
+    terms.push((-1, obj));
+    m.linear_eq(&terms, 0).expect("valid");
+    all.push(obj);
+    (m, all, obj)
+}
+
+/// The non-DomWdeg configs whose returned solutions must be *identical*
+/// with the lower bound on and off (static heuristics: pruned subtrees
+/// can never contain an improving solution, so the incumbent sequence is
+/// unchanged). DomWdeg is checked separately, objective-value only —
+/// pruning skips propagator-weight bumps and may legitimately steer the
+/// search to a different optimal solution.
+fn static_configs() -> Vec<SearchConfig> {
+    vec![
+        SearchConfig::default(),
+        SearchConfig {
+            var_order: VarOrder::SmallestDomain,
+            ..SearchConfig::default()
+        },
+        SearchConfig {
+            value_order: ValueOrder::MaxFirst,
+            ..SearchConfig::default()
+        },
+        SearchConfig {
+            var_order: VarOrder::SmallestDomain,
+            value_order: ValueOrder::MaxFirst,
+            ..SearchConfig::default()
+        },
+        SearchConfig {
+            restarts: Some(RestartPolicy { scale: 2 }),
+            ..SearchConfig::default()
+        },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Admissibility: the root DBM bound never exceeds the true optimum,
+    /// and a presolve witness is only produced for problems the complete
+    /// oracle also proves infeasible.
+    #[test]
+    fn root_bound_is_admissible(p in problem()) {
+        let (m, _, obj) = build(&p);
+        let relax = Relaxation::build(&m, Some(obj));
+        let oracle = reference::run(&m, Some(obj), &SearchConfig::default());
+        prop_assert!(oracle.stats.proven_optimal);
+        match (relax.witness(), &oracle.best) {
+            (Some(w), best) => {
+                prop_assert!(
+                    best.is_none(),
+                    "presolve rejected a feasible problem: {} in [{}, {}]",
+                    w.var, w.earliest, w.latest
+                );
+            }
+            (None, Some(best)) => {
+                prop_assert!(
+                    relax.root_lower_bound() <= best.value(obj),
+                    "inadmissible: lb {} > optimum {}",
+                    relax.root_lower_bound(), best.value(obj)
+                );
+            }
+            (None, None) => {} // infeasible but beyond the relaxation's sight
+        }
+    }
+
+    /// The CPM windows are sound: every variable of the oracle's optimal
+    /// solution lies inside its presolve `[ES, LS]` window, so shaving
+    /// root domains to the windows can never remove that solution.
+    #[test]
+    fn presolve_windows_contain_the_reference_solution(p in problem()) {
+        let (m, vars, obj) = build(&p);
+        let relax = Relaxation::build(&m, Some(obj));
+        let oracle = reference::run(&m, Some(obj), &SearchConfig::default());
+        if let Some(best) = &oracle.best {
+            prop_assert!(relax.witness().is_none());
+            for &v in &vars {
+                let val = best.value(v);
+                prop_assert!(
+                    relax.earliest(v) <= val && val <= relax.latest(v),
+                    "{v}: solution value {val} outside presolve window [{}, {}]",
+                    relax.earliest(v), relax.latest(v)
+                );
+            }
+        }
+    }
+
+    /// Switching the lower bound on/off never changes the verdict, the
+    /// optimum, or (for static heuristics) the returned solution bytes —
+    /// it only removes search nodes.
+    #[test]
+    fn lower_bound_only_prunes(p in problem()) {
+        let (m, _, obj) = build(&p);
+        for cfg in static_configs() {
+            let with = m.minimize_with_stats(obj, &SearchConfig { lower_bound: true, ..cfg.clone() })
+                .expect("known var");
+            let without = m.minimize_with_stats(obj, &SearchConfig { lower_bound: false, ..cfg.clone() })
+                .expect("known var");
+            prop_assert!(with.stats.proven_optimal && without.stats.proven_optimal);
+            prop_assert_eq!(
+                with.best.as_ref().map(|s| s.values()),
+                without.best.as_ref().map(|s| s.values()),
+                "solution bytes must match (cfg = {:?})", cfg
+            );
+            if cfg.restarts.is_none() {
+                prop_assert!(
+                    with.stats.nodes <= without.stats.nodes,
+                    "lb may only shrink the tree: {} > {} (cfg = {:?})",
+                    with.stats.nodes, without.stats.nodes, cfg
+                );
+            }
+            prop_assert_eq!(without.stats.lb_prunes, 0);
+            prop_assert_eq!(without.stats.presolve_shaved, 0);
+        }
+        // DomWdeg weights diverge once pruning skips failures, so only
+        // the objective value is pinned, not the solution identity.
+        let dw = SearchConfig { var_order: VarOrder::DomWdeg, ..SearchConfig::default() };
+        let with = m.minimize_with_stats(obj, &SearchConfig { lower_bound: true, ..dw.clone() })
+            .expect("known var");
+        let without = m.minimize_with_stats(obj, &SearchConfig { lower_bound: false, ..dw })
+            .expect("known var");
+        prop_assert_eq!(
+            with.best.as_ref().map(|s| s.value(obj)),
+            without.best.as_ref().map(|s| s.value(obj)),
+            "optimum must match under DomWdeg"
+        );
+    }
+}
