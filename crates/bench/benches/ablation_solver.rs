@@ -1,6 +1,6 @@
 //! Ablation A2: the solver engines and backends, head to head.
 //!
-//! Three comparisons:
+//! Four comparisons:
 //!
 //! 1. **Trail vs clone engine** — the trail-based engine
 //!    (`netdag_solver::search`) against the clone-per-node reference
@@ -18,13 +18,21 @@
 //!    node reduction on at least one shape, and the portfolio winner is
 //!    bit-identical at 1 / 2 / 8 threads. Per-config node counts land
 //!    in `BENCH_solver.json` under `"lower_bound"`.
-//! 3. **Exact vs greedy backend** — the optimality-gap report across
+//! 3. **Joint multi-mode vs independent per-mode solves** — the
+//!    multi-mode co-synthesis (`netdag_core::modes::schedule_modes`) on
+//!    the committed 2-mode cartpole example against solving each mode
+//!    in isolation. Gates: the joint solve explores at most 2× the
+//!    summed independent search trees in nodes, and no mode's joint
+//!    makespan beats its independent optimum (the shared-prefix
+//!    coupling only adds constraints). Lands in `BENCH_solver.json`
+//!    under `"modes"`.
+//! 4. **Exact vs greedy backend** — the optimality-gap report across
 //!    random instances, the cost of optimality for our Z3/Gurobi
 //!    stand-in.
 //!
 //! Set `NETDAG_BENCH_FAST=1` for the CI smoke mode: a reduced node
-//! budget, single-shot timing, and no backend sweep (comparisons 1 and
-//! 2 still gate).
+//! budget, single-shot timing, and no backend sweep (comparisons 1–3
+//! still gate).
 
 use std::time::Instant;
 
@@ -40,6 +48,7 @@ use netdag_core::app::Application;
 use netdag_core::config::SchedulerConfig;
 use netdag_core::constraints::WeaklyHardConstraints;
 use netdag_core::generators::random_layered_app;
+use netdag_core::modes::{schedule_modes, ModesSpec};
 use netdag_core::stat::Eq13Statistic;
 use netdag_core::weakly_hard::schedule_weakly_hard;
 use netdag_solver::{reference, Model, SearchConfig, SearchOutcome, VarId};
@@ -137,11 +146,7 @@ impl LbRow {
 /// and off (baseline) on one paper application, enforcing the
 /// no-extra-nodes and byte-identical-schedule gates, then checks the
 /// portfolio winner is bit-identical at 1 / 2 / 8 threads.
-fn race_lower_bound(
-    name: &'static str,
-    app: &Application,
-    f: &WeaklyHardConstraints,
-) -> LbRow {
+fn race_lower_bound(name: &'static str, app: &Application, f: &WeaklyHardConstraints) -> LbRow {
     let stat = Eq13Statistic::new(8);
     let solve = |lower_bound: bool| {
         let cfg = SchedulerConfig {
@@ -195,6 +200,105 @@ fn race_lower_bound(
     }
 }
 
+struct ModeCol {
+    name: String,
+    joint_makespan_us: u64,
+    independent_makespan_us: u64,
+    independent_nodes: u64,
+}
+
+struct ModesRow {
+    shared_prefix_rounds: usize,
+    joint_nodes: u64,
+    cols: Vec<ModeCol>,
+}
+
+impl ModesRow {
+    fn independent_nodes(&self) -> u64 {
+        self.cols.iter().map(|c| c.independent_nodes).sum()
+    }
+}
+
+/// Joint multi-mode co-synthesis vs independent per-mode solves on the
+/// committed 2-mode cartpole example spec, enforcing that no mode's
+/// joint makespan beats its independent optimum (the shared-prefix
+/// equality only adds constraints, so the per-mode optimum is a lower
+/// bound on the joint answer).
+fn race_modes() -> ModesRow {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/data/cartpole_modes.json"
+    );
+    let text = std::fs::read_to_string(path).expect("committed example spec");
+    let spec: ModesSpec = serde_json::from_str(&text).expect("example spec parses");
+    let cfg = SchedulerConfig::default();
+    let joint = schedule_modes(&spec, &cfg).expect("example is feasible");
+    let (app, names) = spec.app.build().expect("example app builds");
+    let stat = Eq13Statistic::new(cfg.chi_max);
+    let cols = spec
+        .modes
+        .iter()
+        .zip(&joint.modes)
+        .map(|(m, jm)| {
+            let f = m
+                .weakly_hard
+                .as_ref()
+                .expect("example modes are weakly hard")
+                .build(&names)
+                .expect("constraints resolve");
+            let solo = schedule_weakly_hard(&app, &stat, &f, &cfg).expect("feasible alone");
+            let independent_makespan_us = solo.schedule.makespan(&app);
+            assert!(
+                jm.makespan_us >= independent_makespan_us,
+                "mode '{}': joint makespan {} µs beats the independent optimum {} µs — \
+                 the shared-prefix coupling cannot relax a mode",
+                m.name,
+                jm.makespan_us,
+                independent_makespan_us
+            );
+            ModeCol {
+                name: m.name.clone(),
+                joint_makespan_us: jm.makespan_us,
+                independent_makespan_us,
+                independent_nodes: solo.stats.expect("exact backend").nodes,
+            }
+        })
+        .collect();
+    ModesRow {
+        shared_prefix_rounds: joint.shared_prefix_rounds,
+        joint_nodes: joint.stats.nodes,
+        cols,
+    }
+}
+
+fn modes_summary_json(row: &ModesRow) -> String {
+    let mut modes = String::new();
+    for (i, c) in row.cols.iter().enumerate() {
+        modes.push_str(&format!(
+            "      {{\n        \"name\": \"{}\",\n        \
+             \"joint_makespan_us\": {},\n        \
+             \"independent_makespan_us\": {},\n        \
+             \"independent_nodes\": {}\n      }}{}\n",
+            c.name,
+            c.joint_makespan_us,
+            c.independent_makespan_us,
+            c.independent_nodes,
+            if i + 1 < row.cols.len() { "," } else { "" },
+        ));
+    }
+    let overhead = row.joint_nodes as f64 / (row.independent_nodes() as f64).max(1.0);
+    format!(
+        "  \"modes\": {{\n    \"spec\": \"examples/data/cartpole_modes.json\",\n    \
+         \"shared_prefix_rounds\": {},\n    \"joint_nodes\": {},\n    \
+         \"independent_nodes\": {},\n    \"node_overhead\": {:.2},\n    \
+         \"modes\": [\n{modes}    ]\n  }}",
+        row.shared_prefix_rounds,
+        row.joint_nodes,
+        row.independent_nodes(),
+        overhead,
+    )
+}
+
 fn lb_summary_json(rows: &[LbRow]) -> String {
     let mut shapes = String::new();
     for (i, row) in rows.iter().enumerate() {
@@ -221,7 +325,7 @@ fn lb_summary_json(rows: &[LbRow]) -> String {
     )
 }
 
-fn write_engine_summary(rows: &[RaceRow], lb_rows: &[LbRow], fast: bool) {
+fn write_engine_summary(rows: &[RaceRow], lb_rows: &[LbRow], modes_row: &ModesRow, fast: bool) {
     let mut shapes = String::new();
     for (i, row) in rows.iter().enumerate() {
         let trail_nps = row.trail.nodes as f64 / row.trail.wall_s.max(1e-9);
@@ -248,8 +352,9 @@ fn write_engine_summary(rows: &[RaceRow], lb_rows: &[LbRow], fast: bool) {
     let json = format!(
         "{{\n  \"bench\": \"ablation_solver\",\n  \"fast\": {fast},\n  \
          \"engines\": [\"trail\", \"clone\"],\n  \"shapes\": [\n{shapes}  ],\n  \
-         \"min_speedup\": {min_speedup:.2},\n{}\n}}\n",
+         \"min_speedup\": {min_speedup:.2},\n{},\n{}\n}}\n",
         lb_summary_json(lb_rows),
+        modes_summary_json(modes_row),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_solver.json");
     if let Err(e) = std::fs::write(path, &json) {
@@ -313,7 +418,20 @@ fn bench_solver(c: &mut Criterion) {
         "lower bound must at least halve the search tree on one paper \
          shape; best reduction was {max_reduction:.2}×"
     );
-    write_engine_summary(&rows, &lb_rows, fast);
+
+    // 3. Joint multi-mode co-synthesis vs independent per-mode solves
+    // on the committed example (also cheap enough to gate in CI).
+    let modes_row = race_modes();
+    let independent = modes_row.independent_nodes();
+    assert!(
+        modes_row.joint_nodes <= 2 * independent.max(1),
+        "joint multi-mode solve explored {} nodes, more than 2× the {} \
+         nodes of the summed independent per-mode solves — the \
+         shared-prefix coupling is too expensive",
+        modes_row.joint_nodes,
+        independent
+    );
+    write_engine_summary(&rows, &lb_rows, &modes_row, fast);
 
     let mut group = c.benchmark_group("ablation_solver");
     group.sample_size(10);
@@ -331,7 +449,7 @@ fn bench_solver(c: &mut Criterion) {
         });
     }
 
-    // 2. Exact vs greedy backend (skipped in the CI smoke mode).
+    // 4. Exact vs greedy backend (skipped in the CI smoke mode).
     if !fast {
         let stat = Eq13Statistic::new(8);
         let sizes: Vec<(&str, Vec<usize>)> = vec![

@@ -22,6 +22,10 @@ pub struct ScheduleOpts {
     pub soft: Option<PathBuf>,
     /// Weakly hard constraints path, if scheduling in weakly hard mode.
     pub weakly_hard: Option<PathBuf>,
+    /// Multi-mode spec path (embeds its own application), if co-
+    /// synthesizing a mode set. Conflicts with `--app`, `--soft` and
+    /// `--weakly-hard`.
+    pub modes: Option<PathBuf>,
     /// `exact` (default) or `greedy`.
     pub greedy: bool,
     /// `χ` domain bound.
@@ -183,8 +187,8 @@ pub enum ParseArgsError {
     /// A required flag is absent.
     MissingFlag(&'static str),
     /// Mutually exclusive flags were combined: `--soft` with
-    /// `--weakly-hard` (schedule), or `--check` with the replay flags
-    /// (trace).
+    /// `--weakly-hard`, `--modes` with `--app`/`--soft`/`--weakly-hard`
+    /// (schedule), or `--check` with the replay flags (trace).
     ConflictingModes,
 }
 
@@ -204,7 +208,8 @@ impl fmt::Display for ParseArgsError {
             ParseArgsError::ConflictingModes => {
                 write!(
                     f,
-                    "mutually exclusive flags (--soft vs --weakly-hard, or --check vs replay)"
+                    "mutually exclusive flags (--soft vs --weakly-hard, --modes vs \
+                     --app/--soft/--weakly-hard, or --check vs replay)"
                 )
             }
         }
@@ -220,6 +225,7 @@ netdag — application-aware scheduling over the Low-Power Wireless Bus
 USAGE:
   netdag inspect  --app <app.json> [--metrics <m.json>] [--trace <t.json>]
   netdag schedule --app <app.json> [--soft <f.json> | --weakly-hard <f.json>]
+                  | --modes <modes.json>
                   [--greedy] [--chi-max N] [--beacon-chi N]
                   [--per-message-rounds] [--include-beacons]
                   [--portfolio N] (race N diverse solver configs; the
@@ -249,10 +255,39 @@ USAGE:
   netdag trace    --check <t.json>
   netdag help
 
+`netdag schedule --modes <modes.json>` co-synthesizes one schedule per
+operating mode with a shared round prefix, so the deployment can switch
+modes at a round boundary without re-flashing (the TTW multi-mode
+model). The spec embeds the application plus per-mode constraints:
+
+  { \"app\": { \"tasks\": […], \"edges\": […] },
+    \"shared_prefix_rounds\": 1,
+    \"modes\": [
+      { \"name\": \"nominal\",
+        \"weakly_hard\": { \"constraints\": [
+          { \"task\": \"act\", \"m\": 25, \"k\": 40 } ] } },
+      { \"name\": \"degraded\", \"loss\": 0.9,
+        \"weakly_hard\": { \"constraints\": [
+          { \"task\": \"act\", \"m\": 30, \"k\": 40 } ] } } ] }
+
+Each mode carries exactly one constraint family (\"soft\" with an fss
+profile, or \"weakly_hard\"), an optional \"tasks\" activation list, and
+an optional \"loss\" annotation. The command prints one makespan line
+per mode plus the shared-prefix length, e.g.:
+
+  mode nominal: makespan 26800 µs, bus 10400 µs
+  mode degraded: makespan 27200 µs, bus 10800 µs
+  shared prefix: 1 round(s), optimal = true
+
+and `--out` writes a JSON document with a \"modes\" array in place of
+the single-schedule export. `--soft`/`--weakly-hard`/`--app` conflict
+with `--modes`; `--greedy` is rejected (co-synthesis needs the exact
+backend's coupled search).
+
 `netdag serve` answers newline-delimited JSON requests over TCP
-(solve / validate / cache_stats / shutdown) with the same schedule
-document `netdag schedule --out` writes; repeated problems hit a
-fingerprint-keyed solution cache and structurally similar ones
+(solve / validate / mode_solve / cache_stats / shutdown) with the same
+schedule document `netdag schedule --out` writes; repeated problems hit
+a fingerprint-keyed solution cache and structurally similar ones
 warm-start the solver. It runs until a client sends
 {\"op\": \"shutdown\"}, draining accepted work first.
 
@@ -358,6 +393,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                 app: PathBuf::new(),
                 soft: None,
                 weakly_hard: None,
+                modes: None,
                 greedy: false,
                 chi_max: 8,
                 beacon_chi: 2,
@@ -386,6 +422,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                     "--weakly-hard" => {
                         opts.weakly_hard = Some(PathBuf::from(cur.value("--weakly-hard")?))
                     }
+                    "--modes" => opts.modes = Some(PathBuf::from(cur.value("--modes")?)),
                     "--greedy" => opts.greedy = true,
                     "--chi-max" => opts.chi_max = cur.parsed("--chi-max")?,
                     "--beacon-chi" => opts.beacon_chi = cur.parsed("--beacon-chi")?,
@@ -400,7 +437,13 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                     other => return Err(ParseArgsError::UnknownFlag(other.to_owned())),
                 }
             }
-            if !have_app {
+            if opts.modes.is_some() {
+                // The modes spec embeds its own application and per-mode
+                // constraints.
+                if have_app || opts.soft.is_some() || opts.weakly_hard.is_some() {
+                    return Err(ParseArgsError::ConflictingModes);
+                }
+            } else if !have_app {
                 return Err(ParseArgsError::MissingFlag("app"));
             }
             if opts.soft.is_some() && opts.weakly_hard.is_some() {
@@ -685,6 +728,32 @@ mod tests {
         assert_eq!(
             parse("schedule --app a.json --soft s.json --weakly-hard w.json").unwrap_err(),
             ParseArgsError::ConflictingModes
+        );
+    }
+
+    #[test]
+    fn schedule_modes_flag() {
+        // --modes stands alone: the spec embeds the application.
+        let Command::Schedule(o) = parse("schedule --modes m.json --timeline").unwrap() else {
+            panic!("wrong command");
+        };
+        assert_eq!(o.modes, Some(PathBuf::from("m.json")));
+        assert!(o.timeline);
+        for conflict in [
+            "schedule --modes m.json --app a.json",
+            "schedule --modes m.json --soft s.json",
+            "schedule --modes m.json --weakly-hard w.json",
+        ] {
+            assert_eq!(
+                parse(conflict).unwrap_err(),
+                ParseArgsError::ConflictingModes,
+                "{conflict}"
+            );
+        }
+        // Without --modes, --app stays required.
+        assert_eq!(
+            parse("schedule").unwrap_err(),
+            ParseArgsError::MissingFlag("app")
         );
     }
 

@@ -8,6 +8,7 @@ use std::path::Path;
 use netdag_core::app::Application;
 use netdag_core::config::{Backend, RoundStructure, ScheduleError, SchedulerConfig};
 use netdag_core::constraints::WeaklyHardConstraints;
+use netdag_core::modes::{schedule_modes, ModesSpec};
 use netdag_core::soft::schedule_soft;
 use netdag_core::stat::{Eq13Statistic, Eq15Statistic};
 use netdag_core::weakly_hard::schedule_weakly_hard;
@@ -328,7 +329,101 @@ fn config_from(opts: &ScheduleOpts) -> SchedulerConfig {
     }
 }
 
+/// Renders the infeasibility variants of [`ScheduleError`] as a failed
+/// (but not erroneous) [`Output`]; every other variant stays an error.
+fn infeasible_output(err: ScheduleError) -> Result<Output, CliError> {
+    match err {
+        ScheduleError::Infeasible | ScheduleError::InfeasibleReliability(_) => Ok(Output {
+            text: "infeasible: no χ assignment within chi-max meets the constraints\n".to_owned(),
+            success: false,
+            summary: None,
+        }),
+        ScheduleError::InfeasibleTiming(e) => {
+            let mut text = format!(
+                "infeasible (proved without search): {} cannot start before slot {} \
+                 but must start by slot {}\n",
+                e.entity, e.earliest, e.latest
+            );
+            if !e.forward.is_empty() {
+                text.push_str("  earliest-start chain:\n");
+                for s in &e.forward {
+                    text.push_str(&format!("    {s}\n"));
+                }
+            }
+            if !e.backward.is_empty() {
+                text.push_str("  latest-start chain:\n");
+                for s in &e.backward {
+                    text.push_str(&format!("    {s}\n"));
+                }
+            }
+            Ok(Output {
+                text,
+                success: false,
+                summary: None,
+            })
+        }
+        e => Err(CliError::Schedule(e)),
+    }
+}
+
+/// `netdag schedule --modes <spec>`: TTW-style multi-mode co-synthesis.
+///
+/// Solves one coupled model covering every mode in the spec, prints one
+/// makespan line per mode plus the shared-prefix summary, and exports a
+/// `"modes"`-array document ([`netdag_core::modes::ModeScheduleExport`])
+/// when `--out` is given.
+fn schedule_multi_mode(opts: &ScheduleOpts, modes_path: &Path) -> Result<Output, CliError> {
+    let spec: ModesSpec = read_json(modes_path)?;
+    let cfg = config_from(opts);
+    let outcome = match schedule_modes(&spec, &cfg) {
+        Ok(o) => o,
+        Err(e) => return infeasible_output(e),
+    };
+    let mut text = String::new();
+    for mode in &outcome.modes {
+        text.push_str(&format!(
+            "mode {}: makespan {} µs, bus {} µs\n",
+            mode.name, mode.makespan_us, mode.bus_us
+        ));
+        for m in outcome.app.messages() {
+            if let Some(round) = mode.schedule.round_of(m) {
+                text.push_str(&format!(
+                    "  {m}: χ = {}, round {round}\n",
+                    mode.schedule.chi(m)
+                ));
+            }
+        }
+    }
+    text.push_str(&format!(
+        "shared prefix: {} round(s), optimal = {}\n",
+        outcome.shared_prefix_rounds, outcome.optimal
+    ));
+    if opts.timeline {
+        for mode in &outcome.modes {
+            text.push_str(&format!("\ntimeline for mode {}:\n", mode.name));
+            text.push_str(&mode.schedule.render_timeline(&outcome.app, 72));
+        }
+    }
+    if let Some(out_path) = &opts.out {
+        let json = serde_json::to_string_pretty(&outcome.export())
+            .map_err(|e| CliError::Json(out_path.display().to_string(), e))?;
+        fs::write(out_path, json).map_err(|e| CliError::Io(out_path.display().to_string(), e))?;
+        text.push_str(&format!(
+            "mode schedules written to {}\n",
+            out_path.display()
+        ));
+    }
+    Ok(Output {
+        text,
+        success: true,
+        summary: None,
+    })
+}
+
 fn schedule(opts: &ScheduleOpts) -> Result<Output, CliError> {
+    if let Some(modes_path) = &opts.modes {
+        return schedule_multi_mode(opts, modes_path);
+    }
     let (app, names) = load_app(&opts.app)?;
     let cfg = config_from(opts);
     let outcome = if let Some(soft_path) = &opts.soft {
@@ -357,39 +452,7 @@ fn schedule(opts: &ScheduleOpts) -> Result<Output, CliError> {
     };
     let outcome = match outcome {
         Ok(o) => o,
-        Err(ScheduleError::Infeasible | ScheduleError::InfeasibleReliability(_)) => {
-            return Ok(Output {
-                text: "infeasible: no χ assignment within chi-max meets the constraints\n"
-                    .to_owned(),
-                success: false,
-                summary: None,
-            });
-        }
-        Err(ScheduleError::InfeasibleTiming(e)) => {
-            let mut text = format!(
-                "infeasible (proved without search): {} cannot start before slot {} \
-                 but must start by slot {}\n",
-                e.entity, e.earliest, e.latest
-            );
-            if !e.forward.is_empty() {
-                text.push_str("  earliest-start chain:\n");
-                for s in &e.forward {
-                    text.push_str(&format!("    {s}\n"));
-                }
-            }
-            if !e.backward.is_empty() {
-                text.push_str("  latest-start chain:\n");
-                for s in &e.backward {
-                    text.push_str(&format!("    {s}\n"));
-                }
-            }
-            return Ok(Output {
-                text,
-                success: false,
-                summary: None,
-            });
-        }
-        Err(e) => return Err(CliError::Schedule(e)),
+        Err(e) => return infeasible_output(e),
     };
     if netdag_trace::enabled() {
         // Merge the solved schedule's bus timeline into the live trace

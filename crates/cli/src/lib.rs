@@ -29,4 +29,4 @@ pub mod replay;
 pub use netdag_core::spec;
 
 pub use args::{parse_args, Command, ParseArgsError};
-pub use commands::{run, CliError};
+pub use commands::{run, CliError, Output};

@@ -1,0 +1,173 @@
+//! End-to-end tests for `netdag schedule --modes`, driven by the
+//! committed example spec `examples/data/cartpole_modes.json`: the exact
+//! CLI output is pinned by a golden file, the exported mode set replays
+//! over the simulated bus with a runtime mode switch at the shared round
+//! boundary, and the weakly hard guarantees are validated on windows
+//! *spanning* that switch.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use netdag_cli::{parse_args, run};
+use netdag_core::modes::{ModeScheduleExport, ModesSpec};
+use netdag_core::stat::Eq13Statistic;
+use netdag_glossy::link::Bernoulli;
+use netdag_glossy::{NodeId, Topology};
+use netdag_lwb::LwbExecutor;
+use netdag_validation::validate_weakly_hard_switch;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn example_spec() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/data/cartpole_modes.json")
+}
+
+fn run_line(line: &str) -> netdag_cli::Output {
+    let command = parse_args(line.split_whitespace().map(str::to_owned)).expect("parsable");
+    run(&command).expect("command runs")
+}
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("netdag-modes-test-{tag}-{}", std::process::id()));
+        fs::create_dir_all(&dir).expect("temp dir");
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+/// The human-readable report for the example spec is pinned verbatim.
+/// Regenerate with `NETDAG_BLESS=1` after an intentional change to the
+/// output format or the example.
+#[test]
+fn example_spec_output_matches_golden() {
+    let out = run_line(&format!("schedule --modes {}", example_spec().display()));
+    assert!(out.success, "{}", out.text);
+    let golden_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/modes_schedule.txt");
+    if std::env::var_os("NETDAG_BLESS").is_some() {
+        fs::write(&golden_path, &out.text).expect("bless golden file");
+        return;
+    }
+    let want = fs::read_to_string(&golden_path).expect("golden file exists");
+    assert_eq!(
+        out.text, want,
+        "schedule --modes output drifted from tests/golden/modes_schedule.txt \
+         (rerun with NETDAG_BLESS=1 to accept an intentional change)"
+    );
+}
+
+/// The co-synthesized mode set is identical at any portfolio thread
+/// count: the race is deterministic, so `--threads 1/2/8` print the
+/// same report byte for byte.
+#[test]
+fn mode_report_identical_across_thread_counts() {
+    let spec = example_spec();
+    let base = run_line(&format!(
+        "schedule --modes {} --portfolio 4 --threads 1",
+        spec.display()
+    ));
+    assert!(base.success, "{}", base.text);
+    for threads in [2usize, 8] {
+        let out = run_line(&format!(
+            "schedule --modes {} --portfolio 4 --threads {threads}",
+            spec.display()
+        ));
+        assert_eq!(
+            out.text.as_bytes(),
+            base.text.as_bytes(),
+            "mode report must not depend on --threads"
+        );
+    }
+}
+
+/// Acceptance path for the example: schedule, export, replay on the
+/// simulated bus with a mode switch at the shared round boundary, and
+/// validate the weakly hard guarantees across the switch.
+#[test]
+fn example_spec_schedules_switches_and_validates() {
+    let dir = TempDir::new("accept");
+    let out_path = dir.0.join("modes.json");
+    let out = run_line(&format!(
+        "schedule --modes {} --out {}",
+        example_spec().display(),
+        out_path.display()
+    ));
+    assert!(out.success, "{}", out.text);
+    assert!(out.text.contains("mode nominal:"));
+    assert!(out.text.contains("mode degraded:"));
+    assert!(out.text.contains("shared prefix: 1 round(s)"));
+
+    // The export carries one schedule per mode plus the prefix length.
+    let text = fs::read_to_string(&out_path).expect("export written");
+    let export: ModeScheduleExport = serde_json::from_str(&text).expect("export parses");
+    assert_eq!(export.modes.len(), 2);
+    assert_eq!(export.shared_prefix_rounds, 1);
+    let (nominal, degraded) = (&export.modes[0], &export.modes[1]);
+    assert_eq!(nominal.name, "nominal");
+    assert_eq!(degraded.name, "degraded");
+    assert_eq!(nominal.schedule.rounds()[0], degraded.schedule.rounds()[0]);
+
+    // Replay on the simulated bus: nominal rounds, a beacon-announced
+    // switch at the shared boundary, degraded rounds — no mid-round tear.
+    let spec_text = fs::read_to_string(example_spec()).expect("example spec exists");
+    let spec: ModesSpec = serde_json::from_str(&spec_text).expect("spec parses");
+    let (app, names) = spec.app.build().expect("spec builds");
+    let topo = Topology::line(6).expect("six nodes");
+    let exec = LwbExecutor::new(&app, &nominal.schedule, &topo, NodeId(0)).expect("executor");
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let mut link = Bernoulli::new(0.9).expect("valid probability");
+    let trace = exec
+        .run_many_with_switch(
+            &degraded.schedule,
+            export.shared_prefix_rounds,
+            10,
+            10,
+            &mut link,
+            &mut rng,
+        )
+        .expect("switch at the shared boundary is legal");
+    assert_eq!(trace.runs(), 21);
+
+    // The (m, K) guarantees hold on windows spanning the switch.
+    let from = spec.modes[0]
+        .weakly_hard
+        .as_ref()
+        .expect("nominal is weakly hard")
+        .build(&names)
+        .expect("constraints build");
+    let to = spec.modes[1]
+        .weakly_hard
+        .as_ref()
+        .expect("degraded is weakly hard")
+        .build(&names)
+        .expect("constraints build");
+    let stat = Eq13Statistic::new(8);
+    let reports = validate_weakly_hard_switch(
+        &app,
+        &stat,
+        &nominal.schedule,
+        &from,
+        &degraded.schedule,
+        &to,
+        300,
+        20,
+        &mut rng,
+    )
+    .expect("adversarial synthesis succeeds");
+    assert_eq!(reports.len(), 1, "one task is constrained in both modes");
+    for r in &reports {
+        assert!(
+            r.passed,
+            "task {:?} failed across the switch: {}/{} trials",
+            r.task, r.satisfied, r.trials
+        );
+    }
+}

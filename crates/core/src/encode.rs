@@ -91,30 +91,42 @@ impl ReliabilitySpec {
     }
 }
 
-/// The CSP encoding of one scheduling problem, plus the variable handles
-/// needed to drive a search and read a schedule back out.
-pub(crate) struct EncodedModel {
-    model: Model,
+/// Variable handles of one mode's copy of the scheduling encoding —
+/// everything needed to drive a search and read a schedule back out.
+/// A single-mode problem has exactly one (unprefixed) copy; a joint
+/// multi-mode problem has one per mode, all in the same [`Model`].
+pub(crate) struct ModeVars {
     chi_vars: Vec<VarId>,
     task_start: Vec<VarId>,
     round_start: Vec<VarId>,
     round_dur_vars: Vec<VarId>,
     makespan: VarId,
+    /// Upper bound on this copy's makespan (everything serialized at
+    /// maximum χ), used to bound joint objectives.
+    horizon: i64,
+}
+
+/// The CSP encoding of one scheduling problem.
+pub(crate) struct EncodedModel {
+    model: Model,
+    vars: ModeVars,
     node_limit: Option<u64>,
 }
 
-/// Builds the full CSP encoding (variables + constraints) without
-/// solving it, so callers can choose between the batch search
-/// ([`solve_exact`]) and an externally steered engine
-/// ([`solve_exact_controlled`]).
-fn build_model(
+/// Encodes one copy of the scheduling problem (variables + constraints)
+/// into `model`, naming every variable with the given `prefix` so that a
+/// joint multi-mode model can hold several copies side by side. The
+/// single-mode path uses an empty prefix, which reproduces the historic
+/// variable names (`chi_0`, `S_0`, …) byte for byte.
+fn encode_into(
+    model: &mut Model,
+    prefix: &str,
     app: &Application,
     cfg: &SchedulerConfig,
     rounds: &[Vec<MsgId>],
     spec: &ReliabilitySpec,
     deadlines: &Deadlines,
-) -> Result<EncodedModel, ScheduleError> {
-    let mut model = Model::new();
+) -> Result<ModeVars, ScheduleError> {
     let chi_max = cfg.chi_max as i64;
     let msg_count = app.message_count();
 
@@ -154,7 +166,7 @@ fn build_model(
     // --- Decision variables: χ first (branched first). ---
     let chi_vars: Vec<VarId> = app
         .messages()
-        .map(|m| model.new_var(&format!("chi_{m}"), 1, chi_max))
+        .map(|m| model.new_var(&format!("{prefix}chi_{m}"), 1, chi_max))
         .collect::<Result<_, _>>()?;
 
     // Reliability constraints over χ.
@@ -167,7 +179,7 @@ fn build_model(
                     *table.iter().min().expect("non-empty"),
                     *table.iter().max().expect("non-empty"),
                 );
-                let v = model.new_var(&format!("log_{m}"), lo, hi)?;
+                let v = model.new_var(&format!("{prefix}log_{m}"), lo, hi)?;
                 model.table_fn(chi_vars[m.index()], v, Arc::clone(table))?;
                 log_vars.push(v);
             }
@@ -191,12 +203,12 @@ fn build_model(
                 let mt = &miss_tables[m.index()];
                 let wt = &window_tables[m.index()];
                 let mv = model.new_var(
-                    &format!("miss_{m}"),
+                    &format!("{prefix}miss_{m}"),
                     *mt.iter().min().expect("non-empty"),
                     *mt.iter().max().expect("non-empty"),
                 )?;
                 let wv = model.new_var(
-                    &format!("win_{m}"),
+                    &format!("{prefix}win_{m}"),
                     *wt.iter().min().expect("non-empty"),
                     *wt.iter().max().expect("non-empty"),
                 )?;
@@ -206,11 +218,12 @@ fn build_model(
                 window_vars.push(wv);
             }
             for group in groups {
-                let w_group = model.new_var(&format!("W_{}", group.task), 0, i64::MAX / 4)?;
+                let w_group =
+                    model.new_var(&format!("{prefix}W_{}", group.task), 0, i64::MAX / 4)?;
                 let mut group_windows: Vec<VarId> =
                     group.msgs.iter().map(|m| window_vars[m.index()]).collect();
                 if let Some(bw) = group.beacon_window {
-                    group_windows.push(model.constant(&format!("bw_{}", group.task), bw));
+                    group_windows.push(model.constant(&format!("{prefix}bw_{}", group.task), bw));
                 }
                 model.min_of(&group_windows, w_group)?;
                 // W ≤ K.
@@ -249,7 +262,7 @@ fn build_model(
         for &m in msgs {
             let table = &slot_table[m.index()];
             let sd = model.new_var(
-                &format!("slot_{m}"),
+                &format!("{prefix}slot_{m}"),
                 table[0],
                 table[cfg.chi_max as usize - 1],
             )?;
@@ -257,7 +270,7 @@ fn build_model(
             terms.push((1, sd));
             max_dur += table[cfg.chi_max as usize - 1];
         }
-        let dur = model.new_var(&format!("rdur_{r}"), 0, max_dur)?;
+        let dur = model.new_var(&format!("{prefix}rdur_{r}"), 0, max_dur)?;
         terms.push((-1, dur));
         // Σ slots − dur = −beacon.
         model.linear_eq(&terms, -beacon_cost)?;
@@ -268,10 +281,10 @@ fn build_model(
     // rounds makes the first DFS dive an earliest-start schedule).
     let task_start: Vec<VarId> = app
         .tasks()
-        .map(|t| model.new_var(&format!("S_{t}"), 0, horizon))
+        .map(|t| model.new_var(&format!("{prefix}S_{t}"), 0, horizon))
         .collect::<Result<_, _>>()?;
     let round_start: Vec<VarId> = (0..rounds.len())
-        .map(|r| model.new_var(&format!("SR_{r}"), 0, horizon))
+        .map(|r| model.new_var(&format!("{prefix}SR_{r}"), 0, horizon))
         .collect::<Result<_, _>>()?;
 
     // Task-level deadlines: S_t + wcet_t ≤ D_t.
@@ -323,7 +336,7 @@ fn build_model(
     // Condition (5): no task during any round.
     let task_dur_vars: Vec<VarId> = app
         .tasks()
-        .map(|t| model.constant(&format!("d_{t}"), app.task(t).wcet_us as i64))
+        .map(|t| model.constant(&format!("{prefix}d_{t}"), app.task(t).wcet_us as i64))
         .collect();
     for t in app.tasks() {
         if app.task(t).wcet_us == 0 {
@@ -342,7 +355,7 @@ fn build_model(
     // Makespan.
     let mut end_vars = Vec::new();
     for t in app.tasks() {
-        let e = model.new_var(&format!("E_{t}"), 0, horizon + 1)?;
+        let e = model.new_var(&format!("{prefix}E_{t}"), 0, horizon + 1)?;
         model.linear_eq(
             &[(1, e), (-1, task_start[t.index()])],
             app.task(t).wcet_us as i64,
@@ -350,51 +363,78 @@ fn build_model(
         end_vars.push(e);
     }
     for r in 0..rounds.len() {
-        let e = model.new_var(&format!("ER_{r}"), 0, horizon + 1)?;
+        let e = model.new_var(&format!("{prefix}ER_{r}"), 0, horizon + 1)?;
         model.linear_eq(&[(1, e), (-1, round_start[r]), (-1, round_dur_vars[r])], 0)?;
         end_vars.push(e);
     }
-    let makespan = model.new_var("makespan", 0, horizon + 1)?;
+    let makespan = model.new_var(&format!("{prefix}makespan"), 0, horizon + 1)?;
     if end_vars.is_empty() {
         model.linear_eq(&[(1, makespan)], 0)?;
     } else {
         model.max_of(&end_vars, makespan)?;
     }
 
-    let node_limit = match cfg.backend {
-        crate::config::Backend::Exact { node_limit } => node_limit,
-        crate::config::Backend::Greedy => None,
-    };
-    Ok(EncodedModel {
-        model,
+    Ok(ModeVars {
         chi_vars,
         task_start,
         round_start,
         round_dur_vars,
         makespan,
-        node_limit,
+        horizon,
     })
 }
 
-/// Reads a schedule out of a complete solver assignment.
+/// Builds the full single-mode CSP encoding (variables + constraints)
+/// without solving it, so callers can choose between the batch search
+/// ([`solve_exact`]) and an externally steered engine
+/// ([`solve_exact_controlled`]).
+fn build_model(
+    app: &Application,
+    cfg: &SchedulerConfig,
+    rounds: &[Vec<MsgId>],
+    spec: &ReliabilitySpec,
+    deadlines: &Deadlines,
+) -> Result<EncodedModel, ScheduleError> {
+    let mut model = Model::new();
+    let vars = encode_into(&mut model, "", app, cfg, rounds, spec, deadlines)?;
+    Ok(EncodedModel {
+        model,
+        vars,
+        node_limit: node_limit_of(cfg),
+    })
+}
+
+/// The search-node budget of the configured exact backend.
+fn node_limit_of(cfg: &SchedulerConfig) -> Option<u64> {
+    match cfg.backend {
+        crate::config::Backend::Exact { node_limit } => node_limit,
+        crate::config::Backend::Greedy => None,
+    }
+}
+
+/// Reads one mode's schedule out of a complete solver assignment.
 fn extract_schedule(
     cfg: &SchedulerConfig,
     rounds: &[Vec<MsgId>],
-    enc: &EncodedModel,
+    vars: &ModeVars,
     best: &netdag_solver::Solution,
 ) -> Schedule {
-    let chi: Vec<u32> = enc.chi_vars.iter().map(|&v| best.value(v) as u32).collect();
+    let chi: Vec<u32> = vars
+        .chi_vars
+        .iter()
+        .map(|&v| best.value(v) as u32)
+        .collect();
     let built_rounds: Vec<Round> = rounds
         .iter()
         .enumerate()
         .map(|(r, msgs)| Round {
             messages: msgs.clone(),
             beacon_chi: cfg.beacon_chi,
-            start_us: best.value(enc.round_start[r]) as u64,
-            duration_us: best.value(enc.round_dur_vars[r]) as u64,
+            start_us: best.value(vars.round_start[r]) as u64,
+            duration_us: best.value(vars.round_dur_vars[r]) as u64,
         })
         .collect();
-    let starts: Vec<u64> = enc
+    let starts: Vec<u64> = vars
         .task_start
         .iter()
         .map(|&v| best.value(v) as u64)
@@ -402,29 +442,31 @@ fn extract_schedule(
     Schedule::new(built_rounds, chi, starts, cfg.timing)
 }
 
-/// Human name for a solver variable in an infeasibility explanation:
-/// task and round starts get their spec-level names; everything else
-/// falls back to the encoder's internal variable name.
-fn entity_name(enc: &EncodedModel, app: &Application, v: VarId) -> String {
-    if let Some(t) = enc.task_start.iter().position(|&s| s == v) {
-        format!("task '{}'", app.task(TaskId(t as u32)).name)
-    } else if let Some(r) = enc.round_start.iter().position(|&s| s == v) {
-        format!("round {r}")
+/// Human name for a solver variable in one mode's copy of the encoding:
+/// task and round starts get their spec-level names; other variables are
+/// not this copy's to name (`None` lets the caller fall back or try the
+/// next mode).
+fn entity_in_mode(app: &Application, vars: &ModeVars, v: VarId) -> Option<String> {
+    if let Some(t) = vars.task_start.iter().position(|&s| s == v) {
+        Some(format!("task '{}'", app.task(TaskId(t as u32)).name))
     } else {
-        enc.model.var_name(v).to_owned()
+        vars.round_start
+            .iter()
+            .position(|&s| s == v)
+            .map(|r| format!("round {r}"))
     }
 }
 
 /// Renders one witness hop (`from − to ≤ weight`) against the spec's
 /// names, in whichever direction reads as a forcing statement.
-fn render_step(enc: &EncodedModel, app: &Application, step: &PresolveStep) -> String {
+fn render_step(name_of: &dyn Fn(VarId) -> String, step: &PresolveStep) -> String {
     let name = |v: Option<VarId>| match v {
-        Some(v) => entity_name(enc, app, v),
+        Some(v) => name_of(v),
         None => "0".to_owned(),
     };
     let rendered = match (step.from, step.to) {
-        (Some(x), None) => format!("{} ≤ {}", entity_name(enc, app, x), step.weight),
-        (None, Some(y)) => format!("{} ≥ {}", entity_name(enc, app, y), -step.weight),
+        (Some(x), None) => format!("{} ≤ {}", name_of(x), step.weight),
+        (None, Some(y)) => format!("{} ≥ {}", name_of(y), -step.weight),
         _ if step.weight <= 0 => {
             format!("{} ≥ {} + {}", name(step.to), name(step.from), -step.weight)
         }
@@ -433,16 +475,13 @@ fn render_step(enc: &EncodedModel, app: &Application, step: &PresolveStep) -> St
     format!("{rendered} [{}]", step.kind)
 }
 
-/// CPM presolve over a built encoding: closes the difference-constraint
-/// subsystem and, when some start's earliest slot exceeds its latest
-/// slot, rejects the spec with a named explanation — zero search nodes.
 /// Renders a witness chain, collapsing repeats: a negative cycle is
 /// traversed many times by the shortest pumped walk, but each distinct
 /// constraint only needs to be cited once.
-fn render_chain(enc: &EncodedModel, app: &Application, steps: &[PresolveStep]) -> Vec<String> {
+fn render_chain(name_of: &dyn Fn(VarId) -> String, steps: &[PresolveStep]) -> Vec<String> {
     let mut out: Vec<String> = Vec::new();
     for s in steps {
-        let line = render_step(enc, app, s);
+        let line = render_step(name_of, s);
         if !out.contains(&line) {
             out.push(line);
         }
@@ -450,19 +489,32 @@ fn render_chain(enc: &EncodedModel, app: &Application, steps: &[PresolveStep]) -
     out
 }
 
-fn check_presolve(enc: &EncodedModel, app: &Application) -> Result<(), ScheduleError> {
-    let relax = Relaxation::build(&enc.model, None);
+/// CPM presolve over a built model: closes the difference-constraint
+/// subsystem and, when some start's earliest slot exceeds its latest
+/// slot, rejects the spec with a named explanation — zero search nodes.
+fn check_presolve_with(
+    model: &Model,
+    name_of: &dyn Fn(VarId) -> String,
+) -> Result<(), ScheduleError> {
+    let relax = Relaxation::build(model, None);
     if let Some(w) = relax.witness() {
         let explanation = InfeasibilityExplanation {
-            entity: entity_name(enc, app, w.var),
+            entity: name_of(w.var),
             earliest: w.earliest,
             latest: w.latest,
-            forward: render_chain(enc, app, &w.forward),
-            backward: render_chain(enc, app, &w.backward),
+            forward: render_chain(name_of, &w.forward),
+            backward: render_chain(name_of, &w.backward),
         };
         return Err(ScheduleError::InfeasibleTiming(Box::new(explanation)));
     }
     Ok(())
+}
+
+fn check_presolve(enc: &EncodedModel, app: &Application) -> Result<(), ScheduleError> {
+    let name_of = |v: VarId| {
+        entity_in_mode(app, &enc.vars, v).unwrap_or_else(|| enc.model.var_name(v).to_owned())
+    };
+    check_presolve_with(&enc.model, &name_of)
 }
 
 /// Builds the encoding and runs only the CPM presolve — the daemon's
@@ -520,13 +572,13 @@ pub(crate) fn solve_exact(
             }
         }
         enc.model.minimize_portfolio(
-            enc.makespan,
+            enc.vars.makespan,
             &configs,
             netdag_runtime::ExecPolicy::from_threads(cfg.solver_threads),
         )?
     } else {
         enc.model.minimize_with_stats(
-            enc.makespan,
+            enc.vars.makespan,
             &SearchConfig {
                 node_limit: enc.node_limit,
                 lower_bound: cfg.lower_bound,
@@ -537,7 +589,7 @@ pub(crate) fn solve_exact(
     let Some(best) = outcome.best else {
         return Err(ScheduleError::Infeasible);
     };
-    let schedule = extract_schedule(cfg, rounds, &enc, &best);
+    let schedule = extract_schedule(cfg, rounds, &enc.vars, &best);
     Ok((schedule, outcome.stats, outcome.stats.proven_optimal))
 }
 
@@ -551,7 +603,7 @@ fn run_engine(
     step_nodes: u64,
     keep_going: &mut dyn FnMut(&SearchStats) -> bool,
 ) -> (Option<netdag_solver::Solution>, SearchStats, bool) {
-    let mut engine = enc.model.engine(Some(enc.makespan), search_cfg);
+    let mut engine = enc.model.engine(Some(enc.vars.makespan), search_cfg);
     if let Some(b) = bound {
         engine.inject_bound(b);
     }
@@ -650,12 +702,188 @@ pub(crate) fn solve_exact_controlled(
     total.proven_optimal = proven;
     match best {
         Some(ref sol) => {
-            let schedule = extract_schedule(cfg, rounds, &enc, sol);
+            let schedule = extract_schedule(cfg, rounds, &enc.vars, sol);
             Ok((schedule, total, proven, finished))
         }
         None if finished => Err(ScheduleError::Infeasible),
         None => Err(ScheduleError::Interrupted),
     }
+}
+
+/// One mode of a joint multi-mode problem, after preprocessing: the
+/// reliability spec already reflects the mode's statistic and constraint
+/// mix.
+pub(crate) struct ModeProblem<'a> {
+    /// Mode name (used to label per-mode infeasibility witnesses).
+    pub name: &'a str,
+    /// The mode's reliability encoding.
+    pub spec: &'a ReliabilitySpec,
+    /// The mode's task-level deadlines.
+    pub deadlines: &'a Deadlines,
+}
+
+/// The joint CSP over all modes: one full copy of the scheduling
+/// encoding per mode (prefixed `m{i}_`), shared-round equality coupling
+/// over the common prefix, and a total objective `Σ_i makespan_i`.
+struct MultiModeEncoded {
+    model: Model,
+    per_mode: Vec<ModeVars>,
+    total: VarId,
+    node_limit: Option<u64>,
+}
+
+/// Encodes the joint multi-mode CSP: each mode gets an independent copy
+/// of the full encoding, then the first `shared_prefix` rounds are pinned
+/// equal across modes — same start time and the same `χ` for every
+/// message in them (slot and round durations follow through the shared
+/// tables) — so the bus can announce a mode change in any shared round's
+/// beacon and switch at that round boundary without re-synchronizing.
+fn build_multi_mode(
+    app: &Application,
+    cfg: &SchedulerConfig,
+    rounds: &[Vec<MsgId>],
+    modes: &[ModeProblem<'_>],
+    shared_prefix: usize,
+) -> Result<MultiModeEncoded, ScheduleError> {
+    let mut model = Model::new();
+    let mut per_mode = Vec::with_capacity(modes.len());
+    for (i, m) in modes.iter().enumerate() {
+        let prefix = format!("m{i}_");
+        per_mode.push(encode_into(
+            &mut model,
+            &prefix,
+            app,
+            cfg,
+            rounds,
+            m.spec,
+            m.deadlines,
+        )?);
+    }
+    let shared = shared_prefix.min(rounds.len());
+    for (r, round) in rounds.iter().enumerate().take(shared) {
+        for mv in per_mode.iter().skip(1) {
+            model.linear_eq(
+                &[(1, per_mode[0].round_start[r]), (-1, mv.round_start[r])],
+                0,
+            )?;
+            for &m in round {
+                model.linear_eq(
+                    &[
+                        (1, per_mode[0].chi_vars[m.index()]),
+                        (-1, mv.chi_vars[m.index()]),
+                    ],
+                    0,
+                )?;
+            }
+        }
+    }
+    netdag_obs::counter!(netdag_obs::keys::SOLVER_MODE_SHARED_ROUNDS).add(shared as u64);
+
+    // Joint objective: minimize the sum of per-mode makespans. Each mode
+    // still gets its individually optimal prefix-compatible schedule
+    // reported via `SearchStats::mode_objectives`.
+    let total_hi: i64 = per_mode.iter().map(|v| v.horizon + 1).sum();
+    let total = model.new_var("mm_total", 0, total_hi)?;
+    let mut terms: Vec<(i64, VarId)> = per_mode.iter().map(|v| (1i64, v.makespan)).collect();
+    terms.push((-1, total));
+    model.linear_eq(&terms, 0)?;
+    Ok(MultiModeEncoded {
+        model,
+        per_mode,
+        total,
+        node_limit: node_limit_of(cfg),
+    })
+}
+
+/// Prefixes a timing-infeasibility explanation with the mode it belongs
+/// to; every other error is mode-independent and passes through.
+fn label_mode_error(name: &str, err: ScheduleError) -> ScheduleError {
+    match err {
+        ScheduleError::InfeasibleTiming(mut explanation) => {
+            explanation.entity = format!("mode '{name}': {}", explanation.entity);
+            ScheduleError::InfeasibleTiming(explanation)
+        }
+        other => other,
+    }
+}
+
+/// Solves the joint multi-mode problem exactly. Returns one schedule per
+/// mode (declaration order), the joint search statistics with the
+/// per-mode objective split in
+/// [`SearchStats::mode_objectives`](netdag_solver::SearchStats), and
+/// whether joint optimality was proven.
+///
+/// When the lower bound is enabled, each mode's *own* encoding is
+/// presolved first: a mode that is infeasible on its own yields a
+/// witness labeled with that mode's name (`mode 'degraded': task 'ctrl'
+/// cannot start …`) instead of an anonymous joint-model explanation; the
+/// joint closure then catches cross-mode conflicts introduced by the
+/// shared-prefix coupling.
+///
+/// # Errors
+///
+/// As [`solve_exact`], with [`ScheduleError::InfeasibleTiming`]
+/// witnesses labeled per mode.
+pub(crate) fn solve_multi_mode(
+    app: &Application,
+    cfg: &SchedulerConfig,
+    rounds: &[Vec<MsgId>],
+    modes: &[ModeProblem<'_>],
+    shared_prefix: usize,
+) -> Result<(Vec<Schedule>, SearchStats, bool), ScheduleError> {
+    if cfg.lower_bound {
+        for m in modes {
+            let enc = build_model(app, cfg, rounds, m.spec, m.deadlines)?;
+            check_presolve(&enc, app).map_err(|e| label_mode_error(m.name, e))?;
+        }
+    }
+    let enc = build_multi_mode(app, cfg, rounds, modes, shared_prefix)?;
+    if cfg.lower_bound {
+        let name_of = |v: VarId| {
+            for (mv, m) in enc.per_mode.iter().zip(modes) {
+                if let Some(entity) = entity_in_mode(app, mv, v) {
+                    return format!("mode '{}': {entity}", m.name);
+                }
+            }
+            enc.model.var_name(v).to_owned()
+        };
+        check_presolve_with(&enc.model, &name_of)?;
+    }
+    let outcome = if cfg.portfolio >= 2 {
+        let mut configs = netdag_solver::portfolio_configs(cfg.portfolio as usize, enc.node_limit);
+        if !cfg.lower_bound {
+            for c in &mut configs {
+                c.lower_bound = false;
+            }
+        }
+        enc.model.minimize_portfolio(
+            enc.total,
+            &configs,
+            netdag_runtime::ExecPolicy::from_threads(cfg.solver_threads),
+        )?
+    } else {
+        enc.model.minimize_with_stats(
+            enc.total,
+            &SearchConfig {
+                node_limit: enc.node_limit,
+                lower_bound: cfg.lower_bound,
+                ..SearchConfig::default()
+            },
+        )?
+    };
+    let Some(best) = outcome.best else {
+        return Err(ScheduleError::Infeasible);
+    };
+    let schedules: Vec<Schedule> = enc
+        .per_mode
+        .iter()
+        .map(|mv| extract_schedule(cfg, rounds, mv, &best))
+        .collect();
+    let mut stats = outcome.stats;
+    for mv in &enc.per_mode {
+        stats.mode_objectives.push(best.value(mv.makespan));
+    }
+    Ok((schedules, stats, stats.proven_optimal))
 }
 
 #[cfg(test)]
@@ -771,5 +999,105 @@ mod tests {
         // χ = 1: W = 20, M = 8, W − M = 12 ≥ 10 and W ≤ 40 — feasible and
         // cheapest.
         assert_eq!(chi, 1);
+    }
+
+    #[test]
+    fn multi_mode_shared_prefix_couples_chi() {
+        let app = two_task_app();
+        let cfg = SchedulerConfig::default();
+        let rounds = build_rounds(&app, RoundStructure::PerLevel);
+        // Mode 'loose' would pick χ = 1 on its own; mode 'tight' needs
+        // χ ≥ 4. The app has one round, so a shared prefix of 1 pins the
+        // whole schedule: both modes must agree on χ = 4.
+        let loose = soft_spec(&app, vec![0; cfg.chi_max as usize], 0);
+        let table: Vec<i64> = (1..=cfg.chi_max as i64).map(|chi| -10_000 / chi).collect();
+        let tight = soft_spec(&app, table, -2_500);
+        let dl = Deadlines::new();
+        let modes = [
+            ModeProblem {
+                name: "loose",
+                spec: &loose,
+                deadlines: &dl,
+            },
+            ModeProblem {
+                name: "tight",
+                spec: &tight,
+                deadlines: &dl,
+            },
+        ];
+        let (schedules, stats, optimal) = solve_multi_mode(&app, &cfg, &rounds, &modes, 1).unwrap();
+        assert!(optimal);
+        assert_eq!(schedules.len(), 2);
+        assert_eq!(stats.mode_objectives.len(), 2);
+        assert_eq!(schedules[0].chi(MsgId(0)), 4);
+        assert_eq!(schedules[1].chi(MsgId(0)), 4);
+        assert_eq!(schedules[0].rounds()[0], schedules[1].rounds()[0]);
+        for (i, s) in schedules.iter().enumerate() {
+            s.check_feasible(&app).unwrap();
+            assert_eq!(stats.mode_objectives.get(i), Some(s.makespan(&app) as i64));
+        }
+    }
+
+    #[test]
+    fn multi_mode_without_shared_prefix_solves_modes_independently() {
+        let app = two_task_app();
+        let cfg = SchedulerConfig::default();
+        let rounds = build_rounds(&app, RoundStructure::PerLevel);
+        let loose = soft_spec(&app, vec![0; cfg.chi_max as usize], 0);
+        let table: Vec<i64> = (1..=cfg.chi_max as i64).map(|chi| -10_000 / chi).collect();
+        let tight = soft_spec(&app, table, -2_500);
+        let dl = Deadlines::new();
+        let modes = [
+            ModeProblem {
+                name: "loose",
+                spec: &loose,
+                deadlines: &dl,
+            },
+            ModeProblem {
+                name: "tight",
+                spec: &tight,
+                deadlines: &dl,
+            },
+        ];
+        let (schedules, _, optimal) = solve_multi_mode(&app, &cfg, &rounds, &modes, 0).unwrap();
+        assert!(optimal);
+        // Decoupled: each mode reaches its individual optimum.
+        assert_eq!(schedules[0].chi(MsgId(0)), 1);
+        assert_eq!(schedules[1].chi(MsgId(0)), 4);
+    }
+
+    #[test]
+    fn multi_mode_presolve_labels_the_infeasible_mode() {
+        let app = two_task_app();
+        let cfg = SchedulerConfig::default();
+        let rounds = build_rounds(&app, RoundStructure::PerLevel);
+        let ok = soft_spec(&app, vec![0; cfg.chi_max as usize], 0);
+        // Unary reliability row that no χ can satisfy: the per-mode
+        // presolve proves it and names the mode.
+        let bad = soft_spec(&app, vec![-100; cfg.chi_max as usize], -50);
+        let dl = Deadlines::new();
+        let modes = [
+            ModeProblem {
+                name: "normal",
+                spec: &ok,
+                deadlines: &dl,
+            },
+            ModeProblem {
+                name: "degraded",
+                spec: &bad,
+                deadlines: &dl,
+            },
+        ];
+        let err = solve_multi_mode(&app, &cfg, &rounds, &modes, 1).unwrap_err();
+        match err {
+            ScheduleError::InfeasibleTiming(explanation) => {
+                assert!(
+                    explanation.entity.starts_with("mode 'degraded':"),
+                    "witness must name the infeasible mode, got {:?}",
+                    explanation.entity
+                );
+            }
+            other => panic!("expected a labeled timing witness, got {other:?}"),
+        }
     }
 }

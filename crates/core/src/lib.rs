@@ -37,6 +37,7 @@
 //! | round orders `l` (per-level / per-message) | [`rounds`] |
 //! | multi-application composition (§ IV) | [`compose`] |
 //! | constraint/latency sweeps (figs. 2 and 4) | [`explore`] |
+//! | multi-mode co-synthesis (TTW, beyond the paper) | [`modes`] |
 //!
 //! Solver decisions, schedule shapes, and eq. (10) evaluations are
 //! counted in the process-global `netdag_obs` recorder; any CLI command
@@ -81,6 +82,7 @@ pub mod generators;
 pub mod graph;
 mod heuristic;
 pub mod makespan;
+pub mod modes;
 pub mod rounds;
 pub mod schedule;
 pub mod soft;
@@ -97,6 +99,9 @@ pub mod prelude {
     };
     pub use crate::constraints::{Deadlines, SoftConstraints, WeaklyHardConstraints};
     pub use crate::control::{ControlledOutcome, SolveControl};
+    pub use crate::modes::{
+        schedule_modes, ModeSchedule, ModeScheduleExport, ModeScheduleOutcome, ModeSpec, ModesSpec,
+    };
     pub use crate::schedule::{Round, Schedule};
     pub use crate::soft::{
         presolve_soft, schedule_soft, schedule_soft_controlled, schedule_soft_with_deadlines,

@@ -190,7 +190,7 @@ fn schedule_soft_inner<S: SoftStatistic + ?Sized>(
     Ok(ControlledOutcome { outcome, complete })
 }
 
-fn build_spec<S: SoftStatistic + ?Sized>(
+pub(crate) fn build_spec<S: SoftStatistic + ?Sized>(
     app: &Application,
     stat: &S,
     constraints: &crate::constraints::SoftConstraints,

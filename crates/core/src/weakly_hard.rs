@@ -186,7 +186,7 @@ fn schedule_weakly_hard_inner<S: WeaklyHardStatistic + ?Sized>(
     Ok(ControlledOutcome { outcome, complete })
 }
 
-fn build_spec<S: WeaklyHardStatistic + ?Sized>(
+pub(crate) fn build_spec<S: WeaklyHardStatistic + ?Sized>(
     app: &Application,
     stat: &S,
     constraints: &crate::constraints::WeaklyHardConstraints,

@@ -1,0 +1,80 @@
+//! Property tests for multi-mode co-synthesis.
+
+use netdag_core::config::SchedulerConfig;
+use netdag_core::modes::{schedule_modes, ModeSpec, ModesSpec};
+use netdag_core::spec::{AppSpec, EdgeSpec, TaskSpec, WeaklyHardEntry, WeaklyHardSpec};
+use proptest::prelude::*;
+
+fn chain_spec(wcets: [u64; 3]) -> AppSpec {
+    let task = |name: &str, node: u32, wcet_us: u64| TaskSpec {
+        name: name.to_owned(),
+        node,
+        wcet_us,
+    };
+    let edge = |from: &str, to: &str, width: u32| EdgeSpec {
+        from: from.to_owned(),
+        to: to.to_owned(),
+        width,
+    };
+    AppSpec {
+        tasks: vec![
+            task("sense", 0, wcets[0]),
+            task("ctl", 1, wcets[1]),
+            task("act", 2, wcets[2]),
+        ],
+        edges: vec![edge("sense", "ctl", 8), edge("ctl", "act", 4)],
+    }
+}
+
+fn wh_mode(name: &str, m: u32) -> ModeSpec {
+    ModeSpec {
+        name: name.to_owned(),
+        tasks: None,
+        soft: None,
+        weakly_hard: Some(WeaklyHardSpec {
+            constraints: vec![WeaklyHardEntry {
+                task: "act".to_owned(),
+                m,
+                k: 40,
+            }],
+        }),
+        loss: None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The co-synthesized schedules agree on the shared prefix *byte for
+    /// byte*: each prefix round serializes to identical bytes in every
+    /// mode, and the χ of every message in a prefix round is identical
+    /// across modes — the property the round-boundary switch protocol
+    /// relies on.
+    #[test]
+    fn shared_prefix_rounds_are_byte_identical(
+        w in (100u64..2_000, 100u64..2_000, 100u64..2_000),
+        m1 in 5u32..31,
+        m2 in 5u32..31,
+        shared in 0usize..3,
+    ) {
+        let spec = ModesSpec {
+            app: chain_spec([w.0, w.1, w.2]),
+            shared_prefix_rounds: Some(shared),
+            modes: vec![wh_mode("nominal", m1), wh_mode("degraded", m2)],
+        };
+        let out = schedule_modes(&spec, &SchedulerConfig::default())
+            .expect("both (m, 40) modes are feasible for m ≤ 30");
+        let lead = &out.modes[0].schedule;
+        for follow in &out.modes[1..] {
+            let sched = &follow.schedule;
+            for r in 0..out.shared_prefix_rounds {
+                let a = serde_json::to_string(&lead.rounds()[r]).expect("serializable");
+                let b = serde_json::to_string(&sched.rounds()[r]).expect("serializable");
+                prop_assert_eq!(a.as_bytes(), b.as_bytes(), "round {} of mode '{}'", r, follow.name);
+                for &m in &lead.rounds()[r].messages {
+                    prop_assert_eq!(lead.chi(m), sched.chi(m), "χ of {} in round {}", m, r);
+                }
+            }
+        }
+    }
+}

@@ -108,6 +108,80 @@ impl<'a> LwbExecutor<'a> {
         })
     }
 
+    /// Executes one round of `schedule` — beacon flood then one
+    /// contention-free slot per message — accumulating flood results into
+    /// the run-level buffers.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_round<L: LossModel, R: Rng + ?Sized>(
+        &self,
+        schedule: &Schedule,
+        r: usize,
+        flood_ok: &mut [bool],
+        flow_ids: &mut [u64],
+        beacons_ok: &mut bool,
+        transmissions: &mut u64,
+        link: &mut L,
+        rng: &mut R,
+    ) {
+        let round = &schedule.rounds()[r];
+        netdag_obs::counter!(netdag_obs::keys::LWB_ROUNDS_EXECUTED).incr();
+        netdag_obs::counter!(netdag_obs::keys::LWB_BEACONS_SENT).incr();
+        netdag_obs::counter!(netdag_obs::keys::LWB_SLOTS_EXECUTED).add(round.messages.len() as u64);
+        let _round = netdag_trace::span_with(
+            "lwb.round",
+            &[
+                ("round", r.into()),
+                ("start_us", round.start_us.into()),
+                ("beacon_chi", round.beacon_chi.into()),
+            ],
+        );
+        // Beacon flood from the host.
+        let beacon = {
+            let _beacon = netdag_trace::span_with("lwb.beacon", &[("round", r.into())]);
+            simulate_flood(
+                self.topo,
+                link,
+                &FloodParams {
+                    initiator: self.host,
+                    n_tx: round.beacon_chi,
+                },
+                rng,
+            )
+            .expect("validated parameters")
+        };
+        *transmissions += beacon.transmissions();
+        *beacons_ok &= beacon.all_reached();
+        // One contention-free slot per message.
+        for &m in &round.messages {
+            let msg = self.app.message(m);
+            let initiator = self.app.task(msg.source).node;
+            let _slot = netdag_trace::span_with(
+                "lwb.slot",
+                &[
+                    ("msg", m.index().into()),
+                    ("chi", schedule.chi(m).into()),
+                    ("width", msg.width.into()),
+                ],
+            );
+            let flood = simulate_flood(
+                self.topo,
+                link,
+                &FloodParams {
+                    initiator,
+                    n_tx: schedule.chi(m),
+                },
+                rng,
+            )
+            .expect("validated parameters");
+            *transmissions += flood.transmissions();
+            flood_ok[m.index()] = msg
+                .consumers
+                .iter()
+                .all(|&c| flood.reached(self.app.task(c).node));
+            flow_ids[m.index()] = netdag_trace::flow_start("lwb.msg");
+        }
+    }
+
     /// Executes one application run: every round in bus order, beacon then
     /// slots, then propagates success through the task DAG.
     pub fn run_once<L: LossModel, R: Rng + ?Sized>(&self, link: &mut L, rng: &mut R) -> RunOutcome {
@@ -118,66 +192,31 @@ impl<'a> LwbExecutor<'a> {
         // Flow-arrow ids per message, tying each sending slot to the
         // consumer tasks it feeds (the precedence of eq. (4)).
         let mut flow_ids = vec![0u64; msg_count];
-        for (r, round) in self.schedule.rounds().iter().enumerate() {
-            netdag_obs::counter!(netdag_obs::keys::LWB_ROUNDS_EXECUTED).incr();
-            netdag_obs::counter!(netdag_obs::keys::LWB_BEACONS_SENT).incr();
-            netdag_obs::counter!(netdag_obs::keys::LWB_SLOTS_EXECUTED)
-                .add(round.messages.len() as u64);
-            let _round = netdag_trace::span_with(
-                "lwb.round",
-                &[
-                    ("round", r.into()),
-                    ("start_us", round.start_us.into()),
-                    ("beacon_chi", round.beacon_chi.into()),
-                ],
+        for r in 0..self.schedule.rounds().len() {
+            self.execute_round(
+                self.schedule,
+                r,
+                &mut flood_ok,
+                &mut flow_ids,
+                &mut beacons_ok,
+                &mut transmissions,
+                link,
+                rng,
             );
-            // Beacon flood from the host.
-            let beacon = {
-                let _beacon = netdag_trace::span_with("lwb.beacon", &[("round", r.into())]);
-                simulate_flood(
-                    self.topo,
-                    link,
-                    &FloodParams {
-                        initiator: self.host,
-                        n_tx: round.beacon_chi,
-                    },
-                    rng,
-                )
-                .expect("validated parameters")
-            };
-            transmissions += beacon.transmissions();
-            beacons_ok &= beacon.all_reached();
-            // One contention-free slot per message.
-            for &m in &round.messages {
-                let msg = self.app.message(m);
-                let initiator = self.app.task(msg.source).node;
-                let _slot = netdag_trace::span_with(
-                    "lwb.slot",
-                    &[
-                        ("msg", m.index().into()),
-                        ("chi", self.schedule.chi(m).into()),
-                        ("width", msg.width.into()),
-                    ],
-                );
-                let flood = simulate_flood(
-                    self.topo,
-                    link,
-                    &FloodParams {
-                        initiator,
-                        n_tx: self.schedule.chi(m),
-                    },
-                    rng,
-                )
-                .expect("validated parameters");
-                transmissions += flood.transmissions();
-                flood_ok[m.index()] = msg
-                    .consumers
-                    .iter()
-                    .all(|&c| flood.reached(self.app.task(c).node));
-                flow_ids[m.index()] = netdag_trace::flow_start("lwb.msg");
-            }
         }
-        // Propagate validity through the DAG in topological order.
+        self.propagate(flood_ok, &flow_ids, beacons_ok, transmissions)
+    }
+
+    /// Propagates flood validity through the task DAG in topological order
+    /// and assembles the run outcome.
+    fn propagate(
+        &self,
+        flood_ok: Vec<bool>,
+        flow_ids: &[u64],
+        beacons_ok: bool,
+        transmissions: u64,
+    ) -> RunOutcome {
+        let msg_count = self.app.message_count();
         let mut task_ok = vec![true; self.app.task_count()];
         let mut message_ok = vec![false; msg_count];
         for t in self.app.topological_tasks() {
@@ -224,6 +263,146 @@ impl<'a> LwbExecutor<'a> {
             link.advance_between_floods(rng);
         }
         trace
+    }
+
+    /// Validates that a mode switch from the current schedule to `to` at
+    /// the boundary of `switch_round` is tear-free: `to` must cover every
+    /// message, the boundary must lie within both schedules, and the rounds
+    /// before it must be identical (same slots, same start, same beacon and
+    /// per-message `χ`) so that nodes already executing the old plan agree
+    /// with the new one up to the announcement.
+    fn check_switch(&self, to: &Schedule, switch_round: usize) -> Result<(), LwbError> {
+        for m in self.app.messages() {
+            if to.round_of(m).is_none() {
+                return Err(LwbError::ScheduleMismatch(format!(
+                    "message {m} is not assigned to any round of the target schedule"
+                )));
+            }
+        }
+        let old = self.schedule.rounds();
+        let new = to.rounds();
+        if switch_round > old.len() || switch_round > new.len() {
+            return Err(LwbError::ScheduleMismatch(format!(
+                "switch at round {switch_round} is beyond the schedules \
+                 ({} and {} rounds)",
+                old.len(),
+                new.len()
+            )));
+        }
+        for r in 0..switch_round {
+            if old[r] != new[r] {
+                return Err(LwbError::ScheduleMismatch(format!(
+                    "round {r} differs between the schedules; a switch at \
+                     round {switch_round} would tear the shared prefix"
+                )));
+            }
+            for &m in &old[r].messages {
+                if self.schedule.chi(m) != to.chi(m) {
+                    return Err(LwbError::ScheduleMismatch(format!(
+                        "message {m} in shared round {r} has different χ \
+                         across the schedules"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes one run that switches modes at a round boundary: rounds
+    /// `0..switch_round` follow the executor's current schedule, the rest
+    /// follow `to`.
+    ///
+    /// The switch is *beacon-announced*: the first post-switch round opens,
+    /// as every round does, with a beacon flood from the host carrying the
+    /// round layout, so all nodes learn the new plan before any of its
+    /// slots fire. No round is re-laid-out midway (no mid-round tearing):
+    /// the call first checks that both schedules agree on every round
+    /// before the boundary, which is exactly what the scheduler's
+    /// shared-prefix coupling (`netdag_core::modes::schedule_modes`)
+    /// guarantees for boundaries inside the shared prefix.
+    ///
+    /// Emits the `lwb.mode_switch` trace instant and bumps the
+    /// `lwb.mode_switches` counter at the boundary.
+    ///
+    /// # Errors
+    ///
+    /// [`LwbError::ScheduleMismatch`] when `to` does not cover every
+    /// message, the boundary lies beyond either schedule, or a pre-boundary
+    /// round differs between the two schedules.
+    pub fn run_once_with_switch<L: LossModel, R: Rng + ?Sized>(
+        &self,
+        to: &Schedule,
+        switch_round: usize,
+        link: &mut L,
+        rng: &mut R,
+    ) -> Result<RunOutcome, LwbError> {
+        self.check_switch(to, switch_round)?;
+        let msg_count = self.app.message_count();
+        let mut flood_ok = vec![false; msg_count];
+        let mut beacons_ok = true;
+        let mut transmissions = 0u64;
+        let mut flow_ids = vec![0u64; msg_count];
+        for r in 0..switch_round {
+            self.execute_round(
+                self.schedule,
+                r,
+                &mut flood_ok,
+                &mut flow_ids,
+                &mut beacons_ok,
+                &mut transmissions,
+                link,
+                rng,
+            );
+        }
+        netdag_obs::counter!(netdag_obs::keys::LWB_MODE_SWITCHES).incr();
+        netdag_trace::instant("lwb.mode_switch", &[("round", switch_round.into())]);
+        for r in switch_round..to.rounds().len() {
+            self.execute_round(
+                to,
+                r,
+                &mut flood_ok,
+                &mut flow_ids,
+                &mut beacons_ok,
+                &mut transmissions,
+                link,
+                rng,
+            );
+        }
+        Ok(self.propagate(flood_ok, &flow_ids, beacons_ok, transmissions))
+    }
+
+    /// Replays a mode change: `runs_before` runs under the current
+    /// schedule, one transition run switching to `to` at the boundary of
+    /// `switch_round` (see [`Self::run_once_with_switch`]), then
+    /// `runs_after` runs under `to`, all against the same evolving channel.
+    /// The trace therefore records `runs_before + 1 + runs_after` runs.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::run_once_with_switch`].
+    pub fn run_many_with_switch<L: LossModel, R: Rng + ?Sized>(
+        &self,
+        to: &Schedule,
+        switch_round: usize,
+        runs_before: usize,
+        runs_after: usize,
+        link: &mut L,
+        rng: &mut R,
+    ) -> Result<ExecutionTrace, LwbError> {
+        self.check_switch(to, switch_round)?;
+        let mut trace = ExecutionTrace::new(self.app.task_count(), self.app.message_count());
+        for _ in 0..runs_before {
+            trace.record(&self.run_once(link, rng));
+            link.advance_between_floods(rng);
+        }
+        trace.record(&self.run_once_with_switch(to, switch_round, link, rng)?);
+        link.advance_between_floods(rng);
+        let after = LwbExecutor::new(self.app, to, self.topo, self.host)?;
+        for _ in 0..runs_after {
+            trace.record(&after.run_once(link, rng));
+            link.advance_between_floods(rng);
+        }
+        Ok(trace)
     }
 
     /// The message ids in bus order (round by round, slot by slot).
@@ -393,6 +572,126 @@ mod tests {
         .unwrap();
         let exec = LwbExecutor::new(&app, &out.schedule, &topo, NodeId(0)).unwrap();
         exec.verify_beacon_budget().unwrap();
+    }
+
+    fn two_mode_outcome() -> netdag_core::modes::ModeScheduleOutcome {
+        use netdag_core::modes::{schedule_modes, ModeSpec, ModesSpec};
+        use netdag_core::spec::{AppSpec, EdgeSpec, TaskSpec, WeaklyHardEntry, WeaklyHardSpec};
+        let task = |name: &str, node: u32, wcet_us: u64| TaskSpec {
+            name: name.to_owned(),
+            node,
+            wcet_us,
+        };
+        let edge = |from: &str, to: &str, width: u32| EdgeSpec {
+            from: from.to_owned(),
+            to: to.to_owned(),
+            width,
+        };
+        let wh = |m: u32, k: u32| {
+            Some(WeaklyHardSpec {
+                constraints: vec![WeaklyHardEntry {
+                    task: "act".to_owned(),
+                    m,
+                    k,
+                }],
+            })
+        };
+        let spec = ModesSpec {
+            app: AppSpec {
+                tasks: vec![
+                    task("sense", 0, 500),
+                    task("ctl", 1, 1000),
+                    task("act", 2, 300),
+                ],
+                edges: vec![edge("sense", "ctl", 8), edge("ctl", "act", 4)],
+            },
+            shared_prefix_rounds: Some(1),
+            modes: vec![
+                ModeSpec {
+                    name: "nominal".to_owned(),
+                    tasks: None,
+                    soft: None,
+                    weakly_hard: wh(10, 40),
+                    loss: None,
+                },
+                ModeSpec {
+                    name: "degraded".to_owned(),
+                    tasks: None,
+                    soft: None,
+                    weakly_hard: wh(30, 40),
+                    loss: Some(0.9),
+                },
+            ],
+        };
+        schedule_modes(&spec, &SchedulerConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn mode_switch_at_shared_boundary_runs_clean() {
+        let out = two_mode_outcome();
+        let (nominal, degraded) = (&out.modes[0].schedule, &out.modes[1].schedule);
+        // The co-synthesized schedules share their first round verbatim.
+        assert_eq!(nominal.rounds()[0], degraded.rounds()[0]);
+        let topo = Topology::line(3).unwrap();
+        let exec = LwbExecutor::new(&out.app, nominal, &topo, NodeId(0)).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let run = exec
+            .run_once_with_switch(
+                degraded,
+                out.shared_prefix_rounds,
+                &mut Perfect::new(),
+                &mut rng,
+            )
+            .unwrap();
+        assert!(run.task_ok.iter().all(|&b| b));
+        assert!(run.message_ok.iter().all(|&b| b));
+        assert!(run.beacons_ok);
+    }
+
+    #[test]
+    fn run_many_with_switch_records_all_runs() {
+        let out = two_mode_outcome();
+        let topo = Topology::line(3).unwrap();
+        let exec = LwbExecutor::new(&out.app, &out.modes[0].schedule, &topo, NodeId(0)).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let mut link = Bernoulli::new(0.9).unwrap();
+        let trace = exec
+            .run_many_with_switch(&out.modes[1].schedule, 1, 5, 6, &mut link, &mut rng)
+            .unwrap();
+        assert_eq!(trace.runs(), 5 + 1 + 6);
+    }
+
+    #[test]
+    fn switch_rejects_torn_prefixes() {
+        let app = three_node_app();
+        let schedule = schedule_for(&app);
+        let topo = Topology::line(3).unwrap();
+        let exec = LwbExecutor::new(&app, &schedule, &topo, NodeId(0)).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let chi: Vec<u32> = app.messages().map(|m| schedule.chi(m)).collect();
+        let starts: Vec<u64> = app.tasks().map(|t| schedule.task_start(t)).collect();
+        // Boundary beyond either schedule.
+        let n = schedule.rounds().len();
+        let err = exec
+            .run_once_with_switch(&schedule, n + 1, &mut Perfect::new(), &mut rng)
+            .unwrap_err();
+        assert!(err.to_string().contains("beyond"));
+        // A pre-boundary round that differs (different beacon χ).
+        let mut rounds = schedule.rounds().to_vec();
+        rounds[0].beacon_chi += 1;
+        let torn = Schedule::new(rounds, chi.clone(), starts.clone(), *schedule.timing());
+        let err = exec
+            .run_once_with_switch(&torn, 1, &mut Perfect::new(), &mut rng)
+            .unwrap_err();
+        assert!(err.to_string().contains("round 0 differs"));
+        // Identical rounds but a different slot χ in the shared prefix.
+        let mut chi2 = chi;
+        chi2[schedule.rounds()[0].messages[0].index()] += 1;
+        let torn = Schedule::new(schedule.rounds().to_vec(), chi2, starts, *schedule.timing());
+        let err = exec
+            .run_once_with_switch(&torn, 1, &mut Perfect::new(), &mut rng)
+            .unwrap_err();
+        assert!(err.to_string().contains("different χ"));
     }
 
     #[test]

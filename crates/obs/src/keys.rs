@@ -38,6 +38,9 @@ pub const SOLVER_LB_PRUNES: &str = "solver.lb.prunes";
 pub const SOLVER_LB_TIGHTENINGS: &str = "solver.lb.tightenings";
 /// Root domain endpoints shaved by the CPM `[ES, LS]` presolve.
 pub const SOLVER_PRESOLVE_SHAVED: &str = "solver.presolve.shaved_domains";
+/// Shared-prefix rounds pinned equal across modes by joint multi-mode
+/// encodings (one count per shared round per encode).
+pub const SOLVER_MODE_SHARED_ROUNDS: &str = "solver.mode_shared_rounds";
 /// Portfolio races run (`Model::minimize_portfolio` invocations).
 pub const SOLVER_PORTFOLIO_RACES: &str = "solver.portfolio_races";
 /// Search nodes explored by non-winning portfolio engines — the race's
@@ -69,6 +72,9 @@ pub const WEAKLY_HARD_OPLUS_COMPOSITIONS: &str = "weakly_hard.oplus_compositions
 
 /// Eq. (10) abstraction tests evaluated (`satisfies_eq10`).
 pub const CORE_EQ10_TESTS: &str = "core.eq10_tests";
+/// Operating modes co-synthesized by multi-mode scheduling (one count
+/// per mode in each successful `schedule_modes` call).
+pub const CORE_MODES: &str = "core.modes";
 /// Schedules successfully computed (soft or weakly hard, any backend).
 pub const CORE_SCHEDULES_COMPUTED: &str = "core.schedules_computed";
 
@@ -84,6 +90,9 @@ pub const LWB_ROUNDS_EXECUTED: &str = "lwb.rounds_executed";
 pub const LWB_SLOTS_EXECUTED: &str = "lwb.slots_executed";
 /// Beacon floods sent by the bus executor.
 pub const LWB_BEACONS_SENT: &str = "lwb.beacons_sent";
+/// Mode switches executed at round boundaries by the bus executor
+/// (beacon-announced, never mid-round).
+pub const LWB_MODE_SWITCHES: &str = "lwb.mode_switches";
 
 // ── netdag-serve ────────────────────────────────────────────────────
 
@@ -154,12 +163,14 @@ pub const HIST_SERVE_QUEUE_DEPTH: &str = "serve.queue_depth";
 /// Every counter the workspace emits, in report order.
 pub const ALL_COUNTERS: &[&str] = &[
     CORE_EQ10_TESTS,
+    CORE_MODES,
     CORE_SCHEDULES_COMPUTED,
     GLOSSY_CACHE_BYPASSES,
     GLOSSY_CACHE_HITS,
     GLOSSY_CACHE_MISSES,
     GLOSSY_FLOODS_SIMULATED,
     LWB_BEACONS_SENT,
+    LWB_MODE_SWITCHES,
     LWB_ROUNDS_EXECUTED,
     LWB_ROUNDS_SCHEDULED,
     LWB_SLOTS_EXECUTED,
@@ -175,6 +186,7 @@ pub const ALL_COUNTERS: &[&str] = &[
     SOLVER_DECISIONS,
     SOLVER_LB_PRUNES,
     SOLVER_LB_TIGHTENINGS,
+    SOLVER_MODE_SHARED_ROUNDS,
     SOLVER_NODES,
     SOLVER_PORTFOLIO_LOSER_NODES,
     SOLVER_PORTFOLIO_RACES,

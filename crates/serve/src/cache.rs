@@ -18,6 +18,7 @@
 //! small bounded capacities the daemon uses, the linear scans here are
 //! cheaper than maintaining an ordered index.
 
+use netdag_core::modes::ModeScheduleExport;
 use netdag_core::spec::ScheduleExport;
 
 use crate::fingerprint::Fingerprint;
@@ -144,6 +145,67 @@ impl SolutionCache {
     }
 }
 
+struct ModeEntry {
+    key: u64,
+    export: ModeScheduleExport,
+    stamp: u64,
+}
+
+/// Bounded LRU cache for `mode_solve` answers, keyed by the single
+/// canonical [`mode_fingerprint`](crate::fingerprint::mode_fingerprint)
+/// hash. Exact-only: a joint multi-mode solve has no warm-start tier —
+/// its answer is reused solely on a verbatim repeat of the whole mode
+/// set (cross-mode coupling makes a cached per-mode makespan unsound as
+/// a pruning bound for a *different* mode set).
+pub struct ModeCache {
+    capacity: usize,
+    stamp: u64,
+    entries: Vec<ModeEntry>,
+}
+
+impl ModeCache {
+    /// An empty cache holding at most `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> ModeCache {
+        ModeCache {
+            capacity: capacity.max(1),
+            stamp: 0,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Probes the cache for `key`, updating recency.
+    pub fn lookup(&mut self, key: u64) -> Option<ModeScheduleExport> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let e = self.entries.iter_mut().find(|e| e.key == key)?;
+        e.stamp = stamp;
+        Some(e.export.clone())
+    }
+
+    /// Inserts (or refreshes) a complete joint solve's result, evicting
+    /// the least recently used entry when over capacity.
+    pub fn insert(&mut self, key: u64, export: ModeScheduleExport) {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        if let Some(e) = self.entries.iter_mut().find(|e| e.key == key) {
+            e.export = export;
+            e.stamp = stamp;
+            return;
+        }
+        self.entries.push(ModeEntry { key, export, stamp });
+        if self.entries.len() > self.capacity {
+            let oldest = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            self.entries.swap_remove(oldest);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,5 +279,30 @@ mod tests {
         c.insert(fp(1, 1, 1), export(8), 8);
         assert_eq!(c.stats().entries, 1);
         assert!(matches!(c.lookup(&fp(1, 1, 1)), Lookup::Exact(e) if e.makespan_us == 8));
+    }
+
+    fn mode_export(prefix: usize) -> ModeScheduleExport {
+        ModeScheduleExport {
+            modes: Vec::new(),
+            shared_prefix_rounds: prefix,
+            optimal: true,
+        }
+    }
+
+    #[test]
+    fn mode_cache_is_exact_only_with_lru_eviction() {
+        let mut c = ModeCache::new(2);
+        assert!(c.lookup(1).is_none());
+        c.insert(1, mode_export(1));
+        c.insert(2, mode_export(2));
+        assert_eq!(c.lookup(1).expect("hit").shared_prefix_rounds, 1);
+        // Entry 2 is now the LRU victim.
+        c.insert(3, mode_export(3));
+        assert!(c.lookup(2).is_none());
+        assert!(c.lookup(1).is_some());
+        assert!(c.lookup(3).is_some());
+        // Reinsert refreshes in place.
+        c.insert(1, mode_export(9));
+        assert_eq!(c.lookup(1).expect("hit").shared_prefix_rounds, 9);
     }
 }

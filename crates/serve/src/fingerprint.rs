@@ -31,6 +31,7 @@
 //! platform.
 
 use netdag_core::config::{Backend, RoundStructure, SchedulerConfig};
+use netdag_core::modes::ModesSpec;
 use netdag_core::spec::{AppSpec, SoftSpec, WeaklyHardSpec};
 
 use crate::protocol::StatSpec;
@@ -228,9 +229,72 @@ pub fn fingerprint(
     }
 }
 
+/// The canonical fingerprint of a `mode_solve` request, as one 64-bit
+/// hash over the whole mode set: the embedded application (declaration
+/// order — a [`ModeScheduleExport`](netdag_core::modes::ModeScheduleExport)
+/// indexes tasks and messages by position, so permuted declarations are
+/// a different cacheable answer), the normalized shared-prefix length,
+/// and every mode in order with its name, activation list, constraint
+/// family (values included) and loss annotation, plus the scheduler
+/// configuration.
+///
+/// Mode sets cache exact-only: there is no declaration/structural tier
+/// like [`fingerprint`] has, because a joint solve's answer is reused
+/// only on a verbatim repeat of the whole set.
+pub fn mode_fingerprint(spec: &ModesSpec, cfg: &SchedulerConfig) -> u64 {
+    let mut h = Fnv::new();
+    h.str("netdag-fp-modes/1");
+    hash_config(&mut h, cfg);
+    hash_app(&mut h, &spec.app, false);
+    // `None` means "share one round", so it hashes like an explicit 1.
+    h.u64(spec.shared_prefix_rounds.unwrap_or(1) as u64);
+    h.u64(spec.modes.len() as u64);
+    for mode in &spec.modes {
+        h.tag(b'm');
+        h.str(&mode.name);
+        match &mode.tasks {
+            Some(tasks) => {
+                h.tag(1);
+                h.u64(tasks.len() as u64);
+                for t in tasks {
+                    h.str(t);
+                }
+            }
+            None => h.tag(0),
+        }
+        if let Some(soft) = &mode.soft {
+            h.tag(b'f');
+            h.f64(soft.fss);
+            h.u64(soft.constraints.len() as u64);
+            for e in &soft.constraints {
+                h.str(&e.task);
+                h.f64(e.probability);
+            }
+        }
+        if let Some(wh) = &mode.weakly_hard {
+            h.tag(b'w');
+            h.u64(wh.constraints.len() as u64);
+            for e in &wh.constraints {
+                h.str(&e.task);
+                h.u64(u64::from(e.m));
+                h.u64(u64::from(e.k));
+            }
+        }
+        match mode.loss {
+            Some(loss) => {
+                h.tag(1);
+                h.f64(loss);
+            }
+            None => h.tag(0),
+        }
+    }
+    h.0
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use netdag_core::modes::{ModeSpec, ModesSpec};
     use netdag_core::spec::{EdgeSpec, TaskSpec, WeaklyHardEntry};
 
     fn app() -> AppSpec {
@@ -294,6 +358,60 @@ mod tests {
         assert_eq!(fa.structural, fb.structural);
         assert_ne!(fa.full, fb.full);
         assert_ne!(fa.declared, fb.declared);
+    }
+
+    fn modes_spec() -> ModesSpec {
+        ModesSpec {
+            app: app(),
+            shared_prefix_rounds: Some(1),
+            modes: vec![
+                ModeSpec {
+                    name: "nominal".into(),
+                    tasks: None,
+                    soft: None,
+                    weakly_hard: Some(wh(10, 40)),
+                    loss: None,
+                },
+                ModeSpec {
+                    name: "degraded".into(),
+                    tasks: None,
+                    soft: None,
+                    weakly_hard: Some(wh(20, 40)),
+                    loss: Some(0.9),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn mode_fingerprint_tracks_every_field() {
+        let cfg = SchedulerConfig::default();
+        let base = mode_fingerprint(&modes_spec(), &cfg);
+        assert_eq!(base, mode_fingerprint(&modes_spec(), &cfg), "stable");
+
+        // `shared_prefix_rounds: None` normalizes to the default 1.
+        let mut defaulted = modes_spec();
+        defaulted.shared_prefix_rounds = None;
+        assert_eq!(base, mode_fingerprint(&defaulted, &cfg));
+
+        let mut bound = modes_spec();
+        bound.modes[1].weakly_hard = Some(wh(21, 40));
+        assert_ne!(base, mode_fingerprint(&bound, &cfg));
+
+        let mut loss = modes_spec();
+        loss.modes[1].loss = Some(0.8);
+        assert_ne!(base, mode_fingerprint(&loss, &cfg));
+
+        let mut swapped = modes_spec();
+        swapped.modes.swap(0, 1);
+        assert_ne!(base, mode_fingerprint(&swapped, &cfg));
+
+        let mut prefix = modes_spec();
+        prefix.shared_prefix_rounds = Some(0);
+        assert_ne!(base, mode_fingerprint(&prefix, &cfg));
+
+        let greedy = SchedulerConfig::greedy();
+        assert_ne!(base, mode_fingerprint(&modes_spec(), &greedy));
     }
 
     #[test]

@@ -17,7 +17,11 @@
 //!   perturbed constraint bounds) warm-starts branch-and-bound by
 //!   injecting the cached makespan as a pruning bound through the trail
 //!   engine — sound and bit-identical to the cold solve (see
-//!   [`netdag_core::control::SolveControl`]).
+//!   [`netdag_core::control::SolveControl`]). Multi-mode `mode_solve`
+//!   requests hash the whole mode set ([`mode_fingerprint`]) into a
+//!   separate exact-only cache and answer with the
+//!   [`ModeScheduleExport`](netdag_core::modes::ModeScheduleExport)
+//!   document `netdag schedule --modes --out` writes.
 //! * **Robust serving semantics** ([`server`]) — a bounded admission
 //!   queue with explicit structured rejection under overload, a
 //!   per-request deadline that pauses the engine and returns the best
@@ -40,7 +44,7 @@ pub mod fingerprint;
 pub mod protocol;
 pub mod server;
 
-pub use cache::{Lookup, SolutionCache};
-pub use fingerprint::{fingerprint, Fingerprint};
+pub use cache::{Lookup, ModeCache, SolutionCache};
+pub use fingerprint::{fingerprint, mode_fingerprint, Fingerprint};
 pub use protocol::{CacheStatsBody, Request, Response, ValidationReport};
 pub use server::{serve, ServeConfig, ServeReport};

@@ -2,12 +2,16 @@
 //!
 //! A client connects over TCP and writes one JSON object per line; the
 //! server answers each line with exactly one JSON [`Response`] line, in
-//! request order per connection. Four operations exist:
+//! request order per connection. Five operations exist:
 //!
 //! * `solve` — schedule an application embedded in the request (the
 //!   same [`AppSpec`] / constraint documents the CLI reads from files);
 //!   the answer carries the same [`ScheduleExport`] document
 //!   `netdag schedule --out` writes.
+//! * `mode_solve` — co-synthesize a multi-mode schedule set from an
+//!   embedded [`ModesSpec`] (the same document `netdag schedule
+//!   --modes` reads); the answer carries the [`ModeScheduleExport`]
+//!   document `--modes --out` writes.
 //! * `validate` — Monte-Carlo validation of an embedded schedule
 //!   against embedded constraints, mirroring `netdag validate`.
 //! * `cache_stats` — a snapshot of the solution cache and queue.
@@ -16,6 +20,7 @@
 //! Absent optional fields deserialize to `None`; the server serializes
 //! unused response fields as `null` (clients should ignore them).
 
+use netdag_core::modes::{ModeScheduleExport, ModesSpec};
 use netdag_core::spec::{AppSpec, ScheduleExport, SoftSpec, WeaklyHardSpec};
 
 /// Status string of an accepted, fully solved request.
@@ -76,12 +81,16 @@ pub struct ConfigSpec {
 /// One request line.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Request {
-    /// `"solve"`, `"validate"`, `"cache_stats"` or `"shutdown"`.
+    /// `"solve"`, `"mode_solve"`, `"validate"`, `"cache_stats"` or
+    /// `"shutdown"`.
     pub op: String,
     /// Client-chosen correlation id, echoed in the response.
     pub id: Option<u64>,
     /// The application (solve / validate).
     pub app: Option<AppSpec>,
+    /// The multi-mode spec (mode_solve only); embeds its own
+    /// application, so `app`/`soft`/`weakly_hard` must be absent.
+    pub modes: Option<ModesSpec>,
     /// Soft constraints (mutually exclusive with `weakly_hard`).
     pub soft: Option<SoftSpec>,
     /// Weakly hard constraints.
@@ -113,6 +122,7 @@ impl Request {
             op: op.to_owned(),
             id: None,
             app: None,
+            modes: None,
             soft: None,
             weakly_hard: None,
             stat: None,
@@ -169,6 +179,8 @@ pub struct Response {
     pub reason: Option<String>,
     /// The schedule document (solve).
     pub result: Option<ScheduleExport>,
+    /// The multi-mode schedule document (mode_solve).
+    pub mode_result: Option<ModeScheduleExport>,
     /// `false` when the solve was truncated by its deadline.
     pub complete: Option<bool>,
     /// `true` when the answer came from the solution cache verbatim.
@@ -191,6 +203,7 @@ impl Response {
             status: status.to_owned(),
             reason: None,
             result: None,
+            mode_result: None,
             complete: None,
             cached: None,
             warm_started: None,
@@ -242,6 +255,18 @@ mod tests {
         let line = serde_json::to_string(&e).unwrap();
         let back: Response = serde_json::from_str(&line).unwrap();
         assert_eq!(back, e);
+    }
+
+    #[test]
+    fn mode_solve_request_roundtrip() {
+        let json = r#"{"op":"mode_solve","id":3,
+            "modes":{"app":{"tasks":[],"edges":[]},"modes":[]}}"#;
+        let req: Request = serde_json::from_str(json).unwrap();
+        assert_eq!(req.op, "mode_solve");
+        assert!(req.modes.is_some());
+        assert!(req.app.is_none());
+        let back: Request = serde_json::from_str(&serde_json::to_string(&req).unwrap()).unwrap();
+        assert_eq!(back, req);
     }
 
     #[test]

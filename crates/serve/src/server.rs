@@ -42,8 +42,9 @@ use std::time::{Duration, Instant};
 use netdag_core::config::{Backend, RoundStructure, ScheduleError, SchedulerConfig};
 use netdag_core::constraints::{Deadlines, WeaklyHardConstraints};
 use netdag_core::control::{ControlledOutcome, SolveControl};
+use netdag_core::modes::schedule_modes;
 use netdag_core::soft::{presolve_soft, schedule_soft_controlled};
-use netdag_core::spec::ScheduleExport;
+use netdag_core::spec::{ScheduleExport, SoftSpec};
 use netdag_core::stat::{Eq13Statistic, Eq15Statistic};
 use netdag_core::weakly_hard::{presolve_weakly_hard, schedule_weakly_hard_controlled};
 use netdag_obs::{counter, keys};
@@ -51,8 +52,8 @@ use netdag_runtime::{run_indexed, ExecPolicy};
 use netdag_validation::soft::validate_soft_par;
 use netdag_validation::weakly_hard::validate_weakly_hard_par;
 
-use crate::cache::{Lookup, SolutionCache};
-use crate::fingerprint::fingerprint;
+use crate::cache::{Lookup, ModeCache, SolutionCache};
+use crate::fingerprint::{fingerprint, mode_fingerprint};
 use crate::protocol::{
     Request, Response, StatSpec, ValidationReport, REASON_QUEUE_FULL, REASON_SHUTTING_DOWN,
     STATUS_INCOMPLETE, STATUS_INFEASIBLE, STATUS_OK,
@@ -147,6 +148,7 @@ struct Shared {
     requests: AtomicU64,
     rejected: AtomicU64,
     cache: Mutex<SolutionCache>,
+    mode_cache: Mutex<ModeCache>,
 }
 
 /// Runs the daemon on an already-bound listener until a client sends a
@@ -170,6 +172,7 @@ pub fn serve(listener: TcpListener, cfg: &ServeConfig) -> std::io::Result<ServeR
         requests: AtomicU64::new(0),
         rejected: AtomicU64::new(0),
         cache: Mutex::new(SolutionCache::new(cfg.cache_capacity)),
+        mode_cache: Mutex::new(ModeCache::new(cfg.cache_capacity)),
     };
     let workers = cfg.workers.max(1);
     std::thread::scope(|scope| {
@@ -288,6 +291,15 @@ fn process_line(shared: &Shared, line: &str) -> Response {
             }
             admit(shared, req)
         }
+        "mode_solve" => {
+            // Same pre-admission screen, run once per mode: a mode set
+            // with one provably over-constrained member is rejected with
+            // a mode-labeled witness before occupying a queue slot.
+            if let Some(resp) = presolve_reject_modes(&req) {
+                return resp;
+            }
+            admit(shared, req)
+        }
         "validate" => admit(shared, req),
         other => {
             counter!(keys::SERVE_ERRORS).incr();
@@ -343,7 +355,10 @@ fn presolve_reject(req: &Request) -> Option<Response> {
     };
     match result {
         Err(ScheduleError::InfeasibleTiming(e)) => {
-            netdag_trace::instant("serve.presolve_reject", &[("id", req.id.unwrap_or(0).into())]);
+            netdag_trace::instant(
+                "serve.presolve_reject",
+                &[("id", req.id.unwrap_or(0).into())],
+            );
             let fp = fingerprint(
                 app_spec,
                 req.soft.as_ref(),
@@ -358,6 +373,62 @@ fn presolve_reject(req: &Request) -> Option<Response> {
         }
         _ => None,
     }
+}
+
+/// Runs the CPM timing presolve once per mode of a `mode_solve`
+/// request, on the connection thread. `Some(response)` means one mode's
+/// timing subsystem is provably infeasible — the response names that
+/// mode in its reason — and the request never occupies a queue slot.
+/// `None` admits normally; malformed mode sets are reported by the
+/// worker path with its usual diagnostics.
+fn presolve_reject_modes(req: &Request) -> Option<Response> {
+    let spec = req.modes.as_ref()?;
+    let cfg = config_from(req);
+    if !cfg.lower_bound || cfg.backend == Backend::Greedy {
+        return None;
+    }
+    let (app, names) = spec.app.build().ok()?;
+    for mode in &spec.modes {
+        let result = match (&mode.soft, &mode.weakly_hard) {
+            (Some(soft), None) => {
+                let f = SoftSpec {
+                    constraints: soft.constraints.clone(),
+                }
+                .build(&names)
+                .ok()?;
+                presolve_soft(
+                    &app,
+                    &Eq15Statistic::new(soft.fss, cfg.chi_max),
+                    &f,
+                    &Deadlines::new(),
+                    &cfg,
+                )
+            }
+            (None, Some(wh)) => {
+                let f = wh.build(&names).ok()?;
+                presolve_weakly_hard(
+                    &app,
+                    &Eq13Statistic::new(cfg.chi_max),
+                    &f,
+                    &Deadlines::new(),
+                    &cfg,
+                )
+            }
+            // Invalid constraint mix: let the worker report it.
+            _ => return None,
+        };
+        if let Err(ScheduleError::InfeasibleTiming(e)) = result {
+            netdag_trace::instant(
+                "serve.presolve_reject",
+                &[("id", req.id.unwrap_or(0).into())],
+            );
+            let mut resp = Response::status(req.id, STATUS_INFEASIBLE);
+            resp.reason = Some(format!("mode '{}': timing presolve: {e}", mode.name));
+            resp.fingerprint = Some(format!("{:016x}", mode_fingerprint(spec, &cfg)));
+            return Some(resp);
+        }
+    }
+    None
 }
 
 fn admit(shared: &Shared, req: Request) -> Response {
@@ -419,6 +490,7 @@ fn worker_loop(shared: &Shared) {
             );
             match job.req.op.as_str() {
                 "solve" => handle_solve(shared, &job.req),
+                "mode_solve" => handle_mode_solve(shared, &job.req),
                 _ => handle_validate(&job.req),
             }
         };
@@ -641,6 +713,82 @@ fn handle_solve(shared: &Shared, req: &Request) -> Response {
             );
             resp.complete = Some(false);
             resp.fingerprint = Some(fp.hex());
+            resp
+        }
+        Err(e) => {
+            counter!(keys::SERVE_ERRORS).incr();
+            Response::error(id, &format!("scheduling failed: {e}"))
+        }
+    }
+}
+
+/// Solves a `mode_solve` request: probe the exact-only mode cache, then
+/// run the joint multi-mode co-synthesis ([`schedule_modes`]). The
+/// answer is the same [`netdag_core::modes::ModeScheduleExport`]
+/// document `netdag schedule --modes --out` writes.
+fn handle_mode_solve(shared: &Shared, req: &Request) -> Response {
+    let id = req.id;
+    let Some(spec) = req.modes.as_ref() else {
+        counter!(keys::SERVE_ERRORS).incr();
+        return Response::error(id, "mode_solve needs a \"modes\" spec");
+    };
+    if req.app.is_some() || req.soft.is_some() || req.weakly_hard.is_some() {
+        counter!(keys::SERVE_ERRORS).incr();
+        return Response::error(
+            id,
+            "mode_solve embeds its application and constraints in \"modes\"; \
+             \"app\"/\"soft\"/\"weakly_hard\" must be absent",
+        );
+    }
+    let cfg = config_from(req);
+    let key = mode_fingerprint(spec, &cfg);
+    let hex = format!("{key:016x}");
+    if let Some(export) = shared
+        .mode_cache
+        .lock()
+        .expect("mode cache lock")
+        .lookup(key)
+    {
+        counter!(keys::SERVE_CACHE_HITS).incr();
+        netdag_trace::instant("serve.cache_hit", &[("fingerprint", hex.clone().into())]);
+        let mut resp = Response::status(id, STATUS_OK);
+        resp.mode_result = Some(export);
+        resp.complete = Some(true);
+        resp.cached = Some(true);
+        resp.warm_started = Some(false);
+        resp.fingerprint = Some(hex);
+        return resp;
+    }
+    counter!(keys::SERVE_CACHE_MISSES).incr();
+    match schedule_modes(spec, &cfg) {
+        Ok(outcome) => {
+            let export = outcome.export();
+            shared
+                .mode_cache
+                .lock()
+                .expect("mode cache lock")
+                .insert(key, export.clone());
+            let mut resp = Response::status(id, STATUS_OK);
+            resp.mode_result = Some(export);
+            resp.complete = Some(true);
+            resp.cached = Some(false);
+            resp.warm_started = Some(false);
+            resp.fingerprint = Some(hex);
+            resp
+        }
+        Err(ScheduleError::Infeasible | ScheduleError::InfeasibleReliability(_)) => {
+            let mut resp = Response::status(id, STATUS_INFEASIBLE);
+            resp.reason =
+                Some("no χ assignment within chi-max meets every mode's constraints".to_owned());
+            resp.fingerprint = Some(hex);
+            resp
+        }
+        // Normally caught pre-admission; kept as the worker-path answer
+        // for configurations the connection-thread check skips.
+        Err(ScheduleError::InfeasibleTiming(e)) => {
+            let mut resp = Response::status(id, STATUS_INFEASIBLE);
+            resp.reason = Some(format!("timing presolve: {e}"));
+            resp.fingerprint = Some(hex);
             resp
         }
         Err(e) => {

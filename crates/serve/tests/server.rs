@@ -7,6 +7,7 @@ use std::net::{TcpListener, TcpStream};
 use std::sync::mpsc;
 use std::time::Duration;
 
+use netdag_core::modes::{ModeSpec, ModesSpec, SoftModeSpec};
 use netdag_core::spec::{
     AppSpec, EdgeSpec, SoftEntry, SoftSpec, TaskSpec, WeaklyHardEntry, WeaklyHardSpec,
 };
@@ -207,6 +208,106 @@ fn solve_cache_and_warm_start_flow() {
     assert_eq!(report.warm_starts, 2);
     assert_eq!(report.cache_misses, 1);
     assert_eq!(report.rejected, 0);
+}
+
+fn wh_mode(name: &str, m: u32, k: u32, loss: Option<f64>) -> ModeSpec {
+    ModeSpec {
+        name: name.into(),
+        tasks: None,
+        soft: None,
+        weakly_hard: Some(wh_spec(m, k)),
+        loss,
+    }
+}
+
+fn mode_request(id: u64, spec: ModesSpec) -> Request {
+    let mut req = Request::op("mode_solve");
+    req.id = Some(id);
+    req.modes = Some(spec);
+    req
+}
+
+/// `mode_solve` end to end: cold joint solve, verbatim repeat from the
+/// exact-only mode cache, worker-path infeasibility, and the per-mode
+/// connection-thread presolve rejection with a mode-labeled witness.
+#[test]
+fn mode_solve_flow_and_cache() {
+    let (addr, report_rx) = start_server(ServeConfig::default());
+    let mut c = Client::connect(addr);
+
+    let spec = ModesSpec {
+        app: pipeline_app(),
+        shared_prefix_rounds: Some(1),
+        modes: vec![
+            wh_mode("nominal", 10, 40, None),
+            wh_mode("degraded", 20, 40, Some(0.9)),
+        ],
+    };
+
+    // Cold joint solve.
+    let r1 = c.send(&mode_request(1, spec.clone()));
+    assert_eq!(r1.status, STATUS_OK, "{:?}", r1.reason);
+    assert_eq!(r1.cached, Some(false));
+    let export1 = r1.mode_result.expect("mode schedules");
+    assert_eq!(export1.modes.len(), 2);
+    assert_eq!(export1.shared_prefix_rounds, 1);
+    assert_eq!(export1.modes[0].name, "nominal");
+    let fp1 = r1.fingerprint.expect("fingerprint");
+
+    // Verbatim repeat: exact mode-cache hit, identical document.
+    let r2 = c.send(&mode_request(2, spec.clone()));
+    assert_eq!(r2.status, STATUS_OK);
+    assert_eq!(r2.cached, Some(true));
+    assert_eq!(r2.fingerprint.as_deref(), Some(fp1.as_str()));
+    assert_eq!(r2.mode_result.expect("mode schedules"), export1);
+
+    // A perturbed bound is a different mode set: solved cold again.
+    let mut perturbed = spec.clone();
+    perturbed.modes[1].weakly_hard = Some(wh_spec(21, 40));
+    let r3 = c.send(&mode_request(3, perturbed));
+    assert_eq!(r3.status, STATUS_OK);
+    assert_eq!(r3.cached, Some(false));
+    assert_ne!(r3.fingerprint.as_deref(), Some(fp1.as_str()));
+
+    // The mode cache never touches the single-solve cache stats the
+    // `cache_stats` operation reports.
+    let stats = c.send(&Request::op("cache_stats"));
+    let body = stats.cache.expect("cache body");
+    assert_eq!((body.hits, body.misses, body.entries), (0, 0, 0));
+
+    // Missing spec and reliability-infeasible mode sets are structured
+    // answers from the worker path.
+    let empty = c.send(&Request::op("mode_solve"));
+    assert_eq!(empty.status, STATUS_ERROR);
+    let mut infeasible = spec.clone();
+    infeasible.modes[0].weakly_hard = Some(wh_spec(1, 10));
+    let ri = c.send(&mode_request(4, infeasible));
+    assert_eq!(ri.status, STATUS_INFEASIBLE);
+
+    // A mode whose timing subsystem is provably over-constrained is
+    // rejected pre-admission, naming the offending mode.
+    let mut doomed = spec;
+    doomed.modes[1] = ModeSpec {
+        name: "degraded".into(),
+        tasks: None,
+        soft: Some(SoftModeSpec {
+            fss: 0.3,
+            constraints: vec![SoftEntry {
+                task: "act".into(),
+                probability: 0.99,
+            }],
+        }),
+        weakly_hard: None,
+        loss: None,
+    };
+    let rd = c.send(&mode_request(5, doomed));
+    assert_eq!(rd.status, STATUS_INFEASIBLE, "{:?}", rd.reason);
+    let reason = rd.reason.expect("named explanation");
+    assert!(reason.contains("mode 'degraded'"), "{reason}");
+    assert!(reason.contains("timing presolve"), "{reason}");
+
+    c.send(&Request::op("shutdown"));
+    let _ = report_rx.recv_timeout(Duration::from_secs(30));
 }
 
 #[test]

@@ -323,9 +323,7 @@ impl Relaxation {
                     forward: self.path(0, v),
                     backward: self.path(v, 0),
                 };
-                let cites = |steps: &[PresolveStep]| {
-                    steps.iter().any(|s| s.kind != "domain")
-                };
+                let cites = |steps: &[PresolveStep]| steps.iter().any(|s| s.kind != "domain");
                 if cites(&witness.forward) && cites(&witness.backward) {
                     return Some(witness);
                 }

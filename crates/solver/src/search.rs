@@ -221,6 +221,62 @@ impl Solution {
     }
 }
 
+/// Per-mode objective values of a multi-mode solve.
+///
+/// A joint multi-mode model minimizes the *sum* of the per-mode
+/// makespans, so the single `best` objective hides how the optimum is
+/// split across modes. The scheduler records the split here after
+/// extracting the joint solution. Fixed-capacity ([`Self::MAX_MODES`])
+/// so [`SearchStats`] stays `Copy`; single-mode searches leave it empty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ModeObjectives {
+    values: [i64; Self::MAX_MODES],
+    len: u8,
+}
+
+impl ModeObjectives {
+    /// Capacity bound: joint models may carry at most this many modes.
+    pub const MAX_MODES: usize = 8;
+
+    /// Appends one mode's objective value. Returns `false` (and records
+    /// nothing) once [`Self::MAX_MODES`] values are held.
+    pub fn push(&mut self, value: i64) -> bool {
+        if (self.len as usize) < Self::MAX_MODES {
+            self.values[self.len as usize] = value;
+            self.len += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of recorded modes.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether no mode objectives were recorded (every single-mode
+    /// search).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The `i`-th mode's objective value, if recorded.
+    pub fn get(&self, i: usize) -> Option<i64> {
+        self.as_slice().get(i).copied()
+    }
+
+    /// The recorded objective values, in mode declaration order.
+    pub fn as_slice(&self) -> &[i64] {
+        &self.values[..self.len as usize]
+    }
+
+    /// Iterates over the recorded objective values.
+    pub fn iter(&self) -> impl Iterator<Item = i64> + '_ {
+        self.as_slice().iter().copied()
+    }
+}
+
 /// Statistics gathered during search.
 ///
 /// Every completed search also publishes these totals to the global
@@ -256,6 +312,10 @@ pub struct SearchStats {
     /// portfolio race ([`Model::minimize_portfolio`]); `None` for
     /// single-engine searches or when no solution was found.
     pub portfolio_winner: Option<u32>,
+    /// Per-mode objective split of a joint multi-mode solve; empty for
+    /// single-mode searches. Filled by the scheduler after extraction,
+    /// not by the engine itself.
+    pub mode_objectives: ModeObjectives,
     /// Whether the search space was exhausted (optimum proven for
     /// minimization, infeasibility proven when no solution).
     pub proven_optimal: bool,
@@ -371,8 +431,7 @@ impl<'a> Engine<'a> {
         };
         let relax = (cfg.lower_bound && objective.is_some()).then(|| {
             let relax = crate::relax::Relaxation::build(model, objective);
-            netdag_obs::counter!(netdag_obs::keys::SOLVER_LB_TIGHTENINGS)
-                .add(relax.tightenings());
+            netdag_obs::counter!(netdag_obs::keys::SOLVER_LB_TIGHTENINGS).add(relax.tightenings());
             relax
         });
         Engine {

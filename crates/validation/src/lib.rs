@@ -11,7 +11,10 @@
 //!   `ω_τ ⊢ F_WH(τ)`;
 //! * [`full_stack`] — no statistic at all: replay the schedule over the
 //!   actual [`netdag_lwb`] bus and [`netdag_glossy`] floods and check the
-//!   observed task traces.
+//!   observed task traces;
+//! * [`modes`] — multi-mode deployments: splice per-mode simulations at a
+//!   runtime mode switch and check that soft and weakly hard guarantees
+//!   hold on windows *spanning* the switch, not just within each mode.
 //!
 //! # Example
 //!
@@ -43,9 +46,14 @@
 #![warn(missing_docs)]
 
 pub mod full_stack;
+pub mod modes;
 pub mod soft;
 pub mod weakly_hard;
 
 pub use full_stack::{validate_on_bus, BusReport};
+pub use modes::{
+    cross_requirement, validate_soft_switch, validate_weakly_hard_switch, SoftSwitchReport,
+    WeaklyHardSwitchReport,
+};
 pub use soft::{hoeffding_margin, validate_soft, validate_soft_par, SoftReport};
 pub use weakly_hard::{validate_weakly_hard, validate_weakly_hard_par, WeaklyHardReport};

@@ -1,0 +1,82 @@
+//! Property tests for cross-mode-switch validation: windows spanning the
+//! switch are judged soundly and tightly.
+
+use netdag_validation::cross_requirement;
+use netdag_weakly_hard::{Constraint, Sequence};
+use proptest::prelude::*;
+
+fn splice(a: &Sequence, b: &Sequence) -> Sequence {
+    let mut s = a.clone();
+    s.extend_from(b);
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Soundness: whenever each half models its own mode's requirement,
+    /// the splice models the cross requirement — no window spanning the
+    /// switch can violate it, wherever the boundary falls.
+    #[test]
+    fn cross_requirement_is_sound_across_the_splice(
+        ka in 1u32..7, ma in 0u32..7,
+        kb in 1u32..7, mb in 0u32..7,
+        bits_a in proptest::collection::vec(any::<bool>(), 0..20),
+        bits_b in proptest::collection::vec(any::<bool>(), 0..20),
+    ) {
+        let from = Constraint::any_hit(ma.min(ka), ka).expect("valid");
+        let to = Constraint::any_hit(mb.min(kb), kb).expect("valid");
+        let a: Sequence = bits_a.into_iter().collect();
+        let b: Sequence = bits_b.into_iter().collect();
+        // Only halves long enough to contain a complete window carry the
+        // containment argument the cross bound is derived from.
+        if a.len() < ka as usize || b.len() < kb as usize {
+            return Ok(());
+        }
+        if !(from.models(&a) && to.models(&b)) {
+            return Ok(());
+        }
+        let cross = cross_requirement(from, to).expect("any-hit pair");
+        prop_assert!(
+            cross.models(&splice(&a, &b)),
+            "cross {} violated by {}|{}", cross, a, b
+        );
+    }
+
+    /// Tightness: the worst legal switch — one mode spends its whole miss
+    /// budget at the end, the next spends its whole budget at the start —
+    /// meets the cross requirement exactly, and any stronger demand on the
+    /// spanning window is (correctly) rejected.
+    #[test]
+    fn cross_requirement_is_tight_at_the_boundary(
+        ka in 2u32..8, miss_a in 1u32..4,
+        kb in 2u32..8, miss_b in 1u32..4,
+    ) {
+        if miss_a >= ka || miss_b >= kb {
+            return Ok(());
+        }
+        let from = Constraint::any_hit(ka - miss_a, ka).expect("valid");
+        let to = Constraint::any_hit(kb - miss_b, kb).expect("valid");
+        // Halves of length 2K: hits everywhere except the budgeted misses
+        // hugging the switch from both sides.
+        let a: Sequence = (0..2 * ka)
+            .map(|i| i < 2 * ka - miss_a)
+            .collect();
+        let b: Sequence = (0..2 * kb).map(|i| i >= miss_b).collect();
+        prop_assert!(from.models(&a));
+        prop_assert!(to.models(&b));
+        let cross = cross_requirement(from, to).expect("any-hit pair");
+        let spliced = splice(&a, &b);
+        prop_assert!(cross.models(&spliced), "cross {} vs {}", cross, spliced);
+        // One extra demanded hit makes the spanning window fail — the
+        // validator really is looking at windows across the boundary.
+        let k = ka.min(kb);
+        if miss_a + miss_b < k {
+            let stricter = Constraint::any_hit(k - miss_a - miss_b + 1, k).expect("valid");
+            prop_assert!(
+                !stricter.models(&spliced),
+                "stricter {} should fail on {}", stricter, spliced
+            );
+        }
+    }
+}
