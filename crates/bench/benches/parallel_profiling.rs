@@ -167,6 +167,7 @@ fn bench_parallel_profiling(c: &mut Criterion) {
         netdag_obs::keys::ALL_COUNTERS,
         netdag_obs::keys::ALL_SPANS,
         netdag_obs::keys::ALL_HISTOGRAMS,
+        netdag_obs::keys::ALL_GAUGES,
     );
     let obs_baseline = recorder.snapshot();
 

@@ -4,7 +4,9 @@
 //! deterministic request mix — a fixed pool of problems seeded once,
 //! then a multi-connection load phase sampling that pool round-robin —
 //! and writes a `BENCH_serve.json` summary (throughput, p50/p99
-//! request latency, cache hit rate, rejections) to the workspace root.
+//! request latency, cache hit rate, rejections, the daemon's own
+//! rolling windows fetched via the `metrics` operation, and the
+//! shutdown SLO verdict) to the workspace root.
 //!
 //! Set `NETDAG_BENCH_FAST=1` for the CI smoke mode: a reduced request
 //! count and single-shot criterion sampling.
@@ -15,7 +17,8 @@ use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use netdag_serve::protocol::{Request, Response, STATUS_OK};
+use netdag_obs::{SloGate, SloReport};
+use netdag_serve::protocol::{Request, Response, RollingStats, STATUS_OK};
 use netdag_serve::{serve, ServeConfig, ServeReport};
 
 fn fast_mode() -> bool {
@@ -98,6 +101,15 @@ fn start_server() -> (
         queue_capacity: 64,
         cache_capacity: 64,
         step_nodes: 4096,
+        // The in-bench gate: generous latency ceiling (loopback TCP on
+        // shared CI runners), but a steady-state load must be at least
+        // half cache-served and never lose a request to a deadline.
+        slo: SloGate {
+            max_p99_us: Some(2_000_000),
+            min_hit_rate: Some(0.5),
+            max_deadline_expired: Some(0),
+        },
+        ..ServeConfig::default()
     };
     let handle = std::thread::spawn(move || serve(listener, &cfg));
     (addr, handle)
@@ -111,6 +123,11 @@ struct LoadSummary {
     misses: u64,
     warm_starts: u64,
     rejected: u64,
+    /// The daemon's own rolling windows, fetched via the `metrics`
+    /// operation just before shutdown.
+    rolling: Vec<RollingStats>,
+    /// The shutdown SLO verdict from the daemon's configured gate.
+    slo: SloReport,
 }
 
 impl LoadSummary {
@@ -171,6 +188,9 @@ fn run_load(fast: bool) -> LoadSummary {
 
     let stats = seeder.send(&Request::op("cache_stats"));
     let body = stats.cache.expect("cache stats");
+    // The daemon's own view of the run, from its rolling windows.
+    let metrics = seeder.send(&Request::op("metrics"));
+    let rolling = metrics.metrics.expect("metrics body").rolling;
     let bye = seeder.send(&Request::op("shutdown"));
     assert_eq!(bye.status, STATUS_OK);
     let report = server
@@ -186,17 +206,26 @@ fn run_load(fast: bool) -> LoadSummary {
         misses: body.misses,
         warm_starts: body.warm_starts,
         rejected: report.rejected,
+        rolling,
+        slo: report.slo.expect("gate was configured"),
     }
 }
 
 fn write_summary(s: &LoadSummary, fast: bool) {
+    let rolling = s
+        .rolling
+        .iter()
+        .map(|r| format!("    {}", serde_json::to_string(r).expect("serialize")))
+        .collect::<Vec<_>>()
+        .join(",\n");
     let json = format!(
         "{{\n  \"bench\": \"serve_load\",\n  \"fast\": {fast},\n  \
          \"requests\": {},\n  \"wall_s\": {:.6},\n  \
          \"throughput_rps\": {:.0},\n  \"latency_p50_us\": {},\n  \
          \"latency_p99_us\": {},\n  \"cache\": {{\n    \"hits\": {},\n    \
          \"misses\": {},\n    \"warm_starts\": {},\n    \
-         \"hit_rate\": {:.4}\n  }},\n  \"rejected\": {}\n}}\n",
+         \"hit_rate\": {:.4}\n  }},\n  \"rejected\": {},\n  \
+         \"rolling\": [\n{rolling}\n  ],\n  \"slo\": {}\n}}\n",
         s.requests,
         s.wall_s,
         s.requests as f64 / s.wall_s.max(1e-9),
@@ -207,6 +236,7 @@ fn write_summary(s: &LoadSummary, fast: bool) {
         s.warm_starts,
         s.hit_rate(),
         s.rejected,
+        s.slo.to_json(),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
     if let Err(e) = std::fs::write(path, &json) {
@@ -223,6 +253,11 @@ fn bench_serve(c: &mut Criterion) {
         "steady-state load must be answered from cache"
     );
     assert_eq!(summary.rejected, 0, "load stayed within the queue bound");
+    assert!(
+        summary.slo.passed(),
+        "the serve SLO gate failed:\n{}",
+        summary.slo.summary()
+    );
     write_summary(&summary, fast);
 
     // Criterion view: round-trip latency of one cache-served request.

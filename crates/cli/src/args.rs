@@ -109,6 +109,17 @@ pub struct ServeOpts {
     /// Where to write the bound port as text (for scripts binding
     /// port 0).
     pub port_file: Option<PathBuf>,
+    /// Structured JSON access log: one line per worker-handled request.
+    pub access_log: Option<PathBuf>,
+    /// Rewrite the `--metrics` file (atomically) every this many
+    /// completed requests, 0 = only at shutdown. Requires `--metrics`.
+    pub metrics_interval: u64,
+    /// SLO gate: rolling p99 latency ceiling (µs) checked at shutdown.
+    pub slo_p99_us: Option<u64>,
+    /// SLO gate: minimum cache hit rate over all lookups.
+    pub slo_hit_rate: Option<f64>,
+    /// SLO gate: maximum tolerated deadline-expired solves.
+    pub slo_max_deadline_expired: Option<u64>,
     /// Where to write the metrics report JSON (`netdag-obs/1` schema).
     pub metrics: Option<PathBuf>,
     /// Where to write the Chrome Trace Event JSON.
@@ -250,6 +261,14 @@ USAGE:
                                              rejected, not queued)
                   [--cache N]     (solution-cache entries, LRU)
                   [--step-nodes N] [--port-file <p.txt>]
+                  [--access-log <log.ndjson>] (one structured JSON line
+                                               per handled request)
+                  [--metrics-interval N] (rewrite --metrics atomically
+                                          every N completed requests)
+                  [--slo-p99-us N] [--slo-hit-rate F]
+                  [--slo-max-deadline-expired N]
+                                  (shutdown-time SLO gate; a violated
+                                   check fails the command)
                   [--metrics <m.json>] [--trace <t.json>]
   netdag trace    --app <app.json> --schedule <schedule.json> --out <t.json>
   netdag trace    --check <t.json>
@@ -285,11 +304,18 @@ with `--modes`; `--greedy` is rejected (co-synthesis needs the exact
 backend's coupled search).
 
 `netdag serve` answers newline-delimited JSON requests over TCP
-(solve / validate / mode_solve / cache_stats / shutdown) with the same
-schedule document `netdag schedule --out` writes; repeated problems hit
-a fingerprint-keyed solution cache and structurally similar ones
-warm-start the solver. It runs until a client sends
-{\"op\": \"shutdown\"}, draining accepted work first.
+(solve / validate / mode_solve / cache_stats / metrics / health /
+shutdown) with the same schedule document `netdag schedule --out`
+writes; repeated problems hit a fingerprint-keyed solution cache and
+structurally similar ones warm-start the solver. It runs until a client
+sends {\"op\": \"shutdown\"}, draining accepted work first. The two
+read-only probes report live telemetry — `metrics` embeds the current
+netdag-obs/1 snapshot plus rolling p50/p90/p99 windows over recent
+traffic, `health` liveness and queue pressure — without perturbing any
+counter. With `--access-log` every worker-handled request appends one
+structured JSON line whose `rid` also tags the request's trace span;
+with `--slo-*` flags the shutdown report gains a pass/fail check per
+threshold and a violation makes the command exit non-zero.
 
 Every subcommand accepts --metrics <path>, writing a machine-readable
 JSON report (schema netdag-obs/1: solver/cache/flood counters plus wall
@@ -508,6 +534,11 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                 cache: 64,
                 step_nodes: 4096,
                 port_file: None,
+                access_log: None,
+                metrics_interval: 0,
+                slo_p99_us: None,
+                slo_hit_rate: None,
+                slo_max_deadline_expired: None,
                 metrics: None,
                 trace: None,
             };
@@ -525,8 +556,23 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                     "--port-file" => {
                         opts.port_file = Some(PathBuf::from(cur.value("--port-file")?))
                     }
+                    "--access-log" => {
+                        opts.access_log = Some(PathBuf::from(cur.value("--access-log")?))
+                    }
+                    "--metrics-interval" => {
+                        opts.metrics_interval = cur.parsed("--metrics-interval")?
+                    }
+                    "--slo-p99-us" => opts.slo_p99_us = Some(cur.parsed("--slo-p99-us")?),
+                    "--slo-hit-rate" => opts.slo_hit_rate = Some(cur.parsed("--slo-hit-rate")?),
+                    "--slo-max-deadline-expired" => {
+                        opts.slo_max_deadline_expired =
+                            Some(cur.parsed("--slo-max-deadline-expired")?)
+                    }
                     other => return Err(ParseArgsError::UnknownFlag(other.to_owned())),
                 }
+            }
+            if opts.metrics_interval > 0 && opts.metrics.is_none() {
+                return Err(ParseArgsError::MissingFlag("metrics"));
             }
             Ok(Command::Serve(opts))
         }
@@ -797,9 +843,17 @@ mod tests {
         assert_eq!((d.workers, d.queue, d.cache), (2, 16, 64));
         assert_eq!(d.step_nodes, 4096);
         assert_eq!(d.port_file, None);
+        assert_eq!(d.access_log, None);
+        assert_eq!(d.metrics_interval, 0);
+        assert_eq!(
+            (d.slo_p99_us, d.slo_hit_rate, d.slo_max_deadline_expired),
+            (None, None, None)
+        );
         let Command::Serve(o) = parse(
             "serve --host 0.0.0.0 --port 9000 --workers 4 --queue 8 --cache 32 \
-             --step-nodes 1024 --port-file p.txt --metrics m.json --trace t.json",
+             --step-nodes 1024 --port-file p.txt --access-log a.ndjson \
+             --metrics-interval 50 --slo-p99-us 250000 --slo-hit-rate 0.5 \
+             --slo-max-deadline-expired 0 --metrics m.json --trace t.json",
         )
         .unwrap() else {
             panic!("wrong command");
@@ -809,12 +863,23 @@ mod tests {
         assert_eq!((o.workers, o.queue, o.cache), (4, 8, 32));
         assert_eq!(o.step_nodes, 1024);
         assert_eq!(o.port_file, Some(PathBuf::from("p.txt")));
+        assert_eq!(o.access_log, Some(PathBuf::from("a.ndjson")));
+        assert_eq!(o.metrics_interval, 50);
+        assert_eq!(o.slo_p99_us, Some(250_000));
+        assert_eq!(o.slo_hit_rate, Some(0.5));
+        assert_eq!(o.slo_max_deadline_expired, Some(0));
         assert_eq!(o.metrics, Some(PathBuf::from("m.json")));
         assert_eq!(o.trace, Some(PathBuf::from("t.json")));
         assert!(matches!(
             parse("serve --bogus").unwrap_err(),
             ParseArgsError::UnknownFlag(_)
         ));
+        // The interval writer rewrites the --metrics file; without a
+        // target it is a misconfiguration, not a silent no-op.
+        assert_eq!(
+            parse("serve --metrics-interval 10").unwrap_err(),
+            ParseArgsError::MissingFlag("metrics")
+        );
     }
 
     #[test]

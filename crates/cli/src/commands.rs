@@ -125,7 +125,12 @@ fn push_summary(output: &mut Output, note: String) {
 /// reported through [`Output::success`], not as errors.
 pub fn run(command: &Command) -> Result<Output, CliError> {
     let recorder = netdag_obs::global();
-    recorder.preregister(keys::ALL_COUNTERS, keys::ALL_SPANS, keys::ALL_HISTOGRAMS);
+    recorder.preregister(
+        keys::ALL_COUNTERS,
+        keys::ALL_SPANS,
+        keys::ALL_HISTOGRAMS,
+        keys::ALL_GAUGES,
+    );
     // Each subcommand declares its shared reporting flags once, in
     // `Command::reporting`; only the wall-time span key stays here.
     let (metrics_path, trace_path) = command.reporting();
@@ -248,19 +253,40 @@ fn serve_daemon(opts: &ServeOpts) -> Result<Output, CliError> {
         queue_capacity: opts.queue,
         cache_capacity: opts.cache,
         step_nodes: opts.step_nodes,
+        access_log: opts.access_log.clone(),
+        metrics_path: opts.metrics.clone(),
+        metrics_interval: opts.metrics_interval,
+        slo: netdag_obs::SloGate {
+            max_p99_us: opts.slo_p99_us,
+            min_hit_rate: opts.slo_hit_rate,
+            max_deadline_expired: opts.slo_max_deadline_expired,
+        },
+        ..netdag_serve::ServeConfig::default()
     };
     let report =
         netdag_serve::serve(listener, &cfg).map_err(|e| CliError::Io(addr.to_string(), e))?;
+    let mut text = format!(
+        "served {} requests ({} rejected, {} cache hits, {} warm starts, {} cold solves, \
+         {} deadline expiries)\n",
+        report.requests,
+        report.rejected,
+        report.cache_hits,
+        report.warm_starts,
+        report.cache_misses,
+        report.deadline_expired
+    );
+    // A configured SLO gate turns the shutdown report into a verdict:
+    // one line per check, and any violation fails the command.
+    let success = match report.slo.as_ref() {
+        Some(slo) => {
+            text.push_str(&slo.summary());
+            slo.passed()
+        }
+        None => true,
+    };
     Ok(Output {
-        text: format!(
-            "served {} requests ({} rejected, {} cache hits, {} warm starts, {} cold solves)\n",
-            report.requests,
-            report.rejected,
-            report.cache_hits,
-            report.warm_starts,
-            report.cache_misses
-        ),
-        success: true,
+        text,
+        success,
         summary: None,
     })
 }

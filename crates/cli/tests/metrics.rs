@@ -193,7 +193,23 @@ fn schedule_metrics_report_solver_work_and_match_golden_schema() {
     );
     // Top-level key order is part of the stable format.
     let order: Vec<&str> = fields(&report).iter().map(|(k, _)| k.as_str()).collect();
-    assert_eq!(order, ["schema", "meta", "counters", "spans", "histograms"]);
+    assert_eq!(
+        order,
+        [
+            "schema",
+            "meta",
+            "counters",
+            "gauges",
+            "spans",
+            "histograms"
+        ]
+    );
+
+    // A batch command never touches the daemon gauges, but the schema
+    // still pins them, zero-valued.
+    let gauges = get(&report, "gauges");
+    assert_eq!(uint(gauges, "serve.queue_depth"), 0);
+    assert_eq!(uint(gauges, "serve.workers_live"), 0);
 
     // The exact backend ran a branch-and-bound search.
     let counters = get(&report, "counters");

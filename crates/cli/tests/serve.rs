@@ -11,13 +11,20 @@
 use std::fs;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 use std::time::Duration;
 
 use netdag_cli::{parse_args, run};
 use netdag_obs::keys;
 use netdag_serve::protocol::{Request, Response, STATUS_OK};
 use netdag_serve::{serve, ServeConfig};
+use serde::Value;
+
+/// Both tests here run an in-process daemon against the process-global
+/// [`netdag_obs`] recorder; running them concurrently would bleed
+/// counter increments into each other's assertions.
+static SERIAL: Mutex<()> = Mutex::new(());
 
 struct TempDir(PathBuf);
 
@@ -106,6 +113,12 @@ impl Client {
     }
 
     fn send(&mut self, req: &Request) -> Response {
+        serde_json::from_str(&self.send_raw(req)).expect("response JSON")
+    }
+
+    /// Sends a request and returns the raw NDJSON response line (for
+    /// schema fingerprinting of the wire format itself).
+    fn send_raw(&mut self, req: &Request) -> String {
         let line = serde_json::to_string(req).expect("serialize");
         self.writer
             .write_all(format!("{line}\n").as_bytes())
@@ -113,7 +126,7 @@ impl Client {
         self.writer.flush().expect("flush");
         let mut reply = String::new();
         self.reader.read_line(&mut reply).expect("read");
-        serde_json::from_str(&reply).expect("response JSON")
+        reply
     }
 }
 
@@ -126,6 +139,7 @@ fn response_bytes(resp: &Response) -> String {
 
 #[test]
 fn serve_responses_match_cli_schedule_bytes() {
+    let _guard = SERIAL.lock().unwrap();
     let dir = TempDir::new("determinism");
     // Reference documents from the batch CLI.
     let cli_cold = cli_schedule_bytes(&dir, "cold", 10, 40);
@@ -165,6 +179,142 @@ fn serve_responses_match_cli_schedule_bytes() {
     assert_eq!(near.cached, Some(false));
     assert_eq!(near.warm_started, Some(true));
     assert_eq!(response_bytes(&near), cli_near);
+
+    // The session above fixes every `cache_stats` field exactly: one
+    // exact hit, one cold miss, one warm start, both complete solves
+    // cached, nothing evicted, nothing queued or in flight.
+    let stats = c.send(&Request::op("cache_stats"));
+    assert_eq!(stats.status, STATUS_OK);
+    let body = stats.cache.expect("cache stats body");
+    assert_eq!(body.hits, 1);
+    assert_eq!(body.misses, 1);
+    assert_eq!(body.warm_starts, 1);
+    assert_eq!(body.evictions, 0);
+    assert_eq!(body.entries, 2);
+    assert_eq!(body.capacity, 64);
+    assert_eq!(body.queued, 0);
+    assert_eq!(body.in_flight, 0);
+    assert_eq!(body.mode_entries, 0);
+
+    let bye = c.send(&Request::op("shutdown"));
+    assert_eq!(bye.status, STATUS_OK);
+    server.join().expect("server thread").expect("serve exits");
+}
+
+/// The structural fingerprint of a response document: one `path: kind`
+/// line per node, not descending into arrays (histogram bucket lists
+/// and rolling entries vary with traffic; their presence and kind are
+/// pinned, their contents asserted separately).
+fn fingerprint(value: &Value, path: &str, out: &mut String) {
+    out.push_str(path);
+    out.push_str(": ");
+    out.push_str(value.kind());
+    out.push('\n');
+    if let Value::Object(fields) = value {
+        for (key, child) in fields {
+            fingerprint(child, &format!("{path}/{key}"), out);
+        }
+    }
+}
+
+fn get<'a>(value: &'a Value, key: &str) -> &'a Value {
+    match value {
+        Value::Object(fields) => fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| panic!("missing key {key:?}")),
+        other => panic!("expected object, got {}", other.kind()),
+    }
+}
+
+/// The live-telemetry probes: `metrics` answers with the embedded
+/// `netdag-obs/1` snapshot plus rolling windows (schema pinned by a
+/// golden file, contents read-only — two consecutive probes of an idle
+/// daemon are byte-identical), `health` with liveness and pressure.
+#[test]
+fn serve_metrics_and_health_probes() {
+    let _guard = SERIAL.lock().unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let server = std::thread::spawn(move || serve(listener, &ServeConfig::default()));
+    let mut c = Client::connect(addr);
+
+    // Put some traffic through so the windows and counters are live.
+    let cold = c.send(&solve_request(1, 10, 40));
+    assert_eq!(cold.status, STATUS_OK, "{:?}", cold.reason);
+    let hit = c.send(&solve_request(2, 10, 40));
+    assert_eq!(hit.cached, Some(true));
+
+    let mut probe = Request::op("metrics");
+    probe.id = Some(7);
+    let first = c.send_raw(&probe);
+    let second = c.send_raw(&probe);
+    assert_eq!(
+        first, second,
+        "metrics is a pure read: consecutive probes of an idle daemon \
+         must be byte-identical"
+    );
+
+    let doc = serde_json::from_str_value(&first).expect("metrics JSON");
+    let body = get(&doc, "metrics");
+    let obs = get(body, "obs");
+    assert_eq!(
+        get(obs, "schema"),
+        &Value::String("netdag-obs/1".into()),
+        "the embedded snapshot is the --metrics document"
+    );
+    let rolling = match get(body, "rolling") {
+        Value::Array(entries) => entries,
+        other => panic!("rolling must be an array, got {}", other.kind()),
+    };
+    let names: Vec<&Value> = rolling.iter().map(|e| get(e, "name")).collect();
+    assert_eq!(
+        names,
+        [
+            &Value::String("serve.latency_us".into()),
+            &Value::String("serve.queue_wait_us".into()),
+            &Value::String("serve.service_us".into()),
+            &Value::String("serve.solver_nodes".into()),
+        ]
+    );
+    for entry in rolling {
+        assert_eq!(get(entry, "count").as_u64(), Some(2), "two handled solves");
+    }
+
+    // The full response shape is pinned by the golden file. Regenerate
+    // with NETDAG_BLESS=1 after an intentional schema change.
+    let mut got = String::new();
+    fingerprint(&doc, "", &mut got);
+    let golden_path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/serve_metrics_schema.txt");
+    if std::env::var_os("NETDAG_BLESS").is_some() {
+        fs::write(&golden_path, &got).expect("bless golden file");
+    } else {
+        let want = fs::read_to_string(&golden_path).expect("golden file exists");
+        assert_eq!(
+            got, want,
+            "metrics response schema drifted from \
+             tests/golden/serve_metrics_schema.txt (rerun with \
+             NETDAG_BLESS=1 to accept an intentional change)"
+        );
+    }
+
+    // Health: alive, two worker threads up, cache holding the one
+    // complete solve, nothing queued.
+    let health = c.send(&Request::op("health"));
+    assert_eq!(health.status, STATUS_OK);
+    let h = health.health.expect("health body");
+    assert_eq!(h.status, "ok");
+    assert_eq!(h.workers, 2);
+    assert_eq!(h.workers_live, 2);
+    assert_eq!(h.queue_depth, 0);
+    assert_eq!(h.in_flight, 0);
+    assert_eq!(h.cache_entries, 1);
+    assert_eq!(h.cache_capacity, 64);
+    // Read-only probes are excluded from request counting; the two
+    // solves and nothing else have been counted.
+    assert_eq!(h.uptime_requests, 2);
 
     let bye = c.send(&Request::op("shutdown"));
     assert_eq!(bye.status, STATUS_OK);

@@ -3,11 +3,16 @@
 //! One constant per instrument so call sites, the report schema, and
 //! the docs agree on spelling. Names are `dotted.snake_case`, prefixed
 //! by the crate (or layer) that owns the instrument. The aggregate
-//! slices ([`ALL_COUNTERS`], [`ALL_SPANS`], [`ALL_HISTOGRAMS`]) are
-//! what the CLI pre-registers before a command so that the `--metrics`
-//! JSON always contains the full key set, zero-valued where a
-//! subsystem went unused — consumers can rely on the schema without
-//! probing for key presence.
+//! slices ([`ALL_COUNTERS`], [`ALL_SPANS`], [`ALL_HISTOGRAMS`],
+//! [`ALL_GAUGES`]) are what the CLI pre-registers before a command so
+//! that the `--metrics` JSON always contains the full key set,
+//! zero-valued where a subsystem went unused — consumers can rely on
+//! the schema without probing for key presence.
+//!
+//! A gauge may share a name with a histogram (`serve.queue_depth` is
+//! both the current level and the distribution of enqueue-time
+//! samples); the report keeps them in separate sections, so the pair
+//! is unambiguous.
 
 // ── netdag-solver ───────────────────────────────────────────────────
 
@@ -160,6 +165,17 @@ pub const HIST_SERVE_LATENCY_US: &str = "serve.latency_us";
 /// Admission-queue depth sampled at each enqueue.
 pub const HIST_SERVE_QUEUE_DEPTH: &str = "serve.queue_depth";
 
+// ── gauges ──────────────────────────────────────────────────────────
+
+/// Current admission-queue depth of the serve daemon.
+pub const GAUGE_SERVE_QUEUE_DEPTH: &str = "serve.queue_depth";
+/// Requests currently being solved by daemon workers.
+pub const GAUGE_SERVE_IN_FLIGHT: &str = "serve.in_flight";
+/// Entries currently resident in the daemon's solution cache.
+pub const GAUGE_SERVE_CACHE_ENTRIES: &str = "serve.cache_entries";
+/// Daemon worker threads currently alive.
+pub const GAUGE_SERVE_WORKERS_LIVE: &str = "serve.workers_live";
+
 /// Every counter the workspace emits, in report order.
 pub const ALL_COUNTERS: &[&str] = &[
     CORE_EQ10_TESTS,
@@ -224,4 +240,12 @@ pub const ALL_HISTOGRAMS: &[&str] = &[
     HIST_SERVE_QUEUE_DEPTH,
     HIST_SOLVER_NODES_PER_SEARCH,
     HIST_SOLVER_TRAIL_LEN,
+];
+
+/// Every gauge the workspace levels.
+pub const ALL_GAUGES: &[&str] = &[
+    GAUGE_SERVE_CACHE_ENTRIES,
+    GAUGE_SERVE_IN_FLIGHT,
+    GAUGE_SERVE_QUEUE_DEPTH,
+    GAUGE_SERVE_WORKERS_LIVE,
 ];

@@ -10,7 +10,7 @@
 //! `netdag-lwb`, `netdag-validation`) emit into and the CLI exports as
 //! JSON via `netdag <cmd> --metrics <path.json>`.
 //!
-//! Three instrument kinds, all aggregated by a thread-safe
+//! Four instrument kinds, all aggregated by a thread-safe
 //! [`Recorder`]:
 //!
 //! * [`Counter`] — a named monotonic `u64`. Increments are relaxed
@@ -18,6 +18,8 @@
 //!   concurrently; because addition commutes, counter **totals are
 //!   bit-identical at every thread count** whenever the underlying work
 //!   is (which the runtime layer guarantees).
+//! * [`Gauge`] — a named point-in-time level (queue depth, in-flight
+//!   requests, cache occupancy). Reported verbatim, never subtracted.
 //! * spans — named wall-clock sections with monotonic
 //!   ([`std::time::Instant`]) timing, recorded via the RAII
 //!   [`SpanGuard`]. Durations are *not* deterministic; the report
@@ -25,6 +27,13 @@
 //! * histograms — named power-of-two-bucketed distributions of `u64`
 //!   observations (e.g. search nodes per solver invocation). Bucket
 //!   counts inherit the determinism of the observations.
+//!
+//! For long-running daemons two further pieces build on these:
+//! [`WindowedHist`], a ring of time-bucketed histograms yielding
+//! rolling p50/p90/p99/max over the recent past in bounded memory, and
+//! [`SloGate`], declarative thresholds evaluated against windowed data
+//! into an [`SloReport`] (the `"slo"` section of `BENCH_serve.json`
+//! and the serve daemon's shutdown verdict).
 //!
 //! Snapshots ([`Recorder::snapshot`]) produce a [`MetricsReport`]:
 //! subtractable ([`MetricsReport::delta`]), printable as a
@@ -57,9 +66,13 @@ mod json;
 pub mod keys;
 mod recorder;
 mod report;
+mod slo;
+mod windowed;
 
-pub use recorder::{global, Counter, Recorder, SpanGuard};
+pub use recorder::{global, Counter, Gauge, Recorder, SpanGuard};
 pub use report::{HistStats, MetricsReport, SpanStats};
+pub use slo::{SloCheck, SloGate, SloInputs, SloReport};
+pub use windowed::{WindowStats, WindowedHist};
 
 /// Returns the cached [`Counter`] for `name` on the [`global`]
 /// recorder, registering it on first use.

@@ -10,6 +10,28 @@ use crate::report::{HistStats, MetricsReport, SpanStats};
 /// Number of power-of-two histogram buckets before the overflow bucket.
 pub(crate) const HIST_BUCKETS: usize = 32;
 
+/// Smallest bucket index whose upper bound covers `value`, clamped
+/// into the overflow slot. Shared between the cumulative histograms
+/// here and the rolling windows in [`crate::WindowedHist`] so both
+/// agree on bucket boundaries.
+pub(crate) fn bucket_index(value: u64) -> usize {
+    if value <= 1 {
+        0
+    } else {
+        HIST_BUCKETS.min(64 - (value - 1).leading_zeros() as usize)
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (`u64::MAX` for the overflow
+/// slot).
+pub(crate) fn bucket_le(i: usize) -> u64 {
+    if i < HIST_BUCKETS {
+        1u64 << i
+    } else {
+        u64::MAX
+    }
+}
+
 /// A handle to one named monotonic counter.
 ///
 /// Cloning is cheap (an [`Arc`] bump) and every clone addresses the
@@ -32,6 +54,42 @@ impl Counter {
     }
 
     /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A handle to one named gauge: a point-in-time level (queue depth,
+/// in-flight requests, cache occupancy) rather than a monotonic total.
+///
+/// Like [`Counter`], clones share the same atomic and all operations
+/// use relaxed ordering — the report only ever reads the current
+/// level, never an ordering between gauges.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the level by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Lowers the level by `n`, saturating at zero so a late decrement
+    /// (e.g. after a racing `set(0)`) cannot wrap to `u64::MAX`.
+    pub fn sub(&self, n: u64) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(n))
+            });
+    }
+
+    /// Current level.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
     }
@@ -62,7 +120,8 @@ impl Default for HistAgg {
     }
 }
 
-/// Aggregates named counters, spans, and histograms across threads.
+/// Aggregates named counters, gauges, spans, and histograms across
+/// threads.
 ///
 /// Most code uses the process-global instance ([`global`]); a fresh
 /// `Recorder` is useful for isolated tests of the aggregation logic
@@ -70,6 +129,7 @@ impl Default for HistAgg {
 #[derive(Debug)]
 pub struct Recorder {
     counters: Mutex<BTreeMap<&'static str, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<&'static str, Arc<AtomicU64>>>,
     spans: Mutex<BTreeMap<&'static str, SpanAgg>>,
     hists: Mutex<BTreeMap<&'static str, HistAgg>>,
 }
@@ -80,6 +140,7 @@ impl Recorder {
     pub const fn new() -> Self {
         Recorder {
             counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
             spans: Mutex::new(BTreeMap::new()),
             hists: Mutex::new(BTreeMap::new()),
         }
@@ -95,6 +156,13 @@ impl Recorder {
     pub fn counter(&self, name: &'static str) -> Counter {
         Counter(Arc::clone(
             Self::lock(&self.counters).entry(name).or_default(),
+        ))
+    }
+
+    /// Returns (registering on first use) the gauge named `name`.
+    pub fn gauge(&self, name: &'static str) -> Gauge {
+        Gauge(Arc::clone(
+            Self::lock(&self.gauges).entry(name).or_default(),
         ))
     }
 
@@ -126,12 +194,7 @@ impl Recorder {
 
     /// Observes `value` in the histogram named `name`.
     pub fn observe(&self, name: &'static str, value: u64) {
-        // Smallest i with value ≤ 2^i, clamped into the overflow slot.
-        let idx = if value <= 1 {
-            0
-        } else {
-            HIST_BUCKETS.min(64 - (value - 1).leading_zeros() as usize)
-        };
+        let idx = bucket_index(value);
         let mut hists = Self::lock(&self.hists);
         let agg = hists.entry(name).or_default();
         agg.count += 1;
@@ -148,10 +211,17 @@ impl Recorder {
         counters: &[&'static str],
         spans: &[&'static str],
         histograms: &[&'static str],
+        gauges: &[&'static str],
     ) {
         {
             let mut map = Self::lock(&self.counters);
             for &name in counters {
+                map.entry(name).or_default();
+            }
+        }
+        {
+            let mut map = Self::lock(&self.gauges);
+            for &name in gauges {
                 map.entry(name).or_default();
             }
         }
@@ -170,6 +240,10 @@ impl Recorder {
     /// A point-in-time copy of every registered instrument.
     pub fn snapshot(&self) -> MetricsReport {
         let counters = Self::lock(&self.counters)
+            .iter()
+            .map(|(&name, value)| (name.to_owned(), value.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = Self::lock(&self.gauges)
             .iter()
             .map(|(&name, value)| (name.to_owned(), value.load(Ordering::Relaxed)))
             .collect();
@@ -198,14 +272,7 @@ impl Recorder {
                             .iter()
                             .enumerate()
                             .filter(|&(_, &count)| count > 0)
-                            .map(|(i, &count)| {
-                                let le = if i < HIST_BUCKETS {
-                                    1u64 << i
-                                } else {
-                                    u64::MAX
-                                };
-                                (le, count)
-                            })
+                            .map(|(i, &count)| (bucket_le(i), count))
                             .collect(),
                     },
                 )
@@ -214,6 +281,7 @@ impl Recorder {
         MetricsReport {
             meta: BTreeMap::new(),
             counters,
+            gauges,
             spans,
             histograms,
         }
@@ -340,12 +408,37 @@ mod tests {
     }
 
     #[test]
+    fn gauges_set_add_sub_saturating() {
+        let r = Recorder::new();
+        let g = r.gauge("depth");
+        g.set(5);
+        g.add(2);
+        assert_eq!(g.get(), 7);
+        g.sub(3);
+        assert_eq!(g.get(), 4);
+        g.sub(100); // saturates instead of wrapping
+        assert_eq!(g.get(), 0);
+        assert_eq!(r.snapshot().gauges["depth"], 0);
+    }
+
+    #[test]
+    fn gauge_clones_share_the_level() {
+        let r = Recorder::new();
+        let a = r.gauge("g");
+        let b = r.gauge("g");
+        a.add(3);
+        b.add(4);
+        assert_eq!(a.get(), 7);
+    }
+
+    #[test]
     fn preregister_pins_schema() {
         let r = Recorder::new();
-        r.preregister(&["c1", "c2"], &["s1"], &["h1"]);
+        r.preregister(&["c1", "c2"], &["s1"], &["h1"], &["g1"]);
         let snap = r.snapshot();
         assert_eq!(snap.counters["c1"], 0);
         assert_eq!(snap.counters["c2"], 0);
+        assert_eq!(snap.gauges["g1"], 0);
         assert_eq!(snap.spans["s1"].count, 0);
         assert_eq!(snap.histograms["h1"].count, 0);
         assert!(snap.histograms["h1"].buckets.is_empty());

@@ -40,6 +40,10 @@ pub struct MetricsReport {
     pub meta: BTreeMap<String, String>,
     /// Counter totals by canonical name (see [`crate::keys`]).
     pub counters: BTreeMap<String, u64>,
+    /// Gauge levels by canonical name. A gauge is a point-in-time
+    /// reading, not a total — [`MetricsReport::delta`] carries the
+    /// newer snapshot's levels through unchanged.
+    pub gauges: BTreeMap<String, u64>,
     /// Span aggregates by canonical name.
     pub spans: BTreeMap<String, SpanStats>,
     /// Histogram aggregates by canonical name.
@@ -52,7 +56,9 @@ impl MetricsReport {
     ///
     /// Keys present only in `self` (registered after the baseline) are
     /// kept whole; subtraction saturates at zero so a stale baseline
-    /// can never underflow. `meta` is taken from `self`.
+    /// can never underflow. `meta` is taken from `self`. Gauges are
+    /// levels, not totals, so the delta reports `self`'s current
+    /// readings verbatim.
     #[must_use]
     pub fn delta(&self, baseline: &MetricsReport) -> MetricsReport {
         let counters = self
@@ -107,6 +113,7 @@ impl MetricsReport {
         MetricsReport {
             meta: self.meta.clone(),
             counters,
+            gauges: self.gauges.clone(),
             spans,
             histograms,
         }
@@ -123,6 +130,7 @@ impl MetricsReport {
     ///   "schema": "netdag-obs/1",
     ///   "meta": { "command": "validate", "threads": "8" },
     ///   "counters": { "solver.decisions": 42 },
+    ///   "gauges": { "serve.queue_depth": 3 },
     ///   "spans": { "cli.validate": { "count": 1, "total_ns": 1200 } },
     ///   "histograms": {
     ///     "solver.nodes_per_search": {
@@ -146,6 +154,10 @@ impl MetricsReport {
         });
         out.push_str("},\n  \"counters\": {");
         push_map(&mut out, &self.counters, |out, value| {
+            out.push_str(&value.to_string());
+        });
+        out.push_str("},\n  \"gauges\": {");
+        push_map(&mut out, &self.gauges, |out, value| {
             out.push_str(&value.to_string());
         });
         out.push_str("},\n  \"spans\": {");
@@ -175,13 +187,14 @@ impl MetricsReport {
 
     /// Renders the report as an aligned, human-readable table (the CLI
     /// prints it to stderr so stdout stays machine-consumable).
-    /// Zero-valued counters are elided; spans and histograms that never
-    /// fired are too.
+    /// Zero-valued counters and gauges are elided; spans and
+    /// histograms that never fired are too.
     #[must_use]
     pub fn summary_table(&self) -> String {
         let name_width = self
             .counters
             .keys()
+            .chain(self.gauges.keys())
             .chain(self.spans.keys())
             .chain(self.histograms.keys())
             .map(|name| name.len())
@@ -194,6 +207,13 @@ impl MetricsReport {
         if !active_counters.is_empty() {
             out.push_str(&format!("{:<name_width$}  {:>12}\n", "counter", "value"));
             for (name, value) in active_counters {
+                out.push_str(&format!("{name:<name_width$}  {value:>12}\n"));
+            }
+        }
+        let active_gauges: Vec<_> = self.gauges.iter().filter(|&(_, &v)| v > 0).collect();
+        if !active_gauges.is_empty() {
+            out.push_str(&format!("{:<name_width$}  {:>12}\n", "gauge", "level"));
+            for (name, value) in active_gauges {
                 out.push_str(&format!("{name:<name_width$}  {value:>12}\n"));
             }
         }
@@ -278,6 +298,7 @@ mod tests {
         let r = crate::Recorder::new();
         r.add("solver.nodes", 7);
         r.add("solver.decisions", 3);
+        r.gauge("serve.queue_depth").set(3);
         r.record_span("cli.validate", std::time::Duration::from_nanos(1200));
         r.observe("solver.nodes_per_search", 7);
         let mut snap = r.snapshot();
@@ -309,10 +330,47 @@ mod tests {
     }
 
     #[test]
+    fn delta_keeps_gauge_levels_verbatim() {
+        let mut base = sample();
+        base.gauges.insert("serve.queue_depth".into(), 9);
+        let now = sample(); // level 3, lower than the baseline's 9
+        let d = now.delta(&base);
+        assert_eq!(d.gauges["serve.queue_depth"], 3);
+    }
+
+    /// Interval snapshots (`--metrics-interval`) are produced by
+    /// subtracting the previous snapshot; this pins that the histogram
+    /// *bucket contents* are subtracted too, not just counters and
+    /// spans, by straddling a known workload with two snapshots.
+    #[test]
+    fn delta_subtracts_histogram_buckets_across_workload() {
+        let r = crate::Recorder::new();
+        // First interval: two small observations.
+        r.observe("serve.latency_us", 3); // le=4
+        r.observe("serve.latency_us", 100); // le=128
+        let first = r.snapshot();
+        // Second interval: a known workload of three more observations,
+        // one sharing the le=4 bucket with the first interval.
+        r.observe("serve.latency_us", 4); // le=4
+        r.observe("serve.latency_us", 900); // le=1024
+        r.observe("serve.latency_us", 1000); // le=1024
+        let second = r.snapshot();
+
+        let d = second.delta(&first);
+        let h = &d.histograms["serve.latency_us"];
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 4 + 900 + 1000);
+        // Only this interval's observations remain: the shared le=4
+        // bucket keeps exactly one, and le=128 vanishes entirely.
+        assert_eq!(h.buckets, vec![(4, 1), (1024, 2)]);
+    }
+
+    #[test]
     fn delta_keeps_new_keys_whole() {
         let now = sample();
         let d = now.delta(&MetricsReport::default());
         assert_eq!(d.counters, now.counters);
+        assert_eq!(d.gauges, now.gauges);
         assert_eq!(d.spans, now.spans);
         assert_eq!(d.histograms, now.histograms);
         assert_eq!(d.meta["command"], "validate");
@@ -324,9 +382,11 @@ mod tests {
         assert!(json.contains("\"schema\": \"netdag-obs/1\""));
         assert!(json.contains("\"meta\""));
         assert!(json.contains("\"counters\""));
+        assert!(json.contains("\"gauges\""));
         assert!(json.contains("\"spans\""));
         assert!(json.contains("\"histograms\""));
         assert!(json.contains("\"solver.nodes\": 7"));
+        assert!(json.contains("\"serve.queue_depth\": 3"));
         assert!(json.contains("\"count\": 1, \"total_ns\": 1200"));
         assert!(json.contains("\"le\": 8, \"count\": 1"));
     }
@@ -339,7 +399,17 @@ mod tests {
             panic!("top level must be an object");
         };
         let keys: Vec<_> = fields.iter().map(|(k, _)| k.as_str()).collect();
-        assert_eq!(keys, ["schema", "meta", "counters", "spans", "histograms"]);
+        assert_eq!(
+            keys,
+            [
+                "schema",
+                "meta",
+                "counters",
+                "gauges",
+                "spans",
+                "histograms"
+            ]
+        );
     }
 
     #[test]

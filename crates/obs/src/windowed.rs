@@ -1,0 +1,302 @@
+//! Rolling histograms: quantiles over the recent past, not all time.
+//!
+//! The cumulative histograms in [`crate::Recorder`] answer "what
+//! happened since the process started"; a long-running daemon also
+//! needs "what is the p99 *right now*". [`WindowedHist`] answers that
+//! with a ring of power-of-two bucket arrays: each slot accumulates
+//! observations until [`WindowedHist::tick`] advances the ring, and a
+//! snapshot merges the surviving slots. Memory is `O(slots × buckets)`
+//! regardless of observation volume, and old data ages out after
+//! `slots` ticks.
+//!
+//! Determinism: a snapshot merges slots in fixed ring order, and every
+//! per-slot field (counts, sums, bucket tallies, maxima) is updated
+//! commutatively, so for count-based metrics the merged result is
+//! bit-identical no matter how many threads observed into the window.
+//! Wall-time *values* observed into a window naturally vary run to
+//! run; the determinism pin applies to the machinery, not the clock.
+
+use std::sync::Mutex;
+
+use crate::recorder::{bucket_index, bucket_le, HIST_BUCKETS};
+
+#[derive(Clone)]
+struct Slot {
+    count: u64,
+    sum: u64,
+    max: u64,
+    buckets: [u64; HIST_BUCKETS + 1],
+}
+
+impl Slot {
+    const EMPTY: Slot = Slot {
+        count: 0,
+        sum: 0,
+        max: 0,
+        buckets: [0; HIST_BUCKETS + 1],
+    };
+}
+
+struct Inner {
+    slots: Vec<Slot>,
+    /// Index of the slot currently receiving observations.
+    head: usize,
+    /// Total ring advances since construction.
+    ticks: u64,
+}
+
+/// A ring of time-bucketed power-of-two histograms.
+///
+/// Observations land in the head slot; [`WindowedHist::tick`] rotates
+/// the ring, discarding the oldest slot. [`WindowedHist::stats`]
+/// merges all slots into one [`WindowStats`], yielding rolling
+/// p50/p90/p99/max over the last `slots` ticks with bounded memory.
+///
+/// What drives `tick` is the caller's choice: the serve daemon ticks
+/// every N completed requests so the window is load-proportional and
+/// deterministic for a given request sequence.
+pub struct WindowedHist {
+    inner: Mutex<Inner>,
+}
+
+impl WindowedHist {
+    /// A window of `slots` ring slots (clamped to at least one).
+    #[must_use]
+    pub fn new(slots: usize) -> Self {
+        WindowedHist {
+            inner: Mutex::new(Inner {
+                slots: vec![Slot::EMPTY; slots.max(1)],
+                head: 0,
+                ticks: 0,
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // Single-field commutative updates: poisoning is ignorable,
+        // same as the cumulative recorder.
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Records `value` into the current (head) slot.
+    pub fn observe(&self, value: u64) {
+        let mut inner = self.lock();
+        let head = inner.head;
+        let slot = &mut inner.slots[head];
+        slot.count += 1;
+        slot.sum = slot.sum.saturating_add(value);
+        slot.max = slot.max.max(value);
+        slot.buckets[bucket_index(value)] += 1;
+    }
+
+    /// Advances the ring: the oldest slot is cleared and becomes the
+    /// new head. After `slots` ticks an observation has fully aged out.
+    pub fn tick(&self) {
+        let mut inner = self.lock();
+        let next = (inner.head + 1) % inner.slots.len();
+        inner.slots[next] = Slot::EMPTY;
+        inner.head = next;
+        inner.ticks += 1;
+    }
+
+    /// Merges every live slot into one rolling aggregate.
+    #[must_use]
+    pub fn stats(&self) -> WindowStats {
+        let inner = self.lock();
+        let mut count = 0u64;
+        let mut sum = 0u64;
+        let mut max = 0u64;
+        let mut merged = [0u64; HIST_BUCKETS + 1];
+        // Fixed iteration order (ring positions 0..n) keeps the merge
+        // independent of which thread filled which slot field.
+        for slot in &inner.slots {
+            count += slot.count;
+            sum = sum.saturating_add(slot.sum);
+            max = max.max(slot.max);
+            for (acc, &b) in merged.iter_mut().zip(slot.buckets.iter()) {
+                *acc += b;
+            }
+        }
+        let buckets: Vec<(u64, u64)> = merged
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_le(i), c))
+            .collect();
+        WindowStats {
+            count,
+            sum,
+            max,
+            p50: quantile(&buckets, count, max, 50),
+            p90: quantile(&buckets, count, max, 90),
+            p99: quantile(&buckets, count, max, 99),
+            buckets,
+            slots: inner.slots.len() as u64,
+            ticks: inner.ticks,
+        }
+    }
+}
+
+impl std::fmt::Debug for WindowedHist {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.lock();
+        f.debug_struct("WindowedHist")
+            .field("slots", &inner.slots.len())
+            .field("head", &inner.head)
+            .field("ticks", &inner.ticks)
+            .finish()
+    }
+}
+
+/// Upper bound of the bucket holding the `p`-th percentile
+/// observation: the smallest `le` whose cumulative count reaches
+/// `ceil(count · p / 100)`. The overflow bucket reports the exact
+/// tracked maximum instead of `u64::MAX`. Zero when the window is
+/// empty.
+fn quantile(buckets: &[(u64, u64)], count: u64, max: u64, p: u64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let rank = (count * p).div_ceil(100).max(1);
+    let mut seen = 0u64;
+    for &(le, c) in buckets {
+        seen += c;
+        if seen >= rank {
+            return if le == u64::MAX { max } else { le };
+        }
+    }
+    max
+}
+
+/// A merged snapshot of a [`WindowedHist`]: totals, sparse buckets,
+/// and bucket-resolution quantiles over the live window.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WindowStats {
+    /// Observations currently in the window.
+    pub count: u64,
+    /// Sum of windowed observations (saturating).
+    pub sum: u64,
+    /// Exact maximum observed in the window.
+    pub max: u64,
+    /// Bucket upper bound containing the median.
+    pub p50: u64,
+    /// Bucket upper bound containing the 90th percentile.
+    pub p90: u64,
+    /// Bucket upper bound containing the 99th percentile.
+    pub p99: u64,
+    /// Sparse `(le, count)` pairs, same encoding as
+    /// [`crate::HistStats::buckets`].
+    pub buckets: Vec<(u64, u64)>,
+    /// Ring capacity in slots.
+    pub slots: u64,
+    /// Ticks since construction (tells a reader how far the ring has
+    /// rotated, i.e. whether the window is still warming up).
+    pub ticks: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_window_is_all_zero() {
+        let w = WindowedHist::new(4);
+        let s = w.stats();
+        assert_eq!(s.count, 0);
+        assert_eq!((s.p50, s.p90, s.p99, s.max), (0, 0, 0, 0));
+        assert!(s.buckets.is_empty());
+        assert_eq!(s.slots, 4);
+        assert_eq!(s.ticks, 0);
+    }
+
+    #[test]
+    fn quantiles_resolve_to_bucket_upper_bounds() {
+        let w = WindowedHist::new(4);
+        // 99 observations of 10 (le=16) and one of 5000 (le=8192).
+        for _ in 0..99 {
+            w.observe(10);
+        }
+        w.observe(5000);
+        let s = w.stats();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50, 16);
+        assert_eq!(s.p90, 16);
+        assert_eq!(s.p99, 16); // rank 99 of 100 is still in le=16
+        assert_eq!(s.max, 5000);
+        assert_eq!(s.buckets, vec![(16, 99), (8192, 1)]);
+    }
+
+    #[test]
+    fn overflow_bucket_quantile_reports_exact_max() {
+        let w = WindowedHist::new(2);
+        w.observe(u64::MAX - 3);
+        let s = w.stats();
+        assert_eq!(s.p50, u64::MAX - 3);
+        assert_eq!(s.p99, u64::MAX - 3);
+        assert_eq!(s.buckets, vec![(u64::MAX, 1)]);
+    }
+
+    #[test]
+    fn observations_age_out_after_slots_ticks() {
+        let w = WindowedHist::new(3);
+        w.observe(7);
+        assert_eq!(w.stats().count, 1);
+        w.tick();
+        w.observe(9);
+        assert_eq!(w.stats().count, 2); // both still live
+        w.tick();
+        w.tick(); // the slot holding 7 is reused and cleared here
+        let s = w.stats();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.max, 9);
+        assert_eq!(s.ticks, 3);
+        w.tick();
+        assert_eq!(w.stats().count, 0); // 9 aged out too
+    }
+
+    #[test]
+    fn tick_clears_before_reuse_not_at_rotation() {
+        // A slot's contents survive until the ring wraps back onto it.
+        let w = WindowedHist::new(2);
+        w.observe(100);
+        w.tick();
+        assert_eq!(w.stats().count, 1);
+        w.tick();
+        assert_eq!(w.stats().count, 0);
+    }
+
+    #[test]
+    fn merge_is_bit_identical_across_thread_counts() {
+        // The same multiset of observations, recorded by 1 vs 8
+        // threads, must merge to the identical snapshot (minus nothing:
+        // count, sum, max, buckets, and quantiles all match).
+        let values: Vec<u64> = (0..400).map(|i| (i * 37) % 1000).collect();
+
+        let serial = WindowedHist::new(4);
+        for &v in &values {
+            serial.observe(v);
+        }
+
+        let threaded = WindowedHist::new(4);
+        std::thread::scope(|scope| {
+            for chunk in values.chunks(50) {
+                let threaded = &threaded;
+                scope.spawn(move || {
+                    for &v in chunk {
+                        threaded.observe(v);
+                    }
+                });
+            }
+        });
+
+        assert_eq!(serial.stats(), threaded.stats());
+    }
+
+    #[test]
+    fn zero_slot_request_is_clamped() {
+        let w = WindowedHist::new(0);
+        w.observe(1);
+        assert_eq!(w.stats().slots, 1);
+        assert_eq!(w.stats().count, 1);
+    }
+}

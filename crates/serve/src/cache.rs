@@ -129,8 +129,8 @@ impl SolutionCache {
         }
     }
 
-    /// A snapshot for the `cache_stats` operation (queue fields are
-    /// filled in by the server).
+    /// A snapshot for the `cache_stats` operation (queue and mode-cache
+    /// fields are filled in by the server).
     pub fn stats(&self) -> CacheStatsBody {
         CacheStatsBody {
             entries: self.entries.len() as u64,
@@ -141,6 +141,7 @@ impl SolutionCache {
             evictions: self.evictions,
             queued: 0,
             in_flight: 0,
+            mode_entries: 0,
         }
     }
 }
@@ -180,6 +181,16 @@ impl ModeCache {
         let e = self.entries.iter_mut().find(|e| e.key == key)?;
         e.stamp = stamp;
         Some(e.export.clone())
+    }
+
+    /// Live entries (the `mode_entries` field of `cache_stats`).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no mode solve has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
     }
 
     /// Inserts (or refreshes) a complete joint solve's result, evicting

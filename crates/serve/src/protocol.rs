@@ -2,7 +2,7 @@
 //!
 //! A client connects over TCP and writes one JSON object per line; the
 //! server answers each line with exactly one JSON [`Response`] line, in
-//! request order per connection. Five operations exist:
+//! request order per connection. Seven operations exist:
 //!
 //! * `solve` — schedule an application embedded in the request (the
 //!   same [`AppSpec`] / constraint documents the CLI reads from files);
@@ -15,6 +15,11 @@
 //! * `validate` — Monte-Carlo validation of an embedded schedule
 //!   against embedded constraints, mirroring `netdag validate`.
 //! * `cache_stats` — a snapshot of the solution cache and queue.
+//! * `metrics` — the live `netdag-obs/1` snapshot plus rolling-window
+//!   quantiles ([`MetricsBody`]). Read-only: issuing it does not count
+//!   as a request, so a poller never perturbs the counters it reads.
+//! * `health` — daemon liveness ([`HealthBody`]): status, uptime,
+//!   queue depth, worker liveness. Read-only like `metrics`.
 //! * `shutdown` — stop accepting work, drain in-flight requests, exit.
 //!
 //! Absent optional fields deserialize to `None`; the server serializes
@@ -81,8 +86,8 @@ pub struct ConfigSpec {
 /// One request line.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Request {
-    /// `"solve"`, `"mode_solve"`, `"validate"`, `"cache_stats"` or
-    /// `"shutdown"`.
+    /// `"solve"`, `"mode_solve"`, `"validate"`, `"cache_stats"`,
+    /// `"metrics"`, `"health"` or `"shutdown"`.
     pub op: String,
     /// Client-chosen correlation id, echoed in the response.
     pub id: Option<u64>,
@@ -166,6 +171,79 @@ pub struct CacheStatsBody {
     pub queued: u64,
     /// Requests currently being solved by workers.
     pub in_flight: u64,
+    /// Live entries in the exact-only `mode_solve` cache.
+    pub mode_entries: u64,
+}
+
+/// Rolling-window aggregate of one windowed histogram, reported by the
+/// `metrics` operation. Quantiles resolve to power-of-two bucket upper
+/// bounds; `max` is exact.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RollingStats {
+    /// Window name (`serve.latency_us`, `serve.queue_wait_us`,
+    /// `serve.service_us`, `serve.solver_nodes`).
+    pub name: String,
+    /// Observations currently in the window.
+    pub count: u64,
+    /// Sum of windowed observations.
+    pub sum: u64,
+    /// Exact maximum in the window.
+    pub max: u64,
+    /// Median bucket upper bound.
+    pub p50: u64,
+    /// 90th-percentile bucket upper bound.
+    pub p90: u64,
+    /// 99th-percentile bucket upper bound.
+    pub p99: u64,
+}
+
+/// Window geometry echoed by the `metrics` operation so a reader can
+/// tell what span of recent traffic the rolling numbers cover.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WindowMeta {
+    /// Ring slots per window.
+    pub slots: u64,
+    /// Completed requests between ring advances.
+    pub tick_every: u64,
+    /// Ring advances since the daemon started.
+    pub ticks: u64,
+}
+
+/// Body of a `metrics` response.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MetricsBody {
+    /// The full `netdag-obs/1` snapshot document (same schema as the
+    /// `--metrics` file), embedded as a JSON object.
+    pub obs: serde::Value,
+    /// Rolling quantiles of the daemon's windowed histograms, in fixed
+    /// name order.
+    pub rolling: Vec<RollingStats>,
+    /// Window geometry of every entry in `rolling`.
+    pub window: WindowMeta,
+}
+
+/// Body of a `health` response.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct HealthBody {
+    /// `"ok"`, or `"draining"` once shutdown began.
+    pub status: String,
+    /// Request lines counted over the daemon's lifetime.
+    pub uptime_requests: u64,
+    /// Milliseconds since the daemon started serving.
+    pub uptime_ms: u64,
+    /// Requests currently waiting in the admission queue.
+    pub queue_depth: u64,
+    /// Requests currently being solved.
+    pub in_flight: u64,
+    /// Configured worker threads.
+    pub workers: u64,
+    /// Worker threads currently alive (equals `workers` on a healthy
+    /// daemon; lower means a worker died).
+    pub workers_live: u64,
+    /// Live solution-cache entries.
+    pub cache_entries: u64,
+    /// Configured solution-cache capacity.
+    pub cache_capacity: u64,
 }
 
 /// One response line.
@@ -193,6 +271,10 @@ pub struct Response {
     pub validation: Option<ValidationReport>,
     /// Cache snapshot (cache_stats).
     pub cache: Option<CacheStatsBody>,
+    /// Live telemetry (metrics).
+    pub metrics: Option<MetricsBody>,
+    /// Liveness snapshot (health).
+    pub health: Option<HealthBody>,
 }
 
 impl Response {
@@ -210,6 +292,8 @@ impl Response {
             fingerprint: None,
             validation: None,
             cache: None,
+            metrics: None,
+            health: None,
         }
     }
 

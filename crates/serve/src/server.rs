@@ -11,11 +11,14 @@
 //! * The **acceptor** polls a non-blocking listener and spawns one
 //!   scoped thread per connection.
 //! * **Connection threads** parse one request per line. Cheap
-//!   operations (`cache_stats`, `shutdown`, malformed input) are
-//!   answered inline; `solve` / `validate` go through the bounded
-//!   admission queue — when it is full, or after shutdown began, the
-//!   request is rejected immediately with a structured reason rather
-//!   than queued without bound.
+//!   operations (`cache_stats`, `metrics`, `health`, `shutdown`,
+//!   malformed input) are answered inline; `solve` / `validate` go
+//!   through the bounded admission queue — when it is full, or after
+//!   shutdown began, the request is rejected immediately with a
+//!   structured reason rather than queued without bound. The two
+//!   read-only probes (`metrics`, `health`) are additionally excluded
+//!   from request counting so polling them never perturbs the
+//!   telemetry they report.
 //! * **Workers** (a [`netdag_runtime::run_indexed`] fan-out pinned to
 //!   [`ServeConfig::workers`] threads) drain the queue. Each solve
 //!   first probes the solution cache: an exact hit answers verbatim
@@ -30,11 +33,19 @@
 //! All counters land in the global [`netdag_obs`] recorder under the
 //! `serve.*` keys and every request runs inside a `serve.request`
 //! trace span, so `netdag serve --metrics/--trace` export them with the
-//! standard schemas.
+//! standard schemas. Live telemetry layers on top: per-server
+//! [`netdag_obs::WindowedHist`] rings answer the `metrics` operation
+//! with rolling p50/p90/p99 over recent traffic, each worker-handled
+//! request can emit one structured JSON access-log line
+//! ([`ServeConfig::access_log`]) carrying the same `rid` stamped into
+//! its trace span, periodic delta snapshots are written atomically
+//! every [`ServeConfig::metrics_interval`] completed requests, and an
+//! [`SloGate`] is evaluated against the windowed data at shutdown.
 
 use std::collections::VecDeque;
-use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
 use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -47,7 +58,7 @@ use netdag_core::soft::{presolve_soft, schedule_soft_controlled};
 use netdag_core::spec::{ScheduleExport, SoftSpec};
 use netdag_core::stat::{Eq13Statistic, Eq15Statistic};
 use netdag_core::weakly_hard::{presolve_weakly_hard, schedule_weakly_hard_controlled};
-use netdag_obs::{counter, keys};
+use netdag_obs::{counter, keys, Gauge, SloGate, SloInputs, SloReport, WindowedHist};
 use netdag_runtime::{run_indexed, ExecPolicy};
 use netdag_validation::soft::validate_soft_par;
 use netdag_validation::weakly_hard::validate_weakly_hard_par;
@@ -55,15 +66,16 @@ use netdag_validation::weakly_hard::validate_weakly_hard_par;
 use crate::cache::{Lookup, ModeCache, SolutionCache};
 use crate::fingerprint::{fingerprint, mode_fingerprint};
 use crate::protocol::{
-    Request, Response, StatSpec, ValidationReport, REASON_QUEUE_FULL, REASON_SHUTTING_DOWN,
-    STATUS_INCOMPLETE, STATUS_INFEASIBLE, STATUS_OK,
+    HealthBody, MetricsBody, Request, Response, RollingStats, StatSpec, ValidationReport,
+    WindowMeta, REASON_QUEUE_FULL, REASON_SHUTTING_DOWN, STATUS_INCOMPLETE, STATUS_INFEASIBLE,
+    STATUS_OK,
 };
 
 /// How often blocked threads re-check the shutdown flag.
 const POLL: Duration = Duration::from_millis(25);
 
 /// Server tuning knobs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServeConfig {
     /// Worker threads solving requests (minimum 1).
     pub workers: usize,
@@ -74,6 +86,25 @@ pub struct ServeConfig {
     pub cache_capacity: usize,
     /// Engine node budget between deadline polls of a controlled solve.
     pub step_nodes: u64,
+    /// Structured JSON access-log path: one line per worker-handled
+    /// request. `None` disables logging.
+    pub access_log: Option<PathBuf>,
+    /// Target file of the periodic snapshot writer (the CLI passes its
+    /// `--metrics` path). Only used when `metrics_interval > 0`.
+    pub metrics_path: Option<PathBuf>,
+    /// Write a delta metrics snapshot every this many completed
+    /// requests (0 disables the writer). Writes go to a sibling temp
+    /// file then `rename`, so readers never observe a torn document.
+    pub metrics_interval: u64,
+    /// Ring slots of each rolling telemetry window.
+    pub window_slots: usize,
+    /// Advance the rolling windows every this many completed requests,
+    /// so the window covers the last `window_slots × window_tick`
+    /// requests of traffic.
+    pub window_tick: u64,
+    /// Thresholds evaluated against the windowed data at shutdown
+    /// (empty by default: no checks, report omitted).
+    pub slo: SloGate,
 }
 
 impl Default for ServeConfig {
@@ -83,12 +114,18 @@ impl Default for ServeConfig {
             queue_capacity: 16,
             cache_capacity: 64,
             step_nodes: 4096,
+            access_log: None,
+            metrics_path: None,
+            metrics_interval: 0,
+            window_slots: 16,
+            window_tick: 64,
+            slo: SloGate::default(),
         }
     }
 }
 
 /// What the daemon did over its lifetime, returned by [`serve`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeReport {
     /// Request lines received (including malformed and rejected ones).
     pub requests: u64,
@@ -100,11 +137,18 @@ pub struct ServeReport {
     pub cache_misses: u64,
     /// Warm-started solves.
     pub warm_starts: u64,
+    /// Solves truncated by their deadline.
+    pub deadline_expired: u64,
+    /// The shutdown SLO verdict; `None` when no gate was configured.
+    pub slo: Option<SloReport>,
 }
 
 /// One queued request plus the slot its response is delivered through.
 struct Job {
     req: Request,
+    /// Server-assigned request id, stamped into both the access-log
+    /// line and the `serve.request` trace span so the two correlate.
+    rid: u64,
     accepted_at: Instant,
     slot: std::sync::Arc<Slot>,
 }
@@ -139,16 +183,107 @@ impl Slot {
     }
 }
 
+/// The daemon's rolling telemetry windows, one per windowed metric.
+/// All four tick together every [`ServeConfig::window_tick`] completed
+/// requests. `solver_nodes` is count-based and therefore pinned
+/// bit-identical across worker counts; the three wall-time windows are
+/// reported but exempt from determinism pins.
+struct Windows {
+    latency_us: WindowedHist,
+    queue_wait_us: WindowedHist,
+    service_us: WindowedHist,
+    solver_nodes: WindowedHist,
+}
+
+impl Windows {
+    fn new(slots: usize) -> Windows {
+        Windows {
+            latency_us: WindowedHist::new(slots),
+            queue_wait_us: WindowedHist::new(slots),
+            service_us: WindowedHist::new(slots),
+            solver_nodes: WindowedHist::new(slots),
+        }
+    }
+
+    fn tick(&self) {
+        self.latency_us.tick();
+        self.queue_wait_us.tick();
+        self.service_us.tick();
+        self.solver_nodes.tick();
+    }
+
+    /// The `metrics` operation's `rolling` section, in fixed name
+    /// order.
+    fn rolling(&self) -> Vec<RollingStats> {
+        [
+            ("serve.latency_us", &self.latency_us),
+            ("serve.queue_wait_us", &self.queue_wait_us),
+            ("serve.service_us", &self.service_us),
+            ("serve.solver_nodes", &self.solver_nodes),
+        ]
+        .into_iter()
+        .map(|(name, w)| {
+            let s = w.stats();
+            RollingStats {
+                name: name.to_owned(),
+                count: s.count,
+                sum: s.sum,
+                max: s.max,
+                p50: s.p50,
+                p90: s.p90,
+                p99: s.p99,
+            }
+        })
+        .collect()
+    }
+}
+
+/// Handles to the global `serve.*` gauges, resolved once per server.
+struct Gauges {
+    queue_depth: Gauge,
+    in_flight: Gauge,
+    cache_entries: Gauge,
+    workers_live: Gauge,
+}
+
+impl Gauges {
+    fn new() -> Gauges {
+        let r = netdag_obs::global();
+        Gauges {
+            queue_depth: r.gauge(keys::GAUGE_SERVE_QUEUE_DEPTH),
+            in_flight: r.gauge(keys::GAUGE_SERVE_IN_FLIGHT),
+            cache_entries: r.gauge(keys::GAUGE_SERVE_CACHE_ENTRIES),
+            workers_live: r.gauge(keys::GAUGE_SERVE_WORKERS_LIVE),
+        }
+    }
+}
+
 struct Shared {
     cfg: ServeConfig,
+    started: Instant,
     queue: Mutex<VecDeque<Job>>,
     ready: Condvar,
     shutdown: AtomicBool,
     in_flight: AtomicU64,
     requests: AtomicU64,
     rejected: AtomicU64,
+    /// Requests fully handled by a worker (drives window ticks and the
+    /// interval snapshot writer).
+    completed: AtomicU64,
+    /// Per-server deadline expiries (the obs counter is process-global
+    /// and would double-count across in-process servers).
+    deadline_expired: AtomicU64,
+    /// Next server-assigned request id.
+    next_rid: AtomicU64,
     cache: Mutex<SolutionCache>,
     mode_cache: Mutex<ModeCache>,
+    windows: Windows,
+    gauges: Gauges,
+    /// Open access log, when configured.
+    access: Option<Mutex<BufWriter<std::fs::File>>>,
+    /// Baseline of the last interval snapshot, so each written file is
+    /// a true delta covering only its own interval.
+    snap_base: Mutex<netdag_obs::MetricsReport>,
 }
 
 /// Runs the daemon on an already-bound listener until a client sends a
@@ -159,20 +294,42 @@ struct Shared {
 /// # Errors
 ///
 /// Returns the listener's error if it cannot be switched to
-/// non-blocking mode; per-connection I/O errors only terminate the
+/// non-blocking mode, or the filesystem error if a configured access
+/// log cannot be created; per-connection I/O errors only terminate the
 /// affected connection.
 pub fn serve(listener: TcpListener, cfg: &ServeConfig) -> std::io::Result<ServeReport> {
     listener.set_nonblocking(true)?;
+    // Pin the full instrument schema before the first `metrics`
+    // response so its embedded obs document has the same key set as a
+    // `--metrics` file, whichever entry point started the daemon.
+    netdag_obs::global().preregister(
+        keys::ALL_COUNTERS,
+        keys::ALL_SPANS,
+        keys::ALL_HISTOGRAMS,
+        keys::ALL_GAUGES,
+    );
+    let access = match cfg.access_log.as_ref() {
+        Some(path) => Some(Mutex::new(BufWriter::new(std::fs::File::create(path)?))),
+        None => None,
+    };
     let shared = Shared {
-        cfg: *cfg,
+        cfg: cfg.clone(),
+        started: Instant::now(),
         queue: Mutex::new(VecDeque::new()),
         ready: Condvar::new(),
         shutdown: AtomicBool::new(false),
         in_flight: AtomicU64::new(0),
         requests: AtomicU64::new(0),
         rejected: AtomicU64::new(0),
+        completed: AtomicU64::new(0),
+        deadline_expired: AtomicU64::new(0),
+        next_rid: AtomicU64::new(1),
         cache: Mutex::new(SolutionCache::new(cfg.cache_capacity)),
         mode_cache: Mutex::new(ModeCache::new(cfg.cache_capacity)),
+        windows: Windows::new(cfg.window_slots),
+        gauges: Gauges::new(),
+        access,
+        snap_base: Mutex::new(netdag_obs::global().snapshot()),
     };
     let workers = cfg.workers.max(1);
     std::thread::scope(|scope| {
@@ -184,14 +341,35 @@ pub fn serve(listener: TcpListener, cfg: &ServeConfig) -> std::io::Result<ServeR
             worker_loop(&shared);
         });
     });
+    if let Some(log) = shared.access.as_ref() {
+        let _ = log.lock().expect("access log lock").flush();
+    }
     let cache = shared.cache.lock().expect("cache lock");
     let s = cache.stats();
+    let deadline_expired = shared.deadline_expired.load(Ordering::Relaxed);
+    let slo = if cfg.slo.is_empty() {
+        None
+    } else {
+        let lookups = s.hits + s.misses + s.warm_starts;
+        let hit_rate = if lookups == 0 {
+            0.0
+        } else {
+            s.hits as f64 / lookups as f64
+        };
+        Some(cfg.slo.evaluate(&SloInputs {
+            p99_us: shared.windows.latency_us.stats().p99,
+            hit_rate,
+            deadline_expired,
+        }))
+    };
     Ok(ServeReport {
         requests: shared.requests.load(Ordering::Relaxed),
         rejected: shared.rejected.load(Ordering::Relaxed),
         cache_hits: s.hits,
         cache_misses: s.misses,
         warm_starts: s.warm_starts,
+        deadline_expired,
+        slo,
     })
 }
 
@@ -256,22 +434,33 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
 }
 
 /// Parses and answers one request line (admitting solve/validate work
-/// to the queue and blocking until its worker responds).
+/// to the queue and blocking until its worker responds). The read-only
+/// probes `metrics` and `health` are answered before any counting so a
+/// poller observes identical counters across consecutive probes of an
+/// idle daemon.
 fn process_line(shared: &Shared, line: &str) -> Response {
-    shared.requests.fetch_add(1, Ordering::Relaxed);
-    counter!(keys::SERVE_REQUESTS).incr();
     let req: Request = match serde_json::from_str(line) {
         Ok(r) => r,
         Err(e) => {
+            shared.requests.fetch_add(1, Ordering::Relaxed);
+            counter!(keys::SERVE_REQUESTS).incr();
             counter!(keys::SERVE_ERRORS).incr();
             return Response::error(None, &format!("bad request: {e}"));
         }
     };
     match req.op.as_str() {
+        "metrics" => return handle_metrics(shared, &req),
+        "health" => return handle_health(shared, &req),
+        _ => {}
+    }
+    shared.requests.fetch_add(1, Ordering::Relaxed);
+    counter!(keys::SERVE_REQUESTS).incr();
+    match req.op.as_str() {
         "cache_stats" => {
             let mut body = shared.cache.lock().expect("cache lock").stats();
             body.queued = shared.queue.lock().expect("queue lock").len() as u64;
             body.in_flight = shared.in_flight.load(Ordering::SeqCst);
+            body.mode_entries = shared.mode_cache.lock().expect("mode cache lock").len() as u64;
             let mut resp = Response::status(req.id, STATUS_OK);
             resp.cache = Some(body);
             resp
@@ -306,6 +495,60 @@ fn process_line(shared: &Shared, line: &str) -> Response {
             Response::error(req.id, &format!("unknown op {other:?}"))
         }
     }
+}
+
+/// Answers the `metrics` operation: the live `netdag-obs/1` snapshot
+/// embedded as JSON plus the rolling-window quantiles. Purely a read —
+/// no counter, span, or window is touched.
+fn handle_metrics(shared: &Shared, req: &Request) -> Response {
+    let snapshot = netdag_obs::global().snapshot();
+    let obs = match serde_json::from_str_value(&snapshot.to_json()) {
+        Ok(v) => v,
+        Err(e) => {
+            return Response::error(req.id, &format!("metrics snapshot failed: {e}"));
+        }
+    };
+    let rolling = shared.windows.rolling();
+    let ticks = shared.windows.latency_us.stats().ticks;
+    let mut resp = Response::status(req.id, STATUS_OK);
+    resp.metrics = Some(MetricsBody {
+        obs,
+        rolling,
+        window: WindowMeta {
+            slots: shared.cfg.window_slots.max(1) as u64,
+            tick_every: shared.cfg.window_tick,
+            ticks,
+        },
+    });
+    resp
+}
+
+/// Answers the `health` operation: liveness and pressure at a glance.
+/// Read-only like `metrics`.
+fn handle_health(shared: &Shared, req: &Request) -> Response {
+    let draining = shared.shutdown.load(Ordering::SeqCst);
+    let (cache_entries, cache_capacity) = {
+        let s = shared.cache.lock().expect("cache lock").stats();
+        (s.entries, s.capacity)
+    };
+    let uptime_ms = shared
+        .started
+        .elapsed()
+        .as_millis()
+        .min(u128::from(u64::MAX)) as u64;
+    let mut resp = Response::status(req.id, STATUS_OK);
+    resp.health = Some(HealthBody {
+        status: if draining { "draining" } else { "ok" }.to_owned(),
+        uptime_requests: shared.requests.load(Ordering::Relaxed),
+        uptime_ms,
+        queue_depth: shared.queue.lock().expect("queue lock").len() as u64,
+        in_flight: shared.in_flight.load(Ordering::SeqCst),
+        workers: shared.cfg.workers.max(1) as u64,
+        workers_live: shared.gauges.workers_live.get(),
+        cache_entries,
+        cache_capacity,
+    });
+    resp
 }
 
 /// Runs the CPM timing presolve for a solve request. `Some(response)`
@@ -448,24 +691,40 @@ fn admit(shared: &Shared, req: Request) -> Response {
             return Response::rejected(id, REASON_QUEUE_FULL);
         }
         let slot = Slot::new();
+        let rid = shared.next_rid.fetch_add(1, Ordering::Relaxed);
         queue.push_back(Job {
             req,
+            rid,
             accepted_at: Instant::now(),
             slot: slot.clone(),
         });
         netdag_obs::global().observe(keys::HIST_SERVE_QUEUE_DEPTH, queue.len() as u64);
+        shared.gauges.queue_depth.set(queue.len() as u64);
         slot
     };
     shared.ready.notify_one();
     slot.wait()
 }
 
+/// Keeps the `serve.workers_live` gauge honest on every exit path,
+/// including a panic unwinding out of a handler.
+struct LiveWorker<'a>(&'a Gauge);
+
+impl Drop for LiveWorker<'_> {
+    fn drop(&mut self) {
+        self.0.sub(1);
+    }
+}
+
 fn worker_loop(shared: &Shared) {
+    shared.gauges.workers_live.add(1);
+    let _live = LiveWorker(&shared.gauges.workers_live);
     loop {
         let job = {
             let mut queue = shared.queue.lock().expect("queue lock");
             loop {
                 if let Some(job) = queue.pop_front() {
+                    shared.gauges.queue_depth.set(queue.len() as u64);
                     break job;
                 }
                 if shared.shutdown.load(Ordering::SeqCst) {
@@ -479,29 +738,130 @@ fn worker_loop(shared: &Shared) {
             }
         };
         shared.in_flight.fetch_add(1, Ordering::SeqCst);
-        let resp = {
+        shared.gauges.in_flight.add(1);
+        let queue_us = job
+            .accepted_at
+            .elapsed()
+            .as_micros()
+            .min(u128::from(u64::MAX)) as u64;
+        let service_started = Instant::now();
+        let (resp, nodes) = {
             let _span = netdag_obs::global().span(keys::SPAN_SERVE_REQUEST);
             let _trace = netdag_trace::span_with(
                 "serve.request",
                 &[
                     ("op", job.req.op.clone().into()),
                     ("id", job.req.id.unwrap_or(0).into()),
+                    ("rid", job.rid.into()),
                 ],
             );
             match job.req.op.as_str() {
                 "solve" => handle_solve(shared, &job.req),
                 "mode_solve" => handle_mode_solve(shared, &job.req),
-                _ => handle_validate(&job.req),
+                _ => (handle_validate(&job.req), 0),
             }
         };
+        let service_us = service_started
+            .elapsed()
+            .as_micros()
+            .min(u128::from(u64::MAX)) as u64;
         let latency = job
             .accepted_at
             .elapsed()
             .as_micros()
             .min(u128::from(u64::MAX)) as u64;
         netdag_obs::global().observe(keys::HIST_SERVE_LATENCY_US, latency);
+        shared.windows.latency_us.observe(latency);
+        shared.windows.queue_wait_us.observe(queue_us);
+        shared.windows.service_us.observe(service_us);
+        shared.windows.solver_nodes.observe(nodes);
         shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        shared.gauges.in_flight.sub(1);
+        if let Some(log) = shared.access.as_ref() {
+            write_access_line(log, &job, &resp, nodes, queue_us, service_us);
+        }
+        let done = shared.completed.fetch_add(1, Ordering::SeqCst) + 1;
+        if shared.cfg.window_tick > 0 && done.is_multiple_of(shared.cfg.window_tick) {
+            shared.windows.tick();
+        }
+        if shared.cfg.metrics_interval > 0 && done.is_multiple_of(shared.cfg.metrics_interval) {
+            write_interval_snapshot(shared);
+        }
         job.slot.fill(resp);
+    }
+}
+
+/// Appends one structured JSON access-log line for a worker-handled
+/// request. The `rid` here equals the `rid` argument of the request's
+/// `serve.request` trace span, so log lines and `--trace` output
+/// correlate. Logging failures are swallowed: telemetry must never
+/// fail a request.
+fn write_access_line(
+    log: &Mutex<BufWriter<std::fs::File>>,
+    job: &Job,
+    resp: &Response,
+    nodes: u64,
+    queue_us: u64,
+    service_us: u64,
+) {
+    use serde::Value;
+    let cache_class = if resp.cached == Some(true) {
+        "hit"
+    } else if resp.warm_started == Some(true) {
+        "warm"
+    } else if resp.cached == Some(false) {
+        "cold"
+    } else {
+        "-"
+    };
+    let fp = resp
+        .fingerprint
+        .as_deref()
+        .map_or("-".to_owned(), |hex| hex.chars().take(8).collect());
+    let line = Value::Object(vec![
+        ("rid".to_owned(), Value::UInt(job.rid)),
+        ("id".to_owned(), job.req.id.map_or(Value::Null, Value::UInt)),
+        ("op".to_owned(), Value::String(job.req.op.clone())),
+        ("status".to_owned(), Value::String(resp.status.clone())),
+        ("cache".to_owned(), Value::String(cache_class.to_owned())),
+        ("fp".to_owned(), Value::String(fp)),
+        ("nodes".to_owned(), Value::UInt(nodes)),
+        ("queue_us".to_owned(), Value::UInt(queue_us)),
+        ("service_us".to_owned(), Value::UInt(service_us)),
+    ]);
+    if let Ok(text) = serde_json::to_string(&line) {
+        let mut w = log.lock().expect("access log lock");
+        let _ = writeln!(w, "{text}");
+        // Flushed per line so tail -f / test readers see complete
+        // records as soon as the response is delivered.
+        let _ = w.flush();
+    }
+}
+
+/// Writes `now - snap_base` to [`ServeConfig::metrics_path`] and
+/// advances the baseline, making each file a true delta over its own
+/// interval. The document lands under a temp name and is moved into
+/// place with `rename`, so a concurrent reader never sees a torn file.
+fn write_interval_snapshot(shared: &Shared) {
+    let Some(path) = shared.cfg.metrics_path.as_ref() else {
+        return;
+    };
+    let delta = {
+        let mut base = shared.snap_base.lock().expect("snapshot baseline lock");
+        let now = netdag_obs::global().snapshot();
+        let delta = now.delta(&base);
+        *base = now;
+        delta
+    };
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    let moved = std::fs::write(&tmp, delta.to_json()).and_then(|()| std::fs::rename(&tmp, path));
+    if let Err(e) = moved {
+        eprintln!(
+            "netdag-serve: interval metrics snapshot to {} failed: {e}",
+            path.display()
+        );
     }
 }
 
@@ -544,21 +904,28 @@ fn normalized_stat(req: &Request) -> StatSpec {
     })
 }
 
-fn handle_solve(shared: &Shared, req: &Request) -> Response {
+/// Answers a `solve` request. The second tuple element is the number
+/// of search nodes the solve explored (zero for cache hits and error
+/// paths), taken from the solve's own [`netdag_solver::SearchStats`]
+/// so it is exact per request even with concurrent workers.
+fn handle_solve(shared: &Shared, req: &Request) -> (Response, u64) {
     let id = req.id;
     let Some(app_spec) = req.app.as_ref() else {
         counter!(keys::SERVE_ERRORS).incr();
-        return Response::error(id, "solve needs an \"app\" spec");
+        return (Response::error(id, "solve needs an \"app\" spec"), 0);
     };
     if req.soft.is_some() && req.weakly_hard.is_some() {
         counter!(keys::SERVE_ERRORS).incr();
-        return Response::error(id, "\"soft\" and \"weakly_hard\" are mutually exclusive");
+        return (
+            Response::error(id, "\"soft\" and \"weakly_hard\" are mutually exclusive"),
+            0,
+        );
     }
     let (app, names) = match app_spec.build() {
         Ok(pair) => pair,
         Err(e) => {
             counter!(keys::SERVE_ERRORS).incr();
-            return Response::error(id, &format!("invalid spec: {e}"));
+            return (Response::error(id, &format!("invalid spec: {e}")), 0);
         }
     };
     let cfg = config_from(req);
@@ -581,7 +948,7 @@ fn handle_solve(shared: &Shared, req: &Request) -> Response {
             resp.cached = Some(true);
             resp.warm_started = Some(false);
             resp.fingerprint = Some(fp.hex());
-            return resp;
+            return (resp, 0);
         }
         Lookup::Warm(makespan_us) => {
             counter!(keys::SERVE_WARM_STARTS).incr();
@@ -611,9 +978,12 @@ fn handle_solve(shared: &Shared, req: &Request) -> Response {
             .filter(|_| stat.kind == "eq15")
         else {
             counter!(keys::SERVE_ERRORS).incr();
-            return Response::error(
-                id,
-                "soft solving needs \"stat\": {\"kind\": \"eq15\", \"fss\": …}",
+            return (
+                Response::error(
+                    id,
+                    "soft solving needs \"stat\": {\"kind\": \"eq15\", \"fss\": …}",
+                ),
+                0,
             );
         };
         match soft.build(&names) {
@@ -627,15 +997,18 @@ fn handle_solve(shared: &Shared, req: &Request) -> Response {
             ),
             Err(e) => {
                 counter!(keys::SERVE_ERRORS).incr();
-                return Response::error(id, &format!("invalid spec: {e}"));
+                return (Response::error(id, &format!("invalid spec: {e}")), 0);
             }
         }
     } else {
         if stat.kind != "eq13" {
             counter!(keys::SERVE_ERRORS).incr();
-            return Response::error(
-                id,
-                "weakly hard solving needs \"stat\": {\"kind\": \"eq13\"}",
+            return (
+                Response::error(
+                    id,
+                    "weakly hard solving needs \"stat\": {\"kind\": \"eq13\"}",
+                ),
+                0,
             );
         }
         let f = match req.weakly_hard.as_ref() {
@@ -643,7 +1016,7 @@ fn handle_solve(shared: &Shared, req: &Request) -> Response {
                 Ok(f) => f,
                 Err(e) => {
                     counter!(keys::SERVE_ERRORS).incr();
-                    return Response::error(id, &format!("invalid spec: {e}"));
+                    return (Response::error(id, &format!("invalid spec: {e}")), 0);
                 }
             },
             None => WeaklyHardConstraints::new(),
@@ -660,6 +1033,7 @@ fn handle_solve(shared: &Shared, req: &Request) -> Response {
 
     match solved {
         Ok(controlled) => {
+            let nodes = controlled.outcome.stats.as_ref().map_or(0, |s| s.nodes);
             let makespan = controlled.outcome.schedule.makespan(&app);
             let export = ScheduleExport {
                 schedule: controlled.outcome.schedule.clone(),
@@ -668,13 +1042,12 @@ fn handle_solve(shared: &Shared, req: &Request) -> Response {
                 optimal: controlled.outcome.optimal,
             };
             if controlled.complete {
-                shared
-                    .cache
-                    .lock()
-                    .expect("cache lock")
-                    .insert(fp, export.clone(), makespan);
+                let mut cache = shared.cache.lock().expect("cache lock");
+                cache.insert(fp, export.clone(), makespan);
+                shared.gauges.cache_entries.set(cache.stats().entries);
             } else {
                 counter!(keys::SERVE_DEADLINE_EXPIRED).incr();
+                shared.deadline_expired.fetch_add(1, Ordering::Relaxed);
             }
             let mut resp = Response::status(
                 id,
@@ -689,13 +1062,13 @@ fn handle_solve(shared: &Shared, req: &Request) -> Response {
             resp.cached = Some(false);
             resp.warm_started = Some(warm_bound.is_some());
             resp.fingerprint = Some(fp.hex());
-            resp
+            (resp, nodes)
         }
         Err(ScheduleError::Infeasible | ScheduleError::InfeasibleReliability(_)) => {
             let mut resp = Response::status(id, STATUS_INFEASIBLE);
             resp.reason = Some("no χ assignment within chi-max meets the constraints".to_owned());
             resp.fingerprint = Some(fp.hex());
-            resp
+            (resp, 0)
         }
         // Normally caught pre-admission; kept as the worker-path answer
         // for configurations the connection-thread check skips.
@@ -703,21 +1076,22 @@ fn handle_solve(shared: &Shared, req: &Request) -> Response {
             let mut resp = Response::status(id, STATUS_INFEASIBLE);
             resp.reason = Some(format!("timing presolve: {e}"));
             resp.fingerprint = Some(fp.hex());
-            resp
+            (resp, 0)
         }
         Err(ScheduleError::Interrupted) => {
             counter!(keys::SERVE_DEADLINE_EXPIRED).incr();
+            shared.deadline_expired.fetch_add(1, Ordering::Relaxed);
             let mut resp = Response::error(
                 id,
                 "deadline expired before any feasible schedule was found",
             );
             resp.complete = Some(false);
             resp.fingerprint = Some(fp.hex());
-            resp
+            (resp, 0)
         }
         Err(e) => {
             counter!(keys::SERVE_ERRORS).incr();
-            Response::error(id, &format!("scheduling failed: {e}"))
+            (Response::error(id, &format!("scheduling failed: {e}")), 0)
         }
     }
 }
@@ -725,19 +1099,24 @@ fn handle_solve(shared: &Shared, req: &Request) -> Response {
 /// Solves a `mode_solve` request: probe the exact-only mode cache, then
 /// run the joint multi-mode co-synthesis ([`schedule_modes`]). The
 /// answer is the same [`netdag_core::modes::ModeScheduleExport`]
-/// document `netdag schedule --modes --out` writes.
-fn handle_mode_solve(shared: &Shared, req: &Request) -> Response {
+/// document `netdag schedule --modes --out` writes. The second tuple
+/// element is the joint solve's search-node count (zero for cache hits
+/// and error paths).
+fn handle_mode_solve(shared: &Shared, req: &Request) -> (Response, u64) {
     let id = req.id;
     let Some(spec) = req.modes.as_ref() else {
         counter!(keys::SERVE_ERRORS).incr();
-        return Response::error(id, "mode_solve needs a \"modes\" spec");
+        return (Response::error(id, "mode_solve needs a \"modes\" spec"), 0);
     };
     if req.app.is_some() || req.soft.is_some() || req.weakly_hard.is_some() {
         counter!(keys::SERVE_ERRORS).incr();
-        return Response::error(
-            id,
-            "mode_solve embeds its application and constraints in \"modes\"; \
-             \"app\"/\"soft\"/\"weakly_hard\" must be absent",
+        return (
+            Response::error(
+                id,
+                "mode_solve embeds its application and constraints in \"modes\"; \
+                 \"app\"/\"soft\"/\"weakly_hard\" must be absent",
+            ),
+            0,
         );
     }
     let cfg = config_from(req);
@@ -757,11 +1136,12 @@ fn handle_mode_solve(shared: &Shared, req: &Request) -> Response {
         resp.cached = Some(true);
         resp.warm_started = Some(false);
         resp.fingerprint = Some(hex);
-        return resp;
+        return (resp, 0);
     }
     counter!(keys::SERVE_CACHE_MISSES).incr();
     match schedule_modes(spec, &cfg) {
         Ok(outcome) => {
+            let nodes = outcome.stats.nodes;
             let export = outcome.export();
             shared
                 .mode_cache
@@ -774,14 +1154,14 @@ fn handle_mode_solve(shared: &Shared, req: &Request) -> Response {
             resp.cached = Some(false);
             resp.warm_started = Some(false);
             resp.fingerprint = Some(hex);
-            resp
+            (resp, nodes)
         }
         Err(ScheduleError::Infeasible | ScheduleError::InfeasibleReliability(_)) => {
             let mut resp = Response::status(id, STATUS_INFEASIBLE);
             resp.reason =
                 Some("no χ assignment within chi-max meets every mode's constraints".to_owned());
             resp.fingerprint = Some(hex);
-            resp
+            (resp, 0)
         }
         // Normally caught pre-admission; kept as the worker-path answer
         // for configurations the connection-thread check skips.
@@ -789,11 +1169,11 @@ fn handle_mode_solve(shared: &Shared, req: &Request) -> Response {
             let mut resp = Response::status(id, STATUS_INFEASIBLE);
             resp.reason = Some(format!("timing presolve: {e}"));
             resp.fingerprint = Some(hex);
-            resp
+            (resp, 0)
         }
         Err(e) => {
             counter!(keys::SERVE_ERRORS).incr();
-            Response::error(id, &format!("scheduling failed: {e}"))
+            (Response::error(id, &format!("scheduling failed: {e}")), 0)
         }
     }
 }

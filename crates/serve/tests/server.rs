@@ -12,8 +12,8 @@ use netdag_core::spec::{
     AppSpec, EdgeSpec, SoftEntry, SoftSpec, TaskSpec, WeaklyHardEntry, WeaklyHardSpec,
 };
 use netdag_serve::protocol::{
-    ConfigSpec, Request, Response, StatSpec, REASON_QUEUE_FULL, STATUS_ERROR, STATUS_INCOMPLETE,
-    STATUS_INFEASIBLE, STATUS_OK, STATUS_REJECTED,
+    ConfigSpec, Request, Response, RollingStats, StatSpec, REASON_QUEUE_FULL, STATUS_ERROR,
+    STATUS_INCOMPLETE, STATUS_INFEASIBLE, STATUS_OK, STATUS_REJECTED,
 };
 use netdag_serve::{serve, ServeConfig, ServeReport};
 
@@ -412,6 +412,7 @@ fn deadline_returns_best_incumbent_marked_incomplete() {
         queue_capacity: 16,
         cache_capacity: 16,
         step_nodes: 256,
+        ..ServeConfig::default()
     });
     let mut c = Client::connect(addr);
 
@@ -461,6 +462,7 @@ fn deadline_with_no_incumbent_is_a_structured_error() {
         queue_capacity: 16,
         cache_capacity: 16,
         step_nodes: 16,
+        ..ServeConfig::default()
     });
     let mut c = Client::connect(addr);
 
@@ -483,6 +485,76 @@ fn deadline_with_no_incumbent_is_a_structured_error() {
     drop(report_rx);
 }
 
+/// Runs a fixed six-request session against a daemon with `workers`
+/// worker threads and returns the count-based `serve.solver_nodes`
+/// rolling-window stats the `metrics` operation reports afterwards.
+/// Requests are issued sequentially on one connection, so the window's
+/// tick positions (keyed to the completion counter) and the per-request
+/// node counts are independent of how many workers stand idle.
+fn solver_nodes_after_session(workers: usize) -> RollingStats {
+    let (addr, report_rx) = start_server(ServeConfig {
+        workers,
+        window_slots: 4,
+        window_tick: 2,
+        ..ServeConfig::default()
+    });
+    let mut c = Client::connect(addr);
+
+    // Cold, exact hit, cold, warm (permuted declarations), cold, hit.
+    let r = c.send(&solve_request(1, pipeline_app(), Some(wh_spec(10, 40))));
+    assert_eq!(r.status, STATUS_OK, "{:?}", r.reason);
+    assert_eq!(
+        c.send(&solve_request(2, pipeline_app(), Some(wh_spec(10, 40))))
+            .cached,
+        Some(true)
+    );
+    c.send(&solve_request(3, pipeline_app(), Some(wh_spec(12, 40))));
+    let mut permuted = pipeline_app();
+    permuted.tasks.swap(0, 1);
+    assert_eq!(
+        c.send(&solve_request(4, permuted, Some(wh_spec(10, 40))))
+            .warm_started,
+        Some(true)
+    );
+    c.send(&solve_request(5, pipeline_app(), Some(wh_spec(14, 40))));
+    assert_eq!(
+        c.send(&solve_request(6, pipeline_app(), Some(wh_spec(12, 40))))
+            .cached,
+        Some(true)
+    );
+
+    let m = c.send(&Request::op("metrics"));
+    assert_eq!(m.status, STATUS_OK);
+    let body = m.metrics.expect("metrics body");
+    assert_eq!(body.window.slots, 4);
+    assert_eq!(body.window.tick_every, 2);
+    assert_eq!(body.window.ticks, 3, "six completions at tick-every 2");
+    let nodes = body
+        .rolling
+        .into_iter()
+        .find(|r| r.name == "serve.solver_nodes")
+        .expect("solver_nodes window");
+
+    c.send(&Request::op("shutdown"));
+    let _ = report_rx.recv_timeout(Duration::from_secs(30));
+    nodes
+}
+
+/// Count-based windowed metrics are pinned bit-identical across worker
+/// counts: the same sequential session yields byte-for-byte equal
+/// `serve.solver_nodes` rolling stats at 1, 2, and 8 workers (wall-time
+/// windows carry no such pin — they are deliberately not compared).
+#[test]
+fn rolling_solver_nodes_identical_across_worker_counts() {
+    let w1 = solver_nodes_after_session(1);
+    let w2 = solver_nodes_after_session(2);
+    let w8 = solver_nodes_after_session(8);
+    assert!(w1.count >= 6, "every request observes a node count: {w1:?}");
+    assert!(w1.sum > 0, "cold solves explore nodes: {w1:?}");
+    assert_eq!(w1, w2);
+    assert_eq!(w1, w8);
+}
+
 /// The robustness acceptance test: with queue bound N and the single
 /// worker pinned, a burst of 4N solves is answered with exactly N
 /// accepted and 3N structured rejections, and a shutdown issued while
@@ -501,6 +573,7 @@ fn backpressure_bounds_queue_and_shutdown_drains() {
         queue_capacity: N,
         cache_capacity: 16,
         step_nodes: 512,
+        ..ServeConfig::default()
     });
 
     // Solve once so there is a schedule to validate.
