@@ -98,11 +98,14 @@ pub struct ServeOpts {
     /// Port to bind (0 = ephemeral; the chosen port is printed and
     /// optionally written to `--port-file`).
     pub port: u16,
-    /// Worker threads solving requests.
+    /// Consistent-hash shards, each with its own cache and worker pool.
+    pub shards: usize,
+    /// Worker threads solving requests, per shard.
     pub workers: usize,
-    /// Admission queue bound (requests beyond it are rejected).
+    /// Admission queue bound per shard (requests beyond it are
+    /// rejected).
     pub queue: usize,
-    /// Solution cache bound (LRU eviction beyond it).
+    /// Solution cache bound per shard (LRU eviction beyond it).
     pub cache: usize,
     /// Engine node budget between deadline polls.
     pub step_nodes: u64,
@@ -111,6 +114,9 @@ pub struct ServeOpts {
     pub port_file: Option<PathBuf>,
     /// Structured JSON access log: one line per worker-handled request.
     pub access_log: Option<PathBuf>,
+    /// Versioned cache snapshot: restored (re-ringed) on start, written
+    /// atomically on graceful drain.
+    pub cache_snapshot: Option<PathBuf>,
     /// Rewrite the `--metrics` file (atomically) every this many
     /// completed requests, 0 = only at shutdown. Requires `--metrics`.
     pub metrics_interval: u64,
@@ -257,12 +263,16 @@ USAGE:
                   [--threads N]   (0 = auto, 1 = serial; same results at any N)
                   [--metrics <m.json>] [--trace <t.json>]
   netdag serve    [--host H] [--port N] (0 = ephemeral, printed on start)
-                  [--workers N] [--queue N] (admission bound; overflow is
+                  [--shards N]    (consistent-hash shards, each with its
+                                   own cache and worker pool)
+                  [--workers N] [--queue N] (per shard; overflow is
                                              rejected, not queued)
-                  [--cache N]     (solution-cache entries, LRU)
+                  [--cache N]     (solution-cache entries per shard, LRU)
                   [--step-nodes N] [--port-file <p.txt>]
                   [--access-log <log.ndjson>] (one structured JSON line
                                                per handled request)
+                  [--cache-snapshot <s.json>] (warm restart: restored on
+                                               start, written on drain)
                   [--metrics-interval N] (rewrite --metrics atomically
                                           every N completed requests)
                   [--slo-p99-us N] [--slo-hit-rate F]
@@ -304,18 +314,28 @@ with `--modes`; `--greedy` is rejected (co-synthesis needs the exact
 backend's coupled search).
 
 `netdag serve` answers newline-delimited JSON requests over TCP
-(solve / validate / mode_solve / cache_stats / metrics / health /
-shutdown) with the same schedule document `netdag schedule --out`
-writes; repeated problems hit a fingerprint-keyed solution cache and
-structurally similar ones warm-start the solver. It runs until a client
-sends {\"op\": \"shutdown\"}, draining accepted work first. The two
-read-only probes report live telemetry — `metrics` embeds the current
-netdag-obs/1 snapshot plus rolling p50/p90/p99 windows over recent
-traffic, `health` liveness and queue pressure — without perturbing any
-counter. With `--access-log` every worker-handled request appends one
-structured JSON line whose `rid` also tags the request's trace span;
-with `--slo-*` flags the shutdown report gains a pass/fail check per
-threshold and a violation makes the command exit non-zero.
+(solve / batch_solve / validate / mode_solve / cache_stats / metrics /
+health / shutdown) with the same schedule document `netdag schedule
+--out` writes; repeated problems hit a fingerprint-keyed solution cache
+and structurally similar ones warm-start the solver. With `--shards N`
+the daemon runs N shards, each owning an independent cache and worker
+pool, and routes every request by its structural fingerprint over a
+consistent-hash ring — responses are byte-identical at any shard count.
+`batch_solve` carries an array of solve items, fingerprints them once
+per structural class, and fans them out to their owning shards in one
+round trip. It runs until a client sends {\"op\": \"shutdown\"},
+draining accepted work first. The two read-only probes report live
+telemetry — `metrics` embeds the current netdag-obs/1 snapshot plus
+rolling p50/p90/p99 windows over recent traffic, `health` liveness and
+queue pressure — without perturbing any counter. With `--access-log`
+every worker-handled request appends one structured JSON line whose
+`rid` also tags the request's trace span (write failures are counted,
+never fatal); with `--cache-snapshot <s.json>` a gracefully drained
+daemon persists its caches atomically and a restarting one reloads
+them — re-routed through its own ring, so the shard count may change
+between runs; with `--slo-*` flags the shutdown report gains a
+pass/fail check per threshold and a violation makes the command exit
+non-zero.
 
 Every subcommand accepts --metrics <path>, writing a machine-readable
 JSON report (schema netdag-obs/1: solver/cache/flood counters plus wall
@@ -529,12 +549,14 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
             let mut opts = ServeOpts {
                 host: "127.0.0.1".to_owned(),
                 port: 0,
+                shards: 1,
                 workers: 2,
                 queue: 16,
                 cache: 64,
                 step_nodes: 4096,
                 port_file: None,
                 access_log: None,
+                cache_snapshot: None,
                 metrics_interval: 0,
                 slo_p99_us: None,
                 slo_hit_rate: None,
@@ -549,6 +571,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                 match flag.as_str() {
                     "--host" => opts.host = cur.value("--host")?,
                     "--port" => opts.port = cur.parsed("--port")?,
+                    "--shards" => opts.shards = cur.parsed("--shards")?,
                     "--workers" => opts.workers = cur.parsed("--workers")?,
                     "--queue" => opts.queue = cur.parsed("--queue")?,
                     "--cache" => opts.cache = cur.parsed("--cache")?,
@@ -558,6 +581,9 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                     }
                     "--access-log" => {
                         opts.access_log = Some(PathBuf::from(cur.value("--access-log")?))
+                    }
+                    "--cache-snapshot" => {
+                        opts.cache_snapshot = Some(PathBuf::from(cur.value("--cache-snapshot")?))
                     }
                     "--metrics-interval" => {
                         opts.metrics_interval = cur.parsed("--metrics-interval")?
@@ -840,18 +866,20 @@ mod tests {
         };
         assert_eq!(d.host, "127.0.0.1");
         assert_eq!(d.port, 0);
-        assert_eq!((d.workers, d.queue, d.cache), (2, 16, 64));
+        assert_eq!((d.shards, d.workers, d.queue, d.cache), (1, 2, 16, 64));
         assert_eq!(d.step_nodes, 4096);
         assert_eq!(d.port_file, None);
         assert_eq!(d.access_log, None);
+        assert_eq!(d.cache_snapshot, None);
         assert_eq!(d.metrics_interval, 0);
         assert_eq!(
             (d.slo_p99_us, d.slo_hit_rate, d.slo_max_deadline_expired),
             (None, None, None)
         );
         let Command::Serve(o) = parse(
-            "serve --host 0.0.0.0 --port 9000 --workers 4 --queue 8 --cache 32 \
-             --step-nodes 1024 --port-file p.txt --access-log a.ndjson \
+            "serve --host 0.0.0.0 --port 9000 --shards 4 --workers 4 --queue 8 \
+             --cache 32 --step-nodes 1024 --port-file p.txt --access-log a.ndjson \
+             --cache-snapshot snap.json \
              --metrics-interval 50 --slo-p99-us 250000 --slo-hit-rate 0.5 \
              --slo-max-deadline-expired 0 --metrics m.json --trace t.json",
         )
@@ -860,10 +888,11 @@ mod tests {
         };
         assert_eq!(o.host, "0.0.0.0");
         assert_eq!(o.port, 9000);
-        assert_eq!((o.workers, o.queue, o.cache), (4, 8, 32));
+        assert_eq!((o.shards, o.workers, o.queue, o.cache), (4, 4, 8, 32));
         assert_eq!(o.step_nodes, 1024);
         assert_eq!(o.port_file, Some(PathBuf::from("p.txt")));
         assert_eq!(o.access_log, Some(PathBuf::from("a.ndjson")));
+        assert_eq!(o.cache_snapshot, Some(PathBuf::from("snap.json")));
         assert_eq!(o.metrics_interval, 50);
         assert_eq!(o.slo_p99_us, Some(250_000));
         assert_eq!(o.slo_hit_rate, Some(0.5));

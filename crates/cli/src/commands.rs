@@ -249,11 +249,13 @@ fn serve_daemon(opts: &ServeOpts) -> Result<Output, CliError> {
             .map_err(|e| CliError::Io(path.display().to_string(), e))?;
     }
     let cfg = netdag_serve::ServeConfig {
+        shards: opts.shards,
         workers: opts.workers,
         queue_capacity: opts.queue,
         cache_capacity: opts.cache,
         step_nodes: opts.step_nodes,
         access_log: opts.access_log.clone(),
+        cache_snapshot: opts.cache_snapshot.clone(),
         metrics_path: opts.metrics.clone(),
         metrics_interval: opts.metrics_interval,
         slo: netdag_obs::SloGate {
@@ -267,13 +269,14 @@ fn serve_daemon(opts: &ServeOpts) -> Result<Output, CliError> {
         netdag_serve::serve(listener, &cfg).map_err(|e| CliError::Io(addr.to_string(), e))?;
     let mut text = format!(
         "served {} requests ({} rejected, {} cache hits, {} warm starts, {} cold solves, \
-         {} deadline expiries)\n",
+         {} deadline expiries, {} restored from snapshot)\n",
         report.requests,
         report.rejected,
         report.cache_hits,
         report.warm_starts,
         report.cache_misses,
-        report.deadline_expired
+        report.deadline_expired,
+        report.restored
     );
     // A configured SLO gate turns the shutdown report into a verdict:
     // one line per check, and any violation fails the command.

@@ -195,6 +195,16 @@ fn serve_responses_match_cli_schedule_bytes() {
     assert_eq!(body.queued, 0);
     assert_eq!(body.in_flight, 0);
     assert_eq!(body.mode_entries, 0);
+    assert_eq!(body.restored, 0);
+    // The default daemon is one shard, and its row carries the whole
+    // aggregate.
+    assert_eq!(body.shards.len(), 1);
+    assert_eq!(body.shards[0].shard, 0);
+    assert_eq!(body.shards[0].entries, 2);
+    assert_eq!(body.shards[0].hits, 1);
+    assert_eq!(body.shards[0].misses, 1);
+    assert_eq!(body.shards[0].warm_starts, 1);
+    assert_eq!(body.shards[0].restored, 0);
 
     let bye = c.send(&Request::op("shutdown"));
     assert_eq!(bye.status, STATUS_OK);
@@ -306,6 +316,7 @@ fn serve_metrics_and_health_probes() {
     assert_eq!(health.status, STATUS_OK);
     let h = health.health.expect("health body");
     assert_eq!(h.status, "ok");
+    assert_eq!(h.shards, 1);
     assert_eq!(h.workers, 2);
     assert_eq!(h.workers_live, 2);
     assert_eq!(h.queue_depth, 0);

@@ -118,6 +118,18 @@ pub const SERVE_REJECTS: &str = "serve.rejects";
 pub const SERVE_DEADLINE_EXPIRED: &str = "serve.deadline_expired";
 /// Requests that failed (bad JSON, invalid spec, infeasible problem).
 pub const SERVE_ERRORS: &str = "serve.errors";
+/// `batch_solve` request lines received (each also counts one
+/// [`SERVE_REQUESTS`]).
+pub const SERVE_BATCH_REQUESTS: &str = "serve.batch_requests";
+/// Problems carried inside `batch_solve` requests (each classified
+/// individually as a hit, warm start, or miss).
+pub const SERVE_BATCH_ITEMS: &str = "serve.batch_items";
+/// Cache entries restored from a `--cache-snapshot` file at startup
+/// (re-routed onto the current shard ring).
+pub const SERVE_CACHE_RESTORED: &str = "serve.cache.restored";
+/// Access-log lines dropped because the write or flush failed.
+/// Telemetry never fails a request, but a full disk is not silent.
+pub const SERVE_ACCESS_LOG_DROPPED: &str = "serve.access_log.dropped";
 
 // ── netdag-validation ───────────────────────────────────────────────
 
@@ -175,6 +187,8 @@ pub const GAUGE_SERVE_IN_FLIGHT: &str = "serve.in_flight";
 pub const GAUGE_SERVE_CACHE_ENTRIES: &str = "serve.cache_entries";
 /// Daemon worker threads currently alive.
 pub const GAUGE_SERVE_WORKERS_LIVE: &str = "serve.workers_live";
+/// Shards the serve daemon was configured with (constant after start).
+pub const GAUGE_SERVE_SHARDS: &str = "serve.shards";
 
 /// Every counter the workspace emits, in report order.
 pub const ALL_COUNTERS: &[&str] = &[
@@ -191,6 +205,10 @@ pub const ALL_COUNTERS: &[&str] = &[
     LWB_ROUNDS_SCHEDULED,
     LWB_SLOTS_EXECUTED,
     LWB_SLOTS_SCHEDULED,
+    SERVE_ACCESS_LOG_DROPPED,
+    SERVE_BATCH_ITEMS,
+    SERVE_BATCH_REQUESTS,
+    SERVE_CACHE_RESTORED,
     SERVE_CACHE_HITS,
     SERVE_CACHE_MISSES,
     SERVE_DEADLINE_EXPIRED,
@@ -247,5 +265,6 @@ pub const ALL_GAUGES: &[&str] = &[
     GAUGE_SERVE_CACHE_ENTRIES,
     GAUGE_SERVE_IN_FLIGHT,
     GAUGE_SERVE_QUEUE_DEPTH,
+    GAUGE_SERVE_SHARDS,
     GAUGE_SERVE_WORKERS_LIVE,
 ];

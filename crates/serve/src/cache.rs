@@ -23,6 +23,7 @@ use netdag_core::spec::ScheduleExport;
 
 use crate::fingerprint::Fingerprint;
 use crate::protocol::CacheStatsBody;
+use crate::snapshot::{ModeSnapshotEntry, SnapshotEntry};
 
 /// Outcome of a cache probe.
 #[derive(Debug, Clone)]
@@ -129,6 +130,46 @@ impl SolutionCache {
         }
     }
 
+    /// Every live entry in least- to most-recently-used order, for the
+    /// shutdown cache snapshot. Replaying the returned sequence through
+    /// [`SolutionCache::restore`] reconstructs the same recency order.
+    pub fn export_entries(&self) -> Vec<SnapshotEntry> {
+        let mut sorted: Vec<&Entry> = self.entries.iter().collect();
+        sorted.sort_by_key(|e| e.stamp);
+        sorted
+            .into_iter()
+            .map(|e| SnapshotEntry {
+                full: e.fp.full,
+                structural: e.fp.structural,
+                declared: e.fp.declared,
+                makespan_us: e.makespan_us,
+                export: e.export.clone(),
+            })
+            .collect()
+    }
+
+    /// Reinserts one snapshot entry at startup. Returns `false` —
+    /// without touching the eviction counter — when the cache is
+    /// already full and the entry is new: a restore fills spare
+    /// capacity but never displaces what an earlier (more recent)
+    /// snapshot line put there.
+    pub fn restore(&mut self, entry: SnapshotEntry) -> bool {
+        let fp = Fingerprint {
+            full: entry.full,
+            structural: entry.structural,
+            declared: entry.declared,
+        };
+        let exists = self
+            .entries
+            .iter()
+            .any(|e| e.fp.full == fp.full && e.fp.declared == fp.declared);
+        if !exists && self.entries.len() >= self.capacity {
+            return false;
+        }
+        self.insert(fp, entry.export, entry.makespan_us);
+        true
+    }
+
     /// A snapshot for the `cache_stats` operation (queue and mode-cache
     /// fields are filled in by the server).
     pub fn stats(&self) -> CacheStatsBody {
@@ -142,6 +183,8 @@ impl SolutionCache {
             queued: 0,
             in_flight: 0,
             mode_entries: 0,
+            restored: 0,
+            shards: Vec::new(),
         }
     }
 }
@@ -191,6 +234,31 @@ impl ModeCache {
     /// True when no mode solve has been cached yet.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Every live entry in least- to most-recently-used order, for the
+    /// shutdown cache snapshot.
+    pub fn export_entries(&self) -> Vec<ModeSnapshotEntry> {
+        let mut sorted: Vec<&ModeEntry> = self.entries.iter().collect();
+        sorted.sort_by_key(|e| e.stamp);
+        sorted
+            .into_iter()
+            .map(|e| ModeSnapshotEntry {
+                key: e.key,
+                export: e.export.clone(),
+            })
+            .collect()
+    }
+
+    /// Reinserts one snapshot entry at startup; `false` when the cache
+    /// is full and the key is new (restores never evict).
+    pub fn restore(&mut self, entry: ModeSnapshotEntry) -> bool {
+        let exists = self.entries.iter().any(|e| e.key == entry.key);
+        if !exists && self.entries.len() >= self.capacity {
+            return false;
+        }
+        self.insert(entry.key, entry.export);
+        true
     }
 
     /// Inserts (or refreshes) a complete joint solve's result, evicting

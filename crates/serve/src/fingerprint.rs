@@ -291,6 +291,19 @@ pub fn mode_fingerprint(spec: &ModesSpec, cfg: &SchedulerConfig) -> u64 {
     h.0
 }
 
+/// One fixed point of the consistent-hash shard ring
+/// ([`crate::ring::Ring`]): the FNV-1a hash of
+/// `("netdag-ring/1", shard, replica)`. Seeded by a versioned tag so
+/// the ring geometry — and therefore which shard owns which
+/// fingerprint — is stable across runs, machines, and restarts.
+pub fn ring_point(shard: u64, replica: u64) -> u64 {
+    let mut h = Fnv::new();
+    h.str("netdag-ring/1");
+    h.u64(shard);
+    h.u64(replica);
+    h.0
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

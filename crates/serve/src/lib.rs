@@ -42,9 +42,13 @@
 pub mod cache;
 pub mod fingerprint;
 pub mod protocol;
+pub mod ring;
 pub mod server;
+pub mod snapshot;
 
 pub use cache::{Lookup, ModeCache, SolutionCache};
 pub use fingerprint::{fingerprint, mode_fingerprint, Fingerprint};
-pub use protocol::{CacheStatsBody, Request, Response, ValidationReport};
+pub use protocol::{BatchItem, CacheStatsBody, Request, Response, ValidationReport};
+pub use ring::Ring;
 pub use server::{serve, ServeConfig, ServeReport};
+pub use snapshot::{CacheSnapshot, SNAPSHOT_SCHEMA};

@@ -2,12 +2,19 @@
 //!
 //! A client connects over TCP and writes one JSON object per line; the
 //! server answers each line with exactly one JSON [`Response`] line, in
-//! request order per connection. Seven operations exist:
+//! request order per connection. Eight operations exist:
 //!
 //! * `solve` — schedule an application embedded in the request (the
 //!   same [`AppSpec`] / constraint documents the CLI reads from files);
 //!   the answer carries the same [`ScheduleExport`] document
 //!   `netdag schedule --out` writes.
+//! * `batch_solve` — a vector of solve problems ([`BatchItem`]) sharing
+//!   the request's `config` and `deadline_ms`. The server fingerprints
+//!   and presolves each distinct problem once, groups the batch by
+//!   destination shard, and answers with one `batch` array of per-item
+//!   responses in request order; items on the same shard run
+//!   back-to-back, so repeats hit the cache and structural neighbours
+//!   chain warm starts within the batch.
 //! * `mode_solve` — co-synthesize a multi-mode schedule set from an
 //!   embedded [`ModesSpec`] (the same document `netdag schedule
 //!   --modes` reads); the answer carries the [`ModeScheduleExport`]
@@ -83,11 +90,26 @@ pub struct ConfigSpec {
     pub no_lb: Option<bool>,
 }
 
+/// One problem of a `batch_solve` request. Each item is the solve
+/// subset of a [`Request`]; the batch head's `config` and `deadline_ms`
+/// apply to every item.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BatchItem {
+    /// The application.
+    pub app: Option<AppSpec>,
+    /// Soft constraints (mutually exclusive with `weakly_hard`).
+    pub soft: Option<SoftSpec>,
+    /// Weakly hard constraints.
+    pub weakly_hard: Option<WeaklyHardSpec>,
+    /// Statistic selector (defaults to eq. (13)).
+    pub stat: Option<StatSpec>,
+}
+
 /// One request line.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Request {
-    /// `"solve"`, `"mode_solve"`, `"validate"`, `"cache_stats"`,
-    /// `"metrics"`, `"health"` or `"shutdown"`.
+    /// `"solve"`, `"batch_solve"`, `"mode_solve"`, `"validate"`,
+    /// `"cache_stats"`, `"metrics"`, `"health"` or `"shutdown"`.
     pub op: String,
     /// Client-chosen correlation id, echoed in the response.
     pub id: Option<u64>,
@@ -118,6 +140,9 @@ pub struct Request {
     pub seed: Option<u64>,
     /// Validation worker threads (default 1; never affects results).
     pub threads: Option<u64>,
+    /// The problem vector of a `batch_solve` request; the response's
+    /// `batch` array answers them in the same order.
+    pub batch: Option<Vec<BatchItem>>,
 }
 
 impl Request {
@@ -138,6 +163,7 @@ impl Request {
             trials: None,
             seed: None,
             threads: None,
+            batch: None,
         }
     }
 }
@@ -152,12 +178,38 @@ pub struct ValidationReport {
     pub report: String,
 }
 
-/// Cache and queue snapshot of a `cache_stats` request.
+/// Per-shard slice of the `cache_stats` body. Each shard owns an
+/// independent cache; these rows show where the ring placed the
+/// traffic while the aggregate fields stay shard-count-invariant.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ShardCacheStats {
+    /// Shard index on the ring.
+    pub shard: u64,
+    /// Live cache entries in this shard.
+    pub entries: u64,
+    /// Exact hits served by this shard.
+    pub hits: u64,
+    /// Cold solves run by this shard.
+    pub misses: u64,
+    /// Warm starts served by this shard.
+    pub warm_starts: u64,
+    /// LRU evictions in this shard.
+    pub evictions: u64,
+    /// Entries restored into this shard from a `--cache-snapshot` file.
+    pub restored: u64,
+    /// Live mode-cache entries in this shard.
+    pub mode_entries: u64,
+}
+
+/// Cache and queue snapshot of a `cache_stats` request. All fields
+/// except `shards` aggregate over the whole fleet and are identical at
+/// any shard count for the same request sequence (absent evictions);
+/// `capacity` is the *per-shard* LRU bound.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct CacheStatsBody {
     /// Live cache entries.
     pub entries: u64,
-    /// Configured cache capacity.
+    /// Configured cache capacity (per shard).
     pub capacity: u64,
     /// Exact-fingerprint hits served without solving.
     pub hits: u64,
@@ -173,6 +225,10 @@ pub struct CacheStatsBody {
     pub in_flight: u64,
     /// Live entries in the exact-only `mode_solve` cache.
     pub mode_entries: u64,
+    /// Entries restored from a `--cache-snapshot` file at startup.
+    pub restored: u64,
+    /// Per-shard breakdown, one row per shard in ring order.
+    pub shards: Vec<ShardCacheStats>,
 }
 
 /// Rolling-window aggregate of one windowed histogram, reported by the
@@ -235,8 +291,10 @@ pub struct HealthBody {
     pub queue_depth: u64,
     /// Requests currently being solved.
     pub in_flight: u64,
-    /// Configured worker threads.
+    /// Configured worker threads (per shard).
     pub workers: u64,
+    /// Configured shards; total solver threads = `shards × workers`.
+    pub shards: u64,
     /// Worker threads currently alive (equals `workers` on a healthy
     /// daemon; lower means a worker died).
     pub workers_live: u64,
@@ -275,6 +333,10 @@ pub struct Response {
     pub metrics: Option<MetricsBody>,
     /// Liveness snapshot (health).
     pub health: Option<HealthBody>,
+    /// Per-item responses of a `batch_solve` request, in the order of
+    /// the request's `batch` array. Each element uses the same shape as
+    /// a standalone `solve` response (status, result, cached, …).
+    pub batch: Option<Vec<Response>>,
 }
 
 impl Response {
@@ -294,6 +356,7 @@ impl Response {
             cache: None,
             metrics: None,
             health: None,
+            batch: None,
         }
     }
 

@@ -1,0 +1,121 @@
+//! Consistent-hash routing of fingerprints onto shards.
+//!
+//! Each shard owns [`POINTS_PER_SHARD`] fixed points on a 64-bit ring;
+//! a key (a problem's *structural* fingerprint hash, or a mode set's
+//! single hash) routes to the shard owning the first point clockwise
+//! from the key. Two properties make this the right router for the
+//! shard fleet:
+//!
+//! * **Warm-start locality.** Routing by the structural hash sends
+//!   every member of a structural family — the same DAG, statistic and
+//!   configuration with perturbed constraint bounds — to the same
+//!   shard, so the per-shard cache sees exactly the lookups the
+//!   single-cache daemon saw and classifies them identically (exact /
+//!   warm / miss). That is what keeps responses and aggregate
+//!   `cache_stats` byte-identical at any shard count.
+//! * **Restore stability.** The points are fixed FNV-1a hashes
+//!   ([`ring_point`]), not functions of
+//!   the shard *count*, so growing a fleet from N to M shards moves
+//!   only the keys whose ring arc changed owner. A cache snapshot
+//!   written by an N-shard daemon is re-routed entry by entry through
+//!   the M-shard ring on load (§ 14 of DESIGN.md).
+
+use crate::fingerprint::ring_point;
+
+/// Fixed ring points owned by each shard. Enough for an even key split
+/// at the small shard counts a single daemon runs (the spread between
+/// the fullest and emptiest of 8 shards stays within a few percent),
+/// while keeping the route lookup a binary search over a few hundred
+/// points.
+pub const POINTS_PER_SHARD: usize = 64;
+
+/// The consistent-hash ring (see the module docs).
+#[derive(Debug, Clone)]
+pub struct Ring {
+    shards: usize,
+    /// `(position, shard)` sorted by position.
+    points: Vec<(u64, u32)>,
+}
+
+impl Ring {
+    /// A ring over `shards` shards (minimum 1). Construction is
+    /// deterministic: the point set depends only on the shard count.
+    pub fn new(shards: usize) -> Ring {
+        let shards = shards.max(1);
+        let mut points = Vec::with_capacity(shards * POINTS_PER_SHARD);
+        for shard in 0..shards {
+            for replica in 0..POINTS_PER_SHARD {
+                points.push((ring_point(shard as u64, replica as u64), shard as u32));
+            }
+        }
+        // Position ties (64-bit collisions between distinct points) are
+        // broken by shard index so the ring is still a deterministic
+        // function of the shard count.
+        points.sort_unstable();
+        Ring { shards, points }
+    }
+
+    /// Number of shards this ring routes onto.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `key`: the first ring point at or clockwise
+    /// after it, wrapping at the top of the 64-bit space.
+    pub fn route(&self, key: u64) -> usize {
+        if self.shards == 1 {
+            return 0;
+        }
+        let i = self.points.partition_point(|&(pos, _)| pos < key);
+        let (_, shard) = self.points[if i == self.points.len() { 0 } else { i }];
+        shard as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_shard_routes_everything_to_zero() {
+        let ring = Ring::new(1);
+        for key in [0, 1, u64::MAX / 2, u64::MAX] {
+            assert_eq!(ring.route(key), 0);
+        }
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_covers_all_shards() {
+        let a = Ring::new(8);
+        let b = Ring::new(8);
+        let mut seen = [0u64; 8];
+        for i in 0..10_000u64 {
+            // Spread keys like fingerprints do: hash the counter.
+            let key = ring_point(i, 0);
+            let shard = a.route(key);
+            assert_eq!(shard, b.route(key), "ring must be a pure function");
+            seen[shard] += 1;
+        }
+        for (shard, count) in seen.iter().enumerate() {
+            assert!(
+                *count > 500,
+                "shard {shard} owns a degenerate arc: {seen:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn growing_the_ring_moves_a_minority_of_keys() {
+        let small = Ring::new(4);
+        let big = Ring::new(5);
+        let moved = (0..10_000u64)
+            .filter(|&i| {
+                let key = ring_point(i, 1);
+                small.route(key) != big.route(key)
+            })
+            .count();
+        // Ideal consistent hashing moves ~1/5 of the keys; mod-N
+        // routing would move ~4/5. Pin "well under half".
+        assert!(moved < 5_000, "moved {moved} of 10000 keys");
+    }
+}

@@ -1,31 +1,47 @@
-//! The TCP server: admission, worker pool, solving, shutdown.
+//! The TCP server: admission, shard fleet, solving, shutdown.
 //!
 //! ```text
-//!            ┌───────────────┐   bounded queue    ┌──────────────┐
-//!  client ──▶│ connection    │──▶ Mutex<VecDeque> ─▶ worker pool  │
-//!  (NDJSON)  │ thread (read  │◀── response slot ◀──│ (netdag-     │
-//!            │ timeout poll) │                     │  runtime)    │
-//!            └───────────────┘                     └──────────────┘
+//!            ┌───────────────┐  ring   ┌─ shard 0: queue+caches+pool ─┐
+//!  client ──▶│ connection    │──route──▶  shard 1: queue+caches+pool  │
+//!  (NDJSON)  │ thread (read  │◀─ slot ─│  …                           │
+//!            │ timeout poll) │         └─ shard N-1 ──────────────────┘
+//!            └───────────────┘
 //! ```
 //!
 //! * The **acceptor** polls a non-blocking listener and spawns one
 //!   scoped thread per connection.
 //! * **Connection threads** parse one request per line. Cheap
 //!   operations (`cache_stats`, `metrics`, `health`, `shutdown`,
-//!   malformed input) are answered inline; `solve` / `validate` go
-//!   through the bounded admission queue — when it is full, or after
-//!   shutdown began, the request is rejected immediately with a
-//!   structured reason rather than queued without bound. The two
-//!   read-only probes (`metrics`, `health`) are additionally excluded
-//!   from request counting so polling them never perturbs the
+//!   malformed input) are answered inline; `solve` / `mode_solve` /
+//!   `validate` are fingerprinted and routed onto one of
+//!   [`ServeConfig::shards`] independent shards by the consistent-hash
+//!   [`Ring`], then admitted to that shard's bounded queue — when it is
+//!   full, or after shutdown began, the request is rejected immediately
+//!   with a structured reason rather than queued without bound.
+//!   `batch_solve` fingerprints and presolves each distinct problem
+//!   once, groups the batch by destination shard, enqueues one job per
+//!   shard (all-or-nothing), and reassembles the per-item responses in
+//!   request order. The two read-only probes (`metrics`, `health`) are
+//!   excluded from request counting so polling them never perturbs the
 //!   telemetry they report.
-//! * **Workers** (a [`netdag_runtime::run_indexed`] fan-out pinned to
-//!   [`ServeConfig::workers`] threads) drain the queue. Each solve
-//!   first probes the solution cache: an exact hit answers verbatim
-//!   with zero solver nodes; a structural hit warm-starts
-//!   branch-and-bound through [`SolveControl`]; a miss solves cold. A
-//!   per-request deadline is enforced by the same controller — expiry
-//!   returns the best incumbent found so far, marked incomplete.
+//! * **Shards** each own an LRU solution cache, a mode cache, and
+//!   [`ServeConfig::workers`] worker threads (a
+//!   [`netdag_runtime::run_indexed`] fan-out of `shards × workers`).
+//!   Routing by the *structural* fingerprint hash keeps every
+//!   structural family on one shard, so exact/warm/miss classification
+//!   — and therefore every response byte — is identical at any shard
+//!   count. Each solve first probes its shard's cache: an exact hit
+//!   answers verbatim with zero solver nodes; a structural hit
+//!   warm-starts branch-and-bound through [`SolveControl`]; a miss
+//!   solves cold. A per-request deadline is enforced by the same
+//!   controller — expiry returns the best incumbent found so far,
+//!   marked incomplete.
+//! * **Warm restart** ([`ServeConfig::cache_snapshot`]): at startup the
+//!   snapshot file, if present, is validated against its schema tag and
+//!   every entry is re-routed through the *current* ring — a snapshot
+//!   written by an N-shard daemon restores into an M-shard one. On
+//!   graceful drain the merged cache contents are written back
+//!   atomically (sibling temp file + `rename`).
 //! * **Shutdown** (the `shutdown` operation) stops admission, wakes
 //!   every worker, and lets them drain all accepted requests before
 //!   [`serve`] returns; every accepted request is answered.
@@ -42,7 +58,7 @@
 //! every [`ServeConfig::metrics_interval`] completed requests, and an
 //! [`SloGate`] is evaluated against the windowed data at shutdown.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -64,12 +80,14 @@ use netdag_validation::soft::validate_soft_par;
 use netdag_validation::weakly_hard::validate_weakly_hard_par;
 
 use crate::cache::{Lookup, ModeCache, SolutionCache};
-use crate::fingerprint::{fingerprint, mode_fingerprint};
+use crate::fingerprint::{fingerprint, mode_fingerprint, Fingerprint};
 use crate::protocol::{
-    HealthBody, MetricsBody, Request, Response, RollingStats, StatSpec, ValidationReport,
-    WindowMeta, REASON_QUEUE_FULL, REASON_SHUTTING_DOWN, STATUS_INCOMPLETE, STATUS_INFEASIBLE,
-    STATUS_OK,
+    CacheStatsBody, HealthBody, MetricsBody, Request, Response, RollingStats, ShardCacheStats,
+    StatSpec, ValidationReport, WindowMeta, REASON_QUEUE_FULL, REASON_SHUTTING_DOWN,
+    STATUS_INCOMPLETE, STATUS_INFEASIBLE, STATUS_OK,
 };
+use crate::ring::Ring;
+use crate::snapshot::{self, CacheSnapshot, SnapshotEntry};
 
 /// How often blocked threads re-check the shutdown flag.
 const POLL: Duration = Duration::from_millis(25);
@@ -77,12 +95,17 @@ const POLL: Duration = Duration::from_millis(25);
 /// Server tuning knobs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeConfig {
-    /// Worker threads solving requests (minimum 1).
+    /// Independent shards (minimum 1). Each shard owns its own
+    /// solution cache, mode cache, admission queue, and worker pool;
+    /// requests are routed by consistent hashing over the structural
+    /// fingerprint, so responses are byte-identical at any shard count.
+    pub shards: usize,
+    /// Worker threads solving requests **per shard** (minimum 1).
     pub workers: usize,
-    /// Admission queue bound: requests beyond this many waiting are
-    /// rejected with [`REASON_QUEUE_FULL`].
+    /// Admission queue bound **per shard**: requests beyond this many
+    /// waiting are rejected with [`REASON_QUEUE_FULL`].
     pub queue_capacity: usize,
-    /// Solution cache bound (LRU eviction beyond it).
+    /// Solution cache bound **per shard** (LRU eviction beyond it).
     pub cache_capacity: usize,
     /// Engine node budget between deadline polls of a controlled solve.
     pub step_nodes: u64,
@@ -105,11 +128,16 @@ pub struct ServeConfig {
     /// Thresholds evaluated against the windowed data at shutdown
     /// (empty by default: no checks, report omitted).
     pub slo: SloGate,
+    /// Cache persistence file: restored (re-routed onto the current
+    /// ring) before accepting connections, written atomically on
+    /// graceful drain. `None` disables persistence.
+    pub cache_snapshot: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
+            shards: 1,
             workers: 2,
             queue_capacity: 16,
             cache_capacity: 64,
@@ -120,6 +148,7 @@ impl Default for ServeConfig {
             window_slots: 16,
             window_tick: 64,
             slo: SloGate::default(),
+            cache_snapshot: None,
         }
     }
 }
@@ -139,13 +168,54 @@ pub struct ServeReport {
     pub warm_starts: u64,
     /// Solves truncated by their deadline.
     pub deadline_expired: u64,
+    /// Cache entries restored from [`ServeConfig::cache_snapshot`].
+    pub restored: u64,
     /// The shutdown SLO verdict; `None` when no gate was configured.
     pub slo: Option<SloReport>,
 }
 
-/// One queued request plus the slot its response is delivered through.
+/// What a queued job asks its shard's worker to do.
+enum Work {
+    /// One `solve` / `mode_solve` / `validate` request. For solves the
+    /// connection thread already computed the fingerprint to route the
+    /// request; it rides along so the worker never hashes twice.
+    Single {
+        req: Box<Request>,
+        fp: Option<Fingerprint>,
+    },
+    /// One shard's slice of a `batch_solve` request: synthesized solve
+    /// requests (batch head's `config`/`deadline_ms` merged in) with
+    /// their fingerprints, in batch order. The worker answers with a
+    /// `batch` array aligned to this slice; items run back-to-back, so
+    /// a repeat hits the cache its predecessor just filled and
+    /// structural neighbours chain warm starts within the batch.
+    Batch {
+        head_id: Option<u64>,
+        items: Vec<(Request, Fingerprint)>,
+    },
+}
+
+impl Work {
+    /// Operation label for the trace span and access log.
+    fn op(&self) -> &str {
+        match self {
+            Work::Single { req, .. } => &req.op,
+            Work::Batch { .. } => "batch_solve",
+        }
+    }
+
+    /// Client correlation id.
+    fn id(&self) -> Option<u64> {
+        match self {
+            Work::Single { req, .. } => req.id,
+            Work::Batch { head_id, .. } => *head_id,
+        }
+    }
+}
+
+/// One queued job plus the slot its response is delivered through.
 struct Job {
-    req: Request,
+    work: Work,
     /// Server-assigned request id, stamped into both the access-log
     /// line and the `serve.request` trace span so the two correlate.
     rid: u64,
@@ -244,6 +314,7 @@ struct Gauges {
     in_flight: Gauge,
     cache_entries: Gauge,
     workers_live: Gauge,
+    shards: Gauge,
 }
 
 impl Gauges {
@@ -254,6 +325,32 @@ impl Gauges {
             in_flight: r.gauge(keys::GAUGE_SERVE_IN_FLIGHT),
             cache_entries: r.gauge(keys::GAUGE_SERVE_CACHE_ENTRIES),
             workers_live: r.gauge(keys::GAUGE_SERVE_WORKERS_LIVE),
+            shards: r.gauge(keys::GAUGE_SERVE_SHARDS),
+        }
+    }
+}
+
+/// One shard of the fleet: its own admission queue, caches, and
+/// restore counter. Workers are bound to exactly one shard, so a
+/// shard's caches are only ever touched by its own pool (plus the
+/// connection threads reading stats).
+struct ShardState {
+    queue: Mutex<VecDeque<Job>>,
+    ready: Condvar,
+    cache: Mutex<SolutionCache>,
+    mode_cache: Mutex<ModeCache>,
+    /// Entries restored into this shard from the startup snapshot.
+    restored: AtomicU64,
+}
+
+impl ShardState {
+    fn new(cache_capacity: usize) -> ShardState {
+        ShardState {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            cache: Mutex::new(SolutionCache::new(cache_capacity)),
+            mode_cache: Mutex::new(ModeCache::new(cache_capacity)),
+            restored: AtomicU64::new(0),
         }
     }
 }
@@ -261,8 +358,8 @@ impl Gauges {
 struct Shared {
     cfg: ServeConfig,
     started: Instant,
-    queue: Mutex<VecDeque<Job>>,
-    ready: Condvar,
+    ring: Ring,
+    shards: Vec<ShardState>,
     shutdown: AtomicBool,
     in_flight: AtomicU64,
     requests: AtomicU64,
@@ -275,8 +372,6 @@ struct Shared {
     deadline_expired: AtomicU64,
     /// Next server-assigned request id.
     next_rid: AtomicU64,
-    cache: Mutex<SolutionCache>,
-    mode_cache: Mutex<ModeCache>,
     windows: Windows,
     gauges: Gauges,
     /// Open access log, when configured.
@@ -284,6 +379,15 @@ struct Shared {
     /// Baseline of the last interval snapshot, so each written file is
     /// a true delta covering only its own interval.
     snap_base: Mutex<netdag_obs::MetricsReport>,
+}
+
+impl Shared {
+    /// Wakes every shard's worker pool (the shutdown broadcast).
+    fn wake_all(&self) {
+        for shard in &self.shards {
+            shard.ready.notify_all();
+        }
+    }
 }
 
 /// Runs the daemon on an already-bound listener until a client sends a
@@ -294,9 +398,11 @@ struct Shared {
 /// # Errors
 ///
 /// Returns the listener's error if it cannot be switched to
-/// non-blocking mode, or the filesystem error if a configured access
-/// log cannot be created; per-connection I/O errors only terminate the
-/// affected connection.
+/// non-blocking mode, the filesystem error if a configured access log
+/// cannot be created, or a configured cache snapshot's error if the
+/// file exists but is unreadable, unparsable, or carries an unsupported
+/// schema tag (a missing file is a normal cold start); per-connection
+/// I/O errors only terminate the affected connection.
 pub fn serve(listener: TcpListener, cfg: &ServeConfig) -> std::io::Result<ServeReport> {
     listener.set_nonblocking(true)?;
     // Pin the full instrument schema before the first `metrics`
@@ -312,11 +418,14 @@ pub fn serve(listener: TcpListener, cfg: &ServeConfig) -> std::io::Result<ServeR
         Some(path) => Some(Mutex::new(BufWriter::new(std::fs::File::create(path)?))),
         None => None,
     };
+    let nshards = cfg.shards.max(1);
     let shared = Shared {
         cfg: cfg.clone(),
         started: Instant::now(),
-        queue: Mutex::new(VecDeque::new()),
-        ready: Condvar::new(),
+        ring: Ring::new(nshards),
+        shards: (0..nshards)
+            .map(|_| ShardState::new(cfg.cache_capacity))
+            .collect(),
         shutdown: AtomicBool::new(false),
         in_flight: AtomicU64::new(0),
         requests: AtomicU64::new(0),
@@ -324,28 +433,45 @@ pub fn serve(listener: TcpListener, cfg: &ServeConfig) -> std::io::Result<ServeR
         completed: AtomicU64::new(0),
         deadline_expired: AtomicU64::new(0),
         next_rid: AtomicU64::new(1),
-        cache: Mutex::new(SolutionCache::new(cfg.cache_capacity)),
-        mode_cache: Mutex::new(ModeCache::new(cfg.cache_capacity)),
         windows: Windows::new(cfg.window_slots),
         gauges: Gauges::new(),
         access,
         snap_base: Mutex::new(netdag_obs::global().snapshot()),
     };
+    shared.gauges.shards.set(nshards as u64);
+    // Warm restart: load the predecessor's cache before accepting any
+    // connection, re-routing every entry through *this* daemon's ring.
+    if let Some(path) = cfg.cache_snapshot.as_ref() {
+        if let Some(snap) = snapshot::load(path)? {
+            restore_snapshot(&shared, snap);
+        }
+    }
     let workers = cfg.workers.max(1);
+    let pool = nshards * workers;
     std::thread::scope(|scope| {
         scope.spawn(|| accept_loop(&listener, &shared, scope));
-        // The worker pool runs on the calling thread's fan-out and
-        // returns only when shutdown was requested and the queue is
-        // drained.
-        run_indexed(ExecPolicy::Threads(workers), workers, |_| {
-            worker_loop(&shared);
+        // The shard pools run on the calling thread's fan-out — worker
+        // `i` drains shard `i % nshards` — and return only when
+        // shutdown was requested and every queue is drained.
+        run_indexed(ExecPolicy::Threads(pool), pool, |i| {
+            worker_loop(&shared, &shared.shards[i % nshards]);
         });
     });
     if let Some(log) = shared.access.as_ref() {
         let _ = log.lock().expect("access log lock").flush();
     }
-    let cache = shared.cache.lock().expect("cache lock");
-    let s = cache.stats();
+    // Persist the drained fleet's caches. A write failure is reported
+    // but does not fail the daemon: every accepted request was already
+    // answered, and the stale-or-absent file is detected on restart.
+    if let Some(path) = cfg.cache_snapshot.as_ref() {
+        if let Err(e) = snapshot::store(path, &collect_snapshot(&shared)) {
+            eprintln!(
+                "netdag-serve: cache snapshot to {} failed: {e}",
+                path.display()
+            );
+        }
+    }
+    let s = aggregate_stats(&shared);
     let deadline_expired = shared.deadline_expired.load(Ordering::Relaxed);
     let slo = if cfg.slo.is_empty() {
         None
@@ -369,8 +495,120 @@ pub fn serve(listener: TcpListener, cfg: &ServeConfig) -> std::io::Result<ServeR
         cache_misses: s.misses,
         warm_starts: s.warm_starts,
         deadline_expired,
+        restored: s.restored,
         slo,
     })
+}
+
+/// Routes every snapshot entry through the current ring and reinserts
+/// it into the owning shard, preserving least- to most-recent order.
+/// When a shard's slice exceeds its capacity (a snapshot written by a
+/// larger fleet restoring into a smaller one), only the most recent
+/// `cache_capacity` entries are kept — a restore fills caches, it
+/// never starts them mid-eviction.
+fn restore_snapshot(shared: &Shared, snap: CacheSnapshot) {
+    let cap = shared.cfg.cache_capacity.max(1);
+    let mut per_shard: Vec<Vec<SnapshotEntry>> =
+        (0..shared.shards.len()).map(|_| Vec::new()).collect();
+    for entry in snap.entries {
+        per_shard[shared.ring.route(entry.structural)].push(entry);
+    }
+    let mut restored_total = 0u64;
+    let mut entries_total = 0u64;
+    for (shard, mut entries) in shared.shards.iter().zip(per_shard) {
+        if entries.len() > cap {
+            entries.drain(..entries.len() - cap);
+        }
+        let mut cache = shard.cache.lock().expect("cache lock");
+        let mut restored = 0u64;
+        for entry in entries {
+            if cache.restore(entry) {
+                restored += 1;
+            }
+        }
+        entries_total += cache.stats().entries;
+        shard.restored.fetch_add(restored, Ordering::Relaxed);
+        restored_total += restored;
+    }
+    for entry in snap.mode_entries {
+        let shard = &shared.shards[shared.ring.route(entry.key)];
+        if shard
+            .mode_cache
+            .lock()
+            .expect("mode cache lock")
+            .restore(entry)
+        {
+            shard.restored.fetch_add(1, Ordering::Relaxed);
+            restored_total += 1;
+        }
+    }
+    netdag_obs::global()
+        .counter(keys::SERVE_CACHE_RESTORED)
+        .add(restored_total);
+    shared.gauges.cache_entries.set(entries_total);
+}
+
+/// Merges every shard's caches into one snapshot document, shard by
+/// shard, each shard's entries in least- to most-recent order.
+fn collect_snapshot(shared: &Shared) -> CacheSnapshot {
+    let mut snap = CacheSnapshot::new();
+    for shard in &shared.shards {
+        snap.entries
+            .extend(shard.cache.lock().expect("cache lock").export_entries());
+        snap.mode_entries.extend(
+            shard
+                .mode_cache
+                .lock()
+                .expect("mode cache lock")
+                .export_entries(),
+        );
+    }
+    snap
+}
+
+/// The `cache_stats` aggregate over the whole fleet plus the per-shard
+/// breakdown. Everything except the `shards` rows is invariant under
+/// the shard count for the same request sequence (absent evictions),
+/// because the ring routes each structural family to exactly one
+/// shard; `capacity` is the per-shard bound.
+fn aggregate_stats(shared: &Shared) -> CacheStatsBody {
+    let mut body = CacheStatsBody {
+        entries: 0,
+        capacity: shared.cfg.cache_capacity.max(1) as u64,
+        hits: 0,
+        misses: 0,
+        warm_starts: 0,
+        evictions: 0,
+        queued: 0,
+        in_flight: shared.in_flight.load(Ordering::SeqCst),
+        mode_entries: 0,
+        restored: 0,
+        shards: Vec::with_capacity(shared.shards.len()),
+    };
+    for (i, shard) in shared.shards.iter().enumerate() {
+        let s = shard.cache.lock().expect("cache lock").stats();
+        let mode_entries = shard.mode_cache.lock().expect("mode cache lock").len() as u64;
+        let restored = shard.restored.load(Ordering::Relaxed);
+        body.entries += s.entries;
+        body.hits += s.hits;
+        body.misses += s.misses;
+        body.warm_starts += s.warm_starts;
+        body.evictions += s.evictions;
+        body.mode_entries += mode_entries;
+        body.restored += restored;
+        body.queued += shard.queue.lock().expect("queue lock").len() as u64;
+        body.shards.push(ShardCacheStats {
+            shard: i as u64,
+            entries: s.entries,
+            hits: s.hits,
+            misses: s.misses,
+            warm_starts: s.warm_starts,
+            evictions: s.evictions,
+            restored,
+            mode_entries,
+        });
+    }
+    body
 }
 
 fn accept_loop<'scope>(
@@ -457,17 +695,13 @@ fn process_line(shared: &Shared, line: &str) -> Response {
     counter!(keys::SERVE_REQUESTS).incr();
     match req.op.as_str() {
         "cache_stats" => {
-            let mut body = shared.cache.lock().expect("cache lock").stats();
-            body.queued = shared.queue.lock().expect("queue lock").len() as u64;
-            body.in_flight = shared.in_flight.load(Ordering::SeqCst);
-            body.mode_entries = shared.mode_cache.lock().expect("mode cache lock").len() as u64;
             let mut resp = Response::status(req.id, STATUS_OK);
-            resp.cache = Some(body);
+            resp.cache = Some(aggregate_stats(shared));
             resp
         }
         "shutdown" => {
             shared.shutdown.store(true, Ordering::SeqCst);
-            shared.ready.notify_all();
+            shared.wake_all();
             Response::status(req.id, STATUS_OK)
         }
         "solve" => {
@@ -478,7 +712,20 @@ fn process_line(shared: &Shared, line: &str) -> Response {
             if let Some(resp) = presolve_reject(&req) {
                 return resp;
             }
-            admit(shared, req)
+            // The fingerprint is computed here both to route the
+            // request onto its owning shard (by *structural* hash, so a
+            // whole warm-start family shares one cache regardless of
+            // the shard count) and to spare the worker re-hashing it.
+            let fp = solve_fingerprint(&req);
+            let shard = fp.map_or(0, |fp| shared.ring.route(fp.structural));
+            admit(
+                shared,
+                shard,
+                Work::Single {
+                    req: Box::new(req),
+                    fp,
+                },
+            )
         }
         "mode_solve" => {
             // Same pre-admission screen, run once per mode: a mode set
@@ -487,14 +734,52 @@ fn process_line(shared: &Shared, line: &str) -> Response {
             if let Some(resp) = presolve_reject_modes(&req) {
                 return resp;
             }
-            admit(shared, req)
+            let shard = req.modes.as_ref().map_or(0, |m| {
+                shared.ring.route(mode_fingerprint(m, &config_from(&req)))
+            });
+            admit(
+                shared,
+                shard,
+                Work::Single {
+                    req: Box::new(req),
+                    fp: None,
+                },
+            )
         }
-        "validate" => admit(shared, req),
+        "validate" => {
+            let fp = solve_fingerprint(&req);
+            let shard = fp.map_or(0, |fp| shared.ring.route(fp.structural));
+            admit(
+                shared,
+                shard,
+                Work::Single {
+                    req: Box::new(req),
+                    fp,
+                },
+            )
+        }
+        "batch_solve" => handle_batch(shared, req),
         other => {
             counter!(keys::SERVE_ERRORS).incr();
             Response::error(req.id, &format!("unknown op {other:?}"))
         }
     }
+}
+
+/// Fingerprints a solve/validate request when it carries an
+/// application spec. Computed on the connection thread so the same
+/// hash both routes the request onto its owning shard and reaches the
+/// worker as a pre-paid [`Work::Single::fp`].
+fn solve_fingerprint(req: &Request) -> Option<Fingerprint> {
+    req.app.as_ref().map(|app| {
+        fingerprint(
+            app,
+            req.soft.as_ref(),
+            req.weakly_hard.as_ref(),
+            &normalized_stat(req),
+            &config_from(req),
+        )
+    })
 }
 
 /// Answers the `metrics` operation: the live `netdag-obs/1` snapshot
@@ -527,10 +812,12 @@ fn handle_metrics(shared: &Shared, req: &Request) -> Response {
 /// Read-only like `metrics`.
 fn handle_health(shared: &Shared, req: &Request) -> Response {
     let draining = shared.shutdown.load(Ordering::SeqCst);
-    let (cache_entries, cache_capacity) = {
-        let s = shared.cache.lock().expect("cache lock").stats();
-        (s.entries, s.capacity)
-    };
+    let mut cache_entries = 0;
+    let mut queue_depth = 0;
+    for shard in &shared.shards {
+        cache_entries += shard.cache.lock().expect("cache lock").stats().entries;
+        queue_depth += shard.queue.lock().expect("queue lock").len() as u64;
+    }
     let uptime_ms = shared
         .started
         .elapsed()
@@ -541,12 +828,13 @@ fn handle_health(shared: &Shared, req: &Request) -> Response {
         status: if draining { "draining" } else { "ok" }.to_owned(),
         uptime_requests: shared.requests.load(Ordering::Relaxed),
         uptime_ms,
-        queue_depth: shared.queue.lock().expect("queue lock").len() as u64,
+        queue_depth,
         in_flight: shared.in_flight.load(Ordering::SeqCst),
+        shards: shared.shards.len() as u64,
         workers: shared.cfg.workers.max(1) as u64,
         workers_live: shared.gauges.workers_live.get(),
         cache_entries,
-        cache_capacity,
+        cache_capacity: shared.cfg.cache_capacity.max(1) as u64,
     });
     resp
 }
@@ -674,10 +962,14 @@ fn presolve_reject_modes(req: &Request) -> Option<Response> {
     None
 }
 
-fn admit(shared: &Shared, req: Request) -> Response {
-    let id = req.id;
+/// Admits one unit of [`Work`] to shard `shard_idx`'s bounded queue
+/// and blocks until its worker responds. Rejection (shutdown or a full
+/// shard queue) is answered inline with a structured reason.
+fn admit(shared: &Shared, shard_idx: usize, work: Work) -> Response {
+    let id = work.id();
+    let shard = &shared.shards[shard_idx];
     let slot = {
-        let mut queue = shared.queue.lock().expect("queue lock");
+        let mut queue = shard.queue.lock().expect("queue lock");
         if shared.shutdown.load(Ordering::SeqCst) {
             drop(queue);
             shared.rejected.fetch_add(1, Ordering::Relaxed);
@@ -693,7 +985,7 @@ fn admit(shared: &Shared, req: Request) -> Response {
         let slot = Slot::new();
         let rid = shared.next_rid.fetch_add(1, Ordering::Relaxed);
         queue.push_back(Job {
-            req,
+            work,
             rid,
             accepted_at: Instant::now(),
             slot: slot.clone(),
@@ -702,8 +994,123 @@ fn admit(shared: &Shared, req: Request) -> Response {
         shared.gauges.queue_depth.set(queue.len() as u64);
         slot
     };
-    shared.ready.notify_one();
+    shard.ready.notify_one();
     slot.wait()
+}
+
+/// Answers a `batch_solve` request: every item is fingerprinted and
+/// CPM-presolved up front (the presolve verdict memoized per canonical
+/// fingerprint, so N structurally identical items pay for one presolve),
+/// the survivors are grouped by owning shard and enqueued
+/// all-or-nothing, and the per-item responses are gathered back into
+/// one envelope in request order.
+fn handle_batch(shared: &Shared, req: Request) -> Response {
+    let id = req.id;
+    let Some(items) = req.batch.as_ref() else {
+        counter!(keys::SERVE_ERRORS).incr();
+        return Response::error(id, "batch_solve needs a \"batch\" array");
+    };
+    counter!(keys::SERVE_BATCH_REQUESTS).incr();
+    counter!(keys::SERVE_BATCH_ITEMS).add(items.len() as u64);
+    let mut answers: Vec<Option<Response>> = (0..items.len()).map(|_| None).collect();
+    // (shard index → items routed there, each remembering its position
+    // in the batch). BTreeMap so the multi-queue lock below is taken in
+    // ascending shard order — the only multi-lock site in the daemon.
+    let mut groups: BTreeMap<usize, Vec<(usize, Request, Fingerprint)>> = BTreeMap::new();
+    let mut presolved: BTreeMap<u64, Option<Response>> = BTreeMap::new();
+    for (i, item) in items.iter().enumerate() {
+        // Each item solves as if it were a standalone `solve` request
+        // inheriting the envelope's config and deadline.
+        let mut sub = Request::op("solve");
+        sub.id = id;
+        sub.config = req.config.clone();
+        sub.deadline_ms = req.deadline_ms;
+        sub.app = item.app.clone();
+        sub.soft = item.soft.clone();
+        sub.weakly_hard = item.weakly_hard.clone();
+        sub.stat = item.stat.clone();
+        let Some(fp) = solve_fingerprint(&sub) else {
+            counter!(keys::SERVE_ERRORS).incr();
+            answers[i] = Some(Response::error(id, "batch item needs an \"app\" spec"));
+            continue;
+        };
+        let verdict = presolved
+            .entry(fp.full)
+            .or_insert_with(|| presolve_reject(&sub));
+        if let Some(resp) = verdict {
+            answers[i] = Some(resp.clone());
+            continue;
+        }
+        groups
+            .entry(shared.ring.route(fp.structural))
+            .or_default()
+            .push((i, sub, fp));
+    }
+    // All-or-nothing admission: hold every destination queue lock (in
+    // ascending shard order — the only multi-lock site in the daemon,
+    // so lock ordering is trivially acyclic), check shutdown and all
+    // capacities, then enqueue everywhere or reject the whole batch. A
+    // partial batch would otherwise warm caches with some of its items
+    // and not the rest, making responses depend on admission timing.
+    let mut pending: Vec<(Vec<usize>, std::sync::Arc<Slot>)> = Vec::new();
+    if !groups.is_empty() {
+        let targets: Vec<usize> = groups.keys().copied().collect();
+        let mut guards: Vec<_> = targets
+            .iter()
+            .map(|&s| shared.shards[s].queue.lock().expect("queue lock"))
+            .collect();
+        if shared.shutdown.load(Ordering::SeqCst) {
+            drop(guards);
+            shared.rejected.fetch_add(1, Ordering::Relaxed);
+            counter!(keys::SERVE_REJECTS).incr();
+            return Response::rejected(id, REASON_SHUTTING_DOWN);
+        }
+        if guards.iter().any(|q| q.len() >= shared.cfg.queue_capacity) {
+            drop(guards);
+            shared.rejected.fetch_add(1, Ordering::Relaxed);
+            counter!(keys::SERVE_REJECTS).incr();
+            return Response::rejected(id, REASON_QUEUE_FULL);
+        }
+        for ((_, group), queue) in groups.into_iter().zip(guards.iter_mut()) {
+            let slot = Slot::new();
+            let rid = shared.next_rid.fetch_add(1, Ordering::Relaxed);
+            let indices: Vec<usize> = group.iter().map(|(i, _, _)| *i).collect();
+            queue.push_back(Job {
+                work: Work::Batch {
+                    head_id: id,
+                    items: group.into_iter().map(|(_, sub, fp)| (sub, fp)).collect(),
+                },
+                rid,
+                accepted_at: Instant::now(),
+                slot: slot.clone(),
+            });
+            netdag_obs::global().observe(keys::HIST_SERVE_QUEUE_DEPTH, queue.len() as u64);
+            shared.gauges.queue_depth.set(queue.len() as u64);
+            pending.push((indices, slot));
+        }
+        drop(guards);
+        for &s in &targets {
+            shared.shards[s].ready.notify_one();
+        }
+    }
+    // Gather: each shard's worker answers its sub-batch with an
+    // envelope whose `batch` field holds the group's responses in
+    // group order; scatter them back to the items' batch positions.
+    for (indices, slot) in pending {
+        let group_resp = slot.wait();
+        let mut subs = group_resp.batch.unwrap_or_default().into_iter();
+        for i in indices {
+            answers[i] = subs.next();
+        }
+    }
+    let mut resp = Response::status(id, STATUS_OK);
+    resp.batch = Some(
+        answers
+            .into_iter()
+            .map(|a| a.unwrap_or_else(|| Response::error(id, "batch item lost")))
+            .collect(),
+    );
+    resp
 }
 
 /// Keeps the `serve.workers_live` gauge honest on every exit path,
@@ -716,12 +1123,12 @@ impl Drop for LiveWorker<'_> {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, shard: &ShardState) {
     shared.gauges.workers_live.add(1);
     let _live = LiveWorker(&shared.gauges.workers_live);
     loop {
         let job = {
-            let mut queue = shared.queue.lock().expect("queue lock");
+            let mut queue = shard.queue.lock().expect("queue lock");
             loop {
                 if let Some(job) = queue.pop_front() {
                     shared.gauges.queue_depth.set(queue.len() as u64);
@@ -730,11 +1137,7 @@ fn worker_loop(shared: &Shared) {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
-                queue = shared
-                    .ready
-                    .wait_timeout(queue, POLL)
-                    .expect("queue lock")
-                    .0;
+                queue = shard.ready.wait_timeout(queue, POLL).expect("queue lock").0;
             }
         };
         shared.in_flight.fetch_add(1, Ordering::SeqCst);
@@ -750,15 +1153,34 @@ fn worker_loop(shared: &Shared) {
             let _trace = netdag_trace::span_with(
                 "serve.request",
                 &[
-                    ("op", job.req.op.clone().into()),
-                    ("id", job.req.id.unwrap_or(0).into()),
+                    ("op", job.work.op().to_owned().into()),
+                    ("id", job.work.id().unwrap_or(0).into()),
                     ("rid", job.rid.into()),
                 ],
             );
-            match job.req.op.as_str() {
-                "solve" => handle_solve(shared, &job.req),
-                "mode_solve" => handle_mode_solve(shared, &job.req),
-                _ => (handle_validate(&job.req), 0),
+            match &job.work {
+                Work::Single { req, fp } => match req.op.as_str() {
+                    "solve" => handle_solve(shared, shard, req, *fp),
+                    "mode_solve" => handle_mode_solve(shard, req),
+                    _ => (handle_validate(req), 0),
+                },
+                // A sub-batch runs sequentially on its owning shard's
+                // worker: items that share a structural family hit or
+                // warm-start against each other within the same batch,
+                // because each completed solve lands in the shard cache
+                // before the next item looks it up.
+                Work::Batch { head_id, items } => {
+                    let mut subs = Vec::with_capacity(items.len());
+                    let mut total_nodes = 0u64;
+                    for (sub, fp) in items {
+                        let (r, n) = handle_solve(shared, shard, sub, Some(*fp));
+                        total_nodes += n;
+                        subs.push(r);
+                    }
+                    let mut envelope = Response::status(*head_id, STATUS_OK);
+                    envelope.batch = Some(subs);
+                    (envelope, total_nodes)
+                }
             }
         };
         let service_us = service_started
@@ -792,10 +1214,12 @@ fn worker_loop(shared: &Shared) {
 }
 
 /// Appends one structured JSON access-log line for a worker-handled
-/// request. The `rid` here equals the `rid` argument of the request's
-/// `serve.request` trace span, so log lines and `--trace` output
-/// correlate. Logging failures are swallowed: telemetry must never
-/// fail a request.
+/// job (one line per job, so a sub-batch logs once). The `rid` here
+/// equals the `rid` argument of the request's `serve.request` trace
+/// span, so log lines and `--trace` output correlate. Logging failures
+/// are swallowed — telemetry must never fail a request — but they are
+/// *counted* under `serve.access_log.dropped` so an operator can see
+/// that the log is incomplete.
 fn write_access_line(
     log: &Mutex<BufWriter<std::fs::File>>,
     job: &Job,
@@ -820,8 +1244,11 @@ fn write_access_line(
         .map_or("-".to_owned(), |hex| hex.chars().take(8).collect());
     let line = Value::Object(vec![
         ("rid".to_owned(), Value::UInt(job.rid)),
-        ("id".to_owned(), job.req.id.map_or(Value::Null, Value::UInt)),
-        ("op".to_owned(), Value::String(job.req.op.clone())),
+        (
+            "id".to_owned(),
+            job.work.id().map_or(Value::Null, Value::UInt),
+        ),
+        ("op".to_owned(), Value::String(job.work.op().to_owned())),
         ("status".to_owned(), Value::String(resp.status.clone())),
         ("cache".to_owned(), Value::String(cache_class.to_owned())),
         ("fp".to_owned(), Value::String(fp)),
@@ -831,10 +1258,12 @@ fn write_access_line(
     ]);
     if let Ok(text) = serde_json::to_string(&line) {
         let mut w = log.lock().expect("access log lock");
-        let _ = writeln!(w, "{text}");
         // Flushed per line so tail -f / test readers see complete
-        // records as soon as the response is delivered.
-        let _ = w.flush();
+        // records as soon as the response is delivered. A failure in
+        // either step means this line did not (fully) reach the disk.
+        if writeln!(w, "{text}").and_then(|()| w.flush()).is_err() {
+            counter!(keys::SERVE_ACCESS_LOG_DROPPED).incr();
+        }
     }
 }
 
@@ -904,11 +1333,19 @@ fn normalized_stat(req: &Request) -> StatSpec {
     })
 }
 
-/// Answers a `solve` request. The second tuple element is the number
-/// of search nodes the solve explored (zero for cache hits and error
-/// paths), taken from the solve's own [`netdag_solver::SearchStats`]
-/// so it is exact per request even with concurrent workers.
-fn handle_solve(shared: &Shared, req: &Request) -> (Response, u64) {
+/// Answers a `solve` request against its owning shard's cache. The
+/// second tuple element is the number of search nodes the solve
+/// explored (zero for cache hits and error paths), taken from the
+/// solve's own [`netdag_solver::SearchStats`] so it is exact per
+/// request even with concurrent workers. `fp_hint` is the fingerprint
+/// the connection thread already computed for routing, so the worker
+/// does not re-hash the spec.
+fn handle_solve(
+    shared: &Shared,
+    shard: &ShardState,
+    req: &Request,
+    fp_hint: Option<Fingerprint>,
+) -> (Response, u64) {
     let id = req.id;
     let Some(app_spec) = req.app.as_ref() else {
         counter!(keys::SERVE_ERRORS).incr();
@@ -930,15 +1367,17 @@ fn handle_solve(shared: &Shared, req: &Request) -> (Response, u64) {
     };
     let cfg = config_from(req);
     let stat = normalized_stat(req);
-    let fp = fingerprint(
-        app_spec,
-        req.soft.as_ref(),
-        req.weakly_hard.as_ref(),
-        &stat,
-        &cfg,
-    );
+    let fp = fp_hint.unwrap_or_else(|| {
+        fingerprint(
+            app_spec,
+            req.soft.as_ref(),
+            req.weakly_hard.as_ref(),
+            &stat,
+            &cfg,
+        )
+    });
     let mut warm_bound = None;
-    match shared.cache.lock().expect("cache lock").lookup(&fp) {
+    match shard.cache.lock().expect("cache lock").lookup(&fp) {
         Lookup::Exact(export) => {
             counter!(keys::SERVE_CACHE_HITS).incr();
             netdag_trace::instant("serve.cache_hit", &[("fingerprint", fp.hex().into())]);
@@ -1042,9 +1481,20 @@ fn handle_solve(shared: &Shared, req: &Request) -> (Response, u64) {
                 optimal: controlled.outcome.optimal,
             };
             if controlled.complete {
-                let mut cache = shared.cache.lock().expect("cache lock");
-                cache.insert(fp, export.clone(), makespan);
-                shared.gauges.cache_entries.set(cache.stats().entries);
+                shard
+                    .cache
+                    .lock()
+                    .expect("cache lock")
+                    .insert(fp, export.clone(), makespan);
+                // Fleet-total gauge; the per-shard locks are taken one
+                // at a time (never nested), so this cannot deadlock
+                // with another worker doing the same.
+                let total: u64 = shared
+                    .shards
+                    .iter()
+                    .map(|s| s.cache.lock().expect("cache lock").stats().entries)
+                    .sum();
+                shared.gauges.cache_entries.set(total);
             } else {
                 counter!(keys::SERVE_DEADLINE_EXPIRED).incr();
                 shared.deadline_expired.fetch_add(1, Ordering::Relaxed);
@@ -1102,7 +1552,7 @@ fn handle_solve(shared: &Shared, req: &Request) -> (Response, u64) {
 /// document `netdag schedule --modes --out` writes. The second tuple
 /// element is the joint solve's search-node count (zero for cache hits
 /// and error paths).
-fn handle_mode_solve(shared: &Shared, req: &Request) -> (Response, u64) {
+fn handle_mode_solve(shard: &ShardState, req: &Request) -> (Response, u64) {
     let id = req.id;
     let Some(spec) = req.modes.as_ref() else {
         counter!(keys::SERVE_ERRORS).incr();
@@ -1122,7 +1572,7 @@ fn handle_mode_solve(shared: &Shared, req: &Request) -> (Response, u64) {
     let cfg = config_from(req);
     let key = mode_fingerprint(spec, &cfg);
     let hex = format!("{key:016x}");
-    if let Some(export) = shared
+    if let Some(export) = shard
         .mode_cache
         .lock()
         .expect("mode cache lock")
@@ -1143,7 +1593,7 @@ fn handle_mode_solve(shared: &Shared, req: &Request) -> (Response, u64) {
         Ok(outcome) => {
             let nodes = outcome.stats.nodes;
             let export = outcome.export();
-            shared
+            shard
                 .mode_cache
                 .lock()
                 .expect("mode cache lock")

@@ -203,3 +203,70 @@ fn access_log_rid_matches_trace_span_rid() {
 
     let _ = std::fs::remove_file(&log_path);
 }
+
+/// Telemetry must never fail a request — but it must not vanish
+/// silently either. With the access log pointed at `/dev/full` (opens
+/// fine, every write fails with ENOSPC) all three requests are still
+/// answered normally, and each lost line increments the
+/// `serve.access_log.dropped` counter exactly once.
+#[test]
+fn failed_access_log_writes_are_counted_not_fatal() {
+    if !std::path::Path::new("/dev/full").exists() {
+        eprintln!("skipping: /dev/full not available on this platform");
+        return;
+    }
+    let dropped = || {
+        netdag_obs::global()
+            .counter(netdag_obs::keys::SERVE_ACCESS_LOG_DROPPED)
+            .get()
+    };
+    let before = dropped();
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let cfg = ServeConfig {
+        workers: 1,
+        access_log: Some(std::path::PathBuf::from("/dev/full")),
+        ..ServeConfig::default()
+    };
+    let (tx, rx) = mpsc::channel::<ServeReport>();
+    std::thread::spawn(move || {
+        let report = serve(listener, &cfg).expect("serve");
+        let _ = tx.send(report);
+    });
+
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("timeout");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+
+    // Cold solve, exact repeat, permuted repeat — the same session as
+    // above, all answered despite the log sink being unwritable.
+    let r1 = send(
+        &mut reader,
+        &mut writer,
+        &solve_request(201, pipeline_app()),
+    );
+    assert_eq!(r1.status, STATUS_OK, "{:?}", r1.reason);
+    let r2 = send(
+        &mut reader,
+        &mut writer,
+        &solve_request(202, pipeline_app()),
+    );
+    assert_eq!(r2.cached, Some(true));
+    let mut permuted = pipeline_app();
+    permuted.tasks.swap(0, 1);
+    let r3 = send(&mut reader, &mut writer, &solve_request(203, permuted));
+    assert_eq!(r3.warm_started, Some(true));
+
+    send(&mut reader, &mut writer, &Request::op("shutdown"));
+    rx.recv_timeout(Duration::from_secs(30)).expect("report");
+
+    assert_eq!(
+        dropped() - before,
+        3,
+        "one dropped-line count per lost access-log record"
+    );
+}
