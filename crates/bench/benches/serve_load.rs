@@ -22,15 +22,14 @@
 //! Set `NETDAG_BENCH_FAST=1` for the CI smoke mode: a reduced request
 //! count and single-shot criterion sampling.
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpListener, TcpStream};
-use std::time::{Duration, Instant};
+use std::net::TcpListener;
+use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use netdag_obs::{SloGate, SloReport};
-use netdag_serve::protocol::{BatchItem, Request, Response, RollingStats, STATUS_OK};
-use netdag_serve::{serve, ServeConfig, ServeReport};
+use netdag_serve::protocol::{BatchItem, Request, RollingStats, STATUS_OK};
+use netdag_serve::{serve, Client, ServeConfig, ServeReport};
 
 fn fast_mode() -> bool {
     std::env::var_os("NETDAG_BENCH_FAST").is_some_and(|v| v != "0")
@@ -70,35 +69,6 @@ fn pool_request(id: u64, slot: usize) -> Request {
         .expect("wh spec"),
     );
     req
-}
-
-struct Client {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
-}
-
-impl Client {
-    fn connect(addr: std::net::SocketAddr) -> Client {
-        let stream = TcpStream::connect(addr).expect("connect");
-        stream
-            .set_read_timeout(Some(Duration::from_secs(120)))
-            .expect("timeout");
-        Client {
-            reader: BufReader::new(stream.try_clone().expect("clone")),
-            writer: stream,
-        }
-    }
-
-    fn send(&mut self, req: &Request) -> Response {
-        let line = serde_json::to_string(req).expect("serialize");
-        self.writer
-            .write_all(format!("{line}\n").as_bytes())
-            .expect("write");
-        self.writer.flush().expect("flush");
-        let mut reply = String::new();
-        self.reader.read_line(&mut reply).expect("read");
-        serde_json::from_str(&reply).expect("response JSON")
-    }
 }
 
 fn start_server_with(
@@ -183,9 +153,11 @@ fn run_load(fast: bool) -> LoadSummary {
     // load phase measures a steady-state cache. Its wall time is
     // reported as `cold_us`, never mixed into the latency percentiles.
     let seed_started = Instant::now();
-    let mut seeder = Client::connect(addr);
+    let mut seeder = Client::connect(addr).expect("connect");
     for slot in 0..6 {
-        let resp = seeder.send(&pool_request(slot as u64, slot));
+        let resp = seeder
+            .send(&pool_request(slot as u64, slot))
+            .expect("round trip");
         assert_eq!(resp.status, STATUS_OK, "{:?}", resp.reason);
     }
     let cold_us = seed_started.elapsed().as_micros() as u64;
@@ -200,12 +172,12 @@ fn run_load(fast: bool) -> LoadSummary {
         let handles: Vec<_> = (0..connections)
             .map(|conn| {
                 scope.spawn(move || {
-                    let mut c = Client::connect(addr);
+                    let mut c = Client::connect(addr).expect("connect");
                     let mut lats = Vec::with_capacity(per_connection);
                     for i in 0..per_connection {
                         let req = pool_request((conn * per_connection + i) as u64, conn + i);
                         let t0 = Instant::now();
-                        let resp = c.send(&req);
+                        let resp = c.send(&req).expect("round trip");
                         lats.push(t0.elapsed().as_micros() as u64);
                         assert_eq!(resp.status, STATUS_OK, "{:?}", resp.reason);
                     }
@@ -230,12 +202,14 @@ fn run_load(fast: bool) -> LoadSummary {
         .collect();
     latencies_us.sort_unstable();
 
-    let stats = seeder.send(&Request::op("cache_stats"));
+    let stats = seeder
+        .send(&Request::op("cache_stats"))
+        .expect("round trip");
     let body = stats.cache.expect("cache stats");
     // The daemon's own view of the run, from its rolling windows.
-    let metrics = seeder.send(&Request::op("metrics"));
+    let metrics = seeder.send(&Request::op("metrics")).expect("round trip");
     let rolling = metrics.metrics.expect("metrics body").rolling;
-    let bye = seeder.send(&Request::op("shutdown"));
+    let bye = seeder.send(&Request::op("shutdown")).expect("round trip");
     assert_eq!(bye.status, STATUS_OK);
     let report = server
         .join()
@@ -263,9 +237,11 @@ fn run_load(fast: bool) -> LoadSummary {
 /// the part sharding parallelizes.
 fn cached_throughput(shards: usize, per_connection: usize) -> f64 {
     let (addr, server) = start_server_with(shards);
-    let mut seeder = Client::connect(addr);
+    let mut seeder = Client::connect(addr).expect("connect");
     for slot in 0..6 {
-        let resp = seeder.send(&pool_request(slot as u64, slot));
+        let resp = seeder
+            .send(&pool_request(slot as u64, slot))
+            .expect("round trip");
         assert_eq!(resp.status, STATUS_OK, "{:?}", resp.reason);
     }
     let connections = 4usize;
@@ -274,9 +250,11 @@ fn cached_throughput(shards: usize, per_connection: usize) -> f64 {
         let handles: Vec<_> = (0..connections)
             .map(|conn| {
                 scope.spawn(move || {
-                    let mut c = Client::connect(addr);
+                    let mut c = Client::connect(addr).expect("connect");
                     for i in 0..per_connection {
-                        let resp = c.send(&pool_request(i as u64, conn + i));
+                        let resp = c
+                            .send(&pool_request(i as u64, conn + i))
+                            .expect("round trip");
                         assert_eq!(resp.status, STATUS_OK, "{:?}", resp.reason);
                     }
                 })
@@ -287,7 +265,7 @@ fn cached_throughput(shards: usize, per_connection: usize) -> f64 {
         }
     });
     let wall_s = started.elapsed().as_secs_f64();
-    let bye = seeder.send(&Request::op("shutdown"));
+    let bye = seeder.send(&Request::op("shutdown")).expect("round trip");
     assert_eq!(bye.status, STATUS_OK);
     server.join().expect("server thread").expect("serve exits");
     (connections * per_connection) as f64 / wall_s.max(1e-9)
@@ -298,15 +276,17 @@ fn cached_throughput(shards: usize, per_connection: usize) -> f64 {
 /// envelope. Returns (unbatched rps, batched rps).
 fn batch_throughput(items: usize) -> (f64, f64) {
     let (addr, server) = start_server_with(4);
-    let mut c = Client::connect(addr);
+    let mut c = Client::connect(addr).expect("connect");
     for slot in 0..6 {
-        let resp = c.send(&pool_request(slot as u64, slot));
+        let resp = c
+            .send(&pool_request(slot as u64, slot))
+            .expect("round trip");
         assert_eq!(resp.status, STATUS_OK, "{:?}", resp.reason);
     }
 
     let started = Instant::now();
     for i in 0..items {
-        let resp = c.send(&pool_request(i as u64, i));
+        let resp = c.send(&pool_request(i as u64, i)).expect("round trip");
         assert_eq!(resp.cached, Some(true), "{:?}", resp.reason);
     }
     let unbatched_rps = items as f64 / started.elapsed().as_secs_f64().max(1e-9);
@@ -327,7 +307,7 @@ fn batch_throughput(items: usize) -> (f64, f64) {
             .collect(),
     );
     let started = Instant::now();
-    let envelope = c.send(&batch);
+    let envelope = c.send(&batch).expect("round trip");
     let batched_rps = items as f64 / started.elapsed().as_secs_f64().max(1e-9);
     assert_eq!(envelope.status, STATUS_OK, "{:?}", envelope.reason);
     let subs = envelope.batch.expect("batch responses");
@@ -336,7 +316,7 @@ fn batch_throughput(items: usize) -> (f64, f64) {
         assert_eq!(sub.cached, Some(true), "{:?}", sub.reason);
     }
 
-    let bye = c.send(&Request::op("shutdown"));
+    let bye = c.send(&Request::op("shutdown")).expect("round trip");
     assert_eq!(bye.status, STATUS_OK);
     server.join().expect("server thread").expect("serve exits");
     (unbatched_rps, batched_rps)
@@ -448,20 +428,20 @@ fn bench_serve(c: &mut Criterion) {
 
     // Criterion view: round-trip latency of one cache-served request.
     let (addr, server) = start_server();
-    let mut client = Client::connect(addr);
-    let warm = client.send(&pool_request(0, 0));
+    let mut client = Client::connect(addr).expect("connect");
+    let warm = client.send(&pool_request(0, 0)).expect("round trip");
     assert_eq!(warm.status, STATUS_OK, "{:?}", warm.reason);
     let mut group = c.benchmark_group("serve_load");
     group.sample_size(10);
     group.bench_function("cached_roundtrip", |b| {
         b.iter(|| {
-            let resp = client.send(&pool_request(1, 0));
+            let resp = client.send(&pool_request(1, 0)).expect("round trip");
             assert_eq!(resp.cached, Some(true));
             resp
         })
     });
     group.finish();
-    let bye = client.send(&Request::op("shutdown"));
+    let bye = client.send(&Request::op("shutdown")).expect("round trip");
     assert_eq!(bye.status, STATUS_OK);
     server.join().expect("server thread").expect("serve exits");
 }

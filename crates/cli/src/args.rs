@@ -132,6 +132,38 @@ pub struct ServeOpts {
     pub trace: Option<PathBuf>,
 }
 
+/// `netdag soak` flags: stream a seeded scenario corpus through a live
+/// daemon and check end-to-end invariants.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoakOpts {
+    /// Corpus seed; every scenario is a pure function of
+    /// `(seed, index)`.
+    pub seed: u64,
+    /// Number of scenarios to stream.
+    pub scenarios: u64,
+    /// Replay exactly one scenario index (the recipe printed with every
+    /// violation) instead of a range starting at 0.
+    pub index: Option<u64>,
+    /// Shards of the self-hosted daemon.
+    pub shards: usize,
+    /// Worker threads per shard of the self-hosted daemon.
+    pub workers: usize,
+    /// Bus replay runs per scenario (scenarios with a mobility schedule
+    /// bring their own phase durations).
+    pub runs: u32,
+    /// Batch-revisit group size (0 disables the `batch_solve` leg).
+    pub batch: usize,
+    /// Target an already-running daemon (`host:port`) instead of
+    /// self-hosting one; skips the access-log join and the SLO verdict.
+    pub addr: Option<String>,
+    /// Where to write the soak summary JSON (`BENCH_soak.json` schema).
+    pub out: Option<PathBuf>,
+    /// Where to write the metrics report JSON (`netdag-obs/1` schema).
+    pub metrics: Option<PathBuf>,
+    /// Where to write the Chrome Trace Event JSON.
+    pub trace: Option<PathBuf>,
+}
+
 /// `netdag trace` flags: replay a solved schedule as a standalone bus
 /// timeline, or structurally check an exported trace.
 #[derive(Debug, Clone, PartialEq)]
@@ -166,6 +198,8 @@ pub enum Command {
     Validate(ValidateOpts),
     /// Run the scheduling daemon.
     Serve(ServeOpts),
+    /// Stream a seeded scenario corpus through a live daemon.
+    Soak(SoakOpts),
     /// Replay or check traces.
     Trace(TraceOpts),
     /// Print usage.
@@ -184,6 +218,7 @@ impl Command {
             Command::Schedule(o) => (o.metrics.as_deref(), o.trace.as_deref()),
             Command::Validate(o) => (o.metrics.as_deref(), o.trace.as_deref()),
             Command::Serve(o) => (o.metrics.as_deref(), o.trace.as_deref()),
+            Command::Soak(o) => (o.metrics.as_deref(), o.trace.as_deref()),
         }
     }
 }
@@ -280,6 +315,13 @@ USAGE:
                                   (shutdown-time SLO gate; a violated
                                    check fails the command)
                   [--metrics <m.json>] [--trace <t.json>]
+  netdag soak     [--seed N] [--scenarios N] [--index N]
+                  [--shards N] [--workers N] (self-hosted daemon size)
+                  [--runs N]      (bus replay runs per scenario)
+                  [--batch N]     (batch_solve revisit group, 0 = off)
+                  [--addr H:P]    (drive an already-running daemon)
+                  [--out <soak.json>]
+                  [--metrics <m.json>] [--trace <t.json>]
   netdag trace    --app <app.json> --schedule <schedule.json> --out <t.json>
   netdag trace    --check <t.json>
   netdag help
@@ -336,6 +378,23 @@ them — re-routed through its own ring, so the shard count may change
 between runs; with `--slo-*` flags the shutdown report gains a
 pass/fail check per threshold and a violation makes the command exit
 non-zero.
+
+`netdag soak` generates a deterministic scenario corpus — topology
+families (line/ring/star/grid/mesh), layered applications, soft or
+weakly hard contracts, Bernoulli or bursty Gilbert–Elliott loss,
+mobility phases, node churn and link-failure events, every scenario a
+pure function of (--seed, index) — and streams it through a live
+daemon: admission solve, structural checks on the returned schedule,
+the daemon's own validate op, LWB bus replay under the scenario's loss
+with fault injection and degraded re-admission, and a batch_solve
+cache revisit per group. Any invariant violation prints a one-line
+replay recipe (`netdag soak --seed S --index I`) that reproduces the
+failure bit-identically. By default the command self-hosts a sharded
+daemon on a loopback port and gates on its shutdown SLO verdict;
+--addr drives an external daemon instead. --out writes the
+BENCH_soak.json summary (per-family solve-node histograms joined from
+the daemon's access log). NETDAG_SOAK_FAST=1 caps the corpus at 24
+scenarios for CI smoke runs.
 
 Every subcommand accepts --metrics <path>, writing a machine-readable
 JSON report (schema netdag-obs/1: solver/cache/flood counters plus wall
@@ -601,6 +660,39 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                 return Err(ParseArgsError::MissingFlag("metrics"));
             }
             Ok(Command::Serve(opts))
+        }
+        "soak" => {
+            let mut opts = SoakOpts {
+                seed: 2020,
+                scenarios: 100,
+                index: None,
+                shards: 2,
+                workers: 2,
+                runs: 10,
+                batch: 8,
+                addr: None,
+                out: None,
+                metrics: None,
+                trace: None,
+            };
+            while let Some(flag) = cur.inner.next() {
+                if common_flag(flag.as_str(), &mut cur, &mut opts.metrics, &mut opts.trace)? {
+                    continue;
+                }
+                match flag.as_str() {
+                    "--seed" => opts.seed = cur.parsed("--seed")?,
+                    "--scenarios" => opts.scenarios = cur.parsed("--scenarios")?,
+                    "--index" => opts.index = Some(cur.parsed("--index")?),
+                    "--shards" => opts.shards = cur.parsed("--shards")?,
+                    "--workers" => opts.workers = cur.parsed("--workers")?,
+                    "--runs" => opts.runs = cur.parsed("--runs")?,
+                    "--batch" => opts.batch = cur.parsed("--batch")?,
+                    "--addr" => opts.addr = Some(cur.value("--addr")?),
+                    "--out" => opts.out = Some(PathBuf::from(cur.value("--out")?)),
+                    other => return Err(ParseArgsError::UnknownFlag(other.to_owned())),
+                }
+            }
+            Ok(Command::Soak(opts))
         }
         "trace" => {
             let mut opts = TraceOpts {
@@ -909,6 +1001,47 @@ mod tests {
             parse("serve --metrics-interval 10").unwrap_err(),
             ParseArgsError::MissingFlag("metrics")
         );
+    }
+
+    #[test]
+    fn soak_defaults_and_flags() {
+        let Command::Soak(d) = parse("soak").unwrap() else {
+            panic!("wrong command");
+        };
+        assert_eq!(d.seed, 2020);
+        assert_eq!(d.scenarios, 100);
+        assert_eq!(d.index, None);
+        assert_eq!((d.shards, d.workers), (2, 2));
+        assert_eq!(d.runs, 10);
+        assert_eq!(d.batch, 8);
+        assert_eq!(d.addr, None);
+        assert_eq!(d.out, None);
+        let Command::Soak(o) = parse(
+            "soak --seed 7 --scenarios 500 --index 42 --shards 4 --workers 3 \
+             --runs 6 --batch 16 --addr 127.0.0.1:9000 --out soak.json \
+             --metrics m.json --trace t.json",
+        )
+        .unwrap() else {
+            panic!("wrong command");
+        };
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.scenarios, 500);
+        assert_eq!(o.index, Some(42));
+        assert_eq!((o.shards, o.workers), (4, 3));
+        assert_eq!(o.runs, 6);
+        assert_eq!(o.batch, 16);
+        assert_eq!(o.addr, Some("127.0.0.1:9000".to_owned()));
+        assert_eq!(o.out, Some(PathBuf::from("soak.json")));
+        assert_eq!(o.metrics, Some(PathBuf::from("m.json")));
+        assert_eq!(o.trace, Some(PathBuf::from("t.json")));
+        assert!(matches!(
+            parse("soak --bogus").unwrap_err(),
+            ParseArgsError::UnknownFlag(_)
+        ));
+        assert!(matches!(
+            parse("soak --seed nope").unwrap_err(),
+            ParseArgsError::BadValue(_, _)
+        ));
     }
 
     #[test]

@@ -17,7 +17,9 @@ use netdag_runtime::ExecPolicy;
 use netdag_validation::soft::validate_soft_par;
 use netdag_validation::weakly_hard::validate_weakly_hard_par;
 
-use crate::args::{Command, ScheduleOpts, ServeOpts, StatChoice, TraceOpts, ValidateOpts, USAGE};
+use crate::args::{
+    Command, ScheduleOpts, ServeOpts, SoakOpts, StatChoice, TraceOpts, ValidateOpts, USAGE,
+};
 use crate::replay;
 use crate::spec::{AppSpec, SoftSpec, SpecError, WeaklyHardSpec};
 
@@ -140,6 +142,7 @@ pub fn run(command: &Command) -> Result<Output, CliError> {
         Command::Schedule(_) => Some(keys::SPAN_CLI_SCHEDULE),
         Command::Validate(_) => Some(keys::SPAN_CLI_VALIDATE),
         Command::Serve(_) => Some(keys::SPAN_CLI_SERVE),
+        Command::Soak(_) => Some(keys::SPAN_CLI_SOAK),
     };
     if trace_path.is_some() {
         netdag_trace::reset();
@@ -211,6 +214,7 @@ fn command_name(command: &Command) -> &'static str {
         Command::Schedule(_) => "schedule",
         Command::Validate(_) => "validate",
         Command::Serve(_) => "serve",
+        Command::Soak(_) => "soak",
         Command::Trace(_) => "trace",
     }
 }
@@ -226,6 +230,7 @@ fn dispatch(command: &Command) -> Result<Output, CliError> {
         Command::Schedule(opts) => schedule(opts),
         Command::Validate(opts) => validate(opts),
         Command::Serve(opts) => serve_daemon(opts),
+        Command::Soak(opts) => soak(opts),
         Command::Trace(opts) => trace_command(opts),
     }
 }
@@ -287,6 +292,145 @@ fn serve_daemon(opts: &ServeOpts) -> Result<Output, CliError> {
         }
         None => true,
     };
+    Ok(Output {
+        text,
+        success,
+        summary: None,
+    })
+}
+
+/// `netdag soak`: generate a deterministic scenario corpus and stream
+/// it through a live daemon — self-hosted on a loopback port by
+/// default, or an external one via `--addr`. The command succeeds only
+/// when every end-to-end invariant held and (when self-hosting) the
+/// daemon's shutdown SLO verdict passed.
+fn soak(opts: &SoakOpts) -> Result<Output, CliError> {
+    use netdag_scenario::{run_soak, soak_serve_config, spawn_daemon, SoakConfig};
+
+    let fast = std::env::var("NETDAG_SOAK_FAST").is_ok_and(|v| v != "0");
+    let mut cfg = SoakConfig {
+        master_seed: opts.seed,
+        scenarios: opts.scenarios,
+        replay_runs: opts.runs,
+        batch: opts.batch,
+        ..SoakConfig::default()
+    };
+    if let Some(index) = opts.index {
+        // Violation-recipe replay: exactly the named scenario.
+        cfg.start_index = index;
+        cfg.scenarios = 1;
+    } else if fast {
+        cfg.scenarios = cfg.scenarios.min(24);
+    }
+
+    let started = std::time::Instant::now();
+    let (mut report, slo) = match &opts.addr {
+        Some(addr) => {
+            use std::net::ToSocketAddrs as _;
+            let sockaddr = addr
+                .to_socket_addrs()
+                .map_err(|e| CliError::Io(addr.clone(), e))?
+                .next()
+                .ok_or_else(|| {
+                    CliError::Io(
+                        addr.clone(),
+                        std::io::Error::new(std::io::ErrorKind::NotFound, "resolved to no address"),
+                    )
+                })?;
+            let report = run_soak(sockaddr, &cfg).map_err(|e| CliError::Io(addr.clone(), e))?;
+            // An external daemon keeps running; its access log and SLO
+            // verdict belong to its own lifecycle.
+            (report, None)
+        }
+        None => {
+            let log_path =
+                std::env::temp_dir().join(format!("netdag-soak-{}.ndjson", std::process::id()));
+            let serve_cfg = soak_serve_config(opts.shards, opts.workers, Some(log_path.clone()));
+            let (sockaddr, handle) =
+                spawn_daemon(serve_cfg).map_err(|e| CliError::Io("127.0.0.1:0".into(), e))?;
+            let soak_result = run_soak(sockaddr, &cfg);
+            // Always drain the daemon, even when the drive failed.
+            let shutdown = netdag_serve::Client::connect(sockaddr)
+                .and_then(|mut c| c.send(&netdag_serve::protocol::Request::op("shutdown")));
+            let joined = handle.join();
+            let mut report = soak_result.map_err(|e| CliError::Io(sockaddr.to_string(), e))?;
+            shutdown.map_err(|e| CliError::Io(sockaddr.to_string(), e))?;
+            let serve_report = joined
+                .map_err(|_| {
+                    CliError::Io(
+                        sockaddr.to_string(),
+                        std::io::Error::other("daemon thread panicked"),
+                    )
+                })?
+                .map_err(|e| CliError::Io(sockaddr.to_string(), e))?;
+            report
+                .join_access_log(&log_path)
+                .map_err(|e| CliError::Io(log_path.display().to_string(), e))?;
+            let _ = fs::remove_file(&log_path);
+            (report, serve_report.slo)
+        }
+    };
+    report.violations.sort_by_key(|v| v.index);
+
+    let wall = started.elapsed().as_secs_f64();
+    let mut text = format!(
+        "soak: {} scenario(s) from seed {} in {:.2} s ({:.1}/s)\n",
+        report.scenarios,
+        report.master_seed,
+        wall,
+        report.scenarios as f64 / wall.max(1e-9)
+    );
+    text.push_str(&format!(
+        "  solved {}, infeasible {} ({} presolve-rejected, {:.1}% of corpus), validated {}\n",
+        report.solved,
+        report.infeasible,
+        report.presolve_rejects,
+        report.presolve_reject_rate() * 100.0,
+        report.validated
+    ));
+    text.push_str(&format!(
+        "  replay: {} runs, {} rounds, {} transmissions\n",
+        report.replay_runs, report.rounds_executed, report.transmissions
+    ));
+    text.push_str(&format!(
+        "  re-admissions: {} attempted, {} accepted\n",
+        report.readmissions, report.readmitted
+    ));
+    text.push_str(&format!(
+        "  cache revisit: {} items, {} hits (hit rate {:.4})\n",
+        report.revisits,
+        report.revisit_hits,
+        report.revisit_hit_rate()
+    ));
+    text.push_str("  families:\n");
+    for f in report.families.iter().filter(|f| f.scenarios > 0) {
+        text.push_str(&format!(
+            "    {:<5} {} scenarios, {} solved, {} infeasible, \
+             solve nodes p50 {} / p99 {}\n",
+            f.family,
+            f.scenarios,
+            f.solved,
+            f.infeasible,
+            f.nodes_percentile(50),
+            f.nodes_percentile(99)
+        ));
+    }
+    for v in &report.violations {
+        text.push_str(&format!("violation: {v}\n"));
+    }
+    text.push_str(&format!(
+        "invariant violations: {}\n",
+        report.violations.len()
+    ));
+    if let Some(slo) = &slo {
+        text.push_str(&slo.summary());
+    }
+    if let Some(out_path) = &opts.out {
+        let json = report.summary_json(fast, wall, slo.as_ref().map(|s| s.to_json()).as_deref());
+        fs::write(out_path, json).map_err(|e| CliError::Io(out_path.display().to_string(), e))?;
+        text.push_str(&format!("soak summary written to {}\n", out_path.display()));
+    }
+    let success = report.violations.is_empty() && slo.as_ref().is_none_or(|s| s.passed());
     Ok(Output {
         text,
         success,

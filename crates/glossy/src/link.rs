@@ -70,6 +70,18 @@ pub trait LossModel {
     fn fingerprint(&self) -> Option<u64> {
         None
     }
+
+    /// Whether the model carries evolving per-link/per-node state (burst
+    /// channels, churn). Stateful models stop being fingerprintable once
+    /// their state diverges from pristine, so their
+    /// [`crate::stats::StatCache`] bypasses are counted under a
+    /// dedicated obs key (`glossy.cache_bypasses_stateful`) — an
+    /// operator-visible signal that cache misses come from channel
+    /// statefulness, not from exotic model types. The default is
+    /// `false` (memoryless).
+    fn stateful(&self) -> bool {
+        false
+    }
 }
 
 /// FNV-1a over a sequence of `u64` words (parameter bits, tags).
@@ -252,6 +264,10 @@ impl LossModel for GilbertElliott {
             ],
         ))
     }
+
+    fn stateful(&self) -> bool {
+        true
+    }
 }
 
 /// Node churn on top of any base channel: nodes independently go down for
@@ -343,6 +359,10 @@ impl<L: LossModel> LossModel for NodeChurn<L> {
             b"node-churn",
             &[base, self.p_fail.to_bits(), self.p_recover.to_bits()],
         ))
+    }
+
+    fn stateful(&self) -> bool {
+        true
     }
 }
 

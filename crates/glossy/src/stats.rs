@@ -587,6 +587,12 @@ impl StatCache {
             }
             None => {
                 netdag_obs::counter!(netdag_obs::keys::GLOSSY_CACHE_BYPASSES).incr();
+                if link.stateful() {
+                    // Distinguish "bypassed because the channel carries
+                    // burst/churn state" from generic unfingerprintable
+                    // models — the soak harness watches this key.
+                    netdag_obs::counter!(netdag_obs::keys::GLOSSY_CACHE_BYPASSES_STATEFUL).incr();
+                }
                 measure().map(std::sync::Arc::new)
             }
         }
@@ -644,6 +650,12 @@ impl StatCache {
             }
             None => {
                 netdag_obs::counter!(netdag_obs::keys::GLOSSY_CACHE_BYPASSES).incr();
+                if link.stateful() {
+                    // Distinguish "bypassed because the channel carries
+                    // burst/churn state" from generic unfingerprintable
+                    // models — the soak harness watches this key.
+                    netdag_obs::counter!(netdag_obs::keys::GLOSSY_CACHE_BYPASSES_STATEFUL).incr();
+                }
                 measure().map(std::sync::Arc::new)
             }
         }
@@ -918,7 +930,9 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let _ = SoftProfile::measure(&topo, &mut warm, NodeId(0), 1..=2, 10, &mut rng).unwrap();
         assert!(warm.fingerprint().is_none());
+        assert!(warm.stateful());
         let cache = StatCache::new();
+        let bypasses = netdag_obs::counter!(netdag_obs::keys::GLOSSY_CACHE_BYPASSES_STATEFUL).get();
         let a = cache
             .soft_profile(&topo, &warm, NodeId(0), 1..=3, 100, 7, ExecPolicy::Serial)
             .unwrap();
@@ -927,6 +941,12 @@ mod tests {
             .unwrap();
         assert!(!Arc::ptr_eq(&a, &b));
         assert_eq!(cache.stats().entries, 0);
+        // Both lookups came from a stateful (burst) channel, so the
+        // dedicated stateful-bypass counter moved with the generic one.
+        assert!(
+            netdag_obs::counter!(netdag_obs::keys::GLOSSY_CACHE_BYPASSES_STATEFUL).get()
+                >= bypasses + 2
+        );
     }
 
     #[test]

@@ -1,11 +1,12 @@
 //! Property tests for the deterministic parallel profilers: the same
 //! master seed must yield bit-identical profiles at every thread count.
 
-use netdag_glossy::link::Bernoulli;
+use netdag_glossy::link::{Bernoulli, GilbertElliott, LossModel};
 use netdag_glossy::stats::{SoftProfile, WeaklyHardProfile};
 use netdag_glossy::topology::{NodeId, Topology};
 use netdag_runtime::ExecPolicy;
 use proptest::prelude::*;
+use rand::SeedableRng;
 
 fn any_topology() -> impl Strategy<Value = Topology> {
     prop_oneof![
@@ -65,6 +66,61 @@ proptest! {
             prop_assert_eq!(
                 serial.miss_table(), par.miss_table(), "threads = {}", threads
             );
+        }
+    }
+
+    /// Gilbert–Elliott stationary loss: with `success_good = 1` and
+    /// `success_bad = 0` a transmission is lost exactly when the chain
+    /// is in the bad state, so the long-run loss rate must match the
+    /// closed form `p / (p + r)`. The sampling RNG seed is derived from
+    /// the parameters, so each case is fully deterministic.
+    #[test]
+    fn gilbert_elliott_stationary_loss_matches_closed_form(
+        p in 0.1f64..0.9,
+        r in 0.1f64..0.9,
+    ) {
+        let mut ge = GilbertElliott::new(p, r, 1.0, 0.0).expect("valid probabilities");
+        let seed = p.to_bits() ^ r.to_bits().rotate_left(17);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let samples = 40_000u32;
+        let mut losses = 0u32;
+        for _ in 0..samples {
+            if !ge.receive(NodeId(0), NodeId(1), &mut rng) {
+                losses += 1;
+            }
+        }
+        let observed = f64::from(losses) / f64::from(samples);
+        let expected = p / (p + r);
+        prop_assert_eq!(ge.stationary_bad(), expected);
+        prop_assert!(
+            (observed - expected).abs() < 0.03,
+            "observed loss {} vs closed-form {} (p = {}, r = {})",
+            observed, expected, p, r
+        );
+    }
+
+    /// Flood outcomes under a bursty Gilbert–Elliott channel are
+    /// bit-identical at 1, 2 and 8 threads: per-chunk link clones start
+    /// pristine and per-chunk seeds depend only on the master seed, so
+    /// channel statefulness cannot leak across the thread boundary.
+    #[test]
+    fn gilbert_elliott_flood_thread_count_invariant(
+        topo in any_topology(),
+        p in 0.02f64..0.2,
+        r in 0.2f64..0.6,
+        runs in 50u32..300,
+        seed in proptest::arbitrary::any::<u64>(),
+    ) {
+        let link = GilbertElliott::new(p, r, 0.95, 0.2).expect("valid probabilities");
+        let serial = SoftProfile::measure_par(
+            &topo, &link, NodeId(0), 1..=4, runs, seed, ExecPolicy::Serial,
+        ).expect("valid inputs");
+        for threads in [2usize, 8] {
+            let par = SoftProfile::measure_par(
+                &topo, &link, NodeId(0), 1..=4, runs, seed,
+                ExecPolicy::Threads(threads),
+            ).expect("valid inputs");
+            prop_assert_eq!(serial.table(), par.table(), "threads = {}", threads);
         }
     }
 }

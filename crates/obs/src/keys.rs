@@ -65,6 +65,10 @@ pub const GLOSSY_CACHE_MISSES: &str = "glossy.cache_misses";
 /// λ-table lookups that bypassed the cache (unfingerprintable — e.g.
 /// stateful — loss models).
 pub const GLOSSY_CACHE_BYPASSES: &str = "glossy.cache_bypasses";
+/// The subset of bypasses caused by *stateful* channels (Gilbert–
+/// Elliott burst state, node churn) whose accumulated state makes them
+/// unfingerprintable, as opposed to generically exotic models.
+pub const GLOSSY_CACHE_BYPASSES_STATEFUL: &str = "glossy.cache_bypasses_stateful";
 
 // ── netdag-weakly-hard ──────────────────────────────────────────────
 
@@ -152,6 +156,8 @@ pub const SPAN_CLI_SCHEDULE: &str = "cli.schedule";
 pub const SPAN_CLI_VALIDATE: &str = "cli.validate";
 /// Wall time of `netdag serve` (the daemon's whole lifetime).
 pub const SPAN_CLI_SERVE: &str = "cli.serve";
+/// Wall time of `netdag soak` (the whole soak run).
+pub const SPAN_CLI_SOAK: &str = "cli.soak";
 /// Wall time spent in a scheduling backend (exact or greedy).
 pub const SPAN_CORE_SOLVE: &str = "core.solve";
 /// Wall time of one daemon request, admission to response.
@@ -196,6 +202,7 @@ pub const ALL_COUNTERS: &[&str] = &[
     CORE_MODES,
     CORE_SCHEDULES_COMPUTED,
     GLOSSY_CACHE_BYPASSES,
+    GLOSSY_CACHE_BYPASSES_STATEFUL,
     GLOSSY_CACHE_HITS,
     GLOSSY_CACHE_MISSES,
     GLOSSY_FLOODS_SIMULATED,
@@ -243,6 +250,7 @@ pub const ALL_SPANS: &[&str] = &[
     SPAN_CLI_INSPECT,
     SPAN_CLI_SCHEDULE,
     SPAN_CLI_SERVE,
+    SPAN_CLI_SOAK,
     SPAN_CLI_VALIDATE,
     SPAN_CORE_SOLVE,
     SPAN_GLOSSY_PROFILE_SOFT,

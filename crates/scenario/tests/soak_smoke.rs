@@ -1,0 +1,132 @@
+//! End-to-end smoke for the soak driver: a small corpus streamed
+//! through a real 2-shard loopback daemon must finish with zero
+//! invariant violations, a cache-served revisit leg, and a passing SLO
+//! verdict.
+
+use netdag_scenario::{run_soak, soak_serve_config, spawn_daemon, SoakConfig};
+use netdag_serve::protocol::{Request, STATUS_OK};
+use netdag_serve::Client;
+
+#[test]
+fn small_corpus_soaks_clean_through_a_sharded_daemon() {
+    let log_dir = std::env::temp_dir().join(format!("netdag-soak-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&log_dir).expect("temp dir");
+    let access_log = log_dir.join("access.ndjson");
+    let (addr, handle) =
+        spawn_daemon(soak_serve_config(2, 2, Some(access_log.clone()))).expect("daemon binds");
+
+    let cfg = SoakConfig {
+        scenarios: 12,
+        batch: 4,
+        replay_runs: 4,
+        validate_kappa: 120,
+        validate_trials: 4,
+        ..SoakConfig::default()
+    };
+    let mut report = run_soak(addr, &cfg).expect("soak transport");
+
+    // Shut the daemon down before the access-log join so every line is
+    // flushed, then harvest its report for the SLO verdict.
+    let mut client = Client::connect(addr).expect("connect for shutdown");
+    let bye = client
+        .send(&Request::op("shutdown"))
+        .expect("shutdown round trip");
+    assert_eq!(bye.status, STATUS_OK);
+    let serve_report = handle
+        .join()
+        .expect("daemon thread")
+        .expect("daemon exits cleanly");
+
+    for v in &report.violations {
+        eprintln!("violation: {v}");
+    }
+    assert!(report.violations.is_empty(), "soak invariants must hold");
+    assert_eq!(report.scenarios, 12);
+    assert_eq!(
+        report.solved + report.infeasible,
+        12,
+        "every scenario answered"
+    );
+    assert!(report.solved > 0, "corpus must contain solvable scenarios");
+    assert_eq!(
+        report.validated, report.solved,
+        "every admitted schedule validates"
+    );
+    assert!(report.replay_runs > 0 && report.transmissions > 0);
+    assert_eq!(
+        report.revisits, report.solved,
+        "every solved scenario is revisited"
+    );
+    assert!(
+        report.revisit_hit_rate() > 0.9,
+        "revisits must be cache-served (hit rate {})",
+        report.revisit_hit_rate()
+    );
+
+    report
+        .join_access_log(&access_log)
+        .expect("access log parses");
+    let logged: usize = report.families.iter().map(|f| f.solve_nodes.len()).sum();
+    assert_eq!(
+        logged as u64, report.solved,
+        "every cold admission solve joins back to its family"
+    );
+
+    let slo = serve_report.slo.expect("soak config arms the SLO gate");
+    assert!(slo.passed(), "SLO gate failed:\n{}", slo.summary());
+
+    let json = report.summary_json(true, 1.0, Some(&slo.to_json()));
+    assert!(
+        json.contains("\"violations\": 0"),
+        "summary renders cleanly"
+    );
+    std::fs::remove_dir_all(&log_dir).ok();
+}
+
+/// The same corpus soaked twice produces the same outcome tallies: the
+/// whole pipeline — generation, solving, validation, bus replay — is a
+/// pure function of the seed.
+#[test]
+fn soak_outcomes_replay_bit_identically() {
+    let cfg = SoakConfig {
+        master_seed: 7,
+        scenarios: 6,
+        batch: 3,
+        replay_runs: 3,
+        validate_kappa: 80,
+        validate_trials: 3,
+        ..SoakConfig::default()
+    };
+    let mut tallies = Vec::new();
+    for _ in 0..2 {
+        let (addr, handle) = spawn_daemon(soak_serve_config(1, 2, None)).expect("daemon binds");
+        let report = run_soak(addr, &cfg).expect("soak transport");
+        let mut client = Client::connect(addr).expect("connect for shutdown");
+        client
+            .send(&Request::op("shutdown"))
+            .expect("shutdown round trip");
+        handle
+            .join()
+            .expect("daemon thread")
+            .expect("daemon exits cleanly");
+        for v in &report.violations {
+            eprintln!("violation: {v}");
+        }
+        assert!(report.violations.is_empty(), "soak invariants must hold");
+        tallies.push((
+            report.solved,
+            report.infeasible,
+            report.presolve_rejects,
+            report.validated,
+            report.replay_runs,
+            report.rounds_executed,
+            report.transmissions,
+            report.readmissions,
+            report.readmitted,
+        ));
+    }
+    assert_eq!(
+        tallies[0], tallies[1],
+        "soak outcome drifted across replays"
+    );
+}

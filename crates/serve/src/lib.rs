@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod client;
 pub mod fingerprint;
 pub mod protocol;
 pub mod ring;
@@ -47,6 +48,7 @@ pub mod server;
 pub mod snapshot;
 
 pub use cache::{Lookup, ModeCache, SolutionCache};
+pub use client::Client;
 pub use fingerprint::{fingerprint, mode_fingerprint, Fingerprint};
 pub use protocol::{BatchItem, CacheStatsBody, Request, Response, ValidationReport};
 pub use ring::Ring;

@@ -113,6 +113,14 @@ impl Dfa {
     /// phase (windows not yet complete) is handled exactly.
     fn build_windowed(c: &Constraint) -> Result<Self, BuildDfaError> {
         let k = c.window().expect("windowed constraint") as usize;
+        // History codes are length-prefixed u64s (up to `K − 1` payload
+        // bits plus the marker), so windows beyond 64 are unencodable
+        // regardless of the state budget. Constraints with few misses
+        // keep the reachable set small enough to dodge the MAX_STATES
+        // check while still growing 65-bit codes, so refuse up front.
+        if k > 64 {
+            return Err(BuildDfaError { constraint: *c });
+        }
         let h = k - 1;
         // Encode history as bits | 1 << len (the marker makes lengths unique).
         let start_code: u64 = 1;
